@@ -1,0 +1,196 @@
+// Package stacksync's root benchmarks regenerate the paper's evaluation:
+// one testing.B benchmark per table and figure (§5). Run them with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports experiment-specific metrics through b.ReportMetric
+// so the published shape is visible straight from the bench output; the
+// full row/series printouts come from `go run ./cmd/experiments`.
+package stacksync_test
+
+import (
+	"testing"
+	"time"
+
+	"stacksync/internal/bench"
+	"stacksync/internal/trace"
+)
+
+// benchTrace is a reduced §5.2.1 trace: same generator, same distributions,
+// fewer snapshots so a bench iteration stays in seconds.
+func benchTrace() trace.GenConfig {
+	return trace.GenConfig{Seed: 1, InitialFiles: 5, TrainIterations: 2, Snapshots: 12, BirthMean: 4}
+}
+
+// BenchmarkFig7aTraceGeneration regenerates Fig. 7(a): the benchmark trace
+// and its file-size CDF.
+func BenchmarkFig7aTraceGeneration(b *testing.B) {
+	var under4MB float64
+	for i := 0; i < b.N; i++ {
+		res := bench.RunFig7a(trace.GenConfig{Seed: int64(i + 1)})
+		for _, p := range res.Points {
+			if p.Value == float64(4<<20) {
+				under4MB = p.Fraction
+			}
+		}
+	}
+	b.ReportMetric(under4MB, "P(size<=4MB)")
+}
+
+// BenchmarkFig7bProtocolOverhead regenerates Fig. 7(b): total traffic over
+// benchmark volume for StackSync (measured) vs the five provider models.
+func BenchmarkFig7bProtocolOverhead(b *testing.B) {
+	tr := trace.Generate(benchTrace())
+	var stacksync, dropbox float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig7b(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.Provider {
+			case "StackSync":
+				stacksync = row.Overhead
+			case "Dropbox":
+				dropbox = row.Overhead
+			}
+		}
+	}
+	b.ReportMetric(stacksync, "stacksync-overhead-x")
+	b.ReportMetric(dropbox, "dropbox-overhead-x")
+}
+
+// BenchmarkFig7cControlTraffic regenerates Fig. 7(c): per-action control
+// traffic, StackSync vs Dropbox.
+func BenchmarkFig7cControlTraffic(b *testing.B) {
+	tr := trace.Generate(benchTrace())
+	var ssAdd, dbAdd float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig7cd(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ssAdd = float64(res.StackSyncControl["ADD"])
+		dbAdd = float64(res.DropboxControl["ADD"])
+	}
+	b.ReportMetric(ssAdd/1e3, "stacksync-ADD-ctl-KB")
+	b.ReportMetric(dbAdd/1e3, "dropbox-ADD-ctl-KB")
+}
+
+// BenchmarkFig7dStorageTraffic regenerates Fig. 7(d): per-action storage
+// traffic, StackSync vs Dropbox (delta encoding wins on UPDATE).
+func BenchmarkFig7dStorageTraffic(b *testing.B) {
+	tr := trace.Generate(benchTrace())
+	var ssUpd, dbUpd float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig7cd(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ssUpd = float64(res.StackSyncStorage["UPDATE"])
+		dbUpd = float64(res.DropboxStorage["UPDATE"])
+	}
+	b.ReportMetric(ssUpd/1e6, "stacksync-UPD-stor-MB")
+	b.ReportMetric(dbUpd/1e6, "dropbox-UPD-stor-MB")
+}
+
+// BenchmarkTable2Bundling regenerates Table 2: the effect of file bundling
+// on control traffic at batch sizes 5..40.
+func BenchmarkTable2Bundling(b *testing.B) {
+	tr := trace.Generate(benchTrace())
+	var ctl5, ctl40 float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTable2(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Provider == "StackSync" && row.BatchSize == 5 {
+				ctl5 = float64(row.ControlBytes)
+			}
+			if row.Provider == "StackSync" && row.BatchSize == 40 {
+				ctl40 = float64(row.ControlBytes)
+			}
+		}
+	}
+	b.ReportMetric(ctl5/1e3, "stacksync-batch5-ctl-KB")
+	b.ReportMetric(ctl40/1e3, "stacksync-batch40-ctl-KB")
+}
+
+// BenchmarkFig7eSyncTime regenerates Fig. 7(e): time to bring six devices in
+// sync per action type.
+func BenchmarkFig7eSyncTime(b *testing.B) {
+	var addMedian, removeMedian float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig7e(40, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		addMedian = res.Boxplots["ADD"].Median
+		removeMedian = res.Boxplots["REMOVE"].Median
+	}
+	b.ReportMetric(addMedian*1000, "ADD-median-ms")
+	b.ReportMetric(removeMedian*1000, "REMOVE-median-ms")
+}
+
+// BenchmarkFig7fSizeSweep regenerates Fig. 7(f): sync time vs file size.
+func BenchmarkFig7fSizeSweep(b *testing.B) {
+	var small, large float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig7f(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		small = res.Points[0].MeanSec
+		large = res.Points[len(res.Points)-1].MeanSec
+	}
+	b.ReportMetric(small*1000, "128KB-ms")
+	b.ReportMetric(large*1000, "8MB-ms")
+}
+
+// BenchmarkFig8aAutoScaling regenerates Fig. 8(a,b): the day-8 UB1 replay
+// under predictive+reactive provisioning.
+func BenchmarkFig8aAutoScaling(b *testing.B) {
+	var maxInstances, violations float64
+	for i := 0; i < b.N; i++ {
+		res := bench.RunFig8ab(int64(i + 1))
+		maxInstances = float64(res.MaxInstances())
+		violations = res.ViolationFraction() * 100
+	}
+	b.ReportMetric(maxInstances, "max-instances")
+	b.ReportMetric(violations, "sla-violations-%")
+}
+
+// BenchmarkFig8cMisprediction regenerates Fig. 8(c–e): the fooled predictor
+// corrected by the reactive layer.
+func BenchmarkFig8cMisprediction(b *testing.B) {
+	var earlyP95, lateP95 float64
+	for i := 0; i < b.N; i++ {
+		res := bench.RunFig8cde(int64(i + 1))
+		earlyP95 = res.Minutes[2].P95RespMs
+		lateP95 = res.Minutes[10].P95RespMs
+	}
+	b.ReportMetric(earlyP95, "mispredicted-p95-ms")
+	b.ReportMetric(lateP95, "corrected-p95-ms")
+}
+
+// BenchmarkFig8fFaultTolerance regenerates Fig. 8(f): commit response times
+// with the SyncService instance crashing on a schedule.
+func BenchmarkFig8fFaultTolerance(b *testing.B) {
+	var steady, crashed float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig8f(bench.Fig8fConfig{
+			Duration:   4 * time.Second,
+			CrashEvery: 1200 * time.Millisecond,
+			CheckEvery: 100 * time.Millisecond,
+			CommitGap:  10 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steady = res.Steady.Median * 1000
+		crashed = res.Crashed.Median * 1000
+	}
+	b.ReportMetric(steady, "steady-median-ms")
+	b.ReportMetric(crashed, "crashed-median-ms")
+}

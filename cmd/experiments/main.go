@@ -1,0 +1,174 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§5). Each experiment prints the same rows/series the
+// paper reports.
+//
+//	experiments -run fig7b           # one experiment
+//	experiments -run all -quick      # everything, reduced trace sizes
+//
+// Experiment ids: fig7a fig7b fig7cd table2 fig7e fig7f fig8ab fig8cde fig8f
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stacksync/internal/bench"
+	"stacksync/internal/trace"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (fig7a|fig7b|fig7cd|table2|fig7e|fig7f|fig8ab|fig8cde|fig8f|all)")
+	seed := flag.Int64("seed", 1, "PRNG seed for trace generation")
+	quick := flag.Bool("quick", false, "smaller traces / shorter runs")
+	flag.Parse()
+
+	if err := runExperiments(strings.ToLower(*run), *seed, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runExperiments(which string, seed int64, quick bool) error {
+	genCfg := trace.GenConfig{Seed: seed}
+	if quick {
+		genCfg = trace.GenConfig{Seed: seed, InitialFiles: 5, TrainIterations: 2, Snapshots: 15, BirthMean: 4}
+	}
+
+	all := which == "all"
+	ran := false
+	out := os.Stdout
+
+	if all || which == "fig7a" {
+		ran = true
+		bench.RunFig7a(genCfg).Print(out)
+		fmt.Fprintln(out)
+	}
+	if all || which == "fig7b" {
+		ran = true
+		tr := trace.Generate(genCfg)
+		res, err := bench.RunFig7b(tr)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		fmt.Fprintln(out)
+	}
+	if all || which == "fig7cd" || which == "fig7c" || which == "fig7d" {
+		ran = true
+		tr := trace.Generate(genCfg)
+		res, err := bench.RunFig7cd(tr)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		fmt.Fprintln(out)
+	}
+	if all || which == "table2" {
+		ran = true
+		tr := trace.Generate(genCfg)
+		res, err := bench.RunTable2(tr)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		fmt.Fprintln(out)
+	}
+	if all || which == "fig7e" {
+		ran = true
+		ops := int64(120)
+		if quick {
+			ops = 30
+		}
+		res, err := bench.RunFig7e(ops, seed)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		fmt.Fprintln(out)
+	}
+	if all || which == "fig7f" {
+		ran = true
+		reps := 5
+		if quick {
+			reps = 2
+		}
+		res, err := bench.RunFig7f(reps)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		fmt.Fprintln(out)
+	}
+	if all || which == "fig8ab" || which == "fig8a" || which == "fig8b" {
+		ran = true
+		res := bench.RunFig8ab(seed)
+		res.PrintFig8a(out, 30)
+		fmt.Fprintln(out)
+		res.PrintFig8b(out, 30)
+		fmt.Fprintln(out)
+	}
+	if all || which == "fig8cde" || which == "fig8c" || which == "fig8d" || which == "fig8e" {
+		ran = true
+		res := bench.RunFig8cde(seed)
+		res.PrintFig8cde(out)
+		fmt.Fprintln(out)
+	}
+	if all || which == "fig8f" {
+		ran = true
+		cfg := bench.Fig8fConfig{}
+		if quick {
+			cfg.Duration = 4e9 // 4s
+		}
+		res, err := bench.RunFig8f(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		fmt.Fprintln(out)
+	}
+	if all || which == "ablation" {
+		ran = true
+		files := 30
+		if quick {
+			files = 10
+		}
+		tres, err := bench.RunTransferAblation(files, seed)
+		if err != nil {
+			return err
+		}
+		tres.Print(out)
+		fmt.Fprintln(out)
+
+		crows, err := bench.RunCompressionAblation(trace.Generate(trace.GenConfig{
+			Seed: seed, InitialFiles: 5, TrainIterations: 2, Snapshots: 12, BirthMean: 4,
+		}))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Ablation — chunk compression")
+		fmt.Fprintf(out, "%-8s %14s %12s\n", "codec", "storage", "elapsed")
+		for _, r := range crows {
+			fmt.Fprintf(out, "%-8s %11.2f MB %12s\n", r.Compression, float64(r.StorageBytes)/(1<<20), r.Elapsed.Round(10e6))
+		}
+		fmt.Fprintln(out)
+
+		drows, err := bench.RunDedupAblation(20, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Ablation — per-user deduplication (half the files are duplicates)")
+		for _, r := range drows {
+			fmt.Fprintf(out, "%-28s %11.2f MB uploaded\n", r.Scenario, float64(r.StorageBytes)/(1<<20))
+		}
+		fmt.Fprintln(out)
+
+		bench.PrintPolicyAblation(out, bench.RunPolicyAblation(seed))
+		fmt.Fprintln(out)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Command stacksync-server runs the server side of a StackSync deployment:
+// the message broker (TCP), the metadata back-end (with WAL durability), the
+// storage back-end (on disk), one or more SyncService instances, and a
+// Supervisor enforcing reactive auto-scaling of the service pool.
+//
+//	stacksync-server -listen 127.0.0.1:7070 -data /var/lib/stacksync \
+//	    -workspace shared -users alice,bob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"stacksync/internal/core"
+	"stacksync/internal/metastore"
+	"stacksync/internal/mq"
+	"stacksync/internal/objstore"
+	"stacksync/internal/omq"
+	"stacksync/internal/provision"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "broker listen address")
+	storageListen := flag.String("storage-listen", "127.0.0.1:7071", "storage gateway listen address (empty disables)")
+	storageToken := flag.String("storage-token", "", "storage gateway auth token (empty disables auth)")
+	dataDir := flag.String("data", "./stacksync-data", "data directory (WAL, journal, chunks)")
+	workspace := flag.String("workspace", "shared", "workspace id to create if missing")
+	users := flag.String("users", "alice", "comma-separated users with access to the workspace")
+	minInstances := flag.Int("min-instances", 1, "minimum SyncService instances")
+	maxInstances := flag.Int("max-instances", 8, "maximum SyncService instances")
+	flag.Parse()
+
+	if err := run(*listen, *storageListen, *storageToken, *dataDir, *workspace, *users, *minInstances, *maxInstances); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(listen, storageListen, storageToken, dataDir, workspace, users string, minInstances, maxInstances int) error {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return err
+	}
+
+	// Message broker with persistent-message journalling, served over TCP.
+	broker, err := mq.RecoverBroker(filepath.Join(dataDir, "broker.journal"))
+	if err != nil {
+		return err
+	}
+	defer broker.Close()
+	server, err := mq.NewServer(broker, listen)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	log.Printf("broker listening on %s", server.Addr())
+
+	// Metadata back-end with WAL recovery.
+	meta, err := metastore.Recover(filepath.Join(dataDir, "metadata.wal"))
+	if err != nil {
+		return err
+	}
+	defer meta.Close()
+	members := strings.Split(users, ",")
+	err = meta.CreateWorkspace(metastore.Workspace{ID: workspace, Owner: members[0], Members: members})
+	if err != nil && !strings.Contains(err.Error(), "exists") {
+		return err
+	}
+
+	// Storage back-end on disk, fronted by the HTTP gateway so clients on
+	// other machines reach it — the decoupled data flow of the paper.
+	chunks, err := objstore.NewDisk(filepath.Join(dataDir, "chunks"))
+	if err != nil {
+		return err
+	}
+	if storageListen != "" {
+		gw := &http.Server{Addr: storageListen, Handler: objstore.NewHandler(chunks, storageToken)}
+		go func() {
+			if err := gw.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("storage gateway: %v", err)
+			}
+		}()
+		defer gw.Close()
+		log.Printf("storage gateway listening on %s", storageListen)
+	}
+
+	// SyncService pool managed by a Supervisor with a reactive policy.
+	nodeBroker, err := omq.NewBroker(broker, omq.WithID("node-0"))
+	if err != nil {
+		return err
+	}
+	defer nodeBroker.Close()
+	rb, err := omq.NewRemoteBroker(nodeBroker)
+	if err != nil {
+		return err
+	}
+	defer rb.Close()
+	notifBroker, err := omq.NewBroker(broker, omq.WithID("notif-0"))
+	if err != nil {
+		return err
+	}
+	defer notifBroker.Close()
+	rb.RegisterFactory(core.ServiceOID, func() (interface{}, error) {
+		return core.NewService(meta, notifBroker).API(), nil
+	})
+	if err := broker.DeclareQueue(core.ServiceOID); err != nil {
+		return err
+	}
+
+	supBroker, err := omq.NewBroker(broker, omq.WithID("sup-0"))
+	if err != nil {
+		return err
+	}
+	defer supBroker.Close()
+	sup, err := omq.StartSupervisor(supBroker, omq.SupervisorConfig{
+		OID:          core.ServiceOID,
+		CheckEvery:   time.Second,
+		MinInstances: minInstances,
+		MaxInstances: maxInstances,
+		Provisioner:  provision.NewReactive(provision.DefaultSLA(), 0, 0, nil),
+	})
+	if err != nil {
+		return err
+	}
+	defer sup.Stop()
+
+	fmt.Printf("stacksync-server up: workspace=%q users=%v service pool %d..%d\n",
+		workspace, members, minInstances, maxInstances)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	return nil
+}

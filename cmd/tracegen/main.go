@@ -1,0 +1,60 @@
+// Command tracegen is the benchmarking-tool trace generator of §5.2.1: it
+// drives the Markov file-state model over the paper's file-size and change-
+// pattern distributions and emits the resulting ADD/UPDATE/REMOVE trace as
+// JSON lines, plus an aggregate summary on stderr.
+//
+//	tracegen -initial 20 -train 5 -snapshots 100 -seed 1 > trace.jsonl
+//	tracegen -ub1 -days 8 > arrivals.jsonl      # the synthetic UB1 workload
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"stacksync/internal/trace"
+)
+
+func main() {
+	initial := flag.Int("initial", 20, "initial number of files")
+	train := flag.Int("train", 5, "training iterations (discarded)")
+	snapshots := flag.Int("snapshots", 100, "recorded snapshots")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	ub1 := flag.Bool("ub1", false, "emit the synthetic UB1 arrival-rate trace instead")
+	days := flag.Int("days", 8, "days of UB1 trace (with -ub1)")
+	flag.Parse()
+
+	if err := run(*initial, *train, *snapshots, *seed, *ub1, *days); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(initial, train, snapshots int, seed int64, ub1 bool, days int) error {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+
+	if ub1 {
+		at := trace.GenerateUB1(trace.UB1Config{Days: days, Seed: seed})
+		fmt.Fprintf(os.Stderr, "UB1 synthetic: %d days, step %v, peak %.0f req/min\n",
+			days, at.Step, at.Peak()*60)
+		return enc.Encode(at)
+	}
+
+	tr := trace.Generate(trace.GenConfig{
+		InitialFiles:    initial,
+		TrainIterations: train,
+		Snapshots:       snapshots,
+		Seed:            seed,
+	})
+	fmt.Fprintln(os.Stderr, tr.Summary())
+	for _, op := range tr.Ops {
+		if err := enc.Encode(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}

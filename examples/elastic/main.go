@@ -1,0 +1,112 @@
+// Elastic scaling demo: a Supervisor enforces a reactive provisioning
+// policy over a pool of RemoteBroker-hosted worker instances while the
+// offered load rises and falls — programmatic elasticity (§3.3) end to end
+// on real queues, with instance counts printed as they change.
+//
+//	go run ./examples/elastic
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stacksync/internal/mq"
+	"stacksync/internal/omq"
+	"stacksync/internal/provision"
+)
+
+// worker simulates a service instance with a fixed processing cost.
+type worker struct{}
+
+// Handle processes one request in ~5 ms.
+func (worker) Handle(n int) int {
+	time.Sleep(5 * time.Millisecond)
+	return n * 2
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	system := mq.NewBroker()
+	defer system.Close()
+
+	// Node hosting worker instances.
+	nodeBroker, err := omq.NewBroker(system, omq.WithID("10-node"))
+	if err != nil {
+		return err
+	}
+	defer nodeBroker.Close()
+	rb, err := omq.NewRemoteBroker(nodeBroker)
+	if err != nil {
+		return err
+	}
+	defer rb.Close()
+	rb.RegisterFactory("worker", func() (interface{}, error) { return worker{}, nil })
+	if err := system.DeclareQueue("worker"); err != nil {
+		return err
+	}
+
+	// An SLA tuned to the 5 ms workers: respond within 25 ms.
+	sla := provision.SLA{
+		D: 25 * time.Millisecond, S: 5 * time.Millisecond, VarService: 4e-6,
+	}
+	supBroker, err := omq.NewBroker(system, omq.WithID("00-sup"))
+	if err != nil {
+		return err
+	}
+	defer supBroker.Close()
+	sup, err := omq.StartSupervisor(supBroker, omq.SupervisorConfig{
+		OID:         "worker",
+		CheckEvery:  100 * time.Millisecond,
+		Provisioner: provision.NewReactive(sla, 0.2, 0.2, nil),
+	})
+	if err != nil {
+		return err
+	}
+	defer sup.Stop()
+
+	// Drive load in three phases: quiet, burst, quiet.
+	clientBroker, err := omq.NewBroker(system, omq.WithID("20-client"))
+	if err != nil {
+		return err
+	}
+	defer clientBroker.Close()
+	proxy := clientBroker.Lookup("worker")
+
+	phases := []struct {
+		name string
+		rps  int
+		dur  time.Duration
+	}{
+		{"warm-up (20 req/s)", 20, 2 * time.Second},
+		{"flash crowd (400 req/s)", 400, 3 * time.Second},
+		{"cool-down (20 req/s)", 20, 3 * time.Second},
+	}
+	for _, ph := range phases {
+		fmt.Printf("--- %s ---\n", ph.name)
+		end := time.Now().Add(ph.dur)
+		tick := time.NewTicker(time.Second / time.Duration(ph.rps))
+		lastReport := time.Now()
+		for time.Now().Before(end) {
+			<-tick.C
+			_ = proxy.Async("Handle", 21)
+			if time.Since(lastReport) >= 500*time.Millisecond {
+				lastReport = time.Now()
+				info, err := supBroker.ObjectInfo("worker")
+				if err == nil {
+					fmt.Printf("    queue depth %4d | arrival %6.1f req/s | instances %d\n",
+						info.QueueDepth, info.ArrivalRate, rb.InstanceCount("worker"))
+				}
+			}
+		}
+		tick.Stop()
+	}
+	fmt.Printf("final instances: %d (scale events recorded: %d)\n",
+		rb.InstanceCount("worker"), len(sup.History()))
+	return nil
+}

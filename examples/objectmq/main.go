@@ -1,0 +1,101 @@
+// ObjectMQ HelloWorld — the paper's Fig. 2 example, plus the three
+// invocation primitives of §3.2: @AsyncMethod, @SyncMethod and @MultiMethod.
+//
+//	go run ./examples/objectmq
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stacksync/internal/mq"
+	"stacksync/internal/omq"
+)
+
+// HelloServer is the remote object. Exported methods are remotely callable.
+type HelloServer struct {
+	id string
+}
+
+// HelloWorld is the @AsyncMethod of Fig. 2: one-way, no reply.
+func (h *HelloServer) HelloWorld(name string) {
+	fmt.Printf("  [server %s] hello, %s!\n", h.id, name)
+}
+
+// Sum is a @SyncMethod: the caller blocks for the result.
+func (h *HelloServer) Sum(nums []int) int {
+	total := 0
+	for _, n := range nums {
+		total += n
+	}
+	return total
+}
+
+// WhoAreYou answers @MultiMethod group calls.
+func (h *HelloServer) WhoAreYou(struct{}) string { return h.id }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The MOM system (RabbitMQ role) and two ObjectMQ endpoints.
+	system := mq.NewBroker()
+	defer system.Close()
+
+	// broker.bind("hello", new HelloServer()) — three instances sharing the
+	// identifier demonstrate queue-based load balancing and multicast.
+	for i := 1; i <= 3; i++ {
+		server, err := omq.NewBroker(system)
+		if err != nil {
+			return err
+		}
+		defer server.Close()
+		if _, err := server.Bind("hello", &HelloServer{id: fmt.Sprintf("S%d", i)}); err != nil {
+			return err
+		}
+	}
+
+	clientBroker, err := omq.NewBroker(system)
+	if err != nil {
+		return err
+	}
+	defer clientBroker.Close()
+
+	// helloClient = broker.lookup("hello")
+	hello := clientBroker.Lookup("hello",
+		omq.WithTimeout(1500*time.Millisecond), omq.WithRetries(5))
+
+	// @AsyncMethod — unicast: exactly one of the three instances handles it.
+	fmt.Println("async helloWorld():")
+	if err := hello.Async("HelloWorld", "Bordeaux"); err != nil {
+		return err
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	// @SyncMethod — blocking with timeout and retries.
+	var sum int
+	if err := hello.Call("Sum", &sum, []int{40, 2}); err != nil {
+		return err
+	}
+	fmt.Printf("sync Sum([40 2]) = %d\n", sum)
+
+	// @MultiMethod + @SyncMethod — one call, replies from every instance.
+	replies, err := hello.MultiCall("WhoAreYou", 300*time.Millisecond, struct{}{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multi WhoAreYou() collected %d replies:", len(replies))
+	for _, r := range replies {
+		var id string
+		if err := r.Decode(&id); err != nil {
+			return err
+		}
+		fmt.Printf(" %s", id)
+	}
+	fmt.Println()
+	return nil
+}

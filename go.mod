@@ -1,0 +1,3 @@
+module stacksync
+
+go 1.22

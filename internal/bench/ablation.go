@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"stacksync/internal/chunker"
+	"stacksync/internal/delta"
+	"stacksync/internal/provision"
+	"stacksync/internal/trace"
+)
+
+// This file implements the ablation studies DESIGN.md §5 calls out: the
+// design choices the paper fixes (fixed 512 KB chunking, gzip, per-user
+// dedup, combined provisioning) are each varied in isolation.
+
+// TransferStrategyRow is one arm of the update-transfer ablation.
+type TransferStrategyRow struct {
+	Strategy string `json:"strategy"`
+	// UploadBytes is what travels to the Storage back-end for the update
+	// workload (for delta encoding it includes the downloaded signature).
+	UploadBytes int64 `json:"uploadBytes"`
+	// ModifiedBytes is the data the edits actually touched.
+	ModifiedBytes int64 `json:"modifiedBytes"`
+}
+
+// TransferAblationResult compares update-transfer strategies.
+type TransferAblationResult struct {
+	Files int                   `json:"files"`
+	Rows  []TransferStrategyRow `json:"rows"`
+}
+
+// RunTransferAblation measures the bytes each transfer strategy moves for
+// the same edit workload: fixed 512 KB chunking (the paper's default), CDC
+// chunking (the §4.1 alternative), and rsync-style delta encoding (what
+// Dropbox uses; the extension in internal/delta). Expected shape: fixed ≫
+// cdc > delta ≫ modified bytes for small edits (Fig. 7d's explanation).
+func RunTransferAblation(files int, seed int64) (*TransferAblationResult, error) {
+	mat := trace.NewMaterializer(seed)
+	type editedFile struct {
+		before, after []byte
+		changed       int64
+	}
+	edits := make([]editedFile, 0, files)
+	gen := trace.Generate(trace.GenConfig{Seed: seed, Snapshots: 40, BirthMean: 6})
+	// Build (before, after) pairs from the trace's UPDATE operations.
+	contents := map[string][]byte{}
+	for _, op := range gen.Ops {
+		switch op.Action {
+		case trace.ADD:
+			data, err := mat.Apply(op)
+			if err != nil {
+				return nil, err
+			}
+			contents[op.Path] = data
+		case trace.UPDATE:
+			before := contents[op.Path]
+			after, err := mat.Apply(op)
+			if err != nil {
+				return nil, err
+			}
+			edits = append(edits, editedFile{
+				before:  append([]byte{}, before...),
+				after:   append([]byte{}, after...),
+				changed: op.ChangeBytes,
+			})
+			contents[op.Path] = after
+		case trace.REMOVE:
+			if _, err := mat.Apply(op); err != nil {
+				return nil, err
+			}
+			delete(contents, op.Path)
+		}
+		if len(edits) >= files {
+			break
+		}
+	}
+
+	res := &TransferAblationResult{Files: len(edits)}
+	var modified int64
+	for _, e := range edits {
+		modified += e.changed
+	}
+
+	chunkUpload := func(c chunker.Chunker) (int64, error) {
+		var total int64
+		for _, e := range edits {
+			beforeChunks, err := chunker.SplitBytes(c, e.before)
+			if err != nil {
+				return 0, err
+			}
+			known := make(map[string]bool, len(beforeChunks))
+			for _, ch := range beforeChunks {
+				known[ch.Fingerprint] = true
+			}
+			afterChunks, err := chunker.SplitBytes(c, e.after)
+			if err != nil {
+				return 0, err
+			}
+			_, fresh := chunker.Diff(afterChunks, func(fp string) bool { return known[fp] })
+			for _, ch := range fresh {
+				compressed, err := chunker.Compress(ch.Data, chunker.Gzip)
+				if err != nil {
+					return 0, err
+				}
+				total += int64(len(compressed))
+			}
+		}
+		return total, nil
+	}
+
+	fixed, err := chunkUpload(chunker.NewFixed())
+	if err != nil {
+		return nil, err
+	}
+	cdc, err := chunkUpload(chunker.NewCDC())
+	if err != nil {
+		return nil, err
+	}
+	var deltaBytes int64
+	for _, e := range edits {
+		sig := delta.NewSignature(e.before, delta.DefaultBlockSize)
+		d := delta.Compute(sig, e.after)
+		deltaBytes += sig.WireSize() + d.WireSize()
+	}
+
+	res.Rows = []TransferStrategyRow{
+		{Strategy: "fixed-512KB", UploadBytes: fixed, ModifiedBytes: modified},
+		{Strategy: "cdc", UploadBytes: cdc, ModifiedBytes: modified},
+		{Strategy: "delta", UploadBytes: deltaBytes, ModifiedBytes: modified},
+	}
+	return res, nil
+}
+
+// Print writes the table.
+func (r *TransferAblationResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation — update transfer strategy (%d edited files)\n", r.Files)
+	fmt.Fprintf(w, "%-14s %14s %16s\n", "strategy", "uploaded", "amplification")
+	for _, row := range r.Rows {
+		amp := float64(row.UploadBytes) / float64(row.ModifiedBytes)
+		fmt.Fprintf(w, "%-14s %14s %15.1fx\n", row.Strategy, humanBytes(row.UploadBytes), amp)
+	}
+}
+
+// CompressionAblationRow is one arm of the compression ablation.
+type CompressionAblationRow struct {
+	Compression  string        `json:"compression"`
+	StorageBytes uint64        `json:"storageBytes"`
+	Elapsed      time.Duration `json:"elapsed"`
+}
+
+// RunCompressionAblation replays the same trace with each chunk compression
+// setting, measuring storage traffic and CPU-bound replay time.
+func RunCompressionAblation(tr *trace.Trace) ([]CompressionAblationRow, error) {
+	var rows []CompressionAblationRow
+	for _, comp := range []chunker.Compression{chunker.None, chunker.Gzip, chunker.Flate} {
+		st, err := NewStack(StackOptions{Devices: 1, Compression: comp})
+		if err != nil {
+			return nil, err
+		}
+		rr, err := ReplayTrace(st, tr)
+		st.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CompressionAblationRow{
+			Compression:  comp.String(),
+			StorageBytes: rr.StorageBytes,
+			Elapsed:      rr.Elapsed,
+		})
+	}
+	return rows, nil
+}
+
+// DedupAblationRow is one arm of the deduplication ablation.
+type DedupAblationRow struct {
+	Scenario     string `json:"scenario"`
+	StorageBytes uint64 `json:"storageBytes"`
+}
+
+// RunDedupAblation measures upload traffic for a duplicate-heavy workload
+// with client-side dedup active (the real client) versus the counterfactual
+// upload-everything behaviour, quantifying §4.1's per-user dedup saving.
+func RunDedupAblation(files int, seed int64) ([]DedupAblationRow, error) {
+	mat := trace.NewMaterializer(seed)
+	// Workload: `files` files, every other one a duplicate of the first.
+	base, err := mat.Apply(trace.Op{Action: trace.ADD, Path: "base", Size: 256 * 1024})
+	if err != nil {
+		return nil, err
+	}
+
+	st, err := NewStack(StackOptions{Devices: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	writer := st.Client(0)
+	var rawUploaded int64
+	for i := 0; i < files; i++ {
+		var content []byte
+		if i%2 == 0 {
+			content = base // duplicate content, dedup should skip the upload
+		} else {
+			content, err = mat.Apply(trace.Op{Action: trace.ADD, Path: fmt.Sprintf("u%d", i), Size: 256 * 1024})
+			if err != nil {
+				return nil, err
+			}
+		}
+		path := fmt.Sprintf("f%04d.bin", i)
+		if err := writer.PutFile(path, content); err != nil {
+			return nil, err
+		}
+		if err := writer.WaitForVersion(path, 1, replayTimeout); err != nil {
+			return nil, err
+		}
+		compressed, err := chunker.Compress(content, chunker.Gzip)
+		if err != nil {
+			return nil, err
+		}
+		rawUploaded += int64(len(compressed))
+	}
+	withDedup := st.StorageTraffic(0).BytesUp
+	return []DedupAblationRow{
+		{Scenario: "dedup-on (measured)", StorageBytes: withDedup},
+		{Scenario: "dedup-off (counterfactual)", StorageBytes: uint64(rawUploaded)},
+	}, nil
+}
+
+// PolicyAblationRow is one arm of the provisioning-policy ablation.
+type PolicyAblationRow struct {
+	Policy          string  `json:"policy"`
+	ViolationsPct   float64 `json:"violationsPct"`
+	InstanceMinutes int     `json:"instanceMinutes"`
+	MaxInstances    int     `json:"maxInstances"`
+}
+
+// RunPolicyAblation replays UB1 day 8 under each provisioning composition,
+// reporting SLA violations and provisioned capacity (instance-minutes).
+func RunPolicyAblation(seed int64) []PolicyAblationRow {
+	week, day8 := trace.UB1WeekAndDay8(seed)
+	var rows []PolicyAblationRow
+	for _, pol := range []Policy{PolicyCombined, PolicyPredictiveOnly, PolicyReactiveOnly} {
+		res := RunAutoScaleSim(SimConfig{
+			SLA:      provision.DefaultSLA(),
+			History:  week,
+			Workload: day8,
+			Seed:     seed,
+			Policy:   pol,
+		})
+		instanceMinutes := 0
+		for _, m := range res.Minutes {
+			instanceMinutes += m.Instances
+		}
+		rows = append(rows, PolicyAblationRow{
+			Policy:          pol.String(),
+			ViolationsPct:   res.ViolationFraction() * 100,
+			InstanceMinutes: instanceMinutes,
+			MaxInstances:    res.MaxInstances(),
+		})
+	}
+	return rows
+}
+
+// PrintPolicyAblation writes the table.
+func PrintPolicyAblation(w io.Writer, rows []PolicyAblationRow) {
+	fmt.Fprintln(w, "Ablation — provisioning policy on UB1 day 8")
+	fmt.Fprintf(w, "%-16s %14s %17s %14s\n", "policy", "violations", "instance-minutes", "max instances")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %13.3f%% %17d %14d\n", r.Policy, r.ViolationsPct, r.InstanceMinutes, r.MaxInstances)
+	}
+}

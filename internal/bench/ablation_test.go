@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"stacksync/internal/trace"
+)
+
+func TestTransferAblationShape(t *testing.T) {
+	res, err := RunTransferAblation(15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Files == 0 {
+		t.Fatal("no edits generated")
+	}
+	byName := map[string]TransferStrategyRow{}
+	for _, r := range res.Rows {
+		byName[r.Strategy] = r
+	}
+	fixed := byName["fixed-512KB"]
+	cdc := byName["cdc"]
+	dlt := byName["delta"]
+	// Fixed chunking suffers the boundary-shifting problem: the heaviest.
+	if fixed.UploadBytes <= cdc.UploadBytes {
+		t.Fatalf("fixed (%d) not above cdc (%d)", fixed.UploadBytes, cdc.UploadBytes)
+	}
+	// Delta encoding approaches the modified bytes; far below chunking.
+	if dlt.UploadBytes >= cdc.UploadBytes {
+		t.Fatalf("delta (%d) not below cdc (%d)", dlt.UploadBytes, cdc.UploadBytes)
+	}
+	if dlt.UploadBytes <= dlt.ModifiedBytes {
+		t.Fatalf("delta (%d) below modified bytes (%d) — signatures must cost something",
+			dlt.UploadBytes, dlt.ModifiedBytes)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestCompressionAblationShape(t *testing.T) {
+	tr := trace.Generate(trace.GenConfig{Seed: 5, InitialFiles: 3, TrainIterations: 1, Snapshots: 8, BirthMean: 3})
+	rows, err := RunCompressionAblation(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]CompressionAblationRow{}
+	for _, r := range rows {
+		byName[r.Compression] = r
+	}
+	// The trace's content is ~90% incompressible, so gzip saves only the
+	// textual fraction — but must never transfer more than +2% over raw.
+	none := byName["none"].StorageBytes
+	gz := byName["gzip"].StorageBytes
+	if gz > none+none/50 {
+		t.Fatalf("gzip (%d) inflated traffic vs none (%d)", gz, none)
+	}
+	if gz == 0 || none == 0 {
+		t.Fatal("zero traffic measured")
+	}
+}
+
+func TestDedupAblationShape(t *testing.T) {
+	rows, err := RunDedupAblation(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	on, off := rows[0].StorageBytes, rows[1].StorageBytes
+	// Half the files are duplicates: dedup saves roughly half the volume.
+	if on >= off {
+		t.Fatalf("dedup-on (%d) not below dedup-off (%d)", on, off)
+	}
+	ratio := float64(on) / float64(off)
+	if ratio > 0.75 {
+		t.Fatalf("dedup saved too little: ratio %.2f", ratio)
+	}
+}
+
+func TestPolicyAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three day-long simulations")
+	}
+	rows := RunPolicyAblation(1)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]PolicyAblationRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	combined := byName["combined"]
+	reactive := byName["reactive-only"]
+	predictive := byName["predictive-only"]
+	// All policies keep violations low on a well-predicted day, and the
+	// fleet tracks the diurnal curve in every case.
+	for _, r := range rows {
+		if r.ViolationsPct > 5 {
+			t.Fatalf("%s: %.2f%% violations", r.Policy, r.ViolationsPct)
+		}
+		if r.MaxInstances < 4 {
+			t.Fatalf("%s: fleet never scaled (max %d)", r.Policy, r.MaxInstances)
+		}
+	}
+	// Reactive-only trails the rate with no anticipation: it must not use
+	// dramatically more capacity than combined.
+	if reactive.InstanceMinutes > combined.InstanceMinutes*2 {
+		t.Fatalf("reactive-only capacity %d vs combined %d", reactive.InstanceMinutes, combined.InstanceMinutes)
+	}
+	// The predictive arm provisioned for per-slot peaks: at least as much
+	// capacity as combined uses.
+	if predictive.InstanceMinutes < combined.InstanceMinutes/2 {
+		t.Fatalf("predictive-only capacity implausibly low: %d vs %d", predictive.InstanceMinutes, combined.InstanceMinutes)
+	}
+	var buf bytes.Buffer
+	PrintPolicyAblation(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}

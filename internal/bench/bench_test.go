@@ -1,0 +1,345 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"stacksync/internal/trace"
+)
+
+// smallTrace keeps replay-based tests fast while preserving the op mix.
+func smallTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := trace.Generate(trace.GenConfig{
+		Seed: 7, InitialFiles: 5, TrainIterations: 2, Snapshots: 12, BirthMean: 4,
+	})
+	if tr.Adds == 0 {
+		t.Fatal("empty trace")
+	}
+	return tr
+}
+
+func TestStackDeploysAndSyncs(t *testing.T) {
+	st, err := NewStack(StackOptions{Devices: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Client(0).PutFile("x.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Client(1).WaitForVersion("x.txt", 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st.ControlTraffic(0).BytesUp == 0 {
+		t.Fatal("control traffic not metered")
+	}
+	if st.StorageTraffic(0).BytesUp == 0 {
+		t.Fatal("storage traffic not metered")
+	}
+}
+
+func TestReplayTraceConverges(t *testing.T) {
+	tr := smallTrace(t)
+	st, err := NewStack(StackOptions{Devices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rr, err := ReplayTrace(st, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Ops != len(tr.Ops) {
+		t.Fatalf("replayed %d/%d ops", rr.Ops, len(tr.Ops))
+	}
+	// Storage traffic covers at least the compressible add volume and the
+	// control traffic is non-trivial but far below storage.
+	if rr.StorageBytes == 0 || rr.ControlBytes == 0 {
+		t.Fatalf("traffic: %+v", rr)
+	}
+	if rr.StorageBytes < rr.ControlBytes {
+		t.Fatalf("control (%d) exceeds storage (%d) — implausible", rr.ControlBytes, rr.StorageBytes)
+	}
+}
+
+func TestReplayBatchedReducesControlTraffic(t *testing.T) {
+	tr := smallTrace(t)
+	run := func(batch int) uint64 {
+		st, err := NewStack(StackOptions{Devices: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		rr, err := ReplayTraceBatched(st, tr, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rr.ControlBytes
+	}
+	single := run(1)
+	bundled := run(10)
+	if bundled >= single {
+		t.Fatalf("bundling did not cut control traffic: %d -> %d", single, bundled)
+	}
+}
+
+func TestFig7aCDFShape(t *testing.T) {
+	res := RunFig7a(trace.GenConfig{Seed: 3})
+	if len(res.Points) == 0 {
+		t.Fatal("no CDF points")
+	}
+	// Monotonic non-decreasing, ~90% below 4 MB.
+	prev := -1.0
+	var at4MB float64
+	for _, p := range res.Points {
+		if p.Fraction < prev {
+			t.Fatalf("CDF not monotonic at %v", p.Value)
+		}
+		prev = p.Fraction
+		if p.Value == float64(4<<20) {
+			at4MB = p.Fraction
+		}
+	}
+	if at4MB < 0.85 {
+		t.Fatalf("P(size<=4MB) = %.3f, want ~0.9", at4MB)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	tr := smallTrace(t)
+	res, err := RunFig7b(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want StackSync + 5 providers", len(res.Rows))
+	}
+	byName := map[string]ProviderRow{}
+	for _, r := range res.Rows {
+		byName[r.Provider] = r
+	}
+	ss, db := byName["StackSync"], byName["Dropbox"]
+	// The published shape: Dropbox has the highest total overhead; its
+	// control traffic dwarfs StackSync's.
+	for name, row := range byName {
+		if name == "Dropbox" {
+			continue
+		}
+		if row.TotalBytes >= db.TotalBytes {
+			t.Fatalf("%s total (%d) >= Dropbox (%d); Dropbox must be worst", name, row.TotalBytes, db.TotalBytes)
+		}
+	}
+	if ss.ControlBytes*2 >= db.ControlBytes {
+		t.Fatalf("StackSync control (%d) not clearly below Dropbox (%d)", ss.ControlBytes, db.ControlBytes)
+	}
+	// StackSync compresses chunks, so its storage traffic undercuts the raw
+	// benchmark volume; overhead stays low.
+	if ss.Overhead >= db.Overhead {
+		t.Fatalf("StackSync overhead %.3f >= Dropbox %.3f", ss.Overhead, db.Overhead)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestFig7cdShape(t *testing.T) {
+	tr := smallTrace(t)
+	res, err := RunFig7cd(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7(c): Dropbox ADD control traffic much larger than StackSync's.
+	if res.StackSyncControl["ADD"] >= res.DropboxControl["ADD"] {
+		t.Fatalf("ADD control: StackSync %d >= Dropbox %d",
+			res.StackSyncControl["ADD"], res.DropboxControl["ADD"])
+	}
+	// 7(d): on UPDATEs, delta encoding beats fixed 512 KB chunking — but
+	// both transfer far more than the bytes actually modified.
+	if tr.Updates > 0 {
+		if res.StackSyncStorage["UPDATE"] <= res.DropboxStorage["UPDATE"] {
+			t.Fatalf("UPDATE storage: StackSync %d <= Dropbox %d (delta encoding must win)",
+				res.StackSyncStorage["UPDATE"], res.DropboxStorage["UPDATE"])
+		}
+		if res.StackSyncStorage["UPDATE"] <= uint64(res.ModifiedBytes) {
+			t.Fatalf("UPDATE storage %d <= modified bytes %d — chunk amplification missing",
+				res.StackSyncStorage["UPDATE"], res.ModifiedBytes)
+		}
+	}
+	// REMOVE moves no storage data on StackSync.
+	if res.StackSyncStorage["REMOVE"] != 0 {
+		t.Fatalf("REMOVE storage traffic = %d, want 0", res.StackSyncStorage["REMOVE"])
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tr := smallTrace(t)
+	res, err := RunTable2(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 2 providers x 4 batch sizes", len(res.Rows))
+	}
+	// Control traffic decreases monotonically with batch size per provider.
+	byProvider := map[string][]Table2Row{}
+	for _, row := range res.Rows {
+		byProvider[row.Provider] = append(byProvider[row.Provider], row)
+	}
+	for name, rows := range byProvider {
+		for i := 1; i < len(rows); i++ {
+			if rows[i].ControlBytes > rows[i-1].ControlBytes {
+				t.Fatalf("%s control grew with batch size: %+v", name, rows)
+			}
+		}
+	}
+	// StackSync total below Dropbox total at every batch size.
+	for i := range byProvider["StackSync"] {
+		if byProvider["StackSync"][i].TotalBytes >= byProvider["Dropbox"][i].TotalBytes {
+			t.Fatalf("StackSync total not below Dropbox at batch %d", byProvider["StackSync"][i].BatchSize)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestFig8abShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("day-long simulation")
+	}
+	res := RunFig8ab(1)
+	if len(res.Minutes) != 24*60 {
+		t.Fatalf("minutes = %d, want 1440", len(res.Minutes))
+	}
+	// Peak demand near the paper's 8,514 req/min.
+	peak := res.peakRate()
+	if peak < 7000 || peak > 10000 {
+		t.Fatalf("peak = %.0f req/min, want ~8514", peak)
+	}
+	// Instances track the workload: noon fleet much larger than night's.
+	night := res.Minutes[3*60].Instances
+	noon := res.Minutes[13*60].Instances
+	if noon < 2*night {
+		t.Fatalf("instances do not track load: night %d, noon %d", night, noon)
+	}
+	// SLA: overwhelmingly met (spikes at scale events are allowed).
+	if vf := res.ViolationFraction(); vf > 0.02 {
+		t.Fatalf("%.2f%% of requests above SLA", 100*vf)
+	}
+	var buf bytes.Buffer
+	res.PrintFig8a(&buf, 60)
+	res.PrintFig8b(&buf, 60)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestFig8cdeShape(t *testing.T) {
+	res := RunFig8cde(1)
+	if len(res.Minutes) != 60 {
+		t.Fatalf("minutes = %d, want 60", len(res.Minutes))
+	}
+	// The predictor expected far less traffic than observed (the reactive
+	// trigger condition is a 20% divergence; the injected misprediction is
+	// ~2x). The synthetic diurnal floor is 12% of peak, which bounds how
+	// extreme the expected/observed ratio can get.
+	first := res.Minutes[1]
+	if first.Expected >= first.RatePerMin*0.65 {
+		t.Fatalf("misprediction absent: expected %.0f vs observed %.0f", first.Expected, first.RatePerMin)
+	}
+	// ...so the early minutes are under-provisioned and slow; after the
+	// first reactive cycle (5 min) the fleet grows and response times drop.
+	// Minute 10 sits inside the corrected window (the predictive baseline
+	// re-mispredicts at each 15-minute boundary until reactive re-fixes it,
+	// exactly the repeated correction §5.3.3 describes).
+	early := res.Minutes[2]
+	late := res.Minutes[10]
+	if late.Instances <= early.Instances {
+		t.Fatalf("reactive never corrected: %d -> %d instances", early.Instances, late.Instances)
+	}
+	if early.P95RespMs <= late.P95RespMs {
+		t.Fatalf("response times did not improve: early p95 %.1f, late %.1f", early.P95RespMs, late.P95RespMs)
+	}
+	if late.P95RespMs > res.SLA.D.Seconds()*1000 {
+		t.Fatalf("post-correction p95 %.1f ms above SLA", late.P95RespMs)
+	}
+	var buf bytes.Buffer
+	res.PrintFig8cde(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestFig8fFaultTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-time experiment")
+	}
+	res, err := RunFig8f(Fig8fConfig{
+		Duration:   6 * time.Second,
+		CrashEvery: 1500 * time.Millisecond,
+		CheckEvery: 100 * time.Millisecond,
+		CommitGap:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes == 0 {
+		t.Fatal("no crashes injected")
+	}
+	if res.LostCommits != 0 {
+		t.Fatalf("%d commits lost — redelivery failed", res.LostCommits)
+	}
+	if res.Steady.N == 0 || res.Crashed.N == 0 {
+		t.Fatalf("sample counts: steady %d, crashed %d", res.Steady.N, res.Crashed.N)
+	}
+	// Crash-window commits are slower, but repair keeps the penalty small
+	// (the paper sees < 1 s with 1 s checks; scale: < ~10x the check
+	// period). The crashed sample is small and wall-clock noise under
+	// parallel test load can inflate the steady median, so the robust
+	// check is that the worst crash-window commit clearly exceeds typical
+	// steady commits.
+	if res.Crashed.Max <= res.Steady.Median {
+		t.Fatalf("crash commits indistinguishable: crashed max %.4f vs steady median %.4f",
+			res.Crashed.Max, res.Steady.Median)
+	}
+	if res.Crashed.Max > 3.0 {
+		t.Fatalf("crash recovery took %.2f s — far above the respawn budget", res.Crashed.Max)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	for _, tt := range []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.00 KB"},
+		{3 << 20, "3.00 MB"},
+		{5 << 30, "5.00 GB"},
+	} {
+		if got := humanBytes(tt.n); got != tt.want {
+			t.Fatalf("humanBytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,526 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"stacksync/internal/bench/providers"
+	"stacksync/internal/metrics"
+	"stacksync/internal/trace"
+)
+
+// Fig7a: CDF of the generated trace's file sizes.
+
+// Fig7aResult carries the CDF series the figure plots.
+type Fig7aResult struct {
+	Trace  *trace.Trace       `json:"-"`
+	Points []metrics.CDFPoint `json:"points"`
+}
+
+// RunFig7a generates the §5.2.1 trace and its file-size CDF.
+func RunFig7a(cfg trace.GenConfig) *Fig7aResult {
+	tr := trace.Generate(cfg)
+	probes := []float64{
+		4 << 10, 16 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10,
+		1 << 20, 2 << 20, 4 << 20, 8 << 20,
+	}
+	return &Fig7aResult{Trace: tr, Points: metrics.CDF(tr.FileSizes(), probes)}
+}
+
+// Print writes the series as the figure's rows.
+func (r *Fig7aResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig 7(a) — CDF of file size (%s)\n", r.Trace.Summary())
+	fmt.Fprintf(w, "%12s %10s\n", "size", "P(X<=x)")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%12s %10.3f\n", humanBytes(int64(p.Value)), p.Fraction)
+	}
+}
+
+// ProviderRow is one bar of Fig. 7(b) (and a row of 7c/7d).
+type ProviderRow struct {
+	Provider     string  `json:"provider"`
+	ControlBytes uint64  `json:"controlBytes"`
+	StorageBytes uint64  `json:"storageBytes"`
+	TotalBytes   uint64  `json:"totalBytes"`
+	Overhead     float64 `json:"overhead"` // total / benchmark volume
+}
+
+// Fig7bResult compares protocol overhead across providers.
+type Fig7bResult struct {
+	BenchmarkBytes int64         `json:"benchmarkBytes"`
+	Rows           []ProviderRow `json:"rows"`
+}
+
+// RunFig7b replays the trace through the real StackSync stack (metered) and
+// through each provider model, reporting total traffic over the benchmark
+// volume — the §5.2.2 overhead metric.
+func RunFig7b(tr *trace.Trace) (*Fig7bResult, error) {
+	res := &Fig7bResult{BenchmarkBytes: tr.AddVolume}
+
+	stackRow, err := stackSyncRow(tr, 1)
+	if err != nil {
+		return nil, err
+	}
+	stackRow.Overhead = float64(stackRow.TotalBytes) / float64(tr.AddVolume)
+	res.Rows = append(res.Rows, *stackRow)
+
+	for _, m := range providers.All() {
+		row := modelRow(m, tr)
+		row.Overhead = float64(row.TotalBytes) / float64(tr.AddVolume)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// stackSyncRow measures the real implementation.
+func stackSyncRow(tr *trace.Trace, batch int) (*ProviderRow, error) {
+	st, err := NewStack(StackOptions{Devices: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	rr, err := ReplayTraceBatched(st, tr, batch)
+	if err != nil {
+		return nil, err
+	}
+	return &ProviderRow{
+		Provider:     "StackSync",
+		ControlBytes: rr.ControlBytes,
+		StorageBytes: rr.StorageBytes,
+		TotalBytes:   rr.TotalBytes(),
+	}, nil
+}
+
+// modelRow replays the trace through a provider model.
+func modelRow(m *providers.Model, tr *trace.Trace) ProviderRow {
+	mat := trace.NewMaterializer(1)
+	var total providers.Traffic
+	for _, op := range tr.Ops {
+		content, err := mat.Apply(op)
+		if err != nil {
+			continue
+		}
+		switch op.Action {
+		case trace.ADD:
+			total.Add(m.ApplyAdd(op.Path, content))
+		case trace.UPDATE:
+			total.Add(m.ApplyUpdate(op.Path, content, op.ChangeBytes))
+		case trace.REMOVE:
+			total.Add(m.ApplyRemove(op.Path))
+		}
+	}
+	return ProviderRow{
+		Provider:     m.Name,
+		ControlBytes: uint64(total.Control),
+		StorageBytes: uint64(total.Storage),
+		TotalBytes:   uint64(total.Total()),
+	}
+}
+
+// Print writes the comparison table.
+func (r *Fig7bResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig 7(b) — protocol overhead (benchmark volume %s)\n", humanBytes(r.BenchmarkBytes))
+	fmt.Fprintf(w, "%-18s %12s %12s %12s %9s\n", "provider", "control", "storage", "total", "overhead")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s %12s %12s %12s %8.3fx\n",
+			row.Provider, humanBytes(int64(row.ControlBytes)),
+			humanBytes(int64(row.StorageBytes)), humanBytes(int64(row.TotalBytes)), row.Overhead)
+	}
+}
+
+// Fig7cdResult holds per-action control (7c) and storage (7d) traffic for
+// StackSync (measured) and Dropbox (modelled).
+type Fig7cdResult struct {
+	Actions []string `json:"actions"` // ADD, UPDATE, REMOVE
+	// [action] -> bytes
+	StackSyncControl map[string]uint64 `json:"stacksyncControl"`
+	StackSyncStorage map[string]uint64 `json:"stacksyncStorage"`
+	DropboxControl   map[string]uint64 `json:"dropboxControl"`
+	DropboxStorage   map[string]uint64 `json:"dropboxStorage"`
+	// ModifiedBytes is the data actually touched by UPDATEs, for the §5.2.2
+	// observation that both systems move far more than was modified.
+	ModifiedBytes int64 `json:"modifiedBytes"`
+}
+
+// RunFig7cd runs the per-action-type variant: the trace is split into three
+// single-action traces (each prefixed by its dependency ADDs, whose traffic
+// is excluded from the measurement).
+func RunFig7cd(tr *trace.Trace) (*Fig7cdResult, error) {
+	res := &Fig7cdResult{
+		Actions:          []string{"ADD", "UPDATE", "REMOVE"},
+		StackSyncControl: map[string]uint64{},
+		StackSyncStorage: map[string]uint64{},
+		DropboxControl:   map[string]uint64{},
+		DropboxStorage:   map[string]uint64{},
+		ModifiedBytes:    tr.UpdateVolume,
+	}
+	for _, action := range []trace.Action{trace.ADD, trace.UPDATE, trace.REMOVE} {
+		split := tr.ByAction(action, true)
+		st, err := NewStack(StackOptions{Devices: 1})
+		if err != nil {
+			return nil, err
+		}
+		// Replay the dependency prefix first, then reset meters so only the
+		// action under test is measured. One materializer spans both phases
+		// so UPDATEs and REMOVEs see the files the prefix created.
+		prefix, actions := splitPrefix(split, action)
+		mat := trace.NewMaterializer(1)
+		if _, err := ReplayTraceInto(st, prefix, mat); err != nil {
+			st.Close()
+			return nil, err
+		}
+		st.ResetTraffic()
+		rr, err := ReplayTraceInto(st, actions, mat)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		st.Close()
+		name := action.String()
+		res.StackSyncControl[name] = rr.ControlBytes
+		res.StackSyncStorage[name] = rr.StorageBytes
+
+		// Dropbox model over the same split.
+		m := providers.Dropbox()
+		dbMat := trace.NewMaterializer(1)
+		var measured providers.Traffic
+		for _, op := range split.Ops {
+			content, err := dbMat.Apply(op)
+			if err != nil {
+				continue
+			}
+			var t providers.Traffic
+			switch op.Action {
+			case trace.ADD:
+				t = m.ApplyAdd(op.Path, content)
+			case trace.UPDATE:
+				t = m.ApplyUpdate(op.Path, content, op.ChangeBytes)
+			case trace.REMOVE:
+				t = m.ApplyRemove(op.Path)
+			}
+			if op.Action == action {
+				measured.Add(t)
+			}
+		}
+		res.DropboxControl[name] = uint64(measured.Control)
+		res.DropboxStorage[name] = uint64(measured.Storage)
+	}
+	return res, nil
+}
+
+// splitPrefix separates a ByAction trace into its dependency-ADD prefix and
+// the measured action ops.
+func splitPrefix(split *trace.Trace, action trace.Action) (prefix, actions *trace.Trace) {
+	prefix = &trace.Trace{}
+	actions = &trace.Trace{}
+	for _, op := range split.Ops {
+		if op.Action == action {
+			appendOp(actions, op)
+		} else {
+			appendOp(prefix, op)
+		}
+	}
+	return prefix, actions
+}
+
+func appendOp(t *trace.Trace, op trace.Op) {
+	// Re-sequence into the destination trace.
+	op.Seq = len(t.Ops)
+	t.Ops = append(t.Ops, op)
+	switch op.Action {
+	case trace.ADD:
+		t.Adds++
+		t.AddVolume += op.Size
+	case trace.UPDATE:
+		t.Updates++
+		t.UpdateVolume += op.ChangeBytes
+	case trace.REMOVE:
+		t.Removes++
+	}
+}
+
+// Print writes both panels.
+func (r *Fig7cdResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Fig 7(c) — control traffic per action type\n")
+	fmt.Fprintf(w, "%-8s %14s %14s\n", "action", "StackSync", "Dropbox")
+	for _, a := range r.Actions {
+		fmt.Fprintf(w, "%-8s %14s %14s\n", a,
+			humanBytes(int64(r.StackSyncControl[a])), humanBytes(int64(r.DropboxControl[a])))
+	}
+	fmt.Fprintf(w, "Fig 7(d) — storage traffic per action type (modified data: %s)\n",
+		humanBytes(r.ModifiedBytes))
+	fmt.Fprintf(w, "%-8s %14s %14s\n", "action", "StackSync", "Dropbox")
+	for _, a := range r.Actions {
+		fmt.Fprintf(w, "%-8s %14s %14s\n", a,
+			humanBytes(int64(r.StackSyncStorage[a])), humanBytes(int64(r.DropboxStorage[a])))
+	}
+}
+
+// Table2Row is one row of the bundling table.
+type Table2Row struct {
+	Provider     string `json:"provider"`
+	BatchSize    int    `json:"batchSize"`
+	ControlBytes uint64 `json:"controlBytes"`
+	StorageBytes uint64 `json:"storageBytes"`
+	TotalBytes   uint64 `json:"totalBytes"`
+}
+
+// Table2Result is the file-bundling experiment.
+type Table2Result struct {
+	Rows []Table2Row `json:"rows"`
+}
+
+// RunTable2 replays the trace with batch sizes {5,10,20,40} for Dropbox
+// (modelled bundling) and StackSync (real bundled commitRequests).
+func RunTable2(tr *trace.Trace) (*Table2Result, error) {
+	res := &Table2Result{}
+	batches := []int{5, 10, 20, 40}
+
+	for _, batch := range batches {
+		m := providers.Dropbox()
+		mat := trace.NewMaterializer(1)
+		var storage int64
+		var control int64
+		n := 0
+		for _, op := range tr.Ops {
+			content, err := mat.Apply(op)
+			if err != nil {
+				continue
+			}
+			var t providers.Traffic
+			switch op.Action {
+			case trace.ADD:
+				t = m.ApplyAdd(op.Path, content)
+			case trace.UPDATE:
+				t = m.ApplyUpdate(op.Path, content, op.ChangeBytes)
+			case trace.REMOVE:
+				t = m.ApplyRemove(op.Path)
+			}
+			storage += t.Storage
+			n++
+			if n == batch {
+				control += m.BatchControl(n)
+				n = 0
+			}
+		}
+		if n > 0 {
+			control += m.BatchControl(n)
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Provider: "Dropbox", BatchSize: batch,
+			ControlBytes: uint64(control), StorageBytes: uint64(storage),
+			TotalBytes: uint64(control + storage),
+		})
+	}
+
+	for _, batch := range batches {
+		row, err := stackSyncRow(tr, batch)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Provider: "StackSync", BatchSize: batch,
+			ControlBytes: row.ControlBytes, StorageBytes: row.StorageBytes,
+			TotalBytes: row.TotalBytes,
+		})
+	}
+	return res, nil
+}
+
+// Print writes the table.
+func (r *Table2Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 2 — effect of file bundling")
+	fmt.Fprintf(w, "%-10s %6s %12s %12s %12s\n", "provider", "batch", "control", "storage", "total")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %6d %12s %12s %12s\n",
+			row.Provider, row.BatchSize, humanBytes(int64(row.ControlBytes)),
+			humanBytes(int64(row.StorageBytes)), humanBytes(int64(row.TotalBytes)))
+	}
+}
+
+// Fig7eResult holds sync-time distributions per action type with 6 devices.
+type Fig7eResult struct {
+	// Boxplots per action, in seconds.
+	Boxplots map[string]metrics.Boxplot `json:"boxplots"`
+	Skewness map[string]float64         `json:"skewness"`
+}
+
+// RunFig7e measures the time to bring 6 devices in sync per action type
+// (§5.2.3): the elapsed time from the writing device's operation until the
+// other five hold the new state, over a simulated-latency Storage back-end.
+// Like the paper's test, each action type is exercised the same number of
+// times: every generated file is added, then updated with a sampled change
+// pattern, then removed.
+func RunFig7e(ops, seed int64) (*Fig7eResult, error) {
+	st, err := NewStack(StackOptions{
+		Devices:          6,
+		StorageLatency:   2 * time.Millisecond,
+		StorageBandwidth: 200e6, // 200 MB/s cluster-local
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	// A balanced synthetic op list: ops/3 files, each ADDed, UPDATEd and
+	// REMOVEd, with sizes and change patterns from the §5.2.1 distributions.
+	perAction := int(ops) / 3
+	if perAction < 1 {
+		perAction = 1
+	}
+	mat := trace.NewMaterializer(seed)
+	gen := trace.Generate(trace.GenConfig{Seed: seed, Snapshots: 60, BirthMean: 6})
+	var opList []trace.Op
+	sized := 0
+	for _, op := range gen.Ops {
+		if op.Action != trace.ADD || sized >= perAction {
+			continue
+		}
+		sized++
+		path := fmt.Sprintf("e/f%03d.dat", sized)
+		opList = append(opList,
+			trace.Op{Action: trace.ADD, Path: path, Size: op.Size},
+			trace.Op{Action: trace.UPDATE, Path: path, Pattern: trace.PatternB, ChangeBytes: 200},
+			trace.Op{Action: trace.REMOVE, Path: path},
+		)
+	}
+
+	writer := st.Client(0)
+	versions := make(map[string]uint64)
+	recorders := map[string]*metrics.Recorder{
+		"ADD": metrics.NewRecorder(), "UPDATE": metrics.NewRecorder(), "REMOVE": metrics.NewRecorder(),
+	}
+	for _, op := range opList {
+		content, err := mat.Apply(op)
+		if err != nil {
+			return nil, err
+		}
+		versions[op.Path]++
+		start := time.Now()
+		switch op.Action {
+		case trace.ADD, trace.UPDATE:
+			if err := writer.PutFile(op.Path, content); err != nil {
+				return nil, err
+			}
+			for d := 1; d < st.Devices(); d++ {
+				if err := st.Client(d).WaitForVersion(op.Path, versions[op.Path], replayTimeout); err != nil {
+					return nil, err
+				}
+			}
+		case trace.REMOVE:
+			if err := writer.RemoveFile(op.Path); err != nil {
+				return nil, err
+			}
+			for d := 1; d < st.Devices(); d++ {
+				if err := st.Client(d).WaitForGone(op.Path, replayTimeout); err != nil {
+					return nil, err
+				}
+			}
+		}
+		recorders[op.Action.String()].Observe(time.Since(start))
+	}
+	res := &Fig7eResult{
+		Boxplots: map[string]metrics.Boxplot{},
+		Skewness: map[string]float64{},
+	}
+	for name, rec := range recorders {
+		res.Boxplots[name] = rec.Boxplot()
+		res.Skewness[name] = metrics.Skewness(rec.Samples())
+	}
+	return res, nil
+}
+
+// Print writes the boxplot summaries.
+func (r *Fig7eResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 7(e) — synchronization time per action (6 devices), seconds")
+	fmt.Fprintf(w, "%-8s %5s %8s %8s %8s %8s %8s %9s\n", "action", "n", "min", "q1", "median", "q3", "max", "skewness")
+	for _, a := range []string{"ADD", "UPDATE", "REMOVE"} {
+		b := r.Boxplots[a]
+		fmt.Fprintf(w, "%-8s %5d %8.3f %8.3f %8.3f %8.3f %8.3f %9.2f\n",
+			a, b.N, b.Min, b.Q1, b.Median, b.Q3, b.Max, r.Skewness[a])
+	}
+}
+
+// Fig7fPoint is one point of the size sweep.
+type Fig7fPoint struct {
+	SizeBytes int64   `json:"sizeBytes"`
+	MeanSec   float64 `json:"meanSec"`
+	P95Sec    float64 `json:"p95Sec"`
+}
+
+// Fig7fResult is the sync-time-vs-file-size series.
+type Fig7fResult struct {
+	Points []Fig7fPoint `json:"points"`
+}
+
+// RunFig7f measures ADD sync time as a function of file size: linear growth
+// once transfer time dominates the fixed protocol cost (§5.2.3).
+func RunFig7f(reps int) (*Fig7fResult, error) {
+	st, err := NewStack(StackOptions{
+		Devices:          6,
+		StorageLatency:   2 * time.Millisecond,
+		StorageBandwidth: 40e6, // slower link so size effects dominate
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	writer := st.Client(0)
+	mat := trace.NewMaterializer(99)
+
+	sizes := []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20}
+	res := &Fig7fResult{}
+	seq := 0
+	for _, size := range sizes {
+		rec := metrics.NewRecorder()
+		for rep := 0; rep < reps; rep++ {
+			path := fmt.Sprintf("sweep/f-%d-%d.bin", size, seq)
+			seq++
+			content, err := mat.Apply(trace.Op{Action: trace.ADD, Path: path, Size: size})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := writer.PutFile(path, content); err != nil {
+				return nil, err
+			}
+			for d := 1; d < st.Devices(); d++ {
+				if err := st.Client(d).WaitForVersion(path, 1, replayTimeout); err != nil {
+					return nil, err
+				}
+			}
+			rec.Observe(time.Since(start))
+		}
+		res.Points = append(res.Points, Fig7fPoint{
+			SizeBytes: size,
+			MeanSec:   rec.Mean(),
+			P95Sec:    rec.Percentile(0.95),
+		})
+	}
+	return res, nil
+}
+
+// Print writes the series.
+func (r *Fig7fResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 7(f) — synchronization time vs file size (6 devices), seconds")
+	fmt.Fprintf(w, "%12s %10s %10s\n", "size", "mean", "p95")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%12s %10.3f %10.3f\n", humanBytes(p.SizeBytes), p.MeanSec, p.P95Sec)
+	}
+}
+
+// humanBytes renders a byte count with a binary-ish unit, matching how the
+// paper reports volumes (MB).
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

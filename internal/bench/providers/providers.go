@@ -1,0 +1,192 @@
+// Package providers models the transfer behaviour of the commercial
+// Personal Cloud clients the paper benchmarks against (Table 1): Dropbox,
+// Box, Microsoft OneDrive, Google Drive and Amazon Cloud Drive.
+//
+// The real clients are closed binaries the paper measured over the network;
+// here each is a protocol model re-implementing the behaviours that the
+// measurement literature ([1] Drago IMC'12, [4] Drago IMC'13, [16] Liu
+// CCGRID'13) attributes to them — librsync delta encoding and file bundling
+// for Dropbox, full-file re-upload for the rest, and their characteristic
+// per-operation control chatter. StackSync itself is NOT modelled: its
+// traffic is measured from the real implementation (see internal/bench).
+// Calibration constants are chosen so the published Fig. 7(b–d)/Table 2
+// shapes reproduce; see EXPERIMENTS.md for the paper-vs-measured table.
+package providers
+
+import (
+	"stacksync/internal/chunker"
+)
+
+// Traffic accumulates a model's transfer volumes in bytes.
+type Traffic struct {
+	Control int64 `json:"control"`
+	Storage int64 `json:"storage"`
+}
+
+// Total returns control + storage bytes.
+func (t Traffic) Total() int64 { return t.Control + t.Storage }
+
+// Add accumulates another delta.
+func (t *Traffic) Add(d Traffic) {
+	t.Control += d.Control
+	t.Storage += d.Storage
+}
+
+// Model simulates one provider's sync client. Implementations are
+// deterministic functions from operations to traffic.
+type Model struct {
+	// Name of the provider, as in Table 1.
+	Name string
+
+	// ControlAdd/Update/Remove are the control bytes exchanged per
+	// operation when operations commit one at a time (the Fig. 7b setup).
+	ControlAdd    int64
+	ControlUpdate int64
+	ControlRemove int64
+	// ControlPerBatch replaces the per-op control cost for all operations
+	// sharing a bundle when bundling is enabled (Table 2); each additional
+	// operation in a batch adds ControlPerBatchItem.
+	ControlPerBatch     int64
+	ControlPerBatchItem int64
+
+	// StorageFactor scales payload bytes to model protocol framing, block
+	// padding and retransmission overhead (>1 means overhead).
+	StorageFactor float64
+	// Compresses applies gzip to payloads before counting them.
+	Compresses bool
+	// DeltaEncoding transfers only the changed bytes of an update
+	// (librsync-style), paying DeltaSignatureBytes per whole-file pass for
+	// block signatures.
+	DeltaEncoding       bool
+	DeltaSignatureBytes int64
+
+	state map[string]int64 // path -> last synced size
+}
+
+// Dropbox reproduces the paper's measured behaviour: the heaviest control
+// chatter of all providers (~25 MB over 940 ADDs ≈ 27 KB/op), storage
+// traffic ~23% above the raw data volume (4 MB-block padding and framing,
+// [1]), but delta encoding that beats chunk-based transfer on UPDATEs, and
+// file bundling that amortizes control cost across batched operations.
+func Dropbox() *Model {
+	return &Model{
+		Name:                "Dropbox",
+		ControlAdd:          27_000,
+		ControlUpdate:       14_000,
+		ControlRemove:       9_000,
+		ControlPerBatch:     34_000,
+		ControlPerBatchItem: 1_500,
+		StorageFactor:       1.23,
+		Compresses:          false,
+		DeltaEncoding:       true,
+		DeltaSignatureBytes: 12_000,
+	}
+}
+
+// Box models the Box Sync client: full-file upload, WebDAV-ish chatter.
+func Box() *Model {
+	return &Model{
+		Name:          "Box",
+		ControlAdd:    9_000,
+		ControlUpdate: 9_000,
+		ControlRemove: 4_000,
+		StorageFactor: 1.08,
+	}
+}
+
+// OneDrive models the Microsoft OneDrive client.
+func OneDrive() *Model {
+	return &Model{
+		Name:          "OneDrive",
+		ControlAdd:    12_000,
+		ControlUpdate: 12_000,
+		ControlRemove: 5_000,
+		StorageFactor: 1.10,
+	}
+}
+
+// GoogleDrive models the Google Drive client (compresses uploads).
+func GoogleDrive() *Model {
+	return &Model{
+		Name:          "GoogleDrive",
+		ControlAdd:    10_000,
+		ControlUpdate: 10_000,
+		ControlRemove: 4_500,
+		StorageFactor: 1.06,
+		Compresses:    true,
+	}
+}
+
+// AmazonCloudDrive models the Amazon Cloud Drive client.
+func AmazonCloudDrive() *Model {
+	return &Model{
+		Name:          "AmazonCloudDrive",
+		ControlAdd:    11_000,
+		ControlUpdate: 11_000,
+		ControlRemove: 5_000,
+		StorageFactor: 1.12,
+	}
+}
+
+// All returns the five commercial comparators of Fig. 7(b).
+func All() []*Model {
+	return []*Model{Dropbox(), Box(), OneDrive(), GoogleDrive(), AmazonCloudDrive()}
+}
+
+func (m *Model) ensureState() {
+	if m.state == nil {
+		m.state = make(map[string]int64)
+	}
+}
+
+func (m *Model) payload(content []byte) int64 {
+	n := int64(len(content))
+	if m.Compresses {
+		if enc, err := chunker.Compress(content, chunker.Gzip); err == nil {
+			n = int64(len(enc))
+		}
+	}
+	return int64(float64(n) * m.StorageFactor)
+}
+
+// ApplyAdd models uploading a new file.
+func (m *Model) ApplyAdd(path string, content []byte) Traffic {
+	m.ensureState()
+	m.state[path] = int64(len(content))
+	return Traffic{Control: m.ControlAdd, Storage: m.payload(content)}
+}
+
+// ApplyUpdate models transferring a modification. changed is the number of
+// bytes the edit touched; content is the file after the edit.
+func (m *Model) ApplyUpdate(path string, content []byte, changed int64) Traffic {
+	m.ensureState()
+	m.state[path] = int64(len(content))
+	if m.DeltaEncoding {
+		// librsync: block signatures travel, then only the changed bytes
+		// (plus factor overhead).
+		delta := int64(float64(changed) * m.StorageFactor * 4) // matching windows expand the literal region
+		return Traffic{Control: m.ControlUpdate, Storage: m.DeltaSignatureBytes + delta}
+	}
+	// Full-file re-upload.
+	return Traffic{Control: m.ControlUpdate, Storage: m.payload(content)}
+}
+
+// ApplyRemove models a deletion (metadata only).
+func (m *Model) ApplyRemove(path string) Traffic {
+	m.ensureState()
+	delete(m.state, path)
+	return Traffic{Control: m.ControlRemove}
+}
+
+// BatchControl returns the control bytes of a bundle of n operations when
+// the provider supports bundling; providers without bundling pay their
+// per-op costs (approximated with ControlAdd).
+func (m *Model) BatchControl(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if m.ControlPerBatch > 0 {
+		return m.ControlPerBatch + int64(n-1)*m.ControlPerBatchItem
+	}
+	return int64(n) * m.ControlAdd
+}

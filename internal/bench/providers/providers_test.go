@@ -1,0 +1,127 @@
+package providers
+
+import (
+	"bytes"
+	"testing"
+)
+
+func payload(n int) []byte {
+	return bytes.Repeat([]byte("stacksync middleware "), n/21+1)[:n]
+}
+
+func TestAllProvidersListed(t *testing.T) {
+	models := All()
+	if len(models) != 5 {
+		t.Fatalf("providers = %d, want 5 (Table 1 minus StackSync)", len(models))
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if m.Name == "" || seen[m.Name] {
+			t.Fatalf("bad or duplicate provider name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}
+
+func TestAddTrafficScalesWithContent(t *testing.T) {
+	for _, m := range All() {
+		small := m.ApplyAdd("a", payload(10_000))
+		big := m.ApplyAdd("b", payload(1_000_000))
+		if big.Storage <= small.Storage {
+			t.Fatalf("%s: storage does not scale with size", m.Name)
+		}
+		if small.Control != m.ControlAdd {
+			t.Fatalf("%s: add control = %d", m.Name, small.Control)
+		}
+	}
+}
+
+func TestDropboxDeltaEncodingBeatsFullUpload(t *testing.T) {
+	db := Dropbox()
+	box := Box()
+	content := payload(2_000_000)
+	db.ApplyAdd("f", content)
+	box.ApplyAdd("f", content)
+	const changed = 300
+	dbT := db.ApplyUpdate("f", content, changed)
+	boxT := box.ApplyUpdate("f", content, changed)
+	if dbT.Storage >= boxT.Storage {
+		t.Fatalf("delta encoding (%d) not below full upload (%d)", dbT.Storage, boxT.Storage)
+	}
+	// Delta transfer still exceeds the bytes actually changed (signatures).
+	if dbT.Storage <= changed {
+		t.Fatalf("delta transfer %d implausibly small", dbT.Storage)
+	}
+}
+
+func TestDropboxHasHighestControlChatter(t *testing.T) {
+	db := Dropbox()
+	for _, m := range All() {
+		if m.Name == "Dropbox" {
+			continue
+		}
+		if m.ControlAdd >= db.ControlAdd {
+			t.Fatalf("%s control per ADD (%d) >= Dropbox (%d)", m.Name, m.ControlAdd, db.ControlAdd)
+		}
+	}
+}
+
+func TestRemoveIsMetadataOnly(t *testing.T) {
+	for _, m := range All() {
+		m.ApplyAdd("f", payload(1000))
+		tr := m.ApplyRemove("f")
+		if tr.Storage != 0 {
+			t.Fatalf("%s: remove moved %d storage bytes", m.Name, tr.Storage)
+		}
+		if tr.Control <= 0 {
+			t.Fatalf("%s: remove control = %d", m.Name, tr.Control)
+		}
+	}
+}
+
+func TestCompressingProviderCountsLess(t *testing.T) {
+	gd := GoogleDrive()
+	box := Box()
+	// Highly compressible content.
+	content := bytes.Repeat([]byte("aaaa"), 250_000)
+	gdT := gd.ApplyAdd("f", content)
+	boxT := box.ApplyAdd("f", content)
+	if gdT.Storage >= boxT.Storage {
+		t.Fatalf("compressing provider (%d) not below plain (%d)", gdT.Storage, boxT.Storage)
+	}
+}
+
+func TestBatchControlAmortizes(t *testing.T) {
+	db := Dropbox()
+	perOp := db.BatchControl(1)
+	bundled := db.BatchControl(40)
+	if bundled >= 40*perOp {
+		t.Fatalf("bundling does not amortize: 40 ops cost %d vs 40x%d", bundled, perOp)
+	}
+	// Monotone in n.
+	prev := int64(0)
+	for n := 1; n <= 40; n++ {
+		c := db.BatchControl(n)
+		if c < prev {
+			t.Fatalf("batch control decreased at n=%d", n)
+		}
+		prev = c
+	}
+	if db.BatchControl(0) != 0 {
+		t.Fatal("zero batch should cost nothing")
+	}
+	// A provider without bundling pays linearly.
+	box := Box()
+	if box.BatchControl(10) != 10*box.ControlAdd {
+		t.Fatalf("non-bundling batch control = %d", box.BatchControl(10))
+	}
+}
+
+func TestTrafficAccumulate(t *testing.T) {
+	var tr Traffic
+	tr.Add(Traffic{Control: 10, Storage: 100})
+	tr.Add(Traffic{Control: 5, Storage: 50})
+	if tr.Control != 15 || tr.Storage != 150 || tr.Total() != 165 {
+		t.Fatalf("accumulated: %+v", tr)
+	}
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"stacksync/internal/client"
+	"stacksync/internal/trace"
+)
+
+// replayTimeout bounds how long the replayer waits for one commit to land.
+const replayTimeout = 30 * time.Second
+
+// ReplayResult aggregates the traffic a trace replay generated at the
+// writing device.
+type ReplayResult struct {
+	Ops          int           `json:"ops"`
+	ControlBytes uint64        `json:"controlBytes"`
+	StorageBytes uint64        `json:"storageBytes"`
+	Elapsed      time.Duration `json:"elapsed"`
+}
+
+// TotalBytes is control + storage.
+func (r ReplayResult) TotalBytes() uint64 { return r.ControlBytes + r.StorageBytes }
+
+// Overhead computes the Fig. 7(b) metric: total traffic over the benchmark
+// data volume.
+func (r ReplayResult) Overhead(benchmarkBytes int64) float64 {
+	if benchmarkBytes <= 0 {
+		return 0
+	}
+	return float64(r.TotalBytes()) / float64(benchmarkBytes)
+}
+
+// ReplayTrace replays tr on device 0 of st, one operation at a time: "the
+// next operation did not start until the current one was successfully
+// committed" (§5.2.2). It returns the device's traffic deltas.
+func ReplayTrace(st *Stack, tr *trace.Trace) (*ReplayResult, error) {
+	return replay(st, tr, 1, nil)
+}
+
+// ReplayTraceBatched replays tr committing `batch` operations per
+// commitRequest — the file-bundling variant of Table 2.
+func ReplayTraceBatched(st *Stack, tr *trace.Trace, batch int) (*ReplayResult, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	return replay(st, tr, batch, nil)
+}
+
+// ReplayTraceInto replays tr reusing an existing materializer, so a trace
+// can be replayed in phases (dependency prefix, then measured ops) against
+// one content state.
+func ReplayTraceInto(st *Stack, tr *trace.Trace, mat *trace.Materializer) (*ReplayResult, error) {
+	return replay(st, tr, 1, mat)
+}
+
+func replay(st *Stack, tr *trace.Trace, batch int, mat *trace.Materializer) (*ReplayResult, error) {
+	writer := st.Client(0)
+	if mat == nil {
+		mat = trace.NewMaterializer(1)
+	}
+	// expectations records, per queued op, the condition confirming its
+	// commit: the path reaching a version strictly above what the client
+	// held when the op was issued, or the path disappearing for deletes.
+	type expectation struct {
+		path    string
+		version uint64 // 0 means "wait for deletion"
+	}
+
+	ctrlBefore := st.ControlTraffic(0)
+	storBefore := st.StorageTraffic(0)
+	start := time.Now()
+
+	pending := make([]client.Change, 0, batch)
+	var waits []expectation
+
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if batch == 1 {
+			ch := pending[0]
+			var err error
+			if ch.Delete {
+				err = writer.RemoveFile(ch.Path)
+			} else {
+				err = writer.PutFile(ch.Path, ch.Content)
+			}
+			if err != nil {
+				return err
+			}
+		} else {
+			if err := writer.PutBatch(pending); err != nil {
+				return err
+			}
+		}
+		for _, w := range waits {
+			if w.version == 0 {
+				if err := writer.WaitForGone(w.path, replayTimeout); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := writer.WaitForVersion(w.path, w.version, replayTimeout); err != nil {
+				return err
+			}
+		}
+		pending = pending[:0]
+		waits = waits[:0]
+		return nil
+	}
+
+	inFlight := make(map[string]bool)
+	for _, op := range tr.Ops {
+		// Two operations on the same path must not share a bundle: the
+		// second would propose against a not-yet-committed version.
+		if inFlight[op.Path] {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			for p := range inFlight {
+				delete(inFlight, p)
+			}
+		}
+		content, err := mat.Apply(op)
+		if err != nil {
+			return nil, fmt.Errorf("bench: materialize op %d: %w", op.Seq, err)
+		}
+		switch op.Action {
+		case trace.ADD, trace.UPDATE:
+			base, _ := writer.Version(op.Path) // 0 when absent or deleted
+			pending = append(pending, client.Change{Path: op.Path, Content: content})
+			waits = append(waits, expectation{path: op.Path, version: base + 1})
+		case trace.REMOVE:
+			pending = append(pending, client.Change{Path: op.Path, Delete: true})
+			waits = append(waits, expectation{path: op.Path})
+		}
+		inFlight[op.Path] = true
+		if len(pending) >= batch {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			for p := range inFlight {
+				delete(inFlight, p)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
+	ctrlAfter := st.ControlTraffic(0)
+	storAfter := st.StorageTraffic(0)
+	return &ReplayResult{
+		Ops:          len(tr.Ops),
+		ControlBytes: ctrlAfter.Total() - ctrlBefore.Total(),
+		StorageBytes: storAfter.Total() - storBefore.Total(),
+		Elapsed:      time.Since(start),
+	}, nil
+}

@@ -1,0 +1,201 @@
+// Package bench contains the experiment harness that regenerates every
+// table and figure of the paper's evaluation (§5). Traffic experiments run
+// the REAL StackSync stack in-process with metered transports; provider
+// comparisons use the models in bench/providers; auto-scaling experiments
+// replay the synthetic UB1 trace through the real provisioning policies over
+// a discrete-event G/G/η simulation.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"stacksync/internal/chunker"
+	"stacksync/internal/client"
+	"stacksync/internal/clock"
+	"stacksync/internal/core"
+	"stacksync/internal/metastore"
+	"stacksync/internal/mq"
+	"stacksync/internal/objstore"
+	"stacksync/internal/omq"
+)
+
+// StackOptions configures an in-process deployment.
+type StackOptions struct {
+	// Devices is the number of client devices (>=1). Device 0 is the
+	// writer in replay experiments.
+	Devices int
+	// ServiceInstances is how many SyncService instances share the request
+	// queue (default 1).
+	ServiceInstances int
+	// Chunker used by all clients (default fixed 512 KB).
+	Chunker chunker.Chunker
+	// Compression used by all clients (default gzip).
+	Compression chunker.Compression
+	// StorageLatency and StorageBandwidth (bytes/sec) enable the simulated
+	// Storage back-end latency model of the sync-time experiments; zero
+	// disables it.
+	StorageLatency   time.Duration
+	StorageBandwidth float64
+	// Workspace and user naming.
+	WorkspaceID string
+}
+
+func (o *StackOptions) applyDefaults() {
+	if o.Devices <= 0 {
+		o.Devices = 1
+	}
+	if o.ServiceInstances <= 0 {
+		o.ServiceInstances = 1
+	}
+	if o.Chunker == nil {
+		o.Chunker = chunker.NewFixed()
+	}
+	if o.Compression == 0 {
+		o.Compression = chunker.Gzip
+	}
+	if o.WorkspaceID == "" {
+		o.WorkspaceID = "bench-ws"
+	}
+}
+
+// Stack is a complete in-process StackSync deployment with per-device
+// traffic meters.
+type Stack struct {
+	Opts StackOptions
+
+	MQ   *mq.Broker
+	Meta *metastore.Store
+
+	serverBrokers []*omq.Broker
+	serviceBinds  []*omq.BoundObject
+
+	clients       []*client.Client
+	clientBrokers []*omq.Broker
+	clientMQs     []*mq.MeteredMQ
+	clientStores  []*objstore.Metered
+}
+
+// NewStack deploys broker, metadata store, storage, SyncService instances
+// and the requested devices, all connected and started.
+func NewStack(opts StackOptions) (*Stack, error) {
+	opts.applyDefaults()
+	st := &Stack{
+		Opts: opts,
+		MQ:   mq.NewBroker(),
+		Meta: metastore.NewStore(),
+	}
+	if err := st.Meta.CreateWorkspace(metastore.Workspace{
+		ID: opts.WorkspaceID, Owner: "user-0",
+		Members: memberNames(opts.Devices),
+	}); err != nil {
+		st.Close()
+		return nil, err
+	}
+
+	base := objstore.NewMemory()
+	for i := 0; i < opts.ServiceInstances; i++ {
+		sb, err := omq.NewBroker(st.MQ)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("bench: service broker: %w", err)
+		}
+		st.serverBrokers = append(st.serverBrokers, sb)
+		svc := core.NewService(st.Meta, sb)
+		bind, err := svc.Bind()
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("bench: bind service: %w", err)
+		}
+		st.serviceBinds = append(st.serviceBinds, bind)
+	}
+
+	for i := 0; i < opts.Devices; i++ {
+		mmq := mq.NewMeteredMQ(st.MQ)
+		cb, err := omq.NewBroker(mmq)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("bench: client broker: %w", err)
+		}
+		var deviceStore objstore.Store = base
+		if opts.StorageLatency > 0 || opts.StorageBandwidth > 0 {
+			deviceStore = objstore.NewSimulated(base, clock.NewReal(), opts.StorageLatency, opts.StorageBandwidth)
+		}
+		metered := objstore.NewMetered(deviceStore)
+		cl, err := client.NewClient(client.Config{
+			UserID:      fmt.Sprintf("user-%d", i),
+			DeviceID:    fmt.Sprintf("dev-%d", i),
+			WorkspaceID: opts.WorkspaceID,
+			Broker:      cb,
+			Storage:     metered,
+			Chunker:     opts.Chunker,
+			Compression: opts.Compression,
+			EventBuffer: 4096,
+		})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		if err := cl.Start(); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("bench: start device %d: %w", i, err)
+		}
+		st.clients = append(st.clients, cl)
+		st.clientBrokers = append(st.clientBrokers, cb)
+		st.clientMQs = append(st.clientMQs, mmq)
+		st.clientStores = append(st.clientStores, metered)
+	}
+	return st, nil
+}
+
+func memberNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("user-%d", i)
+	}
+	return names
+}
+
+// Client returns device i.
+func (st *Stack) Client(i int) *client.Client { return st.clients[i] }
+
+// Devices returns the number of deployed devices.
+func (st *Stack) Devices() int { return len(st.clients) }
+
+// ControlTraffic returns the message-layer traffic of device i.
+func (st *Stack) ControlTraffic(i int) mq.MQTraffic { return st.clientMQs[i].Traffic() }
+
+// StorageTraffic returns the storage-layer traffic of device i.
+func (st *Stack) StorageTraffic(i int) objstore.Traffic { return st.clientStores[i].Traffic() }
+
+// ResetTraffic zeroes every device's meters.
+func (st *Stack) ResetTraffic() {
+	for _, m := range st.clientMQs {
+		m.Reset()
+	}
+	for _, s := range st.clientStores {
+		s.Reset()
+	}
+}
+
+// Close tears the deployment down.
+func (st *Stack) Close() {
+	for _, c := range st.clients {
+		_ = c.Close()
+	}
+	for _, b := range st.clientBrokers {
+		_ = b.Close()
+	}
+	for _, bind := range st.serviceBinds {
+		_ = bind.Unbind()
+	}
+	for _, sb := range st.serverBrokers {
+		_ = sb.Close()
+	}
+	if st.Meta != nil {
+		_ = st.Meta.Close()
+	}
+	if st.MQ != nil {
+		_ = st.MQ.Close()
+	}
+}

@@ -1,0 +1,148 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"stacksync/internal/omq"
+)
+
+func TestPutBatchCommitsAllItemsAtomically(t *testing.T) {
+	r := newRig(t)
+	a := r.newDevice("alice", "dev-a")
+	b := r.newDevice("bob", "dev-b")
+
+	changes := make([]Change, 10)
+	for i := range changes {
+		changes[i] = Change{
+			Path:    fmt.Sprintf("batch/f%02d.txt", i),
+			Content: []byte(fmt.Sprintf("bundled content %d", i)),
+		}
+	}
+	if err := a.PutBatch(changes); err != nil {
+		t.Fatal(err)
+	}
+	for i := range changes {
+		if err := b.WaitForVersion(changes[i].Path, 1, syncWait); err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		got, _ := b.FileContent(changes[i].Path)
+		if !bytes.Equal(got, changes[i].Content) {
+			t.Fatalf("item %d diverged", i)
+		}
+	}
+	// One commitRequest produced all ten items: the metadata store must
+	// show every item at version 1 (no partial commits, no conflicts).
+	state, err := r.meta.State("ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 10 {
+		t.Fatalf("state has %d items", len(state))
+	}
+}
+
+func TestPutBatchMixedPutsAndDeletes(t *testing.T) {
+	r := newRig(t)
+	a := r.newDevice("alice", "dev-a")
+	if err := a.PutFile("old.txt", []byte("to be deleted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("old.txt", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PutBatch([]Change{
+		{Path: "new.txt", Content: []byte("created in batch")},
+		{Path: "old.txt", Delete: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("new.txt", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForGone("old.txt", syncWait); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutBatchDeleteOfMissingFileFails(t *testing.T) {
+	r := newRig(t)
+	a := r.newDevice("alice", "dev-a")
+	err := a.PutBatch([]Change{
+		{Path: "exists.txt", Content: []byte("x")},
+		{Path: "never-was.txt", Delete: true},
+	})
+	if !errors.Is(err, ErrNoFile) {
+		t.Fatalf("batch with bad delete: %v", err)
+	}
+}
+
+func TestPutBatchBeforeStartFails(t *testing.T) {
+	r := newRig(t)
+	b, err := omq.NewBroker(r.mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	c, err := NewClient(Config{
+		UserID: "alice", DeviceID: "d", WorkspaceID: "ws",
+		Broker: b, Storage: r.storage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutBatch([]Change{{Path: "x", Content: []byte("y")}}); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("batch before start: %v", err)
+	}
+}
+
+func TestBatchConflictStillResolvedPerItem(t *testing.T) {
+	// Two devices race batches touching the same path: the loser's item
+	// conflicts while its other items commit, matching Algorithm 1's
+	// per-object processing.
+	r := newRig(t)
+	a := r.newDevice("alice", "dev-a")
+	b := r.newDevice("bob", "dev-b")
+	if err := a.PutFile("contested.txt", []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("contested.txt", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WaitForVersion("contested.txt", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.PutBatch([]Change{
+		{Path: "contested.txt", Content: []byte("from A")},
+		{Path: "a-only.txt", Content: []byte("A's private file")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutBatch([]Change{
+		{Path: "contested.txt", Content: []byte("from B")},
+		{Path: "b-only.txt", Content: []byte("B's private file")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-contested items always land.
+	for _, dev := range []*Client{a, b} {
+		if err := dev.WaitForVersion("a-only.txt", 1, syncWait); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.WaitForVersion("b-only.txt", 1, syncWait); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.WaitForVersion("contested.txt", 2, syncWait); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ca, _ := a.FileContent("contested.txt")
+	cb, _ := b.FileContent("contested.txt")
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("devices diverged on contested path: %q vs %q", ca, cb)
+	}
+}

@@ -1,0 +1,600 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"strings"
+	"sync"
+	"time"
+
+	"stacksync/internal/chunker"
+	"stacksync/internal/core"
+	"stacksync/internal/metastore"
+	"stacksync/internal/objstore"
+	"stacksync/internal/omq"
+)
+
+// EventType classifies client events.
+type EventType int
+
+const (
+	// LocalCommitted: a change made on this device was accepted.
+	LocalCommitted EventType = iota + 1
+	// RemoteApplied: a change from another device was applied locally.
+	RemoteApplied
+	// ConflictResolved: this device lost a race; its content was preserved
+	// as a conflict copy (Dropbox policy, §4.1).
+	ConflictResolved
+)
+
+// Event reports a sync outcome to the embedding application.
+type Event struct {
+	Type EventType
+	// Path of the affected file (for ConflictResolved, the conflict copy).
+	Path    string
+	Version uint64
+	Status  metastore.Status
+}
+
+// Config assembles a Client.
+type Config struct {
+	// UserID authenticates against the SyncService's workspace list.
+	UserID string
+	// DeviceID must be unique per device of the user.
+	DeviceID string
+	// WorkspaceID selects the synced workspace.
+	WorkspaceID string
+	// Broker is this device's ObjectMQ endpoint.
+	Broker *omq.Broker
+	// Storage is the Storage back-end. Chunks live in the workspace's
+	// container, which the client ensures on Start.
+	Storage objstore.Store
+	// Chunker cuts files (default: fixed 512 KB, §4.1).
+	Chunker chunker.Chunker
+	// Compression applied to chunks before upload (default gzip).
+	Compression chunker.Compression
+	// CallTimeout and CallRetries tune @SyncMethod calls (default 1500 ms, 5).
+	CallTimeout time.Duration
+	CallRetries int
+	// EventBuffer caps the Events channel (default 256). When full, the
+	// oldest unread events are dropped.
+	EventBuffer int
+}
+
+// Client is one StackSync device. It is driven programmatically through
+// PutFile/RemoveFile (the benchmark path); DirWatcher in watcher.go layers a
+// real directory on top.
+type Client struct {
+	cfg       Config
+	container string
+	sync      *omq.Proxy
+	handler   *omq.BoundObject
+
+	db     *localDB
+	events chan Event
+
+	mu               sync.Mutex
+	pendingProposals map[pendingKey][]byte
+	started          bool
+	closed           bool
+}
+
+// Errors returned by the client.
+var (
+	ErrNotStarted = errors.New("client: not started")
+	ErrNoFile     = errors.New("client: file not found")
+)
+
+// WorkspaceContainer names the storage container of a workspace. Chunks of a
+// shared workspace live in one container all members can reach; dedup stays
+// scoped to the workspace (never cross-user, per §4.1).
+func WorkspaceContainer(workspaceID string) string { return "ws-" + workspaceID }
+
+// NewClient validates the configuration and prepares a stopped client.
+func NewClient(cfg Config) (*Client, error) {
+	if cfg.UserID == "" || cfg.DeviceID == "" || cfg.WorkspaceID == "" {
+		return nil, errors.New("client: UserID, DeviceID and WorkspaceID are required")
+	}
+	if cfg.Broker == nil || cfg.Storage == nil {
+		return nil, errors.New("client: Broker and Storage are required")
+	}
+	if cfg.Chunker == nil {
+		cfg.Chunker = chunker.NewFixed()
+	}
+	if cfg.Compression == 0 {
+		cfg.Compression = chunker.Gzip
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = omq.DefaultTimeout
+	}
+	if cfg.CallRetries <= 0 {
+		cfg.CallRetries = omq.DefaultRetries
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
+	return &Client{
+		cfg:       cfg,
+		container: WorkspaceContainer(cfg.WorkspaceID),
+		db:        newLocalDB(),
+		events:    make(chan Event, cfg.EventBuffer),
+	}, nil
+}
+
+// Start connects the device: it registers the notification handler for the
+// workspace (so no push is missed), then fetches the workspace state with
+// getChanges — the startup protocol of §4.2.1.
+func (c *Client) Start() error {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return nil
+	}
+	c.started = true
+	c.mu.Unlock()
+
+	if err := c.cfg.Storage.EnsureContainer(c.container); err != nil {
+		return fmt.Errorf("client: ensure container: %w", err)
+	}
+	c.sync = c.cfg.Broker.Lookup(core.ServiceOID,
+		omq.WithTimeout(c.cfg.CallTimeout), omq.WithRetries(c.cfg.CallRetries))
+
+	handler, err := c.cfg.Broker.Bind(core.WorkspaceOID(c.cfg.WorkspaceID), &notificationHandler{c: c})
+	if err != nil {
+		return fmt.Errorf("client: bind notifications: %w", err)
+	}
+	c.handler = handler
+
+	// Bootstrap: bring the local database up to the committed state.
+	var state []metastore.ItemVersion
+	if err := c.sync.Call("GetChanges", &state, c.cfg.WorkspaceID); err != nil {
+		_ = handler.Unbind()
+		return fmt.Errorf("client: getChanges: %w", err)
+	}
+	for _, item := range state {
+		if err := c.applyRemote(item); err != nil {
+			return fmt.Errorf("client: apply startup state: %w", err)
+		}
+	}
+	return nil
+}
+
+// Workspaces lists the workspaces this user can access (getWorkspaces).
+func (c *Client) Workspaces() ([]metastore.Workspace, error) {
+	if c.sync == nil {
+		return nil, ErrNotStarted
+	}
+	var ws []metastore.Workspace
+	if err := c.sync.Call("GetWorkspaces", &ws, c.cfg.UserID); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
+// Events streams sync outcomes. Slow consumers lose oldest events.
+func (c *Client) Events() <-chan Event { return c.events }
+
+func (c *Client) emit(e Event) {
+	select {
+	case c.events <- e:
+	default:
+		// Drop oldest to keep the stream moving.
+		select {
+		case <-c.events:
+		default:
+		}
+		select {
+		case c.events <- e:
+		default:
+		}
+	}
+}
+
+// PutFile indexes new content for path and proposes the commit: the Indexer
+// flow of §4.1 — chunk, dedupe against the local database, upload only fresh
+// chunks, then fire the asynchronous commitRequest.
+func (c *Client) PutFile(filePath string, content []byte) error {
+	if c.sync == nil {
+		return ErrNotStarted
+	}
+	item, err := c.prepareItem(filePath, content)
+	if err != nil {
+		return err
+	}
+	return c.propose([]metastore.ItemVersion{item})
+}
+
+// Change is one entry of a bundled commit (Table 2's file-bundling setup).
+// Nil Content proposes a deletion.
+type Change struct {
+	Path    string
+	Content []byte
+	Delete  bool
+}
+
+// PutBatch indexes and uploads every change, then proposes all of them in a
+// single commitRequest — the file-bundling behaviour whose control-traffic
+// effect Table 2 measures.
+func (c *Client) PutBatch(changes []Change) error {
+	if c.sync == nil {
+		return ErrNotStarted
+	}
+	items := make([]metastore.ItemVersion, 0, len(changes))
+	for _, ch := range changes {
+		if ch.Delete {
+			item, err := c.prepareTombstone(ch.Path)
+			if err != nil {
+				return err
+			}
+			items = append(items, item)
+			continue
+		}
+		item, err := c.prepareItem(ch.Path, ch.Content)
+		if err != nil {
+			return err
+		}
+		items = append(items, item)
+	}
+	return c.propose(items)
+}
+
+// prepareItem chunks, dedupes and uploads content, returning the proposed
+// metadata version.
+func (c *Client) prepareItem(filePath string, content []byte) (metastore.ItemVersion, error) {
+	chunks, err := chunker.SplitBytes(c.cfg.Chunker, content)
+	if err != nil {
+		return metastore.ItemVersion{}, fmt.Errorf("client: chunk %s: %w", filePath, err)
+	}
+	_, fresh := chunker.Diff(chunks, c.db.hasChunk)
+	for _, ch := range fresh {
+		compressed, err := chunker.Compress(ch.Data, c.cfg.Compression)
+		if err != nil {
+			return metastore.ItemVersion{}, fmt.Errorf("client: compress chunk: %w", err)
+		}
+		if err := c.cfg.Storage.Put(c.container, ch.Fingerprint, compressed); err != nil {
+			return metastore.ItemVersion{}, fmt.Errorf("client: upload chunk: %w", err)
+		}
+	}
+	c.db.addChunks(chunker.Fingerprints(fresh))
+
+	status := metastore.Added
+	var version uint64 = 1
+	// New paths get a deterministic id derived from the path (so two
+	// devices adding the same file collide into one item); known paths keep
+	// their existing id, which may differ after a rename.
+	itemID := ItemID(c.cfg.WorkspaceID, filePath)
+	if prev, ok := c.db.lookup(filePath); ok {
+		// Modifying a live file — or re-creating a removed one — continues
+		// its version chain.
+		status = metastore.Modified
+		version = prev.version + 1
+		itemID = prev.itemID
+	}
+	item := metastore.ItemVersion{
+		Workspace: c.cfg.WorkspaceID,
+		ItemID:    itemID,
+		Path:      filePath,
+		Version:   version,
+		Status:    status,
+		Size:      int64(len(content)),
+		Chunks:    chunker.Fingerprints(chunks),
+		Checksum:  chunker.Fingerprint(content),
+		DeviceID:  c.cfg.DeviceID,
+	}
+	// Remember the content we proposed so a losing race can be preserved as
+	// a conflict copy.
+	c.stashProposed(item, content)
+	return item, nil
+}
+
+func (c *Client) prepareTombstone(filePath string) (metastore.ItemVersion, error) {
+	prev, ok := c.db.lookup(filePath)
+	if !ok || prev.status == metastore.Deleted {
+		return metastore.ItemVersion{}, fmt.Errorf("client: remove %s: %w", filePath, ErrNoFile)
+	}
+	item := metastore.ItemVersion{
+		Workspace: c.cfg.WorkspaceID,
+		ItemID:    prev.itemID,
+		Path:      filePath,
+		Version:   prev.version + 1,
+		Status:    metastore.Deleted,
+		DeviceID:  c.cfg.DeviceID,
+	}
+	c.stashProposed(item, nil)
+	return item, nil
+}
+
+func (c *Client) propose(items []metastore.ItemVersion) error {
+	return c.sync.Async("CommitRequest", core.CommitRequest{
+		Workspace: c.cfg.WorkspaceID,
+		DeviceID:  c.cfg.DeviceID,
+		Items:     items,
+	})
+}
+
+// MoveFile proposes a rename: a metadata-only version that changes the
+// item's path while keeping its chunks, so no data travels to the Storage
+// back-end.
+func (c *Client) MoveFile(oldPath, newPath string) error {
+	if c.sync == nil {
+		return ErrNotStarted
+	}
+	prev, ok := c.db.lookup(oldPath)
+	if !ok || prev.status == metastore.Deleted {
+		return fmt.Errorf("client: move %s: %w", oldPath, ErrNoFile)
+	}
+	if _, exists := c.db.lookup(newPath); exists {
+		return fmt.Errorf("client: move to %s: destination exists", newPath)
+	}
+	item := metastore.ItemVersion{
+		Workspace: c.cfg.WorkspaceID,
+		ItemID:    prev.itemID,
+		Path:      newPath,
+		Version:   prev.version + 1,
+		Status:    metastore.Modified,
+		Size:      prev.size,
+		Chunks:    prev.chunks,
+		Checksum:  prev.checksum,
+		DeviceID:  c.cfg.DeviceID,
+	}
+	c.stashProposed(item, prev.content)
+	return c.propose([]metastore.ItemVersion{item})
+}
+
+// RemoveFile proposes a tombstone version for path.
+func (c *Client) RemoveFile(filePath string) error {
+	if c.sync == nil {
+		return ErrNotStarted
+	}
+	item, err := c.prepareTombstone(filePath)
+	if err != nil {
+		return err
+	}
+	return c.propose([]metastore.ItemVersion{item})
+}
+
+// pendingKey tracks proposals awaiting their notification, keyed by
+// itemID/version; the value holds the locally proposed content so a losing
+// race can be preserved as a conflict copy.
+type pendingKey struct {
+	itemID  string
+	version uint64
+}
+
+func (c *Client) stashProposed(item metastore.ItemVersion, content []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pendingProposals == nil {
+		c.pendingProposals = make(map[pendingKey][]byte)
+	}
+	c.pendingProposals[pendingKey{item.ItemID, item.Version}] = content
+}
+
+func (c *Client) takeProposed(item metastore.ItemVersion) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := pendingKey{item.ItemID, item.Version}
+	content, ok := c.pendingProposals[key]
+	if ok {
+		delete(c.pendingProposals, key)
+	}
+	return content, ok
+}
+
+// FileContent returns the current synced content of path.
+func (c *Client) FileContent(filePath string) ([]byte, bool) {
+	it, ok := c.db.lookup(filePath)
+	if !ok || it.status == metastore.Deleted {
+		return nil, false
+	}
+	cp := make([]byte, len(it.content))
+	copy(cp, it.content)
+	return cp, true
+}
+
+// Version returns the synced version of path.
+func (c *Client) Version(filePath string) (uint64, bool) {
+	it, ok := c.db.lookup(filePath)
+	if !ok || it.status == metastore.Deleted {
+		return 0, false
+	}
+	return it.version, true
+}
+
+// Paths lists the live synced paths.
+func (c *Client) Paths() []string { return c.db.paths() }
+
+// WaitForVersion blocks until path reaches at least version or the timeout
+// elapses — the hook the sync-time experiments use to measure when devices
+// are in sync.
+func (c *Client) WaitForVersion(filePath string, version uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if v, ok := c.Version(filePath); ok && v >= version {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("client: %s did not reach v%d within %v", filePath, version, timeout)
+}
+
+// WaitForGone blocks until path is deleted locally or the timeout elapses.
+func (c *Client) WaitForGone(filePath string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if _, ok := c.Version(filePath); !ok {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("client: %s still present after %v", filePath, timeout)
+}
+
+// Close detaches the device from the workspace.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.handler != nil {
+		return c.handler.Unbind()
+	}
+	return nil
+}
+
+// notificationHandler is the remote object receiving workspace multicasts.
+type notificationHandler struct {
+	c *Client
+}
+
+// NotifyCommit applies a pushed CommitNotification (Fig. 6).
+func (h *notificationHandler) NotifyCommit(n core.CommitNotification) error {
+	return h.c.handleNotification(n)
+}
+
+func (c *Client) handleNotification(n core.CommitNotification) error {
+	for _, r := range n.Results {
+		mine := r.Proposed.DeviceID == c.cfg.DeviceID && n.DeviceID == c.cfg.DeviceID
+		switch {
+		case r.Committed && mine:
+			c.applyOwnCommit(r)
+		case r.Committed:
+			if err := c.applyRemote(r.Item); err != nil {
+				return err
+			}
+			c.emit(Event{Type: RemoteApplied, Path: r.Item.Path, Version: r.Item.Version, Status: r.Item.Status})
+		case mine:
+			if err := c.resolveConflict(r); err != nil {
+				return err
+			}
+		default:
+			// Someone else's conflict; the authoritative version may still
+			// be newer than ours, so apply it.
+			if err := c.applyRemote(r.Item); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyOwnCommit records a confirmed local proposal.
+func (c *Client) applyOwnCommit(r CommitResultView) {
+	content, _ := c.takeProposed(r.Proposed)
+	it := localItem{
+		itemID:   r.Item.ItemID,
+		path:     r.Item.Path,
+		version:  r.Item.Version,
+		status:   r.Item.Status,
+		chunks:   r.Item.Chunks,
+		checksum: r.Item.Checksum,
+		size:     r.Item.Size,
+		content:  content,
+	}
+	c.db.upsert(it)
+	c.emit(Event{Type: LocalCommitted, Path: r.Item.Path, Version: r.Item.Version, Status: r.Item.Status})
+}
+
+// CommitResultView aliases core.CommitResult to keep method signatures tidy.
+type CommitResultView = core.CommitResult
+
+// applyRemote brings the local copy of an item up to the given committed
+// version, downloading whatever chunks are missing.
+func (c *Client) applyRemote(item metastore.ItemVersion) error {
+	cur, have := c.db.lookupID(item.ItemID)
+	if have && cur.version >= item.Version {
+		return nil // already at or past this version
+	}
+	if item.Status == metastore.Deleted {
+		c.db.upsert(localItem{
+			itemID: item.ItemID, path: item.Path, version: item.Version,
+			status: metastore.Deleted,
+		})
+		return nil
+	}
+	// Renames keep the content: when the checksum matches the version we
+	// already hold, skip the Storage round trip entirely.
+	if have && cur.checksum == item.Checksum && cur.content != nil && cur.status != metastore.Deleted {
+		c.db.upsert(localItem{
+			itemID: item.ItemID, path: item.Path, version: item.Version,
+			status: item.Status, chunks: item.Chunks, checksum: item.Checksum,
+			size: item.Size, content: cur.content,
+		})
+		return nil
+	}
+	content, err := c.fetchContent(item)
+	if err != nil {
+		return err
+	}
+	c.db.addChunks(item.Chunks)
+	c.db.upsert(localItem{
+		itemID: item.ItemID, path: item.Path, version: item.Version,
+		status: item.Status, chunks: item.Chunks, checksum: item.Checksum,
+		size: item.Size, content: content,
+	})
+	return nil
+}
+
+func (c *Client) fetchContent(item metastore.ItemVersion) ([]byte, error) {
+	chunks := make([]chunker.Chunk, 0, len(item.Chunks))
+	for _, fp := range item.Chunks {
+		compressed, err := c.cfg.Storage.Get(c.container, fp)
+		if err != nil {
+			return nil, fmt.Errorf("client: fetch chunk %s: %w", fp, err)
+		}
+		data, err := chunker.Decompress(compressed, c.cfg.Compression)
+		if err != nil {
+			return nil, fmt.Errorf("client: decompress chunk %s: %w", fp, err)
+		}
+		chunks = append(chunks, chunker.Chunk{Fingerprint: fp, Data: data})
+	}
+	content, err := chunker.Reassemble(chunks)
+	if err != nil {
+		return nil, fmt.Errorf("client: reassemble %s: %w", item.Path, err)
+	}
+	return content, nil
+}
+
+// resolveConflict implements the losing side of Algorithm 1: adopt the
+// server's authoritative version for the original path and preserve the
+// local content as a renamed conflict copy, proposed as a fresh item.
+func (c *Client) resolveConflict(r CommitResultView) error {
+	localContent, _ := c.takeProposed(r.Proposed)
+
+	// Adopt the authoritative version.
+	if err := c.applyRemote(r.Item); err != nil {
+		return err
+	}
+
+	if r.Proposed.Status == metastore.Deleted || localContent == nil {
+		// Our delete lost against a newer edit (or content is unknown):
+		// keeping the server version is the whole resolution.
+		c.emit(Event{Type: RemoteApplied, Path: r.Item.Path, Version: r.Item.Version, Status: r.Item.Status})
+		return nil
+	}
+
+	copyPath := ConflictCopyPath(r.Proposed.Path, c.cfg.DeviceID)
+	if err := c.PutFile(copyPath, localContent); err != nil {
+		return fmt.Errorf("client: propose conflict copy: %w", err)
+	}
+	c.emit(Event{Type: ConflictResolved, Path: copyPath, Version: r.Item.Version, Status: r.Item.Status})
+	return nil
+}
+
+// ConflictCopyPath derives the renamed path of a losing concurrent edit,
+// e.g. "notes.txt" -> "notes (conflicted copy of dev-2).txt".
+func ConflictCopyPath(original, deviceID string) string {
+	dir := path.Dir(original)
+	base := path.Base(original)
+	ext := path.Ext(base)
+	stem := strings.TrimSuffix(base, ext)
+	renamed := fmt.Sprintf("%s (conflicted copy of %s)%s", stem, deviceID, ext)
+	if dir == "." {
+		return renamed
+	}
+	return dir + "/" + renamed
+}

@@ -1,0 +1,119 @@
+// Package client implements the StackSync desktop client (paper §4.1): it
+// indexes local file changes into chunks, uploads unique chunks to the
+// Storage back-end, proposes metadata commits to the SyncService through
+// ObjectMQ, and applies pushed CommitNotifications — including the
+// conflict-copy policy for concurrent edits.
+package client
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"sync"
+
+	"stacksync/internal/metastore"
+)
+
+// ItemID derives the deterministic item identifier of a path within a
+// workspace, so two devices adding the same path propose the same item and
+// concurrent creations surface as version conflicts instead of duplicates.
+func ItemID(workspaceID, path string) string {
+	sum := sha1.Sum([]byte(workspaceID + "|" + path))
+	return hex.EncodeToString(sum[:])
+}
+
+// localItem is the client's record of one synced file.
+type localItem struct {
+	itemID   string
+	path     string
+	version  uint64
+	status   metastore.Status
+	chunks   []string
+	checksum string
+	size     int64
+	content  []byte // current synced content (virtual filesystem)
+}
+
+// localDB is the client-side database of §4.1: it maps chunk fingerprints to
+// presence (per-user deduplication) and paths to their synced version.
+type localDB struct {
+	mu     sync.RWMutex
+	byPath map[string]*localItem
+	byID   map[string]*localItem
+	chunks map[string]bool
+}
+
+func newLocalDB() *localDB {
+	return &localDB{
+		byPath: make(map[string]*localItem),
+		byID:   make(map[string]*localItem),
+		chunks: make(map[string]bool),
+	}
+}
+
+func (db *localDB) hasChunk(fp string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.chunks[fp]
+}
+
+func (db *localDB) addChunks(fps []string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, fp := range fps {
+		db.chunks[fp] = true
+	}
+}
+
+// lookup returns a snapshot of the item at path.
+func (db *localDB) lookup(path string) (localItem, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	it, ok := db.byPath[path]
+	if !ok {
+		return localItem{}, false
+	}
+	return *it, true
+}
+
+// lookupID returns a snapshot of the item by id.
+func (db *localDB) lookupID(itemID string) (localItem, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	it, ok := db.byID[itemID]
+	if !ok {
+		return localItem{}, false
+	}
+	return *it, true
+}
+
+// upsert installs the new state of an item.
+func (db *localDB) upsert(it localItem) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	existing, ok := db.byID[it.itemID]
+	if ok {
+		// Path may change across versions; keep the path index coherent.
+		if existing.path != it.path {
+			delete(db.byPath, existing.path)
+		}
+		*existing = it
+		db.byPath[it.path] = existing
+		return
+	}
+	stored := it
+	db.byID[it.itemID] = &stored
+	db.byPath[it.path] = &stored
+}
+
+// paths lists the live (non-deleted) paths.
+func (db *localDB) paths() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.byPath))
+	for p, it := range db.byPath {
+		if it.status != metastore.Deleted {
+			out = append(out, p)
+		}
+	}
+	return out
+}

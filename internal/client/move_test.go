@@ -1,0 +1,102 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMoveFilePropagatesWithoutDataTransfer(t *testing.T) {
+	r := newRig(t)
+	a := r.newDevice("alice", "dev-a")
+	b := r.newDevice("bob", "dev-b")
+
+	payload := bytes.Repeat([]byte("payload-"), 500)
+	if err := a.PutFile("old/name.bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WaitForVersion("old/name.bin", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+
+	trafficBefore := r.storage.Traffic()
+	if err := a.MoveFile("old/name.bin", "new/name.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WaitForVersion("new/name.bin", 2, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("new/name.bin", 2, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	// The old path is gone on both devices.
+	if _, ok := a.Version("old/name.bin"); ok {
+		t.Fatal("old path still live on mover")
+	}
+	if _, ok := b.Version("old/name.bin"); ok {
+		t.Fatal("old path still live on receiver")
+	}
+	got, ok := b.FileContent("new/name.bin")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("content lost in move")
+	}
+	// Rename is metadata-only: no storage traffic in either direction.
+	trafficAfter := r.storage.Traffic()
+	if trafficAfter.BytesUp != trafficBefore.BytesUp {
+		t.Fatalf("move uploaded %d bytes", trafficAfter.BytesUp-trafficBefore.BytesUp)
+	}
+	if trafficAfter.BytesDown != trafficBefore.BytesDown {
+		t.Fatalf("move downloaded %d bytes", trafficAfter.BytesDown-trafficBefore.BytesDown)
+	}
+}
+
+func TestMoveFileErrors(t *testing.T) {
+	r := newRig(t)
+	a := r.newDevice("alice", "dev-a")
+	if err := a.MoveFile("ghost.txt", "anywhere.txt"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("move of missing file: %v", err)
+	}
+	if err := a.PutFile("a.txt", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PutFile("b.txt", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("a.txt", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("b.txt", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MoveFile("a.txt", "b.txt"); err == nil {
+		t.Fatal("move onto existing destination accepted")
+	}
+}
+
+func TestMoveThenEditContinuesChain(t *testing.T) {
+	r := newRig(t)
+	a := r.newDevice("alice", "dev-a")
+	b := r.newDevice("bob", "dev-b")
+	if err := a.PutFile("doc.txt", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("doc.txt", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MoveFile("doc.txt", "renamed.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("renamed.txt", 2, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PutFile("renamed.txt", []byte("v3 content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WaitForVersion("renamed.txt", 3, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.FileContent("renamed.txt")
+	if !bytes.Equal(got, []byte("v3 content")) {
+		t.Fatalf("post-move edit diverged: %q", got)
+	}
+}

@@ -1,0 +1,123 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"stacksync/internal/chunker"
+	"stacksync/internal/omq"
+)
+
+// TestDeviceRestartResyncsViaGetChanges models a device crash and restart:
+// a brand-new Client with the same device id (fresh local database, as if
+// the process died) must rebuild the full workspace state through the
+// startup getChanges and continue committing on the correct version chain.
+func TestDeviceRestartResyncsViaGetChanges(t *testing.T) {
+	r := newRig(t)
+	a := r.newDevice("alice", "dev-a")
+
+	for i := 0; i < 8; i++ {
+		if err := a.PutFile(fmt.Sprintf("f%d.txt", i), []byte(fmt.Sprintf("gen1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if err := a.WaitForVersion(fmt.Sprintf("f%d.txt", i), 1, syncWait); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Update one file so the restarted device must see version 2.
+	if err := a.PutFile("f0.txt", []byte("gen1-updated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("f0.txt", 2, syncWait); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": drop the client (its broker too) without ceremony.
+	_ = a.Close()
+
+	// Restart: same device id, empty local state.
+	b2, err := omq.NewBroker(r.mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b2.Close() })
+	restarted, err := NewClient(Config{
+		UserID: "alice", DeviceID: "dev-a", WorkspaceID: "ws",
+		Broker: b2, Storage: r.storage,
+		Chunker: chunker.Fixed{ChunkSize: 1024}, // match the rig's chunking
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = restarted.Close() })
+
+	if got := len(restarted.Paths()); got != 8 {
+		t.Fatalf("restarted device sees %d files, want 8", got)
+	}
+	content, ok := restarted.FileContent("f0.txt")
+	if !ok || !bytes.Equal(content, []byte("gen1-updated")) {
+		t.Fatalf("restarted device content: %q %v", content, ok)
+	}
+	if v, _ := restarted.Version("f0.txt"); v != 2 {
+		t.Fatalf("restarted device version = %d, want 2", v)
+	}
+
+	// And it continues the version chain correctly (proposes v3, not v1).
+	if err := restarted.PutFile("f0.txt", []byte("gen2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.WaitForVersion("f0.txt", 3, syncWait); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartedDeviceSkipsReuploadOfKnownChunks verifies that dedup state
+// rebuilt from getChanges avoids re-uploading chunks the store already has.
+func TestRestartedDeviceSkipsReuploadOfKnownChunks(t *testing.T) {
+	r := newRig(t)
+	a := r.newDevice("alice", "dev-a")
+	payload := bytes.Repeat([]byte("stable-content-"), 300)
+	if err := a.PutFile("doc.bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("doc.bin", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Close()
+
+	putsBefore := r.storage.Traffic().Puts
+	b2, err := omq.NewBroker(r.mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b2.Close() })
+	restarted, err := NewClient(Config{
+		UserID: "alice", DeviceID: "dev-a", WorkspaceID: "ws",
+		Broker: b2, Storage: r.storage,
+		Chunker: chunker.Fixed{ChunkSize: 1024}, // match the rig's chunking
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = restarted.Close() })
+
+	// Re-putting identical content must upload nothing new.
+	if err := restarted.PutFile("copy-of-doc.bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.WaitForVersion("copy-of-doc.bin", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	if puts := r.storage.Traffic().Puts; puts != putsBefore {
+		t.Fatalf("restarted device re-uploaded %d chunks", puts-putsBefore)
+	}
+}

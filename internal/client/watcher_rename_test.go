@@ -1,0 +1,71 @@
+package client
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWatcherDetectsRenameWithoutReupload(t *testing.T) {
+	r, wa, dirA, wb, dirB := watchRig(t)
+
+	payload := bytes.Repeat([]byte("big-enough-to-matter-"), 400)
+	src := filepath.Join(dirA, "original.bin")
+	if err := os.WriteFile(src, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, func() bool {
+		data, err := os.ReadFile(filepath.Join(dirB, "original.bin"))
+		return err == nil && bytes.Equal(data, payload)
+	}, wa, wb)
+
+	trafficBefore := r.storage.Traffic()
+	// Rename on disk: delete+create with the same content from the
+	// scanner's point of view.
+	if err := os.Rename(src, filepath.Join(dirA, "renamed.bin")); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, func() bool {
+		if _, err := os.Stat(filepath.Join(dirB, "original.bin")); !os.IsNotExist(err) {
+			return false
+		}
+		data, err := os.ReadFile(filepath.Join(dirB, "renamed.bin"))
+		return err == nil && bytes.Equal(data, payload)
+	}, wa, wb)
+
+	// Metadata-only: nothing travelled to the storage back-end.
+	trafficAfter := r.storage.Traffic()
+	if trafficAfter.BytesUp != trafficBefore.BytesUp {
+		t.Fatalf("rename uploaded %d bytes", trafficAfter.BytesUp-trafficBefore.BytesUp)
+	}
+	if trafficAfter.BytesDown != trafficBefore.BytesDown {
+		t.Fatalf("rename downloaded %d bytes", trafficAfter.BytesDown-trafficBefore.BytesDown)
+	}
+}
+
+func TestWatcherRenameIntoSubdirectory(t *testing.T) {
+	_, wa, dirA, wb, dirB := watchRig(t)
+	if err := os.WriteFile(filepath.Join(dirA, "file.txt"), []byte("content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, func() bool {
+		_, err := os.Stat(filepath.Join(dirB, "file.txt"))
+		return err == nil
+	}, wa, wb)
+
+	sub := filepath.Join(dirA, "archive")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dirA, "file.txt"), filepath.Join(sub, "file.txt")); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, func() bool {
+		if _, err := os.Stat(filepath.Join(dirB, "file.txt")); !os.IsNotExist(err) {
+			return false
+		}
+		data, err := os.ReadFile(filepath.Join(dirB, "archive", "file.txt"))
+		return err == nil && bytes.Equal(data, []byte("content"))
+	}, wa, wb)
+}

@@ -1,0 +1,33 @@
+// Package clock abstracts time so that day-long provisioning experiments can
+// be replayed deterministically in milliseconds. Production code uses the
+// wall clock; experiments use a virtual clock advanced by the harness.
+package clock
+
+import "time"
+
+// Clock is the minimal time source used across the repository.
+//
+// After returns a channel that receives the (virtual) time once the given
+// duration has elapsed. Sleep blocks until that moment.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// NewReal returns a wall-clock Clock.
+func NewReal() Real { return Real{} }
+
+// Now returns the current wall-clock time.
+func (Real) Now() time.Time { return time.Now() }
+
+// After forwards to time.After.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep forwards to time.Sleep.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }

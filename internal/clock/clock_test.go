@@ -1,0 +1,130 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotonic(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	c := NewReal()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("real After never fired")
+	}
+}
+
+func TestVirtualNowFrozen(t *testing.T) {
+	start := time.Date(2014, 12, 8, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if got := v.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	if got := v.Now(); !got.Equal(start) {
+		t.Fatalf("time moved without Advance: %v", got)
+	}
+}
+
+func TestVirtualAdvanceMovesNow(t *testing.T) {
+	start := time.Date(2014, 12, 8, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	v.Advance(90 * time.Second)
+	if got, want := v.Now(), start.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAfterFiresInOrder(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	chLate := v.After(10 * time.Second)
+	chEarly := v.After(1 * time.Second)
+
+	v.Advance(5 * time.Second)
+	select {
+	case tm := <-chEarly:
+		if got, want := tm, time.Unix(1, 0); !got.Equal(want) {
+			t.Fatalf("early waiter fired at %v, want %v", got, want)
+		}
+	default:
+		t.Fatal("early waiter did not fire after Advance past deadline")
+	}
+	select {
+	case <-chLate:
+		t.Fatal("late waiter fired before its deadline")
+	default:
+	}
+
+	v.Advance(5 * time.Second)
+	select {
+	case <-chLate:
+	default:
+		t.Fatal("late waiter did not fire at its deadline")
+	}
+}
+
+func TestVirtualAfterNonPositiveFiresImmediately(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	default:
+		t.Fatal("After(negative) did not fire immediately")
+	}
+}
+
+func TestVirtualSleepWakesSleeper(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	woke := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.Sleep(time.Minute)
+		close(woke)
+	}()
+	// Wait until the sleeper is parked before advancing.
+	for v.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Minute)
+	select {
+	case <-woke:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper never woke")
+	}
+	wg.Wait()
+}
+
+func TestVirtualManyWaitersReleasedTogether(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	const n = 50
+	chans := make([]<-chan time.Time, n)
+	for i := 0; i < n; i++ {
+		chans[i] = v.After(time.Duration(i+1) * time.Millisecond)
+	}
+	v.Advance(time.Second)
+	for i, ch := range chans {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("waiter %d not released", i)
+		}
+	}
+	if v.Waiters() != 0 {
+		t.Fatalf("Waiters() = %d after releasing all", v.Waiters())
+	}
+}

@@ -1,0 +1,92 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic Clock whose time only moves when Advance is
+// called. Goroutines blocked in Sleep or waiting on an After channel are
+// released in deadline order as the clock passes their deadlines.
+//
+// The zero value is not usable; construct with NewVirtual.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+}
+
+var _ Clock = (*Virtual)(nil)
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+	index    int
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int            { return len(h) }
+func (h waiterHeap) Less(i, j int) bool  { return h[i].deadline.Before(h[j].deadline) }
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *waiterHeap) Push(x interface{}) { w := x.(*waiter); w.index = len(*h); *h = append(*h, w) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// NewVirtual returns a Virtual clock starting at the given instant.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After returns a channel that receives the virtual time once the clock has
+// advanced d past the current instant. A non-positive d fires immediately.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	heap.Push(&v.waiters, &waiter{deadline: v.now.Add(d), ch: ch})
+	return ch
+}
+
+// Sleep blocks the calling goroutine until the clock advances past d.
+func (v *Virtual) Sleep(d time.Duration) { <-v.After(d) }
+
+// Advance moves the virtual time forward by d, releasing every waiter whose
+// deadline falls within the advanced window, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	for v.waiters.Len() > 0 && !v.waiters[0].deadline.After(target) {
+		w := heap.Pop(&v.waiters).(*waiter)
+		v.now = w.deadline
+		w.ch <- v.now
+	}
+	v.now = target
+	v.mu.Unlock()
+}
+
+// Waiters reports how many goroutines are currently blocked on the clock.
+// Useful for tests that need to advance only once a worker is parked.
+func (v *Virtual) Waiters() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.waiters.Len()
+}

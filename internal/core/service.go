@@ -1,0 +1,159 @@
+// Package core implements the SyncService — the paper's file-sync protocol
+// engine (§4.2). It is a stateless ObjectMQ server object: commitRequest
+// validates proposed changes against the Metadata back-end (Algorithm 1),
+// getChanges returns workspace snapshots, getWorkspaces lists a user's
+// workspaces, and every committed change is pushed to all devices of the
+// workspace with an @MultiMethod CommitNotification.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"stacksync/internal/metastore"
+	"stacksync/internal/omq"
+)
+
+// ServiceOID is the object id the SyncService binds under: the global
+// request queue of Fig. 5.
+const ServiceOID = "syncservice"
+
+// WorkspaceOID names the notification group of a workspace. Every device in
+// the workspace binds a handler under this id; the service multicasts
+// CommitNotifications to it.
+func WorkspaceOID(workspaceID string) string { return "workspace." + workspaceID }
+
+// CommitRequest is the @AsyncMethod payload a client sends after uploading
+// its unique chunks (§4.1): the proposed metadata for each changed item.
+type CommitRequest struct {
+	Workspace string                  `json:"workspace"`
+	DeviceID  string                  `json:"deviceId"`
+	Items     []metastore.ItemVersion `json:"items"`
+}
+
+// CommitResult is the per-item outcome inside a CommitNotification.
+type CommitResult struct {
+	// Committed reports whether the proposed version was accepted.
+	Committed bool `json:"committed"`
+	// Item is the accepted version when committed. On conflict it is the
+	// authoritative current version — piggybacked so the losing client can
+	// identify its missing chunks and reconstruct the object (§4.2.1).
+	Item metastore.ItemVersion `json:"item"`
+	// Proposed echoes the version the device proposed (useful to the
+	// originator for matching up conflicts).
+	Proposed metastore.ItemVersion `json:"proposed"`
+}
+
+// CommitNotification is pushed to every device of a workspace after a
+// commitRequest has been processed.
+type CommitNotification struct {
+	Workspace string         `json:"workspace"`
+	DeviceID  string         `json:"deviceId"` // originating device
+	Results   []CommitResult `json:"results"`
+}
+
+// Service is the SyncService implementation. It is safe for concurrent use;
+// multiple instances can run against the same Metadata back-end, each bound
+// to the shared request queue, and the MQ balances commits across them.
+type Service struct {
+	meta   *metastore.Store
+	broker *omq.Broker
+
+	mu      sync.Mutex
+	proxies map[string]*omq.Proxy
+}
+
+// NewService wires a SyncService to its Metadata back-end and the ObjectMQ
+// broker used to push notifications.
+func NewService(meta *metastore.Store, broker *omq.Broker) *Service {
+	return &Service{
+		meta:    meta,
+		broker:  broker,
+		proxies: make(map[string]*omq.Proxy),
+	}
+}
+
+// Bind registers this instance on the shared request queue. The returned
+// BoundObject unbinds it.
+func (s *Service) Bind() (*omq.BoundObject, error) {
+	return s.broker.Bind(ServiceOID, s.API())
+}
+
+// API returns the remote surface of this service, for deployments that bind
+// instances through a RemoteBroker factory instead of calling Bind directly.
+func (s *Service) API() *API { return &API{svc: s} }
+
+func (s *Service) workspaceProxy(workspaceID string) (*omq.Proxy, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.proxies[workspaceID]
+	if !ok {
+		oid := WorkspaceOID(workspaceID)
+		if err := s.broker.EnsureMulticastGroup(oid); err != nil {
+			return nil, fmt.Errorf("core: ensure workspace group: %w", err)
+		}
+		p = s.broker.Lookup(oid)
+		s.proxies[workspaceID] = p
+	}
+	return p, nil
+}
+
+// commit is Algorithm 1: check version precedence per item, persist winners,
+// mark losers as conflicts carrying the current version, then push one
+// notification to the whole workspace.
+func (s *Service) commit(req CommitRequest) (CommitNotification, error) {
+	results, err := s.meta.CommitBatch(req.Items)
+	if err != nil {
+		return CommitNotification{}, fmt.Errorf("core: commit %s: %w", req.Workspace, err)
+	}
+	n := CommitNotification{
+		Workspace: req.Workspace,
+		DeviceID:  req.DeviceID,
+		Results:   make([]CommitResult, len(results)),
+	}
+	for i, r := range results {
+		n.Results[i] = CommitResult{
+			Committed: r.Committed,
+			Item:      r.Version,
+			Proposed:  req.Items[i],
+		}
+	}
+	p, err := s.workspaceProxy(req.Workspace)
+	if err != nil {
+		return n, err
+	}
+	// notifyCommit: @MultiMethod + @AsyncMethod (Fig. 6).
+	if err := p.Multi("NotifyCommit", n); err != nil {
+		return n, fmt.Errorf("core: notify %s: %w", req.Workspace, err)
+	}
+	return n, nil
+}
+
+// API is the remote surface of the SyncService (Fig. 6). Only these methods
+// are reachable over ObjectMQ.
+type API struct {
+	svc *Service
+}
+
+// CommitRequest processes a proposed change list (@AsyncMethod). The client
+// learns the outcome through the workspace's CommitNotification, never
+// through a return value.
+func (a *API) CommitRequest(req CommitRequest) error {
+	_, err := a.svc.commit(req)
+	return err
+}
+
+// GetChanges returns the current state of a workspace (@SyncMethod); clients
+// call it only on startup because it is costly (§4.2.1).
+func (a *API) GetChanges(workspace string) ([]metastore.ItemVersion, error) {
+	state, err := a.svc.meta.State(workspace)
+	if err != nil {
+		return nil, err
+	}
+	return state, nil
+}
+
+// GetWorkspaces lists the workspaces a user can access (@SyncMethod).
+func (a *API) GetWorkspaces(user string) ([]metastore.Workspace, error) {
+	return a.svc.meta.WorkspacesFor(user), nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"stacksync/internal/metastore"
+	"stacksync/internal/mq"
+	"stacksync/internal/omq"
+)
+
+type rig struct {
+	mq     *mq.Broker
+	meta   *metastore.Store
+	svc    *Service
+	server *omq.Broker
+	client *omq.Broker
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	m := mq.NewBroker()
+	meta := metastore.NewStore()
+	server, err := omq.NewBroker(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := omq.NewBroker(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(meta, server)
+	if _, err := svc.Bind(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = server.Close()
+		_ = meta.Close()
+		_ = m.Close()
+	})
+	return &rig{mq: m, meta: meta, svc: svc, server: server, client: client}
+}
+
+func item(ws, id string, v uint64, status metastore.Status) metastore.ItemVersion {
+	return metastore.ItemVersion{
+		Workspace: ws, ItemID: id, Path: "/" + id, Version: v, Status: status,
+		Size: 42, Chunks: []string{"fp1"}, DeviceID: "dev-test",
+	}
+}
+
+func TestGetWorkspacesOverRPC(t *testing.T) {
+	r := newRig(t)
+	if err := r.meta.CreateWorkspace(metastore.Workspace{ID: "ws1", Owner: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	var got []metastore.Workspace
+	if err := r.client.Lookup(ServiceOID).Call("GetWorkspaces", &got, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "ws1" {
+		t.Fatalf("workspaces: %+v", got)
+	}
+	if err := r.client.Lookup(ServiceOID).Call("GetWorkspaces", &got, "stranger"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("stranger sees workspaces: %+v", got)
+	}
+}
+
+func TestCommitAndGetChanges(t *testing.T) {
+	r := newRig(t)
+	if err := r.meta.CreateWorkspace(metastore.Workspace{ID: "ws1", Owner: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.svc.commit(CommitRequest{
+		Workspace: "ws1", DeviceID: "dev-test",
+		Items: []metastore.ItemVersion{item("ws1", "f1", 1, metastore.Added)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Results) != 1 || !n.Results[0].Committed {
+		t.Fatalf("notification: %+v", n)
+	}
+	var state []metastore.ItemVersion
+	if err := r.client.Lookup(ServiceOID).Call("GetChanges", &state, "ws1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 1 || state[0].ItemID != "f1" || state[0].Version != 1 {
+		t.Fatalf("getChanges: %+v", state)
+	}
+}
+
+func TestCommitConflictCarriesCurrentVersion(t *testing.T) {
+	r := newRig(t)
+	if err := r.meta.CreateWorkspace(metastore.Workspace{ID: "ws1", Owner: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.commit(CommitRequest{Workspace: "ws1", Items: []metastore.ItemVersion{item("ws1", "f", 1, metastore.Added)}}); err != nil {
+		t.Fatal(err)
+	}
+	winner := item("ws1", "f", 2, metastore.Modified)
+	winner.Chunks = []string{"winner-chunk"}
+	if _, err := r.svc.commit(CommitRequest{Workspace: "ws1", Items: []metastore.ItemVersion{winner}}); err != nil {
+		t.Fatal(err)
+	}
+	// Loser proposes version 2 again.
+	loser := item("ws1", "f", 2, metastore.Modified)
+	loser.Chunks = []string{"loser-chunk"}
+	n, err := r.svc.commit(CommitRequest{Workspace: "ws1", DeviceID: "dev-loser", Items: []metastore.ItemVersion{loser}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Results[0]
+	if res.Committed {
+		t.Fatal("stale proposal committed")
+	}
+	if res.Item.Version != 2 || res.Item.Chunks[0] != "winner-chunk" {
+		t.Fatalf("conflict must carry authoritative version, got %+v", res.Item)
+	}
+	if res.Proposed.Chunks[0] != "loser-chunk" {
+		t.Fatalf("conflict must echo the proposal, got %+v", res.Proposed)
+	}
+}
+
+func TestGetChangesUnknownWorkspace(t *testing.T) {
+	r := newRig(t)
+	var state []metastore.ItemVersion
+	err := r.client.Lookup(ServiceOID).Call("GetChanges", &state, "ghost")
+	var remote *omq.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+}
+
+func TestCommitRequestOverAsyncRPC(t *testing.T) {
+	r := newRig(t)
+	if err := r.meta.CreateWorkspace(metastore.Workspace{ID: "ws1", Owner: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.Lookup(ServiceOID).Async("CommitRequest", CommitRequest{
+		Workspace: "ws1", DeviceID: "d1",
+		Items: []metastore.ItemVersion{item("ws1", "f9", 1, metastore.Added)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The async commit lands eventually; observe through getChanges.
+	deadline := 200
+	for i := 0; i < deadline; i++ {
+		var state []metastore.ItemVersion
+		if err := r.client.Lookup(ServiceOID).Call("GetChanges", &state, "ws1"); err != nil {
+			t.Fatal(err)
+		}
+		if len(state) == 1 {
+			return
+		}
+	}
+	t.Fatal("async commit never landed")
+}
+
+func TestWorkspaceOIDStable(t *testing.T) {
+	if WorkspaceOID("abc") != "workspace.abc" {
+		t.Fatalf("WorkspaceOID changed: %q", WorkspaceOID("abc"))
+	}
+}

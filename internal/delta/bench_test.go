@@ -1,0 +1,68 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSignature measures signature computation over an 8 MB basis —
+// the receiver-side cost of delta sync.
+func BenchmarkSignature(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	basis := make([]byte, 8<<20)
+	r.Read(basis)
+	b.SetBytes(int64(len(basis)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewSignature(basis, DefaultBlockSize)
+	}
+}
+
+// BenchmarkComputeSmallEdit measures delta computation for a point edit on
+// an 8 MB file — the sender-side cost when nearly everything matches.
+func BenchmarkComputeSmallEdit(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	basis := make([]byte, 8<<20)
+	r.Read(basis)
+	target := append([]byte{}, basis...)
+	copy(target[4<<20:4<<20+256], make([]byte, 256))
+	sig := NewSignature(basis, DefaultBlockSize)
+	b.SetBytes(int64(len(target)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Compute(sig, target)
+	}
+}
+
+// BenchmarkComputeUnrelated measures the worst case: no blocks match and
+// the rolling window slides over every byte.
+func BenchmarkComputeUnrelated(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	basis := make([]byte, 1<<20)
+	r.Read(basis)
+	target := make([]byte, 1<<20)
+	r.Read(target)
+	sig := NewSignature(basis, DefaultBlockSize)
+	b.SetBytes(int64(len(target)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Compute(sig, target)
+	}
+}
+
+// BenchmarkApply measures patch application.
+func BenchmarkApply(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	basis := make([]byte, 8<<20)
+	r.Read(basis)
+	target := append(append([]byte{}, []byte("prefix")...), basis...)
+	sig := NewSignature(basis, DefaultBlockSize)
+	d := Compute(sig, target)
+	b.SetBytes(int64(len(target)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(basis, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

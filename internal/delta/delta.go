@@ -1,0 +1,337 @@
+// Package delta implements rsync-style delta encoding (librsync's role in
+// Dropbox per [1], §2): the receiver publishes block signatures (rolling
+// Adler-32-style checksum + SHA-1) of the version it holds; the sender
+// scans the new version with a rolling window, emitting copy instructions
+// for matched blocks and literal bytes for the rest.
+//
+// The paper identifies delta encoding as why Dropbox beats StackSync's
+// fixed 512 KB chunking on UPDATE traffic (Fig. 7d); this package is the
+// corresponding extension for StackSync, exercised by the ablation bench.
+package delta
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DefaultBlockSize is the signature block size (rsync's default is 2 KB
+// for files of this population).
+const DefaultBlockSize = 2048
+
+// BlockSig is the signature of one block of the basis file.
+type BlockSig struct {
+	// Index is the block's position in the basis (Index*BlockSize offset).
+	Index uint32 `json:"index"`
+	// Weak is the rolling checksum (cheap, collision-prone filter).
+	Weak uint32 `json:"weak"`
+	// Strong is the SHA-1 of the block (verifies weak matches).
+	Strong [sha1.Size]byte `json:"strong"`
+}
+
+// Signature describes a basis file for delta computation.
+type Signature struct {
+	BlockSize int        `json:"blockSize"`
+	FileSize  int64      `json:"fileSize"`
+	Blocks    []BlockSig `json:"blocks"`
+}
+
+// WireSize estimates the bytes a signature occupies in transit (what the
+// paper measures as part of Dropbox's update traffic).
+func (s *Signature) WireSize() int64 {
+	// 4B weak + 20B strong + 4B index per block, plus a small header.
+	return int64(len(s.Blocks))*28 + 16
+}
+
+// NewSignature computes the signature of basis.
+func NewSignature(basis []byte, blockSize int) *Signature {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	sig := &Signature{BlockSize: blockSize, FileSize: int64(len(basis))}
+	for i := 0; i*blockSize < len(basis); i++ {
+		start := i * blockSize
+		end := start + blockSize
+		if end > len(basis) {
+			end = len(basis)
+		}
+		block := basis[start:end]
+		sig.Blocks = append(sig.Blocks, BlockSig{
+			Index:  uint32(i),
+			Weak:   weakSum(block),
+			Strong: sha1.Sum(block),
+		})
+	}
+	return sig
+}
+
+// weakSum is the Adler-32-style rolling checksum rsync uses: two 16-bit
+// sums over the window, combinable under byte rotation.
+func weakSum(p []byte) uint32 {
+	var a, b uint32
+	for i, c := range p {
+		a += uint32(c)
+		b += uint32(len(p)-i) * uint32(c)
+	}
+	return (a & 0xffff) | (b << 16)
+}
+
+// roll updates a weak sum when the window slides one byte: out leaves,
+// in enters, n is the window length.
+func roll(sum uint32, out, in byte, n int) uint32 {
+	a := sum & 0xffff
+	b := sum >> 16
+	a = (a - uint32(out) + uint32(in)) & 0xffff
+	b = (b - uint32(n)*uint32(out) + a) & 0xffff
+	return a | (b << 16)
+}
+
+// OpKind distinguishes delta instructions.
+type OpKind byte
+
+const (
+	// OpCopy references a block range of the basis.
+	OpCopy OpKind = 1
+	// OpLiteral carries raw bytes absent from the basis.
+	OpLiteral OpKind = 2
+)
+
+// Op is one delta instruction.
+type Op struct {
+	Kind OpKind `json:"kind"`
+	// BlockIndex and BlockCount define a copy range (OpCopy).
+	BlockIndex uint32 `json:"blockIndex,omitempty"`
+	BlockCount uint32 `json:"blockCount,omitempty"`
+	// Data carries literal bytes (OpLiteral).
+	Data []byte `json:"data,omitempty"`
+}
+
+// Delta is the instruction stream transforming a basis into the target.
+type Delta struct {
+	BlockSize  int   `json:"blockSize"`
+	TargetSize int64 `json:"targetSize"`
+	Ops        []Op  `json:"ops"`
+}
+
+// LiteralBytes totals the raw data carried by the delta — the part that
+// actually travels beyond bookkeeping.
+func (d *Delta) LiteralBytes() int64 {
+	var n int64
+	for _, op := range d.Ops {
+		if op.Kind == OpLiteral {
+			n += int64(len(op.Data))
+		}
+	}
+	return n
+}
+
+// WireSize estimates the transmitted size of the delta.
+func (d *Delta) WireSize() int64 {
+	var n int64 = 16
+	for _, op := range d.Ops {
+		if op.Kind == OpLiteral {
+			n += 5 + int64(len(op.Data))
+		} else {
+			n += 9
+		}
+	}
+	return n
+}
+
+// Compute scans target against the basis signature and produces a delta.
+func Compute(sig *Signature, target []byte) *Delta {
+	blockSize := sig.BlockSize
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	d := &Delta{BlockSize: blockSize, TargetSize: int64(len(target))}
+	// Index full-size blocks by weak sum. The (possibly short) final block
+	// only matches at the very end of the target.
+	byWeak := make(map[uint32][]BlockSig, len(sig.Blocks))
+	var tail *BlockSig
+	for i, b := range sig.Blocks {
+		isTail := i == len(sig.Blocks)-1 && sig.FileSize%int64(blockSize) != 0
+		if isTail {
+			t := b
+			tail = &t
+			continue
+		}
+		byWeak[b.Weak] = append(byWeak[b.Weak], b)
+	}
+
+	var literal []byte
+	flushLiteral := func() {
+		if len(literal) > 0 {
+			d.Ops = append(d.Ops, Op{Kind: OpLiteral, Data: literal})
+			literal = nil
+		}
+	}
+	emitCopy := func(index uint32) {
+		// Extend the previous copy when contiguous.
+		if n := len(d.Ops); n > 0 {
+			last := &d.Ops[n-1]
+			if last.Kind == OpCopy && last.BlockIndex+last.BlockCount == index {
+				last.BlockCount++
+				return
+			}
+		}
+		d.Ops = append(d.Ops, Op{Kind: OpCopy, BlockIndex: index, BlockCount: 1})
+	}
+
+	pos := 0
+	var sum uint32
+	haveSum := false
+	for pos < len(target) {
+		remaining := len(target) - pos
+		// Tail match: the basis' short final block at the target's end.
+		if tail != nil && remaining == int(sig.FileSize%int64(blockSize)) {
+			window := target[pos:]
+			if weakSum(window) == tail.Weak && sha1.Sum(window) == tail.Strong {
+				flushLiteral()
+				emitCopy(tail.Index)
+				pos = len(target)
+				break
+			}
+		}
+		if remaining < blockSize {
+			literal = append(literal, target[pos:]...)
+			pos = len(target)
+			break
+		}
+		if !haveSum {
+			sum = weakSum(target[pos : pos+blockSize])
+			haveSum = true
+		}
+		if candidates, ok := byWeak[sum]; ok {
+			strong := sha1.Sum(target[pos : pos+blockSize])
+			matched := false
+			for _, c := range candidates {
+				if c.Strong == strong {
+					flushLiteral()
+					emitCopy(c.Index)
+					pos += blockSize
+					haveSum = false
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+		}
+		// Slide one byte.
+		literal = append(literal, target[pos])
+		if pos+blockSize < len(target) {
+			sum = roll(sum, target[pos], target[pos+blockSize], blockSize)
+		} else {
+			haveSum = false
+		}
+		pos++
+	}
+	flushLiteral()
+	return d
+}
+
+// Errors returned by Apply.
+var (
+	ErrBadDelta = errors.New("delta: malformed delta")
+)
+
+// Apply reconstructs the target from the basis and a delta.
+func Apply(basis []byte, d *Delta) ([]byte, error) {
+	blockSize := d.BlockSize
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("%w: block size %d", ErrBadDelta, d.BlockSize)
+	}
+	out := make([]byte, 0, d.TargetSize)
+	for _, op := range d.Ops {
+		switch op.Kind {
+		case OpLiteral:
+			out = append(out, op.Data...)
+		case OpCopy:
+			start := int(op.BlockIndex) * blockSize
+			end := start + int(op.BlockCount)*blockSize
+			if start > len(basis) {
+				return nil, fmt.Errorf("%w: copy past basis end", ErrBadDelta)
+			}
+			if end > len(basis) {
+				end = len(basis) // final short block
+			}
+			out = append(out, basis[start:end]...)
+		default:
+			return nil, fmt.Errorf("%w: op kind %d", ErrBadDelta, op.Kind)
+		}
+	}
+	if int64(len(out)) != d.TargetSize {
+		return nil, fmt.Errorf("%w: reconstructed %d bytes, want %d", ErrBadDelta, len(out), d.TargetSize)
+	}
+	return out, nil
+}
+
+// Marshal encodes a delta compactly (binary, not JSON) for transmission.
+func (d *Delta) Marshal() []byte {
+	buf := make([]byte, 0, d.WireSize())
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], uint32(d.BlockSize))
+	buf = append(buf, tmp[:4]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(d.TargetSize))
+	buf = append(buf, tmp[:]...)
+	for _, op := range d.Ops {
+		buf = append(buf, byte(op.Kind))
+		switch op.Kind {
+		case OpCopy:
+			binary.BigEndian.PutUint32(tmp[:4], op.BlockIndex)
+			buf = append(buf, tmp[:4]...)
+			binary.BigEndian.PutUint32(tmp[:4], op.BlockCount)
+			buf = append(buf, tmp[:4]...)
+		case OpLiteral:
+			binary.BigEndian.PutUint32(tmp[:4], uint32(len(op.Data)))
+			buf = append(buf, tmp[:4]...)
+			buf = append(buf, op.Data...)
+		}
+	}
+	return buf
+}
+
+// Unmarshal decodes a delta produced by Marshal.
+func Unmarshal(data []byte) (*Delta, error) {
+	if len(data) < 12 {
+		return nil, ErrBadDelta
+	}
+	d := &Delta{
+		BlockSize:  int(binary.BigEndian.Uint32(data[:4])),
+		TargetSize: int64(binary.BigEndian.Uint64(data[4:12])),
+	}
+	pos := 12
+	for pos < len(data) {
+		kind := OpKind(data[pos])
+		pos++
+		switch kind {
+		case OpCopy:
+			if pos+8 > len(data) {
+				return nil, ErrBadDelta
+			}
+			d.Ops = append(d.Ops, Op{
+				Kind:       OpCopy,
+				BlockIndex: binary.BigEndian.Uint32(data[pos : pos+4]),
+				BlockCount: binary.BigEndian.Uint32(data[pos+4 : pos+8]),
+			})
+			pos += 8
+		case OpLiteral:
+			if pos+4 > len(data) {
+				return nil, ErrBadDelta
+			}
+			n := int(binary.BigEndian.Uint32(data[pos : pos+4]))
+			pos += 4
+			if pos+n > len(data) {
+				return nil, ErrBadDelta
+			}
+			d.Ops = append(d.Ops, Op{Kind: OpLiteral, Data: append([]byte{}, data[pos:pos+n]...)})
+			pos += n
+		default:
+			return nil, fmt.Errorf("%w: op kind %d", ErrBadDelta, kind)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,217 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func roundTrip(t *testing.T, basis, target []byte, blockSize int) *Delta {
+	t.Helper()
+	sig := NewSignature(basis, blockSize)
+	d := Compute(sig, target)
+	got, err := Apply(basis, d)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(target))
+	}
+	return d
+}
+
+func TestIdenticalFilesTransferNoLiterals(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	basis := randBytes(r, 100_000)
+	d := roundTrip(t, basis, basis, 2048)
+	if lit := d.LiteralBytes(); lit != 0 {
+		t.Fatalf("identical files carried %d literal bytes", lit)
+	}
+	// Contiguous copies coalesce into one op.
+	if len(d.Ops) != 1 {
+		t.Fatalf("expected a single coalesced copy, got %d ops", len(d.Ops))
+	}
+}
+
+func TestAppendTransfersOnlyTail(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	basis := randBytes(r, 64*1024)
+	tail := randBytes(r, 500)
+	target := append(append([]byte{}, basis...), tail...)
+	d := roundTrip(t, basis, target, 2048)
+	if lit := d.LiteralBytes(); lit > 4096 {
+		t.Fatalf("append of 500B transferred %d literal bytes", lit)
+	}
+}
+
+func TestPrependResynchronizes(t *testing.T) {
+	// The scenario where fixed-size chunking re-uploads everything: the
+	// rolling window must resynchronize after the insertion, keeping
+	// literals near the insertion size (§5.2.2's delta-encoding advantage).
+	r := rand.New(rand.NewSource(3))
+	basis := randBytes(r, 256*1024)
+	target := append(randBytes(r, 300), basis...)
+	d := roundTrip(t, basis, target, 2048)
+	if lit := d.LiteralBytes(); lit > 8192 {
+		t.Fatalf("prepend of 300B transferred %d literal bytes", lit)
+	}
+}
+
+func TestMiddleEditTransfersAffectedBlocksOnly(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	basis := randBytes(r, 512*1024)
+	target := append([]byte{}, basis...)
+	copy(target[250_000:250_200], randBytes(r, 200))
+	d := roundTrip(t, basis, target, 2048)
+	if lit := d.LiteralBytes(); lit > 3*2048 {
+		t.Fatalf("200B middle edit transferred %d literal bytes", lit)
+	}
+}
+
+func TestCompletelyDifferentFilesAreAllLiteral(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	basis := randBytes(r, 50_000)
+	target := randBytes(r, 60_000)
+	d := roundTrip(t, basis, target, 2048)
+	if lit := d.LiteralBytes(); lit != 60_000 {
+		t.Fatalf("unrelated files: literal %d, want full 60000", lit)
+	}
+}
+
+func TestEmptyEdgeCases(t *testing.T) {
+	roundTrip(t, nil, nil, 2048)
+	roundTrip(t, nil, []byte("from nothing"), 2048)
+	roundTrip(t, []byte("to nothing"), nil, 2048)
+	roundTrip(t, []byte("short"), []byte("short"), 2048)
+}
+
+func TestShortTailBlockMatches(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	basis := randBytes(r, 2048*3+777) // final short block
+	d := roundTrip(t, basis, basis, 2048)
+	if lit := d.LiteralBytes(); lit != 0 {
+		t.Fatalf("tail block not matched: %d literal bytes", lit)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(basis, target []byte, seed int64) bool {
+		sig := NewSignature(basis, 64)
+		d := Compute(sig, target)
+		got, err := Apply(basis, d)
+		return err == nil && bytes.Equal(got, target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedSuffixProperty(t *testing.T) {
+	// Derived targets (edit a copy of the basis) must transfer less literal
+	// data than the whole file whenever a few whole blocks survive.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		n := 20_000 + r.Intn(80_000)
+		basis := randBytes(r, n)
+		target := append([]byte{}, basis...)
+		// A handful of point edits.
+		for e := 0; e < 3; e++ {
+			pos := r.Intn(len(target))
+			target[pos] ^= 0xFF
+		}
+		d := roundTrip(t, basis, target, 1024)
+		if d.LiteralBytes() >= int64(n)/2 {
+			t.Fatalf("3 point edits on %dB transferred %d literals", n, d.LiteralBytes())
+		}
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	basis := randBytes(r, 100_000)
+	target := append(randBytes(r, 100), basis...)
+	sig := NewSignature(basis, 2048)
+	d := Compute(sig, target)
+
+	encoded := d.Marshal()
+	if int64(len(encoded)) > d.WireSize()+16 {
+		t.Fatalf("encoding (%d) larger than WireSize estimate (%d)", len(encoded), d.WireSize())
+	}
+	decoded, err := Unmarshal(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Apply(basis, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Fatal("marshalled delta does not reconstruct the target")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		append(make([]byte, 12), 99),            // unknown op kind
+		append(make([]byte, 12), 1, 0, 0),       // truncated copy
+		append(make([]byte, 12), 2, 0, 0, 1, 0), // literal length beyond data
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestApplyRejectsCorruptDelta(t *testing.T) {
+	basis := []byte("0123456789")
+	if _, err := Apply(basis, &Delta{BlockSize: 0}); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	if _, err := Apply(basis, &Delta{
+		BlockSize: 4, TargetSize: 4,
+		Ops: []Op{{Kind: OpCopy, BlockIndex: 99, BlockCount: 1}},
+	}); err == nil {
+		t.Fatal("copy past basis accepted")
+	}
+	if _, err := Apply(basis, &Delta{
+		BlockSize: 4, TargetSize: 99,
+		Ops: []Op{{Kind: OpLiteral, Data: []byte("x")}},
+	}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestWeakSumRollEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	data := randBytes(r, 4096)
+	const n = 256
+	sum := weakSum(data[:n])
+	for i := 1; i+n <= len(data); i++ {
+		sum = roll(sum, data[i-1], data[i+n-1], n)
+		if want := weakSum(data[i : i+n]); sum != want {
+			t.Fatalf("rolled sum diverged at offset %d: %08x vs %08x", i, sum, want)
+		}
+	}
+}
+
+func TestSignatureWireSizeScales(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	small := NewSignature(randBytes(r, 10_000), 2048)
+	big := NewSignature(randBytes(r, 1_000_000), 2048)
+	if small.WireSize() >= big.WireSize() {
+		t.Fatal("signature size does not scale with file size")
+	}
+	if len(big.Blocks) != 489 { // ceil(1e6/2048)
+		t.Fatalf("block count = %d", len(big.Blocks))
+	}
+}

@@ -1,0 +1,333 @@
+// Package metastore is the Metadata back-end substrate (paper: PostgreSQL
+// 9.1). It stores workspaces and per-item version chains and gives the
+// SyncService the one property Algorithm 1 leans on: the version-precedence
+// check and the write of the new version commit atomically, so concurrent
+// commitRequests over the same version serialize into one winner and one
+// conflict (first-committer-wins).
+//
+// Transactions serialize under a single writer lock — at file-sync scale the
+// database is never the bottleneck the way contention semantics are — and
+// an optional write-ahead log makes committed state durable.
+package metastore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status is the lifecycle state of an item version.
+type Status int
+
+const (
+	// Added marks the first version of a new item.
+	Added Status = iota + 1
+	// Modified marks a content or rename change.
+	Modified
+	// Deleted marks a tombstone version.
+	Deleted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Added:
+		return "ADD"
+	case Modified:
+		return "UPDATE"
+	case Deleted:
+		return "REMOVE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Workspace is a synced folder shared by one or more users (§4.1).
+type Workspace struct {
+	ID      string   `json:"id"`
+	Owner   string   `json:"owner"`
+	Members []string `json:"members,omitempty"`
+}
+
+// ItemVersion is one version of one item in a workspace — the row the
+// SyncService commits. Chunks lists the fingerprints needed to rebuild the
+// file, so a losing client can fetch exactly the missing chunks (§4.2.1).
+type ItemVersion struct {
+	Workspace   string    `json:"workspace"`
+	ItemID      string    `json:"itemId"`
+	Path        string    `json:"path"`
+	Version     uint64    `json:"version"`
+	Status      Status    `json:"status"`
+	Size        int64     `json:"size"`
+	Chunks      []string  `json:"chunks,omitempty"`
+	Checksum    string    `json:"checksum,omitempty"`
+	DeviceID    string    `json:"deviceId,omitempty"`
+	CommittedAt time.Time `json:"committedAt"`
+}
+
+// Errors returned by the store.
+var (
+	ErrWorkspaceExists = errors.New("metastore: workspace exists")
+	ErrNoWorkspace     = errors.New("metastore: workspace not found")
+	ErrVersionConflict = errors.New("metastore: version conflict")
+	ErrNoItem          = errors.New("metastore: item not found")
+	ErrClosed          = errors.New("metastore: store closed")
+	ErrTxDone          = errors.New("metastore: transaction finished")
+)
+
+type itemChain struct {
+	versions []ItemVersion // ascending by Version
+}
+
+func (c *itemChain) current() ItemVersion { return c.versions[len(c.versions)-1] }
+
+// Store is the metadata database.
+type Store struct {
+	mu         sync.RWMutex
+	workspaces map[string]Workspace
+	items      map[string]map[string]*itemChain // workspace -> itemID -> chain
+	wal        *WAL
+	now        func() time.Time
+	closed     bool
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithWAL enables write-ahead durability at the given journal.
+func WithWAL(w *WAL) Option {
+	return func(s *Store) { s.wal = w }
+}
+
+// WithNow substitutes the timestamp source.
+func WithNow(now func() time.Time) Option {
+	return func(s *Store) { s.now = now }
+}
+
+// NewStore returns an empty metadata store.
+func NewStore(opts ...Option) *Store {
+	s := &Store{
+		workspaces: make(map[string]Workspace),
+		items:      make(map[string]map[string]*itemChain),
+		now:        time.Now,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// CreateWorkspace registers a workspace.
+func (s *Store) CreateWorkspace(ws Workspace) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.workspaces[ws.ID]; ok {
+		return fmt.Errorf("metastore: create %q: %w", ws.ID, ErrWorkspaceExists)
+	}
+	s.workspaces[ws.ID] = ws
+	s.items[ws.ID] = make(map[string]*itemChain)
+	if s.wal != nil {
+		return s.wal.record(walEntry{Op: walWorkspace, Workspace: &ws})
+	}
+	return nil
+}
+
+// WorkspacesFor lists the workspaces a user owns or is a member of —
+// the getWorkspaces operation's backing query.
+func (s *Store) WorkspacesFor(user string) []Workspace {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Workspace
+	for _, ws := range s.workspaces {
+		if ws.Owner == user {
+			out = append(out, ws)
+			continue
+		}
+		for _, m := range ws.Members {
+			if m == user {
+				out = append(out, ws)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Workspace fetches a workspace by id.
+func (s *Store) Workspace(id string) (Workspace, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ws, ok := s.workspaces[id]
+	if !ok {
+		return Workspace{}, fmt.Errorf("metastore: %q: %w", id, ErrNoWorkspace)
+	}
+	return ws, nil
+}
+
+// Current returns the latest version of an item, with ok=false when the
+// item has never been committed (Algorithm 1 line 4).
+func (s *Store) Current(workspace, itemID string) (ItemVersion, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chains, ok := s.items[workspace]
+	if !ok {
+		return ItemVersion{}, false, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
+	}
+	chain, ok := chains[itemID]
+	if !ok {
+		return ItemVersion{}, false, nil
+	}
+	return chain.current(), true, nil
+}
+
+// CommitVersion atomically applies the version-precedence check of
+// Algorithm 1 and stores the proposed version:
+//
+//   - item unknown  and proposed Version == 1  → committed (store_new_object)
+//   - current+1 == proposed Version            → committed (store_new_version)
+//   - anything else                            → ErrVersionConflict carrying
+//     the authoritative current version, which the service piggybacks on the
+//     CommitNotification so the losing client can reconstruct the file.
+func (s *Store) CommitVersion(v ItemVersion) (ItemVersion, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ItemVersion{}, ErrClosed
+	}
+	committed, err := s.commitLocked(v)
+	if err != nil {
+		return committed, err
+	}
+	if s.wal != nil {
+		if err := s.wal.record(walEntry{Op: walVersion, Version: &committed}); err != nil {
+			return committed, err
+		}
+	}
+	return committed, nil
+}
+
+func (s *Store) commitLocked(v ItemVersion) (ItemVersion, error) {
+	chains, ok := s.items[v.Workspace]
+	if !ok {
+		return ItemVersion{}, fmt.Errorf("metastore: commit to %q: %w", v.Workspace, ErrNoWorkspace)
+	}
+	if v.CommittedAt.IsZero() {
+		v.CommittedAt = s.now()
+	}
+	chain, exists := chains[v.ItemID]
+	if !exists {
+		if v.Version != 1 {
+			return ItemVersion{}, fmt.Errorf("metastore: %s v%d on unknown item: %w", v.ItemID, v.Version, ErrVersionConflict)
+		}
+		chains[v.ItemID] = &itemChain{versions: []ItemVersion{v}}
+		return v, nil
+	}
+	cur := chain.current()
+	if v.Version != cur.Version+1 {
+		return cur, fmt.Errorf("metastore: %s proposed v%d over v%d: %w", v.ItemID, v.Version, cur.Version, ErrVersionConflict)
+	}
+	chain.versions = append(chain.versions, v)
+	return v, nil
+}
+
+// CommitBatch applies a list of proposed versions in one serialized
+// transaction. Each element succeeds or conflicts independently (Algorithm 1
+// loops per object); the returned slice is parallel to the input, and
+// conflicted entries carry the authoritative current version.
+type BatchResult struct {
+	Committed bool        `json:"committed"`
+	Version   ItemVersion `json:"version"` // committed version, or current on conflict
+}
+
+// CommitBatch commits proposals atomically with respect to other writers.
+func (s *Store) CommitBatch(proposals []ItemVersion) ([]BatchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	results := make([]BatchResult, len(proposals))
+	for i, p := range proposals {
+		committed, err := s.commitLocked(p)
+		if err != nil {
+			if errors.Is(err, ErrVersionConflict) {
+				results[i] = BatchResult{Committed: false, Version: committed}
+				continue
+			}
+			return nil, err
+		}
+		results[i] = BatchResult{Committed: true, Version: committed}
+		if s.wal != nil {
+			if err := s.wal.record(walEntry{Op: walVersion, Version: &committed}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return results, nil
+}
+
+// History returns the full version chain of an item, oldest first.
+func (s *Store) History(workspace, itemID string) ([]ItemVersion, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chains, ok := s.items[workspace]
+	if !ok {
+		return nil, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
+	}
+	chain, ok := chains[itemID]
+	if !ok {
+		return nil, fmt.Errorf("metastore: %s/%s: %w", workspace, itemID, ErrNoItem)
+	}
+	out := make([]ItemVersion, len(chain.versions))
+	copy(out, chain.versions)
+	return out, nil
+}
+
+// State returns the latest version of every non-deleted item in a
+// workspace — the costly getChanges snapshot clients fetch at startup.
+func (s *Store) State(workspace string) ([]ItemVersion, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chains, ok := s.items[workspace]
+	if !ok {
+		return nil, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
+	}
+	var out []ItemVersion
+	for _, chain := range chains {
+		cur := chain.current()
+		if cur.Status != Deleted {
+			out = append(out, cur)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ItemID < out[j].ItemID })
+	return out, nil
+}
+
+// ItemCount reports the number of live (non-deleted) items in a workspace.
+func (s *Store) ItemCount(workspace string) (int, error) {
+	state, err := s.State(workspace)
+	if err != nil {
+		return 0, err
+	}
+	return len(state), nil
+}
+
+// Close flushes the WAL and rejects further writes.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package metastore
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newWS(t *testing.T, s *Store, id, owner string, members ...string) {
+	t.Helper()
+	if err := s.CreateWorkspace(Workspace{ID: id, Owner: owner, Members: members}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ver(ws, item string, v uint64, status Status) ItemVersion {
+	return ItemVersion{
+		Workspace: ws,
+		ItemID:    item,
+		Path:      "/" + item,
+		Version:   v,
+		Status:    status,
+		Size:      100,
+		Chunks:    []string{"fp-" + item + fmt.Sprint(v)},
+	}
+}
+
+func TestWorkspaceLifecycle(t *testing.T) {
+	s := NewStore()
+	defer s.Close()
+	newWS(t, s, "ws1", "alice", "bob")
+	if err := s.CreateWorkspace(Workspace{ID: "ws1", Owner: "x"}); !errors.Is(err, ErrWorkspaceExists) {
+		t.Fatalf("duplicate workspace: %v", err)
+	}
+	if _, err := s.Workspace("ws1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Workspace("nope"); !errors.Is(err, ErrNoWorkspace) {
+		t.Fatalf("missing workspace: %v", err)
+	}
+}
+
+func TestWorkspacesForOwnerAndMember(t *testing.T) {
+	s := NewStore()
+	defer s.Close()
+	newWS(t, s, "wsA", "alice", "bob")
+	newWS(t, s, "wsB", "bob")
+	newWS(t, s, "wsC", "carol")
+
+	if got := s.WorkspacesFor("alice"); len(got) != 1 || got[0].ID != "wsA" {
+		t.Fatalf("alice workspaces: %+v", got)
+	}
+	got := s.WorkspacesFor("bob")
+	if len(got) != 2 || got[0].ID != "wsA" || got[1].ID != "wsB" {
+		t.Fatalf("bob workspaces: %+v", got)
+	}
+	if got := s.WorkspacesFor("nobody"); len(got) != 0 {
+		t.Fatalf("stranger workspaces: %+v", got)
+	}
+}
+
+func TestCommitNewObjectAndVersions(t *testing.T) {
+	s := NewStore()
+	defer s.Close()
+	newWS(t, s, "ws", "alice")
+
+	// New item must start at version 1.
+	if _, err := s.CommitVersion(ver("ws", "f1", 2, Added)); !errors.Is(err, ErrVersionConflict) {
+		t.Fatalf("v2 on unknown item: %v", err)
+	}
+	committed, err := s.CommitVersion(ver("ws", "f1", 1, Added))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed.CommittedAt.IsZero() {
+		t.Fatal("commit timestamp not set")
+	}
+
+	cur, ok, err := s.Current("ws", "f1")
+	if err != nil || !ok || cur.Version != 1 {
+		t.Fatalf("current = %+v, %v, %v", cur, ok, err)
+	}
+	if _, ok, _ := s.Current("ws", "ghost"); ok {
+		t.Fatal("phantom item")
+	}
+
+	// Sequential versions commit; stale version conflicts and returns the
+	// authoritative current version.
+	if _, err := s.CommitVersion(ver("ws", "f1", 2, Modified)); err != nil {
+		t.Fatal(err)
+	}
+	current, err := s.CommitVersion(ver("ws", "f1", 2, Modified))
+	if !errors.Is(err, ErrVersionConflict) {
+		t.Fatalf("stale commit: %v", err)
+	}
+	if current.Version != 2 {
+		t.Fatalf("conflict should return current v2, got v%d", current.Version)
+	}
+	// Version skips conflict too.
+	if _, err := s.CommitVersion(ver("ws", "f1", 9, Modified)); !errors.Is(err, ErrVersionConflict) {
+		t.Fatalf("skipped version: %v", err)
+	}
+}
+
+func TestFirstCommitterWinsUnderConcurrency(t *testing.T) {
+	// Two devices race to commit version 2 of the same file; exactly one
+	// must win — the serialization Algorithm 1 relies on.
+	s := NewStore()
+	defer s.Close()
+	newWS(t, s, "ws", "alice")
+	if _, err := s.CommitVersion(ver("ws", "f", 1, Added)); err != nil {
+		t.Fatal(err)
+	}
+	const racers = 16
+	var wg sync.WaitGroup
+	wins := make(chan int, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := ver("ws", "f", 2, Modified)
+			v.DeviceID = fmt.Sprintf("dev-%d", i)
+			if _, err := s.CommitVersion(v); err == nil {
+				wins <- i
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	count := 0
+	for range wins {
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("winners = %d, want exactly 1", count)
+	}
+}
+
+func TestHistoryAndState(t *testing.T) {
+	s := NewStore()
+	defer s.Close()
+	newWS(t, s, "ws", "alice")
+	mustCommit := func(v ItemVersion) {
+		t.Helper()
+		if _, err := s.CommitVersion(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(ver("ws", "a", 1, Added))
+	mustCommit(ver("ws", "a", 2, Modified))
+	mustCommit(ver("ws", "b", 1, Added))
+	mustCommit(ver("ws", "c", 1, Added))
+	mustCommit(ver("ws", "c", 2, Deleted))
+
+	hist, err := s.History("ws", "a")
+	if err != nil || len(hist) != 2 || hist[0].Version != 1 || hist[1].Version != 2 {
+		t.Fatalf("history: %+v, %v", hist, err)
+	}
+	if _, err := s.History("ws", "ghost"); !errors.Is(err, ErrNoItem) {
+		t.Fatalf("ghost history: %v", err)
+	}
+
+	// State excludes the deleted item and returns latest versions.
+	state, err := s.State("ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 2 {
+		t.Fatalf("state has %d items, want 2: %+v", len(state), state)
+	}
+	if state[0].ItemID != "a" || state[0].Version != 2 || state[1].ItemID != "b" {
+		t.Fatalf("state: %+v", state)
+	}
+	n, err := s.ItemCount("ws")
+	if err != nil || n != 2 {
+		t.Fatalf("item count = %d, %v", n, err)
+	}
+}
+
+func TestCommitBatchMixedOutcomes(t *testing.T) {
+	s := NewStore()
+	defer s.Close()
+	newWS(t, s, "ws", "alice")
+	if _, err := s.CommitVersion(ver("ws", "exists", 1, Added)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.CommitBatch([]ItemVersion{
+		ver("ws", "new", 1, Added),       // commits
+		ver("ws", "exists", 1, Modified), // conflicts (current is v1)
+		ver("ws", "exists", 2, Modified), // commits on top
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Committed || results[1].Committed || !results[2].Committed {
+		t.Fatalf("batch outcomes: %+v", results)
+	}
+	if results[1].Version.Version != 1 {
+		t.Fatalf("conflict carries current v%d, want 1", results[1].Version.Version)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{Added: "ADD", Modified: "UPDATE", Deleted: "REMOVE", Status(0): "UNKNOWN"} {
+		if got := s.String(); got != want {
+			t.Fatalf("%d.String() = %q", s, got)
+		}
+	}
+}
+
+func TestCloseRejectsWrites(t *testing.T) {
+	s := NewStore()
+	newWS(t, s, "ws", "alice")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := s.CommitVersion(ver("ws", "f", 1, Added)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("commit after close: %v", err)
+	}
+	if err := s.CreateWorkspace(Workspace{ID: "x"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("create after close: %v", err)
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := time.Date(2014, 12, 8, 12, 0, 0, 0, time.UTC)
+	s := NewStore(WithWAL(w), WithNow(func() time.Time { return fixed }))
+	newWS(t, s, "ws", "alice", "bob")
+	if _, err := s.CommitVersion(ver("ws", "f", 1, Added)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CommitVersion(ver("ws", "f", 2, Modified)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	cur, ok, err := s2.Current("ws", "f")
+	if err != nil || !ok || cur.Version != 2 {
+		t.Fatalf("recovered current: %+v, %v, %v", cur, ok, err)
+	}
+	if !cur.CommittedAt.Equal(fixed) {
+		t.Fatalf("recovery rewrote commit timestamp: %v", cur.CommittedAt)
+	}
+	ws := s2.WorkspacesFor("bob")
+	if len(ws) != 1 || ws[0].ID != "ws" {
+		t.Fatalf("recovered workspaces: %+v", ws)
+	}
+	// Recovered store must keep journalling.
+	if _, err := s2.CommitVersion(ver("ws", "f", 3, Modified)); err != nil {
+		t.Fatal(err)
+	}
+	_ = s2.Close()
+	s3, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	cur, _, _ = s3.Current("ws", "f")
+	if cur.Version != 3 {
+		t.Fatalf("second-generation commit lost: v%d", cur.Version)
+	}
+}
+
+func TestRecoverMissingWALStartsEmpty(t *testing.T) {
+	s, err := Recover(filepath.Join(t.TempDir(), "never.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.WorkspacesFor("anyone"); len(got) != 0 {
+		t.Fatalf("fresh store has workspaces: %+v", got)
+	}
+}
+
+func TestCommitToUnknownWorkspaceFails(t *testing.T) {
+	s := NewStore()
+	defer s.Close()
+	if _, err := s.CommitVersion(ver("ghost", "f", 1, Added)); !errors.Is(err, ErrNoWorkspace) {
+		t.Fatalf("commit to missing workspace: %v", err)
+	}
+	if _, _, err := s.Current("ghost", "f"); !errors.Is(err, ErrNoWorkspace) {
+		t.Fatalf("current in missing workspace: %v", err)
+	}
+	if _, err := s.State("ghost"); !errors.Is(err, ErrNoWorkspace) {
+		t.Fatalf("state of missing workspace: %v", err)
+	}
+}

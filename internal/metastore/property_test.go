@@ -1,0 +1,135 @@
+package metastore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestVersionChainInvariants drives random commit attempts and checks the
+// store's core invariants after every operation: versions in a chain are
+// strictly sequential, the current version is the chain's last, and exactly
+// one proposal wins each version slot.
+func TestVersionChainInvariants(t *testing.T) {
+	const (
+		seeds = 10
+		items = 5
+		steps = 400
+	)
+	for seed := int64(1); seed <= seeds; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		if err := s.CreateWorkspace(Workspace{ID: "ws", Owner: "u"}); err != nil {
+			t.Fatal(err)
+		}
+		// Reference model: current version per item.
+		model := make(map[string]uint64, items)
+
+		for step := 0; step < steps; step++ {
+			itemID := string(rune('a' + r.Intn(items)))
+			// Propose a version that is correct (model+1) half the time and
+			// arbitrary otherwise.
+			var proposed uint64
+			if r.Intn(2) == 0 {
+				proposed = model[itemID] + 1
+			} else {
+				proposed = uint64(r.Intn(8))
+			}
+			status := Modified
+			if proposed == 1 {
+				status = Added
+			}
+			_, err := s.CommitVersion(ItemVersion{
+				Workspace: "ws", ItemID: itemID, Path: "/" + itemID,
+				Version: proposed, Status: status,
+			})
+			wantOK := proposed == model[itemID]+1
+			if wantOK && err != nil {
+				t.Fatalf("seed %d step %d: valid commit v%d over v%d rejected: %v",
+					seed, step, proposed, model[itemID], err)
+			}
+			if !wantOK && err == nil {
+				t.Fatalf("seed %d step %d: invalid commit v%d over v%d accepted",
+					seed, step, proposed, model[itemID])
+			}
+			if err == nil {
+				model[itemID] = proposed
+			}
+			// Invariants against the model.
+			cur, ok, err := s.Current("ws", itemID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if model[itemID] == 0 {
+				if ok {
+					t.Fatalf("seed %d: phantom item %s", seed, itemID)
+				}
+				continue
+			}
+			if !ok || cur.Version != model[itemID] {
+				t.Fatalf("seed %d: current(%s) = v%d ok=%v, model v%d",
+					seed, itemID, cur.Version, ok, model[itemID])
+			}
+			hist, err := s.History("ws", itemID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range hist {
+				if v.Version != uint64(i+1) {
+					t.Fatalf("seed %d: history[%d] of %s has v%d", seed, i, itemID, v.Version)
+				}
+			}
+		}
+	}
+}
+
+// TestStateMatchesChains cross-checks State against per-item Current for
+// random workloads including deletions.
+func TestStateMatchesChains(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	s := NewStore()
+	if err := s.CreateWorkspace(Workspace{ID: "ws", Owner: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	versions := map[string]uint64{}
+	live := map[string]bool{}
+	for step := 0; step < 300; step++ {
+		itemID := string(rune('a' + r.Intn(8)))
+		next := versions[itemID] + 1
+		status := Modified
+		if next == 1 {
+			status = Added
+		}
+		if live[itemID] && r.Intn(4) == 0 {
+			status = Deleted
+		}
+		if _, err := s.CommitVersion(ItemVersion{
+			Workspace: "ws", ItemID: itemID, Path: "/" + itemID,
+			Version: next, Status: status,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		versions[itemID] = next
+		live[itemID] = status != Deleted
+	}
+	state, err := s.State("ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLive := 0
+	for _, ok := range live {
+		if ok {
+			wantLive++
+		}
+	}
+	if len(state) != wantLive {
+		t.Fatalf("state has %d items, model says %d", len(state), wantLive)
+	}
+	for _, v := range state {
+		if !live[v.ItemID] {
+			t.Fatalf("deleted item %s in state", v.ItemID)
+		}
+		if v.Version != versions[v.ItemID] {
+			t.Fatalf("state %s at v%d, model v%d", v.ItemID, v.Version, versions[v.ItemID])
+		}
+	}
+}

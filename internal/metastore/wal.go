@@ -1,0 +1,138 @@
+package metastore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// WAL is the metadata store's write-ahead log: workspace creations and
+// committed item versions are appended as JSON lines and replayed on
+// recovery, standing in for PostgreSQL durability.
+type WAL struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+type walOp string
+
+const (
+	walWorkspace walOp = "workspace"
+	walVersion   walOp = "version"
+)
+
+type walEntry struct {
+	Op        walOp        `json:"op"`
+	Workspace *Workspace   `json:"workspace,omitempty"`
+	Version   *ItemVersion `json:"version,omitempty"`
+}
+
+// OpenWAL opens (creating if needed) the log at path for appending.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("metastore: open wal: %w", err)
+	}
+	return &WAL{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (w *WAL) record(e walEntry) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("metastore: wal closed")
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("metastore: marshal wal entry: %w", err)
+	}
+	if _, err := w.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("metastore: append wal: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("metastore: flush wal: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	flushErr := w.w.Flush()
+	closeErr := w.f.Close()
+	w.f = nil
+	if flushErr != nil {
+		return fmt.Errorf("metastore: flush wal on close: %w", flushErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("metastore: close wal: %w", closeErr)
+	}
+	return nil
+}
+
+// Recover rebuilds a Store from the log at path and keeps journalling to it.
+// A torn trailing line (crash mid-append) is tolerated: replay stops there.
+func Recover(path string, opts ...Option) (*Store, error) {
+	s := NewStore(opts...)
+	s.wal = nil // replay without re-recording
+
+	f, err := os.Open(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh database.
+	case err != nil:
+		return nil, fmt.Errorf("metastore: open wal for recovery: %w", err)
+	default:
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e walEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				break // torn tail
+			}
+			switch e.Op {
+			case walWorkspace:
+				if e.Workspace != nil {
+					if err := s.CreateWorkspace(*e.Workspace); err != nil && !errors.Is(err, ErrWorkspaceExists) {
+						_ = f.Close()
+						return nil, err
+					}
+				}
+			case walVersion:
+				if e.Version != nil {
+					s.mu.Lock()
+					_, err := s.commitLocked(*e.Version)
+					s.mu.Unlock()
+					if err != nil && !errors.Is(err, ErrVersionConflict) {
+						_ = f.Close()
+						return nil, err
+					}
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("metastore: close wal after recovery: %w", err)
+		}
+	}
+
+	w, err := OpenWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.wal = w
+	s.mu.Unlock()
+	return s, nil
+}

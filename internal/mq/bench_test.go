@@ -1,0 +1,97 @@
+package mq
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkPublishConsumeAck(b *testing.B) {
+	br := NewBroker()
+	defer br.Close()
+	if err := br.DeclareQueue("bench"); err != nil {
+		b.Fatal(err)
+	}
+	sub, err := br.Subscribe("bench", 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for d := range sub.Deliveries() {
+			_ = d.Ack()
+		}
+	}()
+	payload := make([]byte, 1024)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Publish("", "bench", Message{Body: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = sub.Cancel()
+	<-done
+}
+
+func BenchmarkFanoutPublish(b *testing.B) {
+	for _, queues := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("queues=%d", queues), func(b *testing.B) {
+			br := NewBroker()
+			defer br.Close()
+			if err := br.DeclareExchange("fan", Fanout); err != nil {
+				b.Fatal(err)
+			}
+			for q := 0; q < queues; q++ {
+				name := fmt.Sprintf("q%d", q)
+				if err := br.DeclareQueue(name); err != nil {
+					b.Fatal(err)
+				}
+				if err := br.BindQueue(name, "fan", ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+			payload := make([]byte, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := br.Publish("fan", "", Message{Body: payload}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNetworkRoundTrip(b *testing.B) {
+	br := NewBroker()
+	defer br.Close()
+	srv, err := NewServer(br, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.DeclareQueue("rt"); err != nil {
+		b.Fatal(err)
+	}
+	sub, err := cli.Subscribe("rt", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Publish("", "rt", Message{Body: payload}); err != nil {
+			b.Fatal(err)
+		}
+		d := <-sub.Deliveries()
+		if err := d.Ack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

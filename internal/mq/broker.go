@@ -1,0 +1,539 @@
+package mq
+
+import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"stacksync/internal/clock"
+)
+
+// Broker is the in-process message broker. A single mutex guards all state:
+// at the scale of this reproduction (tens of thousands of messages per
+// second) lock contention is negligible and the simplicity buys easy
+// correctness for the redelivery and round-robin invariants.
+type Broker struct {
+	mu        sync.Mutex
+	queues    map[string]*queue
+	exchanges map[string]*exchange
+	journal   *Journal
+	clk       clock.Clock
+	nextTag   uint64
+	nextMsgID uint64
+	closed    bool
+}
+
+var _ MQ = (*Broker)(nil)
+
+type exchange struct {
+	kind ExchangeKind
+	// bindings maps binding key -> set of queue names. Fanout exchanges use
+	// the empty key for all bindings.
+	bindings map[string]map[string]struct{}
+}
+
+type queuedMsg struct {
+	msg         Message
+	redelivered int
+}
+
+type inflightMsg struct {
+	qm       *queuedMsg
+	consumer *consumer
+}
+
+type queue struct {
+	name      string
+	pending   *list.List // of *queuedMsg
+	consumers []*consumer
+	rr        int
+	unacked   map[uint64]inflightMsg
+
+	enqueued    uint64
+	acked       uint64
+	redelivered uint64
+	arrivals    rateCounter
+}
+
+type consumer struct {
+	queue     *queue
+	ch        chan Delivery
+	prefetch  int
+	inflight  int
+	cancelled bool
+}
+
+// BrokerOption configures a Broker.
+type BrokerOption func(*Broker)
+
+// WithClock substitutes the time source (used by virtual-time experiments).
+func WithClock(c clock.Clock) BrokerOption {
+	return func(b *Broker) { b.clk = c }
+}
+
+// WithJournal enables write-ahead persistence of declarations and
+// persistent messages at the given path. See Journal.
+func WithJournal(j *Journal) BrokerOption {
+	return func(b *Broker) { b.journal = j }
+}
+
+// NewBroker returns an empty broker ready for declarations.
+func NewBroker(opts ...BrokerOption) *Broker {
+	b := &Broker{
+		queues:    make(map[string]*queue),
+		exchanges: make(map[string]*exchange),
+		clk:       clock.NewReal(),
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
+
+// DeclareQueue creates the named queue. Declaring an existing queue is a
+// no-op, which lets many server objects bind to the same identifier (§3).
+func (b *Broker) DeclareQueue(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if _, ok := b.queues[name]; ok {
+		return nil
+	}
+	b.addQueueLocked(name)
+	if b.journal != nil {
+		return b.journal.record(journalEntry{Op: jopDeclareQueue, Queue: name})
+	}
+	return nil
+}
+
+func (b *Broker) addQueueLocked(name string) *queue {
+	q := &queue{
+		name:    name,
+		pending: list.New(),
+		unacked: make(map[uint64]inflightMsg),
+	}
+	b.queues[name] = q
+	return q
+}
+
+// DeleteQueue removes the queue, dropping pending messages and closing its
+// consumers' delivery channels.
+func (b *Broker) DeleteQueue(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	q, ok := b.queues[name]
+	if !ok {
+		return ErrQueueNotFound
+	}
+	for _, c := range q.consumers {
+		if !c.cancelled {
+			c.cancelled = true
+			close(c.ch)
+		}
+	}
+	delete(b.queues, name)
+	for _, ex := range b.exchanges {
+		for _, set := range ex.bindings {
+			delete(set, name)
+		}
+	}
+	if b.journal != nil {
+		return b.journal.record(journalEntry{Op: jopDeleteQueue, Queue: name})
+	}
+	return nil
+}
+
+// DeclareExchange creates an exchange. Re-declaring with the same kind is a
+// no-op; with a different kind it fails.
+func (b *Broker) DeclareExchange(name string, kind ExchangeKind) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if ex, ok := b.exchanges[name]; ok {
+		if ex.kind != kind {
+			return ErrExchangeExists
+		}
+		return nil
+	}
+	b.exchanges[name] = &exchange{kind: kind, bindings: make(map[string]map[string]struct{})}
+	if b.journal != nil {
+		return b.journal.record(journalEntry{Op: jopDeclareExchange, Exchange: name, Kind: kind.String()})
+	}
+	return nil
+}
+
+// BindQueue binds a queue to an exchange under a key. For fanout exchanges
+// the key is ignored (normalized to "").
+func (b *Broker) BindQueue(queueName, exchangeName, key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	ex, ok := b.exchanges[exchangeName]
+	if !ok {
+		return ErrNoExchange
+	}
+	if _, ok := b.queues[queueName]; !ok {
+		return ErrQueueNotFound
+	}
+	if ex.kind == Fanout {
+		key = ""
+	}
+	set, ok := ex.bindings[key]
+	if !ok {
+		set = make(map[string]struct{})
+		ex.bindings[key] = set
+	}
+	set[queueName] = struct{}{}
+	if b.journal != nil {
+		return b.journal.record(journalEntry{Op: jopBind, Queue: queueName, Exchange: exchangeName, Key: key})
+	}
+	return nil
+}
+
+// UnbindQueue removes a binding; unknown bindings are ignored.
+func (b *Broker) UnbindQueue(queueName, exchangeName, key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	ex, ok := b.exchanges[exchangeName]
+	if !ok {
+		return ErrNoExchange
+	}
+	if ex.kind == Fanout {
+		key = ""
+	}
+	if set, ok := ex.bindings[key]; ok {
+		delete(set, queueName)
+	}
+	if b.journal != nil {
+		return b.journal.record(journalEntry{Op: jopUnbind, Queue: queueName, Exchange: exchangeName, Key: key})
+	}
+	return nil
+}
+
+// Publish routes a message. The empty exchange is the AMQP default exchange:
+// it routes directly to the queue named by the routing key.
+func (b *Broker) Publish(exchangeName, key string, msg Message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if msg.ID == "" {
+		b.nextMsgID++
+		msg.ID = "m" + strconv.FormatUint(b.nextMsgID, 10)
+	}
+	targets, err := b.routeLocked(exchangeName, key)
+	if err != nil {
+		return err
+	}
+	now := b.clk.Now()
+	for _, q := range targets {
+		if b.journal != nil && msg.Persistent {
+			if err := b.journal.record(journalEntry{Op: jopPublish, Queue: q.name, Msg: &msg}); err != nil {
+				return err
+			}
+		}
+		q.pending.PushBack(&queuedMsg{msg: msg})
+		q.enqueued++
+		q.arrivals.add(now)
+		b.dispatchLocked(q)
+	}
+	return nil
+}
+
+func (b *Broker) routeLocked(exchangeName, key string) ([]*queue, error) {
+	if exchangeName == "" {
+		q, ok := b.queues[key]
+		if !ok {
+			return nil, fmt.Errorf("mq: publish to %q: %w", key, ErrQueueNotFound)
+		}
+		return []*queue{q}, nil
+	}
+	ex, ok := b.exchanges[exchangeName]
+	if !ok {
+		return nil, ErrNoExchange
+	}
+	if ex.kind == Fanout {
+		key = ""
+	}
+	set := ex.bindings[key]
+	targets := make([]*queue, 0, len(set))
+	for name := range set {
+		if q, ok := b.queues[name]; ok {
+			targets = append(targets, q)
+		}
+	}
+	return targets, nil
+}
+
+// Subscribe registers a consumer with the given prefetch (max unacked
+// deliveries in flight to this consumer; must be >= 1).
+func (b *Broker) Subscribe(queueName string, prefetch int) (Subscription, error) {
+	if prefetch < 1 {
+		return nil, ErrBadPrefetch
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	q, ok := b.queues[queueName]
+	if !ok {
+		return nil, ErrQueueNotFound
+	}
+	c := &consumer{
+		queue:    q,
+		ch:       make(chan Delivery, prefetch),
+		prefetch: prefetch,
+	}
+	q.consumers = append(q.consumers, c)
+	b.dispatchLocked(q)
+	return &brokerSubscription{b: b, c: c}, nil
+}
+
+// dispatchLocked moves pending messages to consumers with free credit,
+// round-robin. Caller holds b.mu. Sends never block: a consumer's channel
+// buffer equals its prefetch and inflight < prefetch is checked first.
+func (b *Broker) dispatchLocked(q *queue) {
+	for q.pending.Len() > 0 {
+		c := q.nextFreeConsumer()
+		if c == nil {
+			return
+		}
+		front := q.pending.Front()
+		qm := front.Value.(*queuedMsg)
+		q.pending.Remove(front)
+		b.nextTag++
+		tag := b.nextTag
+		q.unacked[tag] = inflightMsg{qm: qm, consumer: c}
+		c.inflight++
+		if qm.redelivered > 0 {
+			q.redelivered++
+		}
+		c.ch <- Delivery{
+			Message:     qm.msg,
+			Queue:       q.name,
+			Tag:         tag,
+			Redelivered: qm.redelivered,
+			settle:      b.settleFunc(q.name, tag),
+		}
+	}
+}
+
+func (q *queue) nextFreeConsumer() *consumer {
+	n := len(q.consumers)
+	for i := 0; i < n; i++ {
+		c := q.consumers[(q.rr+i)%n]
+		if !c.cancelled && c.inflight < c.prefetch {
+			q.rr = (q.rr + i + 1) % n
+			return c
+		}
+	}
+	return nil
+}
+
+func (b *Broker) settleFunc(queueName string, tag uint64) func(ack, requeue bool) error {
+	return func(ack, requeue bool) error {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.closed {
+			return ErrClosed
+		}
+		q, ok := b.queues[queueName]
+		if !ok {
+			return ErrQueueNotFound
+		}
+		inflight, ok := q.unacked[tag]
+		if !ok {
+			return ErrAlreadySettled
+		}
+		delete(q.unacked, tag)
+		inflight.consumer.inflight--
+		switch {
+		case ack:
+			q.acked++
+			if b.journal != nil && inflight.qm.msg.Persistent {
+				if err := b.journal.record(journalEntry{Op: jopAck, Queue: queueName, MsgID: inflight.qm.msg.ID}); err != nil {
+					return err
+				}
+			}
+		case requeue:
+			inflight.qm.redelivered++
+			q.pending.PushFront(inflight.qm)
+		default:
+			// Dropped. Persistent messages are considered consumed.
+			if b.journal != nil && inflight.qm.msg.Persistent {
+				if err := b.journal.record(journalEntry{Op: jopAck, Queue: queueName, MsgID: inflight.qm.msg.ID}); err != nil {
+					return err
+				}
+			}
+		}
+		b.dispatchLocked(q)
+		return nil
+	}
+}
+
+// QueueStats returns an introspection snapshot of the named queue.
+func (b *Broker) QueueStats(name string) (QueueStats, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return QueueStats{}, ErrClosed
+	}
+	q, ok := b.queues[name]
+	if !ok {
+		return QueueStats{}, ErrQueueNotFound
+	}
+	active := 0
+	for _, c := range q.consumers {
+		if !c.cancelled {
+			active++
+		}
+	}
+	return QueueStats{
+		Name:        name,
+		Depth:       q.pending.Len(),
+		Unacked:     len(q.unacked),
+		Consumers:   active,
+		Enqueued:    q.enqueued,
+		Acked:       q.acked,
+		Redelivered: q.redelivered,
+		ArrivalRate: q.arrivals.rate(b.clk.Now()),
+	}, nil
+}
+
+// Queues lists the declared queue names (for the supervisor UI and tests).
+func (b *Broker) Queues() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.queues))
+	for name := range b.queues {
+		names = append(names, name)
+	}
+	return names
+}
+
+// Close shuts the broker down, closing all consumer channels. Pending
+// persistent messages remain in the journal for recovery.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	for _, q := range b.queues {
+		for _, c := range q.consumers {
+			if !c.cancelled {
+				c.cancelled = true
+				close(c.ch)
+			}
+		}
+	}
+	if b.journal != nil {
+		return b.journal.Close()
+	}
+	return nil
+}
+
+type brokerSubscription struct {
+	b *Broker
+	c *consumer
+}
+
+var _ Subscription = (*brokerSubscription)(nil)
+
+func (s *brokerSubscription) Deliveries() <-chan Delivery { return s.c.ch }
+
+// Cancel unregisters the consumer. Its unacked messages return to the front
+// of the queue (in tag order) so another instance picks them up — this is
+// the §3.4 crash-redelivery behaviour.
+func (s *brokerSubscription) Cancel() error {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if s.c.cancelled {
+		return nil
+	}
+	s.c.cancelled = true
+	close(s.c.ch)
+	q := s.c.queue
+	// Collect this consumer's unacked deliveries sorted by tag so the
+	// original order is preserved when pushed back to the front.
+	var tags []uint64
+	for tag, inflight := range q.unacked {
+		if inflight.consumer == s.c {
+			tags = append(tags, tag)
+		}
+	}
+	sortTags(tags)
+	for i := len(tags) - 1; i >= 0; i-- {
+		inflight := q.unacked[tags[i]]
+		delete(q.unacked, tags[i])
+		inflight.qm.redelivered++
+		q.pending.PushFront(inflight.qm)
+	}
+	s.c.inflight = 0
+	// Drop the consumer from the queue's list.
+	for i, c := range q.consumers {
+		if c == s.c {
+			q.consumers = append(q.consumers[:i], q.consumers[i+1:]...)
+			break
+		}
+	}
+	if q.rr >= len(q.consumers) {
+		q.rr = 0
+	}
+	if !s.b.closed {
+		s.b.dispatchLocked(q)
+	}
+	return nil
+}
+
+func sortTags(tags []uint64) {
+	for i := 1; i < len(tags); i++ {
+		for j := i; j > 0 && tags[j] < tags[j-1]; j-- {
+			tags[j], tags[j-1] = tags[j-1], tags[j]
+		}
+	}
+}
+
+// rateCounter tracks arrivals in one-second buckets over rateWindow.
+type rateCounter struct {
+	buckets [60]uint32
+	seconds [60]int64
+}
+
+func (r *rateCounter) add(now time.Time) {
+	sec := now.Unix()
+	i := int(((sec % 60) + 60) % 60)
+	if r.seconds[i] != sec {
+		r.seconds[i] = sec
+		r.buckets[i] = 0
+	}
+	r.buckets[i]++
+}
+
+func (r *rateCounter) rate(now time.Time) float64 {
+	sec := now.Unix()
+	var total uint64
+	for i := 0; i < 60; i++ {
+		if sec-r.seconds[i] < int64(rateWindow/time.Second) && r.seconds[i] <= sec {
+			total += uint64(r.buckets[i])
+		}
+	}
+	return float64(total) / rateWindow.Seconds()
+}

@@ -1,0 +1,457 @@
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"stacksync/internal/clock"
+)
+
+func mustDeclare(t *testing.T, b MQ, queues ...string) {
+	t.Helper()
+	for _, q := range queues {
+		if err := b.DeclareQueue(q); err != nil {
+			t.Fatalf("DeclareQueue(%q): %v", q, err)
+		}
+	}
+}
+
+func recvDelivery(t *testing.T, sub Subscription) Delivery {
+	t.Helper()
+	select {
+	case d, ok := <-sub.Deliveries():
+		if !ok {
+			t.Fatal("delivery channel closed")
+		}
+		return d
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for delivery")
+	}
+	panic("unreachable")
+}
+
+func expectNoDelivery(t *testing.T, sub Subscription, wait time.Duration) {
+	t.Helper()
+	select {
+	case d, ok := <-sub.Deliveries():
+		if ok {
+			t.Fatalf("unexpected delivery %q", d.Body)
+		}
+	case <-time.After(wait):
+	}
+}
+
+func TestPublishToUndeclaredQueueFails(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	err := b.Publish("", "nope", Message{Body: []byte("x")})
+	if !errors.Is(err, ErrQueueNotFound) {
+		t.Fatalf("expected ErrQueueNotFound, got %v", err)
+	}
+}
+
+func TestBasicPublishConsumeAck(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	sub, err := b.Subscribe("q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("", "q", Message{Body: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	d := recvDelivery(t, sub)
+	if string(d.Body) != "hello" {
+		t.Fatalf("got body %q", d.Body)
+	}
+	if d.Redelivered != 0 {
+		t.Fatalf("fresh delivery marked redelivered %d", d.Redelivered)
+	}
+	if err := d.Ack(); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	stats, err := b.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Acked != 1 || stats.Depth != 0 || stats.Unacked != 0 {
+		t.Fatalf("stats after ack: %+v", stats)
+	}
+}
+
+func TestDoubleSettleFails(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	sub, _ := b.Subscribe("q", 1)
+	_ = b.Publish("", "q", Message{Body: []byte("x")})
+	d := recvDelivery(t, sub)
+	if err := d.Ack(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Ack(); !errors.Is(err, ErrAlreadySettled) {
+		t.Fatalf("second Ack: got %v, want ErrAlreadySettled", err)
+	}
+	if err := d.Nack(true); !errors.Is(err, ErrAlreadySettled) {
+		t.Fatalf("Nack after Ack: got %v, want ErrAlreadySettled", err)
+	}
+}
+
+func TestPrefetchLimitsInflight(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	sub, _ := b.Subscribe("q", 2)
+	for i := 0; i < 5; i++ {
+		_ = b.Publish("", "q", Message{Body: []byte{byte(i)}})
+	}
+	d1 := recvDelivery(t, sub)
+	d2 := recvDelivery(t, sub)
+	expectNoDelivery(t, sub, 50*time.Millisecond)
+	stats, _ := b.QueueStats("q")
+	if stats.Unacked != 2 || stats.Depth != 3 {
+		t.Fatalf("stats with prefetch 2: %+v", stats)
+	}
+	_ = d1.Ack()
+	d3 := recvDelivery(t, sub)
+	if d3.Body[0] != 2 {
+		t.Fatalf("expected message 2 next, got %d", d3.Body[0])
+	}
+	_ = d2.Ack()
+	_ = d3.Ack()
+}
+
+func TestRoundRobinAcrossConsumers(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	subA, _ := b.Subscribe("q", 10)
+	subB, _ := b.Subscribe("q", 10)
+	for i := 0; i < 10; i++ {
+		_ = b.Publish("", "q", Message{Body: []byte{byte(i)}})
+	}
+	countA, countB := 0, 0
+	for i := 0; i < 5; i++ {
+		da := recvDelivery(t, subA)
+		db := recvDelivery(t, subB)
+		countA++
+		countB++
+		_ = da.Ack()
+		_ = db.Ack()
+	}
+	if countA != 5 || countB != 5 {
+		t.Fatalf("round robin split %d/%d, want 5/5", countA, countB)
+	}
+}
+
+func TestNackRequeueRedelivers(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	sub, _ := b.Subscribe("q", 1)
+	_ = b.Publish("", "q", Message{Body: []byte("retry me")})
+	d := recvDelivery(t, sub)
+	if err := d.Nack(true); err != nil {
+		t.Fatal(err)
+	}
+	d2 := recvDelivery(t, sub)
+	if string(d2.Body) != "retry me" || d2.Redelivered != 1 {
+		t.Fatalf("redelivery: body=%q redelivered=%d", d2.Body, d2.Redelivered)
+	}
+	_ = d2.Ack()
+}
+
+func TestNackDropDiscards(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	sub, _ := b.Subscribe("q", 1)
+	_ = b.Publish("", "q", Message{Body: []byte("drop me")})
+	d := recvDelivery(t, sub)
+	if err := d.Nack(false); err != nil {
+		t.Fatal(err)
+	}
+	expectNoDelivery(t, sub, 50*time.Millisecond)
+	stats, _ := b.QueueStats("q")
+	if stats.Depth != 0 || stats.Unacked != 0 {
+		t.Fatalf("dropped message still tracked: %+v", stats)
+	}
+}
+
+func TestCancelRequeuesUnackedInOrder(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	subA, _ := b.Subscribe("q", 3)
+	for i := 0; i < 3; i++ {
+		_ = b.Publish("", "q", Message{Body: []byte{byte(i)}})
+	}
+	// Drain into A without acking, then kill A: messages must go back in
+	// order for B (the §3.4 crash-redelivery property).
+	for i := 0; i < 3; i++ {
+		recvDelivery(t, subA)
+	}
+	if err := subA.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	subB, _ := b.Subscribe("q", 3)
+	for i := 0; i < 3; i++ {
+		d := recvDelivery(t, subB)
+		if int(d.Body[0]) != i {
+			t.Fatalf("redelivery out of order: got %d at position %d", d.Body[0], i)
+		}
+		if d.Redelivered != 1 {
+			t.Fatalf("expected redelivered=1, got %d", d.Redelivered)
+		}
+		_ = d.Ack()
+	}
+}
+
+func TestCancelClosesChannel(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	sub, _ := b.Subscribe("q", 1)
+	if err := sub.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub.Deliveries(); ok {
+		t.Fatal("channel still open after cancel")
+	}
+	if err := sub.Cancel(); err != nil {
+		t.Fatalf("second Cancel should be a no-op, got %v", err)
+	}
+}
+
+func TestFanoutExchangeCopiesToAllQueues(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q1", "q2", "q3")
+	if err := b.DeclareExchange("ws", Fanout); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"q1", "q2", "q3"} {
+		if err := b.BindQueue(q, "ws", "ignored-key"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subs := make([]Subscription, 3)
+	for i, q := range []string{"q1", "q2", "q3"} {
+		s, err := b.Subscribe(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = s
+	}
+	if err := b.Publish("ws", "any", Message{Body: []byte("notify")}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range subs {
+		d := recvDelivery(t, s)
+		if string(d.Body) != "notify" {
+			t.Fatalf("queue %d got %q", i, d.Body)
+		}
+		_ = d.Ack()
+	}
+}
+
+func TestDirectExchangeRoutesByKey(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "alpha", "beta")
+	if err := b.DeclareExchange("ex", Direct); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.BindQueue("alpha", "ex", "a")
+	_ = b.BindQueue("beta", "ex", "b")
+	subA, _ := b.Subscribe("alpha", 1)
+	subB, _ := b.Subscribe("beta", 1)
+	_ = b.Publish("ex", "a", Message{Body: []byte("for-a")})
+	d := recvDelivery(t, subA)
+	if string(d.Body) != "for-a" {
+		t.Fatalf("alpha got %q", d.Body)
+	}
+	_ = d.Ack()
+	expectNoDelivery(t, subB, 50*time.Millisecond)
+	// Unrouted key is silently dropped (AMQP default-exchange semantics
+	// differ; direct exchanges drop unroutable messages).
+	if err := b.Publish("ex", "zzz", Message{Body: []byte("lost")}); err != nil {
+		t.Fatalf("publish with unbound key: %v", err)
+	}
+}
+
+func TestUnbindStopsDelivery(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	_ = b.DeclareExchange("ws", Fanout)
+	_ = b.BindQueue("q", "ws", "")
+	sub, _ := b.Subscribe("q", 1)
+	_ = b.Publish("ws", "", Message{Body: []byte("one")})
+	d := recvDelivery(t, sub)
+	_ = d.Ack()
+	if err := b.UnbindQueue("q", "ws", ""); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Publish("ws", "", Message{Body: []byte("two")})
+	expectNoDelivery(t, sub, 50*time.Millisecond)
+}
+
+func TestExchangeRedeclareKindMismatch(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if err := b.DeclareExchange("ex", Direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeclareExchange("ex", Direct); err != nil {
+		t.Fatalf("same-kind redeclare should be no-op, got %v", err)
+	}
+	if err := b.DeclareExchange("ex", Fanout); !errors.Is(err, ErrExchangeExists) {
+		t.Fatalf("kind mismatch: got %v", err)
+	}
+}
+
+func TestDeleteQueueDropsBindingsAndConsumers(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	_ = b.DeclareExchange("ws", Fanout)
+	_ = b.BindQueue("q", "ws", "")
+	sub, _ := b.Subscribe("q", 1)
+	if err := b.DeleteQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub.Deliveries(); ok {
+		t.Fatal("consumer channel open after queue delete")
+	}
+	if err := b.Publish("ws", "", Message{Body: []byte("x")}); err != nil {
+		t.Fatalf("fanout publish after queue delete should drop silently: %v", err)
+	}
+	if _, err := b.QueueStats("q"); !errors.Is(err, ErrQueueNotFound) {
+		t.Fatalf("stats for deleted queue: %v", err)
+	}
+}
+
+func TestSubscribeBadPrefetch(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	if _, err := b.Subscribe("q", 0); !errors.Is(err, ErrBadPrefetch) {
+		t.Fatalf("prefetch 0: %v", err)
+	}
+	if _, err := b.Subscribe("q", -1); !errors.Is(err, ErrBadPrefetch) {
+		t.Fatalf("prefetch -1: %v", err)
+	}
+}
+
+func TestCloseRejectsFurtherOps(t *testing.T) {
+	b := NewBroker()
+	mustDeclare(t, b, "q")
+	sub, _ := b.Subscribe("q", 1)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub.Deliveries(); ok {
+		t.Fatal("consumer channel open after broker close")
+	}
+	if err := b.Publish("", "q", Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("publish after close: %v", err)
+	}
+	if err := b.DeclareQueue("r"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("declare after close: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestArrivalRateWithVirtualClock(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(1_000_000, 0))
+	b := NewBroker(WithClock(vc))
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	// 120 messages over 60 virtual seconds = 2 msg/s.
+	for i := 0; i < 60; i++ {
+		_ = b.Publish("", "q", Message{})
+		_ = b.Publish("", "q", Message{})
+		vc.Advance(time.Second)
+	}
+	stats, err := b.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ArrivalRate < 1.5 || stats.ArrivalRate > 2.5 {
+		t.Fatalf("arrival rate = %.2f, want ~2.0", stats.ArrivalRate)
+	}
+}
+
+func TestMessageIDAssignedWhenEmpty(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	sub, _ := b.Subscribe("q", 2)
+	_ = b.Publish("", "q", Message{Body: []byte("a")})
+	_ = b.Publish("", "q", Message{ID: "custom", Body: []byte("b")})
+	d1 := recvDelivery(t, sub)
+	d2 := recvDelivery(t, sub)
+	if d1.Message.ID == "" {
+		t.Fatal("broker did not assign a message ID")
+	}
+	if d2.Message.ID != "custom" {
+		t.Fatalf("custom ID overwritten: %q", d2.Message.ID)
+	}
+	_ = d1.Ack()
+	_ = d2.Ack()
+}
+
+func TestManyProducersManyConsumers(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "work")
+	const (
+		producers = 8
+		consumers = 4
+		perProd   = 50
+	)
+	total := producers * perProd
+	received := make(chan string, total)
+	subs := make([]Subscription, consumers)
+	for i := range subs {
+		sub, err := b.Subscribe("work", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = sub
+		go func(s Subscription) {
+			for d := range s.Deliveries() {
+				received <- string(d.Body)
+				_ = d.Ack()
+			}
+		}(sub)
+	}
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			for i := 0; i < perProd; i++ {
+				_ = b.Publish("", "work", Message{Body: []byte(fmt.Sprintf("p%d-%d", p, i))})
+			}
+		}(p)
+	}
+	seen := make(map[string]bool, total)
+	for i := 0; i < total; i++ {
+		select {
+		case msg := <-received:
+			if seen[msg] {
+				t.Fatalf("duplicate delivery %q", msg)
+			}
+			seen[msg] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stalled after %d/%d messages", i, total)
+		}
+	}
+	for _, sub := range subs {
+		_ = sub.Cancel()
+	}
+}

@@ -1,0 +1,141 @@
+package mq
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAtLeastOnceUnderChaos is a model-based test of the broker's central
+// guarantee (§3.4: "no remote invocations can be lost"): a fleet of
+// consumers randomly acks, requeues, or dies mid-stream, and every published
+// message must still be acked exactly once in the end, with redeliveries
+// fully accounted for.
+func TestAtLeastOnceUnderChaos(t *testing.T) {
+	const (
+		seeds     = 5
+		messages  = 300
+		consumers = 4
+	)
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			b := NewBroker()
+			defer b.Close()
+			mustDeclare(t, b, "chaos")
+
+			var mu sync.Mutex
+			acked := make(map[string]int, messages)
+			var wg sync.WaitGroup
+
+			// Consumer behaviour: ack 70%, requeue 15%, drop-consumer 15%.
+			consume := func(r *rand.Rand) {
+				defer wg.Done()
+				for {
+					sub, err := b.Subscribe("chaos", 1+r.Intn(3))
+					if err != nil {
+						return
+					}
+					alive := true
+					for alive {
+						d, ok := <-sub.Deliveries()
+						if !ok {
+							return
+						}
+						switch x := r.Float64(); {
+						case x < 0.70:
+							if err := d.Ack(); err == nil {
+								mu.Lock()
+								acked[d.Message.ID]++
+								mu.Unlock()
+							}
+						case x < 0.85:
+							_ = d.Nack(true)
+						default:
+							// Die without settling: cancel requeues the
+							// unacked delivery; then reincarnate.
+							_ = sub.Cancel()
+							alive = false
+						}
+					}
+				}
+			}
+			for c := 0; c < consumers; c++ {
+				wg.Add(1)
+				go consume(rand.New(rand.NewSource(seed*100 + int64(c))))
+			}
+
+			for i := 0; i < messages; i++ {
+				if err := b.Publish("", "chaos", Message{ID: fmt.Sprintf("m-%d-%d", seed, i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Every message must eventually be acked exactly once.
+			deadline := time.Now().Add(20 * time.Second)
+			for {
+				mu.Lock()
+				done := len(acked) == messages
+				mu.Unlock()
+				if done {
+					break
+				}
+				if time.Now().After(deadline) {
+					mu.Lock()
+					t.Fatalf("only %d/%d messages acked", len(acked), messages)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			mu.Lock()
+			for id, n := range acked {
+				if n != 1 {
+					t.Fatalf("message %s acked %d times", id, n)
+				}
+			}
+			mu.Unlock()
+
+			stats, err := b.QueueStats("chaos")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Acked != messages {
+				t.Fatalf("broker acked counter = %d, want %d", stats.Acked, messages)
+			}
+			// Close the broker so remaining consumer goroutines drain.
+			_ = b.Close()
+			wg.Wait()
+			if stats.Depth != 0 {
+				t.Fatalf("queue depth %d after full consumption", stats.Depth)
+			}
+		})
+	}
+}
+
+// TestRedeliveryCountsMonotonic checks that the broker's redelivery counter
+// only grows and reflects actual requeues.
+func TestRedeliveryCountsMonotonic(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	mustDeclare(t, b, "q")
+	sub, _ := b.Subscribe("q", 1)
+	_ = b.Publish("", "q", Message{Body: []byte("x")})
+
+	const bounces = 7
+	for i := 0; i < bounces; i++ {
+		d := recvDelivery(t, sub)
+		if d.Redelivered != i {
+			t.Fatalf("attempt %d has redelivered=%d", i, d.Redelivered)
+		}
+		if i < bounces-1 {
+			_ = d.Nack(true)
+		} else {
+			_ = d.Ack()
+		}
+	}
+	stats, _ := b.QueueStats("q")
+	if stats.Redelivered != bounces-1 {
+		t.Fatalf("redelivered counter = %d, want %d", stats.Redelivered, bounces-1)
+	}
+}

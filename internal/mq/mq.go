@@ -1,0 +1,144 @@
+// Package mq implements the messaging substrate the paper deploys as
+// RabbitMQ 2.8.7: named queues with competing consumers, direct and fanout
+// exchanges, explicit acknowledgements with redelivery, per-consumer
+// prefetch, round-robin load balancing and optional write-ahead persistence.
+//
+// Two implementations satisfy the MQ interface: Broker (in-process) and
+// Client (over TCP, speaking the wire protocol to a Server wrapping a
+// Broker). ObjectMQ is written against MQ and works with either.
+package mq
+
+import (
+	"errors"
+	"time"
+)
+
+// ExchangeKind selects the routing discipline of an exchange.
+type ExchangeKind int
+
+const (
+	// Direct routes a message to the queues bound with a key equal to the
+	// routing key of the publication.
+	Direct ExchangeKind = iota + 1
+	// Fanout copies every message to all bound queues, ignoring keys. This
+	// is the AMQP fanout exchange the paper uses for @MultiMethod.
+	Fanout
+)
+
+// String returns the AMQP-style name of the kind.
+func (k ExchangeKind) String() string {
+	switch k {
+	case Direct:
+		return "direct"
+	case Fanout:
+		return "fanout"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseExchangeKind converts a wire-level kind name back to an ExchangeKind.
+func ParseExchangeKind(s string) (ExchangeKind, error) {
+	switch s {
+	case "direct":
+		return Direct, nil
+	case "fanout":
+		return Fanout, nil
+	default:
+		return 0, errors.New("mq: unknown exchange kind " + s)
+	}
+}
+
+// Message is the unit published to the broker. Body is opaque to mq.
+type Message struct {
+	// ID identifies the message for correlation and journalling. Publish
+	// assigns one when empty.
+	ID string
+	// Headers carry middleware metadata (codec, reply queue, method name).
+	Headers map[string]string
+	// Body is the serialized payload.
+	Body []byte
+	// Persistent messages survive broker restart when journalling is on.
+	Persistent bool
+}
+
+// Delivery is a message handed to a consumer. The consumer must call exactly
+// one of Ack or Nack; unacknowledged deliveries are requeued when the
+// consumer is cancelled or its connection dies, which is the property §3.4
+// relies on for fault tolerance ("no remote invocations can be lost").
+type Delivery struct {
+	Message
+	// Queue is the queue the message was consumed from.
+	Queue string
+	// Tag uniquely identifies this delivery at the broker.
+	Tag uint64
+	// Redelivered counts prior delivery attempts of this message.
+	Redelivered int
+
+	settle func(ack, requeue bool) error
+}
+
+// Ack confirms successful processing; the broker forgets the message.
+func (d *Delivery) Ack() error { return d.settleOnce(true, false) }
+
+// Nack reports failed processing. With requeue the message returns to the
+// front of its queue for another consumer; without, it is dropped.
+func (d *Delivery) Nack(requeue bool) error { return d.settleOnce(false, requeue) }
+
+func (d *Delivery) settleOnce(ack, requeue bool) error {
+	if d.settle == nil {
+		return ErrAlreadySettled
+	}
+	f := d.settle
+	d.settle = nil
+	return f(ack, requeue)
+}
+
+// QueueStats is the introspection snapshot ObjectMQ provisioners consume
+// (§3.3: "adapt to message processing time in queues").
+type QueueStats struct {
+	Name        string  `json:"name"`
+	Depth       int     `json:"depth"`       // messages waiting
+	Unacked     int     `json:"unacked"`     // delivered, not yet settled
+	Consumers   int     `json:"consumers"`   // active consumers
+	Enqueued    uint64  `json:"enqueued"`    // lifetime publish count
+	Acked       uint64  `json:"acked"`       // lifetime ack count
+	Redelivered uint64  `json:"redelivered"` // lifetime redelivery count
+	ArrivalRate float64 `json:"arrivalRate"` // msgs/sec over the rate window
+}
+
+// Subscription is a live consumer registration on a queue.
+type Subscription interface {
+	// Deliveries streams messages. The channel closes after Cancel or when
+	// the broker shuts down.
+	Deliveries() <-chan Delivery
+	// Cancel unregisters the consumer and requeues its unacked deliveries.
+	Cancel() error
+}
+
+// MQ is the broker surface ObjectMQ programs against; satisfied by the
+// in-process Broker and by the TCP Client.
+type MQ interface {
+	DeclareQueue(name string) error
+	DeleteQueue(name string) error
+	DeclareExchange(name string, kind ExchangeKind) error
+	BindQueue(queue, exchange, key string) error
+	UnbindQueue(queue, exchange, key string) error
+	Publish(exchange, key string, msg Message) error
+	Subscribe(queue string, prefetch int) (Subscription, error)
+	QueueStats(name string) (QueueStats, error)
+	Close() error
+}
+
+// Errors shared by broker and client.
+var (
+	ErrClosed         = errors.New("mq: broker closed")
+	ErrQueueNotFound  = errors.New("mq: queue not found")
+	ErrExchangeExists = errors.New("mq: exchange exists with different kind")
+	ErrNoExchange     = errors.New("mq: exchange not found")
+	ErrAlreadySettled = errors.New("mq: delivery already settled")
+	ErrBadPrefetch    = errors.New("mq: prefetch must be positive")
+)
+
+// rateWindow is the sliding window over which ArrivalRate is computed.
+const rateWindow = 60 * time.Second

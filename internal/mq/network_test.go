@@ -1,0 +1,237 @@
+package mq
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// newNetworkPair starts a broker + server and returns a connected client.
+func newNetworkPair(t *testing.T) (*Broker, *Server, *Client) {
+	t.Helper()
+	b := NewBroker()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cli.Close()
+		_ = srv.Close()
+		_ = b.Close()
+	})
+	return b, srv, cli
+}
+
+func TestNetworkDeclarePublishConsume(t *testing.T) {
+	_, _, cli := newNetworkPair(t)
+	if err := cli.DeclareQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cli.Subscribe("q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Publish("", "q", Message{Body: []byte("over the wire")}); err != nil {
+		t.Fatal(err)
+	}
+	d := recvDelivery(t, sub)
+	if string(d.Body) != "over the wire" {
+		t.Fatalf("got %q", d.Body)
+	}
+	if err := d.Ack(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cli.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Acked != 1 {
+		t.Fatalf("remote stats: %+v", stats)
+	}
+}
+
+func TestNetworkErrorsMapToSentinels(t *testing.T) {
+	_, _, cli := newNetworkPair(t)
+	if err := cli.Publish("", "ghost", Message{}); !errors.Is(err, ErrQueueNotFound) {
+		t.Fatalf("want ErrQueueNotFound across the wire, got %v", err)
+	}
+	if _, err := cli.QueueStats("ghost"); !errors.Is(err, ErrQueueNotFound) {
+		t.Fatalf("stats: want ErrQueueNotFound, got %v", err)
+	}
+	if err := cli.DeclareExchange("ex", Direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.DeclareExchange("ex", Fanout); !errors.Is(err, ErrExchangeExists) {
+		t.Fatalf("want ErrExchangeExists, got %v", err)
+	}
+}
+
+func TestNetworkFanoutAcrossClients(t *testing.T) {
+	_, srv, cli1 := newNetworkPair(t)
+	cli2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+
+	if err := cli1.DeclareExchange("ws", Fanout); err != nil {
+		t.Fatal(err)
+	}
+	for i, cli := range []*Client{cli1, cli2} {
+		q := []string{"dev1", "dev2"}[i]
+		if err := cli.DeclareQueue(q); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.BindQueue(q, "ws", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub1, _ := cli1.Subscribe("dev1", 1)
+	sub2, _ := cli2.Subscribe("dev2", 1)
+	if err := cli1.Publish("ws", "", Message{Body: []byte("commit notification")}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []Subscription{sub1, sub2} {
+		d := recvDelivery(t, sub)
+		if string(d.Body) != "commit notification" {
+			t.Fatalf("got %q", d.Body)
+		}
+		_ = d.Ack()
+	}
+}
+
+func TestNetworkClientDisconnectRequeuesUnacked(t *testing.T) {
+	_, srv, cli1 := newNetworkPair(t)
+	if err := cli1.DeclareQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	cli2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := cli2.Subscribe("q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli1.Publish("", "q", Message{Body: []byte("survive crash")}); err != nil {
+		t.Fatal(err)
+	}
+	// cli2 receives but never acks, then its connection dies.
+	recvDelivery(t, sub2)
+	if err := cli2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The message must come back for a healthy consumer.
+	sub1, err := cli1.Subscribe("q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := recvDelivery(t, sub1)
+	if string(d.Body) != "survive crash" || d.Redelivered != 1 {
+		t.Fatalf("redelivery after disconnect: body=%q redelivered=%d", d.Body, d.Redelivered)
+	}
+	_ = d.Ack()
+}
+
+func TestNetworkCancelStopsDeliveries(t *testing.T) {
+	_, _, cli := newNetworkPair(t)
+	if err := cli.DeclareQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cli.Subscribe("q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Publish("", "q", Message{Body: []byte("after cancel")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub.Deliveries(); ok {
+		t.Fatal("delivery after cancel")
+	}
+	stats, err := cli.QueueStats("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Depth != 1 {
+		t.Fatalf("message should stay queued, depth %d", stats.Depth)
+	}
+}
+
+func TestNetworkPing(t *testing.T) {
+	_, _, cli := newNetworkPair(t)
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkServerCloseFailsClients(t *testing.T) {
+	_, srv, cli := newNetworkPair(t)
+	if err := cli.DeclareQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cli.Subscribe("q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-sub.Deliveries():
+		if ok {
+			t.Fatal("unexpected delivery on dead server")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery channel not closed after server shutdown")
+	}
+	if err := cli.DeclareQueue("r"); err == nil {
+		t.Fatal("request on dead connection succeeded")
+	}
+}
+
+func TestNetworkHighThroughputManyConsumers(t *testing.T) {
+	_, srv, producer := newNetworkPair(t)
+	if err := producer.DeclareQueue("work"); err != nil {
+		t.Fatal(err)
+	}
+	const consumers = 3
+	const total = 300
+	received := make(chan struct{}, total)
+	for i := 0; i < consumers; i++ {
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		sub, err := cli.Subscribe("work", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for d := range sub.Deliveries() {
+				_ = d.Ack()
+				received <- struct{}{}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		if err := producer.Publish("", "work", Message{Body: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		select {
+		case <-received:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("stalled after %d/%d", i, total)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Disk is a filesystem-backed Store: one directory per container, one file
+// per object. Keys are chunk fingerprints (hex), so they are always safe
+// path components; other keys are sanitized.
+type Disk struct {
+	root string
+}
+
+var _ Store = (*Disk)(nil)
+
+// NewDisk roots a store at dir, creating it if needed.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("objstore: create root: %w", err)
+	}
+	return &Disk{root: dir}, nil
+}
+
+func safeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func (d *Disk) containerPath(container string) string {
+	return filepath.Join(d.root, safeName(container))
+}
+
+func (d *Disk) objectPath(container, key string) string {
+	return filepath.Join(d.containerPath(container), safeName(key))
+}
+
+// EnsureContainer creates the container directory if missing.
+func (d *Disk) EnsureContainer(container string) error {
+	if err := os.MkdirAll(d.containerPath(container), 0o755); err != nil {
+		return fmt.Errorf("objstore: ensure container %s: %w", container, err)
+	}
+	return nil
+}
+
+// Put writes the object atomically (temp file + rename).
+func (d *Disk) Put(container, key string, data []byte) error {
+	dir := d.containerPath(container)
+	if _, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("objstore: put %s/%s: %w", container, key, ErrNoContainer)
+	}
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("objstore: put %s/%s: %w", container, key, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("objstore: put %s/%s: %w", container, key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("objstore: put %s/%s: %w", container, key, err)
+	}
+	if err := os.Rename(tmpName, d.objectPath(container, key)); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("objstore: put %s/%s: %w", container, key, err)
+	}
+	return nil
+}
+
+// Get reads the object.
+func (d *Disk) Get(container, key string) ([]byte, error) {
+	if _, err := os.Stat(d.containerPath(container)); err != nil {
+		return nil, fmt.Errorf("objstore: get %s/%s: %w", container, key, ErrNoContainer)
+	}
+	data, err := os.ReadFile(d.objectPath(container, key))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("objstore: get %s/%s: %w", container, key, ErrNotFound)
+		}
+		return nil, fmt.Errorf("objstore: get %s/%s: %w", container, key, err)
+	}
+	return data, nil
+}
+
+// Exists reports object presence.
+func (d *Disk) Exists(container, key string) (bool, error) {
+	if _, err := os.Stat(d.containerPath(container)); err != nil {
+		return false, fmt.Errorf("objstore: exists %s/%s: %w", container, key, ErrNoContainer)
+	}
+	if _, err := os.Stat(d.objectPath(container, key)); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
+		return false, fmt.Errorf("objstore: exists %s/%s: %w", container, key, err)
+	}
+	return true, nil
+}
+
+// Delete removes the object file; missing objects are ignored.
+func (d *Disk) Delete(container, key string) error {
+	if _, err := os.Stat(d.containerPath(container)); err != nil {
+		return fmt.Errorf("objstore: delete %s/%s: %w", container, key, ErrNoContainer)
+	}
+	if err := os.Remove(d.objectPath(container, key)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("objstore: delete %s/%s: %w", container, key, err)
+	}
+	return nil
+}
+
+// List returns the sorted object keys of a container.
+func (d *Disk) List(container string) ([]string, error) {
+	entries, err := os.ReadDir(d.containerPath(container))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("objstore: list %s: %w", container, ErrNoContainer)
+		}
+		return nil, fmt.Errorf("objstore: list %s: %w", container, err)
+	}
+	keys := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".put-") {
+			continue
+		}
+		keys = append(keys, e.Name())
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -1,0 +1,259 @@
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// HTTP gateway: exposes a Store over a Swift-flavoured REST API so that
+// clients on other machines reach the Storage back-end directly (the
+// decoupled data flow of §4). Routes:
+//
+//	PUT    /v1/{container}             create container
+//	GET    /v1/{container}             list objects (newline-separated)
+//	PUT    /v1/{container}/{object}    store object (body = content)
+//	GET    /v1/{container}/{object}    fetch object
+//	HEAD   /v1/{container}/{object}    existence check
+//	DELETE /v1/{container}/{object}    delete object
+//
+// An optional bearer token (X-Auth-Token, as in Swift) gates all routes.
+
+// Handler serves a Store over HTTP.
+type Handler struct {
+	store Store
+	// token, when non-empty, must match the X-Auth-Token header.
+	token string
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// NewHandler wraps store; token "" disables authentication.
+func NewHandler(store Store, token string) *Handler {
+	return &Handler{store: store, token: token}
+}
+
+// ServeHTTP dispatches gateway requests.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.token != "" && r.Header.Get("X-Auth-Token") != h.token {
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/")
+	if !ok || rest == "" {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	container, object, hasObject := strings.Cut(rest, "/")
+	if container == "" {
+		http.Error(w, "container required", http.StatusBadRequest)
+		return
+	}
+	var err error
+	switch {
+	case !hasObject && r.Method == http.MethodPut:
+		err = h.store.EnsureContainer(container)
+		if err == nil {
+			w.WriteHeader(http.StatusCreated)
+		}
+	case !hasObject && r.Method == http.MethodGet:
+		var keys []string
+		keys, err = h.store.List(container)
+		if err == nil {
+			sort.Strings(keys)
+			w.Header().Set("Content-Type", "text/plain")
+			_, _ = io.WriteString(w, strings.Join(keys, "\n"))
+		}
+	case hasObject && r.Method == http.MethodPut:
+		var body []byte
+		body, err = io.ReadAll(r.Body)
+		if err == nil {
+			err = h.store.Put(container, object, body)
+		}
+		if err == nil {
+			w.WriteHeader(http.StatusCreated)
+		}
+	case hasObject && r.Method == http.MethodGet:
+		var data []byte
+		data, err = h.store.Get(container, object)
+		if err == nil {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(data)
+		}
+	case hasObject && r.Method == http.MethodHead:
+		var exists bool
+		exists, err = h.store.Exists(container, object)
+		if err == nil && !exists {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+	case hasObject && r.Method == http.MethodDelete:
+		err = h.store.Delete(container, object)
+		if err == nil {
+			w.WriteHeader(http.StatusNoContent)
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+	}
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoContainer):
+		return http.StatusNotFound
+	case errors.Is(err, ErrUnauthorized):
+		return http.StatusForbidden
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// HTTPStore is a Store backed by a remote gateway.
+type HTTPStore struct {
+	base   string
+	token  string
+	client *http.Client
+}
+
+var _ Store = (*HTTPStore)(nil)
+
+// NewHTTPStore points at a gateway base URL (e.g. "http://host:8080").
+func NewHTTPStore(baseURL, token string) *HTTPStore {
+	return &HTTPStore{
+		base:   strings.TrimSuffix(baseURL, "/"),
+		token:  token,
+		client: &http.Client{},
+	}
+}
+
+func (s *HTTPStore) url(container, object string) string {
+	u := s.base + "/v1/" + url.PathEscape(container)
+	if object != "" {
+		u += "/" + url.PathEscape(object)
+	}
+	return u
+}
+
+func (s *HTTPStore) do(method, u string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, u, body)
+	if err != nil {
+		return nil, fmt.Errorf("objstore: build request: %w", err)
+	}
+	if s.token != "" {
+		req.Header.Set("X-Auth-Token", s.token)
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("objstore: %s %s: %w", method, u, err)
+	}
+	return resp, nil
+}
+
+func (s *HTTPStore) checkStatus(resp *http.Response) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		if strings.Contains(string(msg), "container") {
+			return fmt.Errorf("objstore: remote: %s: %w", strings.TrimSpace(string(msg)), ErrNoContainer)
+		}
+		return fmt.Errorf("objstore: remote: %s: %w", strings.TrimSpace(string(msg)), ErrNotFound)
+	case http.StatusUnauthorized, http.StatusForbidden:
+		return fmt.Errorf("objstore: remote: %w", ErrUnauthorized)
+	default:
+		return fmt.Errorf("objstore: remote status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+}
+
+// EnsureContainer creates the remote container.
+func (s *HTTPStore) EnsureContainer(container string) error {
+	resp, err := s.do(http.MethodPut, s.url(container, ""), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return s.checkStatus(resp)
+}
+
+// Put stores an object remotely.
+func (s *HTTPStore) Put(container, key string, data []byte) error {
+	resp, err := s.do(http.MethodPut, s.url(container, key), strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return s.checkStatus(resp)
+}
+
+// Get fetches an object remotely.
+func (s *HTTPStore) Get(container, key string) ([]byte, error) {
+	resp, err := s.do(http.MethodGet, s.url(container, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := s.checkStatus(resp); err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("objstore: read body: %w", err)
+	}
+	return data, nil
+}
+
+// Exists checks object presence remotely.
+func (s *HTTPStore) Exists(container, key string) (bool, error) {
+	resp, err := s.do(http.MethodHead, s.url(container, key), nil)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return false, nil
+	}
+	if err := s.checkStatus(resp); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Delete removes an object remotely.
+func (s *HTTPStore) Delete(container, key string) error {
+	resp, err := s.do(http.MethodDelete, s.url(container, key), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return s.checkStatus(resp)
+}
+
+// List enumerates a remote container.
+func (s *HTTPStore) List(container string) ([]string, error) {
+	resp, err := s.do(http.MethodGet, s.url(container, ""), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := s.checkStatus(resp); err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("objstore: read list: %w", err)
+	}
+	if len(body) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(body), "\n"), nil
+}

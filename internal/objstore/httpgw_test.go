@@ -1,0 +1,124 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"testing"
+)
+
+func newGateway(t *testing.T, token string) *HTTPStore {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(NewMemory(), token))
+	t.Cleanup(srv.Close)
+	return NewHTTPStore(srv.URL, token)
+}
+
+func TestHTTPStoreConformance(t *testing.T) {
+	s := newGateway(t, "")
+
+	if err := s.Put("nope", "k", []byte("v")); !errors.Is(err, ErrNoContainer) {
+		t.Fatalf("put without container: %v", err)
+	}
+	if err := s.EnsureContainer("c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("c", "absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get absent: %v", err)
+	}
+	ok, err := s.Exists("c", "absent")
+	if err != nil || ok {
+		t.Fatalf("exists absent: %v %v", ok, err)
+	}
+
+	payload := []byte{0, 1, 2, 254, 255, 'x'}
+	if err := s.Put("c", "bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("c", "bin")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("get: %v %v", got, err)
+	}
+	ok, err = s.Exists("c", "bin")
+	if err != nil || !ok {
+		t.Fatalf("exists: %v %v", ok, err)
+	}
+	if err := s.Put("c", "second", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.List("c")
+	if err != nil || len(keys) != 2 || keys[0] != "bin" || keys[1] != "second" {
+		t.Fatalf("list: %v %v", keys, err)
+	}
+	if err := s.Delete("c", "bin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("c", "bin"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	// Empty container listing.
+	if err := s.EnsureContainer("empty"); err != nil {
+		t.Fatal(err)
+	}
+	keys, err = s.List("empty")
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("empty list: %v %v", keys, err)
+	}
+}
+
+func TestHTTPStoreTokenAuth(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewMemory(), "secret"))
+	t.Cleanup(srv.Close)
+
+	good := NewHTTPStore(srv.URL, "secret")
+	if err := good.EnsureContainer("c"); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewHTTPStore(srv.URL, "wrong")
+	if err := bad.EnsureContainer("c"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("wrong token: %v", err)
+	}
+	none := NewHTTPStore(srv.URL, "")
+	if _, err := none.Get("c", "k"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("missing token: %v", err)
+	}
+}
+
+func TestHTTPHandlerRejectsBadRoutes(t *testing.T) {
+	s := newGateway(t, "")
+	// Reaching under /v1 with a bad method.
+	if err := s.EnsureContainer("c"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.do("POST", s.url("c", "k"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+	resp2, err := s.do("GET", s.base+"/other", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Fatalf("bad path status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+func TestHTTPStoreKeysWithSpecialCharacters(t *testing.T) {
+	s := newGateway(t, "")
+	if err := s.EnsureContainer("c"); err != nil {
+		t.Fatal(err)
+	}
+	key := "weird key/with? things#"
+	if err := s.Put("c", key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("c", key)
+	if err != nil || string(got) != "v" {
+		t.Fatalf("special key round trip: %q %v", got, err)
+	}
+}

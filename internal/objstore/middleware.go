@@ -1,0 +1,261 @@
+package objstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"stacksync/internal/clock"
+)
+
+// Traffic is a snapshot of bytes and requests through a Metered store. The
+// protocol-overhead experiments (Fig. 7b–d, Table 2) read these counters as
+// "storage traffic".
+type Traffic struct {
+	Puts          uint64 `json:"puts"`
+	Gets          uint64 `json:"gets"`
+	Deletes       uint64 `json:"deletes"`
+	BytesUp       uint64 `json:"bytesUp"`
+	BytesDown     uint64 `json:"bytesDown"`
+	OtherRequests uint64 `json:"otherRequests"`
+}
+
+// Total returns all bytes moved in either direction.
+func (t Traffic) Total() uint64 { return t.BytesUp + t.BytesDown }
+
+// Metered wraps a Store and counts requests and payload bytes.
+type Metered struct {
+	inner Store
+
+	mu sync.Mutex
+	t  Traffic
+}
+
+var _ Store = (*Metered)(nil)
+
+// NewMetered wraps inner with traffic accounting.
+func NewMetered(inner Store) *Metered { return &Metered{inner: inner} }
+
+// Traffic returns the current counters.
+func (m *Metered) Traffic() Traffic {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+// Reset zeroes the counters.
+func (m *Metered) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t = Traffic{}
+}
+
+// EnsureContainer forwards and counts a control request.
+func (m *Metered) EnsureContainer(container string) error {
+	m.count(func(t *Traffic) { t.OtherRequests++ })
+	return m.inner.EnsureContainer(container)
+}
+
+// Put forwards and accounts uploaded bytes.
+func (m *Metered) Put(container, key string, data []byte) error {
+	m.count(func(t *Traffic) { t.Puts++; t.BytesUp += uint64(len(data)) })
+	return m.inner.Put(container, key, data)
+}
+
+// Get forwards and accounts downloaded bytes.
+func (m *Metered) Get(container, key string) ([]byte, error) {
+	data, err := m.inner.Get(container, key)
+	m.count(func(t *Traffic) {
+		t.Gets++
+		t.BytesDown += uint64(len(data))
+	})
+	return data, err
+}
+
+// Exists forwards and counts a control request.
+func (m *Metered) Exists(container, key string) (bool, error) {
+	m.count(func(t *Traffic) { t.OtherRequests++ })
+	return m.inner.Exists(container, key)
+}
+
+// Delete forwards and counts.
+func (m *Metered) Delete(container, key string) error {
+	m.count(func(t *Traffic) { t.Deletes++ })
+	return m.inner.Delete(container, key)
+}
+
+// List forwards and counts a control request.
+func (m *Metered) List(container string) ([]string, error) {
+	m.count(func(t *Traffic) { t.OtherRequests++ })
+	return m.inner.List(container)
+}
+
+func (m *Metered) count(f func(*Traffic)) {
+	m.mu.Lock()
+	f(&m.t)
+	m.mu.Unlock()
+}
+
+// Simulated wraps a Store with a latency and bandwidth model so sync-time
+// experiments reproduce the storage-bound shape of Fig. 7(e,f) without the
+// paper's Swift cluster: each request pays PerRequest, and each payload pays
+// size/BytesPerSecond.
+type Simulated struct {
+	inner Store
+	clk   clock.Clock
+	// PerRequest is the fixed round-trip cost of any storage request.
+	PerRequest time.Duration
+	// BytesPerSecond is the modelled transfer bandwidth (0 = infinite).
+	BytesPerSecond float64
+}
+
+var _ Store = (*Simulated)(nil)
+
+// NewSimulated wraps inner with the given latency model.
+func NewSimulated(inner Store, clk clock.Clock, perRequest time.Duration, bytesPerSecond float64) *Simulated {
+	return &Simulated{inner: inner, clk: clk, PerRequest: perRequest, BytesPerSecond: bytesPerSecond}
+}
+
+func (s *Simulated) pay(n int) {
+	d := s.PerRequest
+	if s.BytesPerSecond > 0 && n > 0 {
+		d += time.Duration(float64(n) / s.BytesPerSecond * float64(time.Second))
+	}
+	if d > 0 {
+		s.clk.Sleep(d)
+	}
+}
+
+// EnsureContainer pays one request.
+func (s *Simulated) EnsureContainer(container string) error {
+	s.pay(0)
+	return s.inner.EnsureContainer(container)
+}
+
+// Put pays request + upload time.
+func (s *Simulated) Put(container, key string, data []byte) error {
+	s.pay(len(data))
+	return s.inner.Put(container, key, data)
+}
+
+// Get pays request + download time.
+func (s *Simulated) Get(container, key string) ([]byte, error) {
+	data, err := s.inner.Get(container, key)
+	s.pay(len(data))
+	return data, err
+}
+
+// Exists pays one request.
+func (s *Simulated) Exists(container, key string) (bool, error) {
+	s.pay(0)
+	return s.inner.Exists(container, key)
+}
+
+// Delete pays one request.
+func (s *Simulated) Delete(container, key string) error {
+	s.pay(0)
+	return s.inner.Delete(container, key)
+}
+
+// List pays one request.
+func (s *Simulated) List(container string) ([]string, error) {
+	s.pay(0)
+	return s.inner.List(container)
+}
+
+// authTable is the shared token -> containers grant map.
+type authTable struct {
+	mu     sync.RWMutex
+	grants map[string]map[string]bool
+}
+
+// TokenAuth wraps a Store and rejects requests whose container is not
+// covered by the presented token — the stand-in for Swift's auth service
+// (clients authenticate separately against storage, §4.1).
+type TokenAuth struct {
+	inner Store
+	table *authTable
+	token string
+}
+
+// NewTokenAuth wraps inner with an empty grant table.
+func NewTokenAuth(inner Store) *TokenAuth {
+	return &TokenAuth{inner: inner, table: &authTable{grants: make(map[string]map[string]bool)}}
+}
+
+// Grant allows token to access container.
+func (a *TokenAuth) Grant(token, container string) {
+	a.table.mu.Lock()
+	defer a.table.mu.Unlock()
+	set, ok := a.table.grants[token]
+	if !ok {
+		set = make(map[string]bool)
+		a.table.grants[token] = set
+	}
+	set[container] = true
+}
+
+// WithToken returns a Store view authenticated as token; grants added later
+// are visible to existing views.
+func (a *TokenAuth) WithToken(token string) Store {
+	return &TokenAuth{inner: a.inner, table: a.table, token: token}
+}
+
+func (a *TokenAuth) check(container string) error {
+	a.table.mu.RLock()
+	defer a.table.mu.RUnlock()
+	if set, ok := a.table.grants[a.token]; ok && set[container] {
+		return nil
+	}
+	return fmt.Errorf("objstore: token %q on %q: %w", a.token, container, ErrUnauthorized)
+}
+
+var _ Store = (*TokenAuth)(nil)
+
+// EnsureContainer checks the grant then forwards.
+func (a *TokenAuth) EnsureContainer(container string) error {
+	if err := a.check(container); err != nil {
+		return err
+	}
+	return a.inner.EnsureContainer(container)
+}
+
+// Put checks the grant then forwards.
+func (a *TokenAuth) Put(container, key string, data []byte) error {
+	if err := a.check(container); err != nil {
+		return err
+	}
+	return a.inner.Put(container, key, data)
+}
+
+// Get checks the grant then forwards.
+func (a *TokenAuth) Get(container, key string) ([]byte, error) {
+	if err := a.check(container); err != nil {
+		return nil, err
+	}
+	return a.inner.Get(container, key)
+}
+
+// Exists checks the grant then forwards.
+func (a *TokenAuth) Exists(container, key string) (bool, error) {
+	if err := a.check(container); err != nil {
+		return false, err
+	}
+	return a.inner.Exists(container, key)
+}
+
+// Delete checks the grant then forwards.
+func (a *TokenAuth) Delete(container, key string) error {
+	if err := a.check(container); err != nil {
+		return err
+	}
+	return a.inner.Delete(container, key)
+}
+
+// List checks the grant then forwards.
+func (a *TokenAuth) List(container string) ([]string, error) {
+	if err := a.check(container); err != nil {
+		return nil, err
+	}
+	return a.inner.List(container)
+}

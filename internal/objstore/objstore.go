@@ -1,0 +1,135 @@
+// Package objstore is the Storage back-end substrate (paper: OpenStack
+// Swift). StackSync clients PUT and GET immutable, content-addressed chunks
+// in per-user containers; the SyncService never touches data flows, only
+// metadata — the decoupling at the core of the architecture (§4).
+//
+// Backends: Memory and Disk. Wrappers add per-request accounting (Metered,
+// used by the traffic experiments), a latency/bandwidth model (Simulated,
+// used by the sync-time experiments) and token authentication (TokenAuth).
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by stores.
+var (
+	ErrNotFound     = errors.New("objstore: object not found")
+	ErrNoContainer  = errors.New("objstore: container not found")
+	ErrUnauthorized = errors.New("objstore: unauthorized")
+)
+
+// Store is the object-storage surface the client uses. Keys are chunk
+// fingerprints; containers isolate users (per-user deduplication only,
+// §4.1).
+type Store interface {
+	// EnsureContainer creates the container if missing.
+	EnsureContainer(container string) error
+	// Put stores data under key. Content-addressed writes are idempotent.
+	Put(container, key string, data []byte) error
+	// Get retrieves the object or ErrNotFound.
+	Get(container, key string) ([]byte, error)
+	// Exists reports whether key is present.
+	Exists(container, key string) (bool, error)
+	// Delete removes the object; deleting a missing object is a no-op.
+	Delete(container, key string) error
+	// List returns the sorted keys of a container.
+	List(container string) ([]string, error)
+}
+
+// Memory is an in-process Store.
+type Memory struct {
+	mu         sync.RWMutex
+	containers map[string]map[string][]byte
+}
+
+var _ Store = (*Memory)(nil)
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{containers: make(map[string]map[string][]byte)}
+}
+
+// EnsureContainer creates the container if missing.
+func (m *Memory) EnsureContainer(container string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.containers[container]; !ok {
+		m.containers[container] = make(map[string][]byte)
+	}
+	return nil
+}
+
+// Put stores a copy of data under key.
+func (m *Memory) Put(container, key string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.containers[container]
+	if !ok {
+		return fmt.Errorf("objstore: put %s/%s: %w", container, key, ErrNoContainer)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c[key] = cp
+	return nil
+}
+
+// Get returns a copy of the stored object.
+func (m *Memory) Get(container, key string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, ok := m.containers[container]
+	if !ok {
+		return nil, fmt.Errorf("objstore: get %s/%s: %w", container, key, ErrNoContainer)
+	}
+	data, ok := c[key]
+	if !ok {
+		return nil, fmt.Errorf("objstore: get %s/%s: %w", container, key, ErrNotFound)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Exists reports presence of key.
+func (m *Memory) Exists(container, key string) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, ok := m.containers[container]
+	if !ok {
+		return false, fmt.Errorf("objstore: exists %s/%s: %w", container, key, ErrNoContainer)
+	}
+	_, ok = c[key]
+	return ok, nil
+}
+
+// Delete removes key; missing keys are ignored.
+func (m *Memory) Delete(container, key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.containers[container]
+	if !ok {
+		return fmt.Errorf("objstore: delete %s/%s: %w", container, key, ErrNoContainer)
+	}
+	delete(c, key)
+	return nil
+}
+
+// List returns the sorted keys in container.
+func (m *Memory) List(container string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, ok := m.containers[container]
+	if !ok {
+		return nil, fmt.Errorf("objstore: list %s: %w", container, ErrNoContainer)
+	}
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

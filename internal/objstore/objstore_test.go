@@ -1,0 +1,291 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"stacksync/internal/clock"
+)
+
+// storeFactories lets every conformance test run against all backends.
+func storeFactories(t *testing.T) map[string]func() Store {
+	t.Helper()
+	return map[string]func() Store{
+		"memory": func() Store { return NewMemory() },
+		"disk": func() Store {
+			d, err := NewDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"metered-memory": func() Store { return NewMetered(NewMemory()) },
+	}
+}
+
+func TestStoreConformance(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+
+			// Operations against a missing container fail.
+			if err := s.Put("nope", "k", []byte("v")); !errors.Is(err, ErrNoContainer) {
+				t.Fatalf("put without container: %v", err)
+			}
+			if _, err := s.Get("nope", "k"); !errors.Is(err, ErrNoContainer) {
+				t.Fatalf("get without container: %v", err)
+			}
+			if _, err := s.List("nope"); !errors.Is(err, ErrNoContainer) {
+				t.Fatalf("list without container: %v", err)
+			}
+
+			if err := s.EnsureContainer("u1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.EnsureContainer("u1"); err != nil {
+				t.Fatalf("re-ensure: %v", err)
+			}
+
+			// Missing object.
+			if _, err := s.Get("u1", "absent"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("get absent: %v", err)
+			}
+			ok, err := s.Exists("u1", "absent")
+			if err != nil || ok {
+				t.Fatalf("exists absent = %v, %v", ok, err)
+			}
+
+			// Put / Get round trip.
+			payload := []byte("chunk-content")
+			if err := s.Put("u1", "abc123", payload); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get("u1", "abc123")
+			if err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("get = %q, %v", got, err)
+			}
+			ok, err = s.Exists("u1", "abc123")
+			if err != nil || !ok {
+				t.Fatalf("exists = %v, %v", ok, err)
+			}
+
+			// Overwrite is idempotent for content-addressed data.
+			if err := s.Put("u1", "abc123", payload); err != nil {
+				t.Fatalf("re-put: %v", err)
+			}
+
+			// List is sorted.
+			if err := s.Put("u1", "zzz", []byte("z")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("u1", "aaa", []byte("a")); err != nil {
+				t.Fatal(err)
+			}
+			keys, err := s.List("u1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"aaa", "abc123", "zzz"}
+			if len(keys) != 3 || keys[0] != want[0] || keys[1] != want[1] || keys[2] != want[2] {
+				t.Fatalf("list = %v, want %v", keys, want)
+			}
+
+			// Delete removes; re-delete is a no-op.
+			if err := s.Delete("u1", "abc123"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get("u1", "abc123"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("get after delete: %v", err)
+			}
+			if err := s.Delete("u1", "abc123"); err != nil {
+				t.Fatalf("double delete: %v", err)
+			}
+
+			// Containers are isolated.
+			if err := s.EnsureContainer("u2"); err != nil {
+				t.Fatal(err)
+			}
+			if ok, _ := s.Exists("u2", "aaa"); ok {
+				t.Fatal("object leaked across containers")
+			}
+		})
+	}
+}
+
+func TestMemoryGetReturnsCopy(t *testing.T) {
+	m := NewMemory()
+	_ = m.EnsureContainer("c")
+	_ = m.Put("c", "k", []byte("original"))
+	got, _ := m.Get("c", "k")
+	got[0] = 'X'
+	again, _ := m.Get("c", "k")
+	if string(again) != "original" {
+		t.Fatalf("internal state mutated through returned slice: %q", again)
+	}
+}
+
+func TestMemoryPutCopiesInput(t *testing.T) {
+	m := NewMemory()
+	_ = m.EnsureContainer("c")
+	buf := []byte("original")
+	_ = m.Put("c", "k", buf)
+	buf[0] = 'X'
+	got, _ := m.Get("c", "k")
+	if string(got) != "original" {
+		t.Fatalf("store aliased caller's buffer: %q", got)
+	}
+}
+
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d1.EnsureContainer("c")
+	if err := d1.Put("c", "deadbeef", []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d2.Get("c", "deadbeef")
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("after reopen: %q, %v", got, err)
+	}
+}
+
+func TestDiskSanitizesHostileKeys(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.EnsureContainer("c")
+	if err := d.Put("c", "../../etc/passwd", []byte("nope")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get("c", "../../etc/passwd")
+	if err != nil || string(got) != "nope" {
+		t.Fatalf("hostile key round trip: %q, %v", got, err)
+	}
+	keys, _ := d.List("c")
+	if len(keys) != 1 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestMeteredCountsTraffic(t *testing.T) {
+	m := NewMetered(NewMemory())
+	_ = m.EnsureContainer("c")
+	_ = m.Put("c", "k1", make([]byte, 1000))
+	_ = m.Put("c", "k2", make([]byte, 500))
+	if _, err := m.Get("c", "k1"); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = m.Exists("c", "k1")
+	_ = m.Delete("c", "k2")
+	tr := m.Traffic()
+	if tr.Puts != 2 || tr.Gets != 1 || tr.Deletes != 1 {
+		t.Fatalf("request counts: %+v", tr)
+	}
+	if tr.BytesUp != 1500 || tr.BytesDown != 1000 {
+		t.Fatalf("byte counts: %+v", tr)
+	}
+	if tr.Total() != 2500 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	m.Reset()
+	if m.Traffic().Total() != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestMeteredTrafficProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		m := NewMetered(NewMemory())
+		_ = m.EnsureContainer("c")
+		var up uint64
+		for i, s := range sizes {
+			data := make([]byte, int(s)%4096)
+			_ = m.Put("c", string(rune('a'+i%26)), data)
+			up += uint64(len(data))
+		}
+		return m.Traffic().BytesUp == up
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatedLatencyModel(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	inner := NewMemory()
+	_ = inner.EnsureContainer("c")                               // set up without paying virtual latency
+	s := NewSimulated(inner, vc, 10*time.Millisecond, 1_000_000) // 1 MB/s
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Put("c", "k", make([]byte, 500_000)) // 10ms + 500ms
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		select {
+		case <-done:
+			// 10ms request + 500KB/1MBps = 510ms of virtual time paid.
+			if got := vc.Now().Sub(time.Unix(0, 0)); got < 510*time.Millisecond {
+				t.Fatalf("put paid only %v of virtual time", got)
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("simulated put never completed")
+		}
+		if vc.Waiters() > 0 {
+			vc.Advance(100 * time.Millisecond)
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestSimulatedZeroCostPassthrough(t *testing.T) {
+	s := NewSimulated(NewMemory(), clock.NewReal(), 0, 0)
+	_ = s.EnsureContainer("c")
+	if err := s.Put("c", "k", []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("c", "k")
+	if err != nil || string(got) != "fast" {
+		t.Fatalf("passthrough: %q, %v", got, err)
+	}
+}
+
+func TestTokenAuthEnforcesGrants(t *testing.T) {
+	auth := NewTokenAuth(NewMemory())
+	auth.Grant("alice-token", "alice")
+	alice := auth.WithToken("alice-token")
+	mallory := auth.WithToken("mallory-token")
+
+	if err := alice.EnsureContainer("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Put("alice", "k", []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mallory.Get("alice", "k"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("mallory read alice's data: %v", err)
+	}
+	if err := mallory.Put("alice", "k2", []byte("spam")); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("mallory wrote to alice's container: %v", err)
+	}
+	// Grants added later are visible to existing views.
+	auth.Grant("mallory-token", "mallory")
+	if err := mallory.EnsureContainer("mallory"); err != nil {
+		t.Fatalf("granted container still denied: %v", err)
+	}
+}

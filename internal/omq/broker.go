@@ -1,0 +1,306 @@
+package omq
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"stacksync/internal/clock"
+	"stacksync/internal/mq"
+)
+
+// replyPrefetch bounds unacked deliveries on the private reply queue.
+const replyPrefetch = 64
+
+// Broker is the ObjectMQ endpoint: it binds server objects to identifiers
+// and creates proxies for remote ones (paper Fig. 1). One Broker per process
+// is typical; each owns a private reply queue for its synchronous calls.
+type Broker struct {
+	mq    mq.MQ
+	codec Codec
+	clk   clock.Clock
+	id    string
+
+	replyQueue string
+	replySub   mq.Subscription
+
+	mu      sync.Mutex
+	pending map[string]chan *response
+	bound   map[string]*BoundObject
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// BrokerOption configures a Broker.
+type BrokerOption func(*Broker)
+
+// WithCodec selects the argument codec (default JSONCodec).
+func WithCodec(c Codec) BrokerOption {
+	return func(b *Broker) { b.codec = c }
+}
+
+// WithBrokerClock substitutes the time source used for call timeouts and
+// service-time measurement.
+func WithBrokerClock(c clock.Clock) BrokerOption {
+	return func(b *Broker) { b.clk = c }
+}
+
+// WithID fixes the broker identity (default: random). Identities order
+// leader election (§3.4).
+func WithID(id string) BrokerOption {
+	return func(b *Broker) { b.id = id }
+}
+
+// NewBroker connects an ObjectMQ endpoint to a message-queue system.
+func NewBroker(m mq.MQ, opts ...BrokerOption) (*Broker, error) {
+	b := &Broker{
+		mq:      m,
+		codec:   JSONCodec{},
+		clk:     clock.NewReal(),
+		id:      newID(),
+		pending: make(map[string]chan *response),
+		bound:   make(map[string]*BoundObject),
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	b.replyQueue = "omq.reply." + b.id
+	if err := m.DeclareQueue(b.replyQueue); err != nil {
+		return nil, fmt.Errorf("omq: declare reply queue: %w", err)
+	}
+	sub, err := m.Subscribe(b.replyQueue, replyPrefetch)
+	if err != nil {
+		return nil, fmt.Errorf("omq: subscribe reply queue: %w", err)
+	}
+	b.replySub = sub
+	b.wg.Add(1)
+	go b.replyLoop()
+	return b, nil
+}
+
+// ID returns the broker identity.
+func (b *Broker) ID() string { return b.id }
+
+// Codec returns the configured codec.
+func (b *Broker) Codec() Codec { return b.codec }
+
+func (b *Broker) replyLoop() {
+	defer b.wg.Done()
+	for d := range b.replySub.Deliveries() {
+		resp, err := decodeResponse(d.Body)
+		ackErr := d.Ack()
+		if err != nil || ackErr != nil {
+			continue
+		}
+		b.mu.Lock()
+		ch, ok := b.pending[resp.CorrelationID]
+		b.mu.Unlock()
+		if !ok {
+			continue // late reply after timeout; drop
+		}
+		select {
+		case ch <- resp:
+		default:
+			// Collector buffer full (multi-call with very many servers);
+			// excess replies are dropped.
+		}
+	}
+}
+
+// registerPending installs a waiter channel for a correlation id.
+func (b *Broker) registerPending(correlationID string, buffer int) chan *response {
+	ch := make(chan *response, buffer)
+	b.mu.Lock()
+	b.pending[correlationID] = ch
+	b.mu.Unlock()
+	return ch
+}
+
+func (b *Broker) unregisterPending(correlationID string) {
+	b.mu.Lock()
+	delete(b.pending, correlationID)
+	b.mu.Unlock()
+}
+
+// multiExchange names the fanout exchange carrying @MultiMethod calls for an
+// object id.
+func multiExchange(oid string) string { return oid + ".multi" }
+
+// Bind registers a server object under oid (paper: Broker.bind). The queue
+// named oid receives unicast calls shared with every other instance bound to
+// the same id; a private queue bound to the oid fanout exchange receives
+// multicast calls. The returned BoundObject owns the worker goroutine; call
+// its Unbind to release it.
+func (b *Broker) Bind(oid string, impl interface{}) (*BoundObject, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := b.bound[oid]; dup {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("omq: bind %q: %w", oid, ErrAlreadyBound)
+	}
+	b.mu.Unlock()
+
+	methods, err := methodTable(impl)
+	if err != nil {
+		return nil, fmt.Errorf("omq: bind %q: %w", oid, err)
+	}
+	if err := b.mq.DeclareQueue(oid); err != nil {
+		return nil, fmt.Errorf("omq: bind %q: %w", oid, err)
+	}
+	if err := b.mq.DeclareExchange(multiExchange(oid), mq.Fanout); err != nil {
+		return nil, fmt.Errorf("omq: bind %q: declare multi exchange: %w", oid, err)
+	}
+	privateQueue := oid + ".multi." + b.id + "." + newID()
+	if err := b.mq.DeclareQueue(privateQueue); err != nil {
+		return nil, fmt.Errorf("omq: bind %q: declare private queue: %w", oid, err)
+	}
+	if err := b.mq.BindQueue(privateQueue, multiExchange(oid), ""); err != nil {
+		return nil, fmt.Errorf("omq: bind %q: bind private queue: %w", oid, err)
+	}
+	uniSub, err := b.mq.Subscribe(oid, 1)
+	if err != nil {
+		return nil, fmt.Errorf("omq: bind %q: subscribe: %w", oid, err)
+	}
+	multiSub, err := b.mq.Subscribe(privateQueue, 1)
+	if err != nil {
+		_ = uniSub.Cancel()
+		return nil, fmt.Errorf("omq: bind %q: subscribe multi: %w", oid, err)
+	}
+
+	bo := &BoundObject{
+		broker:       b,
+		oid:          oid,
+		privateQueue: privateQueue,
+		methods:      methods,
+		uniSub:       uniSub,
+		multiSub:     multiSub,
+		done:         make(chan struct{}),
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		_ = uniSub.Cancel()
+		_ = multiSub.Cancel()
+		return nil, ErrClosed
+	}
+	b.bound[oid] = bo
+	b.mu.Unlock()
+
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		bo.work()
+	}()
+	return bo, nil
+}
+
+// EnsureMulticastGroup declares the fanout exchange for oid so that Multi
+// publications succeed (and silently drop) even before any instance binds.
+// The SyncService uses this for workspace notification groups.
+func (b *Broker) EnsureMulticastGroup(oid string) error {
+	return b.mq.DeclareExchange(multiExchange(oid), mq.Fanout)
+}
+
+// Lookup returns a proxy for the object bound under oid (paper:
+// Broker.lookup). No registry is consulted: the queue name is the address.
+func (b *Broker) Lookup(oid string, opts ...CallOption) *Proxy {
+	p := &Proxy{
+		broker:  b,
+		oid:     oid,
+		timeout: DefaultTimeout,
+		retries: DefaultRetries,
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Bound reports the object ids currently served by this broker.
+func (b *Broker) Bound() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	oids := make([]string, 0, len(b.bound))
+	for oid := range b.bound {
+		oids = append(oids, oid)
+	}
+	return oids
+}
+
+// unbindLocked detaches bookkeeping; called from BoundObject.Unbind.
+func (b *Broker) forget(oid string, bo *BoundObject) {
+	b.mu.Lock()
+	if b.bound[oid] == bo {
+		delete(b.bound, oid)
+	}
+	b.mu.Unlock()
+}
+
+// ObjectInfo assembles the introspection snapshot provisioners consume
+// (paper: HasObjectInfo). Queue metrics come from the MQ layer; service-time
+// metrics from the locally bound instance when present.
+func (b *Broker) ObjectInfo(oid string) (ObjectInfo, error) {
+	stats, err := b.mq.QueueStats(oid)
+	if err != nil {
+		return ObjectInfo{}, fmt.Errorf("omq: object info %q: %w", oid, err)
+	}
+	info := ObjectInfo{
+		OID:         oid,
+		QueueDepth:  stats.Depth,
+		Unacked:     stats.Unacked,
+		Instances:   stats.Consumers,
+		ArrivalRate: stats.ArrivalRate,
+		Enqueued:    stats.Enqueued,
+		Processed:   stats.Acked,
+	}
+	b.mu.Lock()
+	bo := b.bound[oid]
+	b.mu.Unlock()
+	if bo != nil {
+		st := bo.Stats()
+		info.MeanServiceTime = st.Mean
+		info.ServiceTimeVar = st.Variance
+	}
+	return info, nil
+}
+
+// Close unbinds every object and stops the reply loop. Outstanding sync
+// calls fail with ErrTimeout when their deadline passes.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	bound := make([]*BoundObject, 0, len(b.bound))
+	for _, bo := range b.bound {
+		bound = append(bound, bo)
+	}
+	b.bound = map[string]*BoundObject{}
+	b.mu.Unlock()
+	for _, bo := range bound {
+		bo.stop()
+	}
+	_ = b.replySub.Cancel()
+	b.wg.Wait()
+	// Best effort: remove the private reply queue from the broker topology.
+	_ = b.mq.DeleteQueue(b.replyQueue)
+	return nil
+}
+
+// publish sends raw bytes to a queue (exchange "") or an exchange.
+func (b *Broker) publish(exchangeName, key string, body []byte, persistent bool) error {
+	return b.mq.Publish(exchangeName, key, mq.Message{
+		Headers:    map[string]string{"codec": b.codec.Name()},
+		Body:       body,
+		Persistent: persistent,
+	})
+}
+
+// now is a small indirection for tests.
+func (b *Broker) now() time.Time { return b.clk.Now() }

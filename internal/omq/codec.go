@@ -1,0 +1,80 @@
+// Package omq is ObjectMQ: a lightweight framework providing programmatic
+// elasticity to distributed objects over a message-queue system (paper §3).
+//
+// A Broker binds server objects to named queues (Bind) and creates dynamic
+// client proxies (Lookup). Three invocation primitives mirror the paper's
+// method decorators: Proxy.Async (@AsyncMethod), Proxy.Call (@SyncMethod
+// with timeout and retries) and Proxy.Multi / Proxy.MultiCall
+// (@MultiMethod combined with the other two). Load balancing, at-least-once
+// delivery, and change notification all come from the underlying mq layer.
+package omq
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+)
+
+// Codec serializes call arguments and results. The paper's implementation
+// supports Kryo, Java serialization and JSON; here JSON and gob are provided
+// and others can be plugged in.
+type Codec interface {
+	Name() string
+	Marshal(v interface{}) ([]byte, error)
+	Unmarshal(data []byte, v interface{}) error
+}
+
+// JSONCodec encodes arguments as JSON. It is the default: readable on the
+// wire and tolerant of schema evolution.
+type JSONCodec struct{}
+
+var _ Codec = JSONCodec{}
+
+// Name returns "json".
+func (JSONCodec) Name() string { return "json" }
+
+// Marshal encodes v as JSON.
+func (JSONCodec) Marshal(v interface{}) ([]byte, error) { return json.Marshal(v) }
+
+// Unmarshal decodes JSON into v.
+func (JSONCodec) Unmarshal(data []byte, v interface{}) error { return json.Unmarshal(data, v) }
+
+// GobCodec encodes arguments with encoding/gob: the binary, Go-native
+// analogue of the paper's Kryo transport. Types with unexported fields or
+// interfaces must be registered by the caller via gob.Register.
+type GobCodec struct{}
+
+var _ Codec = GobCodec{}
+
+// Name returns "gob".
+func (GobCodec) Name() string { return "gob" }
+
+// Marshal encodes v with gob.
+func (GobCodec) Marshal(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("omq: gob encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes gob data into v.
+func (GobCodec) Unmarshal(data []byte, v interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("omq: gob decode: %w", err)
+	}
+	return nil
+}
+
+// CodecByName resolves a codec from its wire name.
+func CodecByName(name string) (Codec, error) {
+	switch name {
+	case "json", "":
+		return JSONCodec{}, nil
+	case "gob":
+		return GobCodec{}, nil
+	default:
+		return nil, fmt.Errorf("omq: unknown codec %q", name)
+	}
+}

@@ -1,0 +1,102 @@
+package omq
+
+import (
+	"testing"
+	"time"
+
+	"stacksync/internal/mq"
+)
+
+// TestOnlyLowestBrokerWinsElection runs guards on three nodes, kills the
+// supervisor, and verifies exactly one replacement is elected — on the
+// broker with the lowest identity (§3.4's leader election).
+func TestOnlyLowestBrokerWinsElection(t *testing.T) {
+	m := mq.NewBroker()
+	defer m.Close()
+
+	type node struct {
+		broker *Broker
+		rb     *RemoteBroker
+		guard  *SupervisorGuard
+	}
+	mkNode := func(id string) *node {
+		b, err := NewBroker(m, WithID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := NewRemoteBroker(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb.RegisterFactory("svc", func() (interface{}, error) { return worker{}, nil })
+		t.Cleanup(func() {
+			_ = rb.Close()
+			_ = b.Close()
+		})
+		return &node{broker: b, rb: rb}
+	}
+	nodes := []*node{mkNode("node-b"), mkNode("node-a"), mkNode("node-c")}
+	if err := m.DeclareQueue("svc"); err != nil {
+		t.Fatal(err)
+	}
+
+	supBroker, err := NewBroker(m, WithID("zz-primary-sup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer supBroker.Close()
+	primary, err := StartSupervisor(supBroker, SupervisorConfig{
+		OID: "svc", CheckEvery: 20 * time.Millisecond, Provisioner: FixedProvisioner(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range nodes {
+		n := n
+		n.guard = NewSupervisorGuard(n.broker, func() (*Supervisor, error) {
+			return StartSupervisor(n.broker, SupervisorConfig{
+				OID: "svc", CheckEvery: 20 * time.Millisecond, Provisioner: FixedProvisioner(1),
+			})
+		}, 25*time.Millisecond)
+		defer n.guard.Stop()
+	}
+
+	// Healthy primary: nobody elects.
+	time.Sleep(200 * time.Millisecond)
+	for _, n := range nodes {
+		if n.guard.Elected() != nil {
+			t.Fatalf("guard on %s elected while primary alive", n.broker.ID())
+		}
+	}
+
+	primary.Stop()
+	// Exactly the lowest id ("node-a") elects.
+	waitFor(t, 5*time.Second, func() bool {
+		count := 0
+		for _, n := range nodes {
+			if n.guard.Elected() != nil {
+				count++
+			}
+		}
+		return count >= 1
+	})
+	time.Sleep(300 * time.Millisecond) // allow any over-eager guard to act
+	var winners []string
+	for _, n := range nodes {
+		if n.guard.Elected() != nil {
+			winners = append(winners, n.broker.ID())
+		}
+	}
+	if len(winners) != 1 || winners[0] != "node-a" {
+		t.Fatalf("winners = %v, want exactly [node-a]", winners)
+	}
+	// The replacement supervisor keeps the service alive.
+	total := 0
+	for _, n := range nodes {
+		total += n.rb.InstanceCount("svc")
+	}
+	if total < 1 {
+		t.Fatalf("service died after failover: %d instances", total)
+	}
+}

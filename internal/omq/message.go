@@ -1,0 +1,102 @@
+package omq
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// request is the envelope published to a remote object's queue. The envelope
+// itself is JSON (argument payloads are codec-encoded byte slices inside).
+type request struct {
+	Method        string   `json:"method"`
+	Args          [][]byte `json:"args,omitempty"`
+	Codec         string   `json:"codec,omitempty"`
+	CorrelationID string   `json:"correlationId,omitempty"`
+	ReplyTo       string   `json:"replyTo,omitempty"`
+	// OneWay marks @AsyncMethod calls: no response is produced even on
+	// handler error, matching "the client is not even notified whether the
+	// message was handled correctly" (§3.2).
+	OneWay bool `json:"oneWay,omitempty"`
+}
+
+// response is the envelope published to the caller's private reply queue.
+type response struct {
+	CorrelationID string `json:"correlationId"`
+	Result        []byte `json:"result,omitempty"`
+	Err           string `json:"err,omitempty"`
+	// From identifies the responding server instance; multi-calls use it to
+	// attribute collected replies.
+	From string `json:"from,omitempty"`
+}
+
+func encodeRequest(r *request) ([]byte, error) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("omq: encode request: %w", err)
+	}
+	return data, nil
+}
+
+func decodeRequest(data []byte) (*request, error) {
+	var r request
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("omq: decode request: %w", err)
+	}
+	return &r, nil
+}
+
+func encodeResponse(r *response) ([]byte, error) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("omq: encode response: %w", err)
+	}
+	return data, nil
+}
+
+func decodeResponse(data []byte) (*response, error) {
+	var r response
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("omq: decode response: %w", err)
+	}
+	return &r, nil
+}
+
+// RemoteError is the error type a sync caller receives when the remote
+// handler returned an error.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error formats the remote failure.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("omq: remote %s: %s", e.Method, e.Msg)
+}
+
+// Errors returned by ObjectMQ.
+var (
+	// ErrTimeout reports that a @SyncMethod exhausted its retries without a
+	// response within the configured timeout.
+	ErrTimeout = errors.New("omq: call timed out")
+	// ErrClosed reports use of a closed Broker.
+	ErrClosed = errors.New("omq: broker closed")
+	// ErrAlreadyBound reports Bind of an object id this broker already serves.
+	ErrAlreadyBound = errors.New("omq: object already bound on this broker")
+	// ErrNoMethod reports a call to a method the remote object lacks.
+	ErrNoMethod = errors.New("omq: no such method")
+	// ErrBadArity reports an argument-count mismatch.
+	ErrBadArity = errors.New("omq: wrong number of arguments")
+)
+
+// newID returns a 16-hex-char random identifier for queues and correlation.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable environment breakage.
+		panic("omq: rand: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,221 @@
+package omq
+
+import (
+	"fmt"
+	"time"
+)
+
+// Defaults for @SyncMethod calls; the paper's SyncService interface uses
+// retry = 5, timeout = 1500 ms (Fig. 6).
+const (
+	DefaultTimeout = 1500 * time.Millisecond
+	DefaultRetries = 5
+)
+
+// Proxy is the dynamic client stub for a remote object id. It is cheap and
+// stateless: all state (reply queue, pending calls) lives in the Broker, so
+// proxies need no update when server instances come and go — the point of
+// indirect communication (§2).
+type Proxy struct {
+	broker  *Broker
+	oid     string
+	timeout time.Duration
+	retries int
+}
+
+// CallOption tunes synchronous call behaviour, mirroring the
+// @SyncMethod(retry, timeout) decorator parameters.
+type CallOption func(*Proxy)
+
+// WithTimeout sets the per-attempt timeout of Call and the collection window
+// default of MultiCall.
+func WithTimeout(d time.Duration) CallOption {
+	return func(p *Proxy) { p.timeout = d }
+}
+
+// WithRetries sets how many attempts Call makes before ErrTimeout.
+func WithRetries(n int) CallOption {
+	return func(p *Proxy) { p.retries = n }
+}
+
+// OID returns the remote object identifier this proxy addresses.
+func (p *Proxy) OID() string { return p.oid }
+
+func (p *Proxy) encodeArgs(args []interface{}) ([][]byte, error) {
+	encoded := make([][]byte, len(args))
+	for i, a := range args {
+		data, err := p.broker.codec.Marshal(a)
+		if err != nil {
+			return nil, fmt.Errorf("omq: encode arg %d: %w", i, err)
+		}
+		encoded[i] = data
+	}
+	return encoded, nil
+}
+
+// Async performs a one-way @AsyncMethod invocation: the request is published
+// to the shared queue of the object id and the call returns as soon as the
+// broker accepted it. No response is ever produced.
+func (p *Proxy) Async(method string, args ...interface{}) error {
+	encoded, err := p.encodeArgs(args)
+	if err != nil {
+		return err
+	}
+	body, err := encodeRequest(&request{
+		Method: method,
+		Args:   encoded,
+		Codec:  p.broker.codec.Name(),
+		OneWay: true,
+	})
+	if err != nil {
+		return err
+	}
+	return p.broker.publish("", p.oid, body, true)
+}
+
+// Call performs a blocking @SyncMethod invocation. The reply value is
+// decoded into reply (pass nil for methods without a result). Each attempt
+// waits up to the configured timeout; after the configured number of
+// attempts Call returns ErrTimeout. A remote handler error surfaces as
+// *RemoteError.
+func (p *Proxy) Call(method string, reply interface{}, args ...interface{}) error {
+	encoded, err := p.encodeArgs(args)
+	if err != nil {
+		return err
+	}
+	attempts := p.retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		resp, err := p.attempt(method, encoded)
+		if err == ErrTimeout {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			return &RemoteError{Method: method, Msg: resp.Err}
+		}
+		if reply != nil && resp.Result != nil {
+			if err := p.broker.codec.Unmarshal(resp.Result, reply); err != nil {
+				return fmt.Errorf("omq: decode reply of %s: %w", method, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("omq: %s on %q after %d attempts: %w", method, p.oid, attempts, ErrTimeout)
+}
+
+func (p *Proxy) attempt(method string, encoded [][]byte) (*response, error) {
+	correlationID := newID()
+	body, err := encodeRequest(&request{
+		Method:        method,
+		Args:          encoded,
+		Codec:         p.broker.codec.Name(),
+		CorrelationID: correlationID,
+		ReplyTo:       p.broker.replyQueue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ch := p.broker.registerPending(correlationID, 1)
+	defer p.broker.unregisterPending(correlationID)
+	if err := p.broker.publish("", p.oid, body, true); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-p.broker.clk.After(p.timeout):
+		return nil, ErrTimeout
+	}
+}
+
+// Multi performs a one-way @MultiMethod+@AsyncMethod invocation: the request
+// fans out to the private queue of every instance bound under the object id.
+func (p *Proxy) Multi(method string, args ...interface{}) error {
+	encoded, err := p.encodeArgs(args)
+	if err != nil {
+		return err
+	}
+	body, err := encodeRequest(&request{
+		Method: method,
+		Args:   encoded,
+		Codec:  p.broker.codec.Name(),
+		OneWay: true,
+	})
+	if err != nil {
+		return err
+	}
+	return p.broker.publish(multiExchange(p.oid), "", body, true)
+}
+
+// Reply is one response collected by MultiCall.
+type Reply struct {
+	// From is the responding broker's identity.
+	From string
+	// Err carries the remote handler error, if any.
+	Err string
+
+	raw   []byte
+	codec Codec
+}
+
+// Decode unmarshals the reply payload into v.
+func (r *Reply) Decode(v interface{}) error {
+	if r.Err != "" {
+		return &RemoteError{Msg: r.Err}
+	}
+	if r.raw == nil {
+		return nil
+	}
+	return r.codec.Unmarshal(r.raw, v)
+}
+
+// MultiCall performs a blocking @MultiMethod+@SyncMethod invocation: the
+// request fans out to all instances and replies are collected until the
+// window elapses (paper §3.2: "collects the results received from many
+// servers in a determined timeout"). The window defaults to the proxy
+// timeout when zero.
+func (p *Proxy) MultiCall(method string, window time.Duration, args ...interface{}) ([]Reply, error) {
+	if window <= 0 {
+		window = p.timeout
+	}
+	encoded, err := p.encodeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	correlationID := newID()
+	body, err := encodeRequest(&request{
+		Method:        method,
+		Args:          encoded,
+		Codec:         p.broker.codec.Name(),
+		CorrelationID: correlationID,
+		ReplyTo:       p.broker.replyQueue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ch := p.broker.registerPending(correlationID, replyPrefetch)
+	defer p.broker.unregisterPending(correlationID)
+	if err := p.broker.publish(multiExchange(p.oid), "", body, true); err != nil {
+		return nil, err
+	}
+	var replies []Reply
+	deadline := p.broker.clk.After(window)
+	for {
+		select {
+		case resp := <-ch:
+			replies = append(replies, Reply{
+				From:  resp.From,
+				Err:   resp.Err,
+				raw:   resp.Result,
+				codec: p.broker.codec,
+			})
+		case <-deadline:
+			return replies, nil
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package omq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"time"
+
+	"stacksync/internal/mq"
+)
+
+// BoundObject is a server object registered under an identifier. Its worker
+// goroutine consumes the shared unicast queue and the private multicast
+// queue, processing one call at a time (the MOM hands each unicast message
+// to the first idle instance, giving queue-based load balancing).
+type BoundObject struct {
+	broker       *Broker
+	oid          string
+	privateQueue string
+	methods      map[string]boundMethod
+	uniSub       mq.Subscription
+	multiSub     mq.Subscription
+	done         chan struct{}
+	// ownedBroker, when set, is a child broker created solely to host this
+	// instance (see RemoteBroker.SpawnLocal); it is closed with the instance.
+	ownedBroker *Broker
+
+	mu    sync.Mutex
+	count uint64
+	mean  float64 // seconds, Welford running mean
+	m2    float64 // Welford sum of squared deviations
+
+	stopOnce sync.Once
+}
+
+type boundMethod struct {
+	fn       reflect.Value
+	argTypes []reflect.Type
+	// hasReply is true when the method returns a value besides error.
+	hasReply bool
+	// hasErr is true when the method's last return value is an error.
+	hasErr bool
+}
+
+var errType = reflect.TypeOf((*error)(nil)).Elem()
+
+// methodTable builds the dispatch table from the exported methods of impl.
+// Supported shapes: func(args...) | func(args...) error |
+// func(args...) T | func(args...) (T, error).
+func methodTable(impl interface{}) (map[string]boundMethod, error) {
+	v := reflect.ValueOf(impl)
+	if !v.IsValid() {
+		return nil, errors.New("nil implementation")
+	}
+	t := v.Type()
+	if t.Kind() == reflect.Ptr && v.IsNil() {
+		return nil, errors.New("nil implementation")
+	}
+	methods := make(map[string]boundMethod)
+	for i := 0; i < t.NumMethod(); i++ {
+		m := t.Method(i)
+		mt := m.Type
+		bm := boundMethod{fn: v.Method(i)}
+		for a := 1; a < mt.NumIn(); a++ { // skip receiver
+			bm.argTypes = append(bm.argTypes, mt.In(a))
+		}
+		switch mt.NumOut() {
+		case 0:
+		case 1:
+			if mt.Out(0) == errType {
+				bm.hasErr = true
+			} else {
+				bm.hasReply = true
+			}
+		case 2:
+			if mt.Out(1) != errType {
+				return nil, fmt.Errorf("method %s: second return value must be error", m.Name)
+			}
+			bm.hasReply = true
+			bm.hasErr = true
+		default:
+			return nil, fmt.Errorf("method %s: too many return values", m.Name)
+		}
+		methods[m.Name] = bm
+	}
+	if len(methods) == 0 {
+		return nil, errors.New("implementation exports no methods")
+	}
+	return methods, nil
+}
+
+// OID returns the identifier this object is bound under.
+func (bo *BoundObject) OID() string { return bo.oid }
+
+// work is the message loop: take a delivery from either queue, execute,
+// reply if requested, then ack. Acking after execution is what makes crashed
+// instances harmless — the broker redelivers the unacked call elsewhere
+// (§3.4).
+func (bo *BoundObject) work() {
+	uni := bo.uniSub.Deliveries()
+	multi := bo.multiSub.Deliveries()
+	for uni != nil || multi != nil {
+		var (
+			d  mq.Delivery
+			ok bool
+		)
+		select {
+		case d, ok = <-uni:
+			if !ok {
+				uni = nil
+				continue
+			}
+		case d, ok = <-multi:
+			if !ok {
+				multi = nil
+				continue
+			}
+		}
+		bo.handle(d)
+	}
+	close(bo.done)
+}
+
+func (bo *BoundObject) handle(d mq.Delivery) {
+	req, err := decodeRequest(d.Body)
+	if err != nil {
+		// Malformed request: drop without requeue, it can never succeed.
+		_ = d.Nack(false)
+		return
+	}
+	start := bo.broker.now()
+	result, callErr := bo.invoke(req)
+	bo.recordServiceTime(bo.broker.now().Sub(start))
+
+	if !req.OneWay && req.ReplyTo != "" {
+		resp := &response{CorrelationID: req.CorrelationID, From: bo.broker.id}
+		if callErr != nil {
+			resp.Err = callErr.Error()
+		} else {
+			resp.Result = result
+		}
+		body, err := encodeResponse(resp)
+		if err == nil {
+			// Reply failures are the caller's timeout to notice.
+			_ = bo.broker.publish("", req.ReplyTo, body, false)
+		}
+	}
+	_ = d.Ack()
+}
+
+func (bo *BoundObject) invoke(req *request) ([]byte, error) {
+	bm, ok := bo.methods[req.Method]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoMethod, req.Method)
+	}
+	if len(req.Args) != len(bm.argTypes) {
+		return nil, fmt.Errorf("%w: %s takes %d, got %d", ErrBadArity, req.Method, len(bm.argTypes), len(req.Args))
+	}
+	codec, err := CodecByName(req.Codec)
+	if err != nil {
+		return nil, err
+	}
+	in := make([]reflect.Value, len(bm.argTypes))
+	for i, at := range bm.argTypes {
+		pv := reflect.New(at)
+		if err := codec.Unmarshal(req.Args[i], pv.Interface()); err != nil {
+			return nil, fmt.Errorf("omq: decode arg %d of %s: %w", i, req.Method, err)
+		}
+		in[i] = pv.Elem()
+	}
+	out := bm.fn.Call(in)
+	if bm.hasErr {
+		if errVal := out[len(out)-1]; !errVal.IsNil() {
+			return nil, errVal.Interface().(error)
+		}
+	}
+	if !bm.hasReply {
+		return nil, nil
+	}
+	result, err := codec.Marshal(out[0].Interface())
+	if err != nil {
+		return nil, fmt.Errorf("omq: encode result of %s: %w", req.Method, err)
+	}
+	return result, nil
+}
+
+func (bo *BoundObject) recordServiceTime(d time.Duration) {
+	s := d.Seconds()
+	bo.mu.Lock()
+	bo.count++
+	delta := s - bo.mean
+	bo.mean += delta / float64(bo.count)
+	bo.m2 += delta * (s - bo.mean)
+	bo.mu.Unlock()
+}
+
+// ServiceStats summarizes observed per-call processing time.
+type ServiceStats struct {
+	Count    uint64
+	Mean     time.Duration
+	Variance float64 // seconds squared
+}
+
+// Stats returns the running service-time statistics of this instance.
+func (bo *BoundObject) Stats() ServiceStats {
+	bo.mu.Lock()
+	defer bo.mu.Unlock()
+	st := ServiceStats{Count: bo.count}
+	st.Mean = time.Duration(bo.mean * float64(time.Second))
+	if bo.count > 1 {
+		st.Variance = bo.m2 / float64(bo.count-1)
+	}
+	if math.IsNaN(st.Variance) {
+		st.Variance = 0
+	}
+	return st
+}
+
+// Unbind cancels the subscriptions (requeuing any in-flight call for other
+// instances), removes the private multicast queue and waits for the worker
+// to drain.
+func (bo *BoundObject) Unbind() error {
+	bo.stop()
+	bo.broker.forget(bo.oid, bo)
+	return nil
+}
+
+func (bo *BoundObject) stop() {
+	bo.stopOnce.Do(func() {
+		_ = bo.uniSub.Cancel()
+		_ = bo.multiSub.Cancel()
+		<-bo.done
+		_ = bo.broker.mq.UnbindQueue(bo.privateQueue, multiExchange(bo.oid), "")
+		_ = bo.broker.mq.DeleteQueue(bo.privateQueue)
+	})
+}
+
+// Kill emulates an instance crash: subscriptions are cancelled immediately —
+// requeueing any unacked in-flight call for other instances (§3.4) — without
+// waiting for a handler that may still be executing. The abandoned handler's
+// eventual ack fails harmlessly (the delivery was already requeued) and its
+// reply, if any, is dropped by the caller's correlation table.
+func (bo *BoundObject) Kill() {
+	bo.stopOnce.Do(func() {
+		_ = bo.uniSub.Cancel()
+		_ = bo.multiSub.Cancel()
+		_ = bo.broker.mq.UnbindQueue(bo.privateQueue, multiExchange(bo.oid), "")
+		_ = bo.broker.mq.DeleteQueue(bo.privateQueue)
+	})
+	bo.broker.forget(bo.oid, bo)
+}
+
+// ObjectInfo is the introspection record provisioning policies consume
+// (paper §3.3, HasObjectInfo).
+type ObjectInfo struct {
+	OID             string        `json:"oid"`
+	QueueDepth      int           `json:"queueDepth"`
+	Unacked         int           `json:"unacked"`
+	Instances       int           `json:"instances"`
+	ArrivalRate     float64       `json:"arrivalRate"` // requests/sec at the shared queue
+	Enqueued        uint64        `json:"enqueued"`
+	Processed       uint64        `json:"processed"`
+	MeanServiceTime time.Duration `json:"meanServiceTime"`
+	ServiceTimeVar  float64       `json:"serviceTimeVar"` // seconds^2
+}

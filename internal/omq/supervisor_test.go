@@ -1,0 +1,231 @@
+package omq
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stacksync/internal/mq"
+)
+
+// worker is the managed service used in elasticity tests.
+type worker struct{}
+
+func (worker) Do(n int) int { return n * 2 }
+
+func newElasticRig(t *testing.T) (*Broker, *RemoteBroker) {
+	t.Helper()
+	m := mq.NewBroker()
+	supB, err := NewBroker(m, WithID("00-supervisor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeB, err := NewBroker(m, WithID("10-node"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewRemoteBroker(nodeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb.RegisterFactory("svc", func() (interface{}, error) { return worker{}, nil })
+	// Ensure the managed queue exists before anyone asks for its stats.
+	if err := m.DeclareQueue("svc"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = rb.Close()
+		_ = nodeB.Close()
+		_ = supB.Close()
+		_ = m.Close()
+	})
+	return supB, rb
+}
+
+func TestSupervisorScalesUpAndDown(t *testing.T) {
+	supB, rb := newElasticRig(t)
+	var desired atomic.Int64
+	desired.Store(3)
+	sup, err := StartSupervisor(supB, SupervisorConfig{
+		OID:        "svc",
+		CheckEvery: 20 * time.Millisecond,
+		Provisioner: ProvisionerFunc(func(now time.Time, info ObjectInfo) int {
+			return int(desired.Load())
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+
+	waitFor(t, 5*time.Second, func() bool { return rb.InstanceCount("svc") == 3 })
+
+	// The scaled-out service must actually serve traffic.
+	var out int
+	if err := supB.Lookup("svc").Call("Do", &out, 21); err != nil || out != 42 {
+		t.Fatalf("call on scaled service: out=%d err=%v", out, err)
+	}
+
+	desired.Store(1)
+	waitFor(t, 5*time.Second, func() bool { return rb.InstanceCount("svc") == 1 })
+	if err := supB.Lookup("svc").Call("Do", &out, 5); err != nil || out != 10 {
+		t.Fatalf("call after scale-down: out=%d err=%v", out, err)
+	}
+}
+
+func TestSupervisorRespawnsCrashedInstance(t *testing.T) {
+	supB, rb := newElasticRig(t)
+	sup, err := StartSupervisor(supB, SupervisorConfig{
+		OID:         "svc",
+		CheckEvery:  20 * time.Millisecond,
+		Provisioner: FixedProvisioner(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+
+	waitFor(t, 5*time.Second, func() bool { return rb.InstanceCount("svc") == 2 })
+	if !rb.KillLocal("svc") {
+		t.Fatal("kill failed")
+	}
+	// The supervisor's periodic check notices current < desired and repairs.
+	waitFor(t, 5*time.Second, func() bool { return rb.InstanceCount("svc") == 2 })
+	if len(sup.History()) == 0 {
+		t.Fatal("no scale events recorded")
+	}
+}
+
+func TestSupervisorMinInstancesFloor(t *testing.T) {
+	supB, rb := newElasticRig(t)
+	sup, err := StartSupervisor(supB, SupervisorConfig{
+		OID:          "svc",
+		CheckEvery:   20 * time.Millisecond,
+		MinInstances: 1,
+		Provisioner:  FixedProvisioner(0), // policy asks for zero
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+	waitFor(t, 5*time.Second, func() bool { return rb.InstanceCount("svc") == 1 })
+	// Give it a few more cycles; it must not drop below the floor.
+	time.Sleep(100 * time.Millisecond)
+	if got := rb.InstanceCount("svc"); got != 1 {
+		t.Fatalf("instances = %d, want floor 1", got)
+	}
+}
+
+func TestSupervisorGuardElectsReplacement(t *testing.T) {
+	supB, rb := newElasticRig(t)
+	sup, err := StartSupervisor(supB, SupervisorConfig{
+		OID:         "svc",
+		CheckEvery:  20 * time.Millisecond,
+		Provisioner: FixedProvisioner(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return rb.InstanceCount("svc") == 1 })
+
+	// The guard runs on the node broker and watches the supervisor.
+	nodeBroker := rb.broker
+	guard := NewSupervisorGuard(nodeBroker, func() (*Supervisor, error) {
+		return StartSupervisor(nodeBroker, SupervisorConfig{
+			OID:         "svc",
+			CheckEvery:  20 * time.Millisecond,
+			Provisioner: FixedProvisioner(2),
+		})
+	}, 30*time.Millisecond)
+	defer guard.Stop()
+
+	// Healthy supervisor: guard must not elect.
+	time.Sleep(150 * time.Millisecond)
+	if guard.Elected() != nil {
+		t.Fatal("guard elected a supervisor while the primary was healthy")
+	}
+
+	// Kill the primary supervisor; the guard must start a replacement which
+	// then enforces the new desired count (2).
+	sup.Stop()
+	waitFor(t, 5*time.Second, func() bool { return guard.Elected() != nil })
+	waitFor(t, 5*time.Second, func() bool { return rb.InstanceCount("svc") == 2 })
+}
+
+func TestRemoteBrokerInventoryAndShutdownTargeting(t *testing.T) {
+	m := mq.NewBroker()
+	defer m.Close()
+	mkNode := func(id string) (*Broker, *RemoteBroker) {
+		b, err := NewBroker(m, WithID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := NewRemoteBroker(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb.RegisterFactory("svc", func() (interface{}, error) { return worker{}, nil })
+		t.Cleanup(func() {
+			_ = rb.Close()
+			_ = b.Close()
+		})
+		return b, rb
+	}
+	_, rb1 := mkNode("node-1")
+	_, rb2 := mkNode("node-2")
+	if _, err := rb1.SpawnLocal("svc", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb2.SpawnLocal("svc", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := NewBroker(m, WithID("zz-client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	replies, err := client.Lookup(RemoteBrokerGroup).MultiCall("ListInstances", 300*time.Millisecond, InventoryQuery{OID: "svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 2 {
+		t.Fatalf("inventory replies = %d, want 2", len(replies))
+	}
+	total := 0
+	for _, r := range replies {
+		var inv Inventory
+		if err := r.Decode(&inv); err != nil {
+			t.Fatal(err)
+		}
+		total += inv.Counts["svc"]
+	}
+	if total != 3 {
+		t.Fatalf("total instances = %d, want 3", total)
+	}
+
+	// Targeted shutdown must only affect node-1.
+	var rep ShutdownReply
+	if err := client.Lookup(RemoteBrokerGroup).Call("Shutdown", &rep, ShutdownRequest{Target: rb1.BrokerID(), OID: "svc", N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Unicast may land on either node; the non-target replies Stopped=0, so
+	// retry via multicast-targeted semantics: call until the target acted.
+	waitFor(t, 5*time.Second, func() bool {
+		if rb1.InstanceCount("svc") == 0 {
+			return true
+		}
+		_ = client.Lookup(RemoteBrokerGroup).Call("Shutdown", &rep, ShutdownRequest{Target: rb1.BrokerID(), OID: "svc", N: 2})
+		return false
+	})
+	if rb2.InstanceCount("svc") != 1 {
+		t.Fatalf("node-2 instances = %d, want 1 untouched", rb2.InstanceCount("svc"))
+	}
+}
+
+func TestSpawnWithoutFactoryFails(t *testing.T) {
+	_, rb := newElasticRig(t)
+	if _, err := rb.SpawnLocal("unknown", 1); err == nil {
+		t.Fatal("spawn without factory succeeded")
+	}
+}

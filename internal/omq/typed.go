@@ -1,0 +1,32 @@
+package omq
+
+import "time"
+
+// Call is a typed convenience wrapper over Proxy.Call: it allocates the
+// reply value and returns it, so call sites read like local calls:
+//
+//	sum, err := omq.Call[int](proxy, "Add", addArgs{A: 1, B: 2})
+func Call[T any](p *Proxy, method string, args ...interface{}) (T, error) {
+	var reply T
+	err := p.Call(method, &reply, args...)
+	return reply, err
+}
+
+// CollectMulti is a typed convenience wrapper over Proxy.MultiCall: it
+// decodes every successful reply into T and returns the decoded values,
+// dropping replies that carried remote errors.
+func CollectMulti[T any](p *Proxy, method string, window time.Duration, args ...interface{}) ([]T, error) {
+	replies, err := p.MultiCall(method, window, args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, 0, len(replies))
+	for _, r := range replies {
+		var v T
+		if err := r.Decode(&v); err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package omq
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"stacksync/internal/mq"
+)
+
+func TestTypedCall(t *testing.T) {
+	server, client := twoBrokers(t)
+	if _, err := server.Bind("calc", &calc{}); err != nil {
+		t.Fatal(err)
+	}
+	p := client.Lookup("calc")
+	sum, err := Call[int](p, "Add", addArgs{A: 40, B: 2})
+	if err != nil || sum != 42 {
+		t.Fatalf("typed Call = %d, %v", sum, err)
+	}
+	// Errors propagate with the zero value.
+	if _, err := Call[int](p, "Fail", "boom"); err == nil {
+		t.Fatal("remote error swallowed")
+	}
+}
+
+func TestTypedCollectMulti(t *testing.T) {
+	m := mq.NewBroker()
+	defer m.Close()
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		b, err := NewBroker(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		ids[b.ID()] = true
+		if _, err := b.Bind("calc", &calc{id: b.ID()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, err := NewBroker(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	got, err := CollectMulti[string](client.Lookup("calc"), "WhoAmI", 300*time.Millisecond, struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("collected %d, want 3", len(got))
+	}
+	for _, id := range got {
+		if !ids[id] {
+			t.Fatalf("unknown responder %q", id)
+		}
+	}
+}
+
+// TestPoisonRequestDroppedNotRequeued: an undecodable request body must be
+// dropped (nack without requeue) — otherwise it would crash-loop through
+// every instance forever.
+func TestPoisonRequestDroppedNotRequeued(t *testing.T) {
+	m := mq.NewBroker()
+	defer m.Close()
+	server, err := NewBroker(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	c := &calc{}
+	if _, err := server.Bind("calc", c); err != nil {
+		t.Fatal(err)
+	}
+	// Publish garbage straight onto the request queue.
+	if err := m.Publish("", "calc", mq.Message{Body: []byte("{not json")}); err != nil {
+		t.Fatal(err)
+	}
+	// The queue must drain (dropped), and the object must stay healthy.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, err := m.QueueStats("calc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Depth == 0 && stats.Unacked == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("poison message still pending: %+v", stats)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	client, err := NewBroker(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	sum, err := Call[int](client.Lookup("calc"), "Add", addArgs{A: 1, B: 1})
+	if err != nil || sum != 2 {
+		t.Fatalf("object unhealthy after poison message: %d, %v", sum, err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatal("object stopped consuming")
+	}
+}

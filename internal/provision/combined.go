@@ -1,0 +1,126 @@
+package provision
+
+import (
+	"sync"
+	"time"
+
+	"stacksync/internal/omq"
+)
+
+// Combined composes predictive and reactive provisioning exactly as §4.3
+// deploys them: the predictive policy sets the baseline once per 15-minute
+// period, the reactive policy re-checks every 5 minutes and overrides the
+// baseline when observation diverges from prediction by more than τ. The
+// Supervisor may call Desired as often as it likes (every second in the
+// paper); period boundaries are tracked internally.
+type Combined struct {
+	sla        SLA
+	predictive *PredictiveProvisioner
+	reactive   *ReactiveProvisioner
+
+	mu             sync.Mutex
+	target         int
+	nextPredictive time.Time
+	nextReactive   time.Time
+	// MispredictOffset shifts the instant the *predictor* is asked about,
+	// implementing the Fig. 8(c–e) experiment where the predictor is fooled
+	// into planning for hour 30's workload while hour 20 runs.
+	mispredict time.Duration
+
+	// trace of decisions for experiments
+	decisions []Decision
+}
+
+// Decision records one provisioning decision for experiment output.
+type Decision struct {
+	Time      time.Time `json:"time"`
+	Source    string    `json:"source"` // "predictive" | "reactive"
+	Observed  float64   `json:"observed"`
+	Predicted float64   `json:"predicted"`
+	Instances int       `json:"instances"`
+}
+
+var _ omq.Provisioner = (*Combined)(nil)
+
+// NewCombined wires the two policies together.
+func NewCombined(sla SLA, predictive *PredictiveProvisioner) *Combined {
+	c := &Combined{
+		sla:        sla,
+		predictive: predictive,
+	}
+	c.reactive = NewReactive(sla, Tau1, Tau2, c.predictedRate)
+	return c
+}
+
+// SetMispredictionOffset makes the predictor plan for now+offset instead of
+// now — the controlled misprediction of §5.3.3.
+func (c *Combined) SetMispredictionOffset(offset time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mispredict = offset
+}
+
+// MispredictOffset returns the configured misprediction offset.
+func (c *Combined) MispredictOffset() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mispredict
+}
+
+func (c *Combined) predictedRate(now time.Time) float64 {
+	c.mu.Lock()
+	off := c.mispredict
+	c.mu.Unlock()
+	return c.predictive.PredictedRate(now.Add(off))
+}
+
+// Desired implements omq.Provisioner.
+func (c *Combined) Desired(now time.Time, info omq.ObjectInfo) int {
+	c.predictive.Observe(now, info.ArrivalRate)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if !now.Before(c.nextPredictive) {
+		pred := c.predictive.PredictedRate(now.Add(c.mispredict))
+		c.target = InstancesForRate(c.sla, pred)
+		c.nextPredictive = now.Truncate(PeriodDuration).Add(PeriodDuration)
+		c.nextReactive = now.Add(ReactiveInterval)
+		c.decisions = append(c.decisions, Decision{
+			Time: now, Source: "predictive",
+			Observed: info.ArrivalRate, Predicted: pred, Instances: c.target,
+		})
+		return c.target
+	}
+	if !now.Before(c.nextReactive) {
+		c.nextReactive = now.Add(ReactiveInterval)
+		pred := c.predictive.PredictedRate(now.Add(c.mispredict))
+		c.mu.Unlock()
+		n, corrected := c.reactive.Check(now, info.ArrivalRate)
+		c.mu.Lock()
+		if corrected {
+			c.target = n
+			c.decisions = append(c.decisions, Decision{
+				Time: now, Source: "reactive",
+				Observed: info.ArrivalRate, Predicted: pred, Instances: n,
+			})
+		}
+	}
+	return c.target
+}
+
+// Decisions returns the recorded decision trace.
+func (c *Combined) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Decision, len(c.decisions))
+	copy(out, c.decisions)
+	return out
+}
+
+// Target returns the current instance target without re-evaluating.
+func (c *Combined) Target() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.target
+}

@@ -1,0 +1,122 @@
+package provision
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"stacksync/internal/omq"
+)
+
+// PeriodDuration is the predictive period T: provisioning decisions are made
+// for 15-minute slots (§5.3.1).
+const PeriodDuration = 15 * time.Minute
+
+// slotsPerDay is the number of 15-minute slots in a day.
+const slotsPerDay = int(24 * time.Hour / PeriodDuration)
+
+// slotOf maps an instant to its slot-of-day index.
+func slotOf(t time.Time) int {
+	return (t.Hour()*3600 + t.Minute()*60 + t.Second()) / int(PeriodDuration.Seconds())
+}
+
+// PredictiveProvisioner estimates the peak arrival rate of the upcoming
+// period as a high percentile of the rates observed for the same time-of-day
+// slot over the past several days (§4.3.1), and allocates η = ⌈λ_pred/δ⌉
+// instances for it.
+type PredictiveProvisioner struct {
+	sla        SLA
+	percentile float64
+
+	mu      sync.Mutex
+	history [][]float64 // slot -> observed rates (req/s), most recent last
+	maxDays int
+
+	// live accumulation of the current slot's observed peak
+	curSlot int
+	curPeak float64
+	haveCur bool
+}
+
+var _ omq.Provisioner = (*PredictiveProvisioner)(nil)
+
+// NewPredictive builds a predictive provisioner using percentile (0..1,
+// e.g. 0.95) of the per-slot history. maxDays bounds history length (0 = 14).
+func NewPredictive(sla SLA, percentile float64, maxDays int) *PredictiveProvisioner {
+	if percentile <= 0 || percentile > 1 {
+		percentile = 0.95
+	}
+	if maxDays <= 0 {
+		maxDays = 14
+	}
+	return &PredictiveProvisioner{
+		sla:        sla,
+		percentile: percentile,
+		history:    make([][]float64, slotsPerDay),
+		maxDays:    maxDays,
+		curSlot:    -1,
+	}
+}
+
+// LoadHistory ingests a historical arrival-rate series: samples[i] is the
+// observed rate (req/s) of the slot starting at start + i*PeriodDuration.
+// This feeds the predictor "a sufficiently large history to calculate
+// accurate summaries" (§5.3.1) before an experiment begins.
+func (p *PredictiveProvisioner) LoadHistory(start time.Time, samples []float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, rate := range samples {
+		slot := slotOf(start.Add(time.Duration(i) * PeriodDuration))
+		p.appendLocked(slot, rate)
+	}
+}
+
+// Observe records a live arrival-rate measurement; the per-slot peak is
+// folded into history when the slot rolls over.
+func (p *PredictiveProvisioner) Observe(now time.Time, rate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	slot := slotOf(now)
+	if p.haveCur && slot != p.curSlot {
+		p.appendLocked(p.curSlot, p.curPeak)
+		p.curPeak = 0
+	}
+	p.curSlot = slot
+	p.haveCur = true
+	if rate > p.curPeak {
+		p.curPeak = rate
+	}
+}
+
+func (p *PredictiveProvisioner) appendLocked(slot int, rate float64) {
+	p.history[slot] = append(p.history[slot], rate)
+	if len(p.history[slot]) > p.maxDays {
+		p.history[slot] = p.history[slot][1:]
+	}
+}
+
+// PredictedRate returns λ_pred(t): the configured percentile of the rates
+// seen for now's slot. Zero when the slot has no history.
+func (p *PredictiveProvisioner) PredictedRate(now time.Time) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rates := p.history[slotOf(now)]
+	if len(rates) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(rates))
+	copy(sorted, rates)
+	sort.Float64s(sorted)
+	idx := int(p.percentile * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Desired implements omq.Provisioner: instances for the predicted peak of
+// the current period.
+func (p *PredictiveProvisioner) Desired(now time.Time, info omq.ObjectInfo) int {
+	p.Observe(now, info.ArrivalRate)
+	return InstancesForRate(p.sla, p.PredictedRate(now))
+}

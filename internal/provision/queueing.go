@@ -1,0 +1,135 @@
+// Package provision implements the paper's elastic provisioning policies
+// (§4.3, after Urgaonkar et al. [22]): each SyncService instance is modelled
+// as a G/G/1 queue; equation (1) lower-bounds the request rate δ one server
+// sustains within the response-time SLA d, and equation (2) converts a peak
+// arrival rate λ into the required instance count η = ⌈λ/δ⌉.
+//
+// PredictiveProvisioner allocates for the expected peak of each 15-minute
+// period from a multi-day history; ReactiveProvisioner corrects on 5-minute
+// scales when the observed rate diverges by more than τ from the predicted
+// one; Combined composes both, and all three satisfy omq.Provisioner.
+package provision
+
+import (
+	"math"
+	"time"
+)
+
+// SLA carries the queueing-model inputs of Table 3.
+type SLA struct {
+	// D is the target response time (450 ms in the paper).
+	D time.Duration
+	// S is the mean service time of a commit request (50 ms).
+	S time.Duration
+	// VarService is σ_b², the service-time variance in seconds² (Table 3
+	// lists 200 msec², i.e. 2e-4 s²).
+	VarService float64
+	// VarArrival is σ_a², the interarrival-time variance in seconds².
+	// When zero, it is estimated online from the arrival rate assuming
+	// exponential interarrivals (σ_a = 1/λ), matching the paper's online
+	// adjustment of σ_a² from the global request queue.
+	VarArrival float64
+}
+
+// DefaultSLA returns the Table 3 parameters.
+func DefaultSLA() SLA {
+	return SLA{
+		D:          450 * time.Millisecond,
+		S:          50 * time.Millisecond,
+		VarService: 200e-6, // 200 msec²
+	}
+}
+
+// Tau1 and Tau2 are the reactive trigger thresholds of Table 3 (20%).
+const (
+	Tau1 = 0.20
+	Tau2 = 0.20
+)
+
+// ServiceRate evaluates equation (1): the rate δ (requests/second) a single
+// G/G/1 server can sustain while keeping response time within sla.D, given
+// the arrival-time variance varArrival (seconds²). A non-positive
+// denominator (d ≤ s: unattainable SLA) yields +Inf demand per instance
+// guard, so the function returns 0 to force the caller to a safe maximum.
+func ServiceRate(sla SLA, varArrival float64) float64 {
+	d := sla.D.Seconds()
+	s := sla.S.Seconds()
+	if d <= s {
+		return 0
+	}
+	denom := s + (varArrival+sla.VarService)/(2*(d-s))
+	if denom <= 0 {
+		return 0
+	}
+	return 1 / denom
+}
+
+// InstancesFor evaluates equation (2): η = ⌈λ/δ⌉ instances to serve a peak
+// arrival rate lambda (requests/second). A zero δ (unattainable SLA) or a
+// non-positive λ degrades to 1 instance minimum handled by the Supervisor.
+func InstancesFor(lambda, delta float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if delta <= 0 {
+		return math.MaxInt32 // SLA unattainable; cap is the operator's call
+	}
+	return int(math.Ceil(lambda / delta))
+}
+
+// arrivalVariance returns σ_a² for the given observed rate, using the
+// configured value when set and the exponential-interarrival estimate
+// otherwise.
+func (sla SLA) arrivalVariance(lambda float64) float64 {
+	if sla.VarArrival > 0 {
+		return sla.VarArrival
+	}
+	if lambda <= 0 {
+		return 0
+	}
+	ia := 1 / lambda
+	return ia * ia
+}
+
+// InstancesForRate composes equations (1) and (2) self-consistently:
+// equation (1) models ONE G/G/1 server, so σ_a² is the variance of the
+// interarrival time seen by a single server — which depends on how many
+// servers the load is split across. The smallest η whose per-server rate
+// λ/η fits within that server's δ is returned.
+func InstancesForRate(sla SLA, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if sla.D <= sla.S {
+		return math.MaxInt32 // SLA unattainable at any fleet size
+	}
+	const maxIter = 1 << 14
+	s := sla.S.Seconds()
+	for n := 1; n <= maxIter; n++ {
+		perServer := lambda / float64(n)
+		// The exponential-interarrival estimate σ_a² = 1/λ² diverges as the
+		// per-server rate falls, which would reject even a nearly idle
+		// server. Below 50% utilization the response time is ≈ s (< d), so
+		// the SLA holds regardless of the Kingman tail term.
+		if perServer*s <= 0.5 {
+			return n
+		}
+		// MaxUtilization guards the knife edge: equation (1) admits ρ → 1,
+		// where the tail of the waiting-time distribution (not its mean,
+		// which the equation bounds) blows past d. No production fleet runs
+		// there, and the paper's evaluation shows none of its commits
+		// exceeding d — behaviour that requires this margin.
+		if perServer*s > MaxUtilization {
+			continue
+		}
+		delta := ServiceRate(sla, sla.arrivalVariance(perServer))
+		if delta > 0 && perServer <= delta {
+			return n
+		}
+	}
+	return maxIter
+}
+
+// MaxUtilization caps per-server utilization when sizing fleets; see
+// InstancesForRate.
+const MaxUtilization = 0.85

@@ -1,0 +1,107 @@
+package provision
+
+import (
+	"sync"
+	"time"
+
+	"stacksync/internal/omq"
+)
+
+// ReactiveInterval is the reactive correction cadence (5 minutes, §5.3.1).
+const ReactiveInterval = 5 * time.Minute
+
+// ReactiveProvisioner handles short-term fluctuations (§4.3.2): it compares
+// the observed arrival rate λ_obs over the past few minutes against the
+// predicted rate λ_pred and, when the ratio exceeds τ₁ upward (or the drop
+// exceeds τ₂ downward), recomputes the instance count from λ_obs via
+// equation (2).
+type ReactiveProvisioner struct {
+	sla        SLA
+	tau1, tau2 float64
+	// predicted supplies λ_pred(t); nil means "no prediction", in which
+	// case the reactive policy always recomputes from λ_obs.
+	predicted func(now time.Time) float64
+	// DrainWindow makes the policy backlog-aware (§3.3: "observe that
+	// messages are not being processed at the adequate speed and ask for
+	// another server instance"): queued messages count as extra demand
+	// λ_eff = λ_obs + depth/DrainWindow, sized to drain the backlog within
+	// the window. Default 1s; zero disables.
+	DrainWindow time.Duration
+
+	mu       sync.Mutex
+	override int  // instances demanded by the last correction (0 = none)
+	active   bool // whether an override is in force
+}
+
+var _ omq.Provisioner = (*ReactiveProvisioner)(nil)
+
+// NewReactive builds a reactive corrector with Table 3 thresholds when tau1
+// or tau2 are zero. predicted may be (*PredictiveProvisioner).PredictedRate.
+func NewReactive(sla SLA, tau1, tau2 float64, predicted func(time.Time) float64) *ReactiveProvisioner {
+	if tau1 <= 0 {
+		tau1 = Tau1
+	}
+	if tau2 <= 0 {
+		tau2 = Tau2
+	}
+	return &ReactiveProvisioner{
+		sla: sla, tau1: tau1, tau2: tau2, predicted: predicted,
+		DrainWindow: time.Second,
+	}
+}
+
+// Check runs one reactive evaluation against the observed rate and returns
+// (instances, true) when corrective action is necessary.
+func (r *ReactiveProvisioner) Check(now time.Time, observed float64) (int, bool) {
+	var predicted float64
+	if r.predicted != nil {
+		predicted = r.predicted(now)
+	}
+	needCorrection := false
+	switch {
+	case r.predicted == nil:
+		needCorrection = true
+	case predicted <= 0:
+		needCorrection = observed > 0
+	default:
+		ratio := observed / predicted
+		if ratio > 1+r.tau1 || ratio < 1-r.tau2 {
+			needCorrection = true
+		}
+	}
+	if !needCorrection {
+		r.mu.Lock()
+		r.active = false
+		r.mu.Unlock()
+		return 0, false
+	}
+	n := InstancesForRate(r.sla, observed)
+	r.mu.Lock()
+	r.override = n
+	r.active = true
+	r.mu.Unlock()
+	return n, true
+}
+
+// Desired implements omq.Provisioner for reactive-only deployments: every
+// call re-evaluates against the live queue rate, inflated by the backlog
+// demand when DrainWindow is set.
+func (r *ReactiveProvisioner) Desired(now time.Time, info omq.ObjectInfo) int {
+	observed := info.ArrivalRate
+	if r.DrainWindow > 0 && info.QueueDepth > 0 {
+		observed += float64(info.QueueDepth) / r.DrainWindow.Seconds()
+	}
+	if n, ok := r.Check(now, observed); ok {
+		return n
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.active {
+		return r.override
+	}
+	// No correction needed and no standing override: defer to prediction.
+	if r.predicted != nil {
+		return InstancesForRate(r.sla, r.predicted(now))
+	}
+	return InstancesForRate(r.sla, info.ArrivalRate)
+}

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// fileState is the Markov model state of a file ([23]): N new, M modified,
+// U unmodified, D deleted.
+type fileState int
+
+const (
+	stateNew fileState = iota + 1
+	stateModified
+	stateUnmodified
+	stateDeleted
+)
+
+// TransitionMatrix holds per-state probabilities of moving to Modified or
+// Deleted at the next snapshot (the remaining mass stays Unmodified).
+// The values below are calibrated against the paper's reported output for
+// the "Homes" dataset: 20 initial files, 5 training iterations and 100
+// snapshots yield on the order of 940 ADDs, 72 UPDATEs and 228 REMOVEs —
+// files are mostly read-only, deletions outnumber updates ~3:1.
+type TransitionMatrix struct {
+	// NewToModified etc. give P(next state | current state).
+	NewToModified, NewToDeleted               float64
+	ModifiedToModified, ModifiedToDeleted     float64
+	UnmodifiedToModified, UnmodifiedToDeleted float64
+}
+
+// HomesTransitions is the default calibration (see DESIGN.md §3: the
+// original per-state matrix of the Homes dataset is not printed in the
+// paper; these values reproduce its reported aggregate mix).
+func HomesTransitions() TransitionMatrix {
+	return TransitionMatrix{
+		NewToModified: 0.004, NewToDeleted: 0.007,
+		ModifiedToModified: 0.02, ModifiedToDeleted: 0.01,
+		UnmodifiedToModified: 0.0024, UnmodifiedToDeleted: 0.0055,
+	}
+}
+
+// GenConfig parameterizes the generator with the paper's three knobs plus a
+// seed and calibration details.
+type GenConfig struct {
+	// InitialFiles seeds the workspace before snapshots run (paper: 20).
+	InitialFiles int
+	// TrainIterations are burn-in snapshots whose operations are discarded
+	// (paper: 5).
+	TrainIterations int
+	// Snapshots is the number of recorded iterations (paper: 100).
+	Snapshots int
+	// Seed fixes the PRNG; zero means 1.
+	Seed int64
+	// BirthMean is the expected number of new files per snapshot. The
+	// paper's run created ~940 files over 100 snapshots.
+	BirthMean float64
+	// Transitions is the per-file state machine (default HomesTransitions).
+	Transitions *TransitionMatrix
+	// MaxUpdateSize caps how many bytes an UPDATE touches; the paper's 72
+	// updates moved only ~14 KB total, i.e. ~200 bytes each.
+	MaxUpdateSize int64
+}
+
+func (c *GenConfig) applyDefaults() {
+	if c.InitialFiles <= 0 {
+		c.InitialFiles = 20
+	}
+	if c.TrainIterations < 0 {
+		c.TrainIterations = 0
+	}
+	if c.Snapshots <= 0 {
+		c.Snapshots = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BirthMean <= 0 {
+		c.BirthMean = 9.2
+	}
+	if c.Transitions == nil {
+		tm := HomesTransitions()
+		c.Transitions = &tm
+	}
+	if c.MaxUpdateSize <= 0 {
+		c.MaxUpdateSize = 400
+	}
+}
+
+// DefaultGenConfig returns the paper's §5.2.1 parameters.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{InitialFiles: 20, TrainIterations: 5, Snapshots: 100, Seed: 1}
+}
+
+type genFile struct {
+	path  string
+	size  int64
+	state fileState
+	// recorded reports whether this file's ADD is part of the trace. Files
+	// born before recording starts (initial files and training iterations)
+	// get a synthetic ADD on their first recorded operation so the trace is
+	// self-contained and replayable.
+	recorded bool
+}
+
+// Generate runs the Markov model and returns the recorded trace.
+func Generate(cfg GenConfig) *Trace {
+	cfg.applyDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	t := &Trace{}
+	var files []*genFile
+	nextID := 0
+
+	addFile := func(snapshot int, record bool) {
+		f := &genFile{
+			path:  fmt.Sprintf("dir%02d/file%05d.dat", nextID%20, nextID),
+			size:  SampleFileSize(r),
+			state: stateNew,
+		}
+		nextID++
+		files = append(files, f)
+		if record {
+			f.recorded = true
+			t.append(Op{Snapshot: snapshot, Action: ADD, Path: f.path, Size: f.size})
+		}
+	}
+
+	// ensureRecorded backfills the ADD of a pre-recording file the first
+	// time a recorded operation touches it.
+	ensureRecorded := func(snapshot int, f *genFile) {
+		if f.recorded {
+			return
+		}
+		f.recorded = true
+		t.append(Op{Snapshot: snapshot, Action: ADD, Path: f.path, Size: f.size})
+	}
+
+	for i := 0; i < cfg.InitialFiles; i++ {
+		addFile(0, false)
+	}
+
+	total := cfg.TrainIterations + cfg.Snapshots
+	for snap := 0; snap < total; snap++ {
+		record := snap >= cfg.TrainIterations
+		// Births.
+		for n := poisson(r, cfg.BirthMean); n > 0; n-- {
+			addFile(snap, record)
+		}
+		// Per-file transitions.
+		alive := files[:0]
+		for _, f := range files {
+			pMod, pDel := transitionProbs(*cfg.Transitions, f.state)
+			x := r.Float64()
+			switch {
+			case x < pDel:
+				f.state = stateDeleted
+				if record {
+					ensureRecorded(snap, f)
+					t.append(Op{Snapshot: snap, Action: REMOVE, Path: f.path})
+				}
+				continue
+			case x < pDel+pMod && f.size > 0:
+				f.state = stateModified
+				pattern := samplePattern(r)
+				change := 50 + r.Int63n(cfg.MaxUpdateSize-49)
+				// Updates only target small files: >90% of I/O goes to
+				// files under 4 MB (§5.2.1).
+				if f.size < 4<<20 {
+					if record {
+						ensureRecorded(snap, f) // ADD carries the pre-change size
+					}
+					switch pattern {
+					case PatternB, PatternBE, PatternBM:
+						f.size += change // prepended bytes grow the file
+					case PatternE, PatternEM:
+						f.size += change
+					}
+					if record {
+						t.append(Op{
+							Snapshot: snap, Action: UPDATE, Path: f.path,
+							Size: f.size, Pattern: pattern, ChangeBytes: change,
+						})
+					}
+				}
+			default:
+				f.state = stateUnmodified
+			}
+			alive = append(alive, f)
+		}
+		files = alive
+	}
+	return t
+}
+
+func transitionProbs(tm TransitionMatrix, s fileState) (pMod, pDel float64) {
+	switch s {
+	case stateNew:
+		return tm.NewToModified, tm.NewToDeleted
+	case stateModified:
+		return tm.ModifiedToModified, tm.ModifiedToDeleted
+	default:
+		return tm.UnmodifiedToModified, tm.UnmodifiedToDeleted
+	}
+}
+
+// poisson samples a Poisson variate by inversion (mean is small).
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}
+
+// SampleFileSize draws from the §5.2.1 file-size distribution ([16]):
+// ~93% of files are log-uniform in [1 KB, 2.5 MB] and the rest log-uniform
+// in [2.5 MB, 8 MB], giving ~90% under 4 MB with a mean near the paper's
+// 583 KB average.
+func SampleFileSize(r *rand.Rand) int64 {
+	if r.Float64() < 0.93 {
+		return logUniform(r, 1<<10, 2<<20+512<<10)
+	}
+	return logUniform(r, 2<<20+512<<10, 8<<20)
+}
+
+func logUniform(r *rand.Rand, lo, hi int64) int64 {
+	l := math.Log(float64(lo))
+	h := math.Log(float64(hi))
+	return int64(math.Exp(l + r.Float64()*(h-l)))
+}

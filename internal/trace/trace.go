@@ -1,0 +1,198 @@
+// Package trace generates the workloads of the evaluation section. The
+// file-operation generator (§5.2.1) drives the Markov file-state model of
+// Tarasov et al. [23] with the "Homes" dataset's transition behaviour and
+// change patterns, over the file-size distribution of Liu et al. [16]
+// (90% of files < 4 MB, updated files modified by a few hundred bytes).
+// The UB1 generator synthesizes the Ubuntu One arrival-rate trace (§5.3.1):
+// a strongly diurnal week plus a typical "day 8" peaking at 8,514 commit
+// requests per minute.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Action is one of the three trace operations.
+type Action int
+
+const (
+	// ADD introduces a new file.
+	ADD Action = iota + 1
+	// UPDATE modifies an existing file with a change pattern.
+	UPDATE
+	// REMOVE deletes a file.
+	REMOVE
+)
+
+// String names the action as the paper does.
+func (a Action) String() string {
+	switch a {
+	case ADD:
+		return "ADD"
+	case UPDATE:
+		return "UPDATE"
+	case REMOVE:
+		return "REMOVE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ChangePattern describes where an UPDATE touches the file ([23] §5.2.1):
+// B prepends bytes, E appends, M rewrites the middle; combinations compose.
+type ChangePattern int
+
+const (
+	PatternB ChangePattern = iota + 1
+	PatternE
+	PatternM
+	PatternBE
+	PatternBM
+	PatternEM
+)
+
+// String names the pattern.
+func (p ChangePattern) String() string {
+	switch p {
+	case PatternB:
+		return "B"
+	case PatternE:
+		return "E"
+	case PatternM:
+		return "M"
+	case PatternBE:
+		return "BE"
+	case PatternBM:
+		return "BM"
+	case PatternEM:
+		return "EM"
+	default:
+		return "?"
+	}
+}
+
+// patternProbs is the "Homes" change-pattern distribution: B 38%, E 8%,
+// M 3%, with the remaining 51% split across the combinations (§5.2.1).
+var patternProbs = []struct {
+	p    ChangePattern
+	prob float64
+}{
+	{PatternB, 0.38},
+	{PatternE, 0.08},
+	{PatternM, 0.03},
+	{PatternBE, 0.26},
+	{PatternBM, 0.13},
+	{PatternEM, 0.12},
+}
+
+func samplePattern(r *rand.Rand) ChangePattern {
+	x := r.Float64()
+	acc := 0.0
+	for _, pp := range patternProbs {
+		acc += pp.prob
+		if x < acc {
+			return pp.p
+		}
+	}
+	return PatternEM
+}
+
+// Op is one generated operation.
+type Op struct {
+	Seq int `json:"seq"`
+	// Snapshot is the snapshot index the operation belongs to.
+	Snapshot int    `json:"snapshot"`
+	Action   Action `json:"action"`
+	Path     string `json:"path"`
+	// Size is the file size after the operation (0 for REMOVE).
+	Size int64 `json:"size"`
+	// Pattern applies to UPDATEs.
+	Pattern ChangePattern `json:"pattern,omitempty"`
+	// ChangeBytes is how many bytes an UPDATE touches.
+	ChangeBytes int64 `json:"changeBytes,omitempty"`
+}
+
+// Trace is a generated operation sequence plus its aggregate statistics.
+type Trace struct {
+	Ops []Op `json:"ops"`
+	// AddVolume is the total bytes introduced by ADDs (the benchmark size,
+	// 535.41 MB in the paper's run).
+	AddVolume int64 `json:"addVolume"`
+	// UpdateVolume is the total bytes touched by UPDATEs (~14 KB).
+	UpdateVolume int64 `json:"updateVolume"`
+	Adds         int   `json:"adds"`
+	Updates      int   `json:"updates"`
+	Removes      int   `json:"removes"`
+}
+
+// Counts returns (adds, updates, removes).
+func (t *Trace) Counts() (int, int, int) { return t.Adds, t.Updates, t.Removes }
+
+// MeanFileSize returns the average ADD size in bytes.
+func (t *Trace) MeanFileSize() int64 {
+	if t.Adds == 0 {
+		return 0
+	}
+	return t.AddVolume / int64(t.Adds)
+}
+
+// FileSizes lists the sizes of all added files (for the Fig. 7a CDF).
+func (t *Trace) FileSizes() []float64 {
+	out := make([]float64, 0, t.Adds)
+	for _, op := range t.Ops {
+		if op.Action == ADD {
+			out = append(out, float64(op.Size))
+		}
+	}
+	return out
+}
+
+// ByAction splits the trace into three single-action traces, preserving
+// order — the variant used for the per-action overhead test (Fig. 7c,d).
+// REMOVE-only and UPDATE-only traces still need their files to exist, so
+// each split is prefixed by the ADDs it depends on when withDeps is true.
+func (t *Trace) ByAction(a Action, withDeps bool) *Trace {
+	out := &Trace{}
+	if withDeps && a != ADD {
+		needed := make(map[string]bool)
+		for _, op := range t.Ops {
+			if op.Action == a {
+				needed[op.Path] = true
+			}
+		}
+		for _, op := range t.Ops {
+			if op.Action == ADD && needed[op.Path] {
+				out.append(op)
+			}
+		}
+	}
+	for _, op := range t.Ops {
+		if op.Action == a {
+			out.append(op)
+		}
+	}
+	return out
+}
+
+func (t *Trace) append(op Op) {
+	op.Seq = len(t.Ops)
+	t.Ops = append(t.Ops, op)
+	switch op.Action {
+	case ADD:
+		t.Adds++
+		t.AddVolume += op.Size
+	case UPDATE:
+		t.Updates++
+		t.UpdateVolume += op.ChangeBytes
+	case REMOVE:
+		t.Removes++
+	}
+}
+
+// Summary formats the aggregate line the generator prints.
+func (t *Trace) Summary() string {
+	return fmt.Sprintf("%d ADDs (%.2f MB), %d UPDATEs (%.2f KB), %d REMOVEs, avg file %.0f KB",
+		t.Adds, float64(t.AddVolume)/1e6, t.Updates, float64(t.UpdateVolume)/1e3,
+		t.Removes, float64(t.MeanFileSize())/1e3)
+}

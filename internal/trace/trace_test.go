@@ -1,0 +1,310 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestGenerateReproducesPaperAggregates(t *testing.T) {
+	// The §5.2.1 run: 20 initial files, 5 training iterations, 100
+	// snapshots → ~940 ADDs, ~72 UPDATEs, ~228 REMOVEs, ~535 MB of ADDs,
+	// avg file ~583 KB. Accept the same order of magnitude.
+	tr := Generate(DefaultGenConfig())
+	adds, updates, removes := tr.Counts()
+	if adds < 700 || adds > 1200 {
+		t.Fatalf("ADDs = %d, want ~940", adds)
+	}
+	if updates < 30 || updates > 160 {
+		t.Fatalf("UPDATEs = %d, want ~72", updates)
+	}
+	if removes < 120 || removes > 400 {
+		t.Fatalf("REMOVEs = %d, want ~228", removes)
+	}
+	if mb := float64(tr.AddVolume) / 1e6; mb < 250 || mb > 1200 {
+		t.Fatalf("ADD volume = %.1f MB, want ~535", mb)
+	}
+	if kb := float64(tr.MeanFileSize()) / 1e3; kb < 300 || kb > 1200 {
+		t.Fatalf("mean file = %.0f KB, want ~583", kb)
+	}
+	if kb := float64(tr.UpdateVolume) / 1e3; kb < 2 || kb > 60 {
+		t.Fatalf("UPDATE volume = %.1f KB, want ~14", kb)
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	a := Generate(GenConfig{Seed: 42})
+	b := Generate(GenConfig{Seed: 42})
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatalf("op counts differ: %d vs %d", len(a.Ops), len(b.Ops))
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
+	}
+	c := Generate(GenConfig{Seed: 43})
+	if len(c.Ops) == len(a.Ops) {
+		same := true
+		for i := range c.Ops {
+			if c.Ops[i] != a.Ops[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestFileSizeDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 20000
+	under4MB := 0
+	var total float64
+	for i := 0; i < n; i++ {
+		s := SampleFileSize(r)
+		if s < 4<<20 {
+			under4MB++
+		}
+		if s < 1<<10 || s > 8<<20 {
+			t.Fatalf("size %d outside [1KB, 8MB]", s)
+		}
+		total += float64(s)
+	}
+	frac := float64(under4MB) / n
+	if frac < 0.88 || frac > 0.97 {
+		t.Fatalf("fraction under 4MB = %.3f, want ~0.9 (paper: ~90%%)", frac)
+	}
+	mean := total / n
+	if mean < 300e3 || mean > 1.3e6 {
+		t.Fatalf("mean size = %.0f, want a few hundred KB", mean)
+	}
+}
+
+func TestTraceOpsAreConsistent(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 11})
+	live := make(map[string]bool)
+	for _, op := range tr.Ops {
+		switch op.Action {
+		case ADD:
+			if live[op.Path] {
+				t.Fatalf("ADD of live path %s", op.Path)
+			}
+			live[op.Path] = true
+		case UPDATE:
+			if !live[op.Path] {
+				t.Fatalf("UPDATE of dead path %s", op.Path)
+			}
+		case REMOVE:
+			if !live[op.Path] {
+				t.Fatalf("REMOVE of dead path %s", op.Path)
+			}
+			delete(live, op.Path)
+		}
+	}
+}
+
+func TestByActionSplitsWithDependencies(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 3})
+	updates := tr.ByAction(UPDATE, true)
+	// Every UPDATE must be preceded by the ADD of its path.
+	added := make(map[string]bool)
+	for _, op := range updates.Ops {
+		switch op.Action {
+		case ADD:
+			added[op.Path] = true
+		case UPDATE:
+			if !added[op.Path] {
+				t.Fatalf("update of %s without its dependency ADD", op.Path)
+			}
+		default:
+			t.Fatalf("unexpected action %v in UPDATE split", op.Action)
+		}
+	}
+	if updates.Updates != tr.Updates {
+		t.Fatalf("split lost updates: %d vs %d", updates.Updates, tr.Updates)
+	}
+	addsOnly := tr.ByAction(ADD, false)
+	if addsOnly.Adds != tr.Adds || addsOnly.Updates != 0 || addsOnly.Removes != 0 {
+		t.Fatalf("ADD split: %d/%d/%d", addsOnly.Adds, addsOnly.Updates, addsOnly.Removes)
+	}
+}
+
+func TestMaterializerReplaysTrace(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 5, Snapshots: 30})
+	m := NewMaterializer(5)
+	for _, op := range tr.Ops {
+		data, err := m.Apply(op)
+		if err != nil {
+			t.Fatalf("apply %v %s: %v", op.Action, op.Path, err)
+		}
+		switch op.Action {
+		case ADD:
+			if int64(len(data)) != op.Size {
+				t.Fatalf("ADD size %d != op size %d", len(data), op.Size)
+			}
+		case UPDATE:
+			if len(data) == 0 {
+				t.Fatal("update produced empty file")
+			}
+		case REMOVE:
+			if _, ok := m.Content(op.Path); ok {
+				t.Fatalf("removed path %s still live", op.Path)
+			}
+		}
+	}
+	if m.Live() == 0 {
+		t.Fatal("no live files after replay")
+	}
+}
+
+func TestMaterializerPatterns(t *testing.T) {
+	m := NewMaterializer(9)
+	base, err := m.Apply(Op{Action: ADD, Path: "f", Size: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]byte{}, base...)
+
+	tests := []struct {
+		pattern ChangePattern
+		check   func(updated []byte) bool
+	}{
+		{PatternB, func(u []byte) bool {
+			return len(u) == len(orig)+100 && string(u[100:]) == string(orig)
+		}},
+		{PatternE, func(u []byte) bool {
+			return len(u) == len(orig)+100 && string(u[:len(orig)]) == string(orig)
+		}},
+		{PatternM, func(u []byte) bool {
+			return len(u) == len(orig) &&
+				string(u[:100]) == string(orig[:100]) &&
+				string(u[len(u)-100:]) == string(orig[len(orig)-100:])
+		}},
+	}
+	for _, tt := range tests {
+		m2 := NewMaterializer(9)
+		if _, err := m2.Apply(Op{Action: ADD, Path: "f", Size: 10_000}); err != nil {
+			t.Fatal(err)
+		}
+		updated, err := m2.Apply(Op{Action: UPDATE, Path: "f", Pattern: tt.pattern, ChangeBytes: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tt.check(updated) {
+			t.Fatalf("pattern %v produced unexpected shape (len %d vs %d)", tt.pattern, len(updated), len(orig))
+		}
+	}
+}
+
+func TestMaterializerErrors(t *testing.T) {
+	m := NewMaterializer(1)
+	if _, err := m.Apply(Op{Action: UPDATE, Path: "ghost", Pattern: PatternB}); err == nil {
+		t.Fatal("update of unknown path accepted")
+	}
+	if _, err := m.Apply(Op{Action: REMOVE, Path: "ghost"}); err == nil {
+		t.Fatal("remove of unknown path accepted")
+	}
+}
+
+func TestUB1DiurnalShape(t *testing.T) {
+	week, day8 := UB1WeekAndDay8(1)
+	if got := week.Duration(); got != 7*24*time.Hour {
+		t.Fatalf("week duration = %v", got)
+	}
+	if got := day8.Duration(); got != 24*time.Hour {
+		t.Fatalf("day8 duration = %v", got)
+	}
+	// Peak close to 8,514 req/min = 141.9 req/s.
+	peak := day8.Peak()
+	if peak < 120 || peak > 160 {
+		t.Fatalf("day8 peak = %.1f req/s, want ~141.9", peak)
+	}
+	// Diurnal: midday >> middle of the night.
+	noon := day8.RateAt(day8.Start.Add(13 * time.Hour))
+	night := day8.RateAt(day8.Start.Add(3 * time.Hour))
+	if noon < 4*night {
+		t.Fatalf("diurnal contrast too weak: noon %.1f vs night %.1f", noon, night)
+	}
+	// Day 8 resembles the week's days (typical day): its peak is within
+	// 15%% of the week's peak.
+	if wp := week.Peak(); peak < 0.85*wp || peak > 1.15*wp {
+		t.Fatalf("day8 peak %.1f deviates from week peak %.1f", peak, wp)
+	}
+}
+
+func TestUB1RateAtBounds(t *testing.T) {
+	day := GenerateUB1(UB1Config{Days: 1, Seed: 2})
+	if got := day.RateAt(day.Start.Add(-time.Hour)); got != 0 {
+		t.Fatalf("rate before start = %v", got)
+	}
+	if got := day.RateAt(day.Start.Add(25 * time.Hour)); got != 0 {
+		t.Fatalf("rate after end = %v", got)
+	}
+	if got := day.RateAt(day.Start); got <= 0 {
+		t.Fatalf("rate at start = %v", got)
+	}
+}
+
+func TestUB1PerPeriodSummaries(t *testing.T) {
+	week, _ := UB1WeekAndDay8(1)
+	sums := week.PerPeriodSummaries(15 * time.Minute)
+	want := 7 * 24 * 4
+	if len(sums) != want {
+		t.Fatalf("summaries = %d, want %d", len(sums), want)
+	}
+	for i, s := range sums {
+		if s <= 0 {
+			t.Fatalf("summary %d non-positive: %v", i, s)
+		}
+	}
+}
+
+func TestUB1HourSlice(t *testing.T) {
+	_, day8 := UB1WeekAndDay8(1)
+	h20 := day8.HourSlice(20)
+	if got := h20.Duration(); got != time.Hour {
+		t.Fatalf("hour slice duration = %v", got)
+	}
+	if !h20.Start.Equal(day8.Start.Add(20 * time.Hour)) {
+		t.Fatalf("hour slice start = %v", h20.Start)
+	}
+	// Out-of-range slice is empty.
+	if got := day8.HourSlice(30).Duration(); got != 0 {
+		t.Fatalf("hour 30 of a single day should be empty, got %v", got)
+	}
+}
+
+func TestActionAndPatternStrings(t *testing.T) {
+	if ADD.String() != "ADD" || UPDATE.String() != "UPDATE" || REMOVE.String() != "REMOVE" {
+		t.Fatal("action names changed")
+	}
+	for _, p := range []ChangePattern{PatternB, PatternE, PatternM, PatternBE, PatternBM, PatternEM} {
+		if p.String() == "?" {
+			t.Fatalf("pattern %d unnamed", p)
+		}
+	}
+}
+
+func TestPatternProbabilitiesSumToOne(t *testing.T) {
+	var sum float64
+	for _, pp := range patternProbs {
+		sum += pp.prob
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("pattern probabilities sum to %v", sum)
+	}
+	// The paper's headline single-pattern shares.
+	if patternProbs[0].prob != 0.38 || patternProbs[1].prob != 0.08 || patternProbs[2].prob != 0.03 {
+		t.Fatal("B/E/M probabilities diverged from the Homes dataset values")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 1, Snapshots: 10})
+	if s := tr.Summary(); s == "" {
+		t.Fatal("empty summary")
+	}
+}

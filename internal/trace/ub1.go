@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// The real Ubuntu One trace (November 2013) is proprietary and the service
+// shut down in April 2014, so this generator synthesizes an arrival-rate
+// series with the properties the §5.3 experiments depend on: strong diurnal
+// seasonality (minimum in the middle of the night, peak around midday), a
+// week of consistent history for the predictive provisioner, and a typical
+// "day 8" whose peak demand is the paper's reported 8,514 commit requests
+// per minute.
+
+// UB1PeakPerMinute is the reported day-8 peak demand (§5.3.1).
+const UB1PeakPerMinute = 8514
+
+// ArrivalTrace is a rate series with a fixed step.
+type ArrivalTrace struct {
+	Start time.Time     `json:"start"`
+	Step  time.Duration `json:"step"`
+	// Rates are arrival rates in requests per SECOND for each step.
+	Rates []float64 `json:"rates"`
+}
+
+// RateAt returns the rate in force at time t (zero outside the trace).
+func (a *ArrivalTrace) RateAt(t time.Time) float64 {
+	if len(a.Rates) == 0 || t.Before(a.Start) {
+		return 0
+	}
+	idx := int(t.Sub(a.Start) / a.Step)
+	if idx >= len(a.Rates) {
+		return 0
+	}
+	return a.Rates[idx]
+}
+
+// Duration returns the covered time span.
+func (a *ArrivalTrace) Duration() time.Duration {
+	return time.Duration(len(a.Rates)) * a.Step
+}
+
+// Peak returns the maximum rate (req/s).
+func (a *ArrivalTrace) Peak() float64 {
+	var peak float64
+	for _, r := range a.Rates {
+		if r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+// PerPeriodSummaries folds the trace into mean rates per period (15 min for
+// the predictive provisioner's history).
+func (a *ArrivalTrace) PerPeriodSummaries(period time.Duration) []float64 {
+	return a.perPeriod(period, false)
+}
+
+// PerPeriodPeaks folds the trace into peak rates per period — the predictor
+// "estimates the peak demand that will be seen over the next period"
+// (§4.3.1), so its history must hold per-slot peaks, not means.
+func (a *ArrivalTrace) PerPeriodPeaks(period time.Duration) []float64 {
+	return a.perPeriod(period, true)
+}
+
+func (a *ArrivalTrace) perPeriod(period time.Duration, peak bool) []float64 {
+	per := int(period / a.Step)
+	if per <= 0 {
+		per = 1
+	}
+	var out []float64
+	for i := 0; i < len(a.Rates); i += per {
+		end := i + per
+		if end > len(a.Rates) {
+			end = len(a.Rates)
+		}
+		var agg float64
+		for _, r := range a.Rates[i:end] {
+			if peak {
+				if r > agg {
+					agg = r
+				}
+			} else {
+				agg += r
+			}
+		}
+		if !peak {
+			agg /= float64(end - i)
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// UB1Config parameterizes the synthetic trace.
+type UB1Config struct {
+	// Start anchors the series (default 2013-11-01 00:00 UTC, matching the
+	// trace's month).
+	Start time.Time
+	// Days is the series length (paper: 7 history days + day 8).
+	Days int
+	// Step is the sampling interval (default 1 minute).
+	Step time.Duration
+	// PeakPerMinute scales the diurnal curve (default UB1PeakPerMinute).
+	PeakPerMinute float64
+	// Noise is the multiplicative jitter amplitude (default 0.04).
+	Noise float64
+	// Seed fixes the jitter.
+	Seed int64
+}
+
+func (c *UB1Config) applyDefaults() {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2013, 11, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Days <= 0 {
+		c.Days = 8
+	}
+	if c.Step <= 0 {
+		c.Step = time.Minute
+	}
+	if c.PeakPerMinute <= 0 {
+		c.PeakPerMinute = UB1PeakPerMinute
+	}
+	if c.Noise < 0 {
+		c.Noise = 0
+	} else if c.Noise == 0 {
+		c.Noise = 0.04
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// diurnalShape returns the fraction of peak demand at hour-of-day h
+// (0..24): ~12% of peak in the middle of the night, rising through the
+// morning to a peak around 13:00, easing through the evening.
+func diurnalShape(h float64) float64 {
+	const (
+		night = 0.12
+		peakH = 13.0
+	)
+	// Cosine bump centred on peakH with a 20-hour active width.
+	x := math.Cos((h - peakH) / 24 * 2 * math.Pi)
+	bump := math.Pow((x+1)/2, 1.8) // sharpen so the peak is pronounced
+	return night + (1-night)*bump
+}
+
+// GenerateUB1 synthesizes the arrival series.
+func GenerateUB1(cfg UB1Config) *ArrivalTrace {
+	cfg.applyDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	steps := int(time.Duration(cfg.Days) * 24 * time.Hour / cfg.Step)
+	rates := make([]float64, steps)
+	peakPerSec := cfg.PeakPerMinute / 60
+	for i := range rates {
+		t := cfg.Start.Add(time.Duration(i) * cfg.Step)
+		h := float64(t.Hour()) + float64(t.Minute())/60
+		jitter := 1 + cfg.Noise*(2*r.Float64()-1)
+		rates[i] = peakPerSec * diurnalShape(h) * jitter
+	}
+	return &ArrivalTrace{Start: cfg.Start, Step: cfg.Step, Rates: rates}
+}
+
+// UB1WeekAndDay8 generates the two traces of §5.3.1: the history week that
+// feeds the predictive provisioner and the day-8 replay input.
+func UB1WeekAndDay8(seed int64) (week, day8 *ArrivalTrace) {
+	week = GenerateUB1(UB1Config{Days: 7, Seed: seed})
+	day8Start := week.Start.AddDate(0, 0, 7)
+	day8 = GenerateUB1(UB1Config{Start: day8Start, Days: 1, Seed: seed + 7})
+	return week, day8
+}
+
+// HourSlice returns a one-hour window of the trace starting at hour h of its
+// first day (used by the §5.3.3 misprediction experiment to compare the
+// hour-20 and hour-30 patterns).
+func (a *ArrivalTrace) HourSlice(h int) *ArrivalTrace {
+	stepsPerHour := int(time.Hour / a.Step)
+	lo := h * stepsPerHour
+	hi := lo + stepsPerHour
+	if lo >= len(a.Rates) {
+		return &ArrivalTrace{Start: a.Start, Step: a.Step}
+	}
+	if hi > len(a.Rates) {
+		hi = len(a.Rates)
+	}
+	out := make([]float64, hi-lo)
+	copy(out, a.Rates[lo:hi])
+	return &ArrivalTrace{
+		Start: a.Start.Add(time.Duration(lo) * a.Step),
+		Step:  a.Step,
+		Rates: out,
+	}
+}

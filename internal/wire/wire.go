@@ -1,0 +1,193 @@
+// Package wire implements the length-prefixed frame protocol spoken between
+// mq network clients and the mq TCP server. It plays the role AMQP framing
+// plays between RabbitMQ and its clients in the paper's deployment.
+//
+// A frame is: 4-byte big-endian payload length, followed by that many bytes
+// of JSON-encoded Frame. Frames are small (bodies are base64 inside JSON),
+// and the hard size cap protects both ends from corrupt peers.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize is the largest frame either side will accept (16 MiB); large
+// enough for a compressed 512 KB chunk plus headers with ample margin.
+const MaxFrameSize = 16 << 20
+
+// Frame operation codes. Values are part of the protocol; never renumber.
+type Op int
+
+const (
+	OpDeclareQueue Op = iota + 1
+	OpDeleteQueue
+	OpDeclareExchange
+	OpBindQueue
+	OpUnbindQueue
+	OpPublish
+	OpSubscribe
+	OpCancel
+	OpAck
+	OpNack
+	OpDeliver
+	OpOK
+	OpError
+	OpQueueStats
+	OpStatsReply
+	OpPing
+	OpPong
+)
+
+// String returns the protocol name of the op code.
+func (o Op) String() string {
+	switch o {
+	case OpDeclareQueue:
+		return "declare-queue"
+	case OpDeleteQueue:
+		return "delete-queue"
+	case OpDeclareExchange:
+		return "declare-exchange"
+	case OpBindQueue:
+		return "bind-queue"
+	case OpUnbindQueue:
+		return "unbind-queue"
+	case OpPublish:
+		return "publish"
+	case OpSubscribe:
+		return "subscribe"
+	case OpCancel:
+		return "cancel"
+	case OpAck:
+		return "ack"
+	case OpNack:
+		return "nack"
+	case OpDeliver:
+		return "deliver"
+	case OpOK:
+		return "ok"
+	case OpError:
+		return "error"
+	case OpQueueStats:
+		return "queue-stats"
+	case OpStatsReply:
+		return "stats-reply"
+	case OpPing:
+		return "ping"
+	case OpPong:
+		return "pong"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Frame is the unit of exchange on the wire. Which fields are meaningful
+// depends on Op; unused fields are omitted from the encoding.
+type Frame struct {
+	Op  Op     `json:"op"`
+	Seq uint64 `json:"seq,omitempty"` // request/response correlation
+
+	Queue    string `json:"queue,omitempty"`
+	Exchange string `json:"exchange,omitempty"`
+	Kind     string `json:"kind,omitempty"` // exchange kind for declare
+	Key      string `json:"key,omitempty"`  // routing/binding key
+
+	ConsumerID string `json:"consumerId,omitempty"`
+	Prefetch   int    `json:"prefetch,omitempty"`
+	DeliveryID uint64 `json:"deliveryId,omitempty"`
+	Requeue    bool   `json:"requeue,omitempty"`
+
+	MessageID  string            `json:"messageId,omitempty"`
+	Headers    map[string]string `json:"headers,omitempty"`
+	Body       []byte            `json:"body,omitempty"`
+	Persistent bool              `json:"persistent,omitempty"`
+	Redelivery int               `json:"redelivery,omitempty"`
+
+	Err   string `json:"err,omitempty"`
+	Stats []byte `json:"stats,omitempty"` // JSON-encoded mq.QueueStats
+}
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrShortFrame    = errors.New("wire: truncated frame")
+)
+
+// Writer encodes frames onto an io.Writer. Not safe for concurrent use;
+// callers serialize writes.
+type Writer struct {
+	w   *bufio.Writer
+	buf [4]byte
+}
+
+// NewWriter returns a Writer emitting frames to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write encodes and flushes a single frame.
+func (fw *Writer) Write(f *Frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("wire: marshal frame: %w", err)
+	}
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(fw.buf[:], uint32(len(payload)))
+	if _, err := fw.w.Write(fw.buf[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := fw.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write frame payload: %w", err)
+	}
+	if err := fw.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush frame: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes frames from an io.Reader. Not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf [4]byte
+}
+
+// NewReader returns a Reader consuming frames from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read decodes the next frame. It returns io.EOF when the stream ends
+// cleanly on a frame boundary and ErrShortFrame when it ends mid-frame.
+func (fr *Reader) Read() (*Frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.buf[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrShortFrame
+		}
+		return nil, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(fr.buf[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrShortFrame
+		}
+		return nil, fmt.Errorf("wire: read frame payload: %w", err)
+	}
+	var f Frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal frame: %w", err)
+	}
+	return &f, nil
+}

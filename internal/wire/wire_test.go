@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tests := []struct {
+		name  string
+		frame Frame
+	}{
+		{"empty publish", Frame{Op: OpPublish}},
+		{"publish with body", Frame{
+			Op: OpPublish, Seq: 7, Exchange: "workspace.fanout", Key: "ws1",
+			MessageID: "m-1", Body: []byte("hello"), Persistent: true,
+			Headers: map[string]string{"codec": "json"},
+		}},
+		{"deliver", Frame{
+			Op: OpDeliver, Queue: "sync.requests", ConsumerID: "c1",
+			DeliveryID: 42, Body: []byte{0, 1, 2, 255}, Redelivery: 2,
+		}},
+		{"error reply", Frame{Op: OpError, Seq: 3, Err: "queue not found"}},
+		{"stats", Frame{Op: OpStatsReply, Stats: []byte(`{"depth":3}`)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := NewWriter(&buf).Write(&tt.frame); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			got, err := NewReader(&buf).Read()
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if got.Op != tt.frame.Op || got.Seq != tt.frame.Seq ||
+				got.Queue != tt.frame.Queue || got.Exchange != tt.frame.Exchange ||
+				got.Key != tt.frame.Key || got.MessageID != tt.frame.MessageID ||
+				!bytes.Equal(got.Body, tt.frame.Body) ||
+				got.Persistent != tt.frame.Persistent ||
+				got.DeliveryID != tt.frame.DeliveryID ||
+				got.Err != tt.frame.Err {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tt.frame)
+			}
+		})
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, queue, key string, body []byte, persistent bool) bool {
+		in := Frame{Op: OpPublish, Seq: seq, Queue: queue, Key: key, Body: body, Persistent: persistent}
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).Write(&in); err != nil {
+			return false
+		}
+		out, err := NewReader(&buf).Read()
+		if err != nil {
+			return false
+		}
+		return out.Seq == in.Seq && out.Queue == in.Queue && out.Key == in.Key &&
+			bytes.Equal(out.Body, in.Body) && out.Persistent == in.Persistent
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		if err := w.Write(&Frame{Op: OpPing, Seq: uint64(i)}); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	r := NewReader(&buf)
+	for i := 0; i < 100; i++ {
+		f, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if f.Seq != uint64(i) {
+			t.Fatalf("frame %d out of order: seq %d", i, f.Seq)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("expected EOF at stream end, got %v", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(&Frame{Op: OpPublish, Body: []byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the stream mid-payload.
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := NewReader(bytes.NewReader(cut)).Read(); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("expected ErrShortFrame, got %v", err)
+	}
+	// Cut mid-header.
+	if _, err := NewReader(bytes.NewReader(cut[:2])).Read(); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("expected ErrShortFrame on short header, got %v", err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	// Hand-craft a header claiming a payload larger than the cap.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := NewReader(bytes.NewReader(hdr)).Read(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := []Op{
+		OpDeclareQueue, OpDeleteQueue, OpDeclareExchange, OpBindQueue, OpUnbindQueue,
+		OpPublish, OpSubscribe, OpCancel, OpAck, OpNack, OpDeliver, OpOK, OpError,
+		OpQueueStats, OpStatsReply, OpPing, OpPong,
+	}
+	seen := make(map[string]bool, len(ops))
+	for _, op := range ops {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Fatalf("op %d has empty or duplicate name %q", op, s)
+		}
+		seen[s] = true
+	}
+	if got := Op(99).String(); got != "op(99)" {
+		t.Fatalf("unknown op string = %q", got)
+	}
+}
