@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet check chaos experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+## check is the gate CI runs: static analysis plus the full suite under the
+## race detector. Use `make test` for a faster, detector-free pass.
+check: scripts/check.sh
+	./scripts/check.sh
+
+## chaos runs the seeded fault-injection soak (not part of `make test`'s
+## -short path; see EXPERIMENTS.md).
+chaos:
+	$(GO) run ./cmd/experiments -run chaos -quick
+
+experiments:
+	$(GO) run ./cmd/experiments -run all -quick

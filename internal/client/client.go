@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"stacksync/internal/chunker"
+	"stacksync/internal/clock"
 	"stacksync/internal/core"
 	"stacksync/internal/metastore"
 	"stacksync/internal/objstore"
@@ -60,6 +61,23 @@ type Config struct {
 	// EventBuffer caps the Events channel (default 256). When full, the
 	// oldest unread events are dropped.
 	EventBuffer int
+	// Clock drives waits, retries and background loops (default wall clock).
+	Clock clock.Clock
+	// StoreRetries and StoreBackoff tune the retry loop around each storage
+	// operation (defaults 3 extra attempts, 20 ms doubling).
+	StoreRetries int
+	StoreBackoff time.Duration
+	// BreakerThreshold consecutive storage failures open the circuit for
+	// BreakerCooldown (defaults 5, 500 ms). While open, chunk uploads queue
+	// and drain in the background — commits stay available (degraded mode).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// RetransmitEvery re-proposes commits whose notification has not arrived
+	// (default 1 s; the metadata store deduplicates replays). <0 disables.
+	RetransmitEvery time.Duration
+	// ResyncEvery periodically pulls GetChanges to repair losses the push
+	// path missed (dropped notifications). Default 0 = disabled.
+	ResyncEvery time.Duration
 }
 
 // Client is one StackSync device. It is driven programmatically through
@@ -68,14 +86,19 @@ type Config struct {
 type Client struct {
 	cfg       Config
 	container string
+	clk       clock.Clock
+	store     *breakerStore
+	uploads   *uploadQueue
 	sync      *omq.Proxy
 	handler   *omq.BoundObject
 
 	db     *localDB
 	events chan Event
+	stopCh chan struct{}
+	bg     sync.WaitGroup
 
 	mu               sync.Mutex
-	pendingProposals map[pendingKey][]byte
+	pendingProposals map[pendingKey]pendingProposal
 	started          bool
 	closed           bool
 }
@@ -114,12 +137,24 @@ func NewClient(cfg Config) (*Client, error) {
 	if cfg.EventBuffer <= 0 {
 		cfg.EventBuffer = 256
 	}
-	return &Client{
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	if cfg.RetransmitEvery == 0 {
+		cfg.RetransmitEvery = time.Second
+	}
+	c := &Client{
 		cfg:       cfg,
 		container: WorkspaceContainer(cfg.WorkspaceID),
+		clk:       cfg.Clock,
+		uploads:   newUploadQueue(),
 		db:        newLocalDB(),
 		events:    make(chan Event, cfg.EventBuffer),
-	}, nil
+		stopCh:    make(chan struct{}),
+	}
+	c.store = newBreakerStore(cfg.Storage, cfg.Clock,
+		cfg.StoreRetries, cfg.StoreBackoff, cfg.BreakerThreshold, cfg.BreakerCooldown)
+	return c, nil
 }
 
 // Start connects the device: it registers the notification handler for the
@@ -134,7 +169,7 @@ func (c *Client) Start() error {
 	c.started = true
 	c.mu.Unlock()
 
-	if err := c.cfg.Storage.EnsureContainer(c.container); err != nil {
+	if err := c.store.EnsureContainer(c.container); err != nil {
 		return fmt.Errorf("client: ensure container: %w", err)
 	}
 	c.sync = c.cfg.Broker.Lookup(core.ServiceOID,
@@ -155,6 +190,106 @@ func (c *Client) Start() error {
 	for _, item := range state {
 		if err := c.applyRemote(item); err != nil {
 			return fmt.Errorf("client: apply startup state: %w", err)
+		}
+	}
+
+	// Background repair loops: drain deferred chunk uploads, retransmit
+	// unacknowledged proposals, and (when configured) resync pulled state.
+	c.bg.Add(1)
+	go c.repairLoop()
+	return nil
+}
+
+// uploadFlushEvery paces the deferred-upload drain attempts.
+const uploadFlushEvery = 100 * time.Millisecond
+
+// repairLoop is the client's self-healing heartbeat. Each tick it (1) drains
+// queued chunk uploads once the store admits requests again, (2) re-proposes
+// commits whose notification never came (the metadata store deduplicates
+// replays, §4.2 at-least-once), and (3) optionally pulls GetChanges to
+// repair dropped pushes.
+func (c *Client) repairLoop() {
+	defer c.bg.Done()
+	var sinceResync, sinceRetransmit time.Duration
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-c.clk.After(uploadFlushEvery):
+		}
+		c.flushUploads()
+		sinceRetransmit += uploadFlushEvery
+		if c.cfg.RetransmitEvery > 0 && sinceRetransmit >= c.cfg.RetransmitEvery {
+			sinceRetransmit = 0
+			c.retransmitPending()
+		}
+		sinceResync += uploadFlushEvery
+		if c.cfg.ResyncEvery > 0 && sinceResync >= c.cfg.ResyncEvery {
+			sinceResync = 0
+			_ = c.Resync()
+		}
+	}
+}
+
+// flushUploads retries queued chunk uploads in FIFO order, stopping at the
+// first failure (the store is still down; keep order and try again later).
+func (c *Client) flushUploads() {
+	for _, fp := range c.uploads.snapshot() {
+		data, ok := c.uploads.get(fp)
+		if !ok {
+			continue
+		}
+		if err := c.store.Put(c.container, fp, data); err != nil {
+			if permanentStoreErr(err) {
+				c.uploads.remove(fp) // retrying can never succeed
+			}
+			return
+		}
+		c.uploads.remove(fp)
+	}
+}
+
+// PendingUploads reports queued (deferred) chunk uploads.
+func (c *Client) PendingUploads() int { return c.uploads.len() }
+
+// StorageDegraded reports whether the storage circuit breaker is open.
+func (c *Client) StorageDegraded() bool { return c.store.Open() }
+
+// retransmitPending re-proposes every stashed proposal older than the
+// retransmit interval: its CommitRequest or notification was lost somewhere
+// along the at-least-once pipeline.
+func (c *Client) retransmitPending() {
+	now := c.clk.Now()
+	c.mu.Lock()
+	var items []metastore.ItemVersion
+	for key, p := range c.pendingProposals {
+		if now.Sub(p.at) < c.cfg.RetransmitEvery {
+			continue
+		}
+		p.at = now
+		c.pendingProposals[key] = p
+		items = append(items, p.item)
+	}
+	c.mu.Unlock()
+	if len(items) == 0 {
+		return
+	}
+	_ = c.propose(items)
+}
+
+// Resync pulls the full committed state and applies anything newer than the
+// local database — the pull-based safety net under the push notifications.
+func (c *Client) Resync() error {
+	if c.sync == nil {
+		return ErrNotStarted
+	}
+	var state []metastore.ItemVersion
+	if err := c.sync.Call("GetChanges", &state, c.cfg.WorkspaceID); err != nil {
+		return fmt.Errorf("client: resync: %w", err)
+	}
+	for _, item := range state {
+		if err := c.applyRemote(item); err != nil {
+			return fmt.Errorf("client: resync apply: %w", err)
 		}
 	}
 	return nil
@@ -252,8 +387,14 @@ func (c *Client) prepareItem(filePath string, content []byte) (metastore.ItemVer
 		if err != nil {
 			return metastore.ItemVersion{}, fmt.Errorf("client: compress chunk: %w", err)
 		}
-		if err := c.cfg.Storage.Put(c.container, ch.Fingerprint, compressed); err != nil {
-			return metastore.ItemVersion{}, fmt.Errorf("client: upload chunk: %w", err)
+		if err := c.store.Put(c.container, ch.Fingerprint, compressed); err != nil {
+			if permanentStoreErr(err) {
+				return metastore.ItemVersion{}, fmt.Errorf("client: upload chunk: %w", err)
+			}
+			// Transient storage failure (or open circuit): defer the upload
+			// and keep the commit available — metadata and data flows are
+			// independent (§4), so a flaky store must not block sync.
+			c.uploads.add(ch.Fingerprint, compressed)
 		}
 	}
 	c.db.addChunks(chunker.Fingerprints(fresh))
@@ -355,31 +496,40 @@ func (c *Client) RemoveFile(filePath string) error {
 }
 
 // pendingKey tracks proposals awaiting their notification, keyed by
-// itemID/version; the value holds the locally proposed content so a losing
-// race can be preserved as a conflict copy.
+// itemID/version; the entry holds the locally proposed content (so a losing
+// race can be preserved as a conflict copy) and the full proposal (so a lost
+// CommitRequest or notification can be retransmitted).
 type pendingKey struct {
 	itemID  string
 	version uint64
+}
+
+type pendingProposal struct {
+	content []byte
+	item    metastore.ItemVersion
+	at      time.Time // last (re)transmission
 }
 
 func (c *Client) stashProposed(item metastore.ItemVersion, content []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.pendingProposals == nil {
-		c.pendingProposals = make(map[pendingKey][]byte)
+		c.pendingProposals = make(map[pendingKey]pendingProposal)
 	}
-	c.pendingProposals[pendingKey{item.ItemID, item.Version}] = content
+	c.pendingProposals[pendingKey{item.ItemID, item.Version}] = pendingProposal{
+		content: content, item: item, at: c.clk.Now(),
+	}
 }
 
 func (c *Client) takeProposed(item metastore.ItemVersion) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := pendingKey{item.ItemID, item.Version}
-	content, ok := c.pendingProposals[key]
+	p, ok := c.pendingProposals[key]
 	if ok {
 		delete(c.pendingProposals, key)
 	}
-	return content, ok
+	return p.content, ok
 }
 
 // FileContent returns the current synced content of path.
@@ -407,31 +557,54 @@ func (c *Client) Paths() []string { return c.db.paths() }
 
 // WaitForVersion blocks until path reaches at least version or the timeout
 // elapses — the hook the sync-time experiments use to measure when devices
-// are in sync.
+// are in sync. It is event-driven (no polling): the database's change
+// broadcast wakes it, so it works unchanged under a virtual clock.
 func (c *Client) WaitForVersion(filePath string, version uint64, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if v, ok := c.Version(filePath); ok && v >= version {
-			return nil
-		}
-		time.Sleep(time.Millisecond)
+	ok := c.waitDB(timeout, func() bool {
+		v, ok := c.Version(filePath)
+		return ok && v >= version
+	})
+	if !ok {
+		return fmt.Errorf("client: %s did not reach v%d within %v", filePath, version, timeout)
 	}
-	return fmt.Errorf("client: %s did not reach v%d within %v", filePath, version, timeout)
+	return nil
 }
 
 // WaitForGone blocks until path is deleted locally or the timeout elapses.
 func (c *Client) WaitForGone(filePath string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if _, ok := c.Version(filePath); !ok {
-			return nil
-		}
-		time.Sleep(time.Millisecond)
+	ok := c.waitDB(timeout, func() bool {
+		_, ok := c.Version(filePath)
+		return !ok
+	})
+	if !ok {
+		return fmt.Errorf("client: %s still present after %v", filePath, timeout)
 	}
-	return fmt.Errorf("client: %s still present after %v", filePath, timeout)
+	return nil
 }
 
-// Close detaches the device from the workspace.
+// waitDB blocks until pred holds or timeout elapses. The channel is grabbed
+// before the predicate is checked, so a change racing the check is never
+// missed — the broadcast channel closes and re-arms on every upsert.
+func (c *Client) waitDB(timeout time.Duration, pred func() bool) bool {
+	deadline := c.clk.Now().Add(timeout)
+	for {
+		ch := c.db.changeCh()
+		if pred() {
+			return true
+		}
+		remaining := deadline.Sub(c.clk.Now())
+		if remaining <= 0 {
+			return false
+		}
+		select {
+		case <-ch:
+		case <-c.clk.After(remaining):
+			return pred()
+		}
+	}
+}
+
+// Close detaches the device from the workspace and stops the repair loop.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -440,6 +613,8 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	close(c.stopCh)
+	c.bg.Wait()
 	if c.handler != nil {
 		return c.handler.Unbind()
 	}
@@ -482,9 +657,16 @@ func (c *Client) handleNotification(n core.CommitNotification) error {
 	return nil
 }
 
-// applyOwnCommit records a confirmed local proposal.
+// applyOwnCommit records a confirmed local proposal. Duplicate
+// acknowledgements (notification replayed by an at-least-once hop, or a
+// retransmitted proposal re-acked by the metadata store) are absorbed: the
+// pending entry is cleared, but an already-current database is not touched,
+// so no duplicate event fires.
 func (c *Client) applyOwnCommit(r CommitResultView) {
 	content, _ := c.takeProposed(r.Proposed)
+	if cur, have := c.db.lookupID(r.Item.ItemID); have && cur.version >= r.Item.Version {
+		return
+	}
 	it := localItem{
 		itemID:   r.Item.ItemID,
 		path:     r.Item.Path,
@@ -542,9 +724,15 @@ func (c *Client) applyRemote(item metastore.ItemVersion) error {
 func (c *Client) fetchContent(item metastore.ItemVersion) ([]byte, error) {
 	chunks := make([]chunker.Chunk, 0, len(item.Chunks))
 	for _, fp := range item.Chunks {
-		compressed, err := c.cfg.Storage.Get(c.container, fp)
+		compressed, err := c.store.Get(c.container, fp)
 		if err != nil {
-			return nil, fmt.Errorf("client: fetch chunk %s: %w", fp, err)
+			// Read-your-writes under degradation: a chunk we deferred
+			// uploading is served from the queue.
+			if queued, ok := c.uploads.get(fp); ok {
+				compressed = queued
+			} else {
+				return nil, fmt.Errorf("client: fetch chunk %s: %w", fp, err)
+			}
 		}
 		data, err := chunker.Decompress(compressed, c.cfg.Compression)
 		if err != nil {

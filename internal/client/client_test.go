@@ -151,6 +151,11 @@ func TestRemovePropagates(t *testing.T) {
 	if err := b.WaitForVersion("temp.txt", 1, syncWait); err != nil {
 		t.Fatal(err)
 	}
+	// b's notification and a's own ack ride independent queues; wait for
+	// a's ack too before removing.
+	if err := a.WaitForVersion("temp.txt", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
 	if err := a.RemoveFile("temp.txt"); err != nil {
 		t.Fatal(err)
 	}

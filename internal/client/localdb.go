@@ -40,14 +40,27 @@ type localDB struct {
 	byPath map[string]*localItem
 	byID   map[string]*localItem
 	chunks map[string]bool
+	// changed is closed and replaced on every upsert; waiters grab the
+	// current channel, re-check their predicate, then block on it — an
+	// allocation-light broadcast that works under both real and virtual
+	// clocks (no polling).
+	changed chan struct{}
 }
 
 func newLocalDB() *localDB {
 	return &localDB{
-		byPath: make(map[string]*localItem),
-		byID:   make(map[string]*localItem),
-		chunks: make(map[string]bool),
+		byPath:  make(map[string]*localItem),
+		byID:    make(map[string]*localItem),
+		chunks:  make(map[string]bool),
+		changed: make(chan struct{}),
 	}
+}
+
+// changeCh returns a channel closed at the next database change.
+func (db *localDB) changeCh() <-chan struct{} {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.changed
 }
 
 func (db *localDB) hasChunk(fp string) bool {
@@ -86,10 +99,14 @@ func (db *localDB) lookupID(itemID string) (localItem, bool) {
 	return *it, true
 }
 
-// upsert installs the new state of an item.
+// upsert installs the new state of an item and wakes all change waiters.
 func (db *localDB) upsert(it localItem) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer func() {
+		close(db.changed)
+		db.changed = make(chan struct{})
+	}()
 	existing, ok := db.byID[it.itemID]
 	if ok {
 		// Path may change across versions; keep the path index coherent.

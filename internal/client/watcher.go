@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"stacksync/internal/chunker"
+	"stacksync/internal/metrics"
 )
 
 // DirWatcher mirrors a real directory into a Client (the Watcher/Indexer
@@ -22,9 +23,18 @@ type DirWatcher struct {
 	c        *Client
 	dir      string
 	interval time.Duration
+	// readFile reads one file during a scan (os.ReadFile; injectable so
+	// tests can exercise transient read failures).
+	readFile func(string) ([]byte, error)
 
 	mu    sync.Mutex
 	known map[string]string // sync path -> checksum of last agreed content
+
+	// scanErrors counts per-file reads that failed transiently during a scan
+	// (mid-write files, races with the OS); syncErrors counts whole cycles
+	// that returned an error. Both were previously swallowed silently.
+	scanErrors metrics.Counter
+	syncErrors metrics.Counter
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -47,11 +57,20 @@ func NewDirWatcher(c *Client, dir string, interval time.Duration) (*DirWatcher, 
 		c:        c,
 		dir:      dir,
 		interval: interval,
+		readFile: os.ReadFile,
 		known:    make(map[string]string),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}, nil
 }
+
+// ScanErrors reports how many per-file reads failed transiently during
+// scans; SyncErrors reports failed whole sync cycles. Monotonic counters —
+// steady growth means the watcher is persistently unable to index some file.
+func (w *DirWatcher) ScanErrors() uint64 { return w.scanErrors.Value() }
+
+// SyncErrors reports sync cycles that returned an error (retried next tick).
+func (w *DirWatcher) SyncErrors() uint64 { return w.syncErrors.Value() }
 
 // Start launches the watch loop. The client must already be started.
 func (w *DirWatcher) Start() {
@@ -85,8 +104,10 @@ func (w *DirWatcher) loop() {
 			return
 		case <-ticker.C:
 			// Errors are transient (mid-write files, races with the OS);
-			// the next tick retries.
-			_ = w.SyncOnce()
+			// the next tick retries — but they are counted, not swallowed.
+			if err := w.SyncOnce(); err != nil {
+				w.syncErrors.Inc()
+			}
 		}
 	}
 }
@@ -171,9 +192,10 @@ func (w *DirWatcher) scanLocal() error {
 			return nil // ignore dotfiles (editor temp files etc.)
 		}
 		seen[syncPath] = true
-		content, err := os.ReadFile(path)
+		content, err := w.readFile(path)
 		if err != nil {
-			return nil // transient; retry next tick
+			w.scanErrors.Inc() // transient; retry next tick
+			return nil
 		}
 		sum := chunker.Fingerprint(content)
 		w.mu.Lock()

@@ -1,0 +1,366 @@
+// Package faults is the deterministic fault-injection layer of the stack.
+// A Plan is seeded once and consulted by injectors wired into the existing
+// middleware seams: the message queue (drop / delay / duplicate / outage
+// windows), the object store (errors and latency spikes), the metadata store
+// (transaction aborts and torn WAL writes) and the ObjectMQ RemoteBroker
+// (instance crash schedules).
+//
+// Determinism contract: every per-operation decision is a pure function of
+// (seed, site, key) — no global PRNG state is consumed — so the i-th
+// operation at a site always draws the same outcome for the same seed, no
+// matter how goroutines interleave. Outage windows and crash schedules are
+// precomputed from the seed when the Plan is built. Describe therefore
+// serializes a byte-identical fault schedule for equal (seed, config) pairs,
+// which the chaos experiments assert before replaying a trace.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies the outcome of one fault roll.
+type Kind int
+
+const (
+	// None: the operation proceeds unharmed.
+	None Kind = iota
+	// Drop: the message/operation is silently discarded.
+	Drop
+	// Duplicate: the message is delivered twice.
+	Duplicate
+	// Delay: the operation is held for Decision.Delay first.
+	Delay
+	// Error: the operation fails with an injected transient error.
+	Error
+	// Abort: the transaction is rolled back with a transient abort error.
+	Abort
+	// Torn: the WAL record is written partially, as if the process crashed
+	// mid-append.
+	Torn
+	// Outage: the operation fell inside a scheduled outage window.
+	Outage
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "dup"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	case Abort:
+		return "abort"
+	case Torn:
+		return "torn"
+	case Outage:
+		return "outage"
+	default:
+		return "unknown"
+	}
+}
+
+// Decision is the outcome of one roll at an injection site.
+type Decision struct {
+	Kind  Kind
+	Delay time.Duration // set when Kind == Delay
+}
+
+// Window is one scheduled outage, expressed as an offset from the start of
+// the run (Plan.Begin anchors the run to the clock).
+type Window struct {
+	Start    time.Duration
+	Duration time.Duration
+}
+
+func (w Window) contains(elapsed time.Duration) bool {
+	return elapsed >= w.Start && elapsed < w.Start+w.Duration
+}
+
+// SiteConfig sets the per-operation fault rates of one injection site. All
+// probabilities are in [0, 1] and are rolled independently; the first match
+// in the order drop, duplicate, delay, error, abort, torn wins.
+type SiteConfig struct {
+	DropP  float64
+	DupP   float64
+	DelayP float64
+	// MaxDelay bounds injected delays (uniform in (0, MaxDelay]).
+	MaxDelay time.Duration
+	ErrorP   float64
+	AbortP   float64
+	TornP    float64
+	// Outages lists scheduled windows during which every operation at the
+	// site fails (storage/metastore) or is dropped (messaging) — the
+	// partition model.
+	Outages []Window
+}
+
+// Config seeds a Plan.
+type Config struct {
+	Seed int64
+	// Sites maps injection-site names to their rates. Unknown sites draw a
+	// zero config (no faults).
+	Sites map[string]SiteConfig
+}
+
+// Event is one recorded injection, for observability and post-run asserts.
+type Event struct {
+	Site string
+	Key  string
+	Kind Kind
+	At   time.Duration // elapsed since Begin (zero when Begin was not called)
+}
+
+// Plan is a seeded, deterministic fault plan shared by all injectors of a
+// run. Safe for concurrent use.
+type Plan struct {
+	seed  int64
+	sites map[string]SiteConfig
+
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+	counts map[string]uint64 // "site/kind" -> count
+}
+
+// NewPlan builds a Plan from the config. The site table is copied.
+func NewPlan(cfg Config) *Plan {
+	sites := make(map[string]SiteConfig, len(cfg.Sites))
+	for name, sc := range cfg.Sites {
+		sites[name] = sc
+	}
+	return &Plan{
+		seed:   cfg.Seed,
+		sites:  sites,
+		counts: make(map[string]uint64),
+	}
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() int64 { return p.seed }
+
+// Begin anchors outage windows and event timestamps to the given instant
+// (normally clk.Now() right before the workload starts).
+func (p *Plan) Begin(now time.Time) {
+	p.mu.Lock()
+	p.start = now
+	p.mu.Unlock()
+}
+
+func (p *Plan) elapsed(now time.Time) time.Duration {
+	p.mu.Lock()
+	start := p.start
+	p.mu.Unlock()
+	if start.IsZero() {
+		return 0
+	}
+	return now.Sub(start)
+}
+
+// InOutage reports whether the site is inside a scheduled outage window at
+// the given instant. Before Begin is called no window is active.
+func (p *Plan) InOutage(site string, now time.Time) bool {
+	sc, ok := p.sites[site]
+	if !ok || len(sc.Outages) == 0 {
+		return false
+	}
+	p.mu.Lock()
+	start := p.start
+	p.mu.Unlock()
+	if start.IsZero() {
+		return false
+	}
+	elapsed := now.Sub(start)
+	for _, w := range sc.Outages {
+		if w.contains(elapsed) {
+			return true
+		}
+	}
+	return false
+}
+
+// roll returns a uniform float64 in [0, 1) that is a pure function of
+// (seed, site, key, salt).
+func (p *Plan) roll(site, key, salt string) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(strconv.FormatInt(p.seed, 10)))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(site))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(salt))
+	// 53 high bits give a uniform double in [0, 1).
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Decide rolls the fault outcome for one operation at a site, identified by
+// key (typically a per-site sequence number or a message id). The outcome is
+// deterministic: the same (seed, site, key) always yields the same Decision.
+func (p *Plan) Decide(site, key string) Decision {
+	sc, ok := p.sites[site]
+	if !ok {
+		return Decision{}
+	}
+	switch {
+	case sc.DropP > 0 && p.roll(site, key, "drop") < sc.DropP:
+		return Decision{Kind: Drop}
+	case sc.DupP > 0 && p.roll(site, key, "dup") < sc.DupP:
+		return Decision{Kind: Duplicate}
+	case sc.DelayP > 0 && p.roll(site, key, "delay") < sc.DelayP:
+		max := sc.MaxDelay
+		if max <= 0 {
+			max = 100 * time.Millisecond
+		}
+		frac := p.roll(site, key, "delaylen")
+		d := time.Duration(frac * float64(max))
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		return Decision{Kind: Delay, Delay: d}
+	case sc.ErrorP > 0 && p.roll(site, key, "error") < sc.ErrorP:
+		return Decision{Kind: Error}
+	case sc.AbortP > 0 && p.roll(site, key, "abort") < sc.AbortP:
+		return Decision{Kind: Abort}
+	case sc.TornP > 0 && p.roll(site, key, "torn") < sc.TornP:
+		return Decision{Kind: Torn}
+	default:
+		return Decision{}
+	}
+}
+
+// Note records an injected fault for post-run inspection. Injectors call it
+// when a non-None decision (or an outage hit) actually fires.
+func (p *Plan) Note(site, key string, kind Kind, now time.Time) {
+	p.mu.Lock()
+	at := time.Duration(0)
+	if !p.start.IsZero() {
+		at = now.Sub(p.start)
+	}
+	p.events = append(p.events, Event{Site: site, Key: key, Kind: kind, At: at})
+	p.counts[site+"/"+kind.String()]++
+	p.mu.Unlock()
+}
+
+// Events returns a copy of all recorded injections.
+func (p *Plan) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// Counts returns injected-fault counts keyed by "site/kind".
+func (p *Plan) Counts() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.counts))
+	for k, v := range p.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Describe serializes the fault schedule: the full site configuration plus
+// the first n decisions of every site. It is byte-identical for equal
+// (seed, config) pairs — the deterministic-replay check of the chaos
+// experiments diffs two Describe outputs.
+func (p *Plan) Describe(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults plan seed=%d\n", p.seed)
+	names := make([]string, 0, len(p.sites))
+	for name := range p.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sc := p.sites[name]
+		fmt.Fprintf(&b, "site %s drop=%g dup=%g delay=%g/%s error=%g abort=%g torn=%g\n",
+			name, sc.DropP, sc.DupP, sc.DelayP, sc.MaxDelay, sc.ErrorP, sc.AbortP, sc.TornP)
+		for _, w := range sc.Outages {
+			fmt.Fprintf(&b, "  outage %s +%s\n", w.Start, w.Duration)
+		}
+		for i := 0; i < n; i++ {
+			d := p.Decide(name, strconv.Itoa(i))
+			if d.Kind == None {
+				continue
+			}
+			fmt.Fprintf(&b, "  %06d %s %s\n", i, d.Kind, d.Delay)
+		}
+	}
+	return b.String()
+}
+
+// CrashSchedule derives a deterministic crash schedule from the seed: one
+// crash roughly every period (jittered by ±jitterFrac) until horizon. The
+// chaos harness sleeps to each returned offset and kills an instance.
+func CrashSchedule(seed int64, period time.Duration, jitterFrac float64, horizon time.Duration) []time.Duration {
+	if period <= 0 || horizon <= 0 {
+		return nil
+	}
+	if jitterFrac < 0 {
+		jitterFrac = 0
+	}
+	if jitterFrac > 1 {
+		jitterFrac = 1
+	}
+	p := &Plan{seed: seed}
+	var out []time.Duration
+	at := time.Duration(0)
+	for i := 0; ; i++ {
+		frac := p.roll("crash", strconv.Itoa(i), "jitter") // [0,1)
+		gap := float64(period) * (1 + jitterFrac*(2*frac-1))
+		at += time.Duration(gap)
+		if at >= horizon {
+			return out
+		}
+		out = append(out, at)
+	}
+}
+
+// RandomOutages derives n non-overlapping-ish outage windows of the given
+// duration from the seed, spread across horizon. Windows are sorted by start.
+func RandomOutages(seed int64, site string, n int, duration, horizon time.Duration) []Window {
+	if n <= 0 || duration <= 0 || horizon <= duration {
+		return nil
+	}
+	p := &Plan{seed: seed}
+	out := make([]Window, 0, n)
+	span := horizon - duration
+	for i := 0; i < n; i++ {
+		frac := p.roll("outage."+site, strconv.Itoa(i), "start")
+		out = append(out, Window{Start: time.Duration(frac * float64(span)), Duration: duration})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Keyer hands out per-site sequence keys for injection sites whose
+// operations carry no natural identifier. The sequence is deterministic;
+// under concurrency the assignment of keys to operations follows arrival
+// order at the site's mutex.
+type Keyer struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Next returns the next sequence key ("0", "1", ...).
+func (k *Keyer) Next() string {
+	k.mu.Lock()
+	n := k.n
+	k.n++
+	k.mu.Unlock()
+	return strconv.FormatUint(n, 10)
+}

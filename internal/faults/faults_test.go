@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func testConfig(seed int64) Config {
+	return Config{
+		Seed: seed,
+		Sites: map[string]SiteConfig{
+			"mq": {
+				DropP: 0.05, DupP: 0.05, DelayP: 0.1, MaxDelay: 50 * time.Millisecond,
+				Outages: []Window{{Start: time.Second, Duration: 200 * time.Millisecond}},
+			},
+			"objstore": {ErrorP: 0.1, DelayP: 0.05, MaxDelay: 20 * time.Millisecond},
+			"meta":     {AbortP: 0.08, TornP: 0.02},
+		},
+	}
+}
+
+func TestSameSeedByteIdenticalSchedule(t *testing.T) {
+	a := NewPlan(testConfig(42)).Describe(500)
+	b := NewPlan(testConfig(42)).Describe(500)
+	if a != b {
+		t.Fatalf("same seed produced different schedules:\n%s\n---\n%s", a, b)
+	}
+	if a == NewPlan(testConfig(43)).Describe(500) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+func TestDecideIsPure(t *testing.T) {
+	p1 := NewPlan(testConfig(7))
+	p2 := NewPlan(testConfig(7))
+	for i := 0; i < 1000; i++ {
+		k := time.Duration(i).String()
+		d1 := p1.Decide("mq", k)
+		d2 := p2.Decide("mq", k)
+		if d1 != d2 {
+			t.Fatalf("key %q: %v != %v", k, d1, d2)
+		}
+	}
+}
+
+func TestDecideRatesRoughlyMatch(t *testing.T) {
+	p := NewPlan(Config{Seed: 1, Sites: map[string]SiteConfig{
+		"s": {DropP: 0.2},
+	}})
+	drops := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if p.Decide("s", time.Duration(i).String()).Kind == Drop {
+			drops++
+		}
+	}
+	frac := float64(drops) / n
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("drop rate %v far from configured 0.2", frac)
+	}
+}
+
+func TestUnknownSiteIsQuiet(t *testing.T) {
+	p := NewPlan(Config{Seed: 1})
+	if d := p.Decide("nope", "0"); d.Kind != None {
+		t.Fatalf("unknown site decided %v", d)
+	}
+	if p.InOutage("nope", time.Now()) {
+		t.Fatalf("unknown site in outage")
+	}
+}
+
+func TestOutageWindows(t *testing.T) {
+	p := NewPlan(testConfig(1))
+	start := time.Unix(1000, 0)
+	if p.InOutage("mq", start.Add(time.Second+50*time.Millisecond)) {
+		t.Fatalf("outage active before Begin")
+	}
+	p.Begin(start)
+	cases := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, false},
+		{time.Second - time.Millisecond, false},
+		{time.Second, true},
+		{time.Second + 199*time.Millisecond, true},
+		{time.Second + 200*time.Millisecond, false},
+	}
+	for _, c := range cases {
+		if got := p.InOutage("mq", start.Add(c.at)); got != c.want {
+			t.Fatalf("at %v: InOutage=%v want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestCrashScheduleDeterministicAndBounded(t *testing.T) {
+	a := CrashSchedule(5, time.Second, 0.5, 10*time.Second)
+	b := CrashSchedule(5, time.Second, 0.5, 10*time.Second)
+	if len(a) == 0 {
+		t.Fatalf("empty schedule")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic at %d: %v != %v", i, a[i], b[i])
+		}
+		if a[i] <= 0 || a[i] >= 10*time.Second {
+			t.Fatalf("crash %d at %v outside horizon", i, a[i])
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatalf("schedule not increasing: %v after %v", a[i], a[i-1])
+		}
+	}
+}
+
+func TestRandomOutagesDeterministic(t *testing.T) {
+	a := RandomOutages(9, "objstore", 3, 100*time.Millisecond, 5*time.Second)
+	b := RandomOutages(9, "objstore", 3, 100*time.Millisecond, 5*time.Second)
+	if len(a) != 3 {
+		t.Fatalf("want 3 windows, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("window %d differs: %v != %v", i, a[i], b[i])
+		}
+		if a[i].Start < 0 || a[i].Start+a[i].Duration > 5*time.Second {
+			t.Fatalf("window %d out of horizon: %+v", i, a[i])
+		}
+	}
+}
+
+func TestEventsAndCounts(t *testing.T) {
+	p := NewPlan(testConfig(3))
+	start := time.Unix(0, 0)
+	p.Begin(start)
+	p.Note("mq", "0", Drop, start.Add(10*time.Millisecond))
+	p.Note("mq", "1", Drop, start.Add(20*time.Millisecond))
+	p.Note("objstore", "0", Error, start.Add(30*time.Millisecond))
+	if got := p.Counts()["mq/drop"]; got != 2 {
+		t.Fatalf("mq/drop count = %d, want 2", got)
+	}
+	ev := p.Events()
+	if len(ev) != 3 || ev[0].At != 10*time.Millisecond || ev[2].Kind != Error {
+		t.Fatalf("unexpected events: %+v", ev)
+	}
+}
+
+func TestKeyerSequence(t *testing.T) {
+	var k Keyer
+	for i := 0; i < 3; i++ {
+		if got, want := k.Next(), []string{"0", "1", "2"}[i]; got != want {
+			t.Fatalf("Next() = %q, want %q", got, want)
+		}
+	}
+}

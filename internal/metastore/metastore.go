@@ -16,6 +16,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"stacksync/internal/faults"
 )
 
 // Status is the lifecycle state of an item version.
@@ -75,6 +77,9 @@ var (
 	ErrNoItem          = errors.New("metastore: item not found")
 	ErrClosed          = errors.New("metastore: store closed")
 	ErrTxDone          = errors.New("metastore: transaction finished")
+	// ErrTxAborted is a transient, injected transaction rollback: the commit
+	// was not applied and may be retried verbatim.
+	ErrTxAborted = errors.New("metastore: transaction aborted")
 )
 
 type itemChain struct {
@@ -91,6 +96,12 @@ type Store struct {
 	wal        *WAL
 	now        func() time.Time
 	closed     bool
+
+	// Fault injection (nil in production): transaction aborts and torn WAL
+	// writes, rolled per commit.
+	fplan *faults.Plan
+	fsite string
+	fkeys faults.Keyer
 }
 
 // Option configures a Store.
@@ -104,6 +115,33 @@ func WithWAL(w *WAL) Option {
 // WithNow substitutes the timestamp source.
 func WithNow(now func() time.Time) Option {
 	return func(s *Store) { s.now = now }
+}
+
+// WithFaults wires deterministic fault injection into the transaction path:
+// a commit may be rolled back with ErrTxAborted (transient — the caller's
+// retry/redelivery layer must re-submit) or may tear the next WAL record as
+// if the process crashed mid-append.
+func WithFaults(plan *faults.Plan, site string) Option {
+	return func(s *Store) { s.fplan, s.fsite = plan, site }
+}
+
+// injectTx rolls one transaction-level fault. Caller holds s.mu.
+func (s *Store) injectTx() error {
+	if s.fplan == nil {
+		return nil
+	}
+	k := s.fkeys.Next()
+	switch s.fplan.Decide(s.fsite, k).Kind {
+	case faults.Abort:
+		s.fplan.Note(s.fsite, k, faults.Abort, s.now())
+		return ErrTxAborted
+	case faults.Torn:
+		if s.wal != nil {
+			s.fplan.Note(s.fsite, k, faults.Torn, s.now())
+			s.wal.TearNext()
+		}
+	}
+	return nil
 }
 
 // NewStore returns an empty metadata store.
@@ -200,6 +238,9 @@ func (s *Store) CommitVersion(v ItemVersion) (ItemVersion, error) {
 	if s.closed {
 		return ItemVersion{}, ErrClosed
 	}
+	if err := s.injectTx(); err != nil {
+		return ItemVersion{}, err
+	}
 	committed, err := s.commitLocked(v)
 	if err != nil {
 		return committed, err
@@ -230,10 +271,37 @@ func (s *Store) commitLocked(v ItemVersion) (ItemVersion, error) {
 	}
 	cur := chain.current()
 	if v.Version != cur.Version+1 {
+		// Replay detection: an at-least-once transport (MQ redelivery after
+		// an instance crash, proxy retry, client retransmission) can re-submit
+		// a proposal that already committed. Re-acknowledging it keeps the
+		// duplicate from surfacing as a spurious conflict. Only proposals
+		// carrying their writer's DeviceID can be identified as replays;
+		// anonymous proposals keep strict first-committer-wins conflicts.
+		if v.DeviceID != "" && v.Version >= 1 && v.Version <= cur.Version {
+			prior := chain.versions[v.Version-1]
+			if prior.DeviceID == v.DeviceID && prior.Checksum == v.Checksum &&
+				prior.Status == v.Status && prior.Path == v.Path &&
+				sameChunks(prior.Chunks, v.Chunks) {
+				return prior, nil
+			}
+		}
 		return cur, fmt.Errorf("metastore: %s proposed v%d over v%d: %w", v.ItemID, v.Version, cur.Version, ErrVersionConflict)
 	}
 	chain.versions = append(chain.versions, v)
 	return v, nil
+}
+
+// sameChunks reports elementwise equality of two chunk fingerprint lists.
+func sameChunks(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CommitBatch applies a list of proposed versions in one serialized
@@ -251,6 +319,9 @@ func (s *Store) CommitBatch(proposals []ItemVersion) ([]BatchResult, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
+	}
+	if err := s.injectTx(); err != nil {
+		return nil, err
 	}
 	results := make([]BatchResult, len(proposals))
 	for i, p := range proposals {

@@ -13,9 +13,24 @@ import (
 // committed item versions are appended as JSON lines and replayed on
 // recovery, standing in for PostgreSQL durability.
 type WAL struct {
-	mu sync.Mutex
-	f  *os.File
-	w  *bufio.Writer
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	tear bool
+}
+
+// ErrTornWrite reports an injected torn append: only a prefix of the record
+// reached the file, as if the process crashed mid-write. The WAL refuses
+// further writes, matching the crash it emulates.
+var ErrTornWrite = errors.New("metastore: torn wal write (injected crash)")
+
+// TearNext arms a fault: the next record writes only half its bytes (no
+// newline), then the WAL behaves as crashed. Recovery must drop the torn
+// tail and keep every complete record.
+func (w *WAL) TearNext() {
+	w.mu.Lock()
+	w.tear = true
+	w.mu.Unlock()
 }
 
 type walOp string
@@ -50,6 +65,14 @@ func (w *WAL) record(e walEntry) error {
 	if err != nil {
 		return fmt.Errorf("metastore: marshal wal entry: %w", err)
 	}
+	if w.tear {
+		w.tear = false
+		_, _ = w.w.Write(line[:len(line)/2])
+		_ = w.w.Flush()
+		_ = w.f.Close()
+		w.f = nil
+		return ErrTornWrite
+	}
 	if _, err := w.w.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("metastore: append wal: %w", err)
 	}
@@ -79,7 +102,10 @@ func (w *WAL) Close() error {
 }
 
 // Recover rebuilds a Store from the log at path and keeps journalling to it.
-// A torn trailing line (crash mid-append) is tolerated: replay stops there.
+// A record counts as committed only when terminated by its newline; a torn
+// trailing record (crash mid-append) is dropped — replay stops at the last
+// complete record and the file is truncated there, so later appends can
+// never merge with a partial line.
 func Recover(path string, opts ...Option) (*Store, error) {
 	s := NewStore(opts...)
 	s.wal = nil // replay without re-recording
@@ -91,39 +117,40 @@ func Recover(path string, opts ...Option) (*Store, error) {
 	case err != nil:
 		return nil, fmt.Errorf("metastore: open wal for recovery: %w", err)
 	default:
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
-		for sc.Scan() {
-			line := sc.Bytes()
-			if len(line) == 0 {
-				continue
-			}
-			var e walEntry
-			if err := json.Unmarshal(line, &e); err != nil {
-				break // torn tail
-			}
-			switch e.Op {
-			case walWorkspace:
-				if e.Workspace != nil {
-					if err := s.CreateWorkspace(*e.Workspace); err != nil && !errors.Is(err, ErrWorkspaceExists) {
-						_ = f.Close()
-						return nil, err
-					}
+		r := bufio.NewReaderSize(f, 64*1024)
+		var offset int64 // bytes consumed so far
+		var good int64   // offset just past the last complete, replayed record
+	replay:
+		for {
+			line, readErr := r.ReadBytes('\n')
+			offset += int64(len(line))
+			complete := readErr == nil // the terminating '\n' made it to disk
+			trimmed := trimLine(line)
+			switch {
+			case len(trimmed) == 0 && complete:
+				good = offset // blank line, harmless
+			case len(trimmed) > 0:
+				var e walEntry
+				if uerr := json.Unmarshal(trimmed, &e); uerr != nil || !complete {
+					break replay // torn or corrupt tail: drop from here
 				}
-			case walVersion:
-				if e.Version != nil {
-					s.mu.Lock()
-					_, err := s.commitLocked(*e.Version)
-					s.mu.Unlock()
-					if err != nil && !errors.Is(err, ErrVersionConflict) {
-						_ = f.Close()
-						return nil, err
-					}
+				if err := s.replayEntry(e); err != nil {
+					_ = f.Close()
+					return nil, err
 				}
+				good = offset
+			}
+			if readErr != nil {
+				break // EOF
 			}
 		}
 		if err := f.Close(); err != nil {
 			return nil, fmt.Errorf("metastore: close wal after recovery: %w", err)
+		}
+		if info, err := os.Stat(path); err == nil && info.Size() > good {
+			if err := os.Truncate(path, good); err != nil {
+				return nil, fmt.Errorf("metastore: truncate torn wal tail: %w", err)
+			}
 		}
 	}
 
@@ -135,4 +162,38 @@ func Recover(path string, opts ...Option) (*Store, error) {
 	s.wal = w
 	s.mu.Unlock()
 	return s, nil
+}
+
+// trimLine strips the trailing newline and surrounding spaces.
+func trimLine(line []byte) []byte {
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r' || line[len(line)-1] == ' ') {
+		line = line[:len(line)-1]
+	}
+	for len(line) > 0 && line[0] == ' ' {
+		line = line[1:]
+	}
+	return line
+}
+
+// replayEntry applies one recovered record. Conflicts and duplicates are
+// tolerated: at-least-once appends (commit replays) are idempotent here too.
+func (s *Store) replayEntry(e walEntry) error {
+	switch e.Op {
+	case walWorkspace:
+		if e.Workspace != nil {
+			if err := s.CreateWorkspace(*e.Workspace); err != nil && !errors.Is(err, ErrWorkspaceExists) {
+				return err
+			}
+		}
+	case walVersion:
+		if e.Version != nil {
+			s.mu.Lock()
+			_, err := s.commitLocked(*e.Version)
+			s.mu.Unlock()
+			if err != nil && !errors.Is(err, ErrVersionConflict) {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,231 @@
+package metastore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stacksync/internal/faults"
+)
+
+func commitN(t *testing.T, s *Store, ws string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		_, err := s.CommitVersion(ItemVersion{
+			Workspace: ws, ItemID: "item", Path: "f.txt",
+			Version: uint64(i + 1), Status: Modified, Checksum: strings.Repeat("c", i+1),
+		})
+		if err != nil {
+			t.Fatalf("commit v%d: %v", i+1, err)
+		}
+	}
+}
+
+// TestRecoverTornTail truncates the WAL mid-record and asserts recovery
+// replays every complete transaction and drops only the torn tail.
+func TestRecoverTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(WithWAL(w))
+	if err := s.CreateWorkspace(Workspace{ID: "ws", Owner: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, s, "ws", 5)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final record: cut the file mid-way through its last line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := data[:len(data)-1] // strip final newline
+	lastLine := body[strings.LastIndexByte(string(body), '\n')+1:]
+	torn := len(data) - 1 - len(lastLine)/2
+	if err := os.Truncate(path, int64(torn)); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(path)
+	if err != nil {
+		t.Fatalf("recover torn wal: %v", err)
+	}
+	defer rec.Close()
+	cur, ok, err := rec.Current("ws", "item")
+	if err != nil || !ok {
+		t.Fatalf("current after recovery: ok=%v err=%v", ok, err)
+	}
+	// Versions 1..4 were complete records; v5's record was torn.
+	if cur.Version != 4 {
+		t.Fatalf("recovered version = %d, want 4 (torn v5 dropped)", cur.Version)
+	}
+
+	// The torn tail must be gone from disk: appending and re-recovering must
+	// not corrupt adjacent records.
+	if _, err := rec.CommitVersion(ItemVersion{
+		Workspace: "ws", ItemID: "item", Path: "f.txt", Version: 5, Status: Modified, Checksum: "new5",
+	}); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := Recover(path)
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	defer rec2.Close()
+	cur, ok, err = rec2.Current("ws", "item")
+	if err != nil || !ok || cur.Version != 5 || cur.Checksum != "new5" {
+		t.Fatalf("after append+recover: %+v ok=%v err=%v", cur, ok, err)
+	}
+}
+
+// TestRecoverNewlinelessCompleteTail: a record missing only its newline is
+// still treated as torn — commit is defined by the terminating newline.
+func TestRecoverNewlinelessCompleteTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(WithWAL(w))
+	if err := s.CreateWorkspace(Workspace{ID: "ws", Owner: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, s, "ws", 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-1); err != nil { // drop final '\n' only
+		t.Fatal(err)
+	}
+	rec, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	cur, ok, _ := rec.Current("ws", "item")
+	if !ok || cur.Version != 2 {
+		t.Fatalf("recovered version = %d (ok=%v), want 2", cur.Version, ok)
+	}
+}
+
+// TestInjectedTornWrite drives the tear through the fault plan: the store is
+// configured with a TornP=1 site, the first commit tears its WAL record, and
+// recovery drops exactly that record.
+func TestInjectedTornWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(faults.Config{Seed: 1, Sites: map[string]faults.SiteConfig{
+		"meta": {TornP: 1},
+	}})
+	s := NewStore(WithWAL(w), WithFaults(plan, "meta"))
+	if err := s.CreateWorkspace(Workspace{ID: "ws", Owner: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.CommitVersion(ItemVersion{
+		Workspace: "ws", ItemID: "item", Path: "f.txt", Version: 1, Status: Added, Checksum: "c",
+	})
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("commit error = %v, want ErrTornWrite", err)
+	}
+	_ = s.Close()
+
+	rec, err := Recover(path)
+	if err != nil {
+		t.Fatalf("recover after injected tear: %v", err)
+	}
+	defer rec.Close()
+	if _, ok, _ := rec.Current("ws", "item"); ok {
+		t.Fatalf("torn commit survived recovery")
+	}
+	if _, err := rec.Workspace("ws"); err != nil {
+		t.Fatalf("workspace record lost: %v", err)
+	}
+}
+
+// TestCommitAbortInjection asserts ErrTxAborted rolls back cleanly and a
+// retry of the same proposal succeeds.
+func TestCommitAbortInjection(t *testing.T) {
+	plan := faults.NewPlan(faults.Config{Seed: 2, Sites: map[string]faults.SiteConfig{
+		"meta": {AbortP: 0.5},
+	}})
+	s := NewStore(WithFaults(plan, "meta"))
+	if err := s.CreateWorkspace(Workspace{ID: "ws", Owner: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	aborts, commits := 0, 0
+	for i := 0; i < 50; i++ {
+		v := ItemVersion{
+			Workspace: "ws", ItemID: "item", Path: "f.txt",
+			Version: uint64(commits + 1), Status: Modified, Checksum: "c",
+		}
+		for {
+			_, err := s.CommitBatch([]ItemVersion{v})
+			if errors.Is(err, ErrTxAborted) {
+				aborts++
+				continue // transient: retry verbatim
+			}
+			if err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+			commits++
+			break
+		}
+	}
+	if commits != 50 {
+		t.Fatalf("commits = %d, want 50", commits)
+	}
+	if aborts == 0 {
+		t.Fatalf("no aborts injected at AbortP=0.5")
+	}
+	cur, ok, _ := s.Current("ws", "item")
+	if !ok || cur.Version != 50 {
+		t.Fatalf("final version = %d (ok=%v), want 50", cur.Version, ok)
+	}
+}
+
+// TestCommitReplayIsIdempotent: re-submitting an already-committed proposal
+// (MQ redelivery, proxy retry) re-acknowledges instead of conflicting.
+func TestCommitReplayIsIdempotent(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateWorkspace(Workspace{ID: "ws", Owner: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	v := ItemVersion{Workspace: "ws", ItemID: "i", Path: "f", Version: 1, Status: Added, Checksum: "x", DeviceID: "d1"}
+	if _, err := s.CommitVersion(v); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CommitBatch([]ItemVersion{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Committed {
+		t.Fatalf("replayed proposal not re-acknowledged: %+v", res[0])
+	}
+	// A genuinely different proposal at the same version still conflicts.
+	other := v
+	other.DeviceID = "d2"
+	other.Checksum = "y"
+	res, err = s.CommitBatch([]ItemVersion{other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Committed {
+		t.Fatalf("conflicting proposal wrongly committed")
+	}
+}

@@ -7,8 +7,24 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a concurrency-safe monotonically increasing event count (e.g.
+// watcher scan errors, injected faults survived).
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Percentile returns the p-th percentile (0..1) of values using nearest-rank
 // on a sorted copy. An empty input yields 0.

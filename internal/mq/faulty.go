@@ -1,0 +1,95 @@
+package mq
+
+import (
+	"stacksync/internal/clock"
+	"stacksync/internal/faults"
+)
+
+// Faulty wraps an MQ with deterministic publish-side fault injection (the
+// metered.go pattern applied to chaos): messages can be dropped, duplicated
+// or delayed per the plan's decision stream, and scheduled outage windows
+// silently discard everything published through this handle — the partition
+// model (the broker is unreachable; redelivery and sender retry must cover).
+//
+// Only Publish is perturbed. Consumption stays faithful so the broker's
+// ack/redelivery invariants (§3.4) remain those of the wrapped MQ.
+type Faulty struct {
+	inner MQ
+	plan  *faults.Plan
+	site  string
+	clk   clock.Clock
+	keys  faults.Keyer
+}
+
+var _ MQ = (*Faulty)(nil)
+
+// NewFaulty wraps inner with fault injection at the named plan site.
+func NewFaulty(inner MQ, plan *faults.Plan, site string, clk clock.Clock) *Faulty {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &Faulty{inner: inner, plan: plan, site: site, clk: clk}
+}
+
+// Publish consults the plan, then forwards zero, one or two copies.
+func (f *Faulty) Publish(exchange, key string, msg Message) error {
+	now := f.clk.Now()
+	if f.plan.InOutage(f.site, now) {
+		f.plan.Note(f.site, "outage", faults.Outage, now)
+		return nil // partitioned: the message never reaches the broker
+	}
+	k := f.keys.Next()
+	switch d := f.plan.Decide(f.site, k); d.Kind {
+	case faults.Drop:
+		f.plan.Note(f.site, k, faults.Drop, now)
+		return nil
+	case faults.Duplicate:
+		f.plan.Note(f.site, k, faults.Duplicate, now)
+		if err := f.inner.Publish(exchange, key, msg); err != nil {
+			return err
+		}
+		// The duplicate must carry a fresh broker-assigned id, as a network
+		// retransmission would.
+		dup := msg
+		dup.ID = ""
+		return f.inner.Publish(exchange, key, dup)
+	case faults.Delay:
+		f.plan.Note(f.site, k, faults.Delay, now)
+		f.clk.Sleep(d.Delay)
+		return f.inner.Publish(exchange, key, msg)
+	default:
+		return f.inner.Publish(exchange, key, msg)
+	}
+}
+
+// DeclareQueue forwards.
+func (f *Faulty) DeclareQueue(name string) error { return f.inner.DeclareQueue(name) }
+
+// DeleteQueue forwards.
+func (f *Faulty) DeleteQueue(name string) error { return f.inner.DeleteQueue(name) }
+
+// DeclareExchange forwards.
+func (f *Faulty) DeclareExchange(name string, kind ExchangeKind) error {
+	return f.inner.DeclareExchange(name, kind)
+}
+
+// BindQueue forwards.
+func (f *Faulty) BindQueue(queue, exchange, key string) error {
+	return f.inner.BindQueue(queue, exchange, key)
+}
+
+// UnbindQueue forwards.
+func (f *Faulty) UnbindQueue(queue, exchange, key string) error {
+	return f.inner.UnbindQueue(queue, exchange, key)
+}
+
+// Subscribe forwards; deliveries are not perturbed.
+func (f *Faulty) Subscribe(queue string, prefetch int) (Subscription, error) {
+	return f.inner.Subscribe(queue, prefetch)
+}
+
+// QueueStats forwards.
+func (f *Faulty) QueueStats(name string) (QueueStats, error) { return f.inner.QueueStats(name) }
+
+// Close forwards.
+func (f *Faulty) Close() error { return f.inner.Close() }

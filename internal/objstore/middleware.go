@@ -1,11 +1,13 @@
 package objstore
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"stacksync/internal/clock"
+	"stacksync/internal/faults"
 )
 
 // Traffic is a snapshot of bytes and requests through a Metered store. The
@@ -161,6 +163,101 @@ func (s *Simulated) Delete(container, key string) error {
 func (s *Simulated) List(container string) ([]string, error) {
 	s.pay(0)
 	return s.inner.List(container)
+}
+
+// ErrInjected marks a fault-injected storage failure. It is transient by
+// definition: retrying the operation may succeed once the injected fault (or
+// outage window) has passed.
+var ErrInjected = errors.New("objstore: injected fault")
+
+// Faulty wraps a Store with deterministic fault injection: per-operation
+// transient errors and latency spikes from the plan's decision stream, plus
+// scheduled outage windows during which every request fails — the model of a
+// Swift cluster that is slow, flaky or unreachable.
+type Faulty struct {
+	inner Store
+	plan  *faults.Plan
+	site  string
+	clk   clock.Clock
+	keys  faults.Keyer
+}
+
+var _ Store = (*Faulty)(nil)
+
+// NewFaulty wraps inner with fault injection at the named plan site.
+func NewFaulty(inner Store, plan *faults.Plan, site string, clk clock.Clock) *Faulty {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &Faulty{inner: inner, plan: plan, site: site, clk: clk}
+}
+
+// inject rolls one decision; it returns a non-nil error when the operation
+// must fail, and sleeps first when a latency spike was drawn.
+func (f *Faulty) inject(op string) error {
+	now := f.clk.Now()
+	if f.plan.InOutage(f.site, now) {
+		f.plan.Note(f.site, op, faults.Outage, now)
+		return fmt.Errorf("objstore: %s during outage: %w", op, ErrInjected)
+	}
+	k := f.keys.Next()
+	switch d := f.plan.Decide(f.site, k); d.Kind {
+	case faults.Error:
+		f.plan.Note(f.site, k, faults.Error, now)
+		return fmt.Errorf("objstore: %s: %w", op, ErrInjected)
+	case faults.Delay:
+		f.plan.Note(f.site, k, faults.Delay, now)
+		f.clk.Sleep(d.Delay)
+	}
+	return nil
+}
+
+// EnsureContainer injects then forwards.
+func (f *Faulty) EnsureContainer(container string) error {
+	if err := f.inject("ensure"); err != nil {
+		return err
+	}
+	return f.inner.EnsureContainer(container)
+}
+
+// Put injects then forwards.
+func (f *Faulty) Put(container, key string, data []byte) error {
+	if err := f.inject("put"); err != nil {
+		return err
+	}
+	return f.inner.Put(container, key, data)
+}
+
+// Get injects then forwards.
+func (f *Faulty) Get(container, key string) ([]byte, error) {
+	if err := f.inject("get"); err != nil {
+		return nil, err
+	}
+	return f.inner.Get(container, key)
+}
+
+// Exists injects then forwards.
+func (f *Faulty) Exists(container, key string) (bool, error) {
+	if err := f.inject("exists"); err != nil {
+		return false, err
+	}
+	return f.inner.Exists(container, key)
+}
+
+// Delete injects then forwards.
+func (f *Faulty) Delete(container, key string) error {
+	if err := f.inject("delete"); err != nil {
+		return err
+	}
+	return f.inner.Delete(container, key)
+}
+
+// List injects then forwards.
+func (f *Faulty) List(container string) ([]string, error) {
+	if err := f.inject("list"); err != nil {
+		return nil, err
+	}
+	return f.inner.List(container)
 }
 
 // authTable is the shared token -> containers grant map.

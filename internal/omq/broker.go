@@ -179,6 +179,7 @@ func (b *Broker) Bind(oid string, impl interface{}) (*BoundObject, error) {
 		uniSub:       uniSub,
 		multiSub:     multiSub,
 		done:         make(chan struct{}),
+		dedup:        newDedupCache(dedupCacheSize),
 	}
 	b.mu.Lock()
 	if b.closed {
@@ -209,10 +210,12 @@ func (b *Broker) EnsureMulticastGroup(oid string) error {
 // Broker.lookup). No registry is consulted: the queue name is the address.
 func (b *Broker) Lookup(oid string, opts ...CallOption) *Proxy {
 	p := &Proxy{
-		broker:  b,
-		oid:     oid,
-		timeout: DefaultTimeout,
-		retries: DefaultRetries,
+		broker:      b,
+		oid:         oid,
+		timeout:     DefaultTimeout,
+		retries:     DefaultRetries,
+		backoffBase: DefaultBackoffBase,
+		backoffMax:  DefaultBackoffMax,
 	}
 	for _, opt := range opts {
 		opt(p)

@@ -16,6 +16,11 @@ type request struct {
 	Codec         string   `json:"codec,omitempty"`
 	CorrelationID string   `json:"correlationId,omitempty"`
 	ReplyTo       string   `json:"replyTo,omitempty"`
+	// RequestID identifies the logical call: it is stable across the retry
+	// attempts of one Proxy.Call (each attempt gets a fresh CorrelationID).
+	// Servers use it to deduplicate a retried @SyncMethod instead of
+	// executing it twice.
+	RequestID string `json:"requestId,omitempty"`
 	// OneWay marks @AsyncMethod calls: no response is produced even on
 	// handler error, matching "the client is not even notified whether the
 	// message was handled correctly" (§3.2).

@@ -2,14 +2,19 @@ package omq
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 )
 
 // Defaults for @SyncMethod calls; the paper's SyncService interface uses
-// retry = 5, timeout = 1500 ms (Fig. 6).
+// retry = 5, timeout = 1500 ms (Fig. 6). Retries back off exponentially with
+// jitter so a herd of clients retrying into a recovering server spreads out
+// instead of re-stampeding it.
 const (
-	DefaultTimeout = 1500 * time.Millisecond
-	DefaultRetries = 5
+	DefaultTimeout     = 1500 * time.Millisecond
+	DefaultRetries     = 5
+	DefaultBackoffBase = 25 * time.Millisecond
+	DefaultBackoffMax  = time.Second
 )
 
 // Proxy is the dynamic client stub for a remote object id. It is cheap and
@@ -17,10 +22,12 @@ const (
 // proxies need no update when server instances come and go — the point of
 // indirect communication (§2).
 type Proxy struct {
-	broker  *Broker
-	oid     string
-	timeout time.Duration
-	retries int
+	broker      *Broker
+	oid         string
+	timeout     time.Duration
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
 }
 
 // CallOption tunes synchronous call behaviour, mirroring the
@@ -36,6 +43,14 @@ func WithTimeout(d time.Duration) CallOption {
 // WithRetries sets how many attempts Call makes before ErrTimeout.
 func WithRetries(n int) CallOption {
 	return func(p *Proxy) { p.retries = n }
+}
+
+// WithBackoff sets the exponential backoff slept between Call attempts: the
+// n-th retry waits base<<n (capped at max) scaled by a jitter factor in
+// [0.5, 1.0) derived deterministically from the call's request id. base <= 0
+// disables backoff (attempts go back-to-back, the pre-hardening behaviour).
+func WithBackoff(base, max time.Duration) CallOption {
+	return func(p *Proxy) { p.backoffBase, p.backoffMax = base, max }
 }
 
 // OID returns the remote object identifier this proxy addresses.
@@ -78,6 +93,11 @@ func (p *Proxy) Async(method string, args ...interface{}) error {
 // waits up to the configured timeout; after the configured number of
 // attempts Call returns ErrTimeout. A remote handler error surfaces as
 // *RemoteError.
+//
+// All attempts carry the same request id, so a server that already executed
+// the call (but whose reply was lost) re-acknowledges from its dedup table
+// instead of executing again; between attempts Call sleeps an exponentially
+// growing, jittered backoff (see WithBackoff).
 func (p *Proxy) Call(method string, reply interface{}, args ...interface{}) error {
 	encoded, err := p.encodeArgs(args)
 	if err != nil {
@@ -87,8 +107,14 @@ func (p *Proxy) Call(method string, reply interface{}, args ...interface{}) erro
 	if attempts < 1 {
 		attempts = 1
 	}
+	requestID := newID()
 	for i := 0; i < attempts; i++ {
-		resp, err := p.attempt(method, encoded)
+		if i > 0 {
+			if d := p.backoff(requestID, i-1); d > 0 {
+				p.broker.clk.Sleep(d)
+			}
+		}
+		resp, err := p.attempt(method, encoded, requestID)
 		if err == ErrTimeout {
 			continue
 		}
@@ -108,7 +134,28 @@ func (p *Proxy) Call(method string, reply interface{}, args ...interface{}) erro
 	return fmt.Errorf("omq: %s on %q after %d attempts: %w", method, p.oid, attempts, ErrTimeout)
 }
 
-func (p *Proxy) attempt(method string, encoded [][]byte) (*response, error) {
+// backoff returns the pause before retry n (0-based): base<<n capped at max,
+// scaled into [0.5, 1.0) by a jitter factor hashed from (requestID, n) — no
+// shared PRNG state, so concurrent callers stay deterministic per call.
+func (p *Proxy) backoff(requestID string, n int) time.Duration {
+	if p.backoffBase <= 0 {
+		return 0
+	}
+	d := p.backoffBase
+	for i := 0; i < n && d < p.backoffMax; i++ {
+		d *= 2
+	}
+	if p.backoffMax > 0 && d > p.backoffMax {
+		d = p.backoffMax
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(requestID))
+	_, _ = h.Write([]byte{byte(n), byte(n >> 8)})
+	jitter := 0.5 + float64(h.Sum64()>>11)/float64(uint64(1)<<53)*0.5
+	return time.Duration(float64(d) * jitter)
+}
+
+func (p *Proxy) attempt(method string, encoded [][]byte, requestID string) (*response, error) {
 	correlationID := newID()
 	body, err := encodeRequest(&request{
 		Method:        method,
@@ -116,6 +163,7 @@ func (p *Proxy) attempt(method string, encoded [][]byte) (*response, error) {
 		Codec:         p.broker.codec.Name(),
 		CorrelationID: correlationID,
 		ReplyTo:       p.broker.replyQueue,
+		RequestID:     requestID,
 	})
 	if err != nil {
 		return nil, err

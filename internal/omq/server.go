@@ -23,16 +23,68 @@ type BoundObject struct {
 	uniSub       mq.Subscription
 	multiSub     mq.Subscription
 	done         chan struct{}
+	// dedup remembers recent sync results by request id so a retried
+	// @SyncMethod (reply lost, caller timed out) is re-acknowledged instead
+	// of executed twice on this instance.
+	dedup *dedupCache
 	// ownedBroker, when set, is a child broker created solely to host this
 	// instance (see RemoteBroker.SpawnLocal); it is closed with the instance.
 	ownedBroker *Broker
 
-	mu    sync.Mutex
-	count uint64
-	mean  float64 // seconds, Welford running mean
-	m2    float64 // Welford sum of squared deviations
+	mu      sync.Mutex
+	count   uint64
+	mean    float64 // seconds, Welford running mean
+	m2      float64 // Welford sum of squared deviations
+	dropped uint64  // one-way calls abandoned after exhausting redeliveries
 
 	stopOnce sync.Once
+}
+
+const (
+	// dedupCacheSize bounds the per-instance retry-dedup table.
+	dedupCacheSize = 512
+	// maxOneWayRedeliveries bounds how often a failed @AsyncMethod handler
+	// requeues its delivery before the call is abandoned.
+	maxOneWayRedeliveries = 16
+)
+
+// dedupCache is a bounded FIFO map from request id to the outcome of its
+// first execution.
+type dedupCache struct {
+	mu      sync.Mutex
+	entries map[string]dedupEntry
+	order   []string
+	cap     int
+}
+
+type dedupEntry struct {
+	result []byte
+	errMsg string
+}
+
+func newDedupCache(cap int) *dedupCache {
+	return &dedupCache{entries: make(map[string]dedupEntry), cap: cap}
+}
+
+func (c *dedupCache) get(id string) (dedupEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	return e, ok
+}
+
+func (c *dedupCache) put(id string, e dedupEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[id]; ok {
+		return
+	}
+	if len(c.order) >= c.cap {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[id] = e
+	c.order = append(c.order, id)
 }
 
 type boundMethod struct {
@@ -130,60 +182,127 @@ func (bo *BoundObject) handle(d mq.Delivery) {
 		_ = d.Nack(false)
 		return
 	}
-	start := bo.broker.now()
-	result, callErr := bo.invoke(req)
-	bo.recordServiceTime(bo.broker.now().Sub(start))
 
-	if !req.OneWay && req.ReplyTo != "" {
-		resp := &response{CorrelationID: req.CorrelationID, From: bo.broker.id}
-		if callErr != nil {
-			resp.Err = callErr.Error()
-		} else {
-			resp.Result = result
-		}
-		body, err := encodeResponse(resp)
-		if err == nil {
-			// Reply failures are the caller's timeout to notice.
-			_ = bo.broker.publish("", req.ReplyTo, body, false)
+	// Retried sync call this instance already executed: re-acknowledge the
+	// remembered outcome under the retry's correlation id, don't run twice.
+	// (A retry redelivered to a *different* instance is not caught here —
+	// that is what idempotent application logic, e.g. the metadata store's
+	// commit replay, covers.)
+	if !req.OneWay && req.RequestID != "" {
+		if e, ok := bo.dedup.get(req.RequestID); ok {
+			bo.reply(req, e.result, e.errMsg)
+			_ = d.Ack()
+			return
 		}
 	}
+
+	start := bo.broker.now()
+	result, callErr, permanent := bo.invoke(req)
+	bo.recordServiceTime(bo.broker.now().Sub(start))
+
+	if req.OneWay {
+		// @AsyncMethod produces no response even on error (§3.2), but a
+		// transient handler failure must not silently lose the call: requeue
+		// it (bounded, with a growing pause) so this or another instance
+		// retries once the fault passes.
+		if callErr != nil && !permanent {
+			if d.Redelivered < maxOneWayRedeliveries {
+				bo.broker.clk.Sleep(oneWayRetryDelay(d.Redelivered))
+				_ = d.Nack(true)
+				return
+			}
+			bo.mu.Lock()
+			bo.dropped++
+			bo.mu.Unlock()
+		}
+		_ = d.Ack()
+		return
+	}
+
+	errMsg := ""
+	if callErr != nil {
+		errMsg = callErr.Error()
+	}
+	if req.RequestID != "" {
+		bo.dedup.put(req.RequestID, dedupEntry{result: result, errMsg: errMsg})
+	}
+	bo.reply(req, result, errMsg)
 	_ = d.Ack()
 }
 
-func (bo *BoundObject) invoke(req *request) ([]byte, error) {
+// reply publishes the response envelope for a sync request; failures are the
+// caller's timeout to notice.
+func (bo *BoundObject) reply(req *request, result []byte, errMsg string) {
+	if req.ReplyTo == "" {
+		return
+	}
+	resp := &response{CorrelationID: req.CorrelationID, From: bo.broker.id, Err: errMsg}
+	if errMsg == "" {
+		resp.Result = result
+	}
+	if body, err := encodeResponse(resp); err == nil {
+		_ = bo.broker.publish("", req.ReplyTo, body, false)
+	}
+}
+
+// oneWayRetryDelay grows the pause before requeueing a failed one-way call:
+// 10ms doubling to a 500ms ceiling.
+func oneWayRetryDelay(redelivered int) time.Duration {
+	d := 10 * time.Millisecond
+	for i := 0; i < redelivered && d < 500*time.Millisecond; i++ {
+		d *= 2
+	}
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	return d
+}
+
+// Dropped reports one-way calls this instance abandoned after exhausting
+// their redelivery budget.
+func (bo *BoundObject) Dropped() uint64 {
+	bo.mu.Lock()
+	defer bo.mu.Unlock()
+	return bo.dropped
+}
+
+// invoke dispatches req. permanent reports that the failure is structural
+// (unknown method, arity or codec mismatch) — retrying the identical request
+// can never succeed, unlike a handler error, which may be transient.
+func (bo *BoundObject) invoke(req *request) (result []byte, err error, permanent bool) {
 	bm, ok := bo.methods[req.Method]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoMethod, req.Method)
+		return nil, fmt.Errorf("%w: %s", ErrNoMethod, req.Method), true
 	}
 	if len(req.Args) != len(bm.argTypes) {
-		return nil, fmt.Errorf("%w: %s takes %d, got %d", ErrBadArity, req.Method, len(bm.argTypes), len(req.Args))
+		return nil, fmt.Errorf("%w: %s takes %d, got %d", ErrBadArity, req.Method, len(bm.argTypes), len(req.Args)), true
 	}
 	codec, err := CodecByName(req.Codec)
 	if err != nil {
-		return nil, err
+		return nil, err, true
 	}
 	in := make([]reflect.Value, len(bm.argTypes))
 	for i, at := range bm.argTypes {
 		pv := reflect.New(at)
 		if err := codec.Unmarshal(req.Args[i], pv.Interface()); err != nil {
-			return nil, fmt.Errorf("omq: decode arg %d of %s: %w", i, req.Method, err)
+			return nil, fmt.Errorf("omq: decode arg %d of %s: %w", i, req.Method, err), true
 		}
 		in[i] = pv.Elem()
 	}
 	out := bm.fn.Call(in)
 	if bm.hasErr {
 		if errVal := out[len(out)-1]; !errVal.IsNil() {
-			return nil, errVal.Interface().(error)
+			return nil, errVal.Interface().(error), false
 		}
 	}
 	if !bm.hasReply {
-		return nil, nil
+		return nil, nil, false
 	}
-	result, err := codec.Marshal(out[0].Interface())
-	if err != nil {
-		return nil, fmt.Errorf("omq: encode result of %s: %w", req.Method, err)
+	result, merr := codec.Marshal(out[0].Interface())
+	if merr != nil {
+		return nil, fmt.Errorf("omq: encode result of %s: %w", req.Method, merr), true
 	}
-	return result, nil
+	return result, nil, false
 }
 
 func (bo *BoundObject) recordServiceTime(d time.Duration) {

@@ -1,0 +1,18 @@
+#!/bin/sh
+# check.sh — the CI gate. Build, vet, then the full test suite under the
+# race detector. The chaos soak is skipped under -short; CI runs it here
+# (race-enabled) because the harness's value is precisely its concurrency.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
