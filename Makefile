@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos experiments
+.PHONY: build test race vet check chaos experiments trace-demo
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,9 @@ chaos:
 
 experiments:
 	$(GO) run ./cmd/experiments -run all -quick
+
+## trace-demo syncs one file across a two-device in-process stack with
+## tracing on and prints the end-to-end trace: timeline, critical-path
+## breakdown, and the metrics registry after the commit.
+trace-demo:
+	$(GO) run ./cmd/experiments -run trace

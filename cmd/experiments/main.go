@@ -6,31 +6,61 @@
 //	experiments -run all -quick      # everything, reduced trace sizes
 //
 // Experiment ids: fig7a fig7b fig7cd table2 fig7e fig7f fig8ab fig8cde fig8f
+// plus the non-figure runs: chaos (robustness soak), trace (end-to-end
+// observability demo), ablation. -admin serves /metrics, /healthz, /tracez
+// and /queuesz while (and after) the run executes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"stacksync/internal/bench"
+	"stacksync/internal/obs"
 	"stacksync/internal/trace"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id (fig7a|fig7b|fig7cd|table2|fig7e|fig7f|fig8ab|fig8cde|fig8f|chaos|all)")
+	run := flag.String("run", "all", "experiment id (fig7a|fig7b|fig7cd|table2|fig7e|fig7f|fig8ab|fig8cde|fig8f|chaos|trace|all)")
 	seed := flag.Int64("seed", 1, "PRNG seed for trace generation")
 	quick := flag.Bool("quick", false, "smaller traces / shorter runs")
+	admin := flag.String("admin", "", "admin endpoint address (e.g. 127.0.0.1:7072); kept serving after the run until interrupted")
 	flag.Parse()
 
-	if err := runExperiments(strings.ToLower(*run), *seed, *quick); err != nil {
+	if err := runExperiments(strings.ToLower(*run), *seed, *quick, *admin); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func runExperiments(which string, seed int64, quick bool) error {
+func runExperiments(which string, seed int64, quick bool, adminAddr string) error {
+	// With -admin, the trace demo records into a shared tracer/registry that
+	// the admin endpoint keeps serving after the run, so /tracez and /metrics
+	// can be inspected interactively.
+	var (
+		tracer   *obs.Tracer
+		registry *obs.Registry
+	)
+	if adminAddr != "" {
+		tracer = obs.NewTracer()
+		registry = obs.NewRegistry()
+		srv, err := (&obs.Admin{Registry: registry, Tracer: tracer}).Serve(adminAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s (/metrics /healthz /tracez /queuesz)\n", srv.Addr())
+		defer func() {
+			fmt.Fprintln(os.Stderr, "run finished; admin endpoint still serving — interrupt to exit")
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+			<-sig
+		}()
+	}
 	genCfg := trace.GenConfig{Seed: seed}
 	if quick {
 		genCfg = trace.GenConfig{Seed: seed, InitialFiles: 5, TrainIterations: 2, Snapshots: 15, BirthMean: 4}
@@ -149,6 +179,13 @@ func runExperiments(which string, seed int64, quick bool) error {
 		if len(res.Violations) > 0 {
 			return fmt.Errorf("chaos soak failed with %d violations", len(res.Violations))
 		}
+	}
+	if which == "trace" { // observability demo, not a paper figure
+		ran = true
+		if err := bench.RunTraceDemo(out, tracer, registry); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
 	}
 	if all || which == "ablation" {
 		ran = true

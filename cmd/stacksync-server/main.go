@@ -23,6 +23,7 @@ import (
 	"stacksync/internal/metastore"
 	"stacksync/internal/mq"
 	"stacksync/internal/objstore"
+	"stacksync/internal/obs"
 	"stacksync/internal/omq"
 	"stacksync/internal/provision"
 )
@@ -36,14 +37,15 @@ func main() {
 	users := flag.String("users", "alice", "comma-separated users with access to the workspace")
 	minInstances := flag.Int("min-instances", 1, "minimum SyncService instances")
 	maxInstances := flag.Int("max-instances", 8, "maximum SyncService instances")
+	admin := flag.String("admin", "", "admin/introspection listen address, e.g. 127.0.0.1:7072 (empty disables; enabling it also enables tracing)")
 	flag.Parse()
 
-	if err := run(*listen, *storageListen, *storageToken, *dataDir, *workspace, *users, *minInstances, *maxInstances); err != nil {
+	if err := run(*listen, *storageListen, *storageToken, *dataDir, *workspace, *users, *minInstances, *maxInstances, *admin); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, storageListen, storageToken, dataDir, workspace, users string, minInstances, maxInstances int) error {
+func run(listen, storageListen, storageToken, dataDir, workspace, users string, minInstances, maxInstances int, admin string) error {
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		return err
 	}
@@ -90,8 +92,21 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		log.Printf("storage gateway listening on %s", storageListen)
 	}
 
+	// Observability: with -admin set, every broker shares one registry and
+	// one tracer so /metrics and /tracez see the whole node.
+	var (
+		tracer   *obs.Tracer
+		registry *obs.Registry
+		obsOpts  []omq.BrokerOption
+	)
+	if admin != "" {
+		tracer = obs.NewTracer()
+		registry = obs.NewRegistry()
+		obsOpts = []omq.BrokerOption{omq.WithTracer(tracer), omq.WithRegistry(registry)}
+	}
+
 	// SyncService pool managed by a Supervisor with a reactive policy.
-	nodeBroker, err := omq.NewBroker(broker, omq.WithID("node-0"))
+	nodeBroker, err := omq.NewBroker(broker, append([]omq.BrokerOption{omq.WithID("node-0")}, obsOpts...)...)
 	if err != nil {
 		return err
 	}
@@ -101,7 +116,7 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		return err
 	}
 	defer rb.Close()
-	notifBroker, err := omq.NewBroker(broker, omq.WithID("notif-0"))
+	notifBroker, err := omq.NewBroker(broker, append([]omq.BrokerOption{omq.WithID("notif-0")}, obsOpts...)...)
 	if err != nil {
 		return err
 	}
@@ -113,7 +128,7 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		return err
 	}
 
-	supBroker, err := omq.NewBroker(broker, omq.WithID("sup-0"))
+	supBroker, err := omq.NewBroker(broker, append([]omq.BrokerOption{omq.WithID("sup-0")}, obsOpts...)...)
 	if err != nil {
 		return err
 	}
@@ -129,6 +144,43 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		return err
 	}
 	defer sup.Stop()
+
+	if admin != "" {
+		adminSrv, err := (&obs.Admin{
+			Registry: registry,
+			Tracer:   tracer,
+			Health: func() obs.Health {
+				instances := rb.InstanceCount(core.ServiceOID)
+				h := obs.Health{OK: instances >= minInstances, Components: []obs.ComponentHealth{
+					{Name: "mq", OK: true, Detail: server.Addr()},
+					{Name: "syncservice", OK: instances >= minInstances,
+						Detail: fmt.Sprintf("%d/%d instances", instances, minInstances)},
+				}}
+				return h
+			},
+			Queues: func() []obs.QueueInfo {
+				names := broker.Queues()
+				out := make([]obs.QueueInfo, 0, len(names))
+				for _, name := range names {
+					s, err := broker.QueueStats(name)
+					if err != nil {
+						continue
+					}
+					out = append(out, obs.QueueInfo{
+						Name: s.Name, Depth: s.Depth, Unacked: s.Unacked,
+						Consumers: s.Consumers, ArrivalRate: s.ArrivalRate,
+						Enqueued: s.Enqueued, Acked: s.Acked, Redelivered: s.Redelivered,
+					})
+				}
+				return out
+			},
+		}).Serve(admin)
+		if err != nil {
+			return err
+		}
+		defer adminSrv.Close()
+		log.Printf("admin endpoint on http://%s (/metrics /healthz /tracez /queuesz)", adminSrv.Addr())
+	}
 
 	fmt.Printf("stacksync-server up: workspace=%q users=%v service pool %d..%d\n",
 		workspace, members, minInstances, maxInstances)

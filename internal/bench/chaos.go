@@ -16,6 +16,7 @@ import (
 	"stacksync/internal/metastore"
 	"stacksync/internal/mq"
 	"stacksync/internal/objstore"
+	"stacksync/internal/obs"
 	"stacksync/internal/omq"
 )
 
@@ -70,13 +71,14 @@ func (c *ChaosConfig) applyDefaults() {
 
 // chaosPlan builds the fault plan for a config; pulled out so the schedule
 // can be rebuilt and compared for determinism.
-func chaosPlan(cfg ChaosConfig) *faults.Plan {
+func chaosPlan(cfg ChaosConfig, reg *obs.Registry) *faults.Plan {
 	horizon := time.Duration(cfg.CommitsPerClient) * (cfg.CommitGap + 20*time.Millisecond)
 	if horizon < time.Second {
 		horizon = time.Second
 	}
 	return faults.NewPlan(faults.Config{
-		Seed: cfg.Seed,
+		Seed:     cfg.Seed,
+		Registry: reg,
 		Sites: map[string]faults.SiteConfig{
 			// Client-side publishes: commit requests vanish, duplicate, lag.
 			"mq.client": {DropP: 0.05, DupP: 0.05, DelayP: 0.10, MaxDelay: 20 * time.Millisecond},
@@ -113,12 +115,15 @@ type ChaosResult struct {
 // RunChaos executes the chaos soak and checks convergence.
 func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	cfg.applyDefaults()
-	plan := chaosPlan(cfg)
+	// One registry for the whole run: fault counters, client series and the
+	// brokers' queue gauges land on the same introspection surface.
+	reg := obs.NewRegistry()
+	plan := chaosPlan(cfg, reg)
 
 	// Determinism contract: same seed and config, byte-identical schedule.
 	scheduleStable := bytes.Equal(
 		[]byte(plan.Describe(512)),
-		[]byte(chaosPlan(cfg).Describe(512)),
+		[]byte(chaosPlan(cfg, nil).Describe(512)),
 	)
 
 	m := mq.NewBroker()
@@ -195,6 +200,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			WorkspaceID: "chaos-ws",
 			Broker:      cb,
 			Storage:     faultyStore,
+			Registry:    reg,
 			Chunker:     chunker.Fixed{ChunkSize: 4 * 1024},
 			CallTimeout: 500 * time.Millisecond, CallRetries: 10,
 			StoreBackoff: 5 * time.Millisecond, BreakerThreshold: 4,
@@ -328,8 +334,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 // state: all proposed files at their final content, no conflict copies, no
 // queued uploads left.
 func chaosConverged(clients []*client.Client, expected map[string]string) bool {
-	for _, cl := range clients {
-		if cl.PendingUploads() > 0 {
+	for i, cl := range clients {
+		if client.UploadQueueDepth(cl.Registry(), fmt.Sprintf("dev-%d", i)) > 0 {
 			return false
 		}
 		paths := cl.Paths()

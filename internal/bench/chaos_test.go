@@ -51,14 +51,14 @@ func TestChaosSoakConverges(t *testing.T) {
 func TestChaosScheduleByteIdentical(t *testing.T) {
 	cfg := ChaosConfig{Seed: 7}
 	cfg.applyDefaults()
-	a := chaosPlan(cfg).Describe(1024)
-	b := chaosPlan(cfg).Describe(1024)
+	a := chaosPlan(cfg, nil).Describe(1024)
+	b := chaosPlan(cfg, nil).Describe(1024)
 	if a != b {
 		t.Fatal("same seed produced different schedules")
 	}
 	other := cfg
 	other.Seed = 8
-	if a == chaosPlan(other).Describe(1024) {
+	if a == chaosPlan(other, nil).Describe(1024) {
 		t.Fatal("different seeds produced identical schedules")
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -142,9 +143,9 @@ type slowServiceAPI struct {
 }
 
 // CommitRequest forwards after the modelled service time.
-func (s *slowServiceAPI) CommitRequest(req core.CommitRequest) error {
+func (s *slowServiceAPI) CommitRequest(ctx context.Context, req core.CommitRequest) error {
 	time.Sleep(s.delay)
-	return s.inner.CommitRequest(req)
+	return s.inner.CommitRequest(ctx, req)
 }
 
 // GetChanges forwards.

@@ -17,6 +17,7 @@ import (
 	"stacksync/internal/metastore"
 	"stacksync/internal/mq"
 	"stacksync/internal/objstore"
+	"stacksync/internal/obs"
 	"stacksync/internal/omq"
 )
 
@@ -39,6 +40,14 @@ type StackOptions struct {
 	StorageBandwidth float64
 	// Workspace and user naming.
 	WorkspaceID string
+	// Tracer, when set, is shared by every broker and client in the stack so
+	// a commit's trace crosses all hops. nil disables tracing (no overhead).
+	Tracer *obs.Tracer
+	// Registry, when set, is the shared metrics registry of the whole stack:
+	// broker queue gauges, client series, and every device's MQ/storage
+	// traffic meters land on it. nil gives each component a private registry
+	// (the pre-existing behaviour).
+	Registry *obs.Registry
 }
 
 func (o *StackOptions) applyDefaults() {
@@ -93,9 +102,18 @@ func NewStack(opts StackOptions) (*Stack, error) {
 		return nil, err
 	}
 
+	var brokerOpts []omq.BrokerOption
+	if opts.Tracer != nil {
+		brokerOpts = append(brokerOpts, omq.WithTracer(opts.Tracer))
+	}
+	if opts.Registry != nil {
+		brokerOpts = append(brokerOpts, omq.WithRegistry(opts.Registry))
+	}
+
 	base := objstore.NewMemory()
 	for i := 0; i < opts.ServiceInstances; i++ {
-		sb, err := omq.NewBroker(st.MQ)
+		sb, err := omq.NewBroker(st.MQ, append([]omq.BrokerOption{
+			omq.WithID(fmt.Sprintf("svc-%d", i))}, brokerOpts...)...)
 		if err != nil {
 			st.Close()
 			return nil, fmt.Errorf("bench: service broker: %w", err)
@@ -111,8 +129,10 @@ func NewStack(opts StackOptions) (*Stack, error) {
 	}
 
 	for i := 0; i < opts.Devices; i++ {
+		device := fmt.Sprintf("dev-%d", i)
 		mmq := mq.NewMeteredMQ(st.MQ)
-		cb, err := omq.NewBroker(mmq)
+		cb, err := omq.NewBroker(mmq, append([]omq.BrokerOption{
+			omq.WithID("client-" + device)}, brokerOpts...)...)
 		if err != nil {
 			st.Close()
 			return nil, fmt.Errorf("bench: client broker: %w", err)
@@ -122,15 +142,21 @@ func NewStack(opts StackOptions) (*Stack, error) {
 			deviceStore = objstore.NewSimulated(base, clock.NewReal(), opts.StorageLatency, opts.StorageBandwidth)
 		}
 		metered := objstore.NewMetered(deviceStore)
+		if opts.Registry != nil {
+			mmq.Register(opts.Registry, "link", device)
+			metered.Register(opts.Registry, "device", device)
+		}
 		cl, err := client.NewClient(client.Config{
 			UserID:      fmt.Sprintf("user-%d", i),
-			DeviceID:    fmt.Sprintf("dev-%d", i),
+			DeviceID:    device,
 			WorkspaceID: opts.WorkspaceID,
 			Broker:      cb,
 			Storage:     metered,
 			Chunker:     opts.Chunker,
 			Compression: opts.Compression,
 			EventBuffer: 4096,
+			Tracer:      opts.Tracer,
+			Registry:    opts.Registry,
 			// Traffic benches measure protocol overhead; proposal
 			// retransmission is recovery machinery and would inflate the
 			// metered control bytes on slow runs.
@@ -162,6 +188,25 @@ func memberNames(n int) []string {
 
 // Client returns device i.
 func (st *Stack) Client(i int) *client.Client { return st.clients[i] }
+
+// AdminQueues adapts the stack's broker topology onto the admin surface:
+// one QueueInfo per declared queue, read live at call time.
+func (st *Stack) AdminQueues() []obs.QueueInfo {
+	names := st.MQ.Queues()
+	out := make([]obs.QueueInfo, 0, len(names))
+	for _, name := range names {
+		s, err := st.MQ.QueueStats(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, obs.QueueInfo{
+			Name: s.Name, Depth: s.Depth, Unacked: s.Unacked,
+			Consumers: s.Consumers, ArrivalRate: s.ArrivalRate,
+			Enqueued: s.Enqueued, Acked: s.Acked, Redelivered: s.Redelivered,
+		})
+	}
+	return out
+}
 
 // Devices returns the number of deployed devices.
 func (st *Stack) Devices() int { return len(st.clients) }

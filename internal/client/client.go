@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path"
@@ -13,6 +14,7 @@ import (
 	"stacksync/internal/core"
 	"stacksync/internal/metastore"
 	"stacksync/internal/objstore"
+	"stacksync/internal/obs"
 	"stacksync/internal/omq"
 )
 
@@ -78,6 +80,15 @@ type Config struct {
 	// ResyncEvery periodically pulls GetChanges to repair losses the push
 	// path missed (dropped notifications). Default 0 = disabled.
 	ResyncEvery time.Duration
+	// Tracer records a root span per commit and child spans at every hop
+	// (storage puts/gets, notification application). nil disables tracing.
+	// Pass the same tracer to the device's Broker so the trace continues
+	// across the messaging layer.
+	Tracer *obs.Tracer
+	// Registry backs this device's metric series (upload-queue depth,
+	// breaker state, watcher errors), labelled by device id. Defaults to a
+	// private registry readable via Registry().
+	Registry *obs.Registry
 }
 
 // Client is one StackSync device. It is driven programmatically through
@@ -91,6 +102,8 @@ type Client struct {
 	uploads   *uploadQueue
 	sync      *omq.Proxy
 	handler   *omq.BoundObject
+	tracer    *obs.Tracer
+	reg       *obs.Registry
 
 	db     *localDB
 	events chan Event
@@ -143,18 +156,42 @@ func NewClient(cfg Config) (*Client, error) {
 	if cfg.RetransmitEvery == 0 {
 		cfg.RetransmitEvery = time.Second
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
 	c := &Client{
 		cfg:       cfg,
 		container: WorkspaceContainer(cfg.WorkspaceID),
 		clk:       cfg.Clock,
 		uploads:   newUploadQueue(),
+		tracer:    cfg.Tracer,
+		reg:       cfg.Registry,
 		db:        newLocalDB(),
 		events:    make(chan Event, cfg.EventBuffer),
 		stopCh:    make(chan struct{}),
 	}
 	c.store = newBreakerStore(cfg.Storage, cfg.Clock,
 		cfg.StoreRetries, cfg.StoreBackoff, cfg.BreakerThreshold, cfg.BreakerCooldown)
+	c.reg.GaugeFunc("client_upload_queue_depth", func() float64 {
+		return float64(c.uploads.len())
+	}, "device", cfg.DeviceID)
+	c.reg.GaugeFunc("client_storage_breaker_open", func() float64 {
+		if c.store.Open() {
+			return 1
+		}
+		return 0
+	}, "device", cfg.DeviceID)
 	return c, nil
+}
+
+// Registry returns the metrics registry backing this device's series.
+func (c *Client) Registry() *obs.Registry { return c.reg }
+
+// UploadQueueDepth reads this device's queued (deferred) chunk uploads from
+// the registry gauge.
+func UploadQueueDepth(reg *obs.Registry, deviceID string) int {
+	v, _ := reg.GaugeValue("client_upload_queue_depth", "device", deviceID)
+	return int(v)
 }
 
 // Start connects the device: it registers the notification handler for the
@@ -188,7 +225,7 @@ func (c *Client) Start() error {
 		return fmt.Errorf("client: getChanges: %w", err)
 	}
 	for _, item := range state {
-		if err := c.applyRemote(item); err != nil {
+		if err := c.applyRemote(context.Background(), item); err != nil {
 			return fmt.Errorf("client: apply startup state: %w", err)
 		}
 	}
@@ -249,9 +286,6 @@ func (c *Client) flushUploads() {
 	}
 }
 
-// PendingUploads reports queued (deferred) chunk uploads.
-func (c *Client) PendingUploads() int { return c.uploads.len() }
-
 // StorageDegraded reports whether the storage circuit breaker is open.
 func (c *Client) StorageDegraded() bool { return c.store.Open() }
 
@@ -274,7 +308,7 @@ func (c *Client) retransmitPending() {
 	if len(items) == 0 {
 		return
 	}
-	_ = c.propose(items)
+	_ = c.propose(context.Background(), items)
 }
 
 // Resync pulls the full committed state and applies anything newer than the
@@ -288,7 +322,7 @@ func (c *Client) Resync() error {
 		return fmt.Errorf("client: resync: %w", err)
 	}
 	for _, item := range state {
-		if err := c.applyRemote(item); err != nil {
+		if err := c.applyRemote(context.Background(), item); err != nil {
 			return fmt.Errorf("client: resync apply: %w", err)
 		}
 	}
@@ -333,11 +367,22 @@ func (c *Client) PutFile(filePath string, content []byte) error {
 	if c.sync == nil {
 		return ErrNotStarted
 	}
-	item, err := c.prepareItem(filePath, content)
+	span, ctx := c.beginCommit()
+	defer span.End()
+	item, err := c.prepareItem(ctx, filePath, content)
 	if err != nil {
 		return err
 	}
-	return c.propose([]metastore.ItemVersion{item})
+	return c.propose(ctx, []metastore.ItemVersion{item})
+}
+
+// beginCommit opens the root span of a locally initiated commit; everything
+// downstream — chunk uploads, the commitRequest publish, queue dwell, handler
+// execution, the metadata commit and the notification fan-out — records child
+// spans under it. With tracing disabled both returns are inert.
+func (c *Client) beginCommit() (*obs.SpanHandle, context.Context) {
+	span := c.tracer.StartRoot("client.commit")
+	return span, obs.ContextWith(context.Background(), span.Context())
 }
 
 // Change is one entry of a bundled commit (Table 2's file-bundling setup).
@@ -355,6 +400,8 @@ func (c *Client) PutBatch(changes []Change) error {
 	if c.sync == nil {
 		return ErrNotStarted
 	}
+	span, ctx := c.beginCommit()
+	defer span.End()
 	items := make([]metastore.ItemVersion, 0, len(changes))
 	for _, ch := range changes {
 		if ch.Delete {
@@ -365,30 +412,36 @@ func (c *Client) PutBatch(changes []Change) error {
 			items = append(items, item)
 			continue
 		}
-		item, err := c.prepareItem(ch.Path, ch.Content)
+		item, err := c.prepareItem(ctx, ch.Path, ch.Content)
 		if err != nil {
 			return err
 		}
 		items = append(items, item)
 	}
-	return c.propose(items)
+	return c.propose(ctx, items)
 }
 
 // prepareItem chunks, dedupes and uploads content, returning the proposed
 // metadata version.
-func (c *Client) prepareItem(filePath string, content []byte) (metastore.ItemVersion, error) {
+func (c *Client) prepareItem(ctx context.Context, filePath string, content []byte) (metastore.ItemVersion, error) {
 	chunks, err := chunker.SplitBytes(c.cfg.Chunker, content)
 	if err != nil {
 		return metastore.ItemVersion{}, fmt.Errorf("client: chunk %s: %w", filePath, err)
 	}
 	_, fresh := chunker.Diff(chunks, c.db.hasChunk)
+	var putSpan *obs.SpanHandle
+	if len(fresh) > 0 {
+		putSpan = c.tracer.StartFromContext(ctx, "objstore.put")
+	}
 	for _, ch := range fresh {
 		compressed, err := chunker.Compress(ch.Data, c.cfg.Compression)
 		if err != nil {
+			putSpan.End()
 			return metastore.ItemVersion{}, fmt.Errorf("client: compress chunk: %w", err)
 		}
 		if err := c.store.Put(c.container, ch.Fingerprint, compressed); err != nil {
 			if permanentStoreErr(err) {
+				putSpan.End()
 				return metastore.ItemVersion{}, fmt.Errorf("client: upload chunk: %w", err)
 			}
 			// Transient storage failure (or open circuit): defer the upload
@@ -397,6 +450,7 @@ func (c *Client) prepareItem(filePath string, content []byte) (metastore.ItemVer
 			c.uploads.add(ch.Fingerprint, compressed)
 		}
 	}
+	putSpan.End()
 	c.db.addChunks(chunker.Fingerprints(fresh))
 
 	status := metastore.Added
@@ -446,8 +500,8 @@ func (c *Client) prepareTombstone(filePath string) (metastore.ItemVersion, error
 	return item, nil
 }
 
-func (c *Client) propose(items []metastore.ItemVersion) error {
-	return c.sync.Async("CommitRequest", core.CommitRequest{
+func (c *Client) propose(ctx context.Context, items []metastore.ItemVersion) error {
+	return c.sync.AsyncCtx(ctx, "CommitRequest", core.CommitRequest{
 		Workspace: c.cfg.WorkspaceID,
 		DeviceID:  c.cfg.DeviceID,
 		Items:     items,
@@ -468,6 +522,8 @@ func (c *Client) MoveFile(oldPath, newPath string) error {
 	if _, exists := c.db.lookup(newPath); exists {
 		return fmt.Errorf("client: move to %s: destination exists", newPath)
 	}
+	span, ctx := c.beginCommit()
+	defer span.End()
 	item := metastore.ItemVersion{
 		Workspace: c.cfg.WorkspaceID,
 		ItemID:    prev.itemID,
@@ -480,7 +536,7 @@ func (c *Client) MoveFile(oldPath, newPath string) error {
 		DeviceID:  c.cfg.DeviceID,
 	}
 	c.stashProposed(item, prev.content)
-	return c.propose([]metastore.ItemVersion{item})
+	return c.propose(ctx, []metastore.ItemVersion{item})
 }
 
 // RemoveFile proposes a tombstone version for path.
@@ -488,11 +544,13 @@ func (c *Client) RemoveFile(filePath string) error {
 	if c.sync == nil {
 		return ErrNotStarted
 	}
+	span, ctx := c.beginCommit()
+	defer span.End()
 	item, err := c.prepareTombstone(filePath)
 	if err != nil {
 		return err
 	}
-	return c.propose([]metastore.ItemVersion{item})
+	return c.propose(ctx, []metastore.ItemVersion{item})
 }
 
 // pendingKey tracks proposals awaiting their notification, keyed by
@@ -615,6 +673,8 @@ func (c *Client) Close() error {
 	c.mu.Unlock()
 	close(c.stopCh)
 	c.bg.Wait()
+	c.reg.Unregister("client_upload_queue_depth", "device", c.cfg.DeviceID)
+	c.reg.Unregister("client_storage_breaker_open", "device", c.cfg.DeviceID)
 	if c.handler != nil {
 		return c.handler.Unbind()
 	}
@@ -626,30 +686,34 @@ type notificationHandler struct {
 	c *Client
 }
 
-// NotifyCommit applies a pushed CommitNotification (Fig. 6).
-func (h *notificationHandler) NotifyCommit(n core.CommitNotification) error {
-	return h.c.handleNotification(n)
+// NotifyCommit applies a pushed CommitNotification (Fig. 6). The context
+// carries the notification's trace, so the application work on every device
+// shows up as a span of the originating commit.
+func (h *notificationHandler) NotifyCommit(ctx context.Context, n core.CommitNotification) error {
+	span := h.c.tracer.StartFromContext(ctx, "client.applyNotification")
+	defer span.End()
+	return h.c.handleNotification(obs.ContextWith(ctx, span.Context()), n)
 }
 
-func (c *Client) handleNotification(n core.CommitNotification) error {
+func (c *Client) handleNotification(ctx context.Context, n core.CommitNotification) error {
 	for _, r := range n.Results {
 		mine := r.Proposed.DeviceID == c.cfg.DeviceID && n.DeviceID == c.cfg.DeviceID
 		switch {
 		case r.Committed && mine:
 			c.applyOwnCommit(r)
 		case r.Committed:
-			if err := c.applyRemote(r.Item); err != nil {
+			if err := c.applyRemote(ctx, r.Item); err != nil {
 				return err
 			}
 			c.emit(Event{Type: RemoteApplied, Path: r.Item.Path, Version: r.Item.Version, Status: r.Item.Status})
 		case mine:
-			if err := c.resolveConflict(r); err != nil {
+			if err := c.resolveConflict(ctx, r); err != nil {
 				return err
 			}
 		default:
 			// Someone else's conflict; the authoritative version may still
 			// be newer than ours, so apply it.
-			if err := c.applyRemote(r.Item); err != nil {
+			if err := c.applyRemote(ctx, r.Item); err != nil {
 				return err
 			}
 		}
@@ -686,7 +750,7 @@ type CommitResultView = core.CommitResult
 
 // applyRemote brings the local copy of an item up to the given committed
 // version, downloading whatever chunks are missing.
-func (c *Client) applyRemote(item metastore.ItemVersion) error {
+func (c *Client) applyRemote(ctx context.Context, item metastore.ItemVersion) error {
 	cur, have := c.db.lookupID(item.ItemID)
 	if have && cur.version >= item.Version {
 		return nil // already at or past this version
@@ -708,7 +772,7 @@ func (c *Client) applyRemote(item metastore.ItemVersion) error {
 		})
 		return nil
 	}
-	content, err := c.fetchContent(item)
+	content, err := c.fetchContent(ctx, item)
 	if err != nil {
 		return err
 	}
@@ -721,7 +785,9 @@ func (c *Client) applyRemote(item metastore.ItemVersion) error {
 	return nil
 }
 
-func (c *Client) fetchContent(item metastore.ItemVersion) ([]byte, error) {
+func (c *Client) fetchContent(ctx context.Context, item metastore.ItemVersion) ([]byte, error) {
+	getSpan := c.tracer.StartFromContext(ctx, "objstore.get")
+	defer getSpan.End()
 	chunks := make([]chunker.Chunk, 0, len(item.Chunks))
 	for _, fp := range item.Chunks {
 		compressed, err := c.store.Get(c.container, fp)
@@ -750,11 +816,11 @@ func (c *Client) fetchContent(item metastore.ItemVersion) ([]byte, error) {
 // resolveConflict implements the losing side of Algorithm 1: adopt the
 // server's authoritative version for the original path and preserve the
 // local content as a renamed conflict copy, proposed as a fresh item.
-func (c *Client) resolveConflict(r CommitResultView) error {
+func (c *Client) resolveConflict(ctx context.Context, r CommitResultView) error {
 	localContent, _ := c.takeProposed(r.Proposed)
 
 	// Adopt the authoritative version.
-	if err := c.applyRemote(r.Item); err != nil {
+	if err := c.applyRemote(ctx, r.Item); err != nil {
 		return err
 	}
 

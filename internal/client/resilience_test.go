@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"os"
 	"sync/atomic"
@@ -130,7 +131,7 @@ func TestDegradedCommitQueuesUploads(t *testing.T) {
 	if err := a.PutFile("degraded.txt", content); err != nil {
 		t.Fatalf("degraded put: %v", err)
 	}
-	if a.PendingUploads() == 0 {
+	if UploadQueueDepth(a.Registry(), "dev-a") == 0 {
 		t.Fatal("no upload queued while store down")
 	}
 	// The commit itself must still go through.
@@ -140,9 +141,10 @@ func TestDegradedCommitQueuesUploads(t *testing.T) {
 
 	flaky.down.Store(false)
 	deadline := time.Now().Add(syncWait)
-	for a.PendingUploads() > 0 {
+	for UploadQueueDepth(a.Registry(), "dev-a") > 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("queued uploads never drained (%d left)", a.PendingUploads())
+			t.Fatalf("queued uploads never drained (%d left)",
+				UploadQueueDepth(a.Registry(), "dev-a"))
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -255,11 +257,15 @@ func TestWatcherCountsScanErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	scanErrors := func() uint64 {
+		return a.Registry().CounterValue("client_watcher_scan_errors_total",
+			"device", "dev-a")
+	}
 	w.readFile = func(string) ([]byte, error) { return nil, errors.New("sharing violation") }
 	if err := w.SyncOnce(); err != nil {
 		t.Fatalf("scan error must not abort the cycle: %v", err)
 	}
-	if got := w.ScanErrors(); got != 1 {
+	if got := scanErrors(); got != 1 {
 		t.Fatalf("scan errors = %d, want 1", got)
 	}
 	if _, ok := a.Version("busy.txt"); ok {
@@ -274,7 +280,7 @@ func TestWatcherCountsScanErrors(t *testing.T) {
 	if err := a.WaitForVersion("busy.txt", 1, syncWait); err != nil {
 		t.Fatal(err)
 	}
-	if got := w.ScanErrors(); got != 1 {
+	if got := scanErrors(); got != 1 {
 		t.Fatalf("scan errors after recovery = %d, want 1", got)
 	}
 }
@@ -301,10 +307,10 @@ func TestDuplicateNotificationIsIdempotent(t *testing.T) {
 		Workspace: "ws", DeviceID: "dev-a",
 		Results: []core.CommitResult{{Committed: true, Item: item, Proposed: item}},
 	}
-	if err := a.handleNotification(n); err != nil {
+	if err := a.handleNotification(context.Background(), n); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.handleNotification(n); err != nil {
+	if err := a.handleNotification(context.Background(), n); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := a.Version("f.txt"); v != 1 {

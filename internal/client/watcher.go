@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"stacksync/internal/chunker"
-	"stacksync/internal/metrics"
+	"stacksync/internal/obs"
 )
 
 // DirWatcher mirrors a real directory into a Client (the Watcher/Indexer
@@ -32,9 +32,10 @@ type DirWatcher struct {
 
 	// scanErrors counts per-file reads that failed transiently during a scan
 	// (mid-write files, races with the OS); syncErrors counts whole cycles
-	// that returned an error. Both were previously swallowed silently.
-	scanErrors metrics.Counter
-	syncErrors metrics.Counter
+	// that returned an error. Registry series labelled by device — steady
+	// growth means the watcher is persistently unable to index some file.
+	scanErrors *obs.Counter
+	syncErrors *obs.Counter
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -59,18 +60,14 @@ func NewDirWatcher(c *Client, dir string, interval time.Duration) (*DirWatcher, 
 		interval: interval,
 		readFile: os.ReadFile,
 		known:    make(map[string]string),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		scanErrors: c.reg.Counter("client_watcher_scan_errors_total",
+			"device", c.cfg.DeviceID),
+		syncErrors: c.reg.Counter("client_watcher_sync_errors_total",
+			"device", c.cfg.DeviceID),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}, nil
 }
-
-// ScanErrors reports how many per-file reads failed transiently during
-// scans; SyncErrors reports failed whole sync cycles. Monotonic counters —
-// steady growth means the watcher is persistently unable to index some file.
-func (w *DirWatcher) ScanErrors() uint64 { return w.scanErrors.Value() }
-
-// SyncErrors reports sync cycles that returned an error (retried next tick).
-func (w *DirWatcher) SyncErrors() uint64 { return w.syncErrors.Value() }
 
 // Start launches the watch loop. The client must already be started.
 func (w *DirWatcher) Start() {

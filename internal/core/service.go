@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -101,8 +102,10 @@ func (s *Service) workspaceProxy(workspaceID string) (*omq.Proxy, error) {
 // commit is Algorithm 1: check version precedence per item, persist winners,
 // mark losers as conflicts carrying the current version, then push one
 // notification to the whole workspace.
-func (s *Service) commit(req CommitRequest) (CommitNotification, error) {
+func (s *Service) commit(ctx context.Context, req CommitRequest) (CommitNotification, error) {
+	metaSpan := s.broker.Tracer().StartFromContext(ctx, "metastore.commitBatch")
 	results, err := s.meta.CommitBatch(req.Items)
+	metaSpan.End()
 	if err != nil {
 		return CommitNotification{}, fmt.Errorf("core: commit %s: %w", req.Workspace, err)
 	}
@@ -123,7 +126,7 @@ func (s *Service) commit(req CommitRequest) (CommitNotification, error) {
 		return n, err
 	}
 	// notifyCommit: @MultiMethod + @AsyncMethod (Fig. 6).
-	if err := p.Multi("NotifyCommit", n); err != nil {
+	if err := p.MultiCtx(ctx, "NotifyCommit", n); err != nil {
 		return n, fmt.Errorf("core: notify %s: %w", req.Workspace, err)
 	}
 	return n, nil
@@ -137,9 +140,11 @@ type API struct {
 
 // CommitRequest processes a proposed change list (@AsyncMethod). The client
 // learns the outcome through the workspace's CommitNotification, never
-// through a return value.
-func (a *API) CommitRequest(req CommitRequest) error {
-	_, err := a.svc.commit(req)
+// through a return value. The context carries the request's trace context,
+// so the metadata commit and the notification fan-out appear as spans of the
+// originating client's trace.
+func (a *API) CommitRequest(ctx context.Context, req CommitRequest) error {
+	_, err := a.svc.commit(ctx, req)
 	return err
 }
 

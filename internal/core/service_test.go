@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestCommitAndGetChanges(t *testing.T) {
 	if err := r.meta.CreateWorkspace(metastore.Workspace{ID: "ws1", Owner: "alice"}); err != nil {
 		t.Fatal(err)
 	}
-	n, err := r.svc.commit(CommitRequest{
+	n, err := r.svc.commit(context.Background(), CommitRequest{
 		Workspace: "ws1", DeviceID: "dev-test",
 		Items: []metastore.ItemVersion{item("ws1", "f1", 1, metastore.Added)},
 	})
@@ -98,18 +99,18 @@ func TestCommitConflictCarriesCurrentVersion(t *testing.T) {
 	if err := r.meta.CreateWorkspace(metastore.Workspace{ID: "ws1", Owner: "alice"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.svc.commit(CommitRequest{Workspace: "ws1", Items: []metastore.ItemVersion{item("ws1", "f", 1, metastore.Added)}}); err != nil {
+	if _, err := r.svc.commit(context.Background(), CommitRequest{Workspace: "ws1", Items: []metastore.ItemVersion{item("ws1", "f", 1, metastore.Added)}}); err != nil {
 		t.Fatal(err)
 	}
 	winner := item("ws1", "f", 2, metastore.Modified)
 	winner.Chunks = []string{"winner-chunk"}
-	if _, err := r.svc.commit(CommitRequest{Workspace: "ws1", Items: []metastore.ItemVersion{winner}}); err != nil {
+	if _, err := r.svc.commit(context.Background(), CommitRequest{Workspace: "ws1", Items: []metastore.ItemVersion{winner}}); err != nil {
 		t.Fatal(err)
 	}
 	// Loser proposes version 2 again.
 	loser := item("ws1", "f", 2, metastore.Modified)
 	loser.Chunks = []string{"loser-chunk"}
-	n, err := r.svc.commit(CommitRequest{Workspace: "ws1", DeviceID: "dev-loser", Items: []metastore.ItemVersion{loser}})
+	n, err := r.svc.commit(context.Background(), CommitRequest{Workspace: "ws1", DeviceID: "dev-loser", Items: []metastore.ItemVersion{loser}})
 	if err != nil {
 		t.Fatal(err)
 	}

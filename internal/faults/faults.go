@@ -22,6 +22,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"stacksync/internal/obs"
 )
 
 // Kind classifies the outcome of one fault roll.
@@ -112,6 +114,11 @@ type Config struct {
 	// Sites maps injection-site names to their rates. Unknown sites draw a
 	// zero config (no faults).
 	Sites map[string]SiteConfig
+	// Registry receives the injected-fault counters as
+	// faults_injected_total{site, kind} series. Defaults to a private
+	// registry readable via Plan.Registry(); pass a shared one to fold the
+	// counts into a run-wide /metrics surface.
+	Registry *obs.Registry
 }
 
 // Event is one recorded injection, for observability and post-run asserts.
@@ -127,11 +134,11 @@ type Event struct {
 type Plan struct {
 	seed  int64
 	sites map[string]SiteConfig
+	reg   *obs.Registry
 
 	mu     sync.Mutex
 	start  time.Time
 	events []Event
-	counts map[string]uint64 // "site/kind" -> count
 }
 
 // NewPlan builds a Plan from the config. The site table is copied.
@@ -140,15 +147,23 @@ func NewPlan(cfg Config) *Plan {
 	for name, sc := range cfg.Sites {
 		sites[name] = sc
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Plan{
-		seed:   cfg.Seed,
-		sites:  sites,
-		counts: make(map[string]uint64),
+		seed:  cfg.Seed,
+		sites: sites,
+		reg:   reg,
 	}
 }
 
 // Seed returns the plan's seed.
 func (p *Plan) Seed() int64 { return p.seed }
+
+// Registry returns the registry holding the plan's
+// faults_injected_total{site, kind} counters.
+func (p *Plan) Registry() *obs.Registry { return p.reg }
 
 // Begin anchors outage windows and event timestamps to the given instant
 // (normally clk.Now() right before the workload starts).
@@ -249,8 +264,8 @@ func (p *Plan) Note(site, key string, kind Kind, now time.Time) {
 		at = now.Sub(p.start)
 	}
 	p.events = append(p.events, Event{Site: site, Key: key, Kind: kind, At: at})
-	p.counts[site+"/"+kind.String()]++
 	p.mu.Unlock()
+	p.reg.Counter("faults_injected_total", "site", site, "kind", kind.String()).Inc()
 }
 
 // Events returns a copy of all recorded injections.
@@ -262,14 +277,22 @@ func (p *Plan) Events() []Event {
 	return out
 }
 
-// Counts returns injected-fault counts keyed by "site/kind".
+// Counts returns injected-fault counts keyed by "site/kind", read back from
+// the registry's faults_injected_total series.
 func (p *Plan) Counts() map[string]uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make(map[string]uint64, len(p.counts))
-	for k, v := range p.counts {
-		out[k] = v
-	}
+	out := make(map[string]uint64)
+	p.reg.EachCounter("faults_injected_total", func(labels []string, v uint64) {
+		var site, kind string
+		for i := 0; i+1 < len(labels); i += 2 {
+			switch labels[i] {
+			case "site":
+				site = labels[i+1]
+			case "kind":
+				kind = labels[i+1]
+			}
+		}
+		out[site+"/"+kind] = v
+	})
 	return out
 }
 

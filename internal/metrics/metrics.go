@@ -7,24 +7,8 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 )
-
-// Counter is a concurrency-safe monotonically increasing event count (e.g.
-// watcher scan errors, injected faults survived).
-type Counter struct {
-	n atomic.Uint64
-}
-
-// Inc adds one.
-func (c *Counter) Inc() { c.n.Add(1) }
-
-// Add adds d.
-func (c *Counter) Add(d uint64) { c.n.Add(d) }
-
-// Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Percentile returns the p-th percentile (0..1) of values using nearest-rank
 // on a sorted copy. An empty input yields 0.
@@ -162,17 +146,37 @@ func Skewness(values []float64) float64 {
 	return m3 / math.Pow(m2, 1.5)
 }
 
-// Recorder accumulates duration samples concurrently (Welford online
-// mean/variance plus raw samples for percentiles).
+// Recorder accumulates duration samples concurrently. Mean and variance are
+// always exact (Welford's online algorithm over every observation); the raw
+// samples kept for percentiles/boxplots are either complete (the default,
+// exact mode) or a fixed-size uniform reservoir (NewReservoirRecorder), so
+// long soaks get bounded memory while quantile estimates stay unbiased.
 type Recorder struct {
 	mu      sync.Mutex
-	samples []float64 // seconds
+	samples []float64 // seconds; all of them, or the reservoir
+	n       uint64    // total observations (>= len(samples))
 	mean    float64
 	m2      float64
+	cap     int    // reservoir capacity; 0 = exact mode (keep everything)
+	rng     uint64 // xorshift64 state for reservoir replacement
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty recorder that keeps every sample.
 func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewReservoirRecorder returns a recorder that keeps at most capacity raw
+// samples, maintained as a uniform random reservoir (Vitter's Algorithm R):
+// after n observations every sample has probability capacity/n of being in
+// the buffer. Count, Mean and Variance still reflect every observation
+// exactly; Percentile, Samples and Boxplot are estimates drawn from the
+// reservoir. The replacement sequence is seeded deterministically, so equal
+// observation sequences yield equal reservoirs.
+func NewReservoirRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		return NewRecorder()
+	}
+	return &Recorder{cap: capacity, rng: 0x9E3779B97F4A7C15}
+}
 
 // Observe adds one duration sample.
 func (r *Recorder) Observe(d time.Duration) { r.ObserveSeconds(d.Seconds()) }
@@ -180,45 +184,68 @@ func (r *Recorder) Observe(d time.Duration) { r.ObserveSeconds(d.Seconds()) }
 // ObserveSeconds adds one sample expressed in seconds.
 func (r *Recorder) ObserveSeconds(s float64) {
 	r.mu.Lock()
-	r.samples = append(r.samples, s)
+	r.n++
 	delta := s - r.mean
-	r.mean += delta / float64(len(r.samples))
+	r.mean += delta / float64(r.n)
 	r.m2 += delta * (s - r.mean)
+	switch {
+	case r.cap == 0 || len(r.samples) < r.cap:
+		r.samples = append(r.samples, s)
+	default:
+		// Algorithm R: the new sample displaces a random slot with
+		// probability cap/n, keeping the reservoir uniform.
+		if j := r.nextUint64() % r.n; j < uint64(r.cap) {
+			r.samples[j] = s
+		}
+	}
 	r.mu.Unlock()
 }
 
-// Count returns the number of samples.
+// nextUint64 steps the xorshift64 generator. Callers hold r.mu.
+func (r *Recorder) nextUint64() uint64 {
+	x := r.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.rng = x
+	return x
+}
+
+// Count returns the total number of observations (not the reservoir size).
 func (r *Recorder) Count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.samples)
+	return int(r.n)
 }
 
-// Mean returns the sample mean in seconds.
+// Mean returns the exact sample mean in seconds over all observations.
 func (r *Recorder) Mean() float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.mean
 }
 
-// Variance returns the sample variance in seconds².
+// Variance returns the exact sample variance in seconds² over all
+// observations.
 func (r *Recorder) Variance() float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.samples) < 2 {
+	if r.n < 2 {
 		return 0
 	}
-	return r.m2 / float64(len(r.samples)-1)
+	return r.m2 / float64(r.n-1)
 }
 
-// Percentile returns the p-th percentile in seconds.
+// Percentile returns the p-th percentile in seconds (estimated from the
+// reservoir when sampling is enabled).
 func (r *Recorder) Percentile(p float64) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return Percentile(r.samples, p)
 }
 
-// Samples returns a copy of all samples in seconds.
+// Samples returns a copy of the retained samples in seconds: every
+// observation in exact mode, the current reservoir otherwise.
 func (r *Recorder) Samples() []float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -227,13 +254,14 @@ func (r *Recorder) Samples() []float64 {
 	return out
 }
 
-// Boxplot summarizes the recorded samples.
+// Boxplot summarizes the retained samples.
 func (r *Recorder) Boxplot() Boxplot { return NewBoxplot(r.Samples()) }
 
-// Reset discards all samples.
+// Reset discards all samples (the reservoir capacity and RNG state persist).
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.samples = r.samples[:0]
+	r.n = 0
 	r.mean = 0
 	r.m2 = 0
 	r.mu.Unlock()

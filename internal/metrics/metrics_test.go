@@ -189,3 +189,68 @@ func TestRecorderSamplesIsCopy(t *testing.T) {
 		t.Fatal("Samples leaked internal state")
 	}
 }
+
+// TestReservoirRecorderExactMoments: with sampling enabled, Count/Mean/
+// Variance still reflect every observation exactly while the raw buffer is
+// bounded by the capacity.
+func TestReservoirRecorderExactMoments(t *testing.T) {
+	const n, capacity = 10000, 128
+	r := NewReservoirRecorder(capacity)
+	exact := NewRecorder()
+	for i := 0; i < n; i++ {
+		v := float64(i%100) / 1000 // 0..0.099s sawtooth
+		r.ObserveSeconds(v)
+		exact.ObserveSeconds(v)
+	}
+	if r.Count() != n {
+		t.Fatalf("count = %d, want %d (total observations, not reservoir size)", r.Count(), n)
+	}
+	if got := len(r.Samples()); got != capacity {
+		t.Fatalf("reservoir holds %d samples, want %d", got, capacity)
+	}
+	if math.Abs(r.Mean()-exact.Mean()) > 1e-12 {
+		t.Fatalf("mean = %v, exact %v", r.Mean(), exact.Mean())
+	}
+	if math.Abs(r.Variance()-exact.Variance()) > 1e-12 {
+		t.Fatalf("variance = %v, exact %v", r.Variance(), exact.Variance())
+	}
+}
+
+// TestReservoirRecorderUniform: the reservoir is an unbiased sample — over a
+// uniform input stream its median estimate lands near the true median.
+func TestReservoirRecorderUniform(t *testing.T) {
+	r := NewReservoirRecorder(512)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r.ObserveSeconds(float64(i) / n) // uniform on [0, 1)
+	}
+	if med := r.Percentile(0.5); math.Abs(med-0.5) > 0.08 {
+		t.Fatalf("reservoir median = %v, want ~0.5", med)
+	}
+	// Deterministic: the same stream reproduces the same reservoir.
+	r2 := NewReservoirRecorder(512)
+	for i := 0; i < n; i++ {
+		r2.ObserveSeconds(float64(i) / n)
+	}
+	a, b := r.Samples(), r2.Samples()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reservoir not deterministic at slot %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestReservoirRecorderBelowCapacity: until the buffer fills, the recorder
+// behaves exactly like the unbounded one.
+func TestReservoirRecorderBelowCapacity(t *testing.T) {
+	r := NewReservoirRecorder(100)
+	for i := 1; i <= 10; i++ {
+		r.ObserveSeconds(float64(i))
+	}
+	if got := r.Percentile(0.5); got != 5 {
+		t.Fatalf("median = %v, want 5 (all samples retained below capacity)", got)
+	}
+	if got := len(r.Samples()); got != 10 {
+		t.Fatalf("samples = %d, want 10", got)
+	}
+}

@@ -3,6 +3,8 @@ package mq
 import (
 	"sync"
 	"sync/atomic"
+
+	"stacksync/internal/obs"
 )
 
 // MeteredMQ wraps an MQ and accounts the payload bytes that cross it in each
@@ -61,6 +63,17 @@ func (m *MeteredMQ) Reset() {
 	m.bytesDown.Store(0)
 	m.msgsUp.Store(0)
 	m.msgsDown.Store(0)
+}
+
+// Register exposes the traffic counters as lazily read gauges on reg
+// (mq_bytes_up/mq_bytes_down/mq_msgs_up/mq_msgs_down), tagged with the given
+// label pairs — typically "link", "<device>". Gauges rather than counters
+// because Reset (used between experiment phases) may rewind them.
+func (m *MeteredMQ) Register(reg *obs.Registry, labels ...string) {
+	reg.GaugeFunc("mq_bytes_up", func() float64 { return float64(m.bytesUp.Load()) }, labels...)
+	reg.GaugeFunc("mq_bytes_down", func() float64 { return float64(m.bytesDown.Load()) }, labels...)
+	reg.GaugeFunc("mq_msgs_up", func() float64 { return float64(m.msgsUp.Load()) }, labels...)
+	reg.GaugeFunc("mq_msgs_down", func() float64 { return float64(m.msgsDown.Load()) }, labels...)
 }
 
 // DeclareQueue forwards.

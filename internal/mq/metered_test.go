@@ -1,0 +1,119 @@
+package mq
+
+import (
+	"testing"
+	"time"
+
+	"stacksync/internal/obs"
+)
+
+// TestMeteredMQAccounting pins the byte and message accounting of MeteredMQ:
+// each publish counts body + envelope overhead upward, each delivery counts
+// body + envelope overhead downward, and settlement (ack/nack) changes
+// nothing — the meter models wire traffic, not queue state.
+func TestMeteredMQAccounting(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	m := NewMeteredMQ(b)
+	if err := m.DeclareQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+
+	bodies := []string{"alpha", "a much longer message body for the meter", ""}
+	var wantUp uint64
+	for _, body := range bodies {
+		if err := m.Publish("", "q", Message{Body: []byte(body)}); err != nil {
+			t.Fatal(err)
+		}
+		wantUp += uint64(len(body)) + envelopeOverhead
+	}
+	tr := m.Traffic()
+	if tr.MsgsUp != uint64(len(bodies)) || tr.BytesUp != wantUp {
+		t.Fatalf("up traffic = %d msgs / %d bytes, want %d / %d",
+			tr.MsgsUp, tr.BytesUp, len(bodies), wantUp)
+	}
+	if tr.MsgsDown != 0 || tr.BytesDown != 0 {
+		t.Fatalf("down traffic before any subscription: %+v", tr)
+	}
+
+	sub, err := m.Subscribe("q", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantDown uint64
+	for i := range bodies {
+		select {
+		case d := <-sub.Deliveries():
+			wantDown += uint64(len(d.Body)) + envelopeOverhead
+			// Ack two, nack-drop one: settlement must not touch the meter.
+			if i == 1 {
+				_ = d.Nack(false)
+			} else {
+				_ = d.Ack()
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("delivery %d never arrived", i)
+		}
+	}
+	tr = m.Traffic()
+	if tr.MsgsDown != uint64(len(bodies)) || tr.BytesDown != wantDown {
+		t.Fatalf("down traffic = %d msgs / %d bytes, want %d / %d",
+			tr.MsgsDown, tr.BytesDown, len(bodies), wantDown)
+	}
+	if tr.BytesUp != wantUp {
+		t.Fatalf("settlement changed up traffic: %d != %d", tr.BytesUp, wantUp)
+	}
+	if got, want := tr.Total(), wantUp+wantDown; got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+
+	m.Reset()
+	if tr = m.Traffic(); tr != (MQTraffic{}) {
+		t.Fatalf("traffic after reset: %+v", tr)
+	}
+	if err := sub.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeteredMQFailedPublishNotCounted: a publish the broker rejects must not
+// inflate the meter.
+func TestMeteredMQFailedPublishNotCounted(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	m := NewMeteredMQ(b)
+	if err := m.Publish("no-such-exchange", "k", Message{Body: []byte("x")}); err == nil {
+		t.Fatal("publish to undeclared exchange succeeded")
+	}
+	if tr := m.Traffic(); tr.MsgsUp != 0 || tr.BytesUp != 0 {
+		t.Fatalf("failed publish was metered: %+v", tr)
+	}
+}
+
+// TestMeteredMQRegister: the registry gauges read the live counters and
+// follow Reset.
+func TestMeteredMQRegister(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	m := NewMeteredMQ(b)
+	if err := m.DeclareQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.Register(reg, "link", "dev-0")
+
+	if err := m.Publish("", "q", Message{Body: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	up, ok := reg.GaugeValue("mq_bytes_up", "link", "dev-0")
+	if !ok || up != float64(5+envelopeOverhead) {
+		t.Fatalf("mq_bytes_up = %v ok=%v, want %d", up, ok, 5+envelopeOverhead)
+	}
+	if msgs, _ := reg.GaugeValue("mq_msgs_up", "link", "dev-0"); msgs != 1 {
+		t.Fatalf("mq_msgs_up = %v, want 1", msgs)
+	}
+	m.Reset()
+	if up, _ = reg.GaugeValue("mq_bytes_up", "link", "dev-0"); up != 0 {
+		t.Fatalf("mq_bytes_up after reset = %v", up)
+	}
+}

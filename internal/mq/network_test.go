@@ -2,6 +2,7 @@ package mq
 
 import (
 	"errors"
+	"stacksync/internal/obs"
 	"testing"
 	"time"
 )
@@ -233,5 +234,36 @@ func TestNetworkHighThroughputManyConsumers(t *testing.T) {
 		case <-time.After(10 * time.Second):
 			t.Fatalf("stalled after %d/%d", i, total)
 		}
+	}
+}
+
+// TestNetworkTraceHeadersSurvive: the obs trace headers the messaging
+// middleware injects must cross the TCP frame codec intact, so a trace that
+// starts on one side of a real network hop continues on the other.
+func TestNetworkTraceHeadersSurvive(t *testing.T) {
+	_, _, cli := newNetworkPair(t)
+	if err := cli.DeclareQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cli.Subscribe("q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headers := make(map[string]string)
+	obs.TraceContext{TraceID: "trace-42", SpanID: "span-7"}.Inject(headers)
+	headers[obs.HeaderPublishNanos] = "123456789"
+	if err := cli.Publish("", "q", Message{Body: []byte("x"), Headers: headers}); err != nil {
+		t.Fatal(err)
+	}
+	d := recvDelivery(t, sub)
+	tc, ok := obs.ExtractTraceContext(d.Headers)
+	if !ok || tc.TraceID != "trace-42" || tc.SpanID != "span-7" {
+		t.Fatalf("trace context after round trip = %+v ok=%v", tc, ok)
+	}
+	if got := d.Headers[obs.HeaderPublishNanos]; got != "123456789" {
+		t.Fatalf("publish timestamp header = %q", got)
+	}
+	if err := d.Ack(); err != nil {
+		t.Fatal(err)
 	}
 }

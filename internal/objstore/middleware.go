@@ -8,6 +8,7 @@ import (
 
 	"stacksync/internal/clock"
 	"stacksync/internal/faults"
+	"stacksync/internal/obs"
 )
 
 // Traffic is a snapshot of bytes and requests through a Metered store. The
@@ -50,6 +51,20 @@ func (m *Metered) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.t = Traffic{}
+}
+
+// Register exposes the traffic counters as lazily read gauges on reg
+// (objstore_bytes_up/objstore_bytes_down/objstore_puts/objstore_gets),
+// tagged with the given label pairs. Gauges rather than counters because
+// Reset (used between experiment phases) may rewind them.
+func (m *Metered) Register(reg *obs.Registry, labels ...string) {
+	read := func(f func(Traffic) uint64) func() float64 {
+		return func() float64 { return float64(f(m.Traffic())) }
+	}
+	reg.GaugeFunc("objstore_bytes_up", read(func(t Traffic) uint64 { return t.BytesUp }), labels...)
+	reg.GaugeFunc("objstore_bytes_down", read(func(t Traffic) uint64 { return t.BytesDown }), labels...)
+	reg.GaugeFunc("objstore_puts", read(func(t Traffic) uint64 { return t.Puts }), labels...)
+	reg.GaugeFunc("objstore_gets", read(func(t Traffic) uint64 { return t.Gets }), labels...)
 }
 
 // EnsureContainer forwards and counts a control request.

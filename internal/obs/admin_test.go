@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestAdminDegraded: a bare Admin with nothing wired must still serve every
+// endpoint — partial wiring degrades, it does not 500.
+func TestAdminDegraded(t *testing.T) {
+	srv := httptest.NewServer((&Admin{}).Handler())
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/metrics"); code != 200 || body != "" {
+		t.Errorf("/metrics: %d %q", code, body)
+	}
+	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, `"ok":true`) {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+	if code, body := get(t, srv, "/tracez"); code != 200 || !strings.Contains(body, "tracing disabled") {
+		t.Errorf("/tracez: %d %q", code, body)
+	}
+	if code, _ := get(t, srv, "/queuesz"); code != 200 {
+		t.Errorf("/queuesz: %d", code)
+	}
+}
+
+func TestAdminHealthzUnhealthy(t *testing.T) {
+	a := &Admin{Health: func() Health {
+		return Health{OK: false, Components: []ComponentHealth{{Name: "mq", OK: false, Detail: "closed"}}}
+	}}
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz status = %d, want 503", code)
+	}
+	if !strings.Contains(body, "closed") {
+		t.Fatalf("component detail missing: %q", body)
+	}
+}
+
+func TestAdminTracez(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartRoot("commit")
+	child := tr.StartChild(root.Context(), "store")
+	child.End()
+	root.End()
+	id := root.Context().TraceID
+
+	srv := httptest.NewServer((&Admin{Tracer: tr}).Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/tracez")
+	if code != 200 || !strings.Contains(body, "commit") {
+		t.Fatalf("/tracez listing: %d %q", code, body)
+	}
+	code, body = get(t, srv, "/tracez?trace="+id)
+	if code != 200 || !strings.Contains(body, "critical path:") || !strings.Contains(body, "store") {
+		t.Fatalf("/tracez detail: %d %q", code, body)
+	}
+	if code, _ = get(t, srv, "/tracez?trace=nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d, want 404", code)
+	}
+}
+
+func TestAdminMetricsAndQueuesz(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("commits_total", "oid", "sync").Add(3)
+	a := &Admin{
+		Registry: reg,
+		Queues: func() []QueueInfo {
+			return []QueueInfo{
+				{Name: "z-queue", Depth: 1},
+				{Name: "a-queue", Depth: 2, Consumers: 1, Enqueued: 9},
+			}
+		},
+	}
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	if _, body := get(t, srv, "/metrics"); !strings.Contains(body, `commits_total{oid="sync"} 3`) {
+		t.Fatalf("/metrics body: %q", body)
+	}
+
+	_, body := get(t, srv, "/queuesz")
+	if !strings.Contains(body, "a-queue") || !strings.Contains(body, "z-queue") {
+		t.Fatalf("/queuesz body: %q", body)
+	}
+	// Sorted by name: a-queue before z-queue.
+	if strings.Index(body, "a-queue") > strings.Index(body, "z-queue") {
+		t.Fatalf("/queuesz not sorted:\n%s", body)
+	}
+
+	_, body = get(t, srv, "/queuesz?format=json")
+	var queues []QueueInfo
+	if err := json.Unmarshal([]byte(body), &queues); err != nil {
+		t.Fatalf("/queuesz json: %v in %q", err, body)
+	}
+	if len(queues) != 2 || queues[0].Name != "a-queue" || queues[0].Enqueued != 9 {
+		t.Fatalf("/queuesz json decoded %+v", queues)
+	}
+}
+
+// TestAdminServe exercises the real listener path used by the binaries.
+func TestAdminServe(t *testing.T) {
+	srv, err := (&Admin{}).Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

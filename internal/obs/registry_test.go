@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestSeriesIdentity: label order never splits a series, and different label
+// values always do.
+func TestSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs", "method", "put", "device", "d0")
+	b := r.Counter("reqs", "device", "d0", "method", "put")
+	if a != b {
+		t.Fatal("label order split a counter series")
+	}
+	a.Inc()
+	if got := r.CounterValue("reqs", "device", "d0", "method", "put"); got != 1 {
+		t.Fatalf("CounterValue = %d, want 1", got)
+	}
+	if other := r.Counter("reqs", "method", "get", "device", "d0"); other == a {
+		t.Fatal("different label values shared a series")
+	}
+	if got := r.CounterValue("reqs", "method", "none"); got != 0 {
+		t.Fatalf("missing series reads %d, want 0", got)
+	}
+}
+
+func TestGaugeAndGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "q", "a")
+	g.Set(3)
+	g.Add(-1)
+	if v, ok := r.GaugeValue("depth", "q", "a"); !ok || v != 2 {
+		t.Fatalf("gauge = %v ok=%v, want 2", v, ok)
+	}
+	if _, ok := r.GaugeValue("depth", "q", "missing"); ok {
+		t.Fatal("missing gauge series reported ok")
+	}
+
+	n := 5.0
+	r.GaugeFunc("lazy", func() float64 { return n })
+	if v, ok := r.GaugeValue("lazy"); !ok || v != 5 {
+		t.Fatalf("gauge func = %v ok=%v, want 5", v, ok)
+	}
+	n = 7
+	if v, _ := r.GaugeValue("lazy"); v != 7 {
+		t.Fatalf("gauge func not evaluated at read time: %v", v)
+	}
+	// Re-registering replaces the function.
+	r.GaugeFunc("lazy", func() float64 { return -1 })
+	if v, _ := r.GaugeValue("lazy"); v != -1 {
+		t.Fatalf("re-registered gauge func = %v, want -1", v)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "k", "v").Inc()
+	r.Gauge("g").Set(1)
+	r.GaugeFunc("f", func() float64 { return 1 })
+	r.Histogram("h").Observe(0.5)
+
+	r.Unregister("c", "k", "v")
+	r.Unregister("g")
+	r.Unregister("f")
+	r.Unregister("h")
+
+	if r.CounterValue("c", "k", "v") != 0 {
+		t.Fatal("counter survived Unregister")
+	}
+	if _, ok := r.GaugeValue("g"); ok {
+		t.Fatal("gauge survived Unregister")
+	}
+	if _, ok := r.GaugeValue("f"); ok {
+		t.Fatal("gauge func survived Unregister")
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	if b.Len() != 0 {
+		t.Fatalf("exposition not empty after unregistering everything:\n%s", b.String())
+	}
+}
+
+func TestEachCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", "site", "a", "kind", "error").Add(2)
+	r.Counter("hits", "site", "b", "kind", "delay").Add(3)
+	r.Counter("other").Inc()
+
+	got := make(map[string]uint64)
+	r.EachCounter("hits", func(labels []string, v uint64) {
+		got[strings.Join(labels, "/")] = v
+	})
+	// Labels arrive as sorted key,value pairs.
+	want := map[string]uint64{
+		"kind/error/site/a": 2,
+		"kind/delay/site/b": 3,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("EachCounter visited %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("EachCounter visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []float64{0.002, 0.002, 0.2, 45} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 0.002 || s.Max != 45 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if got, want := s.Mean(), (0.002+0.002+0.2+45)/4; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	// Buckets are cumulative: every bound >= 45 holds all 4 samples.
+	idx := sort.SearchFloat64s(s.Bounds, 45)
+	if idx == len(s.Bounds) {
+		t.Fatalf("default bounds lack 45s bucket: %v", s.Bounds)
+	}
+	if s.Buckets[idx] != 4 {
+		t.Fatalf("cumulative bucket at %v = %d, want 4", s.Bounds[idx], s.Buckets[idx])
+	}
+	if s.Buckets[0] != 0 {
+		t.Fatalf("first bucket (1ms) = %d, want 0", s.Buckets[0])
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "b", "2", "a", "1").Add(9)
+	r.Gauge("g").Set(1.5)
+	r.GaugeFunc("gf", func() float64 { return 4 })
+	r.Histogram("h", "oid", "o").Observe(0.3)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`c_total{a="1",b="2"} 9`, // labels render sorted by key
+		"g 1.5",
+		"gf 4",
+		`h_bucket{le="0.5",oid="o"} 1`,
+		`h_bucket{le="+Inf",oid="o"} 1`,
+		`h_count{oid="o"} 1`,
+		`h_sum{oid="o"} 0.3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	// Output is sorted by series key for scrape diffing.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !sort.StringsAreSorted([]string{lines[0], lines[1]}) {
+		t.Errorf("exposition not sorted:\n%s", out)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"stacksync/internal/clock"
 	"stacksync/internal/mq"
+	"stacksync/internal/obs"
 )
 
 // replyPrefetch bounds unacked deliveries on the private reply queue.
@@ -16,10 +17,12 @@ const replyPrefetch = 64
 // and creates proxies for remote ones (paper Fig. 1). One Broker per process
 // is typical; each owns a private reply queue for its synchronous calls.
 type Broker struct {
-	mq    mq.MQ
-	codec Codec
-	clk   clock.Clock
-	id    string
+	mq     mq.MQ
+	codec  Codec
+	clk    clock.Clock
+	id     string
+	tracer *obs.Tracer
+	reg    *obs.Registry
 
 	replyQueue string
 	replySub   mq.Subscription
@@ -52,6 +55,20 @@ func WithID(id string) BrokerOption {
 	return func(b *Broker) { b.id = id }
 }
 
+// WithTracer records a span for every hop this broker participates in:
+// proxy publishes, queue dwell and handler execution. nil (the default)
+// disables tracing at zero cost on the request path.
+func WithTracer(t *obs.Tracer) BrokerOption {
+	return func(b *Broker) { b.tracer = t }
+}
+
+// WithRegistry backs this broker's metric series (queue depth, arrival
+// rate, service time, dedup hits, retries) with a shared registry. Without
+// it the broker records into a private registry, readable via Registry().
+func WithRegistry(r *obs.Registry) BrokerOption {
+	return func(b *Broker) { b.reg = r }
+}
+
 // NewBroker connects an ObjectMQ endpoint to a message-queue system.
 func NewBroker(m mq.MQ, opts ...BrokerOption) (*Broker, error) {
 	b := &Broker{
@@ -64,6 +81,9 @@ func NewBroker(m mq.MQ, opts ...BrokerOption) (*Broker, error) {
 	}
 	for _, opt := range opts {
 		opt(b)
+	}
+	if b.reg == nil {
+		b.reg = obs.NewRegistry()
 	}
 	b.replyQueue = "omq.reply." + b.id
 	if err := m.DeclareQueue(b.replyQueue); err != nil {
@@ -84,6 +104,12 @@ func (b *Broker) ID() string { return b.id }
 
 // Codec returns the configured codec.
 func (b *Broker) Codec() Codec { return b.codec }
+
+// Tracer returns the configured tracer (nil when tracing is disabled).
+func (b *Broker) Tracer() *obs.Tracer { return b.tracer }
+
+// Registry returns the metrics registry backing this broker's series.
+func (b *Broker) Registry() *obs.Registry { return b.reg }
 
 func (b *Broker) replyLoop() {
 	defer b.wg.Done()
@@ -180,7 +206,11 @@ func (b *Broker) Bind(oid string, impl interface{}) (*BoundObject, error) {
 		multiSub:     multiSub,
 		done:         make(chan struct{}),
 		dedup:        newDedupCache(dedupCacheSize),
+		dedupHits:    b.reg.Counter("omq_dedup_hits_total", "oid", oid),
+		droppedTotal: b.reg.Counter("omq_oneway_dropped_total", "oid", oid),
+		handleHist:   b.reg.Histogram("omq_handle_seconds", "oid", oid),
 	}
+	b.registerObjectSeries(oid, bo)
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -210,12 +240,13 @@ func (b *Broker) EnsureMulticastGroup(oid string) error {
 // Broker.lookup). No registry is consulted: the queue name is the address.
 func (b *Broker) Lookup(oid string, opts ...CallOption) *Proxy {
 	p := &Proxy{
-		broker:      b,
-		oid:         oid,
-		timeout:     DefaultTimeout,
-		retries:     DefaultRetries,
-		backoffBase: DefaultBackoffBase,
-		backoffMax:  DefaultBackoffMax,
+		broker:       b,
+		oid:          oid,
+		timeout:      DefaultTimeout,
+		retries:      DefaultRetries,
+		backoffBase:  DefaultBackoffBase,
+		backoffMax:   DefaultBackoffMax,
+		retriesTotal: b.reg.Counter("omq_retry_attempts_total", "oid", oid),
 	}
 	for _, opt := range opts {
 		opt(p)
@@ -241,6 +272,31 @@ func (b *Broker) forget(oid string, bo *BoundObject) {
 		delete(b.bound, oid)
 	}
 	b.mu.Unlock()
+	b.reg.Unregister("omq_service_mean_seconds", "oid", oid, "instance", b.id)
+}
+
+// registerObjectSeries exposes the introspection data of the oid's queue —
+// the same numbers ObjectInfo assembles for the provisioner — as registry
+// series. Queue-scoped gauges are lazy (evaluated at scrape time) and shared
+// by every instance of the oid, so they stay registered when one instance
+// unbinds; the per-instance service-time gauge is removed with its instance.
+func (b *Broker) registerObjectSeries(oid string, bo *BoundObject) {
+	queueGauge := func(read func(mq.QueueStats) float64) func() float64 {
+		return func() float64 {
+			stats, err := b.mq.QueueStats(oid)
+			if err != nil {
+				return 0
+			}
+			return read(stats)
+		}
+	}
+	b.reg.GaugeFunc("omq_queue_depth", queueGauge(func(s mq.QueueStats) float64 { return float64(s.Depth) }), "oid", oid)
+	b.reg.GaugeFunc("omq_queue_unacked", queueGauge(func(s mq.QueueStats) float64 { return float64(s.Unacked) }), "oid", oid)
+	b.reg.GaugeFunc("omq_queue_consumers", queueGauge(func(s mq.QueueStats) float64 { return float64(s.Consumers) }), "oid", oid)
+	b.reg.GaugeFunc("omq_arrival_rate", queueGauge(func(s mq.QueueStats) float64 { return s.ArrivalRate }), "oid", oid)
+	b.reg.GaugeFunc("omq_service_mean_seconds", func() float64 {
+		return bo.Stats().Mean.Seconds()
+	}, "oid", oid, "instance", b.id)
 }
 
 // ObjectInfo assembles the introspection snapshot provisioners consume
@@ -288,6 +344,7 @@ func (b *Broker) Close() error {
 	b.mu.Unlock()
 	for _, bo := range bound {
 		bo.stop()
+		b.reg.Unregister("omq_service_mean_seconds", "oid", bo.oid, "instance", b.id)
 	}
 	_ = b.replySub.Cancel()
 	b.wg.Wait()
@@ -298,8 +355,17 @@ func (b *Broker) Close() error {
 
 // publish sends raw bytes to a queue (exchange "") or an exchange.
 func (b *Broker) publish(exchangeName, key string, body []byte, persistent bool) error {
+	return b.publishH(exchangeName, key, body, persistent, nil)
+}
+
+// publishH is publish with extra message headers (trace propagation).
+func (b *Broker) publishH(exchangeName, key string, body []byte, persistent bool, extra map[string]string) error {
+	headers := map[string]string{"codec": b.codec.Name()}
+	for k, v := range extra {
+		headers[k] = v
+	}
 	return b.mq.Publish(exchangeName, key, mq.Message{
-		Headers:    map[string]string{"codec": b.codec.Name()},
+		Headers:    headers,
 		Body:       body,
 		Persistent: persistent,
 	})

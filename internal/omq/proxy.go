@@ -1,9 +1,13 @@
 package omq
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"time"
+
+	"stacksync/internal/obs"
 )
 
 // Defaults for @SyncMethod calls; the paper's SyncService interface uses
@@ -28,6 +32,9 @@ type Proxy struct {
 	retries     int
 	backoffBase time.Duration
 	backoffMax  time.Duration
+	// retriesTotal counts retry attempts (attempts beyond the first) made by
+	// sync calls through this proxy, as a registry series labelled by oid.
+	retriesTotal *obs.Counter
 }
 
 // CallOption tunes synchronous call behaviour, mirroring the
@@ -68,10 +75,40 @@ func (p *Proxy) encodeArgs(args []interface{}) ([][]byte, error) {
 	return encoded, nil
 }
 
+// startPublishSpan opens the span covering one publish and builds the
+// headers that carry its context (plus the publish timestamp for the
+// receiver's queue-dwell span). When the calling context is not part of a
+// trace the publish starts a fresh one, so server-initiated flows (health
+// multicalls, notifications) are traced too. With tracing disabled both
+// returns are nil and publishes carry no extra headers.
+func (p *Proxy) startPublishSpan(ctx context.Context, name string) (*obs.SpanHandle, map[string]string) {
+	tr := p.broker.tracer
+	if tr == nil {
+		return nil, nil
+	}
+	var h *obs.SpanHandle
+	if tc := obs.FromContext(ctx); tc.Valid() {
+		h = tr.StartChild(tc, name)
+	} else {
+		h = tr.StartRoot(name)
+	}
+	headers := make(map[string]string, 3)
+	h.Context().Inject(headers)
+	headers[obs.HeaderPublishNanos] = strconv.FormatInt(p.broker.now().UnixNano(), 10)
+	return h, headers
+}
+
 // Async performs a one-way @AsyncMethod invocation: the request is published
 // to the shared queue of the object id and the call returns as soon as the
 // broker accepted it. No response is ever produced.
 func (p *Proxy) Async(method string, args ...interface{}) error {
+	return p.AsyncCtx(context.Background(), method, args...)
+}
+
+// AsyncCtx is Async carrying a context; when the context belongs to a trace
+// the publish is recorded as a child span and the trace crosses to the
+// handler through the message headers.
+func (p *Proxy) AsyncCtx(ctx context.Context, method string, args ...interface{}) error {
 	encoded, err := p.encodeArgs(args)
 	if err != nil {
 		return err
@@ -85,7 +122,9 @@ func (p *Proxy) Async(method string, args ...interface{}) error {
 	if err != nil {
 		return err
 	}
-	return p.broker.publish("", p.oid, body, true)
+	span, headers := p.startPublishSpan(ctx, "omq.async."+method)
+	defer span.End()
+	return p.broker.publishH("", p.oid, body, true, headers)
 }
 
 // Call performs a blocking @SyncMethod invocation. The reply value is
@@ -99,6 +138,13 @@ func (p *Proxy) Async(method string, args ...interface{}) error {
 // instead of executing again; between attempts Call sleeps an exponentially
 // growing, jittered backoff (see WithBackoff).
 func (p *Proxy) Call(method string, reply interface{}, args ...interface{}) error {
+	return p.CallCtx(context.Background(), method, reply, args...)
+}
+
+// CallCtx is Call carrying a context for trace propagation: each attempt is
+// recorded as a span (a child of the context's span when present, otherwise
+// the root of a fresh trace).
+func (p *Proxy) CallCtx(ctx context.Context, method string, reply interface{}, args ...interface{}) error {
 	encoded, err := p.encodeArgs(args)
 	if err != nil {
 		return err
@@ -110,11 +156,12 @@ func (p *Proxy) Call(method string, reply interface{}, args ...interface{}) erro
 	requestID := newID()
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			p.retriesTotal.Inc()
 			if d := p.backoff(requestID, i-1); d > 0 {
 				p.broker.clk.Sleep(d)
 			}
 		}
-		resp, err := p.attempt(method, encoded, requestID)
+		resp, err := p.attempt(ctx, method, encoded, requestID)
 		if err == ErrTimeout {
 			continue
 		}
@@ -155,7 +202,7 @@ func (p *Proxy) backoff(requestID string, n int) time.Duration {
 	return time.Duration(float64(d) * jitter)
 }
 
-func (p *Proxy) attempt(method string, encoded [][]byte, requestID string) (*response, error) {
+func (p *Proxy) attempt(ctx context.Context, method string, encoded [][]byte, requestID string) (*response, error) {
 	correlationID := newID()
 	body, err := encodeRequest(&request{
 		Method:        method,
@@ -168,9 +215,11 @@ func (p *Proxy) attempt(method string, encoded [][]byte, requestID string) (*res
 	if err != nil {
 		return nil, err
 	}
+	span, headers := p.startPublishSpan(ctx, "omq.call."+method)
+	defer span.End()
 	ch := p.broker.registerPending(correlationID, 1)
 	defer p.broker.unregisterPending(correlationID)
-	if err := p.broker.publish("", p.oid, body, true); err != nil {
+	if err := p.broker.publishH("", p.oid, body, true, headers); err != nil {
 		return nil, err
 	}
 	select {
@@ -184,6 +233,13 @@ func (p *Proxy) attempt(method string, encoded [][]byte, requestID string) (*res
 // Multi performs a one-way @MultiMethod+@AsyncMethod invocation: the request
 // fans out to the private queue of every instance bound under the object id.
 func (p *Proxy) Multi(method string, args ...interface{}) error {
+	return p.MultiCtx(context.Background(), method, args...)
+}
+
+// MultiCtx is Multi carrying a context for trace propagation. Every
+// receiving instance records its dwell and handler spans under the one
+// publish span, so a traced notification shows its full fan-out.
+func (p *Proxy) MultiCtx(ctx context.Context, method string, args ...interface{}) error {
 	encoded, err := p.encodeArgs(args)
 	if err != nil {
 		return err
@@ -197,7 +253,9 @@ func (p *Proxy) Multi(method string, args ...interface{}) error {
 	if err != nil {
 		return err
 	}
-	return p.broker.publish(multiExchange(p.oid), "", body, true)
+	span, headers := p.startPublishSpan(ctx, "omq.multi."+method)
+	defer span.End()
+	return p.broker.publishH(multiExchange(p.oid), "", body, true, headers)
 }
 
 // Reply is one response collected by MultiCall.
@@ -228,6 +286,11 @@ func (r *Reply) Decode(v interface{}) error {
 // servers in a determined timeout"). The window defaults to the proxy
 // timeout when zero.
 func (p *Proxy) MultiCall(method string, window time.Duration, args ...interface{}) ([]Reply, error) {
+	return p.MultiCallCtx(context.Background(), method, window, args...)
+}
+
+// MultiCallCtx is MultiCall carrying a context for trace propagation.
+func (p *Proxy) MultiCallCtx(ctx context.Context, method string, window time.Duration, args ...interface{}) ([]Reply, error) {
 	if window <= 0 {
 		window = p.timeout
 	}
@@ -246,9 +309,11 @@ func (p *Proxy) MultiCall(method string, window time.Duration, args ...interface
 	if err != nil {
 		return nil, err
 	}
+	span, headers := p.startPublishSpan(ctx, "omq.multicall."+method)
+	defer span.End()
 	ch := p.broker.registerPending(correlationID, replyPrefetch)
 	defer p.broker.unregisterPending(correlationID)
-	if err := p.broker.publish(multiExchange(p.oid), "", body, true); err != nil {
+	if err := p.broker.publishH(multiExchange(p.oid), "", body, true, headers); err != nil {
 		return nil, err
 	}
 	var replies []Reply

@@ -86,7 +86,8 @@ func (rb *RemoteBroker) SpawnLocal(oid string, n int) (int, error) {
 		// queue per BoundObject, so instances can share rb.broker — except
 		// that Bind refuses duplicate oids per broker. Spawn therefore binds
 		// through a lightweight child broker on the same MQ.
-		child, err := NewBroker(rb.broker.mq, WithCodec(rb.broker.codec), WithBrokerClock(rb.broker.clk))
+		child, err := NewBroker(rb.broker.mq, WithCodec(rb.broker.codec), WithBrokerClock(rb.broker.clk),
+			WithTracer(rb.broker.tracer), WithRegistry(rb.broker.reg))
 		if err != nil {
 			return started, fmt.Errorf("omq: spawn child broker: %w", err)
 		}

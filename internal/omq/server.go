@@ -1,14 +1,17 @@
 package omq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"reflect"
+	"strconv"
 	"sync"
 	"time"
 
 	"stacksync/internal/mq"
+	"stacksync/internal/obs"
 )
 
 // BoundObject is a server object registered under an identifier. Its worker
@@ -27,6 +30,10 @@ type BoundObject struct {
 	// @SyncMethod (reply lost, caller timed out) is re-acknowledged instead
 	// of executed twice on this instance.
 	dedup *dedupCache
+	// Registry-backed series, labelled by oid and shared across instances.
+	dedupHits    *obs.Counter
+	droppedTotal *obs.Counter
+	handleHist   *obs.Histogram
 	// ownedBroker, when set, is a child broker created solely to host this
 	// instance (see RemoteBroker.SpawnLocal); it is closed with the instance.
 	ownedBroker *Broker
@@ -90,17 +97,25 @@ func (c *dedupCache) put(id string, e dedupEntry) {
 type boundMethod struct {
 	fn       reflect.Value
 	argTypes []reflect.Type
+	// wantsCtx is true when the method's first parameter is a
+	// context.Context; the dispatcher supplies one carrying the request's
+	// trace context.
+	wantsCtx bool
 	// hasReply is true when the method returns a value besides error.
 	hasReply bool
 	// hasErr is true when the method's last return value is an error.
 	hasErr bool
 }
 
-var errType = reflect.TypeOf((*error)(nil)).Elem()
+var (
+	errType = reflect.TypeOf((*error)(nil)).Elem()
+	ctxType = reflect.TypeOf((*context.Context)(nil)).Elem()
+)
 
 // methodTable builds the dispatch table from the exported methods of impl.
 // Supported shapes: func(args...) | func(args...) error |
-// func(args...) T | func(args...) (T, error).
+// func(args...) T | func(args...) (T, error); each may additionally take a
+// context.Context as its first parameter (not counted as a call argument).
 func methodTable(impl interface{}) (map[string]boundMethod, error) {
 	v := reflect.ValueOf(impl)
 	if !v.IsValid() {
@@ -115,7 +130,12 @@ func methodTable(impl interface{}) (map[string]boundMethod, error) {
 		m := t.Method(i)
 		mt := m.Type
 		bm := boundMethod{fn: v.Method(i)}
-		for a := 1; a < mt.NumIn(); a++ { // skip receiver
+		first := 1 // skip receiver
+		if mt.NumIn() > 1 && mt.In(1) == ctxType {
+			bm.wantsCtx = true
+			first = 2
+		}
+		for a := first; a < mt.NumIn(); a++ {
 			bm.argTypes = append(bm.argTypes, mt.In(a))
 		}
 		switch mt.NumOut() {
@@ -190,15 +210,35 @@ func (bo *BoundObject) handle(d mq.Delivery) {
 	// commit replay, covers.)
 	if !req.OneWay && req.RequestID != "" {
 		if e, ok := bo.dedup.get(req.RequestID); ok {
+			bo.dedupHits.Inc()
 			bo.reply(req, e.result, e.errMsg)
 			_ = d.Ack()
 			return
 		}
 	}
 
+	// Trace the receiving side of the hop: the sender's span context rode in
+	// on the message headers. Queue dwell is reconstructed from the publish
+	// timestamp; the handler execution span wraps invoke, and its context is
+	// handed to context-aware methods so they can record deeper spans.
+	ctx := context.Background()
+	var handleSpan *obs.SpanHandle
+	if tr := bo.broker.tracer; tr != nil {
+		if ptc, ok := obs.ExtractTraceContext(d.Headers); ok {
+			if ns, err := strconv.ParseInt(d.Headers[obs.HeaderPublishNanos], 10, 64); err == nil {
+				tr.RecordChild(ptc, "mq.dwell", time.Unix(0, ns), bo.broker.now())
+			}
+			handleSpan = tr.StartChild(ptc, "omq.handle."+req.Method)
+			ctx = obs.ContextWith(ctx, handleSpan.Context())
+		}
+	}
+
 	start := bo.broker.now()
-	result, callErr, permanent := bo.invoke(req)
-	bo.recordServiceTime(bo.broker.now().Sub(start))
+	result, callErr, permanent := bo.invoke(ctx, req)
+	elapsed := bo.broker.now().Sub(start)
+	bo.recordServiceTime(elapsed)
+	bo.handleHist.ObserveDuration(elapsed)
+	handleSpan.End()
 
 	if req.OneWay {
 		// @AsyncMethod produces no response even on error (§3.2), but a
@@ -214,6 +254,7 @@ func (bo *BoundObject) handle(d mq.Delivery) {
 			bo.mu.Lock()
 			bo.dropped++
 			bo.mu.Unlock()
+			bo.droppedTotal.Inc()
 		}
 		_ = d.Ack()
 		return
@@ -269,7 +310,7 @@ func (bo *BoundObject) Dropped() uint64 {
 // invoke dispatches req. permanent reports that the failure is structural
 // (unknown method, arity or codec mismatch) — retrying the identical request
 // can never succeed, unlike a handler error, which may be transient.
-func (bo *BoundObject) invoke(req *request) (result []byte, err error, permanent bool) {
+func (bo *BoundObject) invoke(ctx context.Context, req *request) (result []byte, err error, permanent bool) {
 	bm, ok := bo.methods[req.Method]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoMethod, req.Method), true
@@ -281,13 +322,16 @@ func (bo *BoundObject) invoke(req *request) (result []byte, err error, permanent
 	if err != nil {
 		return nil, err, true
 	}
-	in := make([]reflect.Value, len(bm.argTypes))
+	in := make([]reflect.Value, 0, len(bm.argTypes)+1)
+	if bm.wantsCtx {
+		in = append(in, reflect.ValueOf(ctx))
+	}
 	for i, at := range bm.argTypes {
 		pv := reflect.New(at)
 		if err := codec.Unmarshal(req.Args[i], pv.Interface()); err != nil {
 			return nil, fmt.Errorf("omq: decode arg %d of %s: %w", i, req.Method, err), true
 		}
-		in[i] = pv.Elem()
+		in = append(in, pv.Elem())
 	}
 	out := bm.fn.Call(in)
 	if bm.hasErr {

@@ -1,10 +1,19 @@
 #!/bin/sh
-# check.sh — the CI gate. Build, vet, then the full test suite under the
-# race detector. The chaos soak is skipped under -short; CI runs it here
-# (race-enabled) because the harness's value is precisely its concurrency.
+# check.sh — the CI gate. Formatting, build, vet, then the full test suite
+# under the race detector. The chaos soak is skipped under -short; CI runs it
+# here (race-enabled) because the harness's value is precisely its
+# concurrency.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> gofmt -l"
+unformatted=$(gofmt -l ./cmd ./internal)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
