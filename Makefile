@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos experiments trace-demo
+.PHONY: build test race vet check chaos experiments trace-demo elastic-demo benchsnap
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,14 @@ experiments:
 ## breakdown, and the metrics registry after the commit.
 trace-demo:
 	$(GO) run ./cmd/experiments -run trace
+
+## elastic-demo replays the Fig. 8 day-8 workload through the instrumented
+## provisioning stack and prints the over/under-provisioning summary derived
+## from scraped time series. Add -admin to inspect /elasticz live.
+elastic-demo:
+	$(GO) run ./cmd/experiments -run elastic-demo -quick
+
+## benchsnap runs the Fig. 7 microbenchmarks once and writes the results to
+## the next free BENCH_<n>.json at the repo root for cross-commit comparison.
+benchsnap:
+	./scripts/benchsnap.sh

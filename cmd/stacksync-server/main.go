@@ -92,17 +92,24 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		log.Printf("storage gateway listening on %s", storageListen)
 	}
 
-	// Observability: with -admin set, every broker shares one registry and
-	// one tracer so /metrics and /tracez see the whole node.
+	// Observability: with -admin set, every broker shares one registry, one
+	// tracer and one flight recorder so /metrics, /tracez and /eventz see the
+	// whole node, and a scraper samples the registry into time series for
+	// /varz.
 	var (
 		tracer   *obs.Tracer
 		registry *obs.Registry
+		events   *obs.EventLog
+		scraper  *obs.Scraper
 		obsOpts  []omq.BrokerOption
 	)
 	if admin != "" {
 		tracer = obs.NewTracer()
 		registry = obs.NewRegistry()
-		obsOpts = []omq.BrokerOption{omq.WithTracer(tracer), omq.WithRegistry(registry)}
+		events = obs.NewEventLog(obs.DefaultEventLogCapacity)
+		scraper = obs.StartScraper(registry, obs.ScraperConfig{})
+		defer scraper.Stop()
+		obsOpts = []omq.BrokerOption{omq.WithTracer(tracer), omq.WithRegistry(registry), omq.WithEventLog(events)}
 	}
 
 	// SyncService pool managed by a Supervisor with a reactive policy.
@@ -133,12 +140,16 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		return err
 	}
 	defer supBroker.Close()
+	reactive := provision.NewReactive(provision.DefaultSLA(), 0, 0, nil)
+	if events != nil {
+		reactive.SetEventLog(events)
+	}
 	sup, err := omq.StartSupervisor(supBroker, omq.SupervisorConfig{
 		OID:          core.ServiceOID,
 		CheckEvery:   time.Second,
 		MinInstances: minInstances,
 		MaxInstances: maxInstances,
-		Provisioner:  provision.NewReactive(provision.DefaultSLA(), 0, 0, nil),
+		Provisioner:  reactive,
 	})
 	if err != nil {
 		return err
@@ -149,6 +160,27 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		adminSrv, err := (&obs.Admin{
 			Registry: registry,
 			Tracer:   tracer,
+			Scraper:  scraper,
+			Events:   events,
+			Elastic: func() obs.ElasticStatus {
+				var st obs.ElasticStatus
+				if s, err := broker.QueueStats(core.ServiceOID); err == nil {
+					instances := rb.InstanceCount(core.ServiceOID)
+					eta := instances
+					if eta < 1 {
+						eta = 1
+					}
+					svc := provision.DefaultSLA().S.Seconds()
+					st.Queues = append(st.Queues, obs.QueueLoad{
+						Queue:       core.ServiceOID,
+						Lambda:      s.ArrivalRate,
+						ServiceTime: svc,
+						Instances:   instances,
+						Rho:         s.ArrivalRate * svc / float64(eta),
+					})
+				}
+				return st
+			},
 			Health: func() obs.Health {
 				instances := rb.InstanceCount(core.ServiceOID)
 				h := obs.Health{OK: instances >= minInstances, Components: []obs.ComponentHealth{
@@ -179,7 +211,7 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 			return err
 		}
 		defer adminSrv.Close()
-		log.Printf("admin endpoint on http://%s (/metrics /healthz /tracez /queuesz)", adminSrv.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics /healthz /tracez /queuesz /varz /eventz /elasticz /debug/pprof)", adminSrv.Addr())
 	}
 
 	fmt.Printf("stacksync-server up: workspace=%q users=%v service pool %d..%d\n",

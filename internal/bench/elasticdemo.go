@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"stacksync/internal/obs"
+	"stacksync/internal/provision"
+	"stacksync/internal/trace"
+)
+
+// The elastic-demo experiment closes the observability loop: the Fig. 8
+// day-8 replay runs with the full telemetry stack attached — per-second
+// elasticity gauges scraped into time series, SLO counters, a response-time
+// histogram, and the provisioning flight recorder — and the paper-style
+// over/under-provisioning summary at the end is computed *from the scraped
+// series*, not from the simulator's private state. The admin surface
+// (/varz, /elasticz, /eventz) shows the same data live while the replay runs.
+
+// SimObs bundles the telemetry a replay publishes into: a private registry
+// with gauges for the elasticity loop (sim_lambda_obs, sim_lambda_pred,
+// sim_instances), a response histogram and SLO tracker, a Scraper ticked at
+// simulated instants, and the flight-recorder EventLog every provisioning
+// decision lands in.
+type SimObs struct {
+	Registry *obs.Registry
+	Events   *obs.EventLog
+	Scraper  *obs.Scraper
+	SLO      *obs.SLOTracker
+
+	gObs  *obs.Gauge
+	gPred *obs.Gauge
+	gInst *obs.Gauge
+	hResp *obs.Histogram
+
+	mu       sync.Mutex
+	combined *provision.Combined
+	lastTick time.Time
+	haveTick bool
+}
+
+// Elasticity series keys published by an instrumented replay.
+const (
+	SimLambdaObsSeries  = "sim_lambda_obs"
+	SimLambdaPredSeries = "sim_lambda_pred"
+	SimInstancesSeries  = "sim_instances"
+	SimResponseSeries   = "sim_response_seconds"
+	SimSLOName          = "sync-latency"
+)
+
+// NewSimObs builds the telemetry bundle for an instrumented replay. The
+// scraper samples every 5 simulated seconds; the raw ring covers an hour and
+// a 24× downsampled ring extends history across the full simulated day.
+func NewSimObs(sla provision.SLA) *SimObs {
+	reg := obs.NewRegistry()
+	o := &SimObs{
+		Registry: reg,
+		Events:   obs.NewEventLog(obs.DefaultEventLogCapacity),
+		Scraper: obs.NewScraper(reg, obs.ScraperConfig{
+			Interval:   5 * time.Second,
+			Retention:  720,
+			Downsample: 24,
+		}),
+		SLO: obs.NewSLOTracker(reg, obs.SLOConfig{
+			Name:      SimSLOName,
+			Target:    sla.D,
+			Objective: 0.99,
+		}),
+		gObs:  reg.Gauge(SimLambdaObsSeries),
+		gPred: reg.Gauge(SimLambdaPredSeries),
+		gInst: reg.Gauge(SimInstancesSeries),
+		hResp: reg.Histogram(SimResponseSeries),
+	}
+	return o
+}
+
+// setCombined exposes the live provisioner to concurrent /elasticz readers.
+func (o *SimObs) setCombined(c *provision.Combined) {
+	o.mu.Lock()
+	o.combined = c
+	o.mu.Unlock()
+}
+
+// Combined returns the provisioner of the run in progress (nil before one
+// started).
+func (o *SimObs) Combined() *provision.Combined {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.combined
+}
+
+// observeResponse records one response time (seconds) into the histogram and
+// the SLO counters.
+func (o *SimObs) observeResponse(sec float64) {
+	o.hResp.Observe(sec)
+	o.SLO.ObserveSeconds(sec)
+}
+
+// observeSecond publishes the per-second elasticity state and ticks the
+// scraper whenever a full sampling interval of simulated time has elapsed.
+func (o *SimObs) observeSecond(now time.Time, observed, predicted float64, instances int) {
+	o.gObs.Set(observed)
+	o.gPred.Set(predicted)
+	o.gInst.Set(float64(instances))
+	o.mu.Lock()
+	due := !o.haveTick || now.Sub(o.lastTick) >= o.Scraper.Interval()
+	if due {
+		o.lastTick = now
+		o.haveTick = true
+	}
+	o.mu.Unlock()
+	if due {
+		o.Scraper.Tick(now)
+	}
+}
+
+// finalTick takes one last sample so cumulative counters are fully flushed
+// into the scraped history.
+func (o *SimObs) finalTick(now time.Time) {
+	o.mu.Lock()
+	o.lastTick = now
+	o.haveTick = true
+	o.mu.Unlock()
+	o.Scraper.Tick(now)
+}
+
+// ElasticStatus converts the current provisioning state into the obs-level
+// introspection document served on /elasticz.
+func (o *SimObs) ElasticStatus(sla provision.SLA) obs.ElasticStatus {
+	var st obs.ElasticStatus
+	if c := o.Combined(); c != nil {
+		for _, d := range c.Decisions() {
+			st.Decisions = append(st.Decisions, obs.ElasticDecision{
+				Time:        d.Time,
+				Trigger:     d.Trigger,
+				Observed:    d.Observed,
+				Predicted:   d.Predicted,
+				ServiceTime: d.ServiceTime,
+				Rho:         d.Rho,
+				Current:     d.Current,
+				Target:      d.Instances,
+			})
+		}
+	}
+	lam, okL := o.Scraper.Latest(SimLambdaObsSeries)
+	inst, okI := o.Scraper.Latest(SimInstancesSeries)
+	if okL || okI {
+		eta := inst.V
+		if eta < 1 {
+			eta = 1
+		}
+		st.Queues = append(st.Queues, obs.QueueLoad{
+			Queue:       "syncservice",
+			Lambda:      lam.V,
+			ServiceTime: sla.S.Seconds(),
+			Instances:   int(inst.V),
+			Rho:         lam.V * sla.S.Seconds() / eta,
+		})
+	}
+	return st
+}
+
+// ElasticDemo wires an instrumented day-8 replay to the admin surface.
+type ElasticDemo struct {
+	Obs *SimObs
+	cfg SimConfig
+
+	mu  sync.Mutex
+	res *SimResult
+}
+
+// NewElasticDemo prepares the demo: the UB1 week seeds the predictor and
+// day 8 (or its hour-20 slice when quick) is replayed under the combined
+// policy with full telemetry attached.
+func NewElasticDemo(seed int64, quick bool) *ElasticDemo {
+	if seed == 0 {
+		seed = 1
+	}
+	sla := provision.DefaultSLA()
+	week, day8 := trace.UB1WeekAndDay8(seed)
+	workload := day8
+	if quick {
+		workload = day8.HourSlice(20)
+	}
+	o := NewSimObs(sla)
+	return &ElasticDemo{
+		Obs: o,
+		cfg: SimConfig{
+			SLA:      sla,
+			Policy:   PolicyCombined,
+			History:  week,
+			Workload: workload,
+			Seed:     seed,
+			Obs:      o,
+		},
+	}
+}
+
+// AttachAdmin points an admin server at the demo's telemetry: its registry,
+// scraper and event log back /metrics, /varz and /eventz, and /elasticz
+// serves the provisioner's live decision history.
+func (d *ElasticDemo) AttachAdmin(a *obs.Admin) {
+	a.Registry = d.Obs.Registry
+	a.Scraper = d.Obs.Scraper
+	a.Events = d.Obs.Events
+	a.Elastic = func() obs.ElasticStatus { return d.Obs.ElasticStatus(d.cfg.SLA) }
+}
+
+// Result returns the finished replay (nil while running).
+func (d *ElasticDemo) Result() *SimResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.res
+}
+
+// Run replays the workload and prints the paper-style elasticity summary
+// computed from the scraped time series.
+func (d *ElasticDemo) Run(w io.Writer) *SimResult {
+	fmt.Fprintf(w, "elastic-demo — instrumented day-8 replay (%s, seed %d)\n",
+		d.cfg.Workload.Duration(), d.cfg.Seed)
+	res := RunAutoScaleSim(d.cfg)
+	d.mu.Lock()
+	d.res = res
+	d.mu.Unlock()
+	d.printSummary(w, res)
+	return res
+}
+
+// printSummary derives the evaluation tables from telemetry, the way the
+// paper reads Fig. 8: provisioning adequacy from the scraped instance and
+// arrival-rate series, latency from the scraped histogram, SLO attainment
+// from the scraped counters — cross-checked against the simulator's exact
+// recorder.
+func (d *ElasticDemo) printSummary(w io.Writer, res *SimResult) {
+	sla := d.cfg.SLA
+	sc := d.Obs.Scraper
+
+	// Provisioning adequacy: at every scraped sample compare the fleet with
+	// η = ⌈λ_obs/δ⌉, the paper's equation (2) target for the observed rate.
+	window := d.cfg.Workload.Duration() + time.Minute
+	lam := sc.Window(SimLambdaObsSeries, window)
+	inst := sc.Window(SimInstancesSeries, window)
+	n := len(lam)
+	if len(inst) < n {
+		n = len(inst)
+	}
+	over, under, exact := 0, 0, 0
+	for i := 0; i < n; i++ {
+		needed := provision.InstancesForRate(sla, lam[i].V)
+		switch {
+		case int(inst[i].V) > needed:
+			over++
+		case int(inst[i].V) < needed:
+			under++
+		default:
+			exact++
+		}
+	}
+	fmt.Fprintf(w, "\nprovisioning adequacy (from %d scraped samples, %s apart):\n",
+		n, sc.Interval())
+	if n > 0 {
+		fmt.Fprintf(w, "  matched η=⌈λ/δ⌉: %5.1f%%   over-provisioned: %5.1f%%   under-provisioned: %5.1f%%\n",
+			100*float64(exact)/float64(n), 100*float64(over)/float64(n), 100*float64(under)/float64(n))
+	}
+
+	// Latency: windowed quantiles from the scraped histogram next to the
+	// simulator's exact recorder.
+	if p95, ok := sc.WindowQuantile(SimResponseSeries, window, 0.95); ok {
+		fmt.Fprintf(w, "\nresponse time p95: %.1f ms scraped vs %.1f ms exact (SLA %.0f ms)\n",
+			p95*1000, res.Responses.Percentile(0.95)*1000, sla.D.Seconds()*1000)
+	}
+
+	// SLO attainment: cumulative counters from the scraped history against
+	// the exact per-response violation count.
+	scraped := d.ScrapedAttainment()
+	fmt.Fprintf(w, "SLO %q (≤%s, objective %.0f%%): attainment %.4f scraped vs %.4f exact, burn rate %.2f\n",
+		SimSLOName, sla.D, 100*d.Obs.SLO.Config().Objective,
+		scraped, ExactAttainment(res), d.Obs.SLO.BurnRate())
+
+	// Decision and event tallies from the flight recorder.
+	byTrigger := map[string]int{}
+	for _, dec := range res.Decisions {
+		byTrigger[dec.Trigger]++
+	}
+	fmt.Fprintf(w, "\nprovisioning decisions: %d predictive, %d reactive (decision trace %d entries)\n",
+		byTrigger["predictive"], byTrigger["reactive"], len(res.Decisions))
+	fmt.Fprintf(w, "flight recorder: %d events appended, %d retained, %d dropped\n",
+		d.Obs.Events.Seq(), d.Obs.Events.Len(), d.Obs.Events.Dropped())
+}
+
+// ScrapedAttainment computes the SLO attainment from the newest scraped
+// samples of the tracker's counters — the telemetry-derived number the
+// acceptance test compares against the exact recorder.
+func (d *ElasticDemo) ScrapedAttainment() float64 {
+	good, okG := d.Obs.Scraper.Latest(d.Obs.SLO.GoodKey())
+	total, okT := d.Obs.Scraper.Latest(d.Obs.SLO.TotalKey())
+	if !okG || !okT || total.V <= 0 {
+		return 1
+	}
+	return good.V / total.V
+}
+
+// ExactAttainment is the ground-truth SLO attainment from the simulator's
+// per-response accounting.
+func ExactAttainment(res *SimResult) float64 {
+	total := res.Responses.Count()
+	if total == 0 {
+		return 1
+	}
+	bad := 0
+	for _, m := range res.Minutes {
+		bad += m.Violations
+	}
+	return float64(total-bad) / float64(total)
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"stacksync/internal/obs"
+)
+
+// TestElasticDemoAdminMatchesProvisioner is the acceptance check: the
+// decision history served on /elasticz must match Combined.Decisions()
+// exactly, and the SLO attainment derived from scraped time series must agree
+// with the simulator's exact per-response accounting.
+func TestElasticDemoAdminMatchesProvisioner(t *testing.T) {
+	demo := NewElasticDemo(1, true)
+	adm := &obs.Admin{}
+	demo.AttachAdmin(adm)
+	srv := httptest.NewServer(adm.Handler())
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	res := demo.Run(&buf)
+	if res.Provisioner == nil {
+		t.Fatal("SimResult.Provisioner not set")
+	}
+
+	resp, err := http.Get(srv.URL + "/elasticz?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st obs.ElasticStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decode /elasticz: %v", err)
+	}
+
+	want := res.Provisioner.Decisions()
+	if len(want) == 0 {
+		t.Fatal("no provisioning decisions recorded")
+	}
+	if len(st.Decisions) != len(want) {
+		t.Fatalf("/elasticz has %d decisions, provisioner has %d", len(st.Decisions), len(want))
+	}
+	for i, d := range want {
+		g := st.Decisions[i]
+		if !g.Time.Equal(d.Time) || g.Trigger != d.Trigger ||
+			g.Observed != d.Observed || g.Predicted != d.Predicted ||
+			g.ServiceTime != d.ServiceTime || g.Rho != d.Rho ||
+			g.Current != d.Current || g.Target != d.Instances {
+			t.Fatalf("decision %d mismatch:\n got %+v\nwant %+v", i, g, d)
+		}
+	}
+	if len(st.Queues) != 1 || st.Queues[0].Queue != "syncservice" {
+		t.Fatalf("queue load = %+v", st.Queues)
+	}
+
+	// SLO attainment: scraped counters vs the exact recorder, within
+	// reservoir-sampling tolerance (the counters themselves are exact, so
+	// the bound is tight).
+	scraped := demo.ScrapedAttainment()
+	exact := ExactAttainment(res)
+	if math.Abs(scraped-exact) > 0.01 {
+		t.Fatalf("scraped attainment %v vs exact %v, diff > 0.01", scraped, exact)
+	}
+
+	// Windowed p95 from the scraped histogram should land near the exact
+	// recorder value (bucket-midpoint resolution bounds the error).
+	window := demo.cfg.Workload.Duration() + time.Minute
+	p95, ok := demo.Obs.Scraper.WindowQuantile(SimResponseSeries, window, 0.95)
+	if !ok {
+		t.Fatal("no scraped p95")
+	}
+	exactP95 := res.Responses.Percentile(0.95)
+	if p95 < exactP95/3 || p95 > exactP95*3 {
+		t.Fatalf("scraped p95 %v vs exact %v: outside 3x tolerance", p95, exactP95)
+	}
+
+	// The telemetry surfaces are populated end to end.
+	if demo.Obs.Events.Len() == 0 {
+		t.Fatal("flight recorder empty after run")
+	}
+	for _, key := range []string{SimLambdaObsSeries, SimLambdaPredSeries, SimInstancesSeries} {
+		if !demo.Obs.Scraper.HasSeries(key) {
+			t.Fatalf("series %s not scraped", key)
+		}
+	}
+	if !demo.Obs.Scraper.HasHistogram(SimResponseSeries) {
+		t.Fatal("response histogram not scraped")
+	}
+
+	// /varz serves the demo's series over the same admin mux.
+	resp, err = http.Get(srv.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte(SimInstancesSeries)) {
+		t.Fatalf("/varz inventory missing %s: %s", SimInstancesSeries, body)
+	}
+	// /eventz shows the provisioning decisions the run appended.
+	resp, err = http.Get(srv.URL + "/eventz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte("provision.decision")) {
+		t.Fatalf("/eventz missing decisions: %s", body)
+	}
+}

@@ -119,6 +119,10 @@ type Config struct {
 	// registry readable via Plan.Registry(); pass a shared one to fold the
 	// counts into a run-wide /metrics surface.
 	Registry *obs.Registry
+	// Events, when set, receives every fired injection as an
+	// obs.EventFaultInjected flight-recorder entry, interleaving faults with
+	// provisioning decisions and supervisor actions on /eventz.
+	Events *obs.EventLog
 }
 
 // Event is one recorded injection, for observability and post-run asserts.
@@ -132,9 +136,10 @@ type Event struct {
 // Plan is a seeded, deterministic fault plan shared by all injectors of a
 // run. Safe for concurrent use.
 type Plan struct {
-	seed  int64
-	sites map[string]SiteConfig
-	reg   *obs.Registry
+	seed   int64
+	sites  map[string]SiteConfig
+	reg    *obs.Registry
+	flight *obs.EventLog
 
 	mu     sync.Mutex
 	start  time.Time
@@ -152,9 +157,10 @@ func NewPlan(cfg Config) *Plan {
 		reg = obs.NewRegistry()
 	}
 	return &Plan{
-		seed:  cfg.Seed,
-		sites: sites,
-		reg:   reg,
+		seed:   cfg.Seed,
+		sites:  sites,
+		reg:    reg,
+		flight: cfg.Events,
 	}
 }
 
@@ -266,6 +272,13 @@ func (p *Plan) Note(site, key string, kind Kind, now time.Time) {
 	p.events = append(p.events, Event{Site: site, Key: key, Kind: kind, At: at})
 	p.mu.Unlock()
 	p.reg.Counter("faults_injected_total", "site", site, "kind", kind.String()).Inc()
+	p.flight.Append(obs.Event{
+		At:      now,
+		Kind:    obs.EventFaultInjected,
+		Source:  site,
+		Summary: fmt.Sprintf("%s at %s (key %s, +%s)", kind, site, key, at),
+		Fields:  map[string]string{"site": site, "key": key, "kind": kind.String()},
+	})
 }
 
 // Events returns a copy of all recorded injections.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"time"
@@ -37,9 +38,11 @@ type Health struct {
 	Components []ComponentHealth `json:"components,omitempty"`
 }
 
-// Admin is the introspection surface: /metrics, /healthz, /tracez and
-// /queuesz. Provider funcs are optional; missing ones degrade to empty
-// responses so partial wiring still serves.
+// Admin is the introspection surface: /metrics, /healthz, /tracez, /queuesz,
+// /varz (scraped time series), /elasticz (provisioning decision history and
+// queue load), /eventz (flight-recorder tail) and /debug/pprof. Provider
+// fields are optional; missing ones degrade to empty responses so partial
+// wiring still serves.
 type Admin struct {
 	// Registry backs /metrics.
 	Registry *Registry
@@ -49,15 +52,30 @@ type Admin struct {
 	Health func() Health
 	// Queues lists per-queue stats for /queuesz.
 	Queues func() []QueueInfo
+	// Scraper backs /varz with windowed time series.
+	Scraper *Scraper
+	// Events backs /eventz with the flight-recorder tail.
+	Events *EventLog
+	// Elastic assembles the /elasticz report.
+	Elastic func() ElasticStatus
 }
 
-// Handler returns the HTTP handler serving the four admin endpoints.
+// Handler returns the HTTP handler serving the admin endpoints, including
+// the net/http/pprof profiling surface under /debug/pprof/.
 func (a *Admin) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.serveMetrics)
 	mux.HandleFunc("/healthz", a.serveHealthz)
 	mux.HandleFunc("/tracez", a.serveTracez)
 	mux.HandleFunc("/queuesz", a.serveQueuesz)
+	mux.HandleFunc("/varz", a.serveVarz)
+	mux.HandleFunc("/eventz", a.serveEventz)
+	mux.HandleFunc("/elasticz", a.serveElasticz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -144,8 +162,11 @@ type AdminServer struct {
 }
 
 // Serve starts the admin endpoint on addr (e.g. "127.0.0.1:7072"; port 0
-// picks a free port). It returns once the listener is bound.
+// picks a free port). It returns once the listener is bound. Runtime
+// self-telemetry gauges (goroutines, heap, GC pause) are registered in the
+// registry, so every admin-enabled binary exports them.
 func (a *Admin) Serve(addr string) (*AdminServer, error) {
+	RegisterRuntimeMetrics(a.Registry)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)

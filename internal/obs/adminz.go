@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The /varz, /eventz and /elasticz handlers: the elasticity-telemetry half of
+// the admin surface, serving scraped time series, the flight-recorder tail
+// and the provisioning decision history the paper's Fig. 8 evaluation reads.
+
+// ElasticDecision is the transport-agnostic mirror of one provisioning
+// decision for /elasticz. internal/provision adapts its Decision onto it in
+// the binaries, keeping obs at the bottom of the import graph.
+type ElasticDecision struct {
+	Time time.Time `json:"time"`
+	// Trigger is "predictive", "reactive" or "none".
+	Trigger string `json:"trigger"`
+	// Observed and Predicted are λ_obs and λ_pred in requests/second.
+	Observed  float64 `json:"observed"`
+	Predicted float64 `json:"predicted"`
+	// ServiceTime is the S the decision used, in seconds.
+	ServiceTime float64 `json:"serviceTimeSec"`
+	// Rho is the per-instance utilization ρ = λ·S/η at decision time.
+	Rho float64 `json:"rho"`
+	// Current and Target are the fleet sizes before and after the decision.
+	Current int `json:"current"`
+	Target  int `json:"target"`
+}
+
+// QueueLoad is the current utilization of one managed queue for /elasticz.
+type QueueLoad struct {
+	Queue string `json:"queue"`
+	// Lambda is the observed arrival rate (req/s).
+	Lambda float64 `json:"lambda"`
+	// ServiceTime is the mean service time S in seconds.
+	ServiceTime float64 `json:"serviceTimeSec"`
+	// Instances is the current fleet size η.
+	Instances int `json:"instances"`
+	// Rho is λ·S/η (per-instance utilization; λ·S when η is 0).
+	Rho float64 `json:"rho"`
+}
+
+// ElasticStatus is the /elasticz payload.
+type ElasticStatus struct {
+	Decisions []ElasticDecision `json:"decisions"`
+	Queues    []QueueLoad       `json:"queues,omitempty"`
+}
+
+// varzSeries is one series of a /varz response.
+type varzSeries struct {
+	Series string   `json:"series"`
+	Points []Sample `json:"points"`
+}
+
+// serveVarz serves scraped time series as JSON.
+//
+//	/varz                                  → series inventory
+//	/varz?series=a,b&window=10m            → sample points per series
+//	/varz?series=a&window=10m&rate=1       → windowed counter rate (per second)
+//	/varz?series=h&window=10m&quantile=0.95 → windowed histogram quantile
+func (a *Admin) serveVarz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if a.Scraper == nil {
+		http.Error(w, `{"error":"no scraper configured"}`, http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	names := q.Get("series")
+	if names == "" {
+		_ = enc.Encode(struct {
+			Interval   string   `json:"interval"`
+			Ticks      uint64   `json:"ticks"`
+			Series     []string `json:"series"`
+			Histograms []string `json:"histograms"`
+		}{
+			Interval:   a.Scraper.Interval().String(),
+			Ticks:      a.Scraper.Ticks(),
+			Series:     a.Scraper.SeriesNames(),
+			Histograms: a.Scraper.HistogramNames(),
+		})
+		return
+	}
+	window := time.Hour
+	if v := q.Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			http.Error(w, `{"error":"bad window"}`, http.StatusBadRequest)
+			return
+		}
+		window = d
+	}
+	if v := q.Get("quantile"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 || p > 1 {
+			http.Error(w, `{"error":"bad quantile"}`, http.StatusBadRequest)
+			return
+		}
+		key := strings.Split(names, ",")[0]
+		val, ok := a.Scraper.WindowQuantile(key, window, p)
+		_ = enc.Encode(struct {
+			Series   string  `json:"series"`
+			Window   string  `json:"window"`
+			Quantile float64 `json:"quantile"`
+			Value    float64 `json:"value"`
+			OK       bool    `json:"ok"`
+		}{key, window.String(), p, val, ok})
+		return
+	}
+	if q.Get("rate") != "" {
+		key := strings.Split(names, ",")[0]
+		rate, ok := a.Scraper.Rate(key, window)
+		_ = enc.Encode(struct {
+			Series     string  `json:"series"`
+			Window     string  `json:"window"`
+			RatePerSec float64 `json:"ratePerSec"`
+			OK         bool    `json:"ok"`
+		}{key, window.String(), rate, ok})
+		return
+	}
+	out := make([]varzSeries, 0, 4)
+	for _, key := range strings.Split(names, ",") {
+		key = strings.TrimSpace(key)
+		if key == "" {
+			continue
+		}
+		out = append(out, varzSeries{Series: key, Points: a.Scraper.Window(key, window)})
+	}
+	_ = enc.Encode(out)
+}
+
+// serveEventz serves the flight-recorder tail; ?n= bounds it (default 50)
+// and ?format=json switches to JSON.
+func (a *Admin) serveEventz(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	events := a.Events.Tail(n)
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(events)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if a.Events == nil {
+		fmt.Fprintln(w, "eventz: no flight recorder configured")
+		return
+	}
+	fmt.Fprintf(w, "eventz: %d retained, %d dropped, last seq %d\n\n",
+		a.Events.Len(), a.Events.Dropped(), a.Events.Seq())
+	for _, e := range events {
+		fmt.Fprintf(w, "%6d  %s  %-20s %-14s %s\n",
+			e.Seq, e.At.Format("15:04:05.000"), e.Kind, e.Source, e.Summary)
+	}
+}
+
+// serveElasticz serves the provisioning decision history (the
+// forecast-vs-measured table of Fig. 8c) and the current per-queue load.
+// ?format=json returns the raw ElasticStatus; ?n= bounds the history tail in
+// text mode (default 40).
+func (a *Admin) serveElasticz(w http.ResponseWriter, r *http.Request) {
+	var st ElasticStatus
+	if a.Elastic != nil {
+		st = a.Elastic()
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st)
+		return
+	}
+	n := 40
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "elasticz: %d provisioning decisions\n\n", len(st.Decisions))
+	decisions := st.Decisions
+	if len(decisions) > n {
+		decisions = decisions[len(decisions)-n:]
+	}
+	fmt.Fprintf(w, "%-21s %-10s %10s %10s %8s %6s %11s\n",
+		"time", "trigger", "λ_obs/s", "λ_pred/s", "S (ms)", "ρ", "cur→target")
+	for _, d := range decisions {
+		fmt.Fprintf(w, "%-21s %-10s %10.2f %10.2f %8.1f %6.2f %5d→%d\n",
+			d.Time.Format("2006-01-02 15:04:05"), d.Trigger,
+			d.Observed, d.Predicted, d.ServiceTime*1000, d.Rho, d.Current, d.Target)
+	}
+	if len(st.Queues) > 0 {
+		fmt.Fprintf(w, "\nqueue load (ρ = λ·S/η)\n")
+		fmt.Fprintf(w, "%-40s %10s %8s %10s %6s\n", "queue", "λ/s", "S (ms)", "instances", "ρ")
+		for _, ql := range st.Queues {
+			fmt.Fprintf(w, "%-40s %10.2f %8.1f %10d %6.2f\n",
+				ql.Queue, ql.Lambda, ql.ServiceTime*1000, ql.Instances, ql.Rho)
+		}
+	}
+}

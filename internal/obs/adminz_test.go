@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTelemetryAdmin(t *testing.T) (*Admin, *Scraper, *EventLog) {
+	t.Helper()
+	reg := NewRegistry()
+	g := reg.Gauge("pool")
+	c := reg.Counter("ops_total")
+	s := NewScraper(reg, ScraperConfig{Interval: 5 * time.Second, Retention: 100})
+	for i := 0; i < 3; i++ {
+		g.Set(float64(i))
+		c.Add(10)
+		s.Tick(t0.Add(time.Duration(i) * 5 * time.Second))
+	}
+	l := NewEventLog(8)
+	l.Append(Event{At: t0, Kind: EventProvisionDecision, Source: "provision.combined", Summary: "predictive: 3 instances"})
+	l.Append(Event{At: t0.Add(time.Second), Kind: EventSupervisorScale, Source: "omq.supervisor", Summary: "sync: 1 → 3"})
+	a := &Admin{Registry: reg, Scraper: s, Events: l}
+	return a, s, l
+}
+
+func TestAdminVarz(t *testing.T) {
+	a, _, _ := newTelemetryAdmin(t)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/varz")
+	if code != 200 || !strings.Contains(body, `"pool"`) || !strings.Contains(body, `"ticks":3`) {
+		t.Fatalf("/varz inventory: %d %q", code, body)
+	}
+
+	code, body = get(t, srv, "/varz?series=pool&window=1m")
+	if code != 200 {
+		t.Fatalf("/varz?series: %d", code)
+	}
+	var out []struct {
+		Series string   `json:"series"`
+		Points []Sample `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("decode: %v (%q)", err, body)
+	}
+	if len(out) != 1 || out[0].Series != "pool" || len(out[0].Points) != 3 {
+		t.Fatalf("series payload: %+v", out)
+	}
+
+	// ops_total grows 10 per 5s → exactly 2/s.
+	code, body = get(t, srv, "/varz?series=ops_total&window=10s&rate=1")
+	if code != 200 || !strings.Contains(body, `"ratePerSec":2`) {
+		t.Fatalf("/varz rate: %d %q", code, body)
+	}
+
+	if code, _ := get(t, srv, "/varz?series=pool&window=bogus"); code != 400 {
+		t.Fatalf("bad window accepted: %d", code)
+	}
+	if code, _ := get(t, srv, "/varz?series=pool&quantile=7"); code != 400 {
+		t.Fatalf("bad quantile accepted: %d", code)
+	}
+
+	// No scraper wired → 404, not a panic.
+	bare := httptest.NewServer((&Admin{}).Handler())
+	defer bare.Close()
+	if code, _ := get(t, bare, "/varz"); code != 404 {
+		t.Fatalf("bare /varz: %d, want 404", code)
+	}
+}
+
+func TestAdminEventz(t *testing.T) {
+	a, _, l := newTelemetryAdmin(t)
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/eventz")
+	if code != 200 || !strings.Contains(body, "provision.decision") || !strings.Contains(body, "supervisor.scale") {
+		t.Fatalf("/eventz: %d %q", code, body)
+	}
+	code, body = get(t, srv, "/eventz?format=json&n=1")
+	if code != 200 {
+		t.Fatalf("/eventz json: %d", code)
+	}
+	var events []Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(events) != 1 || events[0].Seq != l.Seq() {
+		t.Fatalf("json tail = %+v, want newest seq %d", events, l.Seq())
+	}
+}
+
+func TestAdminElasticz(t *testing.T) {
+	a, _, _ := newTelemetryAdmin(t)
+	want := ElasticStatus{
+		Decisions: []ElasticDecision{
+			{Time: t0, Trigger: "predictive", Observed: 12.5, Predicted: 14, ServiceTime: 0.05, Rho: 0.62, Current: 1, Target: 3},
+			{Time: t0.Add(5 * time.Minute), Trigger: "reactive", Observed: 40, Predicted: 14, ServiceTime: 0.05, Rho: 2, Current: 3, Target: 8},
+		},
+		Queues: []QueueLoad{{Queue: "syncservice", Lambda: 40, ServiceTime: 0.05, Instances: 8, Rho: 0.25}},
+	}
+	a.Elastic = func() ElasticStatus { return want }
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/elasticz?format=json")
+	if code != 200 {
+		t.Fatalf("/elasticz json: %d", code)
+	}
+	var got ElasticStatus
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	code, body = get(t, srv, "/elasticz")
+	if code != 200 || !strings.Contains(body, "2 provisioning decisions") ||
+		!strings.Contains(body, "predictive") || !strings.Contains(body, "syncservice") {
+		t.Fatalf("/elasticz text: %d %q", code, body)
+	}
+}
+
+func TestAdminPprofAndRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	a := &Admin{Registry: reg}
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+
+	RegisterRuntimeMetrics(reg)
+	RegisterRuntimeMetrics(reg) // idempotent
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, name := range []string{"go_goroutines", "go_heap_bytes", "go_gc_pause_seconds"} {
+		if strings.Count(body, name) != 1 {
+			t.Fatalf("runtime gauge %s appears %d times in /metrics:\n%s", name, strings.Count(body, name), body)
+		}
+	}
+}

@@ -6,8 +6,9 @@
 // introspection-first design the paper's elasticity loop (§3.3) builds on,
 // extended from per-queue stats to every hop of a sync commit.
 //
-// The package is stdlib-only and sits at the bottom of the import graph so
-// that mq, omq, metastore, objstore, client and bench can all depend on it.
+// The package depends only on the stdlib plus the leaf-level clock and
+// metrics packages, and sits at the bottom of the import graph so that mq,
+// omq, metastore, objstore, client and bench can all depend on it.
 package obs
 
 import (
@@ -274,6 +275,56 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	return h
 }
 
+// SeriesKey renders the canonical exposition key of (name, labels) — the
+// identity the Scraper and /varz address series by.
+func SeriesKey(name string, labels ...string) string {
+	key, _ := seriesKey(name, labels)
+	return key
+}
+
+// VisitValues calls fn for every counter, gauge and gauge-func series with
+// its canonical key and current value. Gauge funcs are evaluated outside the
+// registry lock (they may themselves take locks).
+func (r *Registry) VisitValues(fn func(key string, v float64)) {
+	type kv struct {
+		key string
+		v   float64
+	}
+	r.mu.RLock()
+	vals := make([]kv, 0, len(r.counters)+len(r.gauges))
+	for key, c := range r.counters {
+		vals = append(vals, kv{key, float64(c.Value())})
+	}
+	for key, g := range r.gauges {
+		vals = append(vals, kv{key, g.Value()})
+	}
+	funcs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for key, f := range r.gaugeFuncs {
+		funcs[key] = f
+	}
+	r.mu.RUnlock()
+	for _, e := range vals {
+		fn(e.key, e.v)
+	}
+	for key, f := range funcs {
+		fn(key, f())
+	}
+}
+
+// VisitHistograms calls fn for every histogram series with its canonical key
+// and a consistent snapshot. Snapshots are taken outside the registry lock.
+func (r *Registry) VisitHistograms(fn func(key string, s HistogramSnapshot)) {
+	r.mu.RLock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for key, h := range r.hists {
+		hists[key] = h
+	}
+	r.mu.RUnlock()
+	for key, h := range hists {
+		fn(key, h.Snapshot())
+	}
+}
+
 // Unregister removes the series (of any kind) for name+labels.
 func (r *Registry) Unregister(name string, labels ...string) {
 	key, _ := seriesKey(name, labels)
@@ -375,12 +426,12 @@ func (r *Registry) WriteText(w io.Writer) {
 		var b strings.Builder
 		for i, bound := range s.Bounds {
 			fmt.Fprintf(&b, "%s %d\n",
-				renderKey(id.name+"_bucket", append([]string{"le", formatBound(bound)}, id.labels...)),
+				SeriesKey(id.name+"_bucket", append([]string{"le", formatBound(bound)}, id.labels...)...),
 				s.Buckets[i])
 		}
-		fmt.Fprintf(&b, "%s %d\n", renderKey(id.name+"_bucket", append([]string{"le", "+Inf"}, id.labels...)), s.Count)
-		fmt.Fprintf(&b, "%s %d\n", renderKey(id.name+"_count", id.labels), s.Count)
-		fmt.Fprintf(&b, "%s %g\n", renderKey(id.name+"_sum", id.labels), s.Sum)
+		fmt.Fprintf(&b, "%s %d\n", SeriesKey(id.name+"_bucket", append([]string{"le", "+Inf"}, id.labels...)...), s.Count)
+		fmt.Fprintf(&b, "%s %d\n", SeriesKey(id.name+"_count", id.labels...), s.Count)
+		fmt.Fprintf(&b, "%s %g\n", SeriesKey(id.name+"_sum", id.labels...), s.Sum)
 		lines = append(lines, line{key, b.String()})
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i].key < lines[j].key })
@@ -391,9 +442,4 @@ func (r *Registry) WriteText(w io.Writer) {
 
 func formatBound(b float64) string {
 	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
-}
-
-func renderKey(name string, labels []string) string {
-	key, _ := seriesKey(name, labels)
-	return key
 }

@@ -1,0 +1,30 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics registers the process self-telemetry gauge funcs —
+// go_goroutines, go_heap_bytes and go_gc_pause_seconds (the most recent GC
+// pause) — in reg. Gauge funcs are evaluated at scrape time only, so the
+// ReadMemStats cost is paid per scrape, not per request. Admin.Serve calls
+// this for every admin-enabled binary; it is idempotent.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("go_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("go_heap_bytes", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	reg.GaugeFunc("go_gc_pause_seconds", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.NumGC == 0 {
+			return 0
+		}
+		return float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+	})
+}

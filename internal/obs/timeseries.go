@@ -1,0 +1,483 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"stacksync/internal/clock"
+	"stacksync/internal/metrics"
+)
+
+// This file adds the time dimension to the registry: a Scraper samples every
+// registry series on a fixed interval (virtual-clock-driven in tests) into
+// per-series ring buffers, from which sliding-window derivations — counter
+// rates, windowed histogram quantiles, SLO attainment — are computed. The
+// paper's elasticity loop consumes instantaneous introspection (λ, S); the
+// scraper is what turns those instants into the history operators and the
+// Fig. 8 evaluation actually read.
+
+// Sample is one scraped point of a series.
+type Sample struct {
+	At time.Time `json:"at"`
+	V  float64   `json:"v"`
+}
+
+// series is a fixed-capacity ring of samples, oldest overwritten first.
+type series struct {
+	buf   []Sample
+	start int // index of the oldest sample
+	n     int
+}
+
+func newSeriesRing(capacity int) *series {
+	return &series{buf: make([]Sample, capacity)}
+}
+
+func (s *series) append(p Sample) {
+	if s.n < len(s.buf) {
+		s.buf[(s.start+s.n)%len(s.buf)] = p
+		s.n++
+		return
+	}
+	s.buf[s.start] = p
+	s.start = (s.start + 1) % len(s.buf)
+}
+
+// all returns the retained samples oldest first.
+func (s *series) all() []Sample {
+	out := make([]Sample, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(s.start+i)%len(s.buf)])
+	}
+	return out
+}
+
+// latest returns the newest sample.
+func (s *series) latest() (Sample, bool) {
+	if s.n == 0 {
+		return Sample{}, false
+	}
+	return s.buf[(s.start+s.n-1)%len(s.buf)], true
+}
+
+// histPoint is one scraped histogram snapshot.
+type histPoint struct {
+	at   time.Time
+	snap HistogramSnapshot
+}
+
+// histSeries is a fixed-capacity ring of histogram snapshots.
+type histSeries struct {
+	buf   []histPoint
+	start int
+	n     int
+}
+
+func newHistRing(capacity int) *histSeries {
+	return &histSeries{buf: make([]histPoint, capacity)}
+}
+
+func (s *histSeries) append(p histPoint) {
+	if s.n < len(s.buf) {
+		s.buf[(s.start+s.n)%len(s.buf)] = p
+		s.n++
+		return
+	}
+	s.buf[s.start] = p
+	s.start = (s.start + 1) % len(s.buf)
+}
+
+func (s *histSeries) at(i int) histPoint { return s.buf[(s.start+i)%len(s.buf)] }
+
+// ScraperConfig parameterizes a Scraper.
+type ScraperConfig struct {
+	// Interval between samples. Default 5s.
+	Interval time.Duration
+	// Retention is the number of samples each ring keeps (raw resolution
+	// covers Interval*Retention of history). Default 720 — one hour at the
+	// default interval.
+	Retention int
+	// Downsample, when > 0, additionally retains every Downsample-th sample
+	// in a coarse ring of the same Retention, extending covered history to
+	// Interval*Downsample*Retention at reduced resolution. Window reads fall
+	// back to the coarse ring when they reach past the raw ring.
+	Downsample int
+	// Clock drives the sampling loop started by Start. Default wall clock;
+	// tests pass a clock.Virtual. Tick-driven use ignores it.
+	Clock clock.Clock
+}
+
+func (c *ScraperConfig) applyDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.Retention <= 0 {
+		c.Retention = 720
+	}
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+}
+
+// Scraper samples a Registry into per-series ring buffers. Drive it either
+// with Start (a clock-interval loop, stoppable with Stop) or by calling Tick
+// directly — the experiments replay simulated days by ticking at simulated
+// instants, which keeps sampling fully deterministic.
+type Scraper struct {
+	reg *Registry
+	cfg ScraperConfig
+
+	mu     sync.Mutex
+	vals   map[string]*series
+	coarse map[string]*series
+	hists  map[string]*histSeries
+	ticks  uint64
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	started  bool
+}
+
+// NewScraper builds a Scraper over reg. It takes no samples until Tick or
+// Start is called.
+func NewScraper(reg *Registry, cfg ScraperConfig) *Scraper {
+	cfg.applyDefaults()
+	return &Scraper{
+		reg:    reg,
+		cfg:    cfg,
+		vals:   make(map[string]*series),
+		coarse: make(map[string]*series),
+		hists:  make(map[string]*histSeries),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// StartScraper builds a Scraper and starts its sampling loop.
+func StartScraper(reg *Registry, cfg ScraperConfig) *Scraper {
+	s := NewScraper(reg, cfg)
+	s.Start()
+	return s
+}
+
+// Interval returns the configured sampling interval.
+func (s *Scraper) Interval() time.Duration { return s.cfg.Interval }
+
+// Start launches the clock-driven sampling loop (idempotent).
+func (s *Scraper) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go func() {
+		defer close(s.done)
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-s.cfg.Clock.After(s.cfg.Interval):
+				s.Tick(s.cfg.Clock.Now())
+			}
+		}
+	}()
+}
+
+// Stop terminates the sampling loop started by Start.
+func (s *Scraper) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.mu.Lock()
+		started := s.started
+		s.mu.Unlock()
+		if started {
+			<-s.done
+		}
+	})
+}
+
+// Tick takes one sample of every registry series, stamped at now.
+func (s *Scraper) Tick(now time.Time) {
+	// Values and histogram snapshots are collected outside s.mu: gauge funcs
+	// may take arbitrary locks (queue stats).
+	type kv struct {
+		key string
+		v   float64
+	}
+	var vals []kv
+	s.reg.VisitValues(func(key string, v float64) { vals = append(vals, kv{key, v}) })
+	type kh struct {
+		key  string
+		snap HistogramSnapshot
+	}
+	var hs []kh
+	s.reg.VisitHistograms(func(key string, snap HistogramSnapshot) { hs = append(hs, kh{key, snap}) })
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ticks++
+	downTick := s.cfg.Downsample > 0 && s.ticks%uint64(s.cfg.Downsample) == 0
+	for _, e := range vals {
+		ring := s.vals[e.key]
+		if ring == nil {
+			ring = newSeriesRing(s.cfg.Retention)
+			s.vals[e.key] = ring
+		}
+		ring.append(Sample{At: now, V: e.v})
+		if downTick {
+			cr := s.coarse[e.key]
+			if cr == nil {
+				cr = newSeriesRing(s.cfg.Retention)
+				s.coarse[e.key] = cr
+			}
+			cr.append(Sample{At: now, V: e.v})
+		}
+	}
+	for _, e := range hs {
+		ring := s.hists[e.key]
+		if ring == nil {
+			ring = newHistRing(s.cfg.Retention)
+			s.hists[e.key] = ring
+		}
+		ring.append(histPoint{at: now, snap: e.snap})
+	}
+}
+
+// Ticks returns how many samples have been taken.
+func (s *Scraper) Ticks() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticks
+}
+
+// SeriesNames lists the value series seen so far, sorted.
+func (s *Scraper) SeriesNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.vals))
+	for k := range s.vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HistogramNames lists the histogram series seen so far, sorted.
+func (s *Scraper) HistogramNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.hists))
+	for k := range s.hists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasSeries reports whether a value series with the given key was scraped.
+func (s *Scraper) HasSeries(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[key] != nil
+}
+
+// HasHistogram reports whether a histogram series with the given key was
+// scraped.
+func (s *Scraper) HasHistogram(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hists[key] != nil
+}
+
+// Latest returns the newest sample of a value series.
+func (s *Scraper) Latest(key string) (Sample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ring := s.vals[key]
+	if ring == nil {
+		return Sample{}, false
+	}
+	return ring.latest()
+}
+
+// Window returns the samples of a value series whose timestamps fall within
+// window of the newest sample, oldest first. When the raw ring no longer
+// reaches back far enough and a downsampled ring exists, the coarse ring
+// serves the read instead (the retention/downsampling policy: recent history
+// at full resolution, older history at Downsample× coarser resolution).
+func (s *Scraper) Window(key string, window time.Duration) []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ring := s.vals[key]
+	if ring == nil {
+		return nil
+	}
+	newest, ok := ring.latest()
+	if !ok {
+		return nil
+	}
+	cutoff := newest.At.Add(-window)
+	raw := ring.all()
+	if len(raw) > 0 && raw[0].At.After(cutoff) {
+		if cr := s.coarse[key]; cr != nil {
+			if coarse := cr.all(); len(coarse) > 0 && !coarse[0].At.After(raw[0].At) {
+				raw = coarse
+			}
+		}
+	}
+	i := 0
+	for i < len(raw) && raw[i].At.Before(cutoff) {
+		i++
+	}
+	return append([]Sample(nil), raw[i:]...)
+}
+
+// Rate derives the per-second rate of change of a (counter) series over the
+// trailing window: (v_last − v_base) / (t_last − t_base), where the baseline
+// is the last sample at or before the window edge — so a window that starts
+// between two samples is anchored just outside it, covering the full span
+// rather than silently shrinking it. ok is false with fewer than two samples.
+func (s *Scraper) Rate(key string, window time.Duration) (perSecond float64, ok bool) {
+	s.mu.Lock()
+	ring := s.vals[key]
+	var pts []Sample
+	if ring != nil {
+		pts = ring.all()
+	}
+	s.mu.Unlock()
+	if len(pts) < 2 {
+		return 0, false
+	}
+	newest := pts[len(pts)-1]
+	cutoff := newest.At.Add(-window)
+	base := pts[0]
+	for _, p := range pts {
+		if p.At.After(cutoff) {
+			break
+		}
+		base = p
+	}
+	dt := newest.At.Sub(base.At).Seconds()
+	if dt <= 0 {
+		return 0, false
+	}
+	return (newest.V - base.V) / dt, true
+}
+
+// Delta returns the increase of a (counter) series over the trailing window,
+// using the same baseline rule as Rate.
+func (s *Scraper) Delta(key string, window time.Duration) (d float64, ok bool) {
+	s.mu.Lock()
+	ring := s.vals[key]
+	var pts []Sample
+	if ring != nil {
+		pts = ring.all()
+	}
+	s.mu.Unlock()
+	if len(pts) < 2 {
+		return 0, false
+	}
+	newest := pts[len(pts)-1]
+	cutoff := newest.At.Add(-window)
+	base := pts[0]
+	for _, p := range pts {
+		if p.At.After(cutoff) {
+			break
+		}
+		base = p
+	}
+	return newest.V - base.V, true
+}
+
+// quantileExpandCap bounds the number of representative values expanded from
+// bucket deltas before handing them to metrics.Percentile.
+const quantileExpandCap = 4096
+
+// WindowQuantile estimates the p-th quantile of a histogram series over the
+// trailing window by differencing the newest snapshot against the snapshot at
+// the window edge and expanding the per-bucket deltas into representative
+// values (bucket midpoints; the overflow bucket uses the observed max) fed to
+// metrics.Percentile. ok is false when no observation landed in the window.
+func (s *Scraper) WindowQuantile(key string, window time.Duration, p float64) (v float64, ok bool) {
+	s.mu.Lock()
+	ring := s.hists[key]
+	if ring == nil || ring.n == 0 {
+		s.mu.Unlock()
+		return 0, false
+	}
+	newest := ring.at(ring.n - 1)
+	cutoff := newest.at.Add(-window)
+	var older HistogramSnapshot // zero snapshot when the window predates the ring
+	for i := 0; i < ring.n; i++ {
+		pt := ring.at(i)
+		if pt.at.After(cutoff) {
+			break
+		}
+		older = pt.snap
+	}
+	s.mu.Unlock()
+	return histDeltaQuantile(older, newest.snap, p)
+}
+
+// histDeltaQuantile computes the p-th quantile of the observations that
+// arrived between two cumulative snapshots of the same histogram.
+func histDeltaQuantile(older, newer HistogramSnapshot, p float64) (float64, bool) {
+	total := newer.Count - older.Count
+	if total == 0 {
+		return 0, false
+	}
+	// Per-bucket (non-cumulative) delta counts. The snapshots store
+	// cumulative counts per bound; the overflow bucket is Count minus the
+	// last entry.
+	nb := len(newer.Bounds)
+	delta := make([]uint64, nb+1)
+	var prevNew, prevOld uint64
+	for i := 0; i < nb; i++ {
+		newCum := newer.Buckets[i]
+		var oldCum uint64
+		if i < len(older.Buckets) {
+			oldCum = older.Buckets[i]
+		}
+		delta[i] = (newCum - prevNew) - (oldCum - prevOld)
+		prevNew, prevOld = newCum, oldCum
+	}
+	delta[nb] = (newer.Count - prevNew) - (older.Count - prevOld)
+
+	// Representative value per bucket: midpoint of its bounds; the first
+	// bucket spans (0, bound]; the overflow bucket reports the max observed.
+	rep := func(i int) float64 {
+		switch {
+		case i == 0:
+			return newer.Bounds[0] / 2
+		case i < nb:
+			return (newer.Bounds[i-1] + newer.Bounds[i]) / 2
+		default:
+			if newer.Max > newer.Bounds[nb-1] {
+				return newer.Max
+			}
+			return newer.Bounds[nb-1]
+		}
+	}
+	scale := 1.0
+	if total > quantileExpandCap {
+		scale = float64(quantileExpandCap) / float64(total)
+	}
+	values := make([]float64, 0, quantileExpandCap)
+	for i := range delta {
+		if delta[i] == 0 {
+			continue
+		}
+		n := int(float64(delta[i])*scale + 0.5)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			values = append(values, rep(i))
+		}
+	}
+	return metrics.Percentile(values, p), true
+}

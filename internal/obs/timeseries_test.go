@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"stacksync/internal/clock"
+)
+
+var t0 = time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+
+// TestScraperTickDeterministic: ticking at chosen instants samples every
+// registry series with exactly those timestamps — no wall clock involved.
+func TestScraperTickDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("pool_size", "oid", "sync")
+	c := reg.Counter("requests_total")
+	s := NewScraper(reg, ScraperConfig{Interval: 5 * time.Second, Retention: 100})
+
+	for i := 0; i < 4; i++ {
+		g.Set(float64(10 + i))
+		c.Add(uint64(3))
+		s.Tick(t0.Add(time.Duration(i) * 5 * time.Second))
+	}
+
+	if got := s.Ticks(); got != 4 {
+		t.Fatalf("Ticks() = %d, want 4", got)
+	}
+	gKey := SeriesKey("pool_size", "oid", "sync")
+	if !s.HasSeries(gKey) || !s.HasSeries("requests_total") {
+		t.Fatalf("series missing; have %v", s.SeriesNames())
+	}
+	last, ok := s.Latest(gKey)
+	if !ok || last.V != 13 || !last.At.Equal(t0.Add(15*time.Second)) {
+		t.Fatalf("Latest(%s) = %+v, %v", gKey, last, ok)
+	}
+	pts := s.Window(gKey, time.Minute)
+	if len(pts) != 4 {
+		t.Fatalf("Window() returned %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := t0.Add(time.Duration(i) * 5 * time.Second); !p.At.Equal(want) {
+			t.Fatalf("point %d at %v, want %v", i, p.At, want)
+		}
+		if p.V != float64(10+i) {
+			t.Fatalf("point %d = %v, want %d", i, p.V, 10+i)
+		}
+	}
+}
+
+// TestScraperRateWindowEdge: the rate baseline is the last sample at or
+// before the window edge, so a window edge landing between samples covers the
+// full span instead of silently shrinking it.
+func TestScraperRateWindowEdge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total")
+	s := NewScraper(reg, ScraperConfig{Interval: 5 * time.Second, Retention: 100})
+
+	// Samples every 5s at t0..t0+50s; the counter grows 5 per interval, so
+	// the sampled value at t0+5i is 5i — a perfect 1/s counter.
+	s.Tick(t0)
+	for i := 1; i <= 10; i++ {
+		c.Add(5)
+		s.Tick(t0.Add(time.Duration(i) * 5 * time.Second))
+	}
+
+	// A 12s window from the newest sample (t0+50s) has its edge at t0+38s —
+	// between the samples at 35s and 40s. The baseline must anchor at 35s:
+	// Δv = 50−35 = 15 over Δt = 15s → exactly 1/s.
+	rate, ok := s.Rate("ops_total", 12*time.Second)
+	if !ok || rate != 1.0 {
+		t.Fatalf("Rate(12s) = %v, %v, want exactly 1.0", rate, ok)
+	}
+	d, ok := s.Delta("ops_total", 12*time.Second)
+	if !ok || d != 15 {
+		t.Fatalf("Delta(12s) = %v, %v, want exactly 15", d, ok)
+	}
+	// A window larger than the retained history falls back to the oldest
+	// sample: Δv = 50 over 50s → 1/s again.
+	rate, ok = s.Rate("ops_total", time.Hour)
+	if !ok || rate != 1.0 {
+		t.Fatalf("Rate(1h) = %v, %v, want exactly 1.0", rate, ok)
+	}
+}
+
+// TestScraperDownsampleFallback: when the raw ring no longer reaches the
+// window edge, the coarse (downsampled) ring serves the read.
+func TestScraperDownsampleFallback(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("x")
+	s := NewScraper(reg, ScraperConfig{Interval: time.Second, Retention: 4, Downsample: 2})
+
+	for i := 0; i < 12; i++ {
+		g.Set(float64(i))
+		s.Tick(t0.Add(time.Duration(i) * time.Second))
+	}
+
+	// Raw ring: t8..t11. Coarse ring keeps every 2nd tick (ticks 2,4,...,12 →
+	// t1,t3,...,t11), retention 4 → t5,t7,t9,t11. A 10s window (edge t1)
+	// outreaches the raw ring and must be served from the coarse ring.
+	pts := s.Window("x", 10*time.Second)
+	if len(pts) != 4 {
+		t.Fatalf("Window(10s) returned %d points, want 4 coarse points", len(pts))
+	}
+	if !pts[0].At.Equal(t0.Add(5*time.Second)) || pts[0].V != 5 {
+		t.Fatalf("coarse window starts %+v, want t0+5s/5", pts[0])
+	}
+	// A short window stays on the raw ring (full resolution).
+	pts = s.Window("x", 2*time.Second)
+	if len(pts) != 3 || !pts[0].At.Equal(t0.Add(9*time.Second)) {
+		t.Fatalf("raw window = %+v, want 3 points from t0+9s", pts)
+	}
+}
+
+// TestWindowQuantilePinned: the windowed histogram quantile diffs cumulative
+// snapshots and expands bucket-midpoint representatives — values pinned
+// against DefaultBuckets.
+func TestWindowQuantilePinned(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("resp_seconds")
+	s := NewScraper(reg, ScraperConfig{Interval: 5 * time.Second, Retention: 100})
+
+	s.Tick(t0) // empty baseline
+	// 9 observations in (0.01, 0.025] (midpoint 0.0175) and one in
+	// (0.1, 0.25] (midpoint 0.175).
+	for i := 0; i < 9; i++ {
+		h.Observe(0.02)
+	}
+	h.Observe(0.2)
+	s.Tick(t0.Add(5 * time.Second))
+
+	p50, ok := s.WindowQuantile("resp_seconds", time.Minute, 0.5)
+	if !ok || p50 != 0.0175 {
+		t.Fatalf("p50 = %v, %v, want exactly 0.0175", p50, ok)
+	}
+	p100, ok := s.WindowQuantile("resp_seconds", time.Minute, 1)
+	if !ok || p100 != 0.175 {
+		t.Fatalf("p100 = %v, %v, want exactly 0.175", p100, ok)
+	}
+
+	// A second interval with only fast observations: the window covering just
+	// that interval must not see the first interval's slow one.
+	for i := 0; i < 4; i++ {
+		h.Observe(0.02)
+	}
+	s.Tick(t0.Add(10 * time.Second))
+	p100, ok = s.WindowQuantile("resp_seconds", 5*time.Second, 1)
+	if !ok || p100 != 0.0175 {
+		t.Fatalf("windowed p100 = %v, %v, want exactly 0.0175 (slow obs outside window)", p100, ok)
+	}
+
+	// No observations in the window → ok=false.
+	s.Tick(t0.Add(15 * time.Second))
+	if _, ok := s.WindowQuantile("resp_seconds", 5*time.Second, 0.5); ok {
+		t.Fatal("empty window reported ok")
+	}
+}
+
+// TestScraperVirtualClockLoop: the Start loop samples on clock ticks — fully
+// deterministic under a virtual clock.
+func TestScraperVirtualClockLoop(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("v")
+	vc := clock.NewVirtual(t0)
+	s := StartScraper(reg, ScraperConfig{Interval: 5 * time.Second, Retention: 10, Clock: vc})
+	defer s.Stop()
+
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	for i := 1; i <= 3; i++ {
+		g.Set(float64(i))
+		waitFor(func() bool { return vc.Waiters() > 0 }, "scraper to sleep")
+		vc.Advance(5 * time.Second)
+		n := uint64(i)
+		waitFor(func() bool { return s.Ticks() >= n }, "tick")
+	}
+	last, ok := s.Latest("v")
+	if !ok || last.V != 3 || !last.At.Equal(t0.Add(15*time.Second)) {
+		t.Fatalf("Latest(v) = %+v, %v after 3 virtual ticks", last, ok)
+	}
+}
+
+// TestSLOTrackerBurnMath pins the attainment and error-budget arithmetic:
+// 2 misses in 100 at a 99% objective burns the budget at exactly 2×.
+func TestSLOTrackerBurnMath(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewSLOTracker(reg, SLOConfig{Name: "lat", Target: 450 * time.Millisecond, Objective: 0.99})
+
+	for i := 0; i < 98; i++ {
+		tr.Observe(100 * time.Millisecond)
+	}
+	tr.Observe(time.Second)
+	tr.Observe(2 * time.Second)
+
+	if att := tr.Attainment(); att != 0.98 {
+		t.Fatalf("Attainment() = %v, want exactly 0.98", att)
+	}
+	if burn := tr.BurnRate(); math.Abs(burn-2) > 1e-12 {
+		t.Fatalf("BurnRate() = %v, want 2", burn)
+	}
+	// Boundary: a request exactly at the target is good.
+	tr2 := NewSLOTracker(reg, SLOConfig{Name: "edge", Target: 450 * time.Millisecond, Objective: 0.99})
+	tr2.Observe(450 * time.Millisecond)
+	if att := tr2.Attainment(); att != 1 {
+		t.Fatalf("boundary observation counted as miss: attainment %v", att)
+	}
+	if burn := tr2.BurnRate(); burn != 0 {
+		t.Fatalf("BurnRate() = %v with no misses, want 0", burn)
+	}
+}
+
+// TestSLOWindowFromScrape derives windowed attainment from scraped counter
+// deltas, pinned exactly.
+func TestSLOWindowFromScrape(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewSLOTracker(reg, SLOConfig{Name: "lat", Target: 450 * time.Millisecond, Objective: 0.99})
+	s := NewScraper(reg, ScraperConfig{Interval: 5 * time.Second, Retention: 100})
+
+	s.Tick(t0)
+	// First interval: 100 requests, 10 misses.
+	for i := 0; i < 90; i++ {
+		tr.Observe(100 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe(time.Second)
+	}
+	s.Tick(t0.Add(5 * time.Second))
+	// Second interval: 100 requests, all good.
+	for i := 0; i < 100; i++ {
+		tr.Observe(100 * time.Millisecond)
+	}
+	s.Tick(t0.Add(10 * time.Second))
+
+	// Window covering both intervals: 190/200 good → burn (0.05)/(0.01) = 5.
+	w, ok := s.SLOWindow(tr, 6*time.Second)
+	if !ok {
+		t.Fatal("SLOWindow not ok")
+	}
+	if w.Requests != 200 || w.Good != 190 || w.Attainment != 0.95 {
+		t.Fatalf("6s window = %+v, want 190/200 = 0.95", w)
+	}
+	if math.Abs(w.BurnRate-5) > 1e-9 {
+		t.Fatalf("burn = %v, want 5", w.BurnRate)
+	}
+	// Window covering only the clean interval: attainment 1, burn 0.
+	w, ok = s.SLOWindow(tr, 5*time.Second)
+	if !ok || w.Requests != 100 || w.Attainment != 1 || w.BurnRate != 0 {
+		t.Fatalf("5s window = %+v, %v, want clean 100/100", w, ok)
+	}
+}
+
+// TestEventLogBounded: the ring retains the newest events with monotone
+// sequence numbers and counts overwrites.
+func TestEventLogBounded(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		seq := l.Append(Event{Kind: EventSupervisorScale, Summary: "s"})
+		if seq != uint64(i+1) {
+			t.Fatalf("Append #%d returned seq %d", i, seq)
+		}
+	}
+	if l.Len() != 4 || l.Seq() != 10 || l.Dropped() != 6 {
+		t.Fatalf("Len/Seq/Dropped = %d/%d/%d, want 4/10/6", l.Len(), l.Seq(), l.Dropped())
+	}
+	tail := l.Tail(2)
+	if len(tail) != 2 || tail[0].Seq != 9 || tail[1].Seq != 10 {
+		t.Fatalf("Tail(2) = %+v", tail)
+	}
+	since := l.Since(8)
+	if len(since) != 2 || since[0].Seq != 9 {
+		t.Fatalf("Since(8) = %+v", since)
+	}
+	if got := l.Since(100); len(got) != 0 {
+		t.Fatalf("Since(100) = %+v, want empty", got)
+	}
+}
+
+// TestEventLogNilSafe: instrumented components need no guards.
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	if seq := l.Append(Event{}); seq != 0 {
+		t.Fatalf("nil Append returned %d", seq)
+	}
+	if l.Len() != 0 || l.Seq() != 0 || l.Dropped() != 0 || l.Tail(5) != nil || l.Since(0) != nil {
+		t.Fatal("nil EventLog methods not inert")
+	}
+}

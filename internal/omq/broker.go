@@ -23,6 +23,7 @@ type Broker struct {
 	id     string
 	tracer *obs.Tracer
 	reg    *obs.Registry
+	events *obs.EventLog
 
 	replyQueue string
 	replySub   mq.Subscription
@@ -69,6 +70,14 @@ func WithRegistry(r *obs.Registry) BrokerOption {
 	return func(b *Broker) { b.reg = r }
 }
 
+// WithEventLog wires this broker — and the Supervisor, SupervisorGuard and
+// RemoteBroker built on it — to a flight recorder capturing scale actions,
+// respawns, leader elections and injected crashes. nil (the default)
+// disables recording; obs.EventLog methods are nil-safe.
+func WithEventLog(l *obs.EventLog) BrokerOption {
+	return func(b *Broker) { b.events = l }
+}
+
 // NewBroker connects an ObjectMQ endpoint to a message-queue system.
 func NewBroker(m mq.MQ, opts ...BrokerOption) (*Broker, error) {
 	b := &Broker{
@@ -110,6 +119,9 @@ func (b *Broker) Tracer() *obs.Tracer { return b.tracer }
 
 // Registry returns the metrics registry backing this broker's series.
 func (b *Broker) Registry() *obs.Registry { return b.reg }
+
+// EventLog returns the configured flight recorder (nil when disabled).
+func (b *Broker) EventLog() *obs.EventLog { return b.events }
 
 func (b *Broker) replyLoop() {
 	defer b.wg.Done()

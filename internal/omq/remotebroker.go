@@ -3,6 +3,8 @@ package omq
 import (
 	"fmt"
 	"sync"
+
+	"stacksync/internal/obs"
 )
 
 // RemoteBrokerGroup is the object id all RemoteBrokers bind under. Unicast
@@ -87,7 +89,7 @@ func (rb *RemoteBroker) SpawnLocal(oid string, n int) (int, error) {
 		// that Bind refuses duplicate oids per broker. Spawn therefore binds
 		// through a lightweight child broker on the same MQ.
 		child, err := NewBroker(rb.broker.mq, WithCodec(rb.broker.codec), WithBrokerClock(rb.broker.clk),
-			WithTracer(rb.broker.tracer), WithRegistry(rb.broker.reg))
+			WithTracer(rb.broker.tracer), WithRegistry(rb.broker.reg), WithEventLog(rb.broker.events))
 		if err != nil {
 			return started, fmt.Errorf("omq: spawn child broker: %w", err)
 		}
@@ -143,6 +145,13 @@ func (rb *RemoteBroker) KillLocal(oid string) bool {
 	bo := list[len(list)-1]
 	rb.instances[oid] = list[:len(list)-1]
 	rb.mu.Unlock()
+	rb.broker.events.Append(obs.Event{
+		At:      rb.broker.clk.Now(),
+		Kind:    obs.EventInstanceKill,
+		Source:  "omq.rbroker",
+		Summary: fmt.Sprintf("killed one %s instance on broker %s", oid, rb.broker.id),
+		Fields:  map[string]string{"oid": oid, "broker": rb.broker.id},
+	})
 	// Closing the owned broker cancels subscriptions; the MQ requeues any
 	// unacked call, which is precisely the crash behaviour §3.4 describes.
 	if bo.ownedBroker != nil {

@@ -1,8 +1,12 @@
 package omq
 
 import (
+	"fmt"
+	"strconv"
 	"sync"
 	"time"
+
+	"stacksync/internal/obs"
 )
 
 // Provisioner is the extensible hook of the programmatic-elasticity
@@ -76,9 +80,16 @@ type Supervisor struct {
 	rbrokers *Proxy
 	selfBind *BoundObject
 
-	mu      sync.Mutex
-	current int
-	history []ScaleEvent
+	// fleet gauges: the scaling path's current and target instance counts,
+	// scraped like any other series (omq_instances{oid},
+	// omq_instances_target{oid}).
+	gCurrent *obs.Gauge
+	gTarget  *obs.Gauge
+
+	mu          sync.Mutex
+	current     int
+	lastDesired int
+	history     []ScaleEvent
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -108,6 +119,8 @@ func StartSupervisor(b *Broker, cfg SupervisorConfig) (*Supervisor, error) {
 		broker:   b,
 		cfg:      cfg,
 		rbrokers: b.Lookup(RemoteBrokerGroup, WithTimeout(2*time.Second), WithRetries(1)),
+		gCurrent: b.reg.Gauge("omq_instances", "oid", cfg.OID),
+		gTarget:  b.reg.Gauge("omq_instances_target", "oid", cfg.OID),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -180,8 +193,32 @@ func (s *Supervisor) enforceOnce() {
 	after, _ := s.broker.ObjectInfo(s.cfg.OID)
 	s.mu.Lock()
 	s.current = after.Instances
+	lastDesired := s.lastDesired
+	s.lastDesired = desired
 	s.history = append(s.history, ScaleEvent{Time: now, Desired: desired, Before: current, After: after.Instances})
 	s.mu.Unlock()
+	s.gCurrent.Set(float64(after.Instances))
+	s.gTarget.Set(float64(desired))
+	if desired != current {
+		// A grow back to an unchanged target repairs a crash (the fleet
+		// shrank underneath the Supervisor); anything else is a scale action.
+		kind := obs.EventSupervisorScale
+		if desired > current && desired == lastDesired {
+			kind = obs.EventSupervisorRespawn
+		}
+		s.broker.events.Append(obs.Event{
+			At:      now,
+			Kind:    kind,
+			Source:  "omq.supervisor",
+			Summary: fmt.Sprintf("%s: %d → %d instances (target %d)", s.cfg.OID, current, after.Instances, desired),
+			Fields: map[string]string{
+				"oid":     s.cfg.OID,
+				"before":  strconv.Itoa(current),
+				"after":   strconv.Itoa(after.Instances),
+				"desired": strconv.Itoa(desired),
+			},
+		})
+	}
 }
 
 func (s *Supervisor) shrink(n int) {
@@ -313,6 +350,13 @@ func (g *SupervisorGuard) loop() {
 		if err != nil {
 			continue
 		}
+		g.broker.events.Append(obs.Event{
+			At:      g.broker.clk.Now(),
+			Kind:    obs.EventElectionWon,
+			Source:  "omq.supervisorguard",
+			Summary: fmt.Sprintf("broker %s won the election and started a replacement supervisor", g.broker.id),
+			Fields:  map[string]string{"broker": g.broker.id},
+		})
 		g.mu.Lock()
 		g.elected = newSup
 		g.mu.Unlock()

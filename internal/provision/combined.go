@@ -1,9 +1,12 @@
 package provision
 
 import (
+	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"stacksync/internal/obs"
 	"stacksync/internal/omq"
 )
 
@@ -27,17 +30,40 @@ type Combined struct {
 	// into planning for hour 30's workload while hour 20 runs.
 	mispredict time.Duration
 
-	// trace of decisions for experiments
+	// trace of decisions for experiments; bounded to DecisionHistoryCap
 	decisions []Decision
+	events    *obs.EventLog
 }
 
-// Decision records one provisioning decision for experiment output.
+// DecisionHistoryCap bounds the decision trace kept by Combined: once full,
+// the oldest decision is discarded per append. At the paper's cadence (one
+// predictive decision per 15 minutes plus at most one reactive correction per
+// 5 minutes) the cap covers roughly two weeks of continuous operation, so
+// long soaks cannot grow the slice unbounded; the full stream is still
+// available through the obs.EventLog flight recorder.
+const DecisionHistoryCap = 4096
+
+// Decision records one provisioning decision for experiment output and the
+// /elasticz introspection surface.
 type Decision struct {
-	Time      time.Time `json:"time"`
-	Source    string    `json:"source"` // "predictive" | "reactive"
-	Observed  float64   `json:"observed"`
-	Predicted float64   `json:"predicted"`
-	Instances int       `json:"instances"`
+	Time time.Time `json:"time"`
+	// Trigger is "predictive" (period baseline) or "reactive" (τ-divergence
+	// correction).
+	Trigger string `json:"trigger"`
+	// Observed and Predicted are λ_obs and λ_pred in requests/second.
+	Observed  float64 `json:"observed"`
+	Predicted float64 `json:"predicted"`
+	// ServiceTime is the mean service time S the decision used, in seconds
+	// (the live introspection value when available, the SLA's S otherwise).
+	ServiceTime float64 `json:"serviceTimeSec"`
+	// Rho is the per-instance utilization ρ = λ_obs·S/η at decision time,
+	// computed against the pre-decision fleet (η = Current, or 1 when the
+	// fleet is empty).
+	Rho float64 `json:"rho"`
+	// Current is the fleet size observed when the decision was made.
+	Current int `json:"current"`
+	// Instances is the instance target the decision set.
+	Instances int `json:"instances"`
 }
 
 var _ omq.Provisioner = (*Combined)(nil)
@@ -50,6 +76,17 @@ func NewCombined(sla SLA, predictive *PredictiveProvisioner) *Combined {
 	}
 	c.reactive = NewReactive(sla, Tau1, Tau2, c.predictedRate)
 	return c
+}
+
+// SetEventLog wires the provisioner (and its composed policies) to a flight
+// recorder: every decision — including reactive checks that found no
+// divergence (trigger "none") — is appended as an obs.EventProvisionDecision.
+func (c *Combined) SetEventLog(l *obs.EventLog) {
+	c.mu.Lock()
+	c.events = l
+	c.mu.Unlock()
+	c.predictive.SetEventLog(l)
+	c.reactive.SetEventLog(l)
 }
 
 // SetMispredictionOffset makes the predictor plan for now+offset instead of
@@ -74,6 +111,59 @@ func (c *Combined) predictedRate(now time.Time) float64 {
 	return c.predictive.PredictedRate(now.Add(off))
 }
 
+// decisionFor assembles a fully populated Decision from the introspection
+// snapshot. S comes from live introspection when present, the SLA otherwise;
+// ρ = λ_obs·S/η against the pre-decision fleet.
+func decisionFor(now time.Time, trigger string, sla SLA, info omq.ObjectInfo, predicted float64, target int) Decision {
+	s := sla.S.Seconds()
+	if info.MeanServiceTime > 0 {
+		s = info.MeanServiceTime.Seconds()
+	}
+	eta := info.Instances
+	if eta <= 0 {
+		eta = 1
+	}
+	return Decision{
+		Time:        now,
+		Trigger:     trigger,
+		Observed:    info.ArrivalRate,
+		Predicted:   predicted,
+		ServiceTime: s,
+		Rho:         info.ArrivalRate * s / float64(eta),
+		Current:     info.Instances,
+		Instances:   target,
+	}
+}
+
+// recordEvent mirrors a decision into the flight recorder. Nil-safe.
+func recordEvent(l *obs.EventLog, source string, d Decision) {
+	l.Append(obs.Event{
+		At:      d.Time,
+		Kind:    obs.EventProvisionDecision,
+		Source:  source,
+		Summary: fmt.Sprintf("%s: λ_obs=%.2f/s λ_pred=%.2f/s ρ=%.2f → %d instances", d.Trigger, d.Observed, d.Predicted, d.Rho, d.Instances),
+		Fields: map[string]string{
+			"trigger":   d.Trigger,
+			"observed":  strconv.FormatFloat(d.Observed, 'g', -1, 64),
+			"predicted": strconv.FormatFloat(d.Predicted, 'g', -1, 64),
+			"service":   strconv.FormatFloat(d.ServiceTime, 'g', -1, 64),
+			"rho":       strconv.FormatFloat(d.Rho, 'g', -1, 64),
+			"current":   strconv.Itoa(d.Current),
+			"target":    strconv.Itoa(d.Instances),
+		},
+	})
+}
+
+// appendDecisionLocked appends to the bounded decision trace. Callers hold
+// c.mu.
+func (c *Combined) appendDecisionLocked(d Decision) {
+	if len(c.decisions) >= DecisionHistoryCap {
+		copy(c.decisions, c.decisions[1:])
+		c.decisions = c.decisions[:DecisionHistoryCap-1]
+	}
+	c.decisions = append(c.decisions, d)
+}
+
 // Desired implements omq.Provisioner.
 func (c *Combined) Desired(now time.Time, info omq.ObjectInfo) int {
 	c.predictive.Observe(now, info.ArrivalRate)
@@ -86,30 +176,36 @@ func (c *Combined) Desired(now time.Time, info omq.ObjectInfo) int {
 		c.target = InstancesForRate(c.sla, pred)
 		c.nextPredictive = now.Truncate(PeriodDuration).Add(PeriodDuration)
 		c.nextReactive = now.Add(ReactiveInterval)
-		c.decisions = append(c.decisions, Decision{
-			Time: now, Source: "predictive",
-			Observed: info.ArrivalRate, Predicted: pred, Instances: c.target,
-		})
+		d := decisionFor(now, "predictive", c.sla, info, pred, c.target)
+		c.appendDecisionLocked(d)
+		recordEvent(c.events, "provision.combined", d)
 		return c.target
 	}
 	if !now.Before(c.nextReactive) {
 		c.nextReactive = now.Add(ReactiveInterval)
 		pred := c.predictive.PredictedRate(now.Add(c.mispredict))
+		events := c.events
 		c.mu.Unlock()
 		n, corrected := c.reactive.Check(now, info.ArrivalRate)
 		c.mu.Lock()
 		if corrected {
+			d := decisionFor(now, "reactive", c.sla, info, pred, n)
 			c.target = n
-			c.decisions = append(c.decisions, Decision{
-				Time: now, Source: "reactive",
-				Observed: info.ArrivalRate, Predicted: pred, Instances: n,
-			})
+			c.appendDecisionLocked(d)
+			recordEvent(events, "provision.combined", d)
+		} else {
+			// The check ran and endorsed the standing target: record the
+			// non-decision in the flight recorder (trigger "none") but keep
+			// it out of the decision trace the experiments consume.
+			recordEvent(events, "provision.combined",
+				decisionFor(now, "none", c.sla, info, pred, c.target))
 		}
 	}
 	return c.target
 }
 
-// Decisions returns the recorded decision trace.
+// Decisions returns a copy of the recorded decision trace. The trace is
+// bounded: only the most recent DecisionHistoryCap decisions are retained.
 func (c *Combined) Decisions() []Decision {
 	c.mu.Lock()
 	defer c.mu.Unlock()

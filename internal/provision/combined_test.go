@@ -1,0 +1,88 @@
+package provision
+
+import (
+	"testing"
+	"time"
+
+	"stacksync/internal/obs"
+	"stacksync/internal/omq"
+)
+
+// TestDecisionHistoryBounded: the decision trace never exceeds
+// DecisionHistoryCap; the oldest entries are shed first.
+func TestDecisionHistoryBounded(t *testing.T) {
+	c := NewCombined(DefaultSLA(), NewPredictive(DefaultSLA(), 0.95, 0))
+	c.mu.Lock()
+	for i := 0; i < DecisionHistoryCap+25; i++ {
+		c.appendDecisionLocked(Decision{Instances: i})
+	}
+	c.mu.Unlock()
+
+	got := c.Decisions()
+	if len(got) != DecisionHistoryCap {
+		t.Fatalf("len(Decisions()) = %d, want cap %d", len(got), DecisionHistoryCap)
+	}
+	if got[0].Instances != 25 {
+		t.Fatalf("oldest retained decision = %d, want 25 (first 25 shed)", got[0].Instances)
+	}
+	if got[len(got)-1].Instances != DecisionHistoryCap+24 {
+		t.Fatalf("newest decision = %d, want %d", got[len(got)-1].Instances, DecisionHistoryCap+24)
+	}
+
+	// Decisions() returns a copy: mutating it must not corrupt the trace.
+	got[0].Instances = -1
+	if c.Decisions()[0].Instances != 25 {
+		t.Fatal("Decisions() exposed internal slice")
+	}
+}
+
+// TestCombinedEmitsDecisionEvents: every Desired-side decision lands in the
+// flight recorder, including reactive checks that endorse the standing target
+// (trigger "none"), which stay out of the decision trace.
+func TestCombinedEmitsDecisionEvents(t *testing.T) {
+	sla := DefaultSLA()
+	pred := NewPredictive(sla, 0.95, 0)
+	start := time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)
+	// One week of flat 40 req/s history so the predictor has every slot.
+	rates := make([]float64, 7*24*4)
+	for i := range rates {
+		rates[i] = 40
+	}
+	pred.LoadHistory(start, rates)
+
+	c := NewCombined(sla, pred)
+	l := obs.NewEventLog(64)
+	c.SetEventLog(l)
+
+	now := start.Add(7 * 24 * time.Hour)
+	c.Desired(now, omq.ObjectInfo{ArrivalRate: 40, Instances: 1}) // predictive baseline
+	now = now.Add(ReactiveInterval)
+	c.Desired(now, omq.ObjectInfo{ArrivalRate: 40, Instances: 3}) // reactive check, no divergence
+
+	decisions := c.Decisions()
+	if len(decisions) != 1 || decisions[0].Trigger != "predictive" {
+		t.Fatalf("decision trace = %+v, want single predictive entry", decisions)
+	}
+
+	events := l.Tail(0)
+	var triggers []string
+	for _, e := range events {
+		if e.Kind != obs.EventProvisionDecision {
+			t.Fatalf("unexpected event kind %s", e.Kind)
+		}
+		triggers = append(triggers, e.Fields["trigger"])
+	}
+	if len(triggers) != 2 || triggers[0] != "predictive" || triggers[1] != "none" {
+		t.Fatalf("event triggers = %v, want [predictive none]", triggers)
+	}
+
+	// The predictive event mirrors the decision trace entry field by field.
+	d := decisions[0]
+	f := events[0].Fields
+	if f["current"] != "1" || f["observed"] != "40" {
+		t.Fatalf("event fields %v do not mirror decision %+v", f, d)
+	}
+	if !events[0].At.Equal(d.Time) {
+		t.Fatalf("event time %v != decision time %v", events[0].At, d.Time)
+	}
+}

@@ -1,10 +1,13 @@
 package provision
 
 import (
+	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"stacksync/internal/obs"
 	"stacksync/internal/omq"
 )
 
@@ -36,6 +39,17 @@ type PredictiveProvisioner struct {
 	curSlot int
 	curPeak float64
 	haveCur bool
+
+	events *obs.EventLog
+}
+
+// SetEventLog wires the predictor to a flight recorder: every slot rollover
+// (an observed per-slot peak folding into the forecast history) is recorded
+// as an obs.EventProvisionForecast.
+func (p *PredictiveProvisioner) SetEventLog(l *obs.EventLog) {
+	p.mu.Lock()
+	p.events = l
+	p.mu.Unlock()
 }
 
 var _ omq.Provisioner = (*PredictiveProvisioner)(nil)
@@ -79,6 +93,16 @@ func (p *PredictiveProvisioner) Observe(now time.Time, rate float64) {
 	slot := slotOf(now)
 	if p.haveCur && slot != p.curSlot {
 		p.appendLocked(p.curSlot, p.curPeak)
+		p.events.Append(obs.Event{
+			At:      now,
+			Kind:    obs.EventProvisionForecast,
+			Source:  "provision.predictive",
+			Summary: fmt.Sprintf("slot %d peak %.2f req/s folded into history", p.curSlot, p.curPeak),
+			Fields: map[string]string{
+				"slot": strconv.Itoa(p.curSlot),
+				"peak": strconv.FormatFloat(p.curPeak, 'g', -1, 64),
+			},
+		})
 		p.curPeak = 0
 	}
 	p.curSlot = slot

@@ -208,7 +208,7 @@ func TestCombinedPredictiveBaselineAndReactiveOverride(t *testing.T) {
 		t.Fatalf("flash crowd not corrected: %d <= %d", flash, base)
 	}
 	decisions := c.Decisions()
-	if len(decisions) < 2 || decisions[0].Source != "predictive" || decisions[len(decisions)-1].Source != "reactive" {
+	if len(decisions) < 2 || decisions[0].Trigger != "predictive" || decisions[len(decisions)-1].Trigger != "reactive" {
 		t.Fatalf("decision trace: %+v", decisions)
 	}
 	if c.Target() != flash {

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"stacksync/internal/obs"
 	"stacksync/internal/omq"
 )
 
@@ -31,6 +32,16 @@ type ReactiveProvisioner struct {
 	mu       sync.Mutex
 	override int  // instances demanded by the last correction (0 = none)
 	active   bool // whether an override is in force
+	events   *obs.EventLog
+}
+
+// SetEventLog wires the policy to a flight recorder: standalone deployments
+// (Desired) record every evaluation as an obs.EventProvisionDecision with
+// trigger "reactive" or "none".
+func (r *ReactiveProvisioner) SetEventLog(l *obs.EventLog) {
+	r.mu.Lock()
+	r.events = l
+	r.mu.Unlock()
 }
 
 var _ omq.Provisioner = (*ReactiveProvisioner)(nil)
@@ -85,13 +96,28 @@ func (r *ReactiveProvisioner) Check(now time.Time, observed float64) (int, bool)
 
 // Desired implements omq.Provisioner for reactive-only deployments: every
 // call re-evaluates against the live queue rate, inflated by the backlog
-// demand when DrainWindow is set.
+// demand when DrainWindow is set. When an event log is wired, corrections
+// that change the instance target are recorded as trigger "reactive".
 func (r *ReactiveProvisioner) Desired(now time.Time, info omq.ObjectInfo) int {
 	observed := info.ArrivalRate
 	if r.DrainWindow > 0 && info.QueueDepth > 0 {
 		observed += float64(info.QueueDepth) / r.DrainWindow.Seconds()
 	}
+	r.mu.Lock()
+	prevOverride, prevActive := r.override, r.active
+	events := r.events
+	r.mu.Unlock()
 	if n, ok := r.Check(now, observed); ok {
+		// Record only target changes: a reactive-only deployment re-checks
+		// every enforcement tick, and a steady override is not news.
+		if events != nil && (!prevActive || n != prevOverride) {
+			var pred float64
+			if r.predicted != nil {
+				pred = r.predicted(now)
+			}
+			recordEvent(events, "provision.reactive",
+				decisionFor(now, "reactive", r.sla, info, pred, n))
+		}
 		return n
 	}
 	r.mu.Lock()
