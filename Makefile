@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos experiments trace-demo elastic-demo benchsnap
+.PHONY: build test race vet check chaos experiments trace-demo elastic-demo benchsnap benchcmp
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,8 @@ elastic-demo:
 ## the next free BENCH_<n>.json at the repo root for cross-commit comparison.
 benchsnap:
 	./scripts/benchsnap.sh
+
+## benchcmp compares the two newest BENCH_<n>.json snapshots and fails on a
+## >20% regression in Fig. 7(e) sync time or publish/commit throughput.
+benchcmp:
+	./scripts/benchcmp.sh

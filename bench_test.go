@@ -9,10 +9,15 @@
 package stacksync_test
 
 import (
+	"fmt"
+	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
 	"stacksync/internal/bench"
+	"stacksync/internal/metastore"
+	"stacksync/internal/mq"
 	"stacksync/internal/trace"
 )
 
@@ -193,4 +198,154 @@ func BenchmarkFig8fFaultTolerance(b *testing.B) {
 	}
 	b.ReportMetric(steady, "steady-median-ms")
 	b.ReportMetric(crashed, "crashed-median-ms")
+}
+
+// commitWorkload drives one fixed metadata workload — 8 workspaces × 4
+// writers per workspace × 16 commits per writer, every commit durable through
+// the WAL — against a store with the given shard count. With parallel=false
+// the same commits run from a single goroutine, which is the pre-sharding
+// behaviour: each commit waits out its own WAL flush before the next starts.
+// Parallel committers instead share group-commit flushes, so the win this
+// benchmark shows is flush amortisation plus cross-workspace concurrency.
+func commitWorkload(b *testing.B, shards int, parallel bool) {
+	const (
+		nWorkspaces = 8
+		nWriters    = 4
+		nCommits    = 16
+	)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, err := metastore.OpenWAL(filepath.Join(b.TempDir(), "wal.log"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := metastore.NewStore(metastore.WithWAL(w), metastore.WithShards(shards))
+		for ws := 0; ws < nWorkspaces; ws++ {
+			if err := st.CreateWorkspace(metastore.Workspace{ID: fmt.Sprintf("ws-%d", ws), Owner: "bench"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		write := func(ws, wr int) error {
+			for v := uint64(1); v <= nCommits; v++ {
+				_, err := st.CommitVersion(metastore.ItemVersion{
+					Workspace: fmt.Sprintf("ws-%d", ws),
+					ItemID:    fmt.Sprintf("item-%d", wr),
+					Path:      fmt.Sprintf("/bench/%d", wr),
+					Version:   v,
+					Status:    metastore.Modified,
+					DeviceID:  fmt.Sprintf("dev-%d", wr),
+					Checksum:  fmt.Sprintf("c%d", v),
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		b.StartTimer()
+		if parallel {
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			var firstErr error
+			for ws := 0; ws < nWorkspaces; ws++ {
+				for wr := 0; wr < nWriters; wr++ {
+					wg.Add(1)
+					go func(ws, wr int) {
+						defer wg.Done()
+						if err := write(ws, wr); err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+						}
+					}(ws, wr)
+				}
+			}
+			wg.Wait()
+			if firstErr != nil {
+				b.Fatal(firstErr)
+			}
+		} else {
+			for ws := 0; ws < nWorkspaces; ws++ {
+				for wr := 0; wr < nWriters; wr++ {
+					if err := write(ws, wr); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.StopTimer()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	total := float64(b.N) * nWorkspaces * nWriters * nCommits
+	b.ReportMetric(total/b.Elapsed().Seconds(), "commits/s")
+}
+
+// BenchmarkCommitParallelWorkspaces measures the sharded metadata hot path:
+// serial is the baseline (one committer, one WAL flush per record), and the
+// shards=N legs run 8 workspaces × 4 goroutines each against the sharded
+// store with group-commit. The issue's acceptance bar is shards=16 ≥ 2× the
+// serial baseline's commits/s.
+func BenchmarkCommitParallelWorkspaces(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { commitWorkload(b, 1, false) })
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			commitWorkload(b, shards, true)
+		})
+	}
+}
+
+// BenchmarkMQPublishThroughput measures raw broker publish throughput into a
+// fanout exchange with 8 bound queues, per-message vs batched (the path the
+// SyncService's pipelined notification fan-out uses). benchcmp gates on the
+// msgs/s metric.
+func BenchmarkMQPublishThroughput(b *testing.B) {
+	const (
+		queues = 8
+		batch  = 64
+	)
+	run := func(b *testing.B, batched bool) {
+		br := mq.NewBroker()
+		defer br.Close()
+		if err := br.DeclareExchange("fan", mq.Fanout); err != nil {
+			b.Fatal(err)
+		}
+		for q := 0; q < queues; q++ {
+			name := fmt.Sprintf("q%d", q)
+			if err := br.DeclareQueue(name); err != nil {
+				b.Fatal(err)
+			}
+			if err := br.BindQueue(name, "fan", ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+		payload := make([]byte, 256)
+		pubs := make([]mq.Publication, batch)
+		for i := range pubs {
+			pubs[i] = mq.Publication{Exchange: "fan", Message: mq.Message{Body: payload}}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if batched {
+				if err := mq.PublishAll(br, pubs); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				for j := 0; j < batch; j++ {
+					if err := br.Publish("fan", "", mq.Message{Body: payload}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "msgs/s")
+	}
+	b.Run("single", func(b *testing.B) { run(b, false) })
+	b.Run("batch", func(b *testing.B) { run(b, true) })
 }

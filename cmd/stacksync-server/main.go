@@ -37,15 +37,16 @@ func main() {
 	users := flag.String("users", "alice", "comma-separated users with access to the workspace")
 	minInstances := flag.Int("min-instances", 1, "minimum SyncService instances")
 	maxInstances := flag.Int("max-instances", 8, "maximum SyncService instances")
+	metaShards := flag.Int("meta-shards", 0, "metadata store shard count, rounded up to a power of two (0 = default)")
 	admin := flag.String("admin", "", "admin/introspection listen address, e.g. 127.0.0.1:7072 (empty disables; enabling it also enables tracing)")
 	flag.Parse()
 
-	if err := run(*listen, *storageListen, *storageToken, *dataDir, *workspace, *users, *minInstances, *maxInstances, *admin); err != nil {
+	if err := run(*listen, *storageListen, *storageToken, *dataDir, *workspace, *users, *minInstances, *maxInstances, *metaShards, *admin); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, storageListen, storageToken, dataDir, workspace, users string, minInstances, maxInstances int, admin string) error {
+func run(listen, storageListen, storageToken, dataDir, workspace, users string, minInstances, maxInstances, metaShards int, admin string) error {
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		return err
 	}
@@ -63,8 +64,35 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 	defer server.Close()
 	log.Printf("broker listening on %s", server.Addr())
 
-	// Metadata back-end with WAL recovery.
-	meta, err := metastore.Recover(filepath.Join(dataDir, "metadata.wal"))
+	// Observability: with -admin set, every broker shares one registry, one
+	// tracer and one flight recorder so /metrics, /tracez and /eventz see the
+	// whole node, and a scraper samples the registry into time series for
+	// /varz.
+	var (
+		tracer   *obs.Tracer
+		registry *obs.Registry
+		events   *obs.EventLog
+		scraper  *obs.Scraper
+		obsOpts  []omq.BrokerOption
+	)
+	if admin != "" {
+		tracer = obs.NewTracer()
+		registry = obs.NewRegistry()
+		events = obs.NewEventLog(obs.DefaultEventLogCapacity)
+		scraper = obs.StartScraper(registry, obs.ScraperConfig{})
+		defer scraper.Stop()
+		obsOpts = []omq.BrokerOption{omq.WithTracer(tracer), omq.WithRegistry(registry), omq.WithEventLog(events)}
+	}
+
+	// Metadata back-end with WAL recovery, sharded by workspace.
+	var metaOpts []metastore.Option
+	if metaShards > 0 {
+		metaOpts = append(metaOpts, metastore.WithShards(metaShards))
+	}
+	if registry != nil {
+		metaOpts = append(metaOpts, metastore.WithRegistry(registry))
+	}
+	meta, err := metastore.Recover(filepath.Join(dataDir, "metadata.wal"), metaOpts...)
 	if err != nil {
 		return err
 	}
@@ -90,26 +118,6 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		}()
 		defer gw.Close()
 		log.Printf("storage gateway listening on %s", storageListen)
-	}
-
-	// Observability: with -admin set, every broker shares one registry, one
-	// tracer and one flight recorder so /metrics, /tracez and /eventz see the
-	// whole node, and a scraper samples the registry into time series for
-	// /varz.
-	var (
-		tracer   *obs.Tracer
-		registry *obs.Registry
-		events   *obs.EventLog
-		scraper  *obs.Scraper
-		obsOpts  []omq.BrokerOption
-	)
-	if admin != "" {
-		tracer = obs.NewTracer()
-		registry = obs.NewRegistry()
-		events = obs.NewEventLog(obs.DefaultEventLogCapacity)
-		scraper = obs.StartScraper(registry, obs.ScraperConfig{})
-		defer scraper.Stop()
-		obsOpts = []omq.BrokerOption{omq.WithTracer(tracer), omq.WithRegistry(registry), omq.WithEventLog(events)}
 	}
 
 	// SyncService pool managed by a Supervisor with a reactive policy.

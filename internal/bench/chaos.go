@@ -128,7 +128,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 
 	m := mq.NewBroker()
 	defer m.Close()
-	meta := metastore.NewStore(metastore.WithFaults(plan, "meta"))
+	meta := metastore.NewStore(metastore.WithFaults(plan, "meta"), metastore.WithRegistry(reg))
 	defer meta.Close()
 	if err := meta.CreateWorkspace(metastore.Workspace{ID: "chaos-ws", Owner: "user-0"}); err != nil {
 		return nil, err

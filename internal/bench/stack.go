@@ -44,10 +44,14 @@ type StackOptions struct {
 	// a commit's trace crosses all hops. nil disables tracing (no overhead).
 	Tracer *obs.Tracer
 	// Registry, when set, is the shared metrics registry of the whole stack:
-	// broker queue gauges, client series, and every device's MQ/storage
-	// traffic meters land on it. nil gives each component a private registry
-	// (the pre-existing behaviour).
+	// broker queue gauges, client series, metastore shard-contention
+	// counters, and every device's MQ/storage traffic meters land on it. nil
+	// gives each component a private registry (the pre-existing behaviour).
 	Registry *obs.Registry
+	// MetaShards overrides the metadata store's shard count (0 keeps
+	// metastore.DefaultShards). Benchmarks sweep this to measure commit
+	// concurrency vs shard count.
+	MetaShards int
 }
 
 func (o *StackOptions) applyDefaults() {
@@ -89,10 +93,17 @@ type Stack struct {
 // and the requested devices, all connected and started.
 func NewStack(opts StackOptions) (*Stack, error) {
 	opts.applyDefaults()
+	var metaOpts []metastore.Option
+	if opts.MetaShards > 0 {
+		metaOpts = append(metaOpts, metastore.WithShards(opts.MetaShards))
+	}
+	if opts.Registry != nil {
+		metaOpts = append(metaOpts, metastore.WithRegistry(opts.Registry))
+	}
 	st := &Stack{
 		Opts: opts,
 		MQ:   mq.NewBroker(),
-		Meta: metastore.NewStore(),
+		Meta: metastore.NewStore(metaOpts...),
 	}
 	if err := st.Meta.CreateWorkspace(metastore.Workspace{
 		ID: opts.WorkspaceID, Owner: "user-0",

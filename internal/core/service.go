@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"stacksync/internal/metastore"
+	"stacksync/internal/obs"
 	"stacksync/internal/omq"
 )
 
@@ -56,22 +57,53 @@ type CommitNotification struct {
 // Service is the SyncService implementation. It is safe for concurrent use;
 // multiple instances can run against the same Metadata back-end, each bound
 // to the shared request queue, and the MQ balances commits across them.
+//
+// The commit path is pipelined: commit applies the metadata transaction and
+// enqueues the CommitNotification, and a single drainer goroutine publishes
+// queued notifications as one batched multicast (omq.PublishMultiBatch).
+// While one request waits on the metastore, earlier requests' fanout is in
+// flight — commit and notification overlap across requests instead of
+// running serially per RPC.
 type Service struct {
 	meta   *metastore.Store
 	broker *omq.Broker
 
-	mu      sync.Mutex
-	proxies map[string]*omq.Proxy
+	mu     sync.Mutex
+	groups map[string]bool // workspace IDs with a declared multicast group
+
+	nmu      sync.Mutex
+	ncond    *sync.Cond
+	nqueue   []omq.MultiPub
+	draining bool
+
+	notifyBatch  *obs.Histogram
+	notifyErrors *obs.Counter
+	notifySent   *obs.Counter
 }
+
+// notifyBatchBuckets sizes the fanout batch histogram in publications per
+// drain (the latency-shaped default buckets would misread counts).
+var notifyBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // NewService wires a SyncService to its Metadata back-end and the ObjectMQ
 // broker used to push notifications.
 func NewService(meta *metastore.Store, broker *omq.Broker) *Service {
-	return &Service{
-		meta:    meta,
-		broker:  broker,
-		proxies: make(map[string]*omq.Proxy),
+	s := &Service{
+		meta:   meta,
+		broker: broker,
+		groups: make(map[string]bool),
 	}
+	s.ncond = sync.NewCond(&s.nmu)
+	reg := broker.Registry()
+	s.notifyBatch = reg.HistogramWith(notifyBatchBuckets, "core_notify_batch_size")
+	s.notifyErrors = reg.Counter("core_notify_errors_total")
+	s.notifySent = reg.Counter("core_notify_published_total")
+	reg.GaugeFunc("core_notify_pending", func() float64 {
+		s.nmu.Lock()
+		defer s.nmu.Unlock()
+		return float64(len(s.nqueue))
+	})
+	return s
 }
 
 // Bind registers this instance on the shared request queue. The returned
@@ -84,24 +116,26 @@ func (s *Service) Bind() (*omq.BoundObject, error) {
 // instances through a RemoteBroker factory instead of calling Bind directly.
 func (s *Service) API() *API { return &API{svc: s} }
 
-func (s *Service) workspaceProxy(workspaceID string) (*omq.Proxy, error) {
+// workspaceGroup makes sure the workspace's multicast exchange exists,
+// declaring it at most once per Service.
+func (s *Service) workspaceGroup(workspaceID string) (string, error) {
+	oid := WorkspaceOID(workspaceID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, ok := s.proxies[workspaceID]
-	if !ok {
-		oid := WorkspaceOID(workspaceID)
+	if !s.groups[workspaceID] {
 		if err := s.broker.EnsureMulticastGroup(oid); err != nil {
-			return nil, fmt.Errorf("core: ensure workspace group: %w", err)
+			return "", fmt.Errorf("core: ensure workspace group: %w", err)
 		}
-		p = s.broker.Lookup(oid)
-		s.proxies[workspaceID] = p
+		s.groups[workspaceID] = true
 	}
-	return p, nil
+	return oid, nil
 }
 
 // commit is Algorithm 1: check version precedence per item, persist winners,
 // mark losers as conflicts carrying the current version, then push one
-// notification to the whole workspace.
+// notification to the whole workspace. The push is pipelined: the
+// notification is queued for the drainer and the next request's metadata
+// commit proceeds without waiting for the fanout publish.
 func (s *Service) commit(ctx context.Context, req CommitRequest) (CommitNotification, error) {
 	metaSpan := s.broker.Tracer().StartFromContext(ctx, "metastore.commitBatch")
 	results, err := s.meta.CommitBatch(req.Items)
@@ -121,15 +155,68 @@ func (s *Service) commit(ctx context.Context, req CommitRequest) (CommitNotifica
 			Proposed:  req.Items[i],
 		}
 	}
-	p, err := s.workspaceProxy(req.Workspace)
-	if err != nil {
+	// notifyCommit: @MultiMethod + @AsyncMethod (Fig. 6).
+	if err := s.enqueueNotify(ctx, req.Workspace, n); err != nil {
 		return n, err
 	}
-	// notifyCommit: @MultiMethod + @AsyncMethod (Fig. 6).
-	if err := p.MultiCtx(ctx, "NotifyCommit", n); err != nil {
-		return n, fmt.Errorf("core: notify %s: %w", req.Workspace, err)
-	}
 	return n, nil
+}
+
+// enqueueNotify hands one notification to the drainer. The multicast group
+// is declared before queueing so a missing-topology error still surfaces to
+// the committing request; publish errors past that point are counted, not
+// returned (the commit itself is durable either way).
+func (s *Service) enqueueNotify(ctx context.Context, workspaceID string, n CommitNotification) error {
+	oid, err := s.workspaceGroup(workspaceID)
+	if err != nil {
+		return err
+	}
+	s.nmu.Lock()
+	s.nqueue = append(s.nqueue, omq.MultiPub{
+		Ctx:    ctx,
+		OID:    oid,
+		Method: "NotifyCommit",
+		Args:   []interface{}{n},
+	})
+	if !s.draining {
+		s.draining = true
+		go s.drainNotifies()
+	}
+	s.nmu.Unlock()
+	return nil
+}
+
+// drainNotifies is the single in-flight fanout worker: it repeatedly takes
+// everything queued and publishes it as one batch, then exits when the queue
+// runs dry — an idle Service holds no goroutine, so short-lived instances
+// (RemoteBroker respawns) leak nothing.
+func (s *Service) drainNotifies() {
+	s.nmu.Lock()
+	for len(s.nqueue) > 0 {
+		batch := s.nqueue
+		s.nqueue = nil
+		s.nmu.Unlock()
+		s.notifyBatch.Observe(float64(len(batch)))
+		if err := s.broker.PublishMultiBatch(batch); err != nil {
+			s.notifyErrors.Inc()
+		}
+		s.notifySent.Add(uint64(len(batch)))
+		s.nmu.Lock()
+	}
+	s.draining = false
+	s.ncond.Broadcast()
+	s.nmu.Unlock()
+}
+
+// Flush blocks until every notification enqueued so far has been handed to
+// the MQ — the barrier tests and benchmarks use to make the pipeline
+// deterministic.
+func (s *Service) Flush() {
+	s.nmu.Lock()
+	for s.draining || len(s.nqueue) > 0 {
+		s.ncond.Wait()
+	}
+	s.nmu.Unlock()
 }
 
 // API is the remote surface of the SyncService (Fig. 6). Only these methods

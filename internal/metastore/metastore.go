@@ -5,19 +5,25 @@
 // commitRequests over the same version serialize into one winner and one
 // conflict (first-committer-wins).
 //
-// Transactions serialize under a single writer lock — at file-sync scale the
-// database is never the bottleneck the way contention semantics are — and
-// an optional write-ahead log makes committed state durable.
+// The paper's data model is per-workspace item-version tables with no
+// cross-workspace invariants, so the store shards its state by workspace ID:
+// commits to the same workspace serialize under that shard's writer lock,
+// while commits to distinct workspaces proceed concurrently. An optional
+// write-ahead log makes committed state durable; concurrent committers share
+// its group-commit flush (see wal.go).
 package metastore
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stacksync/internal/faults"
+	"stacksync/internal/obs"
 )
 
 // Status is the lifecycle state of an item version.
@@ -88,20 +94,36 @@ type itemChain struct {
 
 func (c *itemChain) current() ItemVersion { return c.versions[len(c.versions)-1] }
 
-// Store is the metadata database.
-type Store struct {
+// shard holds the workspaces that hash to it. Every invariant the store
+// enforces is workspace-local, so one shard lock covers precedence checks and
+// chain appends for its workspaces.
+type shard struct {
 	mu         sync.RWMutex
 	workspaces map[string]Workspace
 	items      map[string]map[string]*itemChain // workspace -> itemID -> chain
-	wal        *WAL
-	now        func() time.Time
-	closed     bool
+}
 
-	// Fault injection (nil in production): transaction aborts and torn WAL
-	// writes, rolled per commit.
+// DefaultShards is the shard count used when WithShards is not given.
+const DefaultShards = 16
+
+// Store is the metadata database.
+type Store struct {
+	shards []*shard
+	mask   uint32
+	wal    *WAL
+	now    func() time.Time
+	closed atomic.Bool
+
+	nshards int // WithShards hint, resolved in NewStore
+
+	// Fault injection (nil in production): transaction aborts, delays and
+	// torn WAL writes, rolled per commit.
 	fplan *faults.Plan
 	fsite string
 	fkeys faults.Keyer
+
+	reg        *obs.Registry
+	contention []*obs.Counter // per shard; nil without a registry
 }
 
 // Option configures a Store.
@@ -117,21 +139,37 @@ func WithNow(now func() time.Time) Option {
 	return func(s *Store) { s.now = now }
 }
 
+// WithShards sets how many shards the workspace map splits into, rounded up
+// to a power of two (minimum 1). One shard serializes all writers — the
+// pre-sharding behavior, useful as a reference model and baseline.
+func WithShards(n int) Option {
+	return func(s *Store) { s.nshards = n }
+}
+
+// WithRegistry wires the store (and its WAL, if any) into a metrics
+// registry: per-shard contention counters and group-commit flush metrics.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *Store) { s.reg = reg }
+}
+
 // WithFaults wires deterministic fault injection into the transaction path:
 // a commit may be rolled back with ErrTxAborted (transient — the caller's
-// retry/redelivery layer must re-submit) or may tear the next WAL record as
-// if the process crashed mid-append.
+// retry/redelivery layer must re-submit), may stall before taking the shard
+// lock, or may tear the next WAL record as if the process crashed mid-append.
 func WithFaults(plan *faults.Plan, site string) Option {
 	return func(s *Store) { s.fplan, s.fsite = plan, site }
 }
 
-// injectTx rolls one transaction-level fault. Caller holds s.mu.
+// injectTx rolls one transaction-level fault. It runs before the shard lock
+// is taken, so an injected delay stalls only this commit — readers and
+// commits to other workspaces proceed.
 func (s *Store) injectTx() error {
 	if s.fplan == nil {
 		return nil
 	}
 	k := s.fkeys.Next()
-	switch s.fplan.Decide(s.fsite, k).Kind {
+	d := s.fplan.Decide(s.fsite, k)
+	switch d.Kind {
 	case faults.Abort:
 		s.fplan.Note(s.fsite, k, faults.Abort, s.now())
 		return ErrTxAborted
@@ -140,6 +178,9 @@ func (s *Store) injectTx() error {
 			s.fplan.Note(s.fsite, k, faults.Torn, s.now())
 			s.wal.TearNext()
 		}
+	case faults.Delay:
+		s.fplan.Note(s.fsite, k, faults.Delay, s.now())
+		time.Sleep(d.Delay)
 	}
 	return nil
 }
@@ -147,30 +188,95 @@ func (s *Store) injectTx() error {
 // NewStore returns an empty metadata store.
 func NewStore(opts ...Option) *Store {
 	s := &Store{
-		workspaces: make(map[string]Workspace),
-		items:      make(map[string]map[string]*itemChain),
-		now:        time.Now,
+		now:     time.Now,
+		nshards: DefaultShards,
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	n := 1
+	for n < s.nshards {
+		n <<= 1
+	}
+	s.shards = make([]*shard, n)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			workspaces: make(map[string]Workspace),
+			items:      make(map[string]map[string]*itemChain),
+		}
+	}
+	s.mask = uint32(n - 1)
+	if s.reg != nil {
+		s.contention = make([]*obs.Counter, n)
+		for i := range s.contention {
+			s.contention[i] = s.reg.Counter("metastore_shard_contention_total", "shard", strconv.Itoa(i))
+		}
+		s.reg.GaugeFunc("metastore_shards", func() float64 { return float64(n) })
+		if s.wal != nil {
+			s.wal.Instrument(s.reg)
+		}
+	}
 	return s
+}
+
+// Shards reports the resolved shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardIdx maps a workspace ID to its shard (FNV-1a, masked).
+func (s *Store) shardIdx(workspace string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(workspace); i++ {
+		h ^= uint32(workspace[i])
+		h *= 16777619
+	}
+	return int(h & s.mask)
+}
+
+// lockShard write-locks shard idx, counting the acquisition as contended
+// when another writer already holds it.
+func (s *Store) lockShard(idx int) *shard {
+	sh := s.shards[idx]
+	if sh.mu.TryLock() {
+		return sh
+	}
+	if s.contention != nil {
+		s.contention[idx].Inc()
+	}
+	sh.mu.Lock()
+	return sh
+}
+
+// attachWAL installs (or replaces) the journal and instruments it.
+func (s *Store) attachWAL(w *WAL) {
+	s.wal = w
+	if s.reg != nil && w != nil {
+		w.Instrument(s.reg)
+	}
 }
 
 // CreateWorkspace registers a workspace.
 func (s *Store) CreateWorkspace(ws Workspace) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	if _, ok := s.workspaces[ws.ID]; ok {
+	sh := s.lockShard(s.shardIdx(ws.ID))
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := sh.workspaces[ws.ID]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("metastore: create %q: %w", ws.ID, ErrWorkspaceExists)
 	}
-	s.workspaces[ws.ID] = ws
-	s.items[ws.ID] = make(map[string]*itemChain)
+	sh.workspaces[ws.ID] = ws
+	sh.items[ws.ID] = make(map[string]*itemChain)
+	var g *walGroup
 	if s.wal != nil {
-		return s.wal.record(walEntry{Op: walWorkspace, Workspace: &ws})
+		g = s.wal.enqueue([]walEntry{{Op: walWorkspace, Workspace: &ws}})
+	}
+	sh.mu.Unlock()
+	if g != nil {
+		return g.wait()
 	}
 	return nil
 }
@@ -178,20 +284,22 @@ func (s *Store) CreateWorkspace(ws Workspace) error {
 // WorkspacesFor lists the workspaces a user owns or is a member of —
 // the getWorkspaces operation's backing query.
 func (s *Store) WorkspacesFor(user string) []Workspace {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Workspace
-	for _, ws := range s.workspaces {
-		if ws.Owner == user {
-			out = append(out, ws)
-			continue
-		}
-		for _, m := range ws.Members {
-			if m == user {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, ws := range sh.workspaces {
+			if ws.Owner == user {
 				out = append(out, ws)
-				break
+				continue
+			}
+			for _, m := range ws.Members {
+				if m == user {
+					out = append(out, ws)
+					break
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -199,9 +307,10 @@ func (s *Store) WorkspacesFor(user string) []Workspace {
 
 // Workspace fetches a workspace by id.
 func (s *Store) Workspace(id string) (Workspace, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ws, ok := s.workspaces[id]
+	sh := s.shards[s.shardIdx(id)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ws, ok := sh.workspaces[id]
 	if !ok {
 		return Workspace{}, fmt.Errorf("metastore: %q: %w", id, ErrNoWorkspace)
 	}
@@ -211,9 +320,10 @@ func (s *Store) Workspace(id string) (Workspace, error) {
 // Current returns the latest version of an item, with ok=false when the
 // item has never been committed (Algorithm 1 line 4).
 func (s *Store) Current(workspace, itemID string) (ItemVersion, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	chains, ok := s.items[workspace]
+	sh := s.shards[s.shardIdx(workspace)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chains, ok := sh.items[workspace]
 	if !ok {
 		return ItemVersion{}, false, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
 	}
@@ -232,34 +342,49 @@ func (s *Store) Current(workspace, itemID string) (ItemVersion, bool, error) {
 //   - anything else                            → ErrVersionConflict carrying
 //     the authoritative current version, which the service piggybacks on the
 //     CommitNotification so the losing client can reconstruct the file.
+//
+// The WAL record is enqueued while the shard lock is held (preserving
+// per-workspace append order) but awaited after release, so concurrent
+// committers share one group-commit flush.
 func (s *Store) CommitVersion(v ItemVersion) (ItemVersion, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ItemVersion{}, ErrClosed
 	}
 	if err := s.injectTx(); err != nil {
 		return ItemVersion{}, err
 	}
-	committed, err := s.commitLocked(v)
+	sh := s.lockShard(s.shardIdx(v.Workspace))
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return ItemVersion{}, ErrClosed
+	}
+	committed, err := sh.commit(v, s.now)
 	if err != nil {
+		sh.mu.Unlock()
 		return committed, err
 	}
+	var g *walGroup
 	if s.wal != nil {
-		if err := s.wal.record(walEntry{Op: walVersion, Version: &committed}); err != nil {
+		g = s.wal.enqueue([]walEntry{{Op: walVersion, Version: &committed}})
+	}
+	sh.mu.Unlock()
+	if g != nil {
+		if err := g.wait(); err != nil {
 			return committed, err
 		}
 	}
 	return committed, nil
 }
 
-func (s *Store) commitLocked(v ItemVersion) (ItemVersion, error) {
-	chains, ok := s.items[v.Workspace]
+// commit applies the precedence check and append for one proposal. Caller
+// holds sh.mu.
+func (sh *shard) commit(v ItemVersion, now func() time.Time) (ItemVersion, error) {
+	chains, ok := sh.items[v.Workspace]
 	if !ok {
 		return ItemVersion{}, fmt.Errorf("metastore: commit to %q: %w", v.Workspace, ErrNoWorkspace)
 	}
 	if v.CommittedAt.IsZero() {
-		v.CommittedAt = s.now()
+		v.CommittedAt = now()
 	}
 	chain, exists := chains[v.ItemID]
 	if !exists {
@@ -304,40 +429,82 @@ func sameChunks(a, b []string) bool {
 	return true
 }
 
-// CommitBatch applies a list of proposed versions in one serialized
-// transaction. Each element succeeds or conflicts independently (Algorithm 1
-// loops per object); the returned slice is parallel to the input, and
-// conflicted entries carry the authoritative current version.
+// BatchResult is one element of a CommitBatch outcome. Each proposal
+// succeeds or conflicts independently (Algorithm 1 loops per object); the
+// returned slice is parallel to the input, and conflicted entries carry the
+// authoritative current version.
 type BatchResult struct {
 	Committed bool        `json:"committed"`
 	Version   ItemVersion `json:"version"` // committed version, or current on conflict
 }
 
-// CommitBatch commits proposals atomically with respect to other writers.
+// CommitBatch applies a list of proposed versions. Proposals are grouped by
+// workspace; each group commits atomically with respect to other writers of
+// that workspace (the paper's per-workspace transaction), and groups for
+// distinct workspaces may interleave with concurrent committers. All of a
+// group's WAL records join one group-commit flush.
 func (s *Store) CommitBatch(proposals []ItemVersion) ([]BatchResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	if err := s.injectTx(); err != nil {
 		return nil, err
 	}
-	results := make([]BatchResult, len(proposals))
+	// Group indices by workspace, preserving both first-appearance order of
+	// workspaces and in-workspace proposal order.
+	type wsGroup struct {
+		ws   string
+		idxs []int
+	}
+	byWS := make(map[string]*wsGroup)
+	var order []*wsGroup
 	for i, p := range proposals {
-		committed, err := s.commitLocked(p)
-		if err != nil {
-			if errors.Is(err, ErrVersionConflict) {
-				results[i] = BatchResult{Committed: false, Version: committed}
-				continue
-			}
-			return nil, err
+		g, ok := byWS[p.Workspace]
+		if !ok {
+			g = &wsGroup{ws: p.Workspace}
+			byWS[p.Workspace] = g
+			order = append(order, g)
 		}
-		results[i] = BatchResult{Committed: true, Version: committed}
-		if s.wal != nil {
-			if err := s.wal.record(walEntry{Op: walVersion, Version: &committed}); err != nil {
-				return nil, err
+		g.idxs = append(g.idxs, i)
+	}
+
+	results := make([]BatchResult, len(proposals))
+	var flushes []*walGroup
+	for _, g := range order {
+		sh := s.lockShard(s.shardIdx(g.ws))
+		if s.closed.Load() {
+			sh.mu.Unlock()
+			return nil, ErrClosed
+		}
+		var entries []walEntry
+		abort := error(nil)
+		for _, i := range g.idxs {
+			committed, err := sh.commit(proposals[i], s.now)
+			if err != nil {
+				if errors.Is(err, ErrVersionConflict) {
+					results[i] = BatchResult{Committed: false, Version: committed}
+					continue
+				}
+				abort = err
+				break
 			}
+			results[i] = BatchResult{Committed: true, Version: committed}
+			if s.wal != nil {
+				cv := committed
+				entries = append(entries, walEntry{Op: walVersion, Version: &cv})
+			}
+		}
+		if len(entries) > 0 {
+			flushes = append(flushes, s.wal.enqueue(entries))
+		}
+		sh.mu.Unlock()
+		if abort != nil {
+			return nil, abort
+		}
+	}
+	for _, g := range flushes {
+		if err := g.wait(); err != nil {
+			return nil, err
 		}
 	}
 	return results, nil
@@ -345,9 +512,10 @@ func (s *Store) CommitBatch(proposals []ItemVersion) ([]BatchResult, error) {
 
 // History returns the full version chain of an item, oldest first.
 func (s *Store) History(workspace, itemID string) ([]ItemVersion, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	chains, ok := s.items[workspace]
+	sh := s.shards[s.shardIdx(workspace)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chains, ok := sh.items[workspace]
 	if !ok {
 		return nil, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
 	}
@@ -363,9 +531,10 @@ func (s *Store) History(workspace, itemID string) ([]ItemVersion, error) {
 // State returns the latest version of every non-deleted item in a
 // workspace — the costly getChanges snapshot clients fetch at startup.
 func (s *Store) State(workspace string) ([]ItemVersion, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	chains, ok := s.items[workspace]
+	sh := s.shards[s.shardIdx(workspace)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	chains, ok := sh.items[workspace]
 	if !ok {
 		return nil, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
 	}
@@ -389,14 +558,18 @@ func (s *Store) ItemCount(workspace string) (int, error) {
 	return len(state), nil
 }
 
-// Close flushes the WAL and rejects further writes.
+// Close flushes the WAL and rejects further writes. It drains in-flight
+// writers (each shard lock is acquired once) before closing the journal.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.closed = true
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		// Empty critical section on purpose: entering the lock waits out any
+		// writer that passed the closed check before the flag flipped.
+		sh.mu.Unlock()
+	}
 	if s.wal != nil {
 		return s.wal.Close()
 	}

@@ -7,16 +7,38 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"stacksync/internal/obs"
 )
 
 // WAL is the metadata store's write-ahead log: workspace creations and
 // committed item versions are appended as JSON lines and replayed on
 // recovery, standing in for PostgreSQL durability.
+//
+// Appends use group commit: a committer enqueues its records and blocks on
+// the group's completion while a single flusher drains the queue, writing
+// every queued record and syncing the batch with one flush. Committers that
+// arrive while a flush is in progress share the next one, so the flush cost
+// amortizes across concurrent commits instead of being paid per record.
 type WAL struct {
 	mu   sync.Mutex
+	cond *sync.Cond
 	f    *os.File
 	w    *bufio.Writer
-	tear bool
+
+	queue    []*walGroup
+	flushing bool  // a flusher goroutine is draining the queue
+	werr     error // sticky death error (torn crash or close)
+
+	// tearIn arms the injected crash: after tearIn more complete records,
+	// the next record writes only half its bytes. -1 means disarmed.
+	tearIn int
+
+	// Metrics (nil without Instrument): flush count, records appended, and
+	// the per-flush record count distribution — the group-commit batch size.
+	flushes   *obs.Counter
+	records   *obs.Counter
+	batchHist *obs.Histogram
 }
 
 // ErrTornWrite reports an injected torn append: only a prefix of the record
@@ -24,12 +46,35 @@ type WAL struct {
 // further writes, matching the crash it emulates.
 var ErrTornWrite = errors.New("metastore: torn wal write (injected crash)")
 
+var errWALClosed = errors.New("metastore: wal closed")
+
+// walBatchBuckets sizes the group-commit histogram in records per flush.
+var walBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
 // TearNext arms a fault: the next record writes only half its bytes (no
 // newline), then the WAL behaves as crashed. Recovery must drop the torn
 // tail and keep every complete record.
-func (w *WAL) TearNext() {
+func (w *WAL) TearNext() { w.TearAfter(0) }
+
+// TearAfter arms a fault n records ahead: n more records append completely,
+// then the following record tears mid-write and the WAL behaves as crashed.
+// The counter spans flushes, so a tear can land inside a group-commit batch
+// or exactly on a batch boundary.
+func (w *WAL) TearAfter(n int) {
 	w.mu.Lock()
-	w.tear = true
+	w.tearIn = n
+	w.mu.Unlock()
+}
+
+// Instrument wires the WAL's group-commit metrics into a registry.
+func (w *WAL) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	w.mu.Lock()
+	w.flushes = reg.Counter("metastore_wal_flushes_total")
+	w.records = reg.Counter("metastore_wal_records_total")
+	w.batchHist = reg.HistogramWith(walBatchBuckets, "metastore_wal_flush_records")
 	w.mu.Unlock()
 }
 
@@ -46,52 +91,195 @@ type walEntry struct {
 	Version   *ItemVersion `json:"version,omitempty"`
 }
 
+// walGroup is one committer's contribution to a group-commit batch: its
+// marshalled records and the channel the flusher completes it on.
+type walGroup struct {
+	lines [][]byte // records, newline added at write time
+	err   error    // valid after done is closed
+	done  chan struct{}
+}
+
+// wait blocks until the flusher has durably appended (or failed) the group.
+func (g *walGroup) wait() error {
+	<-g.done
+	return g.err
+}
+
 // OpenWAL opens (creating if needed) the log at path for appending.
 func OpenWAL(path string) (*WAL, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("metastore: open wal: %w", err)
 	}
-	return &WAL{f: f, w: bufio.NewWriter(f)}, nil
+	w := &WAL{f: f, w: bufio.NewWriter(f), tearIn: -1}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
 }
 
-func (w *WAL) record(e walEntry) error {
+// enqueue submits one committer's records for the next group-commit flush
+// and returns the group to wait on. The caller may hold its shard lock —
+// enqueueing never blocks on I/O, so per-workspace append order is fixed
+// here while the flush itself overlaps with other committers.
+func (w *WAL) enqueue(entries []walEntry) *walGroup {
+	g := &walGroup{done: make(chan struct{})}
+	for _, e := range entries {
+		line, err := json.Marshal(e)
+		if err != nil {
+			g.err = fmt.Errorf("metastore: marshal wal entry: %w", err)
+			close(g.done)
+			return g
+		}
+		g.lines = append(g.lines, line)
+	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.f == nil {
-		return errors.New("metastore: wal closed")
+		err := w.werr
+		w.mu.Unlock()
+		if err == nil {
+			err = errWALClosed
+		}
+		g.err = err
+		close(g.done)
+		return g
 	}
-	line, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("metastore: marshal wal entry: %w", err)
+	w.queue = append(w.queue, g)
+	if !w.flushing {
+		w.flushing = true
+		go w.flushLoop()
 	}
-	if w.tear {
-		w.tear = false
-		_, _ = w.w.Write(line[:len(line)/2])
-		_ = w.w.Flush()
-		_ = w.f.Close()
-		w.f = nil
-		return ErrTornWrite
-	}
-	if _, err := w.w.Write(append(line, '\n')); err != nil {
-		return fmt.Errorf("metastore: append wal: %w", err)
-	}
-	if err := w.w.Flush(); err != nil {
-		return fmt.Errorf("metastore: flush wal: %w", err)
-	}
-	return nil
+	w.mu.Unlock()
+	return g
 }
 
-// Close flushes and closes the log.
+// flushLoop drains the queue in batches and exits when it runs dry, so an
+// idle WAL holds no goroutine.
+func (w *WAL) flushLoop() {
+	w.mu.Lock()
+	for len(w.queue) > 0 {
+		batch := w.queue
+		w.queue = nil
+		w.flushBatch(batch)
+	}
+	w.flushing = false
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// flushBatch writes one batch of groups with a single flush. Called with
+// w.mu held; releases it during I/O and reacquires before returning.
+func (w *WAL) flushBatch(batch []*walGroup) {
+	if w.f == nil {
+		err := w.werr
+		if err == nil {
+			err = errWALClosed
+		}
+		for _, g := range batch {
+			g.err = err
+			close(g.done)
+		}
+		return
+	}
+	f, bw := w.f, w.w
+	tear := w.tearIn
+	armed := tear >= 0
+	w.mu.Unlock()
+
+	var torn bool
+	var werr error // first hard write error; poisons the rest of the batch
+	written := 0
+	for _, g := range batch {
+		if werr != nil {
+			g.err = werr
+			continue
+		}
+		for _, line := range g.lines {
+			if tear == 0 {
+				// Injected crash: half the record, no newline, then the
+				// file is gone. Complete records already buffered in this
+				// batch reach the file — recovery keeps them and drops the
+				// torn tail.
+				_, _ = bw.Write(line[:len(line)/2])
+				_ = bw.Flush()
+				_ = f.Close()
+				torn = true
+				werr = ErrTornWrite
+				g.err = ErrTornWrite
+				break
+			}
+			if tear > 0 {
+				tear--
+			}
+			if _, err := bw.Write(line); err != nil {
+				werr = fmt.Errorf("metastore: append wal: %w", err)
+				g.err = werr
+				break
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				werr = fmt.Errorf("metastore: append wal: %w", err)
+				g.err = werr
+				break
+			}
+			written++
+		}
+	}
+	switch {
+	case torn:
+		// Crash emulated; groups before the tear flushed with the half-line.
+	case werr != nil:
+		// A hard write error leaves the whole batch's durability unknown —
+		// poison every group, including ones that appended without error.
+		for _, g := range batch {
+			g.err = werr
+		}
+	default:
+		// The single flush+fsync that makes every record in the batch
+		// durable — the cost all committers in the group share. This is
+		// where group commit pays: N concurrent committers, one fsync.
+		err := bw.Flush()
+		if err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			werr = fmt.Errorf("metastore: flush wal: %w", err)
+			for _, g := range batch {
+				g.err = werr
+			}
+		}
+	}
+
+	w.mu.Lock()
+	if torn {
+		w.f = nil
+		w.werr = ErrTornWrite
+	} else if armed {
+		w.tearIn = tear // burn down across flushes until the tear lands
+	}
+	if werr == nil {
+		if w.flushes != nil {
+			w.flushes.Inc()
+			w.records.Add(uint64(written))
+			w.batchHist.Observe(float64(written))
+		}
+	}
+	for _, g := range batch {
+		close(g.done)
+	}
+}
+
+// Close waits out any in-flight flush, then flushes and closes the log.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	for w.flushing {
+		w.cond.Wait()
+	}
 	if w.f == nil {
 		return nil
 	}
 	flushErr := w.w.Flush()
 	closeErr := w.f.Close()
 	w.f = nil
+	w.werr = errWALClosed
 	if flushErr != nil {
 		return fmt.Errorf("metastore: flush wal on close: %w", flushErr)
 	}
@@ -103,9 +291,10 @@ func (w *WAL) Close() error {
 
 // Recover rebuilds a Store from the log at path and keeps journalling to it.
 // A record counts as committed only when terminated by its newline; a torn
-// trailing record (crash mid-append) is dropped — replay stops at the last
-// complete record and the file is truncated there, so later appends can
-// never merge with a partial line.
+// trailing record (crash mid-append — including one torn inside a
+// group-commit batch) is dropped: replay stops at the last complete record
+// and the file is truncated there, so later appends can never merge with a
+// partial line.
 func Recover(path string, opts ...Option) (*Store, error) {
 	s := NewStore(opts...)
 	s.wal = nil // replay without re-recording
@@ -158,9 +347,7 @@ func Recover(path string, opts ...Option) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.wal = w
-	s.mu.Unlock()
+	s.attachWAL(w)
 	return s, nil
 }
 
@@ -187,9 +374,10 @@ func (s *Store) replayEntry(e walEntry) error {
 		}
 	case walVersion:
 		if e.Version != nil {
-			s.mu.Lock()
-			_, err := s.commitLocked(*e.Version)
-			s.mu.Unlock()
+			sh := s.shards[s.shardIdx(e.Version.Workspace)]
+			sh.mu.Lock()
+			_, err := sh.commit(*e.Version, s.now)
+			sh.mu.Unlock()
 			if err != nil && !errors.Is(err, ErrVersionConflict) {
 				return err
 			}

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"stacksync/internal/faults"
 )
@@ -227,5 +229,213 @@ func TestCommitReplayIsIdempotent(t *testing.T) {
 	}
 	if res[0].Committed {
 		t.Fatalf("conflicting proposal wrongly committed")
+	}
+}
+
+// TestRecoverTornBatchMatrix parametrizes the crash point over group-commit
+// batch boundaries: the torn record can be a lone append (mid-record), sit
+// inside a multi-record batch, or land exactly on the boundary between two
+// batches. In every case the recovered store must match a reference model
+// built from only the records that became durable before the crash.
+func TestRecoverTornBatchMatrix(t *testing.T) {
+	fixed := time.Unix(1700000000, 0).UTC()
+	now := func() time.Time { return fixed }
+	mk := func(v uint64) ItemVersion {
+		status := Modified
+		if v == 1 {
+			status = Added
+		}
+		return ItemVersion{
+			Workspace: "ws", ItemID: "f", Path: "/f", Version: v,
+			Status: status, Checksum: strings.Repeat("c", int(v)),
+		}
+	}
+	cases := []struct {
+		name    string
+		run     func(t *testing.T, s *Store, w *WAL)
+		survive uint64 // highest version durable after the crash
+	}{
+		{
+			// Crash during a lone single-record append.
+			name: "mid-record",
+			run: func(t *testing.T, s *Store, w *WAL) {
+				for v := uint64(1); v <= 2; v++ {
+					if _, err := s.CommitVersion(mk(v)); err != nil {
+						t.Fatalf("commit v%d: %v", v, err)
+					}
+				}
+				w.TearNext()
+				if _, err := s.CommitVersion(mk(3)); !errors.Is(err, ErrTornWrite) {
+					t.Fatalf("torn commit error = %v, want ErrTornWrite", err)
+				}
+			},
+			survive: 2,
+		},
+		{
+			// Crash inside a batch: CommitBatch groups v2..v4 into one
+			// group-commit flush and the tear lands on the middle record, so
+			// v2 is durable and v3, v4 are lost.
+			name: "inside-batch",
+			run: func(t *testing.T, s *Store, w *WAL) {
+				if _, err := s.CommitVersion(mk(1)); err != nil {
+					t.Fatal(err)
+				}
+				w.TearAfter(1)
+				if _, err := s.CommitBatch([]ItemVersion{mk(2), mk(3), mk(4)}); !errors.Is(err, ErrTornWrite) {
+					t.Fatalf("torn batch error = %v, want ErrTornWrite", err)
+				}
+			},
+			survive: 2,
+		},
+		{
+			// Crash between batches: batch A lands completely, the very first
+			// record of batch B tears, so A survives and B vanishes whole.
+			name: "between-batches",
+			run: func(t *testing.T, s *Store, w *WAL) {
+				if _, err := s.CommitBatch([]ItemVersion{mk(1), mk(2)}); err != nil {
+					t.Fatal(err)
+				}
+				w.TearAfter(0)
+				if _, err := s.CommitBatch([]ItemVersion{mk(3), mk(4)}); !errors.Is(err, ErrTornWrite) {
+					t.Fatalf("torn batch error = %v, want ErrTornWrite", err)
+				}
+			},
+			survive: 2,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.log")
+			w, err := OpenWAL(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewStore(WithWAL(w), WithNow(now))
+			if err := s.CreateWorkspace(Workspace{ID: "ws", Owner: "u"}); err != nil {
+				t.Fatal(err)
+			}
+			tc.run(t, s, w)
+			_ = s.Close()
+
+			rec, err := Recover(path, WithNow(now))
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer rec.Close()
+
+			// Reference model: replay only the durable prefix on a fresh
+			// in-memory store with the same clock.
+			ref := NewStore(WithNow(now))
+			if err := ref.CreateWorkspace(Workspace{ID: "ws", Owner: "u"}); err != nil {
+				t.Fatal(err)
+			}
+			for v := uint64(1); v <= tc.survive; v++ {
+				if _, err := ref.CommitVersion(mk(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			gotState, err := rec.State("ws")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantState, err := ref.State("ws")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotState, wantState) {
+				t.Fatalf("recovered state diverges from reference model\n got:  %+v\n want: %+v", gotState, wantState)
+			}
+			gotHist, _ := rec.History("ws", "f")
+			wantHist, _ := ref.History("ws", "f")
+			if !reflect.DeepEqual(gotHist, wantHist) {
+				t.Fatalf("recovered history diverges from reference model\n got:  %+v\n want: %+v", gotHist, wantHist)
+			}
+
+			// The truncated log must stay appendable and re-recoverable.
+			if _, err := rec.CommitVersion(mk(tc.survive + 1)); err != nil {
+				t.Fatalf("commit after recovery: %v", err)
+			}
+			if err := rec.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rec2, err := Recover(path, WithNow(now))
+			if err != nil {
+				t.Fatalf("second recovery: %v", err)
+			}
+			defer rec2.Close()
+			cur, ok, _ := rec2.Current("ws", "f")
+			if !ok || cur.Version != tc.survive+1 {
+				t.Fatalf("after append+recover: v%d ok=%v, want v%d", cur.Version, ok, tc.survive+1)
+			}
+		})
+	}
+}
+
+// TestCurrentNotBlockedByInjectedSlowCommit is the regression test for the
+// injectTx bug: fault-injection sleeps used to run under the store's write
+// lock, so one artificially slow commit stalled every reader. Delays now
+// fire before lock acquisition — a reader on another workspace (and even on
+// the same one) answers immediately while the slow commit sleeps.
+func TestCurrentNotBlockedByInjectedSlowCommit(t *testing.T) {
+	cfg := func(seed int64) faults.Config {
+		return faults.Config{Seed: seed, Sites: map[string]faults.SiteConfig{
+			"meta": {DelayP: 1, MaxDelay: time.Second},
+		}}
+	}
+	// Decide is deterministic per (seed, site, key); probe for a seed whose
+	// first commit (Keyer key "0") draws a comfortably long delay.
+	var seed int64
+	var delay time.Duration
+	for s := int64(1); s <= 1000; s++ {
+		d := faults.NewPlan(cfg(s)).Decide("meta", "0")
+		if d.Kind == faults.Delay && d.Delay >= 500*time.Millisecond {
+			seed, delay = s, d.Delay
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no seed with a long first-commit delay in 1..1000")
+	}
+
+	s := NewStore(WithFaults(faults.NewPlan(cfg(seed)), "meta"), WithShards(16))
+	for _, ws := range []string{"ws-slow", "ws-other"} {
+		if err := s.CreateWorkspace(Workspace{ID: ws, Owner: "u"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The first write op draws key "0" and sleeps for `delay` before taking
+	// its shard lock.
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.CommitVersion(ItemVersion{
+			Workspace: "ws-slow", ItemID: "f", Path: "/f", Version: 1, Status: Added,
+		})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the committer enter its injected sleep
+
+	readStart := time.Now()
+	if _, _, err := s.Current("ws-other", "x"); err != nil {
+		t.Fatalf("current on other workspace: %v", err)
+	}
+	if _, _, err := s.Current("ws-slow", "f"); err != nil {
+		t.Fatalf("current on slow workspace: %v", err)
+	}
+	if _, err := s.State("ws-other"); err != nil {
+		t.Fatal(err)
+	}
+	readElapsed := time.Since(readStart)
+	if readElapsed > delay/2 {
+		t.Fatalf("reads took %v while a %v injected commit delay was in flight — readers are blocked by the sleeping committer", readElapsed, delay)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("slow commit: %v", err)
+	}
+	if total := time.Since(start); total < delay {
+		t.Fatalf("commit finished in %v, before its %v injected delay — fault did not fire", total, delay)
 	}
 }

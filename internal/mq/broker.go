@@ -2,6 +2,7 @@ package mq
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -232,6 +233,28 @@ func (b *Broker) Publish(exchangeName, key string, msg Message) error {
 	if b.closed {
 		return ErrClosed
 	}
+	return b.publishLocked(exchangeName, key, msg)
+}
+
+// PublishBatch routes a whole batch under one lock acquisition — the
+// batching half of the pipelined notification fanout. Each publication
+// succeeds or fails independently; the joined error reports the failures.
+func (b *Broker) PublishBatch(pubs []Publication) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	var errs []error
+	for _, p := range pubs {
+		if err := b.publishLocked(p.Exchange, p.Key, p.Message); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (b *Broker) publishLocked(exchangeName, key string, msg Message) error {
 	if msg.ID == "" {
 		b.nextMsgID++
 		msg.ID = "m" + strconv.FormatUint(b.nextMsgID, 10)

@@ -275,6 +275,29 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	return h
 }
 
+// HistogramWith returns (creating if needed) the histogram series for
+// name+labels using the given bucket upper bounds — for value domains the
+// latency-oriented DefaultBuckets misrepresent, e.g. batch sizes. Buckets
+// apply only on first creation; later calls return the existing series.
+func (r *Registry) HistogramWith(buckets []float64, name string, labels ...string) *Histogram {
+	key, id := seriesKey(name, labels)
+	r.mu.RLock()
+	h, ok := r.hists[key]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[key]; ok {
+		return h
+	}
+	h = newHistogram(buckets)
+	r.hists[key] = h
+	r.labels[key] = id
+	return h
+}
+
 // SeriesKey renders the canonical exposition key of (name, labels) — the
 // identity the Scraper and /varz address series by.
 func SeriesKey(name string, labels ...string) string {

@@ -1,7 +1,10 @@
 package omq
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -363,6 +366,104 @@ func (b *Broker) Close() error {
 	// Best effort: remove the private reply queue from the broker topology.
 	_ = b.mq.DeleteQueue(b.replyQueue)
 	return nil
+}
+
+// encodeArgs marshals an argument list with the broker codec.
+func (b *Broker) encodeArgs(args []interface{}) ([][]byte, error) {
+	encoded := make([][]byte, len(args))
+	for i, a := range args {
+		data, err := b.codec.Marshal(a)
+		if err != nil {
+			return nil, fmt.Errorf("omq: encode arg %d: %w", i, err)
+		}
+		encoded[i] = data
+	}
+	return encoded, nil
+}
+
+// startPublishSpan opens the span covering one publish and builds the
+// headers that carry its context (plus the publish timestamp for the
+// receiver's queue-dwell span). When the calling context is not part of a
+// trace the publish starts a fresh one, so server-initiated flows (health
+// multicalls, notifications) are traced too. With tracing disabled both
+// returns are nil and publishes carry no extra headers.
+func (b *Broker) startPublishSpan(ctx context.Context, name string) (*obs.SpanHandle, map[string]string) {
+	tr := b.tracer
+	if tr == nil {
+		return nil, nil
+	}
+	var h *obs.SpanHandle
+	if tc := obs.FromContext(ctx); tc.Valid() {
+		h = tr.StartChild(tc, name)
+	} else {
+		h = tr.StartRoot(name)
+	}
+	headers := make(map[string]string, 3)
+	h.Context().Inject(headers)
+	headers[obs.HeaderPublishNanos] = strconv.FormatInt(b.now().UnixNano(), 10)
+	return h, headers
+}
+
+// MultiPub is one one-way multicast invocation in a batch: what
+// Proxy.MultiCtx would publish, held as data so many can go out together.
+type MultiPub struct {
+	// Ctx carries the trace the publish span joins (nil = background).
+	Ctx    context.Context
+	OID    string
+	Method string
+	Args   []interface{}
+}
+
+// PublishMultiBatch fans out a batch of one-way multicasts in a single MQ
+// round-trip — mq.PublishAll routes the whole batch under one broker lock
+// when the transport supports it. Each entry keeps its own publish span and
+// trace headers, so a traced notification looks exactly as if MultiCtx had
+// run for it alone. Entries fail independently; the joined error reports
+// every failure.
+func (b *Broker) PublishMultiBatch(pubs []MultiPub) error {
+	var errs []error
+	msgs := make([]mq.Publication, 0, len(pubs))
+	spans := make([]*obs.SpanHandle, 0, len(pubs))
+	for _, p := range pubs {
+		encoded, err := b.encodeArgs(p.Args)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		body, err := encodeRequest(&request{
+			Method: p.Method,
+			Args:   encoded,
+			Codec:  b.codec.Name(),
+			OneWay: true,
+		})
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		ctx := p.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		span, extra := b.startPublishSpan(ctx, "omq.multi."+p.Method)
+		spans = append(spans, span)
+		headers := map[string]string{"codec": b.codec.Name()}
+		for k, v := range extra {
+			headers[k] = v
+		}
+		msgs = append(msgs, mq.Publication{
+			Exchange: multiExchange(p.OID),
+			Message:  mq.Message{Headers: headers, Body: body, Persistent: true},
+		})
+	}
+	if len(msgs) > 0 {
+		if err := mq.PublishAll(b.mq, msgs); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, s := range spans {
+		s.End()
+	}
+	return errors.Join(errs...)
 }
 
 // publish sends raw bytes to a queue (exchange "") or an exchange.

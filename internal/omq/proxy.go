@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
-	"strconv"
 	"time"
 
 	"stacksync/internal/obs"
@@ -64,38 +63,13 @@ func WithBackoff(base, max time.Duration) CallOption {
 func (p *Proxy) OID() string { return p.oid }
 
 func (p *Proxy) encodeArgs(args []interface{}) ([][]byte, error) {
-	encoded := make([][]byte, len(args))
-	for i, a := range args {
-		data, err := p.broker.codec.Marshal(a)
-		if err != nil {
-			return nil, fmt.Errorf("omq: encode arg %d: %w", i, err)
-		}
-		encoded[i] = data
-	}
-	return encoded, nil
+	return p.broker.encodeArgs(args)
 }
 
 // startPublishSpan opens the span covering one publish and builds the
-// headers that carry its context (plus the publish timestamp for the
-// receiver's queue-dwell span). When the calling context is not part of a
-// trace the publish starts a fresh one, so server-initiated flows (health
-// multicalls, notifications) are traced too. With tracing disabled both
-// returns are nil and publishes carry no extra headers.
+// headers that carry its context; see Broker.startPublishSpan.
 func (p *Proxy) startPublishSpan(ctx context.Context, name string) (*obs.SpanHandle, map[string]string) {
-	tr := p.broker.tracer
-	if tr == nil {
-		return nil, nil
-	}
-	var h *obs.SpanHandle
-	if tc := obs.FromContext(ctx); tc.Valid() {
-		h = tr.StartChild(tc, name)
-	} else {
-		h = tr.StartRoot(name)
-	}
-	headers := make(map[string]string, 3)
-	h.Context().Inject(headers)
-	headers[obs.HeaderPublishNanos] = strconv.FormatInt(p.broker.now().UnixNano(), 10)
-	return h, headers
+	return p.broker.startPublishSpan(ctx, name)
 }
 
 // Async performs a one-way @AsyncMethod invocation: the request is published

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// normalizeFrame folds the empty/nil asymmetry JSON's omitempty introduces:
+// a frame decoded from a payload that spelled out empty maps or arrays loses
+// them on re-encode, which is fine — the two forms mean the same thing.
+func normalizeFrame(f *Frame) {
+	if len(f.Headers) == 0 {
+		f.Headers = nil
+	}
+	if len(f.Body) == 0 {
+		f.Body = nil
+	}
+	if len(f.Stats) == 0 {
+		f.Stats = nil
+	}
+}
+
+// FuzzFrameCodec feeds arbitrary bytes to the frame reader. Whatever decodes
+// must survive a re-encode/re-decode round trip unchanged, and nothing may
+// panic — a corrupt or malicious peer gets an error, never a crash.
+func FuzzFrameCodec(f *testing.F) {
+	var pub bytes.Buffer
+	_ = NewWriter(&pub).Write(&Frame{
+		Op: OpPublish, Seq: 7, Exchange: "ex", Key: "k",
+		Headers:    map[string]string{"codec": "json"},
+		Body:       []byte("payload"),
+		Persistent: true,
+	})
+	f.Add(pub.Bytes())
+	var ping bytes.Buffer
+	_ = NewWriter(&ping).Write(&Frame{Op: OpPing, Seq: 1})
+	f.Add(ping.Bytes())
+	f.Add([]byte{0, 0, 0})                       // truncated header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})   // over-limit length prefix
+	f.Add([]byte{0, 0, 0, 2, '{', '}', 0, 0, 0}) // empty frame + torn tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			fr, err := r.Read()
+			if err != nil {
+				// Any decode error is acceptable on arbitrary input; a frame
+				// alongside one is not.
+				if fr != nil {
+					t.Fatalf("Read returned frame %+v with error %v", fr, err)
+				}
+				return
+			}
+			var rt bytes.Buffer
+			if err := NewWriter(&rt).Write(fr); err != nil {
+				t.Fatalf("re-encode of decoded frame failed: %v (frame %+v)", err, fr)
+			}
+			back, err := NewReader(&rt).Read()
+			if err != nil {
+				t.Fatalf("re-decode failed: %v (frame %+v)", err, fr)
+			}
+			normalizeFrame(fr)
+			normalizeFrame(back)
+			if !reflect.DeepEqual(fr, back) {
+				t.Fatalf("round trip diverged:\n decoded:   %+v\n re-decoded: %+v", fr, back)
+			}
+		}
+	})
+}

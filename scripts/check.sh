@@ -24,4 +24,13 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Short coverage-guided fuzz legs over the two codecs that parse
+# attacker-controlled bytes: the wire frame reader and WAL replay. Ten
+# seconds each is a smoke pass — run `go test -fuzz` open-ended to dig.
+echo "==> fuzz smoke: FuzzFrameCodec (10s)"
+go test -run '^$' -fuzz '^FuzzFrameCodec$' -fuzztime 10s ./internal/wire/
+
+echo "==> fuzz smoke: FuzzWALReplay (10s)"
+go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 10s ./internal/metastore/
+
 echo "OK"
