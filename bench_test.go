@@ -300,6 +300,34 @@ func BenchmarkCommitParallelWorkspaces(b *testing.B) {
 	}
 }
 
+// BenchmarkTransferPipeline measures the client's chunk upload throughput
+// over the simulated store (1 ms per request, per object): serial is the
+// one-chunk-at-a-time baseline (1 worker, batch 1), pipelined is the
+// default-shaped pipeline (8 workers × 16-chunk batches with the
+// server-assisted dedup probe folded into each batch). benchcmp gates on
+// the pipelined MB/s metric; the issue's acceptance bar is pipelined >= 3x
+// serial.
+func BenchmarkTransferPipeline(b *testing.B) {
+	run := func(b *testing.B, workers, batch int) {
+		var mbps float64
+		for i := 0; i < b.N; i++ {
+			res, err := bench.RunTransferPipeline(bench.TransferOptions{
+				Chunks: 128, ChunkSize: 8 << 10,
+				Workers: workers, Batch: batch,
+				PerRequest: 2 * time.Millisecond,
+				Seed:       int64(i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mbps = res.MBps()
+		}
+		b.ReportMetric(mbps, "MB/s")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1, 1) })
+	b.Run("pipelined", func(b *testing.B) { run(b, 8, 16) })
+}
+
 // BenchmarkMQPublishThroughput measures raw broker publish throughput into a
 // fanout exchange with 8 bound queues, per-message vs batched (the path the
 // SyncService's pipelined notification fan-out uses). benchcmp gates on the

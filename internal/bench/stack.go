@@ -52,6 +52,12 @@ type StackOptions struct {
 	// metastore.DefaultShards). Benchmarks sweep this to measure commit
 	// concurrency vs shard count.
 	MetaShards int
+	// TransferWorkers and TransferBatch tune every client's transfer
+	// pipeline (0 keeps the client defaults; negative forces serial /
+	// per-chunk). Benchmarks sweep these to measure the pipelined data path
+	// against the one-chunk-at-a-time baseline.
+	TransferWorkers int
+	TransferBatch   int
 }
 
 func (o *StackOptions) applyDefaults() {
@@ -168,6 +174,9 @@ func NewStack(opts StackOptions) (*Stack, error) {
 			EventBuffer: 4096,
 			Tracer:      opts.Tracer,
 			Registry:    opts.Registry,
+
+			TransferWorkers: opts.TransferWorkers,
+			TransferBatch:   opts.TransferBatch,
 			// Traffic benches measure protocol overhead; proposal
 			// retransmission is recovery machinery and would inflate the
 			// metered control bytes on slow runs.

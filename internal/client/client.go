@@ -74,6 +74,16 @@ type Config struct {
 	// and drain in the background — commits stay available (degraded mode).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// TransferWorkers bounds the concurrent batch transfers of one upload or
+	// download (default 4; 1 serializes the data path). TransferBatch caps
+	// the chunks per batch request (default 16; 1 degenerates to per-chunk
+	// calls). Together they turn the batch-first Store API into a pipeline:
+	// workers overlap request latency, batches amortize per-request cost.
+	TransferWorkers int
+	TransferBatch   int
+	// ChunkCacheBytes bounds the compressed-chunk LRU cache consulted before
+	// any download (default 16 MB; negative disables caching).
+	ChunkCacheBytes int64
 	// RetransmitEvery re-proposes commits whose notification has not arrived
 	// (default 1 s; the metadata store deduplicates replays). <0 disables.
 	RetransmitEvery time.Duration
@@ -100,6 +110,9 @@ type Client struct {
 	clk       clock.Clock
 	store     *breakerStore
 	uploads   *uploadQueue
+	flights   *flightGroup
+	cache     *chunkCache
+	tm        *transferMetrics
 	sync      *omq.Proxy
 	handler   *omq.BoundObject
 	tracer    *obs.Tracer
@@ -159,11 +172,30 @@ func NewClient(cfg Config) (*Client, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	if cfg.TransferWorkers <= 0 {
+		if cfg.TransferWorkers < 0 {
+			cfg.TransferWorkers = 1
+		} else {
+			cfg.TransferWorkers = defaultTransferWorkers
+		}
+	}
+	if cfg.TransferBatch <= 0 {
+		if cfg.TransferBatch < 0 {
+			cfg.TransferBatch = 1
+		} else {
+			cfg.TransferBatch = defaultTransferBatch
+		}
+	}
+	if cfg.ChunkCacheBytes == 0 {
+		cfg.ChunkCacheBytes = defaultChunkCacheBytes
+	}
 	c := &Client{
 		cfg:       cfg,
 		container: WorkspaceContainer(cfg.WorkspaceID),
 		clk:       cfg.Clock,
 		uploads:   newUploadQueue(),
+		flights:   newFlightGroup(),
+		cache:     newChunkCache(cfg.ChunkCacheBytes),
 		tracer:    cfg.Tracer,
 		reg:       cfg.Registry,
 		db:        newLocalDB(),
@@ -172,6 +204,10 @@ func NewClient(cfg Config) (*Client, error) {
 	}
 	c.store = newBreakerStore(cfg.Storage, cfg.Clock,
 		cfg.StoreRetries, cfg.StoreBackoff, cfg.BreakerThreshold, cfg.BreakerCooldown)
+	c.tm = newTransferMetrics(c.reg, cfg.DeviceID)
+	c.reg.GaugeFunc("client_chunk_cache_bytes", func() float64 {
+		return float64(c.cache.bytes())
+	}, "device", cfg.DeviceID)
 	c.reg.GaugeFunc("client_upload_queue_depth", func() float64 {
 		return float64(c.uploads.len())
 	}, "device", cfg.DeviceID)
@@ -206,7 +242,7 @@ func (c *Client) Start() error {
 	c.started = true
 	c.mu.Unlock()
 
-	if err := c.store.EnsureContainer(c.container); err != nil {
+	if err := c.store.EnsureContainer(context.Background(), c.container); err != nil {
 		return fmt.Errorf("client: ensure container: %w", err)
 	}
 	c.sync = c.cfg.Broker.Lookup(core.ServiceOID,
@@ -268,21 +304,47 @@ func (c *Client) repairLoop() {
 	}
 }
 
-// flushUploads retries queued chunk uploads in FIFO order, stopping at the
-// first failure (the store is still down; keep order and try again later).
+// flushUploads retries queued chunk uploads in FIFO order, draining a batch
+// at a time and stopping at the first transient failure (the store is still
+// down; keep order and try again later).
 func (c *Client) flushUploads() {
-	for _, fp := range c.uploads.snapshot() {
-		data, ok := c.uploads.get(fp)
-		if !ok {
-			continue
-		}
-		if err := c.store.Put(c.container, fp, data); err != nil {
-			if permanentStoreErr(err) {
-				c.uploads.remove(fp) // retrying can never succeed
-			}
+	ctx := context.Background()
+	for {
+		fps := c.uploads.snapshot()
+		if len(fps) == 0 {
 			return
 		}
-		c.uploads.remove(fp)
+		batch := make([]objstore.Object, 0, min(len(fps), c.cfg.TransferBatch))
+		for _, fp := range fps[:min(len(fps), c.cfg.TransferBatch)] {
+			if data, ok := c.uploads.get(fp); ok {
+				batch = append(batch, objstore.Object{Key: fp, Data: data})
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		if err := c.store.PutMulti(ctx, c.container, batch); err != nil {
+			if !permanentStoreErr(err) {
+				return
+			}
+			// A poisoned batch: retry singly so the offending chunk is
+			// dropped without stalling the rest of the queue.
+			for _, o := range batch {
+				if err := c.store.Put(ctx, c.container, o.Key, o.Data); err != nil {
+					if permanentStoreErr(err) {
+						c.uploads.remove(o.Key) // retrying can never succeed
+						continue
+					}
+					return
+				}
+				c.uploads.remove(o.Key)
+			}
+			continue
+		}
+		c.tm.batchPuts.Add(uint64(len(batch)))
+		for _, o := range batch {
+			c.uploads.remove(o.Key)
+		}
 	}
 }
 
@@ -429,28 +491,21 @@ func (c *Client) prepareItem(ctx context.Context, filePath string, content []byt
 		return metastore.ItemVersion{}, fmt.Errorf("client: chunk %s: %w", filePath, err)
 	}
 	_, fresh := chunker.Diff(chunks, c.db.hasChunk)
-	var putSpan *obs.SpanHandle
 	if len(fresh) > 0 {
-		putSpan = c.tracer.StartFromContext(ctx, "objstore.put")
-	}
-	for _, ch := range fresh {
-		compressed, err := chunker.Compress(ch.Data, c.cfg.Compression)
+		// The pipelined upload path: compress, probe the server for chunks
+		// some other device already stored, coalesce concurrent uploads of
+		// the same fingerprint, and ship the rest in parallel batches.
+		// Transient storage failures (or an open circuit) defer uploads to
+		// the background queue and keep the commit available — metadata and
+		// data flows are independent (§4), so a flaky store must not block
+		// sync.
+		putSpan := c.tracer.StartFromContext(ctx, "objstore.put")
+		err := c.uploadChunks(ctx, fresh)
+		putSpan.End()
 		if err != nil {
-			putSpan.End()
-			return metastore.ItemVersion{}, fmt.Errorf("client: compress chunk: %w", err)
-		}
-		if err := c.store.Put(c.container, ch.Fingerprint, compressed); err != nil {
-			if permanentStoreErr(err) {
-				putSpan.End()
-				return metastore.ItemVersion{}, fmt.Errorf("client: upload chunk: %w", err)
-			}
-			// Transient storage failure (or open circuit): defer the upload
-			// and keep the commit available — metadata and data flows are
-			// independent (§4), so a flaky store must not block sync.
-			c.uploads.add(ch.Fingerprint, compressed)
+			return metastore.ItemVersion{}, err
 		}
 	}
-	putSpan.End()
 	c.db.addChunks(chunker.Fingerprints(fresh))
 
 	status := metastore.Added
@@ -675,6 +730,10 @@ func (c *Client) Close() error {
 	c.bg.Wait()
 	c.reg.Unregister("client_upload_queue_depth", "device", c.cfg.DeviceID)
 	c.reg.Unregister("client_storage_breaker_open", "device", c.cfg.DeviceID)
+	c.reg.Unregister("client_chunk_cache_bytes", "device", c.cfg.DeviceID)
+	for _, name := range transferMetricNames {
+		c.reg.Unregister(name, "device", c.cfg.DeviceID)
+	}
 	if c.handler != nil {
 		return c.handler.Unbind()
 	}
@@ -788,19 +847,32 @@ func (c *Client) applyRemote(ctx context.Context, item metastore.ItemVersion) er
 func (c *Client) fetchContent(ctx context.Context, item metastore.ItemVersion) ([]byte, error) {
 	getSpan := c.tracer.StartFromContext(ctx, "objstore.get")
 	defer getSpan.End()
-	chunks := make([]chunker.Chunk, 0, len(item.Chunks))
-	for _, fp := range item.Chunks {
-		compressed, err := c.store.Get(c.container, fp)
-		if err != nil {
-			// Read-your-writes under degradation: a chunk we deferred
-			// uploading is served from the queue.
-			if queued, ok := c.uploads.get(fp); ok {
-				compressed = queued
-			} else {
-				return nil, fmt.Errorf("client: fetch chunk %s: %w", fp, err)
-			}
+	// Resolve locally first: the LRU chunk cache, then the deferred-upload
+	// queue (read-your-writes under degradation). Only the remainder hits
+	// the store, in parallel batches.
+	compressed := make([][]byte, len(item.Chunks))
+	var missIdx []int
+	for i, fp := range item.Chunks {
+		if data, ok := c.cache.get(fp); ok {
+			c.tm.cacheHits.Inc()
+			compressed[i] = data
+			continue
 		}
-		data, err := chunker.Decompress(compressed, c.cfg.Compression)
+		c.tm.cacheMisses.Inc()
+		if queued, ok := c.uploads.get(fp); ok {
+			compressed[i] = queued
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) > 0 {
+		if err := c.fetchChunks(ctx, item.Chunks, compressed, missIdx); err != nil {
+			return nil, err
+		}
+	}
+	chunks := make([]chunker.Chunk, 0, len(item.Chunks))
+	for i, fp := range item.Chunks {
+		data, err := chunker.Decompress(compressed[i], c.cfg.Compression)
 		if err != nil {
 			return nil, fmt.Errorf("client: decompress chunk %s: %w", fp, err)
 		}

@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"testing"
@@ -109,7 +110,7 @@ func TestFullyNetworkedDeployment(t *testing.T) {
 	}
 
 	// The chunks really live behind the gateway.
-	keys, err := storage.List(WorkspaceContainer("net-ws"))
+	keys, err := storage.List(context.Background(), WorkspaceContainer("net-ws"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,9 @@ import (
 	"stacksync/internal/omq"
 )
 
-// flakyStore fails every operation while down is set.
+// flakyStore fails every operation while down is set. It overrides the
+// batch entry points too, so the client's pipelined transfer path cannot
+// tunnel past the fault through the embedded inner store.
 type flakyStore struct {
 	objstore.Store
 	down  atomic.Bool
@@ -32,25 +34,46 @@ func (f *flakyStore) fail() error {
 	return nil
 }
 
-func (f *flakyStore) EnsureContainer(c string) error {
+func (f *flakyStore) EnsureContainer(ctx context.Context, c string) error {
 	if err := f.fail(); err != nil {
 		return err
 	}
-	return f.Store.EnsureContainer(c)
+	return f.Store.EnsureContainer(ctx, c)
 }
 
-func (f *flakyStore) Put(c, k string, d []byte) error {
+func (f *flakyStore) Put(ctx context.Context, c, k string, d []byte) error {
 	if err := f.fail(); err != nil {
 		return err
 	}
-	return f.Store.Put(c, k, d)
+	return f.Store.Put(ctx, c, k, d)
 }
 
-func (f *flakyStore) Get(c, k string) ([]byte, error) {
+func (f *flakyStore) Get(ctx context.Context, c, k string) ([]byte, error) {
 	if err := f.fail(); err != nil {
 		return nil, err
 	}
-	return f.Store.Get(c, k)
+	return f.Store.Get(ctx, c, k)
+}
+
+func (f *flakyStore) PutMulti(ctx context.Context, c string, objs []objstore.Object) error {
+	if err := f.fail(); err != nil {
+		return err
+	}
+	return f.Store.PutMulti(ctx, c, objs)
+}
+
+func (f *flakyStore) GetMulti(ctx context.Context, c string, keys []string) ([][]byte, error) {
+	if err := f.fail(); err != nil {
+		return nil, err
+	}
+	return f.Store.GetMulti(ctx, c, keys)
+}
+
+func (f *flakyStore) ExistsMulti(ctx context.Context, c string, keys []string) ([]bool, error) {
+	if err := f.fail(); err != nil {
+		return nil, err
+	}
+	return f.Store.ExistsMulti(ctx, c, keys)
 }
 
 func TestBreakerOpensThenRecovers(t *testing.T) {
@@ -58,8 +81,9 @@ func TestBreakerOpensThenRecovers(t *testing.T) {
 	flaky.down.Store(true)
 	b := newBreakerStore(flaky, clock.NewReal(), -1, time.Millisecond, 3, 30*time.Millisecond)
 
+	ctx := context.Background()
 	for i := 0; i < 3; i++ {
-		if err := b.Put("c", "k", []byte("x")); !errors.Is(err, errStoreDown) {
+		if err := b.Put(ctx, "c", "k", []byte("x")); !errors.Is(err, errStoreDown) {
 			t.Fatalf("put %d: %v", i, err)
 		}
 	}
@@ -67,7 +91,7 @@ func TestBreakerOpensThenRecovers(t *testing.T) {
 		t.Fatal("breaker closed after threshold failures")
 	}
 	before := flaky.calls.Load()
-	if err := b.Put("c", "k", []byte("x")); !errors.Is(err, ErrCircuitOpen) {
+	if err := b.Put(ctx, "c", "k", []byte("x")); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("open-circuit put: %v", err)
 	}
 	if flaky.calls.Load() != before {
@@ -80,10 +104,10 @@ func TestBreakerOpensThenRecovers(t *testing.T) {
 	// Heal; after the cooldown a probe goes through and closes the breaker.
 	flaky.down.Store(false)
 	time.Sleep(40 * time.Millisecond)
-	if err := b.EnsureContainer("c"); err != nil {
+	if err := b.EnsureContainer(ctx, "c"); err != nil {
 		t.Fatalf("probe after cooldown: %v", err)
 	}
-	if err := b.Put("c", "k", []byte("x")); err != nil {
+	if err := b.Put(ctx, "c", "k", []byte("x")); err != nil {
 		t.Fatalf("put after recovery: %v", err)
 	}
 	if b.Open() {
@@ -94,19 +118,20 @@ func TestBreakerOpensThenRecovers(t *testing.T) {
 // TestPermanentErrorsSkipRetries: ErrNotFound must surface immediately (one
 // attempt) and must not trip the breaker.
 func TestPermanentErrorsSkipRetries(t *testing.T) {
+	ctx := context.Background()
 	mem := objstore.NewMemory()
-	if err := mem.EnsureContainer("c"); err != nil {
+	if err := mem.EnsureContainer(ctx, "c"); err != nil {
 		t.Fatal(err)
 	}
 	counting := &flakyStore{Store: mem}
 	b := newBreakerStore(counting, clock.NewReal(), 5, time.Millisecond, 2, time.Minute)
-	if _, err := b.Get("c", "missing"); !errors.Is(err, objstore.ErrNotFound) {
+	if _, err := b.Get(ctx, "c", "missing"); !errors.Is(err, objstore.ErrNotFound) {
 		t.Fatalf("get: %v", err)
 	}
 	if got := counting.calls.Load(); got != 1 {
 		t.Fatalf("permanent error attempted %d times, want 1", got)
 	}
-	if _, err := b.Get("c", "missing"); !errors.Is(err, objstore.ErrNotFound) {
+	if _, err := b.Get(ctx, "c", "missing"); !errors.Is(err, objstore.ErrNotFound) {
 		t.Fatalf("second get: %v", err)
 	}
 	if b.Open() {

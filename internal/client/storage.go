@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -28,7 +29,8 @@ const (
 // storage directly, so they — not the SyncService — must absorb its faults):
 // bounded retries with exponential backoff around each operation, and a
 // circuit breaker that stops hammering a down store after `threshold`
-// consecutive failures until `cooldown` passes.
+// consecutive failures until `cooldown` passes. Batch operations admit once
+// and retry as a unit; content-addressed puts make replays idempotent.
 type breakerStore struct {
 	inner   objstore.Store
 	clk     clock.Clock
@@ -70,15 +72,27 @@ func newBreakerStore(inner objstore.Store, clk clock.Clock, retries int, backoff
 
 // permanentStoreErr reports failures no retry can fix: the object is absent
 // or we are not allowed to see it. The store answered, so these also reset
-// the breaker's failure streak.
+// the breaker's failure streak. A GetMulti that found most of its keys joins
+// ErrNotFound for the misses — that is a definitive (partial) answer, not an
+// outage.
 func permanentStoreErr(err error) bool {
 	return errors.Is(err, objstore.ErrNotFound) ||
 		errors.Is(err, objstore.ErrNoContainer) ||
 		errors.Is(err, objstore.ErrUnauthorized)
 }
 
-// do runs op under the retry/breaker policy.
-func (b *breakerStore) do(op func() error) error {
+// canceledErr reports that the caller gave up, not that the store failed.
+func canceledErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// do runs op under the retry/breaker policy. Context errors pass through
+// untouched and never count against the breaker: an impatient caller says
+// nothing about the store's health.
+func (b *breakerStore) do(ctx context.Context, op func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if !b.admit() {
 		return ErrCircuitOpen
 	}
@@ -89,10 +103,16 @@ func (b *breakerStore) do(op func() error) error {
 			b.succeed()
 			return err
 		}
+		if canceledErr(err) {
+			return err
+		}
 		if attempt >= b.retries {
 			break
 		}
 		b.clk.Sleep(b.backoff << attempt)
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 	}
 	b.fail()
 	return err
@@ -147,39 +167,71 @@ func (b *breakerStore) Trips() uint64 {
 }
 
 // EnsureContainer applies the policy.
-func (b *breakerStore) EnsureContainer(container string) error {
-	return b.do(func() error { return b.inner.EnsureContainer(container) })
+func (b *breakerStore) EnsureContainer(ctx context.Context, container string) error {
+	return b.do(ctx, func() error { return b.inner.EnsureContainer(ctx, container) })
 }
 
 // Put applies the policy.
-func (b *breakerStore) Put(container, key string, data []byte) error {
-	return b.do(func() error { return b.inner.Put(container, key, data) })
+func (b *breakerStore) Put(ctx context.Context, container, key string, data []byte) error {
+	return b.do(ctx, func() error { return b.inner.Put(ctx, container, key, data) })
 }
 
 // Get applies the policy.
-func (b *breakerStore) Get(container, key string) ([]byte, error) {
+func (b *breakerStore) Get(ctx context.Context, container, key string) ([]byte, error) {
 	var data []byte
-	err := b.do(func() (e error) { data, e = b.inner.Get(container, key); return e })
+	err := b.do(ctx, func() (e error) { data, e = b.inner.Get(ctx, container, key); return e })
 	return data, err
 }
 
 // Exists applies the policy.
-func (b *breakerStore) Exists(container, key string) (bool, error) {
+func (b *breakerStore) Exists(ctx context.Context, container, key string) (bool, error) {
 	var ok bool
-	err := b.do(func() (e error) { ok, e = b.inner.Exists(container, key); return e })
+	err := b.do(ctx, func() (e error) { ok, e = b.inner.Exists(ctx, container, key); return e })
 	return ok, err
 }
 
 // Delete applies the policy.
-func (b *breakerStore) Delete(container, key string) error {
-	return b.do(func() error { return b.inner.Delete(container, key) })
+func (b *breakerStore) Delete(ctx context.Context, container, key string) error {
+	return b.do(ctx, func() error { return b.inner.Delete(ctx, container, key) })
 }
 
 // List applies the policy.
-func (b *breakerStore) List(container string) ([]string, error) {
+func (b *breakerStore) List(ctx context.Context, container string) ([]string, error) {
 	var keys []string
-	err := b.do(func() (e error) { keys, e = b.inner.List(container); return e })
+	err := b.do(ctx, func() (e error) { keys, e = b.inner.List(ctx, container); return e })
 	return keys, err
+}
+
+// PutMulti applies the policy to the whole batch: one breaker admission, the
+// batch retried as a unit. Replaying an already-landed prefix is safe —
+// chunk keys are content fingerprints, so puts are idempotent.
+func (b *breakerStore) PutMulti(ctx context.Context, container string, objects []objstore.Object) error {
+	if len(objects) == 0 {
+		return nil
+	}
+	return b.do(ctx, func() error { return b.inner.PutMulti(ctx, container, objects) })
+}
+
+// GetMulti applies the policy to the whole batch. Partial results survive:
+// a joined ErrNotFound counts as a definitive answer (see permanentStoreErr)
+// and comes back with whatever data was found.
+func (b *breakerStore) GetMulti(ctx context.Context, container string, keys []string) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	var data [][]byte
+	err := b.do(ctx, func() (e error) { data, e = b.inner.GetMulti(ctx, container, keys); return e })
+	return data, err
+}
+
+// ExistsMulti applies the policy to the whole batch.
+func (b *breakerStore) ExistsMulti(ctx context.Context, container string, keys []string) ([]bool, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	var present []bool
+	err := b.do(ctx, func() (e error) { present, e = b.inner.ExistsMulti(ctx, container, keys); return e })
+	return present, err
 }
 
 // uploadQueue holds chunk uploads deferred because storage was failing when

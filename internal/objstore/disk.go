@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -46,7 +47,10 @@ func (d *Disk) objectPath(container, key string) string {
 }
 
 // EnsureContainer creates the container directory if missing.
-func (d *Disk) EnsureContainer(container string) error {
+func (d *Disk) EnsureContainer(ctx context.Context, container string) error {
+	if err := ctxErr(ctx, "ensure", container); err != nil {
+		return err
+	}
 	if err := os.MkdirAll(d.containerPath(container), 0o755); err != nil {
 		return fmt.Errorf("objstore: ensure container %s: %w", container, err)
 	}
@@ -54,80 +58,95 @@ func (d *Disk) EnsureContainer(container string) error {
 }
 
 // Put writes the object atomically (temp file + rename).
-func (d *Disk) Put(container, key string, data []byte) error {
+func (d *Disk) Put(ctx context.Context, container, key string, data []byte) error {
+	if err := ctxErr(ctx, "put", container); err != nil {
+		return err
+	}
 	dir := d.containerPath(container)
 	if _, err := os.Stat(dir); err != nil {
-		return fmt.Errorf("objstore: put %s/%s: %w", container, key, ErrNoContainer)
+		return opErr("put", container, key, ErrNoContainer)
 	}
 	tmp, err := os.CreateTemp(dir, ".put-*")
 	if err != nil {
-		return fmt.Errorf("objstore: put %s/%s: %w", container, key, err)
+		return opErr("put", container, key, err)
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		_ = tmp.Close()
 		_ = os.Remove(tmpName)
-		return fmt.Errorf("objstore: put %s/%s: %w", container, key, err)
+		return opErr("put", container, key, err)
 	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmpName)
-		return fmt.Errorf("objstore: put %s/%s: %w", container, key, err)
+		return opErr("put", container, key, err)
 	}
 	if err := os.Rename(tmpName, d.objectPath(container, key)); err != nil {
 		_ = os.Remove(tmpName)
-		return fmt.Errorf("objstore: put %s/%s: %w", container, key, err)
+		return opErr("put", container, key, err)
 	}
 	return nil
 }
 
 // Get reads the object.
-func (d *Disk) Get(container, key string) ([]byte, error) {
+func (d *Disk) Get(ctx context.Context, container, key string) ([]byte, error) {
+	if err := ctxErr(ctx, "get", container); err != nil {
+		return nil, err
+	}
 	if _, err := os.Stat(d.containerPath(container)); err != nil {
-		return nil, fmt.Errorf("objstore: get %s/%s: %w", container, key, ErrNoContainer)
+		return nil, opErr("get", container, key, ErrNoContainer)
 	}
 	data, err := os.ReadFile(d.objectPath(container, key))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil, fmt.Errorf("objstore: get %s/%s: %w", container, key, ErrNotFound)
+			return nil, opErr("get", container, key, ErrNotFound)
 		}
-		return nil, fmt.Errorf("objstore: get %s/%s: %w", container, key, err)
+		return nil, opErr("get", container, key, err)
 	}
 	return data, nil
 }
 
 // Exists reports object presence.
-func (d *Disk) Exists(container, key string) (bool, error) {
+func (d *Disk) Exists(ctx context.Context, container, key string) (bool, error) {
+	if err := ctxErr(ctx, "exists", container); err != nil {
+		return false, err
+	}
 	if _, err := os.Stat(d.containerPath(container)); err != nil {
-		return false, fmt.Errorf("objstore: exists %s/%s: %w", container, key, ErrNoContainer)
+		return false, opErr("exists", container, key, ErrNoContainer)
 	}
 	if _, err := os.Stat(d.objectPath(container, key)); err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return false, nil
 		}
-		return false, fmt.Errorf("objstore: exists %s/%s: %w", container, key, err)
+		return false, opErr("exists", container, key, err)
 	}
 	return true, nil
 }
 
 // Delete removes the object file; missing objects are ignored.
-func (d *Disk) Delete(container, key string) error {
+func (d *Disk) Delete(ctx context.Context, container, key string) error {
+	if err := ctxErr(ctx, "delete", container); err != nil {
+		return err
+	}
 	if _, err := os.Stat(d.containerPath(container)); err != nil {
-		return fmt.Errorf("objstore: delete %s/%s: %w", container, key, ErrNoContainer)
+		return opErr("delete", container, key, ErrNoContainer)
 	}
 	if err := os.Remove(d.objectPath(container, key)); err != nil && !errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("objstore: delete %s/%s: %w", container, key, err)
+		return opErr("delete", container, key, err)
 	}
 	return nil
 }
 
 // List returns the sorted object keys of a container.
-func (d *Disk) List(container string) ([]string, error) {
+func (d *Disk) List(ctx context.Context, container string) ([]string, error) {
+	if err := ctxErr(ctx, "list", container); err != nil {
+		return nil, err
+	}
 	entries, err := os.ReadDir(d.containerPath(container))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil, fmt.Errorf("objstore: list %s: %w", container, ErrNoContainer)
+			return nil, opErr("list", container, "", ErrNoContainer)
 		}
-		return nil, fmt.Errorf("objstore: list %s: %w", container, err)
+		return nil, opErr("list", container, "", err)
 	}
 	keys := make([]string, 0, len(entries))
 	for _, e := range entries {
@@ -138,4 +157,19 @@ func (d *Disk) List(container string) ([]string, error) {
 	}
 	sort.Strings(keys)
 	return keys, nil
+}
+
+// PutMulti writes each object atomically, re-checking ctx between files.
+func (d *Disk) PutMulti(ctx context.Context, container string, objects []Object) error {
+	return putMultiSeq(ctx, d, container, objects)
+}
+
+// GetMulti reads each object, re-checking ctx between files.
+func (d *Disk) GetMulti(ctx context.Context, container string, keys []string) ([][]byte, error) {
+	return getMultiSeq(ctx, d, container, keys)
+}
+
+// ExistsMulti stats each object, re-checking ctx between files.
+func (d *Disk) ExistsMulti(ctx context.Context, container string, keys []string) ([]bool, error) {
+	return existsMultiSeq(ctx, d, container, keys)
 }

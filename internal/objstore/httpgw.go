@@ -1,6 +1,9 @@
 package objstore
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -14,14 +17,40 @@ import (
 // clients on other machines reach the Storage back-end directly (the
 // decoupled data flow of §4). Routes:
 //
-//	PUT    /v1/{container}             create container
-//	GET    /v1/{container}             list objects (newline-separated)
-//	PUT    /v1/{container}/{object}    store object (body = content)
-//	GET    /v1/{container}/{object}    fetch object
-//	HEAD   /v1/{container}/{object}    existence check
-//	DELETE /v1/{container}/{object}    delete object
+//	PUT    /v1/{container}                  create container
+//	GET    /v1/{container}                  list objects (newline-separated)
+//	POST   /v1/{container}?multi=put        batch store (JSON [{key,data}])
+//	POST   /v1/{container}?multi=get        batch fetch (JSON [keys] -> [{key,found,data}])
+//	POST   /v1/{container}?multi=exists     batch probe (JSON [keys] -> [bool])
+//	PUT    /v1/{container}/{object}         store object (body = content)
+//	GET    /v1/{container}/{object}         fetch object
+//	HEAD   /v1/{container}/{object}         existence check
+//	DELETE /v1/{container}/{object}         delete object
 //
 // An optional bearer token (X-Auth-Token, as in Swift) gates all routes.
+// Error responses carry an X-Objstore-Error header naming the sentinel
+// ("not-found", "no-container", "unauthorized") so HTTPStore maps remote
+// failures onto the same errors.Is-able values local backends return.
+
+// errHeader is the response header carrying the sentinel error kind.
+const errHeader = "X-Objstore-Error"
+
+// maxBatchBody bounds a batch request body read by the gateway (64 MB).
+const maxBatchBody = 64 << 20
+
+// gwObject is the JSON wire form of one batch object ([]byte marshals as
+// base64).
+type gwObject struct {
+	Key  string `json:"key"`
+	Data []byte `json:"data,omitempty"`
+}
+
+// gwGetResult is one entry of a multi=get response.
+type gwGetResult struct {
+	Key   string `json:"key"`
+	Found bool   `json:"found"`
+	Data  []byte `json:"data,omitempty"`
+}
 
 // Handler serves a Store over HTTP.
 type Handler struct {
@@ -40,6 +69,7 @@ func NewHandler(store Store, token string) *Handler {
 // ServeHTTP dispatches gateway requests.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if h.token != "" && r.Header.Get("X-Auth-Token") != h.token {
+		w.Header().Set(errHeader, "unauthorized")
 		http.Error(w, "unauthorized", http.StatusUnauthorized)
 		return
 	}
@@ -53,16 +83,20 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "container required", http.StatusBadRequest)
 		return
 	}
+	ctx := r.Context()
 	var err error
 	switch {
+	case !hasObject && r.Method == http.MethodPost:
+		h.serveBatch(w, r, container)
+		return
 	case !hasObject && r.Method == http.MethodPut:
-		err = h.store.EnsureContainer(container)
+		err = h.store.EnsureContainer(ctx, container)
 		if err == nil {
 			w.WriteHeader(http.StatusCreated)
 		}
 	case !hasObject && r.Method == http.MethodGet:
 		var keys []string
-		keys, err = h.store.List(container)
+		keys, err = h.store.List(ctx, container)
 		if err == nil {
 			sort.Strings(keys)
 			w.Header().Set("Content-Type", "text/plain")
@@ -72,27 +106,28 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		var body []byte
 		body, err = io.ReadAll(r.Body)
 		if err == nil {
-			err = h.store.Put(container, object, body)
+			err = h.store.Put(ctx, container, object, body)
 		}
 		if err == nil {
 			w.WriteHeader(http.StatusCreated)
 		}
 	case hasObject && r.Method == http.MethodGet:
 		var data []byte
-		data, err = h.store.Get(container, object)
+		data, err = h.store.Get(ctx, container, object)
 		if err == nil {
 			w.Header().Set("Content-Type", "application/octet-stream")
 			_, _ = w.Write(data)
 		}
 	case hasObject && r.Method == http.MethodHead:
 		var exists bool
-		exists, err = h.store.Exists(container, object)
+		exists, err = h.store.Exists(ctx, container, object)
 		if err == nil && !exists {
+			w.Header().Set(errHeader, "not-found")
 			w.WriteHeader(http.StatusNotFound)
 			return
 		}
 	case hasObject && r.Method == http.MethodDelete:
-		err = h.store.Delete(container, object)
+		err = h.store.Delete(ctx, container, object)
 		if err == nil {
 			w.WriteHeader(http.StatusNoContent)
 		}
@@ -101,19 +136,117 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		http.Error(w, err.Error(), statusFor(err))
+		writeError(w, err)
 	}
 }
 
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoContainer):
-		return http.StatusNotFound
-	case errors.Is(err, ErrUnauthorized):
-		return http.StatusForbidden
-	default:
-		return http.StatusInternalServerError
+// serveBatch dispatches the multi=put/get/exists routes.
+func (h *Handler) serveBatch(w http.ResponseWriter, r *http.Request, container string) {
+	ctx := r.Context()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBody))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
 	}
+	switch r.URL.Query().Get("multi") {
+	case "put":
+		var objs []gwObject
+		if err := json.Unmarshal(body, &objs); err != nil {
+			http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		batch := make([]Object, len(objs))
+		for i, o := range objs {
+			batch[i] = Object{Key: o.Key, Data: o.Data}
+		}
+		if err := h.store.PutMulti(ctx, container, batch); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case "get":
+		var keys []string
+		if err := json.Unmarshal(body, &keys); err != nil {
+			http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		data, err := h.store.GetMulti(ctx, container, keys)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			// Misses are encoded per entry; anything else aborts the batch.
+			writeError(w, err)
+			return
+		}
+		results := make([]gwGetResult, len(keys))
+		for i, k := range keys {
+			results[i] = gwGetResult{Key: k, Found: i < len(data) && data[i] != nil}
+			if results[i].Found {
+				results[i].Data = data[i]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(results)
+	case "exists":
+		var keys []string
+		if err := json.Unmarshal(body, &keys); err != nil {
+			http.Error(w, "decode batch: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		present, err := h.store.ExistsMulti(ctx, container, keys)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(present)
+	default:
+		http.Error(w, "unknown batch operation", http.StatusBadRequest)
+	}
+}
+
+// writeError maps a store error onto a status code and sentinel header.
+func writeError(w http.ResponseWriter, err error) {
+	status, kind := statusFor(err)
+	if kind != "" {
+		w.Header().Set(errHeader, kind)
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// statusFor returns the HTTP status and sentinel kind of a store error.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrNoContainer):
+		return http.StatusNotFound, "no-container"
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, "not-found"
+	case errors.Is(err, ErrUnauthorized):
+		return http.StatusForbidden, "unauthorized"
+	default:
+		return http.StatusInternalServerError, ""
+	}
+}
+
+// sentinelFor inverts statusFor on the client side: header first (our own
+// gateway), then status-code heuristics (foreign Swift-like gateways).
+func sentinelFor(resp *http.Response, msg string) error {
+	switch resp.Header.Get(errHeader) {
+	case "no-container":
+		return ErrNoContainer
+	case "not-found":
+		return ErrNotFound
+	case "unauthorized":
+		return ErrUnauthorized
+	}
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		if strings.Contains(msg, "container") {
+			return ErrNoContainer
+		}
+		return ErrNotFound
+	case http.StatusUnauthorized, http.StatusForbidden:
+		return ErrUnauthorized
+	}
+	return nil
 }
 
 // HTTPStore is a Store backed by a remote gateway.
@@ -142,8 +275,10 @@ func (s *HTTPStore) url(container, object string) string {
 	return u
 }
 
-func (s *HTTPStore) do(method, u string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequest(method, u, body)
+// do issues one request bound to ctx; canceling the context aborts the
+// request mid-flight and surfaces the context's error to errors.Is.
+func (s *HTTPStore) do(ctx context.Context, method, u string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
 	if err != nil {
 		return nil, fmt.Errorf("objstore: build request: %w", err)
 	}
@@ -157,27 +292,23 @@ func (s *HTTPStore) do(method, u string, body io.Reader) (*http.Response, error)
 	return resp, nil
 }
 
+// checkStatus maps non-2xx responses onto the objstore sentinel errors so
+// errors.Is behaves identically across local and remote backends.
 func (s *HTTPStore) checkStatus(resp *http.Response) error {
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		return nil
 	}
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	switch resp.StatusCode {
-	case http.StatusNotFound:
-		if strings.Contains(string(msg), "container") {
-			return fmt.Errorf("objstore: remote: %s: %w", strings.TrimSpace(string(msg)), ErrNoContainer)
-		}
-		return fmt.Errorf("objstore: remote: %s: %w", strings.TrimSpace(string(msg)), ErrNotFound)
-	case http.StatusUnauthorized, http.StatusForbidden:
-		return fmt.Errorf("objstore: remote: %w", ErrUnauthorized)
-	default:
-		return fmt.Errorf("objstore: remote status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	trimmed := strings.TrimSpace(string(msg))
+	if sentinel := sentinelFor(resp, trimmed); sentinel != nil {
+		return fmt.Errorf("objstore: remote: %s: %w", trimmed, sentinel)
 	}
+	return fmt.Errorf("objstore: remote status %d: %s", resp.StatusCode, trimmed)
 }
 
 // EnsureContainer creates the remote container.
-func (s *HTTPStore) EnsureContainer(container string) error {
-	resp, err := s.do(http.MethodPut, s.url(container, ""), nil)
+func (s *HTTPStore) EnsureContainer(ctx context.Context, container string) error {
+	resp, err := s.do(ctx, http.MethodPut, s.url(container, ""), nil)
 	if err != nil {
 		return err
 	}
@@ -186,8 +317,8 @@ func (s *HTTPStore) EnsureContainer(container string) error {
 }
 
 // Put stores an object remotely.
-func (s *HTTPStore) Put(container, key string, data []byte) error {
-	resp, err := s.do(http.MethodPut, s.url(container, key), strings.NewReader(string(data)))
+func (s *HTTPStore) Put(ctx context.Context, container, key string, data []byte) error {
+	resp, err := s.do(ctx, http.MethodPut, s.url(container, key), bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
@@ -196,8 +327,8 @@ func (s *HTTPStore) Put(container, key string, data []byte) error {
 }
 
 // Get fetches an object remotely.
-func (s *HTTPStore) Get(container, key string) ([]byte, error) {
-	resp, err := s.do(http.MethodGet, s.url(container, key), nil)
+func (s *HTTPStore) Get(ctx context.Context, container, key string) ([]byte, error) {
+	resp, err := s.do(ctx, http.MethodGet, s.url(container, key), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -212,14 +343,15 @@ func (s *HTTPStore) Get(container, key string) ([]byte, error) {
 	return data, nil
 }
 
-// Exists checks object presence remotely.
-func (s *HTTPStore) Exists(container, key string) (bool, error) {
-	resp, err := s.do(http.MethodHead, s.url(container, key), nil)
+// Exists checks object presence remotely. A plain not-found is a false
+// answer, not an error; a missing container is ErrNoContainer, as locally.
+func (s *HTTPStore) Exists(ctx context.Context, container, key string) (bool, error) {
+	resp, err := s.do(ctx, http.MethodHead, s.url(container, key), nil)
 	if err != nil {
 		return false, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
+	if resp.StatusCode == http.StatusNotFound && resp.Header.Get(errHeader) != "no-container" {
 		return false, nil
 	}
 	if err := s.checkStatus(resp); err != nil {
@@ -229,8 +361,8 @@ func (s *HTTPStore) Exists(container, key string) (bool, error) {
 }
 
 // Delete removes an object remotely.
-func (s *HTTPStore) Delete(container, key string) error {
-	resp, err := s.do(http.MethodDelete, s.url(container, key), nil)
+func (s *HTTPStore) Delete(ctx context.Context, container, key string) error {
+	resp, err := s.do(ctx, http.MethodDelete, s.url(container, key), nil)
 	if err != nil {
 		return err
 	}
@@ -239,8 +371,8 @@ func (s *HTTPStore) Delete(container, key string) error {
 }
 
 // List enumerates a remote container.
-func (s *HTTPStore) List(container string) ([]string, error) {
-	resp, err := s.do(http.MethodGet, s.url(container, ""), nil)
+func (s *HTTPStore) List(ctx context.Context, container string) ([]string, error) {
+	resp, err := s.do(ctx, http.MethodGet, s.url(container, ""), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -256,4 +388,73 @@ func (s *HTTPStore) List(container string) ([]string, error) {
 		return nil, nil
 	}
 	return strings.Split(string(body), "\n"), nil
+}
+
+// postBatch issues one multi=<op> request and decodes the JSON response.
+func (s *HTTPStore) postBatch(ctx context.Context, container, op string, payload, out any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("objstore: encode batch: %w", err)
+	}
+	resp, err := s.do(ctx, http.MethodPost, s.url(container, "")+"?multi="+op, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := s.checkStatus(resp); err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("objstore: decode batch: %w", err)
+	}
+	return nil
+}
+
+// PutMulti ships the whole batch in one round trip.
+func (s *HTTPStore) PutMulti(ctx context.Context, container string, objects []Object) error {
+	payload := make([]gwObject, len(objects))
+	for i, o := range objects {
+		payload[i] = gwObject{Key: o.Key, Data: o.Data}
+	}
+	return s.postBatch(ctx, container, "put", payload, nil)
+}
+
+// GetMulti fetches the whole batch in one round trip, reconstructing the
+// partial-result contract from the per-entry found flags.
+func (s *HTTPStore) GetMulti(ctx context.Context, container string, keys []string) ([][]byte, error) {
+	var results []gwGetResult
+	if err := s.postBatch(ctx, container, "get", keys, &results); err != nil {
+		return nil, err
+	}
+	if len(results) != len(keys) {
+		return nil, fmt.Errorf("objstore: remote batch returned %d results for %d keys", len(results), len(keys))
+	}
+	out := make([][]byte, len(keys))
+	var errs []error
+	for i, r := range results {
+		if !r.Found {
+			errs = append(errs, opErr("getmulti", container, keys[i], ErrNotFound))
+			continue
+		}
+		out[i] = r.Data
+		if out[i] == nil {
+			out[i] = []byte{}
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// ExistsMulti probes the whole batch in one round trip.
+func (s *HTTPStore) ExistsMulti(ctx context.Context, container string, keys []string) ([]bool, error) {
+	var present []bool
+	if err := s.postBatch(ctx, container, "exists", keys, &present); err != nil {
+		return nil, err
+	}
+	if len(present) != len(keys) {
+		return nil, fmt.Errorf("objstore: remote batch returned %d results for %d keys", len(present), len(keys))
+	}
+	return present, nil
 }

@@ -2,6 +2,7 @@ package objstore
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net/http/httptest"
 	"testing"
@@ -14,55 +15,134 @@ func newGateway(t *testing.T, token string) *HTTPStore {
 	return NewHTTPStore(srv.URL, token)
 }
 
-func TestHTTPStoreConformance(t *testing.T) {
+// The full contract (incl. batch ops and ctx cancellation) runs through the
+// storetest suite in conformance_test.go; these tests cover gateway-specific
+// wire behaviour.
+
+func TestHTTPStoreRoundTrip(t *testing.T) {
 	s := newGateway(t, "")
 
-	if err := s.Put("nope", "k", []byte("v")); !errors.Is(err, ErrNoContainer) {
+	if err := s.Put(ctx, "nope", "k", []byte("v")); !errors.Is(err, ErrNoContainer) {
 		t.Fatalf("put without container: %v", err)
 	}
-	if err := s.EnsureContainer("c"); err != nil {
+	if err := s.EnsureContainer(ctx, "c"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get("c", "absent"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Get(ctx, "c", "absent"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("get absent: %v", err)
 	}
-	ok, err := s.Exists("c", "absent")
+	ok, err := s.Exists(ctx, "c", "absent")
 	if err != nil || ok {
 		t.Fatalf("exists absent: %v %v", ok, err)
 	}
 
 	payload := []byte{0, 1, 2, 254, 255, 'x'}
-	if err := s.Put("c", "bin", payload); err != nil {
+	if err := s.Put(ctx, "c", "bin", payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get("c", "bin")
+	got, err := s.Get(ctx, "c", "bin")
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("get: %v %v", got, err)
 	}
-	ok, err = s.Exists("c", "bin")
+	ok, err = s.Exists(ctx, "c", "bin")
 	if err != nil || !ok {
 		t.Fatalf("exists: %v %v", ok, err)
 	}
-	if err := s.Put("c", "second", []byte("2")); err != nil {
+	if err := s.Put(ctx, "c", "second", []byte("2")); err != nil {
 		t.Fatal(err)
 	}
-	keys, err := s.List("c")
+	keys, err := s.List(ctx, "c")
 	if err != nil || len(keys) != 2 || keys[0] != "bin" || keys[1] != "second" {
 		t.Fatalf("list: %v %v", keys, err)
 	}
-	if err := s.Delete("c", "bin"); err != nil {
+	if err := s.Delete(ctx, "c", "bin"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get("c", "bin"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Get(ctx, "c", "bin"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("get after delete: %v", err)
 	}
 	// Empty container listing.
-	if err := s.EnsureContainer("empty"); err != nil {
+	if err := s.EnsureContainer(ctx, "empty"); err != nil {
 		t.Fatal(err)
 	}
-	keys, err = s.List("empty")
+	keys, err = s.List(ctx, "empty")
 	if err != nil || len(keys) != 0 {
 		t.Fatalf("empty list: %v %v", keys, err)
+	}
+}
+
+// TestHTTPStoreBatchRoundTrip moves binary payloads through the multi
+// routes and checks the partial-result reconstruction on misses.
+func TestHTTPStoreBatchRoundTrip(t *testing.T) {
+	s := newGateway(t, "")
+	if err := s.EnsureContainer(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	objs := []Object{
+		{Key: "a", Data: []byte{0, 255, 1, 254}},
+		{Key: "b", Data: []byte("plain")},
+		{Key: "empty", Data: nil},
+	}
+	if err := s.PutMulti(ctx, "c", objs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.GetMulti(ctx, "c", []string{"b", "a", "empty", "missing"})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("batch miss error = %v", err)
+	}
+	if string(data[0]) != "plain" || !bytes.Equal(data[1], objs[0].Data) {
+		t.Fatalf("batch data = %q", data)
+	}
+	if data[2] == nil || len(data[2]) != 0 {
+		t.Fatalf("empty object = %v", data[2])
+	}
+	if data[3] != nil {
+		t.Fatalf("missing object = %v, want nil", data[3])
+	}
+	present, err := s.ExistsMulti(ctx, "c", []string{"a", "missing", "empty"})
+	if err != nil || !present[0] || present[1] || !present[2] {
+		t.Fatalf("batch exists = %v, %v", present, err)
+	}
+}
+
+// TestHTTPErrorMappingUniform: the gateway names the sentinel in a response
+// header, so errors.Is classification is identical to local backends even
+// where status codes collide (object-miss vs container-miss are both 404).
+func TestHTTPErrorMappingUniform(t *testing.T) {
+	s := newGateway(t, "")
+	if err := s.EnsureContainer(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	// Exists against a missing container must be ErrNoContainer, not a
+	// silent false — the header disambiguates the two 404s on HEAD.
+	if _, err := s.Exists(ctx, "nope", "k"); !errors.Is(err, ErrNoContainer) {
+		t.Fatalf("exists without container: %v", err)
+	}
+	if _, err := s.GetMulti(ctx, "nope", []string{"k"}); !errors.Is(err, ErrNoContainer) {
+		t.Fatalf("getmulti without container: %v", err)
+	}
+	if err := s.Delete(ctx, "nope", "k"); !errors.Is(err, ErrNoContainer) {
+		t.Fatalf("delete without container: %v", err)
+	}
+	if _, err := s.Get(ctx, "c", "absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get absent object: %v", err)
+	}
+}
+
+// TestHTTPStoreHonorsContext: a canceled context aborts the request and the
+// context error survives errors.Is through the transport wrapping.
+func TestHTTPStoreHonorsContext(t *testing.T) {
+	s := newGateway(t, "")
+	if err := s.EnsureContainer(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Put(canceled, "c", "k", []byte("v")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("put with canceled ctx: %v", err)
+	}
+	if _, err := s.GetMulti(canceled, "c", []string{"k"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("getmulti with canceled ctx: %v", err)
 	}
 }
 
@@ -71,26 +151,29 @@ func TestHTTPStoreTokenAuth(t *testing.T) {
 	t.Cleanup(srv.Close)
 
 	good := NewHTTPStore(srv.URL, "secret")
-	if err := good.EnsureContainer("c"); err != nil {
+	if err := good.EnsureContainer(ctx, "c"); err != nil {
 		t.Fatal(err)
 	}
 	bad := NewHTTPStore(srv.URL, "wrong")
-	if err := bad.EnsureContainer("c"); !errors.Is(err, ErrUnauthorized) {
+	if err := bad.EnsureContainer(ctx, "c"); !errors.Is(err, ErrUnauthorized) {
 		t.Fatalf("wrong token: %v", err)
 	}
 	none := NewHTTPStore(srv.URL, "")
-	if _, err := none.Get("c", "k"); !errors.Is(err, ErrUnauthorized) {
+	if _, err := none.Get(ctx, "c", "k"); !errors.Is(err, ErrUnauthorized) {
 		t.Fatalf("missing token: %v", err)
+	}
+	if err := none.PutMulti(ctx, "c", []Object{{Key: "k"}}); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("missing token batch: %v", err)
 	}
 }
 
 func TestHTTPHandlerRejectsBadRoutes(t *testing.T) {
 	s := newGateway(t, "")
-	// Reaching under /v1 with a bad method.
-	if err := s.EnsureContainer("c"); err != nil {
+	// POST on an object path is not a route.
+	if err := s.EnsureContainer(ctx, "c"); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := s.do("POST", s.url("c", "k"), nil)
+	resp, err := s.do(ctx, "POST", s.url("c", "k"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +181,7 @@ func TestHTTPHandlerRejectsBadRoutes(t *testing.T) {
 	if resp.StatusCode != 405 {
 		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
 	}
-	resp2, err := s.do("GET", s.base+"/other", nil)
+	resp2, err := s.do(ctx, "GET", s.base+"/other", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,18 +189,27 @@ func TestHTTPHandlerRejectsBadRoutes(t *testing.T) {
 	if resp2.StatusCode != 404 {
 		t.Fatalf("bad path status = %d, want 404", resp2.StatusCode)
 	}
+	// POST on a container with an unknown multi op.
+	resp3, err := s.do(ctx, "POST", s.url("c", "")+"?multi=zap", bytes.NewReader([]byte("[]")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != 400 {
+		t.Fatalf("unknown multi op status = %d, want 400", resp3.StatusCode)
+	}
 }
 
 func TestHTTPStoreKeysWithSpecialCharacters(t *testing.T) {
 	s := newGateway(t, "")
-	if err := s.EnsureContainer("c"); err != nil {
+	if err := s.EnsureContainer(ctx, "c"); err != nil {
 		t.Fatal(err)
 	}
 	key := "weird key/with? things#"
-	if err := s.Put("c", key, []byte("v")); err != nil {
+	if err := s.Put(ctx, "c", key, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get("c", key)
+	got, err := s.Get(ctx, "c", key)
 	if err != nil || string(got) != "v" {
 		t.Fatalf("special key round trip: %q %v", got, err)
 	}

@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,7 +14,9 @@ import (
 
 // Traffic is a snapshot of bytes and requests through a Metered store. The
 // protocol-overhead experiments (Fig. 7b–d, Table 2) read these counters as
-// "storage traffic".
+// "storage traffic". Batch operations charge per object — PutMulti of n
+// objects counts n puts — so traffic numbers stay comparable whether the
+// client batches or not.
 type Traffic struct {
 	Puts          uint64 `json:"puts"`
 	Gets          uint64 `json:"gets"`
@@ -68,20 +71,20 @@ func (m *Metered) Register(reg *obs.Registry, labels ...string) {
 }
 
 // EnsureContainer forwards and counts a control request.
-func (m *Metered) EnsureContainer(container string) error {
+func (m *Metered) EnsureContainer(ctx context.Context, container string) error {
 	m.count(func(t *Traffic) { t.OtherRequests++ })
-	return m.inner.EnsureContainer(container)
+	return m.inner.EnsureContainer(ctx, container)
 }
 
 // Put forwards and accounts uploaded bytes.
-func (m *Metered) Put(container, key string, data []byte) error {
+func (m *Metered) Put(ctx context.Context, container, key string, data []byte) error {
 	m.count(func(t *Traffic) { t.Puts++; t.BytesUp += uint64(len(data)) })
-	return m.inner.Put(container, key, data)
+	return m.inner.Put(ctx, container, key, data)
 }
 
 // Get forwards and accounts downloaded bytes.
-func (m *Metered) Get(container, key string) ([]byte, error) {
-	data, err := m.inner.Get(container, key)
+func (m *Metered) Get(ctx context.Context, container, key string) ([]byte, error) {
+	data, err := m.inner.Get(ctx, container, key)
 	m.count(func(t *Traffic) {
 		t.Gets++
 		t.BytesDown += uint64(len(data))
@@ -90,21 +93,51 @@ func (m *Metered) Get(container, key string) ([]byte, error) {
 }
 
 // Exists forwards and counts a control request.
-func (m *Metered) Exists(container, key string) (bool, error) {
+func (m *Metered) Exists(ctx context.Context, container, key string) (bool, error) {
 	m.count(func(t *Traffic) { t.OtherRequests++ })
-	return m.inner.Exists(container, key)
+	return m.inner.Exists(ctx, container, key)
 }
 
 // Delete forwards and counts.
-func (m *Metered) Delete(container, key string) error {
+func (m *Metered) Delete(ctx context.Context, container, key string) error {
 	m.count(func(t *Traffic) { t.Deletes++ })
-	return m.inner.Delete(container, key)
+	return m.inner.Delete(ctx, container, key)
 }
 
 // List forwards and counts a control request.
-func (m *Metered) List(container string) ([]string, error) {
+func (m *Metered) List(ctx context.Context, container string) ([]string, error) {
 	m.count(func(t *Traffic) { t.OtherRequests++ })
-	return m.inner.List(container)
+	return m.inner.List(ctx, container)
+}
+
+// PutMulti forwards the batch and charges one put per object.
+func (m *Metered) PutMulti(ctx context.Context, container string, objects []Object) error {
+	m.count(func(t *Traffic) {
+		for _, o := range objects {
+			t.Puts++
+			t.BytesUp += uint64(len(o.Data))
+		}
+	})
+	return m.inner.PutMulti(ctx, container, objects)
+}
+
+// GetMulti forwards the batch and charges one get per key plus the bytes
+// actually returned (partial results are charged for what arrived).
+func (m *Metered) GetMulti(ctx context.Context, container string, keys []string) ([][]byte, error) {
+	data, err := m.inner.GetMulti(ctx, container, keys)
+	m.count(func(t *Traffic) {
+		t.Gets += uint64(len(keys))
+		for _, d := range data {
+			t.BytesDown += uint64(len(d))
+		}
+	})
+	return data, err
+}
+
+// ExistsMulti forwards the batch and charges one control request per key.
+func (m *Metered) ExistsMulti(ctx context.Context, container string, keys []string) ([]bool, error) {
+	m.count(func(t *Traffic) { t.OtherRequests += uint64(len(keys)) })
+	return m.inner.ExistsMulti(ctx, container, keys)
 }
 
 func (m *Metered) count(f func(*Traffic)) {
@@ -116,7 +149,11 @@ func (m *Metered) count(f func(*Traffic)) {
 // Simulated wraps a Store with a latency and bandwidth model so sync-time
 // experiments reproduce the storage-bound shape of Fig. 7(e,f) without the
 // paper's Swift cluster: each request pays PerRequest, and each payload pays
-// size/BytesPerSecond.
+// size/BytesPerSecond. Batch operations pay per object — the model treats a
+// batch as a pipelined sequence of requests on one connection — so batching
+// alone buys nothing in simulated time; parallel batches across the client's
+// transfer workers overlap their sleeps, which is exactly the paper's
+// transfer-parallelism lever.
 type Simulated struct {
 	inner Store
 	clk   clock.Clock
@@ -134,50 +171,93 @@ func NewSimulated(inner Store, clk clock.Clock, perRequest time.Duration, bytesP
 }
 
 func (s *Simulated) pay(n int) {
-	d := s.PerRequest
-	if s.BytesPerSecond > 0 && n > 0 {
-		d += time.Duration(float64(n) / s.BytesPerSecond * float64(time.Second))
-	}
+	d := s.cost(n)
 	if d > 0 {
 		s.clk.Sleep(d)
 	}
 }
 
+func (s *Simulated) cost(n int) time.Duration {
+	d := s.PerRequest
+	if s.BytesPerSecond > 0 && n > 0 {
+		d += time.Duration(float64(n) / s.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}
+
 // EnsureContainer pays one request.
-func (s *Simulated) EnsureContainer(container string) error {
+func (s *Simulated) EnsureContainer(ctx context.Context, container string) error {
 	s.pay(0)
-	return s.inner.EnsureContainer(container)
+	return s.inner.EnsureContainer(ctx, container)
 }
 
 // Put pays request + upload time.
-func (s *Simulated) Put(container, key string, data []byte) error {
+func (s *Simulated) Put(ctx context.Context, container, key string, data []byte) error {
 	s.pay(len(data))
-	return s.inner.Put(container, key, data)
+	return s.inner.Put(ctx, container, key, data)
 }
 
 // Get pays request + download time.
-func (s *Simulated) Get(container, key string) ([]byte, error) {
-	data, err := s.inner.Get(container, key)
+func (s *Simulated) Get(ctx context.Context, container, key string) ([]byte, error) {
+	data, err := s.inner.Get(ctx, container, key)
 	s.pay(len(data))
 	return data, err
 }
 
 // Exists pays one request.
-func (s *Simulated) Exists(container, key string) (bool, error) {
+func (s *Simulated) Exists(ctx context.Context, container, key string) (bool, error) {
 	s.pay(0)
-	return s.inner.Exists(container, key)
+	return s.inner.Exists(ctx, container, key)
 }
 
 // Delete pays one request.
-func (s *Simulated) Delete(container, key string) error {
+func (s *Simulated) Delete(ctx context.Context, container, key string) error {
 	s.pay(0)
-	return s.inner.Delete(container, key)
+	return s.inner.Delete(ctx, container, key)
 }
 
 // List pays one request.
-func (s *Simulated) List(container string) ([]string, error) {
+func (s *Simulated) List(ctx context.Context, container string) ([]string, error) {
 	s.pay(0)
-	return s.inner.List(container)
+	return s.inner.List(ctx, container)
+}
+
+// PutMulti pays request + upload time per object, then forwards the batch.
+func (s *Simulated) PutMulti(ctx context.Context, container string, objects []Object) error {
+	var d time.Duration
+	for _, o := range objects {
+		d += s.cost(len(o.Data))
+	}
+	if d > 0 {
+		s.clk.Sleep(d)
+	}
+	return s.inner.PutMulti(ctx, container, objects)
+}
+
+// GetMulti forwards the batch, then pays request + download time per object
+// actually returned (absent keys still pay their probe request).
+func (s *Simulated) GetMulti(ctx context.Context, container string, keys []string) ([][]byte, error) {
+	data, err := s.inner.GetMulti(ctx, container, keys)
+	var d time.Duration
+	for i := range keys {
+		n := 0
+		if i < len(data) {
+			n = len(data[i])
+		}
+		d += s.cost(n)
+	}
+	if d > 0 {
+		s.clk.Sleep(d)
+	}
+	return data, err
+}
+
+// ExistsMulti pays one request per key, then forwards the batch.
+func (s *Simulated) ExistsMulti(ctx context.Context, container string, keys []string) ([]bool, error) {
+	if d := s.cost(0) * time.Duration(len(keys)); d > 0 {
+		s.clk.Sleep(d)
+	}
+	return s.inner.ExistsMulti(ctx, container, keys)
 }
 
 // ErrInjected marks a fault-injected storage failure. It is transient by
@@ -188,7 +268,10 @@ var ErrInjected = errors.New("objstore: injected fault")
 // Faulty wraps a Store with deterministic fault injection: per-operation
 // transient errors and latency spikes from the plan's decision stream, plus
 // scheduled outage windows during which every request fails — the model of a
-// Swift cluster that is slow, flaky or unreachable.
+// Swift cluster that is slow, flaky or unreachable. Batch operations fall
+// back to per-object singles so every object rolls its own fault decision, a
+// mid-batch fault leaves the idempotent prefix applied, and the decision
+// stream advances exactly as it would without batching.
 type Faulty struct {
 	inner Store
 	plan  *faults.Plan
@@ -228,51 +311,84 @@ func (f *Faulty) inject(op string) error {
 }
 
 // EnsureContainer injects then forwards.
-func (f *Faulty) EnsureContainer(container string) error {
+func (f *Faulty) EnsureContainer(ctx context.Context, container string) error {
+	if err := ctxErr(ctx, "ensure", container); err != nil {
+		return err
+	}
 	if err := f.inject("ensure"); err != nil {
 		return err
 	}
-	return f.inner.EnsureContainer(container)
+	return f.inner.EnsureContainer(ctx, container)
 }
 
 // Put injects then forwards.
-func (f *Faulty) Put(container, key string, data []byte) error {
+func (f *Faulty) Put(ctx context.Context, container, key string, data []byte) error {
+	if err := ctxErr(ctx, "put", container); err != nil {
+		return err
+	}
 	if err := f.inject("put"); err != nil {
 		return err
 	}
-	return f.inner.Put(container, key, data)
+	return f.inner.Put(ctx, container, key, data)
 }
 
 // Get injects then forwards.
-func (f *Faulty) Get(container, key string) ([]byte, error) {
+func (f *Faulty) Get(ctx context.Context, container, key string) ([]byte, error) {
+	if err := ctxErr(ctx, "get", container); err != nil {
+		return nil, err
+	}
 	if err := f.inject("get"); err != nil {
 		return nil, err
 	}
-	return f.inner.Get(container, key)
+	return f.inner.Get(ctx, container, key)
 }
 
 // Exists injects then forwards.
-func (f *Faulty) Exists(container, key string) (bool, error) {
+func (f *Faulty) Exists(ctx context.Context, container, key string) (bool, error) {
+	if err := ctxErr(ctx, "exists", container); err != nil {
+		return false, err
+	}
 	if err := f.inject("exists"); err != nil {
 		return false, err
 	}
-	return f.inner.Exists(container, key)
+	return f.inner.Exists(ctx, container, key)
 }
 
 // Delete injects then forwards.
-func (f *Faulty) Delete(container, key string) error {
+func (f *Faulty) Delete(ctx context.Context, container, key string) error {
+	if err := ctxErr(ctx, "delete", container); err != nil {
+		return err
+	}
 	if err := f.inject("delete"); err != nil {
 		return err
 	}
-	return f.inner.Delete(container, key)
+	return f.inner.Delete(ctx, container, key)
 }
 
 // List injects then forwards.
-func (f *Faulty) List(container string) ([]string, error) {
+func (f *Faulty) List(ctx context.Context, container string) ([]string, error) {
+	if err := ctxErr(ctx, "list", container); err != nil {
+		return nil, err
+	}
 	if err := f.inject("list"); err != nil {
 		return nil, err
 	}
-	return f.inner.List(container)
+	return f.inner.List(ctx, container)
+}
+
+// PutMulti injects per object via the per-object fallback.
+func (f *Faulty) PutMulti(ctx context.Context, container string, objects []Object) error {
+	return putMultiSeq(ctx, f, container, objects)
+}
+
+// GetMulti injects per object via the per-object fallback.
+func (f *Faulty) GetMulti(ctx context.Context, container string, keys []string) ([][]byte, error) {
+	return getMultiSeq(ctx, f, container, keys)
+}
+
+// ExistsMulti injects per object via the per-object fallback.
+func (f *Faulty) ExistsMulti(ctx context.Context, container string, keys []string) ([]bool, error) {
+	return existsMultiSeq(ctx, f, container, keys)
 }
 
 // authTable is the shared token -> containers grant map.
@@ -283,7 +399,8 @@ type authTable struct {
 
 // TokenAuth wraps a Store and rejects requests whose container is not
 // covered by the presented token — the stand-in for Swift's auth service
-// (clients authenticate separately against storage, §4.1).
+// (clients authenticate separately against storage, §4.1). Batch operations
+// check the grant once: the whole batch targets one container.
 type TokenAuth struct {
 	inner Store
 	table *authTable
@@ -325,49 +442,73 @@ func (a *TokenAuth) check(container string) error {
 var _ Store = (*TokenAuth)(nil)
 
 // EnsureContainer checks the grant then forwards.
-func (a *TokenAuth) EnsureContainer(container string) error {
+func (a *TokenAuth) EnsureContainer(ctx context.Context, container string) error {
 	if err := a.check(container); err != nil {
 		return err
 	}
-	return a.inner.EnsureContainer(container)
+	return a.inner.EnsureContainer(ctx, container)
 }
 
 // Put checks the grant then forwards.
-func (a *TokenAuth) Put(container, key string, data []byte) error {
+func (a *TokenAuth) Put(ctx context.Context, container, key string, data []byte) error {
 	if err := a.check(container); err != nil {
 		return err
 	}
-	return a.inner.Put(container, key, data)
+	return a.inner.Put(ctx, container, key, data)
 }
 
 // Get checks the grant then forwards.
-func (a *TokenAuth) Get(container, key string) ([]byte, error) {
+func (a *TokenAuth) Get(ctx context.Context, container, key string) ([]byte, error) {
 	if err := a.check(container); err != nil {
 		return nil, err
 	}
-	return a.inner.Get(container, key)
+	return a.inner.Get(ctx, container, key)
 }
 
 // Exists checks the grant then forwards.
-func (a *TokenAuth) Exists(container, key string) (bool, error) {
+func (a *TokenAuth) Exists(ctx context.Context, container, key string) (bool, error) {
 	if err := a.check(container); err != nil {
 		return false, err
 	}
-	return a.inner.Exists(container, key)
+	return a.inner.Exists(ctx, container, key)
 }
 
 // Delete checks the grant then forwards.
-func (a *TokenAuth) Delete(container, key string) error {
+func (a *TokenAuth) Delete(ctx context.Context, container, key string) error {
 	if err := a.check(container); err != nil {
 		return err
 	}
-	return a.inner.Delete(container, key)
+	return a.inner.Delete(ctx, container, key)
 }
 
 // List checks the grant then forwards.
-func (a *TokenAuth) List(container string) ([]string, error) {
+func (a *TokenAuth) List(ctx context.Context, container string) ([]string, error) {
 	if err := a.check(container); err != nil {
 		return nil, err
 	}
-	return a.inner.List(container)
+	return a.inner.List(ctx, container)
+}
+
+// PutMulti checks the grant once then forwards the batch.
+func (a *TokenAuth) PutMulti(ctx context.Context, container string, objects []Object) error {
+	if err := a.check(container); err != nil {
+		return err
+	}
+	return a.inner.PutMulti(ctx, container, objects)
+}
+
+// GetMulti checks the grant once then forwards the batch.
+func (a *TokenAuth) GetMulti(ctx context.Context, container string, keys []string) ([][]byte, error) {
+	if err := a.check(container); err != nil {
+		return nil, err
+	}
+	return a.inner.GetMulti(ctx, container, keys)
+}
+
+// ExistsMulti checks the grant once then forwards the batch.
+func (a *TokenAuth) ExistsMulti(ctx context.Context, container string, keys []string) ([]bool, error) {
+	if err := a.check(container); err != nil {
+		return nil, err
+	}
+	return a.inner.ExistsMulti(ctx, container, keys)
 }

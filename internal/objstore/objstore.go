@@ -3,12 +3,23 @@
 // in per-user containers; the SyncService never touches data flows, only
 // metadata — the decoupling at the core of the architecture (§4).
 //
+// The Store API is context-aware and batch-first: every method takes a
+// context.Context, and PutMulti/GetMulti/ExistsMulti move many chunks per
+// round trip. Batch calls are the client's transfer-pipeline primitive:
+// ExistsMulti is the server-assisted dedup probe (skip uploading chunks the
+// container already holds), PutMulti/GetMulti amortize per-request overhead
+// across a worker pool.
+//
 // Backends: Memory and Disk. Wrappers add per-request accounting (Metered,
 // used by the traffic experiments), a latency/bandwidth model (Simulated,
-// used by the sync-time experiments) and token authentication (TokenAuth).
+// used by the sync-time experiments), deterministic fault injection (Faulty)
+// and token authentication (TokenAuth). Wrappers charge batch operations
+// per object, so the paper's traffic and sync-time experiments stay accurate
+// under batching.
 package objstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -22,22 +33,117 @@ var (
 	ErrUnauthorized = errors.New("objstore: unauthorized")
 )
 
+// Object pairs a key with its payload for batch puts.
+type Object struct {
+	Key  string
+	Data []byte
+}
+
 // Store is the object-storage surface the client uses. Keys are chunk
 // fingerprints; containers isolate users (per-user deduplication only,
 // §4.1).
+//
+// Contract, pinned down by the storetest conformance suite:
+//   - Operations against a missing container fail with ErrNoContainer.
+//   - Get of an absent key fails with ErrNotFound; Exists reports false.
+//   - Content-addressed puts are idempotent: re-putting a key succeeds.
+//   - A canceled context fails every operation with the context's error.
+//   - Batch operations are equivalent to their per-object loops, except for
+//     GetMulti's partial-result semantics below.
 type Store interface {
 	// EnsureContainer creates the container if missing.
-	EnsureContainer(container string) error
+	EnsureContainer(ctx context.Context, container string) error
 	// Put stores data under key. Content-addressed writes are idempotent.
-	Put(container, key string, data []byte) error
+	Put(ctx context.Context, container, key string, data []byte) error
 	// Get retrieves the object or ErrNotFound.
-	Get(container, key string) ([]byte, error)
+	Get(ctx context.Context, container, key string) ([]byte, error)
 	// Exists reports whether key is present.
-	Exists(container, key string) (bool, error)
+	Exists(ctx context.Context, container, key string) (bool, error)
 	// Delete removes the object; deleting a missing object is a no-op.
-	Delete(container, key string) error
+	Delete(ctx context.Context, container, key string) error
 	// List returns the sorted keys of a container.
-	List(container string) ([]string, error)
+	List(ctx context.Context, container string) ([]string, error)
+
+	// PutMulti stores every object. Puts are idempotent, so a failed batch
+	// may have applied a prefix; retrying the whole batch is always safe.
+	PutMulti(ctx context.Context, container string, objects []Object) error
+	// GetMulti returns object data aligned with keys. Present keys yield
+	// non-nil slices (empty objects yield empty non-nil slices); absent keys
+	// yield nil entries and contribute ErrNotFound to the returned error, so
+	// callers get the partial results alongside errors.Is-able misses. Any
+	// other failure aborts the batch.
+	GetMulti(ctx context.Context, container string, keys []string) ([][]byte, error)
+	// ExistsMulti reports presence aligned with keys.
+	ExistsMulti(ctx context.Context, container string, keys []string) ([]bool, error)
+}
+
+// opErr decorates an error with the failing operation and object.
+func opErr(op, container, key string, err error) error {
+	if key == "" {
+		return fmt.Errorf("objstore: %s %s: %w", op, container, err)
+	}
+	return fmt.Errorf("objstore: %s %s/%s: %w", op, container, key, err)
+}
+
+// ctxErr reports a canceled or expired context as the operation's error.
+func ctxErr(ctx context.Context, op, container string) error {
+	if err := ctx.Err(); err != nil {
+		return opErr(op, container, "", err)
+	}
+	return nil
+}
+
+// putMultiSeq implements PutMulti as a per-object loop, re-checking the
+// context between objects. Wrappers that need per-object semantics (fault
+// injection, accounting) build on it.
+func putMultiSeq(ctx context.Context, s Store, container string, objects []Object) error {
+	for _, o := range objects {
+		if err := ctxErr(ctx, "putmulti", container); err != nil {
+			return err
+		}
+		if err := s.Put(ctx, container, o.Key, o.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// getMultiSeq implements GetMulti as a per-object loop with the interface's
+// partial-result contract: misses accumulate, other errors abort.
+func getMultiSeq(ctx context.Context, s Store, container string, keys []string) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	var errs []error
+	for i, k := range keys {
+		if err := ctxErr(ctx, "getmulti", container); err != nil {
+			return out, err
+		}
+		data, err := s.Get(ctx, container, k)
+		switch {
+		case err == nil:
+			out[i] = data
+		case errors.Is(err, ErrNotFound):
+			errs = append(errs, err)
+		default:
+			return out, err
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// existsMultiSeq implements ExistsMulti as a per-object loop.
+func existsMultiSeq(ctx context.Context, s Store, container string, keys []string) ([]bool, error) {
+	out := make([]bool, len(keys))
+	for i, k := range keys {
+		if err := ctxErr(ctx, "existsmulti", container); err != nil {
+			return nil, err
+		}
+		ok, err := s.Exists(ctx, container, k)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ok
+	}
+	return out, nil
 }
 
 // Memory is an in-process Store.
@@ -54,7 +160,10 @@ func NewMemory() *Memory {
 }
 
 // EnsureContainer creates the container if missing.
-func (m *Memory) EnsureContainer(container string) error {
+func (m *Memory) EnsureContainer(ctx context.Context, container string) error {
+	if err := ctxErr(ctx, "ensure", container); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.containers[container]; !ok {
@@ -64,12 +173,19 @@ func (m *Memory) EnsureContainer(container string) error {
 }
 
 // Put stores a copy of data under key.
-func (m *Memory) Put(container, key string, data []byte) error {
+func (m *Memory) Put(ctx context.Context, container, key string, data []byte) error {
+	if err := ctxErr(ctx, "put", container); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.putLocked(container, key, data)
+}
+
+func (m *Memory) putLocked(container, key string, data []byte) error {
 	c, ok := m.containers[container]
 	if !ok {
-		return fmt.Errorf("objstore: put %s/%s: %w", container, key, ErrNoContainer)
+		return opErr("put", container, key, ErrNoContainer)
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -78,16 +194,23 @@ func (m *Memory) Put(container, key string, data []byte) error {
 }
 
 // Get returns a copy of the stored object.
-func (m *Memory) Get(container, key string) ([]byte, error) {
+func (m *Memory) Get(ctx context.Context, container, key string) ([]byte, error) {
+	if err := ctxErr(ctx, "get", container); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	return m.getLocked(container, key)
+}
+
+func (m *Memory) getLocked(container, key string) ([]byte, error) {
 	c, ok := m.containers[container]
 	if !ok {
-		return nil, fmt.Errorf("objstore: get %s/%s: %w", container, key, ErrNoContainer)
+		return nil, opErr("get", container, key, ErrNoContainer)
 	}
 	data, ok := c[key]
 	if !ok {
-		return nil, fmt.Errorf("objstore: get %s/%s: %w", container, key, ErrNotFound)
+		return nil, opErr("get", container, key, ErrNotFound)
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -95,36 +218,45 @@ func (m *Memory) Get(container, key string) ([]byte, error) {
 }
 
 // Exists reports presence of key.
-func (m *Memory) Exists(container, key string) (bool, error) {
+func (m *Memory) Exists(ctx context.Context, container, key string) (bool, error) {
+	if err := ctxErr(ctx, "exists", container); err != nil {
+		return false, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	c, ok := m.containers[container]
 	if !ok {
-		return false, fmt.Errorf("objstore: exists %s/%s: %w", container, key, ErrNoContainer)
+		return false, opErr("exists", container, key, ErrNoContainer)
 	}
 	_, ok = c[key]
 	return ok, nil
 }
 
 // Delete removes key; missing keys are ignored.
-func (m *Memory) Delete(container, key string) error {
+func (m *Memory) Delete(ctx context.Context, container, key string) error {
+	if err := ctxErr(ctx, "delete", container); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c, ok := m.containers[container]
 	if !ok {
-		return fmt.Errorf("objstore: delete %s/%s: %w", container, key, ErrNoContainer)
+		return opErr("delete", container, key, ErrNoContainer)
 	}
 	delete(c, key)
 	return nil
 }
 
 // List returns the sorted keys in container.
-func (m *Memory) List(container string) ([]string, error) {
+func (m *Memory) List(ctx context.Context, container string) ([]string, error) {
+	if err := ctxErr(ctx, "list", container); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	c, ok := m.containers[container]
 	if !ok {
-		return nil, fmt.Errorf("objstore: list %s: %w", container, ErrNoContainer)
+		return nil, opErr("list", container, "", ErrNoContainer)
 	}
 	keys := make([]string, 0, len(c))
 	for k := range c {
@@ -132,4 +264,60 @@ func (m *Memory) List(container string) ([]string, error) {
 	}
 	sort.Strings(keys)
 	return keys, nil
+}
+
+// PutMulti stores every object under one lock acquisition.
+func (m *Memory) PutMulti(ctx context.Context, container string, objects []Object) error {
+	if err := ctxErr(ctx, "putmulti", container); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, o := range objects {
+		if err := m.putLocked(container, o.Key, o.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetMulti reads every key under one lock acquisition.
+func (m *Memory) GetMulti(ctx context.Context, container string, keys []string) ([][]byte, error) {
+	if err := ctxErr(ctx, "getmulti", container); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([][]byte, len(keys))
+	var errs []error
+	for i, k := range keys {
+		data, err := m.getLocked(container, k)
+		switch {
+		case err == nil:
+			out[i] = data
+		case errors.Is(err, ErrNotFound):
+			errs = append(errs, err)
+		default:
+			return out, err
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// ExistsMulti probes every key under one lock acquisition.
+func (m *Memory) ExistsMulti(ctx context.Context, container string, keys []string) ([]bool, error) {
+	if err := ctxErr(ctx, "existsmulti", container); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, ok := m.containers[container]
+	if !ok {
+		return nil, opErr("existsmulti", container, "", ErrNoContainer)
+	}
+	out := make([]bool, len(keys))
+	for i, k := range keys {
+		_, out[i] = c[k]
+	}
+	return out, nil
 }

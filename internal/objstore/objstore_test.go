@@ -1,7 +1,7 @@
 package objstore
 
 import (
-	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -10,118 +10,20 @@ import (
 	"stacksync/internal/clock"
 )
 
-// storeFactories lets every conformance test run against all backends.
-func storeFactories(t *testing.T) map[string]func() Store {
-	t.Helper()
-	return map[string]func() Store{
-		"memory": func() Store { return NewMemory() },
-		"disk": func() Store {
-			d, err := NewDisk(t.TempDir())
-			if err != nil {
-				t.Fatal(err)
-			}
-			return d
-		},
-		"metered-memory": func() Store { return NewMetered(NewMemory()) },
-	}
-}
+// The cross-implementation contract lives in the storetest conformance
+// suite (see conformance_test.go). The tests here cover backend- and
+// wrapper-specific behaviour the shared suite cannot: aliasing, crash
+// persistence, accounting and the latency model.
 
-func TestStoreConformance(t *testing.T) {
-	for name, mk := range storeFactories(t) {
-		t.Run(name, func(t *testing.T) {
-			s := mk()
-
-			// Operations against a missing container fail.
-			if err := s.Put("nope", "k", []byte("v")); !errors.Is(err, ErrNoContainer) {
-				t.Fatalf("put without container: %v", err)
-			}
-			if _, err := s.Get("nope", "k"); !errors.Is(err, ErrNoContainer) {
-				t.Fatalf("get without container: %v", err)
-			}
-			if _, err := s.List("nope"); !errors.Is(err, ErrNoContainer) {
-				t.Fatalf("list without container: %v", err)
-			}
-
-			if err := s.EnsureContainer("u1"); err != nil {
-				t.Fatal(err)
-			}
-			if err := s.EnsureContainer("u1"); err != nil {
-				t.Fatalf("re-ensure: %v", err)
-			}
-
-			// Missing object.
-			if _, err := s.Get("u1", "absent"); !errors.Is(err, ErrNotFound) {
-				t.Fatalf("get absent: %v", err)
-			}
-			ok, err := s.Exists("u1", "absent")
-			if err != nil || ok {
-				t.Fatalf("exists absent = %v, %v", ok, err)
-			}
-
-			// Put / Get round trip.
-			payload := []byte("chunk-content")
-			if err := s.Put("u1", "abc123", payload); err != nil {
-				t.Fatal(err)
-			}
-			got, err := s.Get("u1", "abc123")
-			if err != nil || !bytes.Equal(got, payload) {
-				t.Fatalf("get = %q, %v", got, err)
-			}
-			ok, err = s.Exists("u1", "abc123")
-			if err != nil || !ok {
-				t.Fatalf("exists = %v, %v", ok, err)
-			}
-
-			// Overwrite is idempotent for content-addressed data.
-			if err := s.Put("u1", "abc123", payload); err != nil {
-				t.Fatalf("re-put: %v", err)
-			}
-
-			// List is sorted.
-			if err := s.Put("u1", "zzz", []byte("z")); err != nil {
-				t.Fatal(err)
-			}
-			if err := s.Put("u1", "aaa", []byte("a")); err != nil {
-				t.Fatal(err)
-			}
-			keys, err := s.List("u1")
-			if err != nil {
-				t.Fatal(err)
-			}
-			want := []string{"aaa", "abc123", "zzz"}
-			if len(keys) != 3 || keys[0] != want[0] || keys[1] != want[1] || keys[2] != want[2] {
-				t.Fatalf("list = %v, want %v", keys, want)
-			}
-
-			// Delete removes; re-delete is a no-op.
-			if err := s.Delete("u1", "abc123"); err != nil {
-				t.Fatal(err)
-			}
-			if _, err := s.Get("u1", "abc123"); !errors.Is(err, ErrNotFound) {
-				t.Fatalf("get after delete: %v", err)
-			}
-			if err := s.Delete("u1", "abc123"); err != nil {
-				t.Fatalf("double delete: %v", err)
-			}
-
-			// Containers are isolated.
-			if err := s.EnsureContainer("u2"); err != nil {
-				t.Fatal(err)
-			}
-			if ok, _ := s.Exists("u2", "aaa"); ok {
-				t.Fatal("object leaked across containers")
-			}
-		})
-	}
-}
+var ctx = context.Background()
 
 func TestMemoryGetReturnsCopy(t *testing.T) {
 	m := NewMemory()
-	_ = m.EnsureContainer("c")
-	_ = m.Put("c", "k", []byte("original"))
-	got, _ := m.Get("c", "k")
+	_ = m.EnsureContainer(ctx, "c")
+	_ = m.Put(ctx, "c", "k", []byte("original"))
+	got, _ := m.Get(ctx, "c", "k")
 	got[0] = 'X'
-	again, _ := m.Get("c", "k")
+	again, _ := m.Get(ctx, "c", "k")
 	if string(again) != "original" {
 		t.Fatalf("internal state mutated through returned slice: %q", again)
 	}
@@ -129,13 +31,25 @@ func TestMemoryGetReturnsCopy(t *testing.T) {
 
 func TestMemoryPutCopiesInput(t *testing.T) {
 	m := NewMemory()
-	_ = m.EnsureContainer("c")
+	_ = m.EnsureContainer(ctx, "c")
 	buf := []byte("original")
-	_ = m.Put("c", "k", buf)
+	_ = m.Put(ctx, "c", "k", buf)
 	buf[0] = 'X'
-	got, _ := m.Get("c", "k")
+	got, _ := m.Get(ctx, "c", "k")
 	if string(got) != "original" {
 		t.Fatalf("store aliased caller's buffer: %q", got)
+	}
+}
+
+func TestMemoryPutMultiCopiesInput(t *testing.T) {
+	m := NewMemory()
+	_ = m.EnsureContainer(ctx, "c")
+	buf := []byte("original")
+	_ = m.PutMulti(ctx, "c", []Object{{Key: "k", Data: buf}})
+	buf[0] = 'X'
+	got, _ := m.Get(ctx, "c", "k")
+	if string(got) != "original" {
+		t.Fatalf("store aliased caller's batch buffer: %q", got)
 	}
 }
 
@@ -145,15 +59,15 @@ func TestDiskSurvivesReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = d1.EnsureContainer("c")
-	if err := d1.Put("c", "deadbeef", []byte("persisted")); err != nil {
+	_ = d1.EnsureContainer(ctx, "c")
+	if err := d1.Put(ctx, "c", "deadbeef", []byte("persisted")); err != nil {
 		t.Fatal(err)
 	}
 	d2, err := NewDisk(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := d2.Get("c", "deadbeef")
+	got, err := d2.Get(ctx, "c", "deadbeef")
 	if err != nil || string(got) != "persisted" {
 		t.Fatalf("after reopen: %q, %v", got, err)
 	}
@@ -164,15 +78,15 @@ func TestDiskSanitizesHostileKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = d.EnsureContainer("c")
-	if err := d.Put("c", "../../etc/passwd", []byte("nope")); err != nil {
+	_ = d.EnsureContainer(ctx, "c")
+	if err := d.Put(ctx, "c", "../../etc/passwd", []byte("nope")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.Get("c", "../../etc/passwd")
+	got, err := d.Get(ctx, "c", "../../etc/passwd")
 	if err != nil || string(got) != "nope" {
 		t.Fatalf("hostile key round trip: %q, %v", got, err)
 	}
-	keys, _ := d.List("c")
+	keys, _ := d.List(ctx, "c")
 	if len(keys) != 1 {
 		t.Fatalf("keys = %v", keys)
 	}
@@ -180,14 +94,14 @@ func TestDiskSanitizesHostileKeys(t *testing.T) {
 
 func TestMeteredCountsTraffic(t *testing.T) {
 	m := NewMetered(NewMemory())
-	_ = m.EnsureContainer("c")
-	_ = m.Put("c", "k1", make([]byte, 1000))
-	_ = m.Put("c", "k2", make([]byte, 500))
-	if _, err := m.Get("c", "k1"); err != nil {
+	_ = m.EnsureContainer(ctx, "c")
+	_ = m.Put(ctx, "c", "k1", make([]byte, 1000))
+	_ = m.Put(ctx, "c", "k2", make([]byte, 500))
+	if _, err := m.Get(ctx, "c", "k1"); err != nil {
 		t.Fatal(err)
 	}
-	_, _ = m.Exists("c", "k1")
-	_ = m.Delete("c", "k2")
+	_, _ = m.Exists(ctx, "c", "k1")
+	_ = m.Delete(ctx, "c", "k2")
 	tr := m.Traffic()
 	if tr.Puts != 2 || tr.Gets != 1 || tr.Deletes != 1 {
 		t.Fatalf("request counts: %+v", tr)
@@ -204,14 +118,52 @@ func TestMeteredCountsTraffic(t *testing.T) {
 	}
 }
 
+// TestMeteredBatchChargesPerObject: a batch of n objects must meter exactly
+// like n single operations, so traffic experiments stay comparable whether
+// or not the client batches.
+func TestMeteredBatchChargesPerObject(t *testing.T) {
+	m := NewMetered(NewMemory())
+	_ = m.EnsureContainer(ctx, "c")
+	if err := m.PutMulti(ctx, "c", []Object{
+		{Key: "k1", Data: make([]byte, 1000)},
+		{Key: "k2", Data: make([]byte, 500)},
+		{Key: "k3", Data: make([]byte, 250)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.GetMulti(ctx, "c", []string{"k1", "k2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ExistsMulti(ctx, "c", []string{"k1", "k2", "k3", "k4"}); err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Traffic()
+	if tr.Puts != 3 || tr.BytesUp != 1750 {
+		t.Fatalf("batch put accounting: %+v", tr)
+	}
+	if tr.Gets != 2 || tr.BytesDown != 1500 {
+		t.Fatalf("batch get accounting: %+v", tr)
+	}
+	// EnsureContainer (1) + the four probed keys.
+	if tr.OtherRequests != 5 {
+		t.Fatalf("batch exists accounting: %+v", tr)
+	}
+	// A miss still charges its get request, but moves no bytes.
+	_, _ = m.GetMulti(ctx, "c", []string{"k1", "missing"})
+	tr = m.Traffic()
+	if tr.Gets != 4 || tr.BytesDown != 2500 {
+		t.Fatalf("partial batch get accounting: %+v", tr)
+	}
+}
+
 func TestMeteredTrafficProperty(t *testing.T) {
 	f := func(sizes []uint16) bool {
 		m := NewMetered(NewMemory())
-		_ = m.EnsureContainer("c")
+		_ = m.EnsureContainer(ctx, "c")
 		var up uint64
 		for i, s := range sizes {
 			data := make([]byte, int(s)%4096)
-			_ = m.Put("c", string(rune('a'+i%26)), data)
+			_ = m.Put(ctx, "c", string(rune('a'+i%26)), data)
 			up += uint64(len(data))
 		}
 		return m.Traffic().BytesUp == up
@@ -224,12 +176,12 @@ func TestMeteredTrafficProperty(t *testing.T) {
 func TestSimulatedLatencyModel(t *testing.T) {
 	vc := clock.NewVirtual(time.Unix(0, 0))
 	inner := NewMemory()
-	_ = inner.EnsureContainer("c")                               // set up without paying virtual latency
+	_ = inner.EnsureContainer(ctx, "c")                          // set up without paying virtual latency
 	s := NewSimulated(inner, vc, 10*time.Millisecond, 1_000_000) // 1 MB/s
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_ = s.Put("c", "k", make([]byte, 500_000)) // 10ms + 500ms
+		_ = s.Put(ctx, "c", "k", make([]byte, 500_000)) // 10ms + 500ms
 	}()
 	deadline := time.Now().Add(2 * time.Second)
 	for {
@@ -253,13 +205,54 @@ func TestSimulatedLatencyModel(t *testing.T) {
 	}
 }
 
+// TestSimulatedBatchPaysPerObject: a batch must pay the same simulated time
+// as its per-object loop — batching does not cheat the network model; only
+// parallel batches overlap their cost.
+func TestSimulatedBatchPaysPerObject(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	inner := NewMemory()
+	_ = inner.EnsureContainer(ctx, "c")
+	s := NewSimulated(inner, vc, 10*time.Millisecond, 1_000_000) // 1 MB/s
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// 3 objects: 3×10ms requests + (100k+200k+300k)/1MBps = 630ms total.
+		_ = s.PutMulti(ctx, "c", []Object{
+			{Key: "a", Data: make([]byte, 100_000)},
+			{Key: "b", Data: make([]byte, 200_000)},
+			{Key: "c", Data: make([]byte, 300_000)},
+		})
+		// Probe batch: 2×10ms.
+		_, _ = s.ExistsMulti(ctx, "c", []string{"a", "b"})
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		select {
+		case <-done:
+			if got := vc.Now().Sub(time.Unix(0, 0)); got < 650*time.Millisecond {
+				t.Fatalf("batch paid only %v of virtual time, want >= 650ms", got)
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("simulated batch never completed")
+		}
+		if vc.Waiters() > 0 {
+			vc.Advance(100 * time.Millisecond)
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
 func TestSimulatedZeroCostPassthrough(t *testing.T) {
 	s := NewSimulated(NewMemory(), clock.NewReal(), 0, 0)
-	_ = s.EnsureContainer("c")
-	if err := s.Put("c", "k", []byte("fast")); err != nil {
+	_ = s.EnsureContainer(ctx, "c")
+	if err := s.Put(ctx, "c", "k", []byte("fast")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get("c", "k")
+	got, err := s.Get(ctx, "c", "k")
 	if err != nil || string(got) != "fast" {
 		t.Fatalf("passthrough: %q, %v", got, err)
 	}
@@ -271,21 +264,27 @@ func TestTokenAuthEnforcesGrants(t *testing.T) {
 	alice := auth.WithToken("alice-token")
 	mallory := auth.WithToken("mallory-token")
 
-	if err := alice.EnsureContainer("alice"); err != nil {
+	if err := alice.EnsureContainer(ctx, "alice"); err != nil {
 		t.Fatal(err)
 	}
-	if err := alice.Put("alice", "k", []byte("secret")); err != nil {
+	if err := alice.Put(ctx, "alice", "k", []byte("secret")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mallory.Get("alice", "k"); !errors.Is(err, ErrUnauthorized) {
+	if _, err := mallory.Get(ctx, "alice", "k"); !errors.Is(err, ErrUnauthorized) {
 		t.Fatalf("mallory read alice's data: %v", err)
 	}
-	if err := mallory.Put("alice", "k2", []byte("spam")); !errors.Is(err, ErrUnauthorized) {
+	if err := mallory.Put(ctx, "alice", "k2", []byte("spam")); !errors.Is(err, ErrUnauthorized) {
 		t.Fatalf("mallory wrote to alice's container: %v", err)
+	}
+	if _, err := mallory.GetMulti(ctx, "alice", []string{"k"}); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("mallory batch-read alice's data: %v", err)
+	}
+	if _, err := mallory.ExistsMulti(ctx, "alice", []string{"k"}); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("mallory batch-probed alice's container: %v", err)
 	}
 	// Grants added later are visible to existing views.
 	auth.Grant("mallory-token", "mallory")
-	if err := mallory.EnsureContainer("mallory"); err != nil {
+	if err := mallory.EnsureContainer(ctx, "mallory"); err != nil {
 		t.Fatalf("granted container still denied: %v", err)
 	}
 }

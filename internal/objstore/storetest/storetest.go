@@ -1,0 +1,266 @@
+// Package storetest pins down the objstore.Store contract as an executable
+// conformance suite. Every Store implementation — backends, wrappers, and
+// the client's resilience layer — runs the same suite, so sentinel errors,
+// idempotent content-addressed puts, context cancellation and batch/single
+// equivalence behave identically no matter how the store is composed.
+package storetest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"stacksync/internal/objstore"
+)
+
+// Containers are the container names the suite creates. Auth-gating
+// wrappers (TokenAuth and friends) must pre-grant access to all of them,
+// plus MissingContainer: the suite probes MissingContainer to assert
+// ErrNoContainer, which an unauthorized view would mask with
+// ErrUnauthorized.
+var Containers = []string{"stc-a", "stc-b"}
+
+// MissingContainer is probed but never created.
+const MissingContainer = "stc-missing"
+
+// Run exercises the full Store contract against a fresh store from mk.
+// Implementations with per-operation side effects (metering, simulated
+// latency) must be configured so operations succeed; fault injectors must
+// use a no-fault plan.
+func Run(t *testing.T, mk func(t *testing.T) objstore.Store) {
+	t.Helper()
+	t.Run("sentinels", func(t *testing.T) { runSentinels(t, mk(t)) })
+	t.Run("roundtrip", func(t *testing.T) { runRoundtrip(t, mk(t)) })
+	t.Run("batch", func(t *testing.T) { runBatch(t, mk(t)) })
+	t.Run("cancellation", func(t *testing.T) { runCancellation(t, mk(t)) })
+}
+
+func runSentinels(t *testing.T, s objstore.Store) {
+	ctx := context.Background()
+	// Every operation against a missing container fails with ErrNoContainer.
+	if err := s.Put(ctx, MissingContainer, "k", []byte("v")); !errors.Is(err, objstore.ErrNoContainer) {
+		t.Fatalf("put without container: %v", err)
+	}
+	if _, err := s.Get(ctx, MissingContainer, "k"); !errors.Is(err, objstore.ErrNoContainer) {
+		t.Fatalf("get without container: %v", err)
+	}
+	if _, err := s.Exists(ctx, MissingContainer, "k"); !errors.Is(err, objstore.ErrNoContainer) {
+		t.Fatalf("exists without container: %v", err)
+	}
+	if err := s.Delete(ctx, MissingContainer, "k"); !errors.Is(err, objstore.ErrNoContainer) {
+		t.Fatalf("delete without container: %v", err)
+	}
+	if _, err := s.List(ctx, MissingContainer); !errors.Is(err, objstore.ErrNoContainer) {
+		t.Fatalf("list without container: %v", err)
+	}
+	if err := s.PutMulti(ctx, MissingContainer, []objstore.Object{{Key: "k", Data: []byte("v")}}); !errors.Is(err, objstore.ErrNoContainer) {
+		t.Fatalf("putmulti without container: %v", err)
+	}
+	if _, err := s.ExistsMulti(ctx, MissingContainer, []string{"k"}); !errors.Is(err, objstore.ErrNoContainer) {
+		t.Fatalf("existsmulti without container: %v", err)
+	}
+
+	if err := s.EnsureContainer(ctx, Containers[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Absent objects: ErrNotFound on Get, a false answer (no error) on Exists.
+	if _, err := s.Get(ctx, Containers[0], "absent"); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("get absent: %v", err)
+	}
+	ok, err := s.Exists(ctx, Containers[0], "absent")
+	if err != nil || ok {
+		t.Fatalf("exists absent = %v, %v", ok, err)
+	}
+	// Deleting a missing object is a no-op, not an error.
+	if err := s.Delete(ctx, Containers[0], "absent"); err != nil {
+		t.Fatalf("delete absent: %v", err)
+	}
+}
+
+func runRoundtrip(t *testing.T, s objstore.Store) {
+	ctx := context.Background()
+	c := Containers[0]
+	if err := s.EnsureContainer(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+	// Re-ensuring is idempotent.
+	if err := s.EnsureContainer(ctx, c); err != nil {
+		t.Fatalf("re-ensure: %v", err)
+	}
+
+	payload := []byte("chunk-content")
+	if err := s.Put(ctx, c, "abc123", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(ctx, c, "abc123")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	ok, err := s.Exists(ctx, c, "abc123")
+	if err != nil || !ok {
+		t.Fatalf("exists = %v, %v", ok, err)
+	}
+
+	// Content-addressed puts are idempotent: re-putting the key succeeds.
+	if err := s.Put(ctx, c, "abc123", payload); err != nil {
+		t.Fatalf("re-put: %v", err)
+	}
+
+	// List is sorted.
+	if err := s.Put(ctx, c, "zzz", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, c, "aaa", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.List(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"aaa", "abc123", "zzz"}
+	if len(keys) != 3 || keys[0] != want[0] || keys[1] != want[1] || keys[2] != want[2] {
+		t.Fatalf("list = %v, want %v", keys, want)
+	}
+
+	// Delete removes; re-delete is a no-op.
+	if err := s.Delete(ctx, c, "abc123"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, c, "abc123"); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	if err := s.Delete(ctx, c, "abc123"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+
+	// Containers are isolated.
+	if err := s.EnsureContainer(ctx, Containers[1]); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Exists(ctx, Containers[1], "aaa"); ok {
+		t.Fatal("object leaked across containers")
+	}
+}
+
+func runBatch(t *testing.T, s objstore.Store) {
+	ctx := context.Background()
+	c := Containers[0]
+	if err := s.EnsureContainer(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty batches are no-ops.
+	if err := s.PutMulti(ctx, c, nil); err != nil {
+		t.Fatalf("empty putmulti: %v", err)
+	}
+	if data, err := s.GetMulti(ctx, c, nil); err != nil || len(data) != 0 {
+		t.Fatalf("empty getmulti = %v, %v", data, err)
+	}
+	if present, err := s.ExistsMulti(ctx, c, nil); err != nil || len(present) != 0 {
+		t.Fatalf("empty existsmulti = %v, %v", present, err)
+	}
+
+	// Batch puts land like single puts.
+	objs := []objstore.Object{
+		{Key: "b1", Data: []byte("one")},
+		{Key: "b2", Data: []byte("two")},
+		{Key: "b3", Data: []byte{}}, // empty objects are legal
+	}
+	if err := s.PutMulti(ctx, c, objs); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		got, err := s.Get(ctx, c, o.Key)
+		if err != nil || !bytes.Equal(got, o.Data) {
+			t.Fatalf("get %s after putmulti = %q, %v", o.Key, got, err)
+		}
+	}
+	// Re-putting the batch is idempotent.
+	if err := s.PutMulti(ctx, c, objs); err != nil {
+		t.Fatalf("re-putmulti: %v", err)
+	}
+
+	// ExistsMulti aligns with its keys and agrees with Exists.
+	present, err := s.ExistsMulti(ctx, c, []string{"b1", "nope", "b3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(present) != 3 || !present[0] || present[1] || !present[2] {
+		t.Fatalf("existsmulti = %v, want [true false true]", present)
+	}
+
+	// GetMulti of present keys: aligned data, nil error. Present empty
+	// objects come back as empty non-nil slices.
+	data, err := s.GetMulti(ctx, c, []string{"b2", "b1", "b3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 3 || string(data[0]) != "two" || string(data[1]) != "one" {
+		t.Fatalf("getmulti = %q", data)
+	}
+	if data[2] == nil || len(data[2]) != 0 {
+		t.Fatalf("empty object came back as %v", data[2])
+	}
+
+	// GetMulti with misses: partial results survive, the error wraps
+	// ErrNotFound, and the missing entry is nil.
+	data, err = s.GetMulti(ctx, c, []string{"b1", "missing", "b2"})
+	if !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("getmulti miss error = %v", err)
+	}
+	if len(data) != 3 || string(data[0]) != "one" || data[1] != nil || string(data[2]) != "two" {
+		t.Fatalf("getmulti partial = %q", data)
+	}
+
+	// Single-element batches are equivalent to single operations.
+	if err := s.PutMulti(ctx, c, []objstore.Object{{Key: "solo", Data: []byte("s")}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(ctx, c, "solo")
+	if err != nil || string(got) != "s" {
+		t.Fatalf("single-batch put round trip = %q, %v", got, err)
+	}
+	if _, err := s.GetMulti(ctx, c, []string{"missing"}); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("single-batch miss = %v, want ErrNotFound like Get", err)
+	}
+}
+
+func runCancellation(t *testing.T, s objstore.Store) {
+	live := context.Background()
+	c := Containers[0]
+	if err := s.EnsureContainer(live, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(live, c, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	check := func(op string, err error) {
+		t.Helper()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s with canceled ctx: %v, want context.Canceled", op, err)
+		}
+	}
+	check("ensure", s.EnsureContainer(ctx, c))
+	check("put", s.Put(ctx, c, "k2", []byte("v")))
+	_, err := s.Get(ctx, c, "k")
+	check("get", err)
+	_, err = s.Exists(ctx, c, "k")
+	check("exists", err)
+	check("delete", s.Delete(ctx, c, "k"))
+	_, err = s.List(ctx, c)
+	check("list", err)
+	check("putmulti", s.PutMulti(ctx, c, []objstore.Object{{Key: "k3", Data: []byte("v")}}))
+	_, err = s.GetMulti(ctx, c, []string{"k"})
+	check("getmulti", err)
+	_, err = s.ExistsMulti(ctx, c, []string{"k"})
+	check("existsmulti", err)
+
+	// The store still works after the canceled calls.
+	if got, err := s.Get(live, c, "k"); err != nil || string(got) != "v" {
+		t.Fatalf("store broken after cancellation: %q, %v", got, err)
+	}
+}

@@ -55,6 +55,7 @@ gate BenchmarkFig7eSyncTime ADD-median-ms lower
 gate BenchmarkFig7eSyncTime REMOVE-median-ms lower
 gate BenchmarkMQPublishThroughput/batch msgs/s higher
 gate BenchmarkCommitParallelWorkspaces/shards=16 commits/s higher
+gate BenchmarkTransferPipeline/pipelined MB/s higher
 
 if [ "$fail" = 1 ]; then
     echo "benchcmp: regression over 20% detected" >&2

@@ -24,6 +24,12 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Extra interleavings over the client's parallel transfer pipeline: many
+# writers, overlapping chunks, dedup probes and singleflight coalescing all
+# racing — the part of the codebase where a data race would hide best.
+echo "==> transfer pipeline stress (race, 3x)"
+go test -race -count=3 -run '^TestTransferPipelineStress$' ./internal/client/
+
 # Short coverage-guided fuzz legs over the two codecs that parse
 # attacker-controlled bytes: the wire frame reader and WAL replay. Ten
 # seconds each is a smoke pass — run `go test -fuzz` open-ended to dig.
