@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos experiments trace-demo elastic-demo benchsnap benchcmp
+.PHONY: build test race vet check chaos chaos-multi ub1-multi experiments trace-demo elastic-demo benchsnap benchcmp
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,16 @@ check: scripts/check.sh
 ## -short path; see EXPERIMENTS.md).
 chaos:
 	$(GO) run ./cmd/experiments -run chaos -quick
+
+## chaos-multi runs the cross-instance failover soak: scale 1→4→2 under load
+## with kills, partitions and storage faults over the routed fleet.
+chaos-multi:
+	$(GO) run ./cmd/experiments -run chaos-multi -quick
+
+## ub1-multi replays the UB1 day-8 peak hour over 4 routed SyncService
+## instances and checks durability of every ack plus 450 ms SLO attainment.
+ub1-multi:
+	$(GO) run ./cmd/experiments -run ub1-multi -quick
 
 experiments:
 	$(GO) run ./cmd/experiments -run all -quick

@@ -328,6 +328,40 @@ func BenchmarkTransferPipeline(b *testing.B) {
 	b.Run("pipelined", func(b *testing.B) { run(b, 8, 16) })
 }
 
+// BenchmarkMultiInstanceCommit measures routed commit throughput through the
+// workspace-affinity path: a compressed UB1 day-8 peak-hour slice replayed as
+// synchronous routed commitRequests over a fleet of 1 vs 4 SyncService
+// instances. Every iteration asserts the robustness contract (no failed and
+// no lost acked commits) before reporting; benchcmp gates on the 4-instance
+// commits/min metric.
+func BenchmarkMultiInstanceCommit(b *testing.B) {
+	run := func(b *testing.B, instances int) {
+		var rate, p99ms float64
+		for i := 0; i < b.N; i++ {
+			res, err := bench.RunUB1Multi(bench.UB1MultiConfig{
+				Seed:       int64(i + 1),
+				Instances:  instances,
+				Commits:    600,
+				Committers: 8,
+				Duration:   time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed > 0 || res.Lost > 0 {
+				b.Fatalf("routed replay broke durability: %d failed, %d lost", res.Failed, res.Lost)
+			}
+			rate = res.RatePerMinute
+			p99ms = float64(res.P99) / 1e6
+		}
+		b.ReportMetric(rate, "commits/min")
+		b.ReportMetric(p99ms, "p99-ms")
+	}
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("instances=%d", n), func(b *testing.B) { run(b, n) })
+	}
+}
+
 // BenchmarkMQPublishThroughput measures raw broker publish throughput into a
 // fanout exchange with 8 bound queues, per-message vs batched (the path the
 // SyncService's pipelined notification fan-out uses). benchcmp gates on the

@@ -6,7 +6,9 @@
 //	experiments -run all -quick      # everything, reduced trace sizes
 //
 // Experiment ids: fig7a fig7b fig7cd table2 fig7e fig7f fig8ab fig8cde fig8f
-// plus the non-figure runs: chaos (robustness soak), trace (end-to-end
+// plus the non-figure runs: chaos (robustness soak), chaos-multi
+// (cross-instance failover soak over the routed fleet), ub1-multi (UB1 day-8
+// peak replay over 4 routed instances with SLO attainment), trace (end-to-end
 // observability demo), elastic-demo (telemetry-instrumented Fig. 8 replay),
 // ablation. -admin serves /metrics, /healthz, /tracez, /queuesz, /varz,
 // /eventz, /elasticz and /debug/pprof while (and after) the run executes.
@@ -26,7 +28,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id (fig7a|fig7b|fig7cd|table2|fig7e|fig7f|fig8ab|fig8cde|fig8f|chaos|trace|elastic-demo|all)")
+	run := flag.String("run", "all", "experiment id (fig7a|fig7b|fig7cd|table2|fig7e|fig7f|fig8ab|fig8cde|fig8f|chaos|chaos-multi|ub1-multi|trace|elastic-demo|all)")
 	seed := flag.Int64("seed", 1, "PRNG seed for trace generation")
 	quick := flag.Bool("quick", false, "smaller traces / shorter runs")
 	admin := flag.String("admin", "", "admin endpoint address (e.g. 127.0.0.1:7072); kept serving after the run until interrupted")
@@ -190,6 +192,49 @@ func runExperiments(which string, seed int64, quick bool, adminAddr string) erro
 		fmt.Fprintln(out)
 		if len(res.Violations) > 0 {
 			return fmt.Errorf("chaos soak failed with %d violations", len(res.Violations))
+		}
+	}
+	if which == "chaos-multi" { // not part of "all": cross-instance failover soak
+		ran = true
+		cfg := bench.MultiChaosConfig{Seed: seed}
+		if quick {
+			cfg.Workspaces = 3
+			cfg.Clients = 4
+			cfg.CommitsPerClient = 6
+			cfg.PhaseEvery = 250e6 // 250ms
+			cfg.CrashEvery = 350e6 // 350ms
+		} else {
+			cfg.CommitsPerClient = 20
+			cfg.CommitGap = 15e6 // 15ms
+		}
+		res, err := bench.RunMultiChaos(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		fmt.Fprintln(out)
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("multi-instance chaos soak failed with %d violations", len(res.Violations))
+		}
+	}
+	if which == "ub1-multi" { // not part of "all": routed-fleet peak replay
+		ran = true
+		cfg := bench.UB1MultiConfig{Seed: seed}
+		if quick {
+			cfg.Commits = 1200
+			cfg.Duration = 2e9 // 2s
+		}
+		res, err := bench.RunUB1Multi(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		fmt.Fprintln(out)
+		if res.Failed > 0 || res.Lost > 0 {
+			return fmt.Errorf("ub1-multi broke durability: %d failed, %d lost", res.Failed, res.Lost)
+		}
+		if !res.SLOMet {
+			return fmt.Errorf("ub1-multi missed the SLO: attainment %.4f < %.2f", res.Attainment, res.SLOObjective)
 		}
 	}
 	if which == "trace" { // observability demo, not a paper figure

@@ -39,14 +39,15 @@ func main() {
 	maxInstances := flag.Int("max-instances", 8, "maximum SyncService instances")
 	metaShards := flag.Int("meta-shards", 0, "metadata store shard count, rounded up to a power of two (0 = default)")
 	admin := flag.String("admin", "", "admin/introspection listen address, e.g. 127.0.0.1:7072 (empty disables; enabling it also enables tracing)")
+	affinity := flag.Bool("affinity", false, "enable workspace-affinity routing: instances fence routed commits by consistent-hash ownership and the supervisor rebalances the ring on scale events")
 	flag.Parse()
 
-	if err := run(*listen, *storageListen, *storageToken, *dataDir, *workspace, *users, *minInstances, *maxInstances, *metaShards, *admin); err != nil {
+	if err := run(*listen, *storageListen, *storageToken, *dataDir, *workspace, *users, *minInstances, *maxInstances, *metaShards, *admin, *affinity); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, storageListen, storageToken, dataDir, workspace, users string, minInstances, maxInstances, metaShards int, admin string) error {
+func run(listen, storageListen, storageToken, dataDir, workspace, users string, minInstances, maxInstances, metaShards int, admin string, affinity bool) error {
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		return err
 	}
@@ -136,9 +137,20 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		return err
 	}
 	defer notifBroker.Close()
-	rb.RegisterFactory(core.ServiceOID, func() (interface{}, error) {
-		return core.NewService(meta, notifBroker).API(), nil
-	})
+	if affinity {
+		// Affinity deployments give every instance its ring identity at spawn
+		// time, so it fences routed calls stamped under a stale ring; the
+		// supervisor (Routing below) pushes ring updates on every scale event.
+		rb.RegisterInstanceFactory(core.ServiceOID, func(id string) (interface{}, error) {
+			svc := core.NewService(meta, notifBroker)
+			svc.SetInstance(id)
+			return svc.API(), nil
+		})
+	} else {
+		rb.RegisterFactory(core.ServiceOID, func() (interface{}, error) {
+			return core.NewService(meta, notifBroker).API(), nil
+		})
+	}
 	if err := broker.DeclareQueue(core.ServiceOID); err != nil {
 		return err
 	}
@@ -158,6 +170,7 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		MinInstances: minInstances,
 		MaxInstances: maxInstances,
 		Provisioner:  reactive,
+		Routing:      affinity,
 	})
 	if err != nil {
 		return err
@@ -222,8 +235,8 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		log.Printf("admin endpoint on http://%s (/metrics /healthz /tracez /queuesz /varz /eventz /elasticz /debug/pprof)", adminSrv.Addr())
 	}
 
-	fmt.Printf("stacksync-server up: workspace=%q users=%v service pool %d..%d\n",
-		workspace, members, minInstances, maxInstances)
+	fmt.Printf("stacksync-server up: workspace=%q users=%v service pool %d..%d affinity=%v\n",
+		workspace, members, minInstances, maxInstances, affinity)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -235,7 +235,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 				return
 			case <-time.After(time.Until(start.Add(at))):
 			}
-			if !rb.KillLocal(core.ServiceOID) {
+			if rb.KillLocal(core.ServiceOID) == "" {
 				continue
 			}
 			crashMu.Lock()

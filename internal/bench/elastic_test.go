@@ -149,8 +149,8 @@ func (s *slowServiceAPI) CommitRequest(ctx context.Context, req core.CommitReque
 }
 
 // GetChanges forwards.
-func (s *slowServiceAPI) GetChanges(workspace string) ([]metastore.ItemVersion, error) {
-	return s.inner.GetChanges(workspace)
+func (s *slowServiceAPI) GetChanges(ctx context.Context, workspace string) ([]metastore.ItemVersion, error) {
+	return s.inner.GetChanges(ctx, workspace)
 }
 
 // GetWorkspaces forwards.

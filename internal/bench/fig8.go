@@ -195,7 +195,7 @@ func RunFig8f(cfg Fig8fConfig) (*Fig8fResult, error) {
 			case <-stopCrasher:
 				return
 			case <-ticker.C:
-				if !rb.KillLocal(core.ServiceOID) {
+				if rb.KillLocal(core.ServiceOID) == "" {
 					continue
 				}
 				// Open the interval immediately so commits completing while

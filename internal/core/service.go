@@ -8,8 +8,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"stacksync/internal/metastore"
 	"stacksync/internal/obs"
@@ -68,6 +70,18 @@ type Service struct {
 	meta   *metastore.Store
 	broker *omq.Broker
 
+	// Workspace-affinity state (DESIGN §13). instanceID is the identity this
+	// instance serves under on the consistent-hash ring ("" for legacy
+	// shared-queue deployments, which never fence); ring is the instance's
+	// view of the routing ring, installed by the Supervisor's UpdateRing
+	// multicast. Routed calls stamped with a different epoch — or a key this
+	// instance does not own — are rejected with omq.ErrStaleRoute so the
+	// router retries against the current owner instead of applying twice.
+	ringMu     sync.RWMutex
+	instanceID string
+	ring       *omq.Ring
+	fenced     *obs.Counter
+
 	mu     sync.Mutex
 	groups map[string]bool // workspace IDs with a declared multicast group
 
@@ -85,6 +99,10 @@ type Service struct {
 // drain (the latency-shaped default buckets would misread counts).
 var notifyBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// commitAbortRetries bounds the in-handler retries of a transiently aborted
+// metadata transaction before the error escapes to the transport layer.
+const commitAbortRetries = 5
+
 // NewService wires a SyncService to its Metadata back-end and the ObjectMQ
 // broker used to push notifications.
 func NewService(meta *metastore.Store, broker *omq.Broker) *Service {
@@ -98,6 +116,7 @@ func NewService(meta *metastore.Store, broker *omq.Broker) *Service {
 	s.notifyBatch = reg.HistogramWith(notifyBatchBuckets, "core_notify_batch_size")
 	s.notifyErrors = reg.Counter("core_notify_errors_total")
 	s.notifySent = reg.Counter("core_notify_published_total")
+	s.fenced = reg.Counter("core_fenced_total")
 	reg.GaugeFunc("core_notify_pending", func() float64 {
 		s.nmu.Lock()
 		defer s.nmu.Unlock()
@@ -115,6 +134,43 @@ func (s *Service) Bind() (*omq.BoundObject, error) {
 // API returns the remote surface of this service, for deployments that bind
 // instances through a RemoteBroker factory instead of calling Bind directly.
 func (s *Service) API() *API { return &API{svc: s} }
+
+// SetInstance installs the identity this service instance serves under on
+// the routing ring. Call it from the RemoteBroker instance factory, before
+// the instance is bound.
+func (s *Service) SetInstance(id string) {
+	s.ringMu.Lock()
+	s.instanceID = id
+	s.ringMu.Unlock()
+}
+
+// InstallRing adopts a ring state if it is newer than the current view.
+// Returns whether the view changed.
+func (s *Service) InstallRing(state omq.RingState) bool {
+	s.ringMu.Lock()
+	defer s.ringMu.Unlock()
+	if s.ring != nil && state.Epoch <= s.ring.Epoch() {
+		return false
+	}
+	s.ring = omq.NewRing(state)
+	return true
+}
+
+// checkRoute fences routed calls: a request stamped under a different ring
+// epoch, or for a workspace this instance no longer owns, is rejected so the
+// router re-resolves the owner. Unrouted calls and the bootstrap window
+// (instance spawned, no ring received yet) pass — replay idempotency at the
+// metastore keeps that safe.
+func (s *Service) checkRoute(ctx context.Context) error {
+	s.ringMu.RLock()
+	ring, id := s.ring, s.instanceID
+	s.ringMu.RUnlock()
+	if err := omq.CheckRoute(ctx, ring, id); err != nil {
+		s.fenced.Inc()
+		return err
+	}
+	return nil
+}
 
 // workspaceGroup makes sure the workspace's multicast exchange exists,
 // declaring it at most once per Service.
@@ -138,7 +194,20 @@ func (s *Service) workspaceGroup(workspaceID string) (string, error) {
 // commit proceeds without waiting for the fanout publish.
 func (s *Service) commit(ctx context.Context, req CommitRequest) (CommitNotification, error) {
 	metaSpan := s.broker.Tracer().StartFromContext(ctx, "metastore.commitBatch")
-	results, err := s.meta.CommitBatch(req.Items)
+	var results []metastore.BatchResult
+	var err error
+	// ErrTxAborted is a transient rollback the store expects callers to
+	// retry. Absorb it here, bounded, so a synchronous routed commitRequest
+	// keeps its ack-means-durable promise instead of surfacing scheduler
+	// noise to the device; past the budget the error propagates (the one-way
+	// path requeues, the routed path reports to the caller).
+	for attempt := 0; ; attempt++ {
+		results, err = s.meta.CommitBatch(req.Items)
+		if err == nil || !errors.Is(err, metastore.ErrTxAborted) || attempt >= commitAbortRetries {
+			break
+		}
+		time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+	}
 	metaSpan.End()
 	if err != nil {
 		return CommitNotification{}, fmt.Errorf("core: commit %s: %w", req.Workspace, err)
@@ -231,18 +300,33 @@ type API struct {
 // so the metadata commit and the notification fan-out appear as spans of the
 // originating client's trace.
 func (a *API) CommitRequest(ctx context.Context, req CommitRequest) error {
+	if err := a.svc.checkRoute(ctx); err != nil {
+		return err
+	}
 	_, err := a.svc.commit(ctx, req)
 	return err
 }
 
 // GetChanges returns the current state of a workspace (@SyncMethod); clients
 // call it only on startup because it is costly (§4.2.1).
-func (a *API) GetChanges(workspace string) ([]metastore.ItemVersion, error) {
+func (a *API) GetChanges(ctx context.Context, workspace string) ([]metastore.ItemVersion, error) {
+	if err := a.svc.checkRoute(ctx); err != nil {
+		return nil, err
+	}
 	state, err := a.svc.meta.State(workspace)
 	if err != nil {
 		return nil, err
 	}
 	return state, nil
+}
+
+// UpdateRing is the Supervisor's rebalance push (@MultiMethod +
+// @AsyncMethod): every instance adopts the new ring view and starts fencing
+// by its epoch. Older-epoch pushes are ignored (multicast redeliveries
+// reorder).
+func (a *API) UpdateRing(state omq.RingState) error {
+	a.svc.InstallRing(state)
+	return nil
 }
 
 // GetWorkspaces lists the workspaces a user can access (@SyncMethod).

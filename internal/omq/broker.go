@@ -220,7 +220,7 @@ func (b *Broker) Bind(oid string, impl interface{}) (*BoundObject, error) {
 		uniSub:       uniSub,
 		multiSub:     multiSub,
 		done:         make(chan struct{}),
-		dedup:        newDedupCache(dedupCacheSize),
+		dedup:        newDedupCache(dedupCacheSize, dedupTTL, b.now, b.reg.Counter("omq_dedup_evictions_total", "oid", oid)),
 		dedupHits:    b.reg.Counter("omq_dedup_hits_total", "oid", oid),
 		droppedTotal: b.reg.Counter("omq_oneway_dropped_total", "oid", oid),
 		handleHist:   b.reg.Histogram("omq_handle_seconds", "oid", oid),

@@ -31,6 +31,14 @@ type Proxy struct {
 	retries     int
 	backoffBase time.Duration
 	backoffMax  time.Duration
+	// extraHeaders are merged into every publish this proxy makes; the
+	// Router uses them to stamp routed calls with their ring epoch and key.
+	extraHeaders map[string]string
+	// requestID, when non-empty, pins the request id of every Call through
+	// this proxy. The Router sets it so that dedup stays stable across its
+	// own failover attempts, which use a fresh proxy per attempt. Leave
+	// empty for normal proxies: each Call then draws a fresh id.
+	requestID string
 	// retriesTotal counts retry attempts (attempts beyond the first) made by
 	// sync calls through this proxy, as a registry series labelled by oid.
 	retriesTotal *obs.Counter
@@ -52,11 +60,20 @@ func WithRetries(n int) CallOption {
 }
 
 // WithBackoff sets the exponential backoff slept between Call attempts: the
-// n-th retry waits base<<n (capped at max) scaled by a jitter factor in
-// [0.5, 1.0) derived deterministically from the call's request id. base <= 0
-// disables backoff (attempts go back-to-back, the pre-hardening behaviour).
+// n-th retry waits base<<n (capped at max) scaled by a decorrelating jitter
+// factor in [0.5, 1.5) hashed from (broker id, request id, n). Mixing the
+// broker identity matters after a server crash: ten clients whose retries
+// all fired into the dead instance at once come back spread over a full
+// backoff width instead of re-stampeding in lockstep. base <= 0 disables
+// backoff (attempts go back-to-back, the pre-hardening behaviour).
 func WithBackoff(base, max time.Duration) CallOption {
 	return func(p *Proxy) { p.backoffBase, p.backoffMax = base, max }
+}
+
+// WithCallHeaders merges fixed headers into every publish the proxy makes.
+// Routed calls use this to carry their ring epoch and affinity key.
+func WithCallHeaders(h map[string]string) CallOption {
+	return func(p *Proxy) { p.extraHeaders = h }
 }
 
 // OID returns the remote object identifier this proxy addresses.
@@ -67,9 +84,21 @@ func (p *Proxy) encodeArgs(args []interface{}) ([][]byte, error) {
 }
 
 // startPublishSpan opens the span covering one publish and builds the
-// headers that carry its context; see Broker.startPublishSpan.
+// headers that carry its context (merged with the proxy's fixed headers);
+// see Broker.startPublishSpan.
 func (p *Proxy) startPublishSpan(ctx context.Context, name string) (*obs.SpanHandle, map[string]string) {
-	return p.broker.startPublishSpan(ctx, name)
+	span, headers := p.broker.startPublishSpan(ctx, name)
+	if len(p.extraHeaders) == 0 {
+		return span, headers
+	}
+	merged := make(map[string]string, len(headers)+len(p.extraHeaders))
+	for k, v := range headers {
+		merged[k] = v
+	}
+	for k, v := range p.extraHeaders {
+		merged[k] = v
+	}
+	return span, merged
 }
 
 // Async performs a one-way @AsyncMethod invocation: the request is published
@@ -127,7 +156,10 @@ func (p *Proxy) CallCtx(ctx context.Context, method string, reply interface{}, a
 	if attempts < 1 {
 		attempts = 1
 	}
-	requestID := newID()
+	requestID := p.requestID
+	if requestID == "" {
+		requestID = newID()
+	}
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			p.retriesTotal.Inc()
@@ -155,24 +187,37 @@ func (p *Proxy) CallCtx(ctx context.Context, method string, reply interface{}, a
 	return fmt.Errorf("omq: %s on %q after %d attempts: %w", method, p.oid, attempts, ErrTimeout)
 }
 
-// backoff returns the pause before retry n (0-based): base<<n capped at max,
-// scaled into [0.5, 1.0) by a jitter factor hashed from (requestID, n) — no
-// shared PRNG state, so concurrent callers stay deterministic per call.
+// backoff returns the pause before retry n (0-based); see retryJitter.
 func (p *Proxy) backoff(requestID string, n int) time.Duration {
-	if p.backoffBase <= 0 {
+	seed := requestID
+	if p.broker != nil {
+		seed = p.broker.id + requestID
+	}
+	return retryJitter(seed, n, p.backoffBase, p.backoffMax)
+}
+
+// retryJitter computes the pause before retry n (0-based): base<<n capped at
+// max, scaled into [0.5, 1.5) by a decorrelating factor hashed from
+// (seed, n). The seed must include a per-caller component (broker id +
+// request id) so that clients retrying into the same crashed instance spread
+// across the jitter window rather than re-synchronizing — no shared PRNG
+// state, so concurrent callers stay deterministic per call. base <= 0
+// disables the pause entirely.
+func retryJitter(seed string, n int, base, max time.Duration) time.Duration {
+	if base <= 0 {
 		return 0
 	}
-	d := p.backoffBase
-	for i := 0; i < n && d < p.backoffMax; i++ {
+	d := base
+	for i := 0; i < n && d < max; i++ {
 		d *= 2
 	}
-	if p.backoffMax > 0 && d > p.backoffMax {
-		d = p.backoffMax
+	if max > 0 && d > max {
+		d = max
 	}
 	h := fnv.New64a()
-	_, _ = h.Write([]byte(requestID))
+	_, _ = h.Write([]byte(seed))
 	_, _ = h.Write([]byte{byte(n), byte(n >> 8)})
-	jitter := 0.5 + float64(h.Sum64()>>11)/float64(uint64(1)<<53)*0.5
+	jitter := 0.5 + float64(h.Sum64()>>11)/float64(uint64(1)<<53)
 	return time.Duration(float64(d) * jitter)
 }
 

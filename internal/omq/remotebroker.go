@@ -17,14 +17,28 @@ const RemoteBrokerGroup = "omq.rbroker"
 // RemoteBrokers use factories to spawn instances on demand.
 type Factory func() (interface{}, error)
 
+// InstanceFactory is a Factory that learns the identity its instance will
+// run under (the spawned child broker's id). Implementations that fence
+// routed calls (core.Service) need the id to compare against ring ownership.
+type InstanceFactory func(instanceID string) (interface{}, error)
+
+// spawnedInstance is one spawned server object: the shared-queue binding,
+// the instance's private routed-queue binding (workspace affinity), and the
+// identity both run under.
+type spawnedInstance struct {
+	id     string
+	main   *BoundObject
+	routed *BoundObject
+}
+
 // RemoteBroker is the ObjectMQ server agent that launches and shuts down
 // server objects on its node at the Supervisor's request.
 type RemoteBroker struct {
 	broker *Broker
 
 	mu        sync.Mutex
-	factories map[string]Factory
-	instances map[string][]*BoundObject
+	factories map[string]InstanceFactory
+	instances map[string][]*spawnedInstance
 	closed    bool
 
 	self *BoundObject
@@ -35,8 +49,8 @@ type RemoteBroker struct {
 func NewRemoteBroker(b *Broker) (*RemoteBroker, error) {
 	rb := &RemoteBroker{
 		broker:    b,
-		factories: make(map[string]Factory),
-		instances: make(map[string][]*BoundObject),
+		factories: make(map[string]InstanceFactory),
+		instances: make(map[string][]*spawnedInstance),
 	}
 	bo, err := b.Bind(RemoteBrokerGroup, &remoteBrokerAPI{rb: rb})
 	if err != nil {
@@ -48,6 +62,13 @@ func NewRemoteBroker(b *Broker) (*RemoteBroker, error) {
 
 // RegisterFactory makes oid spawnable on this node.
 func (rb *RemoteBroker) RegisterFactory(oid string, f Factory) {
+	rb.RegisterInstanceFactory(oid, func(string) (interface{}, error) { return f() })
+}
+
+// RegisterInstanceFactory makes oid spawnable with identity-aware
+// construction: the factory receives the instance id its object will serve
+// under (and can install it for route fencing).
+func (rb *RemoteBroker) RegisterInstanceFactory(oid string, f InstanceFactory) {
 	rb.mu.Lock()
 	defer rb.mu.Unlock()
 	rb.factories[oid] = f
@@ -78,20 +99,22 @@ func (rb *RemoteBroker) SpawnLocal(oid string, n int) (int, error) {
 	}
 	started := 0
 	for i := 0; i < n; i++ {
-		impl, err := factory()
-		if err != nil {
-			return started, fmt.Errorf("omq: factory %q: %w", oid, err)
-		}
 		// Each instance needs its own Broker identity for a distinct private
 		// multicast queue, but the paper's RemoteBroker hosts many objects on
 		// one broker connection. Our Bind already allocates a unique private
 		// queue per BoundObject, so instances can share rb.broker — except
 		// that Bind refuses duplicate oids per broker. Spawn therefore binds
-		// through a lightweight child broker on the same MQ.
+		// through a lightweight child broker on the same MQ, whose id doubles
+		// as the instance identity on the consistent-hash ring.
 		child, err := NewBroker(rb.broker.mq, WithCodec(rb.broker.codec), WithBrokerClock(rb.broker.clk),
 			WithTracer(rb.broker.tracer), WithRegistry(rb.broker.reg), WithEventLog(rb.broker.events))
 		if err != nil {
 			return started, fmt.Errorf("omq: spawn child broker: %w", err)
+		}
+		impl, err := factory(child.id)
+		if err != nil {
+			_ = child.Close()
+			return started, fmt.Errorf("omq: factory %q: %w", oid, err)
 		}
 		bo, err := child.Bind(oid, impl)
 		if err != nil {
@@ -99,8 +122,17 @@ func (rb *RemoteBroker) SpawnLocal(oid string, n int) (int, error) {
 			return started, fmt.Errorf("omq: spawn bind %q: %w", oid, err)
 		}
 		bo.ownedBroker = child
+		// The same implementation also serves the instance's private routed
+		// queue: workspace-affinity routers address it directly, bypassing
+		// the shared queue's load balancing.
+		routed, err := child.Bind(RoutedInstanceOID(oid, child.id), impl)
+		if err != nil {
+			_ = bo.Unbind()
+			_ = child.Close()
+			return started, fmt.Errorf("omq: spawn routed bind %q: %w", oid, err)
+		}
 		rb.mu.Lock()
-		rb.instances[oid] = append(rb.instances[oid], bo)
+		rb.instances[oid] = append(rb.instances[oid], &spawnedInstance{id: child.id, main: bo, routed: routed})
 		rb.mu.Unlock()
 		started++
 	}
@@ -119,47 +151,85 @@ func (rb *RemoteBroker) ShutdownLocal(oid string, n int) int {
 	victims := list[len(list)-take:]
 	rb.instances[oid] = list[:len(list)-take]
 	rb.mu.Unlock()
-	for _, bo := range victims {
-		stopInstance(bo)
+	for _, s := range victims {
+		rb.stopInstance(oid, s)
 	}
 	return take
 }
 
-func stopInstance(bo *BoundObject) {
-	_ = bo.Unbind()
-	if bo.ownedBroker != nil {
-		_ = bo.ownedBroker.Close()
+// ShutdownByID stops the named instances of oid (fence-then-drain scale-down:
+// the Supervisor excludes the victims from the ring first, then names them
+// here), returning how many were stopped.
+func (rb *RemoteBroker) ShutdownByID(oid string, ids []string) int {
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	rb.mu.Lock()
+	var keep, victims []*spawnedInstance
+	for _, s := range rb.instances[oid] {
+		if want[s.id] {
+			victims = append(victims, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	rb.instances[oid] = keep
+	rb.mu.Unlock()
+	for _, s := range victims {
+		rb.stopInstance(oid, s)
+	}
+	return len(victims)
+}
+
+// stopInstance drains one instance in order: unbind the routed queue first
+// (its Unbind waits for the in-flight call to finish — the drain), delete the
+// routed queue so stranded routed publishes are dropped rather than parked
+// forever (the router's retry re-sends them to the successor; the metadata
+// store absorbs any duplicate), then release the shared binding and broker.
+func (rb *RemoteBroker) stopInstance(oid string, s *spawnedInstance) {
+	if s.routed != nil {
+		_ = s.routed.Unbind()
+		_ = rb.broker.mq.DeleteQueue(RoutedInstanceOID(oid, s.id))
+	}
+	_ = s.main.Unbind()
+	if s.main.ownedBroker != nil {
+		_ = s.main.ownedBroker.Close()
 	}
 }
 
 // KillLocal abruptly terminates one instance of oid without orderly
 // unbinding its in-flight work first — used by fault-injection tests and the
-// Fig. 8(f) experiment to emulate a crash.
-func (rb *RemoteBroker) KillLocal(oid string) bool {
+// Fig. 8(f) experiment to emulate a crash. Returns the dead instance's id
+// ("" when there was nothing to kill). The instance's routed queue is left
+// behind, exactly as a real crash would leave it at the MOM: routed calls
+// already parked there strand until their callers time out, fail over and
+// re-send to the successor instance.
+func (rb *RemoteBroker) KillLocal(oid string) string {
 	rb.mu.Lock()
 	list := rb.instances[oid]
 	if len(list) == 0 {
 		rb.mu.Unlock()
-		return false
+		return ""
 	}
-	bo := list[len(list)-1]
+	s := list[len(list)-1]
 	rb.instances[oid] = list[:len(list)-1]
 	rb.mu.Unlock()
 	rb.broker.events.Append(obs.Event{
 		At:      rb.broker.clk.Now(),
 		Kind:    obs.EventInstanceKill,
 		Source:  "omq.rbroker",
-		Summary: fmt.Sprintf("killed one %s instance on broker %s", oid, rb.broker.id),
-		Fields:  map[string]string{"oid": oid, "broker": rb.broker.id},
+		Summary: fmt.Sprintf("killed one %s instance (%s) on broker %s", oid, s.id, rb.broker.id),
+		Fields:  map[string]string{"oid": oid, "broker": rb.broker.id, "instance": s.id},
 	})
 	// Closing the owned broker cancels subscriptions; the MQ requeues any
 	// unacked call, which is precisely the crash behaviour §3.4 describes.
-	if bo.ownedBroker != nil {
-		_ = bo.ownedBroker.Close()
+	if s.main.ownedBroker != nil {
+		_ = s.main.ownedBroker.Close()
 	} else {
-		_ = bo.Unbind()
+		_ = s.main.Unbind()
 	}
-	return true
+	return s.id
 }
 
 // Close shuts down every spawned instance and leaves the RemoteBroker group.
@@ -170,14 +240,16 @@ func (rb *RemoteBroker) Close() error {
 		return nil
 	}
 	rb.closed = true
-	var all []*BoundObject
-	for _, list := range rb.instances {
-		all = append(all, list...)
+	all := make(map[string][]*spawnedInstance, len(rb.instances))
+	for oid, list := range rb.instances {
+		all[oid] = list
 	}
-	rb.instances = map[string][]*BoundObject{}
+	rb.instances = map[string][]*spawnedInstance{}
 	rb.mu.Unlock()
-	for _, bo := range all {
-		stopInstance(bo)
+	for oid, list := range all {
+		for _, s := range list {
+			rb.stopInstance(oid, s)
+		}
 	}
 	return rb.self.Unbind()
 }
@@ -198,10 +270,13 @@ type SpawnReply struct {
 
 // ShutdownRequest asks a specific RemoteBroker to stop instances. A broker
 // whose id differs from Target ignores the request (multicast addressing).
+// With IDs set the named instances are stopped (routed scale-down picks its
+// fenced victims precisely); otherwise up to N arbitrary instances go.
 type ShutdownRequest struct {
-	Target string `json:"target"`
-	OID    string `json:"oid"`
-	N      int    `json:"n"`
+	Target string   `json:"target"`
+	OID    string   `json:"oid"`
+	N      int      `json:"n"`
+	IDs    []string `json:"ids,omitempty"`
 }
 
 // ShutdownReply reports how many instances were stopped.
@@ -219,6 +294,9 @@ type InventoryQuery struct {
 type Inventory struct {
 	BrokerID string         `json:"brokerId"`
 	Counts   map[string]int `json:"counts"`
+	// IDs lists the instance identities per oid — the Supervisor's ring
+	// membership input.
+	IDs map[string][]string `json:"ids,omitempty"`
 }
 
 // remoteBrokerAPI is the reflection-dispatched remote surface.
@@ -241,21 +319,30 @@ func (a *remoteBrokerAPI) Shutdown(req ShutdownRequest) ShutdownReply {
 	if req.Target != "" && req.Target != a.rb.broker.id {
 		return ShutdownReply{BrokerID: a.rb.broker.id}
 	}
-	stopped := a.rb.ShutdownLocal(req.OID, req.N)
+	var stopped int
+	if len(req.IDs) > 0 {
+		stopped = a.rb.ShutdownByID(req.OID, req.IDs)
+	} else {
+		stopped = a.rb.ShutdownLocal(req.OID, req.N)
+	}
 	return ShutdownReply{BrokerID: a.rb.broker.id, Stopped: stopped}
 }
 
-// ListInstances reports local instance counts; the Supervisor multicalls it
-// for introspection and failure detection.
+// ListInstances reports local instance counts and identities; the Supervisor
+// multicalls it for introspection, failure detection and ring membership.
 func (a *remoteBrokerAPI) ListInstances(q InventoryQuery) Inventory {
 	a.rb.mu.Lock()
 	defer a.rb.mu.Unlock()
 	counts := make(map[string]int, len(a.rb.instances))
+	ids := make(map[string][]string, len(a.rb.instances))
 	for oid, list := range a.rb.instances {
 		if q.OID != "" && q.OID != oid {
 			continue
 		}
 		counts[oid] = len(list)
+		for _, s := range list {
+			ids[oid] = append(ids[oid], s.id)
+		}
 	}
-	return Inventory{BrokerID: a.rb.broker.id, Counts: counts}
+	return Inventory{BrokerID: a.rb.broker.id, Counts: counts, IDs: ids}
 }

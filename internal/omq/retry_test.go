@@ -2,6 +2,7 @@ package omq
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -116,6 +117,61 @@ func TestRetriedErrorIsDeduplicated(t *testing.T) {
 	}
 }
 
+// fencingOnce rejects its first invocation with a stale-route fencing error,
+// then accepts.
+type fencingOnce struct{ calls atomic.Int64 }
+
+func (f *fencingOnce) Do(n int) error {
+	if f.calls.Add(1) == 1 {
+		return fmt.Errorf("%w: first attempt fenced", ErrStaleRoute)
+	}
+	return nil
+}
+
+// TestStaleRouteNotMemoized: a fencing rejection is a pre-execution routing
+// error, not an outcome, so — unlike ordinary handler errors
+// (TestRetriedErrorIsDeduplicated) — it must NOT enter the RequestID dedup
+// table. A router retries with the same pinned request id after refreshing
+// its ring; a memoized rejection would be replayed forever even once the
+// instance is the legitimate owner again.
+func TestStaleRouteNotMemoized(t *testing.T) {
+	m := mq.NewBroker()
+	defer m.Close()
+	client, err := NewBroker(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server, err := NewBroker(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	f := &fencingOnce{}
+	if _, err := server.Bind("fenced", f); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := []CallOption{WithTimeout(200 * time.Millisecond), WithRetries(1), WithBackoff(0, 0)}
+	p := client.Lookup("fenced", opts...)
+	p.requestID = "pinned-routed-req"
+	if err := p.Call("Do", nil, 1); !IsStaleRoute(err) {
+		t.Fatalf("first attempt: err = %v, want stale-route fencing rejection", err)
+	}
+
+	// The router's retry: same request id, fresh proxy (per-attempt, as
+	// Router.CallCtx builds them). The handler must execute again.
+	p = client.Lookup("fenced", opts...)
+	p.requestID = "pinned-routed-req"
+	if err := p.Call("Do", nil, 1); err != nil {
+		t.Fatalf("retry after refresh: err = %v — the fencing rejection was memoized", err)
+	}
+	if got := f.calls.Load(); got != 2 {
+		t.Fatalf("handler executed %d times, want 2 (rejection must not dedup)", got)
+	}
+}
+
 // flakyOneWay fails its first two invocations, then succeeds.
 type flakyOneWay struct {
 	calls atomic.Int64
@@ -154,7 +210,7 @@ func TestOneWayHandlerErrorRequeues(t *testing.T) {
 }
 
 // TestBackoffDeterministicAndBounded: the jittered pause is a pure function
-// of (request id, attempt) and stays within [0.5*step, step].
+// of (request id, attempt) and stays within [0.5*step, 1.5*step).
 func TestBackoffDeterministicAndBounded(t *testing.T) {
 	p := &Proxy{backoffBase: 10 * time.Millisecond, backoffMax: 80 * time.Millisecond}
 	for n := 0; n < 6; n++ {
@@ -166,8 +222,8 @@ func TestBackoffDeterministicAndBounded(t *testing.T) {
 		if d1 != d2 {
 			t.Fatalf("attempt %d: backoff not deterministic (%v vs %v)", n, d1, d2)
 		}
-		if d1 < step/2 || d1 > step {
-			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", n, d1, step/2, step)
+		if d1 < step/2 || d1 >= step*3/2 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", n, d1, step/2, step*3/2)
 		}
 	}
 	if (&Proxy{}).backoff("x", 3) != 0 {
@@ -178,18 +234,21 @@ func TestBackoffDeterministicAndBounded(t *testing.T) {
 	}
 }
 
-// TestOneWayRetryDelayCaps: the requeue pause doubles from 10ms and caps at
-// 500ms.
+// TestOneWayRetryDelayCaps: the requeue pause doubles from 10ms toward the
+// 500ms ceiling, jittered into [0.5x, 1.5x) and decorrelated across seeds so
+// a fleet of instances retrying the same poisoned fan-out spreads out.
 func TestOneWayRetryDelayCaps(t *testing.T) {
-	want := []time.Duration{
-		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
-	}
-	for i, w := range want {
-		if got := oneWayRetryDelay(i); got != w {
-			t.Fatalf("delay(%d) = %v, want %v", i, got, w)
+	for i := 0; i < 3; i++ {
+		step := 10 * time.Millisecond << i
+		got := oneWayRetryDelay("seed", i)
+		if got < step/2 || got >= step*3/2 {
+			t.Fatalf("delay(%d) = %v outside [%v, %v)", i, got, step/2, step*3/2)
 		}
 	}
-	if got := oneWayRetryDelay(100); got != 500*time.Millisecond {
-		t.Fatalf("delay cap = %v, want 500ms", got)
+	if got := oneWayRetryDelay("seed", 100); got >= 750*time.Millisecond || got < 250*time.Millisecond {
+		t.Fatalf("capped delay = %v outside [250ms, 750ms)", got)
+	}
+	if oneWayRetryDelay("instance-a", 2) == oneWayRetryDelay("instance-b", 2) {
+		t.Fatalf("different instances drew identical requeue jitter (suspicious)")
 	}
 }

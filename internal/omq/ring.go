@@ -1,0 +1,127 @@
+package omq
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Workspace-affinity routing (DESIGN §13) partitions an object id's keyspace
+// across its instances with a consistent-hash ring. The ring is pure data:
+// the Supervisor builds one from the live instance inventory, stamps it with
+// a monotonically increasing epoch, and pushes it to every instance; routers
+// fetch it and address the owning instance's private request queue directly.
+// Consistency matters twice over: adding or removing one instance must move
+// only ~1/N of the workspace keys (so a rebalance does not stampede every
+// workspace onto a new owner), and two processes building a ring from the
+// same member list must agree on every owner (so a router and an instance
+// never argue about who owns a key within one epoch).
+
+// DefaultVNodes is the number of virtual points each member contributes.
+// More points smooth the key distribution at the cost of ring-build time;
+// 64 keeps the max/min member load ratio under ~1.4 for small fleets.
+const DefaultVNodes = 64
+
+// RingState is the wire form of a ring: what UpdateRing pushes to instances
+// and GetRing returns to routers. Members are instance identifiers (the
+// spawned instance's broker id).
+type RingState struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+	VNodes  int      `json:"vnodes,omitempty"`
+}
+
+// ringPoint is one virtual node position.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring. Build one with NewRing; share
+// freely across goroutines.
+type Ring struct {
+	state  RingState
+	points []ringPoint
+}
+
+// NewRing builds the ring for a state. Member order does not matter (the
+// member list is sorted first), so any two processes holding the same member
+// set and epoch produce identical rings.
+func NewRing(state RingState) *Ring {
+	if state.VNodes <= 0 {
+		state.VNodes = DefaultVNodes
+	}
+	members := append([]string(nil), state.Members...)
+	sort.Strings(members)
+	state.Members = members
+	r := &Ring{state: state}
+	r.points = make([]ringPoint, 0, len(members)*state.VNodes)
+	for _, m := range members {
+		for v := 0; v < state.VNodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(m + "#" + strconv.Itoa(v)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash collisions between distinct members are broken by name so the
+		// ring stays deterministic regardless of insertion order.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// ringHash is the ring's one hash function, FNV-1a 64 — stable across
+// processes, architectures and Go releases (unlike maphash).
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Epoch returns the ring version.
+func (r *Ring) Epoch() uint64 { return r.state.Epoch }
+
+// Members returns the sorted member list. Callers must not mutate it.
+func (r *Ring) Members() []string { return r.state.Members }
+
+// State returns the wire form of this ring.
+func (r *Ring) State() RingState { return r.state }
+
+// Owner maps a key to its owning member: the first virtual point at or after
+// the key's hash, wrapping at the top. An empty ring owns nothing ("").
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// SameMembers reports whether the ring's membership equals the given set
+// (order-insensitive). The Supervisor uses it to decide whether a scale
+// event actually changed the fleet.
+func (r *Ring) SameMembers(members []string) bool {
+	if len(members) != len(r.state.Members) {
+		return false
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	for i, m := range sorted {
+		if r.state.Members[i] != m {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the ring for events and logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring epoch=%d members=%d vnodes=%d", r.state.Epoch, len(r.state.Members), r.state.VNodes)
+}

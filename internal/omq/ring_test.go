@@ -1,0 +1,166 @@
+package omq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingGoldenOwnership pins the hash placement to golden values: any two
+// processes that build a ring from the same RingState MUST resolve every key
+// to the same owner, or routed calls and instance-side fencing would
+// disagree. A change that breaks these values breaks every mixed-version
+// deployment — it is a wire-compatibility change, not a refactor.
+func TestRingGoldenOwnership(t *testing.T) {
+	r := NewRing(RingState{Epoch: 1, Members: []string{"inst-a", "inst-b", "inst-c"}})
+	golden := map[string]string{
+		"workspace-0": "inst-c",
+		"workspace-1": "inst-c",
+		"workspace-7": "inst-c",
+		"alpha":       "inst-c",
+		"beta":        "inst-a",
+		"gamma":       "inst-a",
+		"":            "inst-b",
+	}
+	for key, want := range golden {
+		if got := r.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %q, want %q (hash placement changed — wire-incompatible)", key, got, want)
+		}
+	}
+}
+
+// TestRingDeterministicAcrossConstruction fuzzes the cross-process contract:
+// rings built from the same membership — regardless of input order or which
+// process builds them — agree on every key.
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rnd.Intn(9)
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("i-%08x", rnd.Uint32())
+		}
+		// Same members, reversed and rotated input order.
+		shuffled := make([]string, n)
+		for i, m := range members {
+			shuffled[(i+n/2)%n] = m
+		}
+		a := NewRing(RingState{Epoch: 7, Members: members})
+		b := NewRing(RingState{Epoch: 7, Members: shuffled})
+		for k := 0; k < 500; k++ {
+			key := fmt.Sprintf("ws-%d-%d", trial, rnd.Intn(10_000))
+			if a.Owner(key) != b.Owner(key) {
+				t.Fatalf("trial %d: rings from the same membership disagree on %q: %q vs %q",
+					trial, key, a.Owner(key), b.Owner(key))
+			}
+		}
+	}
+}
+
+// ringMoved counts how many of keys changed owner between two rings.
+func ringMoved(a, b *Ring, keys []string) int {
+	moved := 0
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			moved++
+		}
+	}
+	return moved
+}
+
+// TestRingAddMovesBoundedFraction: growing an N-instance ring by one must
+// remap roughly 1/(N+1) of the keys — the consistent-hashing property that
+// makes scale-out cheap. Allow 2x slack for vnode placement variance.
+func TestRingAddMovesBoundedFraction(t *testing.T) {
+	const keys = 10_000
+	keyset := make([]string, keys)
+	for i := range keyset {
+		keyset[i] = fmt.Sprintf("workspace-%d", i)
+	}
+	for _, n := range []int{2, 4, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("inst-%02d", i)
+		}
+		before := NewRing(RingState{Epoch: 1, Members: members})
+		after := NewRing(RingState{Epoch: 2, Members: append(append([]string{}, members...), fmt.Sprintf("inst-%02d", n))})
+		moved := ringMoved(before, after, keyset)
+		bound := 2 * keys / (n + 1)
+		if moved > bound {
+			t.Errorf("add to %d instances moved %d/%d keys, want <= %d (~1/N+1 with 2x slack)", n, moved, keys, bound)
+		}
+		if moved == 0 {
+			t.Errorf("add to %d instances moved nothing — the new instance owns no keys", n)
+		}
+	}
+}
+
+// TestRingRemoveMovesOnlyVictimKeys: shrinking by one must remap exactly the
+// departed instance's keys — every key owned by a survivor keeps its owner,
+// the property that makes fence-then-drain scale-down safe for affinity.
+func TestRingRemoveMovesOnlyVictimKeys(t *testing.T) {
+	const keys = 10_000
+	keyset := make([]string, keys)
+	for i := range keyset {
+		keyset[i] = fmt.Sprintf("workspace-%d", i)
+	}
+	for _, n := range []int{3, 5, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("inst-%02d", i)
+		}
+		before := NewRing(RingState{Epoch: 1, Members: members})
+		victim := members[n-1]
+		after := NewRing(RingState{Epoch: 2, Members: members[:n-1]})
+		for _, k := range keyset {
+			was, is := before.Owner(k), after.Owner(k)
+			if was == victim {
+				if is == victim {
+					t.Fatalf("remove from %d: key %q still owned by departed %q", n, k, victim)
+				}
+				continue
+			}
+			if was != is {
+				t.Errorf("remove from %d: key %q moved %q → %q though its owner survived", n, k, was, is)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with vnodes, no instance should own a wildly
+// disproportionate share of keys (between 1/3x and 3x the fair share).
+func TestRingBalance(t *testing.T) {
+	const keys = 30_000
+	members := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(RingState{Epoch: 1, Members: members})
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("workspace-%d", i))]++
+	}
+	fair := keys / len(members)
+	for _, m := range members {
+		if counts[m] < fair/3 || counts[m] > fair*3 {
+			t.Errorf("instance %s owns %d keys, fair share %d — vnode spread too skewed", m, counts[m], fair)
+		}
+	}
+}
+
+// TestRingEdgeCases covers the degenerate shapes the Router must survive.
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(RingState{Epoch: 1})
+	if got := empty.Owner("anything"); got != "" {
+		t.Errorf("empty ring Owner = %q, want \"\"", got)
+	}
+	solo := NewRing(RingState{Epoch: 1, Members: []string{"only"}})
+	for i := 0; i < 100; i++ {
+		if got := solo.Owner(fmt.Sprintf("k-%d", i)); got != "only" {
+			t.Fatalf("single-member ring routed %q to %q", fmt.Sprintf("k-%d", i), got)
+		}
+	}
+	if !solo.SameMembers([]string{"only"}) {
+		t.Error("SameMembers false for identical membership")
+	}
+	if solo.SameMembers([]string{"other"}) {
+		t.Error("SameMembers true for different membership")
+	}
+}

@@ -1,6 +1,7 @@
 package omq
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -50,34 +51,66 @@ type BoundObject struct {
 const (
 	// dedupCacheSize bounds the per-instance retry-dedup table.
 	dedupCacheSize = 512
+	// dedupTTL bounds how long a remembered sync outcome stays useful: a
+	// retry arriving later than every caller's full retry budget cannot
+	// exist, so entries past the TTL are reclaimed even when the table is
+	// not full. Long-lived instances under retry storms stay bounded in
+	// both directions — size by LRU, age by TTL.
+	dedupTTL = 2 * time.Minute
 	// maxOneWayRedeliveries bounds how often a failed @AsyncMethod handler
 	// requeues its delivery before the call is abandoned.
 	maxOneWayRedeliveries = 16
 )
 
-// dedupCache is a bounded FIFO map from request id to the outcome of its
-// first execution.
+// dedupCache is a bounded map from request id to the outcome of its first
+// execution, evicting by LRU when full and by TTL as entries age out.
 type dedupCache struct {
 	mu      sync.Mutex
-	entries map[string]dedupEntry
-	order   []string
+	entries map[string]*list.Element
+	order   *list.List // front = coldest, back = hottest
 	cap     int
+	ttl     time.Duration
+	now     func() time.Time
+	// evictions counts entries reclaimed by LRU pressure or TTL expiry
+	// (omq_dedup_evictions_total{oid}); nil in bare tests.
+	evictions *obs.Counter
 }
 
 type dedupEntry struct {
-	result []byte
-	errMsg string
+	id      string
+	result  []byte
+	errMsg  string
+	expires time.Time
 }
 
-func newDedupCache(cap int) *dedupCache {
-	return &dedupCache{entries: make(map[string]dedupEntry), cap: cap}
+func newDedupCache(cap int, ttl time.Duration, now func() time.Time, evictions *obs.Counter) *dedupCache {
+	if now == nil {
+		now = time.Now
+	}
+	return &dedupCache{
+		entries:   make(map[string]*list.Element),
+		order:     list.New(),
+		cap:       cap,
+		ttl:       ttl,
+		now:       now,
+		evictions: evictions,
+	}
 }
 
 func (c *dedupCache) get(id string) (dedupEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[id]
-	return e, ok
+	el, ok := c.entries[id]
+	if !ok {
+		return dedupEntry{}, false
+	}
+	e := el.Value.(*dedupEntry)
+	if c.ttl > 0 && c.now().After(e.expires) {
+		c.evictLocked(el)
+		return dedupEntry{}, false
+	}
+	c.order.MoveToBack(el)
+	return *e, true
 }
 
 func (c *dedupCache) put(id string, e dedupEntry) {
@@ -86,12 +119,37 @@ func (c *dedupCache) put(id string, e dedupEntry) {
 	if _, ok := c.entries[id]; ok {
 		return
 	}
-	if len(c.order) >= c.cap {
-		delete(c.entries, c.order[0])
-		c.order = c.order[1:]
+	now := c.now()
+	// Reclaim expired entries from the cold end first; fall back to plain
+	// LRU eviction when the table is still full of live entries.
+	for c.ttl > 0 {
+		el := c.order.Front()
+		if el == nil || !now.After(el.Value.(*dedupEntry).expires) {
+			break
+		}
+		c.evictLocked(el)
 	}
-	c.entries[id] = e
-	c.order = append(c.order, id)
+	for c.order.Len() >= c.cap {
+		c.evictLocked(c.order.Front())
+	}
+	e.id = id
+	e.expires = now.Add(c.ttl)
+	c.entries[id] = c.order.PushBack(&e)
+}
+
+// len reports the live entry count (tests).
+func (c *dedupCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *dedupCache) evictLocked(el *list.Element) {
+	delete(c.entries, el.Value.(*dedupEntry).id)
+	c.order.Remove(el)
+	if c.evictions != nil {
+		c.evictions.Inc()
+	}
 }
 
 type boundMethod struct {
@@ -233,6 +291,14 @@ func (bo *BoundObject) handle(d mq.Delivery) {
 		}
 	}
 
+	// A routed call carries its ring stamp in the headers; surface it to the
+	// handler so service instances can fence stale routes (RouteFromContext).
+	if epochStr, ok := d.Headers[HeaderRouteEpoch]; ok {
+		if epoch, err := strconv.ParseUint(epochStr, 10, 64); err == nil {
+			ctx = routeContext(ctx, RouteInfo{Key: d.Headers[HeaderRouteKey], Epoch: epoch})
+		}
+	}
+
 	start := bo.broker.now()
 	result, callErr, permanent := bo.invoke(ctx, req)
 	elapsed := bo.broker.now().Sub(start)
@@ -247,7 +313,7 @@ func (bo *BoundObject) handle(d mq.Delivery) {
 		// retries once the fault passes.
 		if callErr != nil && !permanent {
 			if d.Redelivered < maxOneWayRedeliveries {
-				bo.broker.clk.Sleep(oneWayRetryDelay(d.Redelivered))
+				bo.broker.clk.Sleep(oneWayRetryDelay(bo.broker.id+req.Method, d.Redelivered))
 				_ = d.Nack(true)
 				return
 			}
@@ -264,7 +330,12 @@ func (bo *BoundObject) handle(d mq.Delivery) {
 	if callErr != nil {
 		errMsg = callErr.Error()
 	}
-	if req.RequestID != "" {
+	// A fencing rejection is a pre-execution routing error, not an outcome:
+	// the handler never ran. Memoizing it would wedge the caller — a router
+	// retries with the SAME request id after refreshing its ring, and a
+	// remembered rejection would be replayed forever even once this instance
+	// is the legitimate owner again.
+	if req.RequestID != "" && !IsStaleRoute(callErr) {
 		bo.dedup.put(req.RequestID, dedupEntry{result: result, errMsg: errMsg})
 	}
 	bo.reply(req, result, errMsg)
@@ -287,16 +358,11 @@ func (bo *BoundObject) reply(req *request, result []byte, errMsg string) {
 }
 
 // oneWayRetryDelay grows the pause before requeueing a failed one-way call:
-// 10ms doubling to a 500ms ceiling.
-func oneWayRetryDelay(redelivered int) time.Duration {
-	d := 10 * time.Millisecond
-	for i := 0; i < redelivered && d < 500*time.Millisecond; i++ {
-		d *= 2
-	}
-	if d > 500*time.Millisecond {
-		d = 500 * time.Millisecond
-	}
-	return d
+// 10ms doubling to a 500ms ceiling, jittered per instance (see retryJitter)
+// so a fleet of instances chewing on the same poisoned fan-out desynchronizes
+// instead of hammering the dependency in lockstep.
+func oneWayRetryDelay(seed string, redelivered int) time.Duration {
+	return retryJitter(seed, redelivered, 10*time.Millisecond, 500*time.Millisecond)
 }
 
 // Dropped reports one-way calls this instance abandoned after exhausting

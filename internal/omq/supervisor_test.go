@@ -86,7 +86,7 @@ func TestSupervisorRespawnsCrashedInstance(t *testing.T) {
 	defer sup.Stop()
 
 	waitFor(t, 5*time.Second, func() bool { return rb.InstanceCount("svc") == 2 })
-	if !rb.KillLocal("svc") {
+	if rb.KillLocal("svc") == "" {
 		t.Fatal("kill failed")
 	}
 	// The supervisor's periodic check notices current < desired and repairs.

@@ -56,6 +56,7 @@ gate BenchmarkFig7eSyncTime REMOVE-median-ms lower
 gate BenchmarkMQPublishThroughput/batch msgs/s higher
 gate BenchmarkCommitParallelWorkspaces/shards=16 commits/s higher
 gate BenchmarkTransferPipeline/pipelined MB/s higher
+gate BenchmarkMultiInstanceCommit/instances=4 commits/min higher
 
 if [ "$fail" = 1 ]; then
     echo "benchcmp: regression over 20% detected" >&2

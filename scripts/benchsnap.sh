@@ -8,7 +8,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern='^(BenchmarkFig7|BenchmarkCommitParallelWorkspaces|BenchmarkMQPublishThroughput|BenchmarkTransferPipeline)'
+pattern='^(BenchmarkFig7|BenchmarkCommitParallelWorkspaces|BenchmarkMQPublishThroughput|BenchmarkTransferPipeline|BenchmarkMultiInstanceCommit)'
 benchtime="${BENCHTIME:-1x}"
 
 n=1

@@ -30,6 +30,13 @@ go test -race ./...
 echo "==> transfer pipeline stress (race, 3x)"
 go test -race -count=3 -run '^TestTransferPipelineStress$' ./internal/client/
 
+# Cross-instance failover is timing-sensitive by nature: re-run the seeded
+# multi-instance soak and the cross-instance linearizability race under the
+# race detector so a flaky interleaving fails here, not downstream. One extra
+# count on top of the full-suite run above.
+echo "==> multi-instance failover soak + linearizability (race, 2x total)"
+go test -race -count=1 -run '^(TestMultiInstanceChaosQuick|TestCrossInstanceLinearizability)$' ./internal/bench/
+
 # Short coverage-guided fuzz legs over the two codecs that parse
 # attacker-controlled bytes: the wire frame reader and WAL replay. Ten
 # seconds each is a smoke pass — run `go test -fuzz` open-ended to dig.
