@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos chaos-multi ub1-multi experiments trace-demo elastic-demo benchsnap benchcmp
+.PHONY: build test race vet check chaos chaos-multi ub1-multi experiments trace-demo elastic-demo benchsnap benchcmp matrix dashboard
 
 build:
 	$(GO) build ./...
@@ -49,12 +49,26 @@ trace-demo:
 elastic-demo:
 	$(GO) run ./cmd/experiments -run elastic-demo -quick
 
-## benchsnap runs the Fig. 7 microbenchmarks once and writes the results to
-## the next free BENCH_<n>.json at the repo root for cross-commit comparison.
+## benchsnap runs the Fig. 7 microbenchmarks once, appends a
+## provenance-stamped record to dev/bench/history.jsonl, and writes the next
+## free BENCH_<n>.json at the repo root for eyeballing a single run.
 benchsnap:
 	./scripts/benchsnap.sh
 
-## benchcmp compares the two newest BENCH_<n>.json snapshots and fails on a
-## >20% regression in Fig. 7(e) sync time or publish/commit throughput.
+## benchcmp gates the newest micro-suite record against the rolling median of
+## the last 5 clean runs in dev/bench/history.jsonl and fails on a >20%
+## regression (or a gated metric going missing).
 benchcmp:
 	./scripts/benchcmp.sh
+
+## matrix sweeps the scenario matrix (fanout storm, Zipf-skewed workspaces,
+## mobile churn, cold-start herd), records each scenario into
+## dev/bench/history.jsonl, and gates it against its own rolling median.
+matrix:
+	$(GO) run ./cmd/experiments -run matrix -quick
+
+## dashboard regenerates the static benchmark dashboard (dev/bench/data.js +
+## index.html) from dev/bench/history.jsonl — deterministic for a given
+## history, so CI can check it is up to date.
+dashboard:
+	$(GO) run ./cmd/benchhist -mode dash -history dev/bench/history.jsonl -out dev/bench

@@ -1,0 +1,156 @@
+// Command benchhist maintains the continuous benchmark history
+// (dev/bench/history.jsonl): appends provenance-stamped records, runs the
+// trend-aware regression gate, imports pre-history BENCH_<n>.json
+// snapshots, and regenerates the static dashboard. scripts/benchsnap.sh and
+// scripts/benchcmp.sh are thin wrappers over it.
+//
+//	benchhist -mode append -input bench.txt -benchtime 1x -snapshot BENCH_4.json
+//	benchhist -mode gate   -suite micro
+//	benchhist -mode import
+//	benchhist -mode dash   -out dev/bench
+//	benchhist -mode latest
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"stacksync/internal/benchhist"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "", "append|gate|import|dash|latest")
+		history   = flag.String("history", "dev/bench/history.jsonl", "history file (JSON lines)")
+		input     = flag.String("input", "-", "append: go test -bench output file (- for stdin)")
+		benchtime = flag.String("benchtime", "1x", "append: -benchtime the run used, echoed into the record")
+		snapshot  = flag.String("snapshot", "", "append: also write a BENCH_<n>.json snapshot here")
+		suite     = flag.String("suite", benchhist.MicroSuite, "gate: suite to judge")
+		window    = flag.Int("window", 5, "gate: rolling baseline size K (clean runs)")
+		threshold = flag.Float64("threshold", 0.20, "gate: relative regression bound")
+		out       = flag.String("out", "dev/bench", "dash: output directory")
+	)
+	flag.Parse()
+
+	if err := run(*mode, *history, *input, *benchtime, *snapshot, *suite, *window, *threshold, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchhist:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode, history, input, benchtime, snapshot, suite string, window int, threshold float64, out string) error {
+	switch mode {
+	case "append":
+		return runAppend(history, input, benchtime, snapshot)
+	case "gate":
+		return runGate(history, suite, window, threshold)
+	case "import":
+		n, err := benchhist.ImportSnapshots(history, ".")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("imported %d snapshot(s) into %s\n", n, history)
+		return nil
+	case "dash":
+		h, err := benchhist.ReadHistory(history)
+		if err != nil {
+			return err
+		}
+		warnSkipped(h)
+		if err := benchhist.WriteDashboard(out, h); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s/data.js and %s/index.html from %d record(s)\n", out, out, len(h.Records))
+		return nil
+	case "latest":
+		h, err := benchhist.ReadHistory(history)
+		if err != nil {
+			return err
+		}
+		rec, ok := h.Latest()
+		if !ok {
+			return fmt.Errorf("history %s is empty", history)
+		}
+		return printJSON(os.Stdout, rec)
+	default:
+		return fmt.Errorf("unknown -mode %q (append|gate|import|dash|latest)", mode)
+	}
+}
+
+func runAppend(history, input, benchtime, snapshot string) error {
+	var r io.Reader = os.Stdin
+	if input != "" && input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	metrics, err := benchhist.ParseGoBench(r, benchhist.MicroGates)
+	if err != nil {
+		return err
+	}
+	prov := benchhist.CollectProvenance(".")
+	rec := benchhist.NewMicroRecord(prov, time.Now(), benchtime, metrics)
+	if err := benchhist.Append(history, rec); err != nil {
+		return err
+	}
+	dirty := ""
+	if rec.Dirty {
+		dirty = " (dirty)"
+	}
+	fmt.Printf("appended %s record @ %s%s to %s (%d metrics)\n",
+		rec.Suite, shortSHA(rec.Commit), dirty, history, len(rec.Metrics))
+	if snapshot != "" {
+		if err := benchhist.WriteSnapshot(snapshot, rec); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", snapshot)
+	}
+	return nil
+}
+
+func runGate(history, suite string, window int, threshold float64) error {
+	h, err := benchhist.ReadHistory(history)
+	if err != nil {
+		return err
+	}
+	warnSkipped(h)
+	if len(h.Suite(suite)) == 0 {
+		fmt.Printf("gate %s: no records in %s — nothing to judge\n", suite, history)
+		return nil
+	}
+	rep, err := benchhist.GateSuite(h, suite, benchhist.GateConfig{Window: window, Threshold: threshold})
+	if err != nil {
+		return err
+	}
+	rep.Print(os.Stdout)
+	if rep.Failed {
+		return fmt.Errorf("suite %s regressed vs the rolling median (re-run with BENCHTIME=20x to confirm before digging)", suite)
+	}
+	return nil
+}
+
+func warnSkipped(h *benchhist.History) {
+	if h.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "benchhist: warning: %d undecodable history line(s) skipped\n", h.Skipped)
+	}
+}
+
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func shortSHA(c string) string {
+	if len(c) > 12 {
+		return c[:12]
+	}
+	return c
+}

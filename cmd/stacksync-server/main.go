@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"stacksync/internal/benchhist"
 	"stacksync/internal/core"
 	"stacksync/internal/metastore"
 	"stacksync/internal/mq"
@@ -39,15 +40,16 @@ func main() {
 	maxInstances := flag.Int("max-instances", 8, "maximum SyncService instances")
 	metaShards := flag.Int("meta-shards", 0, "metadata store shard count, rounded up to a power of two (0 = default)")
 	admin := flag.String("admin", "", "admin/introspection listen address, e.g. 127.0.0.1:7072 (empty disables; enabling it also enables tracing)")
+	benchHistory := flag.String("bench-history", "dev/bench/history.jsonl", "benchmark history file served on /benchz")
 	affinity := flag.Bool("affinity", false, "enable workspace-affinity routing: instances fence routed commits by consistent-hash ownership and the supervisor rebalances the ring on scale events")
 	flag.Parse()
 
-	if err := run(*listen, *storageListen, *storageToken, *dataDir, *workspace, *users, *minInstances, *maxInstances, *metaShards, *admin, *affinity); err != nil {
+	if err := run(*listen, *storageListen, *storageToken, *dataDir, *workspace, *users, *minInstances, *maxInstances, *metaShards, *admin, *benchHistory, *affinity); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, storageListen, storageToken, dataDir, workspace, users string, minInstances, maxInstances, metaShards int, admin string, affinity bool) error {
+func run(listen, storageListen, storageToken, dataDir, workspace, users string, minInstances, maxInstances, metaShards int, admin, benchHistory string, affinity bool) error {
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		return err
 	}
@@ -183,6 +185,7 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 			Tracer:   tracer,
 			Scraper:  scraper,
 			Events:   events,
+			Bench:    benchhist.AdminStatus(benchHistory),
 			Elastic: func() obs.ElasticStatus {
 				var st obs.ElasticStatus
 				if s, err := broker.QueueStats(core.ServiceOID); err == nil {
@@ -232,7 +235,7 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 			return err
 		}
 		defer adminSrv.Close()
-		log.Printf("admin endpoint on http://%s (/metrics /healthz /tracez /queuesz /varz /eventz /elasticz /debug/pprof)", adminSrv.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics /healthz /tracez /queuesz /varz /eventz /elasticz /benchz /debug/pprof)", adminSrv.Addr())
 	}
 
 	fmt.Printf("stacksync-server up: workspace=%q users=%v service pool %d..%d affinity=%v\n",

@@ -1,0 +1,555 @@
+window.BENCHMARK_DATA = {
+  "lastUpdate": 1786149253000,
+  "repoUrl": "stacksync",
+  "entries": {
+    "micro": [
+      {
+        "commit": {
+          "id": "legacy-BENCH_1",
+          "dirty": false
+        },
+        "date": 1786046603000,
+        "benches": [
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 806695,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 0.96,
+            "unit": "P(size\u003c=4MB)"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 2264421079,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 1.275,
+            "unit": "dropbox-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 0.9422,
+            "unit": "stacksync-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1221115531,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1566,
+            "unit": "dropbox-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 141.7,
+            "unit": "stacksync-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 1173294718,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.02598,
+            "unit": "dropbox-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.453,
+            "unit": "stacksync-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 1134988672,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 11.68,
+            "unit": "ADD-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 0.2942,
+            "unit": "REMOVE-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 3271257940,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 16.92,
+            "unit": "128KB-ms"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 806.1,
+            "unit": "8MB-ms"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 75267026,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 6802,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 16705419,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 30649,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 15310351,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 33441,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 14646745,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 34957,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 192987,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 331628,
+            "unit": "msgs/s"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 154544,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 414120,
+            "unit": "msgs/s",
+            "dir": "higher"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "legacy-BENCH_2",
+          "dirty": false
+        },
+        "date": 1786149235000,
+        "benches": [
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 925914,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 0.9576,
+            "unit": "P(size\u003c=4MB)"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 2445014326,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 1.275,
+            "unit": "dropbox-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 0.9422,
+            "unit": "stacksync-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1293115152,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1566,
+            "unit": "dropbox-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 141.7,
+            "unit": "stacksync-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 1250392722,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.02598,
+            "unit": "dropbox-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.453,
+            "unit": "stacksync-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 897705849,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 16.2,
+            "unit": "ADD-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 0.2043,
+            "unit": "REMOVE-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 3669512495,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 19.56,
+            "unit": "128KB-ms"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 893.4,
+            "unit": "8MB-ms"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 78555476,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 6518,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 13436869,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 38104,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 14949936,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 34248,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 16121884,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 31758,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 296791076,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 3.58,
+            "unit": "MB/s"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 73625725,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 15.19,
+            "unit": "MB/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 63486,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 1008096,
+            "unit": "msgs/s"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 68700,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 931587,
+            "unit": "msgs/s",
+            "dir": "higher"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "legacy-BENCH_3",
+          "dirty": false
+        },
+        "date": 1786149253000,
+        "benches": [
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 1088808,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 0.9576,
+            "unit": "P(size\u003c=4MB)"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 2389307315,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 1.275,
+            "unit": "dropbox-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 0.9422,
+            "unit": "stacksync-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1275868868,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1566,
+            "unit": "dropbox-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 141.7,
+            "unit": "stacksync-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 1349536042,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.02598,
+            "unit": "dropbox-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.453,
+            "unit": "stacksync-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 909109554,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 15.33,
+            "unit": "ADD-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 0.2352,
+            "unit": "REMOVE-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 3663548674,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 19.91,
+            "unit": "128KB-ms"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 892.7,
+            "unit": "8MB-ms"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 74283467,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 6893,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 20013763,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 25582,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 15771910,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 32463,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 14590951,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 35090,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 299264011,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 3.55,
+            "unit": "MB/s"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 74717781,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 14.72,
+            "unit": "MB/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1115249897,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 36011,
+            "unit": "commits/min"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1.364,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 1114496750,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 35976,
+            "unit": "commits/min",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 1.293,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 72055,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 888210,
+            "unit": "msgs/s"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 82488,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 775870,
+            "unit": "msgs/s",
+            "dir": "higher"
+          }
+        ]
+      }
+    ]
+  }
+}

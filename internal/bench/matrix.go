@@ -1,0 +1,722 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"stacksync/internal/benchhist"
+	"stacksync/internal/chunker"
+	"stacksync/internal/client"
+	"stacksync/internal/core"
+	"stacksync/internal/metastore"
+	"stacksync/internal/metrics"
+	"stacksync/internal/mq"
+	"stacksync/internal/objstore"
+	"stacksync/internal/obs"
+	"stacksync/internal/omq"
+)
+
+// The scenario matrix: four workload shapes beyond the paper's traces, each
+// run against the real in-process stack and emitted as a gated record into
+// the benchmark history — so "handles many scenarios" is an enumerable,
+// regression-gated artifact rather than a set of one-off demos.
+//
+//   - fanout:    sharing-heavy storm — one workspace shared by many devices,
+//     every commit must propagate to every member.
+//   - zipf:      Zipf-skewed workspace popularity — a few hot workspaces
+//     absorb most commits while the long tail stays warm.
+//   - churn:     mobile connect/disconnect cycles — devices repeatedly drop
+//     off, come back with a cold local DB, and must resync before writing.
+//   - coldstart: thundering herd — a fleet of brand-new devices bootstraps
+//     a populated workspace simultaneously.
+
+// MatrixConfig parameterizes the scenario matrix run.
+type MatrixConfig struct {
+	// Seed fixes workload shapes (content bytes, Zipf draws, schedules).
+	Seed int64
+	// Quick shrinks the scenarios for interactive runs.
+	Quick bool
+	// Smoke shrinks them further for the CI leg: a correctness pass over
+	// every scenario in a few seconds, not a measurement.
+	Smoke bool
+}
+
+// matrixSizes resolves the per-scenario workload sizes for a config.
+type matrixSizes struct {
+	fanoutDevices, fanoutFiles      int
+	zipfWorkspaces, zipfCommits     int
+	zipfCommitters                  int
+	churnDevices, churnCycles       int
+	coldFiles, coldClients          int
+	fileBytes                       int
+	waitBudget                      time.Duration
+	fanoutSLO, commitSLO, resyncSLO time.Duration
+}
+
+func (c MatrixConfig) sizes() matrixSizes {
+	s := matrixSizes{
+		fanoutDevices: 6, fanoutFiles: 40,
+		zipfWorkspaces: 32, zipfCommits: 1000, zipfCommitters: 8,
+		churnDevices: 4, churnCycles: 6,
+		coldFiles: 48, coldClients: 8,
+		fileBytes:  8 * 1024,
+		waitBudget: 30 * time.Second,
+		fanoutSLO:  450 * time.Millisecond,
+		commitSLO:  450 * time.Millisecond,
+		resyncSLO:  2 * time.Second,
+	}
+	if c.Quick {
+		s.fanoutDevices, s.fanoutFiles = 4, 15
+		s.zipfWorkspaces, s.zipfCommits = 16, 300
+		s.churnDevices, s.churnCycles = 3, 4
+		s.coldFiles, s.coldClients = 24, 5
+	}
+	if c.Smoke {
+		s.fanoutDevices, s.fanoutFiles = 3, 6
+		s.zipfWorkspaces, s.zipfCommits, s.zipfCommitters = 8, 80, 4
+		s.churnDevices, s.churnCycles = 2, 2
+		s.coldFiles, s.coldClients = 8, 3
+		s.fileBytes = 2 * 1024
+		s.waitBudget = 10 * time.Second
+	}
+	return s
+}
+
+// ScenarioResult is one scenario's measured outcome.
+type ScenarioResult struct {
+	Name    string        `json:"name"`
+	Ops     int           `json:"ops"`
+	Elapsed time.Duration `json:"elapsed"`
+	// OpsPerSec is the scenario's headline throughput (gated, higher is
+	// better); what one op is depends on the scenario (commits, files).
+	OpsPerSec float64       `json:"opsPerSec"`
+	P50       time.Duration `json:"p50"`
+	P99       time.Duration `json:"p99"`
+	SLOTarget time.Duration `json:"sloTarget"`
+	// Attainment is the fraction of latency samples within SLOTarget.
+	Attainment float64 `json:"attainment"`
+	Converged  bool    `json:"converged"`
+	// Retries counts omq call retry attempts over the run — the repair
+	// traffic the scenario induced (informational, from the registry).
+	Retries uint64 `json:"retries"`
+	// Extra carries scenario-specific informational metrics.
+	Extra      []benchhist.Metric `json:"extra,omitempty"`
+	Violations []string           `json:"violations,omitempty"`
+}
+
+// HistoryRecord renders the scenario as a history record in the suite
+// "scenario/<name>": throughput, p99 and SLO attainment gated, the rest
+// informational.
+func (s *ScenarioResult) HistoryRecord(prov benchhist.Provenance, takenAt time.Time) benchhist.Record {
+	ms := []benchhist.Metric{
+		{Name: s.Name, Unit: "ops/s", Value: s.OpsPerSec, Dir: benchhist.DirHigher},
+		{Name: s.Name, Unit: "p99-ms", Value: float64(s.P99) / 1e6, Dir: benchhist.DirLower},
+		{Name: s.Name, Unit: "attainment", Value: s.Attainment, Dir: benchhist.DirHigher},
+		{Name: s.Name, Unit: "p50-ms", Value: float64(s.P50) / 1e6},
+		{Name: s.Name, Unit: "ops", Value: float64(s.Ops)},
+		{Name: s.Name, Unit: "retries", Value: float64(s.Retries)},
+	}
+	ms = append(ms, s.Extra...)
+	return benchhist.Record{
+		Schema:     benchhist.SchemaVersion,
+		Suite:      "scenario/" + s.Name,
+		Commit:     prov.Commit,
+		Dirty:      prov.Dirty,
+		TakenAt:    takenAt.UTC(),
+		GoVersion:  prov.GoVersion,
+		GOMAXPROCS: prov.GOMAXPROCS,
+		Host:       prov.Host,
+		Metrics:    ms,
+	}
+}
+
+// MatrixResult is the full matrix run.
+type MatrixResult struct {
+	Seed      int64            `json:"seed"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// Violations aggregates every scenario's broken invariants.
+func (r *MatrixResult) Violations() []string {
+	var out []string
+	for _, s := range r.Scenarios {
+		for _, v := range s.Violations {
+			out = append(out, s.Name+": "+v)
+		}
+	}
+	return out
+}
+
+// Print writes the matrix summary table.
+func (r *MatrixResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Scenario matrix — seed %d\n", r.Seed)
+	fmt.Fprintf(w, "%-10s %6s %10s %10s %10s %10s %7s %9s\n",
+		"scenario", "ops", "ops/s", "p50", "p99", "slo d", "attain", "converged")
+	for _, s := range r.Scenarios {
+		conv := "yes"
+		if !s.Converged {
+			conv = "NO"
+		}
+		fmt.Fprintf(w, "%-10s %6d %10.1f %10v %10v %10v %7.4f %9s\n",
+			s.Name, s.Ops, s.OpsPerSec,
+			s.P50.Round(100*time.Microsecond), s.P99.Round(100*time.Microsecond),
+			s.SLOTarget, s.Attainment, conv)
+	}
+	for _, v := range r.Violations() {
+		fmt.Fprintf(w, "VIOLATION: %s\n", v)
+	}
+}
+
+// RunMatrix executes all four scenarios in sequence.
+func RunMatrix(cfg MatrixConfig) (*MatrixResult, error) {
+	sz := cfg.sizes()
+	res := &MatrixResult{Seed: cfg.Seed}
+	for _, run := range []struct {
+		name string
+		fn   func(MatrixConfig, matrixSizes) (*ScenarioResult, error)
+	}{
+		{"fanout", runFanoutScenario},
+		{"zipf", runZipfScenario},
+		{"churn", runChurnScenario},
+		{"coldstart", runColdStartScenario},
+	} {
+		s, err := run.fn(cfg, sz)
+		if err != nil {
+			return nil, fmt.Errorf("bench: matrix scenario %s: %w", run.name, err)
+		}
+		res.Scenarios = append(res.Scenarios, *s)
+	}
+	return res, nil
+}
+
+// matrixContent yields deterministic pseudo-random file bodies.
+func matrixContent(rnd *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rnd.Read(b)
+	return b
+}
+
+// scenarioStats fills the latency-derived fields of a result.
+func scenarioStats(s *ScenarioResult, lats []time.Duration, slo *obs.SLOTracker) {
+	secs := make([]float64, len(lats))
+	for i, l := range lats {
+		secs[i] = l.Seconds()
+	}
+	s.P50 = time.Duration(metrics.Percentile(secs, 0.50) * 1e9)
+	s.P99 = time.Duration(metrics.Percentile(secs, 0.99) * 1e9)
+	s.Attainment = slo.Attainment()
+	if s.Elapsed > 0 {
+		s.OpsPerSec = float64(s.Ops) / s.Elapsed.Seconds()
+	}
+}
+
+// --- fanout: sharing-heavy storm ------------------------------------------
+
+// runFanoutScenario deploys one workspace shared by sz.fanoutDevices
+// devices; device 0 commits sz.fanoutFiles files and every commit must
+// reach every other member. Latency is commit-to-everywhere: from PutFile
+// until the last member holds the version.
+func runFanoutScenario(cfg MatrixConfig, sz matrixSizes) (*ScenarioResult, error) {
+	reg := obs.NewRegistry()
+	st, err := NewStack(StackOptions{
+		Devices:     sz.fanoutDevices,
+		WorkspaceID: "matrix-fanout",
+		Registry:    reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	slo := obs.NewSLOTracker(reg, obs.SLOConfig{Name: "matrix_fanout", Target: sz.fanoutSLO, Objective: 0.99})
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	s := &ScenarioResult{Name: "fanout", SLOTarget: sz.fanoutSLO, Converged: true}
+	writer := st.Client(0)
+	var lats []time.Duration
+
+	start := time.Now()
+	for k := 0; k < sz.fanoutFiles; k++ {
+		path := fmt.Sprintf("storm/f%04d.txt", k)
+		t0 := time.Now()
+		if err := writer.PutFile(path, matrixContent(rnd, sz.fileBytes)); err != nil {
+			return nil, fmt.Errorf("put %s: %w", path, err)
+		}
+		for d := 1; d < st.Devices(); d++ {
+			if err := st.Client(d).WaitForVersion(path, 1, sz.waitBudget); err != nil {
+				s.Converged = false
+				s.Violations = append(s.Violations,
+					fmt.Sprintf("device %d never received %s: %v", d, path, err))
+			}
+		}
+		lat := time.Since(t0)
+		lats = append(lats, lat)
+		slo.Observe(lat)
+	}
+	s.Elapsed = time.Since(start)
+	s.Ops = sz.fanoutFiles
+	s.Retries = reg.CounterValue("omq_retry_attempts_total", "oid", core.ServiceOID)
+	s.Extra = []benchhist.Metric{
+		{Name: s.Name, Unit: "devices", Value: float64(sz.fanoutDevices)},
+	}
+	scenarioStats(s, lats, slo)
+	return s, nil
+}
+
+// --- zipf: skewed hot workspaces ------------------------------------------
+
+// runZipfScenario spreads sz.zipfCommits commits over sz.zipfWorkspaces
+// workspaces with Zipf-distributed popularity (s=1.2), fired by concurrent
+// committers straight at the SyncService — the metadata hot path under a
+// realistic skew where per-workspace serialization bites on the head of the
+// distribution.
+func runZipfScenario(cfg MatrixConfig, sz matrixSizes) (*ScenarioResult, error) {
+	reg := obs.NewRegistry()
+	m := mq.NewBroker()
+	defer m.Close()
+	meta := metastore.NewStore(metastore.WithRegistry(reg))
+	defer meta.Close()
+	wsName := func(i int) string { return fmt.Sprintf("matrix-zipf-%02d", i) }
+	for i := 0; i < sz.zipfWorkspaces; i++ {
+		if err := meta.CreateWorkspace(metastore.Workspace{ID: wsName(i), Owner: "user-0"}); err != nil {
+			return nil, err
+		}
+	}
+	sb, err := omq.NewBroker(m, omq.WithID("svc"), omq.WithRegistry(reg))
+	if err != nil {
+		return nil, err
+	}
+	defer sb.Close()
+	svc := core.NewService(meta, sb)
+	bind, err := svc.Bind()
+	if err != nil {
+		return nil, err
+	}
+	defer bind.Unbind()
+
+	// Pre-draw the workspace sequence so the skew is deterministic and the
+	// committers share no RNG.
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rnd, 1.2, 1, uint64(sz.zipfWorkspaces-1))
+	wsOf := make([]int, sz.zipfCommits)
+	hot := make(map[int]int)
+	for i := range wsOf {
+		wsOf[i] = int(zipf.Uint64())
+		hot[wsOf[i]]++
+	}
+	hotMax := 0
+	for _, n := range hot {
+		if n > hotMax {
+			hotMax = n
+		}
+	}
+
+	slo := obs.NewSLOTracker(reg, obs.SLOConfig{Name: "matrix_zipf", Target: sz.commitSLO, Objective: 0.99})
+	s := &ScenarioResult{Name: "zipf", SLOTarget: sz.commitSLO, Converged: true}
+	var (
+		mu     sync.Mutex
+		lats   []time.Duration
+		failed int
+	)
+	jobCh := make(chan int, sz.zipfCommits)
+	for i := 0; i < sz.zipfCommits; i++ {
+		jobCh <- i
+	}
+	close(jobCh)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < sz.zipfCommitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cb, err := omq.NewBroker(m, omq.WithID(fmt.Sprintf("zipf-%d", w)), omq.WithRegistry(reg))
+			if err != nil {
+				return
+			}
+			defer cb.Close()
+			proxy := cb.Lookup(core.ServiceOID)
+			for i := range jobCh {
+				ws := wsName(wsOf[i])
+				path := fmt.Sprintf("zipf/f%05d.txt", i)
+				req := core.CommitRequest{
+					Workspace: ws,
+					DeviceID:  fmt.Sprintf("zipf-dev-%d", w),
+					Items: []metastore.ItemVersion{{
+						Workspace: ws,
+						ItemID:    ws + ":" + path,
+						Path:      path,
+						Version:   1,
+						Status:    metastore.Added,
+						Size:      int64(sz.fileBytes),
+						DeviceID:  fmt.Sprintf("zipf-dev-%d", w),
+					}},
+				}
+				t0 := time.Now()
+				err := proxy.Call("CommitRequest", nil, req)
+				lat := time.Since(t0)
+				slo.Observe(lat)
+				mu.Lock()
+				lats = append(lats, lat)
+				if err != nil {
+					failed++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Elapsed = time.Since(start)
+	s.Ops = sz.zipfCommits
+
+	if failed > 0 {
+		s.Converged = false
+		s.Violations = append(s.Violations, fmt.Sprintf("%d of %d commits failed", failed, sz.zipfCommits))
+	}
+	// Every acked commit must be durable: the per-workspace item counts sum
+	// back to the commit count.
+	stored := 0
+	for i := 0; i < sz.zipfWorkspaces; i++ {
+		state, err := meta.State(wsName(i))
+		if err != nil {
+			return nil, err
+		}
+		stored += len(state)
+	}
+	if stored != sz.zipfCommits-failed {
+		s.Converged = false
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("metadata store holds %d items, want %d", stored, sz.zipfCommits-failed))
+	}
+	s.Retries = reg.CounterValue("omq_retry_attempts_total", "oid", core.ServiceOID)
+	s.Extra = []benchhist.Metric{
+		{Name: s.Name, Unit: "workspaces", Value: float64(sz.zipfWorkspaces)},
+		{Name: s.Name, Unit: "hot-ws-share", Value: float64(hotMax) / float64(sz.zipfCommits)},
+	}
+	scenarioStats(s, lats, slo)
+	return s, nil
+}
+
+// --- churn: mobile connect/disconnect cycles ------------------------------
+
+// runChurnScenario has sz.churnDevices devices cycle through connect →
+// resync → commit → disconnect, sz.churnCycles times each, concurrently.
+// Every reconnect starts from a cold local DB, so the device must pull its
+// own history back before writing the next file. Latency is
+// reconnect-to-recovered: Start+Resync until the device again holds every
+// file it ever wrote.
+func runChurnScenario(cfg MatrixConfig, sz matrixSizes) (*ScenarioResult, error) {
+	const workspace = "matrix-churn"
+	reg := obs.NewRegistry()
+	m := mq.NewBroker()
+	defer m.Close()
+	meta := metastore.NewStore(metastore.WithRegistry(reg))
+	defer meta.Close()
+	if err := meta.CreateWorkspace(metastore.Workspace{
+		ID: workspace, Owner: "user-0", Members: memberNames(sz.churnDevices),
+	}); err != nil {
+		return nil, err
+	}
+	sb, err := omq.NewBroker(m, omq.WithID("svc"), omq.WithRegistry(reg))
+	if err != nil {
+		return nil, err
+	}
+	defer sb.Close()
+	svc := core.NewService(meta, sb)
+	bind, err := svc.Bind()
+	if err != nil {
+		return nil, err
+	}
+	defer bind.Unbind()
+	base := objstore.NewMemory()
+
+	newIncarnation := func(dev int) (*client.Client, *omq.Broker, error) {
+		cb, err := omq.NewBroker(m, omq.WithID(fmt.Sprintf("churn-%d", dev)), omq.WithRegistry(reg))
+		if err != nil {
+			return nil, nil, err
+		}
+		cl, err := client.NewClient(client.Config{
+			UserID:      fmt.Sprintf("user-%d", dev),
+			DeviceID:    fmt.Sprintf("dev-%d", dev),
+			WorkspaceID: workspace,
+			Broker:      cb,
+			Storage:     base,
+			Registry:    reg,
+			Chunker:     chunker.Fixed{ChunkSize: 4 * 1024},
+		})
+		if err != nil {
+			cb.Close()
+			return nil, nil, err
+		}
+		if err := cl.Start(); err != nil {
+			cb.Close()
+			return nil, nil, err
+		}
+		return cl, cb, nil
+	}
+
+	slo := obs.NewSLOTracker(reg, obs.SLOConfig{Name: "matrix_churn", Target: sz.resyncSLO, Objective: 0.99})
+	rndMu := sync.Mutex{}
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	content := func(n int) []byte {
+		rndMu.Lock()
+		defer rndMu.Unlock()
+		return matrixContent(rnd, n)
+	}
+
+	s := &ScenarioResult{Name: "churn", SLOTarget: sz.resyncSLO, Converged: true}
+	var (
+		mu   sync.Mutex
+		lats []time.Duration
+	)
+	report := func(lat time.Duration, viol string) {
+		mu.Lock()
+		defer mu.Unlock()
+		if viol != "" {
+			s.Converged = false
+			s.Violations = append(s.Violations, viol)
+		}
+		if lat >= 0 {
+			lats = append(lats, lat)
+			slo.Observe(lat)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for dev := 0; dev < sz.churnDevices; dev++ {
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			var own []string
+			for cyc := 0; cyc < sz.churnCycles; cyc++ {
+				t0 := time.Now()
+				cl, cb, err := newIncarnation(dev)
+				if err != nil {
+					report(-1, fmt.Sprintf("dev-%d cycle %d reconnect: %v", dev, cyc, err))
+					return
+				}
+				// Recover this device's own history from the server: a cold
+				// local DB plus resync must yield every previously-written
+				// file.
+				recovered := false
+				deadline := time.Now().Add(sz.waitBudget)
+				for time.Now().Before(deadline) {
+					if err := cl.Resync(); err == nil && hasAll(cl, own) {
+						recovered = true
+						break
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				if !recovered {
+					report(-1, fmt.Sprintf("dev-%d cycle %d never recovered its %d files", dev, cyc, len(own)))
+				} else {
+					report(time.Since(t0), "")
+				}
+				path := fmt.Sprintf("churn/dev%d/c%02d.txt", dev, cyc)
+				if err := cl.PutFile(path, content(sz.fileBytes)); err != nil {
+					report(-1, fmt.Sprintf("dev-%d cycle %d put %s: %v", dev, cyc, path, err))
+				} else {
+					own = append(own, path)
+					// The commit must be acknowledged locally before the
+					// device drops off, or the next incarnation races its own
+					// in-flight proposal.
+					if err := cl.WaitForVersion(path, 1, sz.waitBudget); err != nil {
+						report(-1, fmt.Sprintf("dev-%d cycle %d commit %s not applied: %v", dev, cyc, path, err))
+					}
+				}
+				cl.Close()
+				cb.Close()
+			}
+			// Final incarnation: the device comes back once more and must
+			// converge on the full workspace state (everyone's files).
+			cl, cb, err := newIncarnation(dev)
+			if err != nil {
+				report(-1, fmt.Sprintf("dev-%d final reconnect: %v", dev, err))
+				return
+			}
+			defer cb.Close()
+			defer cl.Close()
+			want := sz.churnDevices * sz.churnCycles
+			deadline := time.Now().Add(sz.waitBudget)
+			for time.Now().Before(deadline) {
+				if err := cl.Resync(); err == nil && len(cl.Paths()) == want {
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			report(-1, fmt.Sprintf("dev-%d final state holds %d files, want %d", dev, len(cl.Paths()), want))
+		}(dev)
+	}
+	wg.Wait()
+	s.Elapsed = time.Since(start)
+	s.Ops = sz.churnDevices * sz.churnCycles
+	s.Retries = reg.CounterValue("omq_retry_attempts_total", "oid", core.ServiceOID)
+	s.Extra = []benchhist.Metric{
+		{Name: s.Name, Unit: "devices", Value: float64(sz.churnDevices)},
+		{Name: s.Name, Unit: "reconnects", Value: float64(sz.churnDevices * (sz.churnCycles + 1))},
+	}
+	scenarioStats(s, lats, slo)
+	return s, nil
+}
+
+// hasAll reports whether the client holds every path.
+func hasAll(cl *client.Client, paths []string) bool {
+	for _, p := range paths {
+		if _, ok := cl.FileContent(p); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// --- coldstart: thundering herd -------------------------------------------
+
+// runColdStartScenario seeds a workspace with sz.coldFiles files, then
+// boots sz.coldClients brand-new devices at the same instant. Every device
+// must bootstrap the full state (metadata resync + chunk downloads) while
+// all its peers hammer the same storage and metadata path. Latency is
+// boot-to-converged per device.
+func runColdStartScenario(cfg MatrixConfig, sz matrixSizes) (*ScenarioResult, error) {
+	const workspace = "matrix-cold"
+	reg := obs.NewRegistry()
+	m := mq.NewBroker()
+	defer m.Close()
+	meta := metastore.NewStore(metastore.WithRegistry(reg))
+	defer meta.Close()
+	if err := meta.CreateWorkspace(metastore.Workspace{
+		ID: workspace, Owner: "user-0", Members: memberNames(sz.coldClients + 1),
+	}); err != nil {
+		return nil, err
+	}
+	sb, err := omq.NewBroker(m, omq.WithID("svc"), omq.WithRegistry(reg))
+	if err != nil {
+		return nil, err
+	}
+	defer sb.Close()
+	svc := core.NewService(meta, sb)
+	bind, err := svc.Bind()
+	if err != nil {
+		return nil, err
+	}
+	defer bind.Unbind()
+	base := objstore.NewMemory()
+
+	// Seed the workspace: user-0's device writes the corpus, then leaves.
+	seedBroker, err := omq.NewBroker(m, omq.WithID("cold-seed"), omq.WithRegistry(reg))
+	if err != nil {
+		return nil, err
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	seeder, err := client.NewClient(client.Config{
+		UserID: "user-0", DeviceID: "dev-seed", WorkspaceID: workspace,
+		Broker: seedBroker, Storage: base, Registry: reg,
+		Chunker: chunker.Fixed{ChunkSize: 4 * 1024},
+	})
+	if err != nil {
+		seedBroker.Close()
+		return nil, err
+	}
+	if err := seeder.Start(); err != nil {
+		seedBroker.Close()
+		return nil, err
+	}
+	paths := make([]string, sz.coldFiles)
+	for k := range paths {
+		paths[k] = fmt.Sprintf("corpus/f%04d.txt", k)
+		if err := seeder.PutFile(paths[k], matrixContent(rnd, sz.fileBytes)); err != nil {
+			return nil, fmt.Errorf("seed %s: %w", paths[k], err)
+		}
+	}
+	for _, p := range paths {
+		if err := seeder.WaitForVersion(p, 1, sz.waitBudget); err != nil {
+			return nil, fmt.Errorf("seed commit %s not applied: %w", p, err)
+		}
+	}
+	seeder.Close()
+	seedBroker.Close()
+
+	slo := obs.NewSLOTracker(reg, obs.SLOConfig{Name: "matrix_cold", Target: sz.resyncSLO, Objective: 0.99})
+	s := &ScenarioResult{Name: "coldstart", SLOTarget: sz.resyncSLO, Converged: true}
+	var (
+		mu   sync.Mutex
+		lats []time.Duration
+	)
+
+	// The herd: every device boots at the barrier and bootstraps the corpus.
+	barrier := make(chan struct{})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < sz.coldClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cb, err := omq.NewBroker(m, omq.WithID(fmt.Sprintf("cold-%d", i)), omq.WithRegistry(reg))
+			if err != nil {
+				mu.Lock()
+				s.Converged = false
+				s.Violations = append(s.Violations, fmt.Sprintf("client %d broker: %v", i, err))
+				mu.Unlock()
+				return
+			}
+			defer cb.Close()
+			cl, err := client.NewClient(client.Config{
+				UserID: fmt.Sprintf("user-%d", i+1), DeviceID: fmt.Sprintf("dev-cold-%d", i),
+				WorkspaceID: workspace, Broker: cb, Storage: base, Registry: reg,
+				Chunker: chunker.Fixed{ChunkSize: 4 * 1024},
+			})
+			if err != nil {
+				mu.Lock()
+				s.Converged = false
+				s.Violations = append(s.Violations, fmt.Sprintf("client %d: %v", i, err))
+				mu.Unlock()
+				return
+			}
+			defer cl.Close()
+			<-barrier
+			t0 := time.Now()
+			if err := cl.Start(); err != nil {
+				mu.Lock()
+				s.Converged = false
+				s.Violations = append(s.Violations, fmt.Sprintf("client %d start: %v", i, err))
+				mu.Unlock()
+				return
+			}
+			done := false
+			deadline := time.Now().Add(sz.waitBudget)
+			for time.Now().Before(deadline) {
+				if err := cl.Resync(); err == nil && hasAll(cl, paths) {
+					done = true
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			lat := time.Since(t0)
+			mu.Lock()
+			if !done {
+				s.Converged = false
+				s.Violations = append(s.Violations,
+					fmt.Sprintf("client %d bootstrapped %d of %d files within %v", i, len(cl.Paths()), len(paths), sz.waitBudget))
+			} else {
+				lats = append(lats, lat)
+				slo.Observe(lat)
+			}
+			mu.Unlock()
+		}(i)
+	}
+	close(barrier)
+	wg.Wait()
+	s.Elapsed = time.Since(start)
+	s.Ops = sz.coldClients * sz.coldFiles // files bootstrapped fleet-wide
+	s.Retries = reg.CounterValue("omq_retry_attempts_total", "oid", core.ServiceOID)
+	s.Extra = []benchhist.Metric{
+		{Name: s.Name, Unit: "clients", Value: float64(sz.coldClients)},
+		{Name: s.Name, Unit: "corpus-files", Value: float64(sz.coldFiles)},
+	}
+	scenarioStats(s, lats, slo)
+	sort.Strings(s.Violations)
+	return s, nil
+}

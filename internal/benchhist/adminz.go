@@ -1,0 +1,30 @@
+package benchhist
+
+import (
+	"encoding/json"
+
+	"stacksync/internal/obs"
+)
+
+// AdminStatus adapts a history file onto the obs.Admin /benchz provider. The
+// file is re-read on every request, so a long-lived admin endpoint reflects
+// records appended after it started serving.
+func AdminStatus(path string) func() obs.BenchStatus {
+	return func() obs.BenchStatus {
+		st := obs.BenchStatus{HistoryPath: path}
+		h, err := ReadHistory(path)
+		if err != nil {
+			st.Err = err.Error()
+			return st
+		}
+		st.Records = len(h.Records)
+		st.Skipped = h.Skipped
+		st.Suites = h.Suites()
+		if latest, ok := h.Latest(); ok {
+			if raw, err := json.Marshal(latest); err == nil {
+				st.Latest = raw
+			}
+		}
+		return st
+	}
+}

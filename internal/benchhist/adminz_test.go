@@ -1,0 +1,42 @@
+package benchhist
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAdminStatus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	status := AdminStatus(path)
+
+	// Absent history: empty status, no error.
+	st := status()
+	if st.Err != "" || st.Records != 0 {
+		t.Fatalf("absent history status = %+v", st)
+	}
+
+	for _, r := range []Record{
+		{Suite: MicroSuite, Commit: "aaa", TakenAt: time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC),
+			Metrics: []Metric{{Name: "b", Unit: "ns/op", Value: 1}}},
+		{Suite: "scenario/zipf", Commit: "bbb", TakenAt: time.Date(2026, 8, 1, 1, 0, 0, 0, time.UTC),
+			Metrics: []Metric{{Name: "zipf", Unit: "ops/s", Value: 2, Dir: DirHigher}}},
+	} {
+		if err := Append(path, r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+
+	// Re-read per call: both records visible without rebuilding the provider.
+	st = status()
+	if st.Records != 2 || st.Skipped != 0 {
+		t.Fatalf("status = %+v, want 2 records", st)
+	}
+	if len(st.Suites) != 2 || st.Suites[0] != MicroSuite {
+		t.Errorf("suites = %v", st.Suites)
+	}
+	if !strings.Contains(string(st.Latest), `"bbb"`) {
+		t.Errorf("latest record = %s, want commit bbb", st.Latest)
+	}
+}

@@ -1,0 +1,220 @@
+// Package benchhist is the continuous benchmark history: an append-only
+// JSON-lines series of per-commit benchmark and scenario records, a
+// trend-aware regression gate over it, and a static dashboard generator.
+//
+// Every run of the microbenchmark suite (scripts/benchsnap.sh) or the
+// scenario matrix (experiments -run matrix) appends one Record — keyed by
+// commit SHA and stamped with provenance (dirty flag, go version,
+// GOMAXPROCS, host) — to dev/bench/history.jsonl. The gate then compares
+// each gated metric of the newest record against the rolling median of the
+// last K clean (non-dirty) runs, so a single noisy 1-iteration snapshot
+// neither hides a real regression nor fails a healthy commit the way the
+// old newest-two diff of benchcmp.sh could. The dashboard generator renders
+// the whole series as dev/bench/data.js + index.html in the
+// buildpacks/pack window.BENCHMARK_DATA style.
+package benchhist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// SchemaVersion is the record format version written by this package.
+const SchemaVersion = 1
+
+// Metric direction: which way "better" points. A metric with an empty Dir
+// is informational only; a directed metric is gated.
+const (
+	DirLower  = "lower"  // lower is better (latency, ns/op)
+	DirHigher = "higher" // higher is better (throughput)
+)
+
+// Metric is one measured value of a record. Name identifies the benchmark
+// or scenario measurement (e.g. "BenchmarkTransferPipeline/pipelined" or
+// "scenario ops"); Unit disambiguates multiple values of one benchmark
+// ("ns/op", "MB/s", "p99-ms"). Name+Unit is the series key across records.
+type Metric struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+	// Dir marks the metric as gated and says which direction is better
+	// ("lower" or "higher"); empty means informational.
+	Dir string `json:"dir,omitempty"`
+}
+
+// Gated reports whether the metric participates in the regression gate.
+func (m Metric) Gated() bool { return m.Dir == DirLower || m.Dir == DirHigher }
+
+// Key returns the series key of the metric.
+func (m Metric) Key() string { return m.Name + " " + m.Unit }
+
+// Record is one history entry: one benchmark or scenario run on one commit.
+type Record struct {
+	Schema int `json:"schema"`
+	// Suite groups records into independent series: "micro" for the Go
+	// microbenchmarks, "scenario/<name>" for matrix scenarios.
+	Suite string `json:"suite"`
+	// Commit is the git SHA the run was taken at ("unknown" outside a
+	// repository; "legacy-BENCH_<n>" for imported pre-history snapshots).
+	Commit string `json:"commit"`
+	// Dirty is true when the working tree had uncommitted changes — such
+	// runs are recorded but never used as gate baselines.
+	Dirty      bool      `json:"dirty"`
+	TakenAt    time.Time `json:"takenAt"`
+	GoVersion  string    `json:"goVersion,omitempty"`
+	GOMAXPROCS int       `json:"gomaxprocs,omitempty"`
+	Host       string    `json:"host,omitempty"`
+	// Benchtime echoes go test's -benchtime for micro records.
+	Benchtime string   `json:"benchtime,omitempty"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+// Metric returns the record's metric with the given name and unit.
+func (r *Record) Metric(name, unit string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name && m.Unit == unit {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// ParseRecord decodes one history line. It rejects records without a suite
+// or with a non-positive schema so a truncated or foreign JSON object is
+// not silently mistaken for an empty run.
+func ParseRecord(line []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(line, &r); err != nil {
+		return Record{}, fmt.Errorf("benchhist: parse record: %w", err)
+	}
+	if r.Schema <= 0 {
+		return Record{}, fmt.Errorf("benchhist: record missing schema version")
+	}
+	if r.Suite == "" {
+		return Record{}, fmt.Errorf("benchhist: record missing suite")
+	}
+	return r, nil
+}
+
+// History is the decoded contents of a history file.
+type History struct {
+	// Records in file (append) order.
+	Records []Record
+	// Skipped counts undecodable lines (e.g. a torn tail after a crash
+	// mid-append); they are tolerated so one bad write cannot brick the
+	// whole series, but surfaced so the corruption is visible.
+	Skipped int
+}
+
+// Suites returns the distinct suite names in file order of first appearance.
+func (h *History) Suites() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range h.Records {
+		if !seen[r.Suite] {
+			seen[r.Suite] = true
+			out = append(out, r.Suite)
+		}
+	}
+	return out
+}
+
+// Suite returns the records of one suite in append order.
+func (h *History) Suite(name string) []Record {
+	var out []Record
+	for _, r := range h.Records {
+		if r.Suite == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Latest returns the newest record overall (by append order), if any.
+func (h *History) Latest() (Record, bool) {
+	if len(h.Records) == 0 {
+		return Record{}, false
+	}
+	return h.Records[len(h.Records)-1], true
+}
+
+// ReadHistory loads a JSON-lines history file. A missing file is an empty
+// history, not an error — the first append creates it.
+func ReadHistory(path string) (*History, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &History{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("benchhist: open history: %w", err)
+	}
+	defer f.Close()
+
+	h := &History{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := ParseRecord(line)
+		if err != nil {
+			h.Skipped++
+			continue
+		}
+		h.Records = append(h.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchhist: read history: %w", err)
+	}
+	return h, nil
+}
+
+// Append writes one record as a single JSON line at the end of the history
+// file, creating the file (and its directory) on first use.
+func Append(path string, rec Record) error {
+	if rec.Schema == 0 {
+		rec.Schema = SchemaVersion
+	}
+	if rec.Suite == "" {
+		return fmt.Errorf("benchhist: refusing to append record without suite")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("benchhist: create history dir: %w", err)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("benchhist: encode record: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("benchhist: open history: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("benchhist: append record: %w", err)
+	}
+	return nil
+}
+
+// median returns the middle value of vs (mean of the two middle values for
+// even lengths). Empty input yields 0.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(vs))
+	copy(sorted, vs)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}

@@ -1,0 +1,207 @@
+package benchhist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The static dashboard: dev/bench/data.js + index.html in the
+// buildpacks/pack window.BENCHMARK_DATA style. data.js is derived from the
+// history file alone (lastUpdate is the newest record's timestamp, not the
+// generation time), so `make dashboard` is deterministic: same history,
+// byte-identical output.
+
+// dashCommit is the per-entry commit block of data.js.
+type dashCommit struct {
+	ID        string `json:"id"`
+	Dirty     bool   `json:"dirty"`
+	Host      string `json:"host,omitempty"`
+	GoVersion string `json:"goVersion,omitempty"`
+}
+
+// dashBench is one measured value of a data.js entry.
+type dashBench struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Dir   string  `json:"dir,omitempty"`
+}
+
+// dashEntry is one benchmark run of a suite series.
+type dashEntry struct {
+	Commit  dashCommit  `json:"commit"`
+	Date    int64       `json:"date"` // unix ms, BENCHMARK_DATA convention
+	Benches []dashBench `json:"benches"`
+}
+
+// dashData is the window.BENCHMARK_DATA payload.
+type dashData struct {
+	LastUpdate int64                  `json:"lastUpdate"`
+	RepoURL    string                 `json:"repoUrl"`
+	Entries    map[string][]dashEntry `json:"entries"`
+}
+
+// WriteDashboard renders the history as a static dashboard under outDir:
+// data.js holding the full series and index.html rendering one chart per
+// metric, grouped by suite. Records appear in append order.
+func WriteDashboard(outDir string, h *History) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("benchhist: create dashboard dir: %w", err)
+	}
+	data := dashData{
+		RepoURL: "stacksync",
+		Entries: make(map[string][]dashEntry),
+	}
+	for _, rec := range h.Records {
+		if ms := rec.TakenAt.UnixMilli(); ms > data.LastUpdate {
+			data.LastUpdate = ms
+		}
+		entry := dashEntry{
+			Commit: dashCommit{
+				ID: rec.Commit, Dirty: rec.Dirty,
+				Host: rec.Host, GoVersion: rec.GoVersion,
+			},
+			Date: rec.TakenAt.UnixMilli(),
+		}
+		for _, m := range rec.Metrics {
+			entry.Benches = append(entry.Benches, dashBench{
+				Name: m.Name, Value: m.Value, Unit: m.Unit, Dir: m.Dir,
+			})
+		}
+		data.Entries[rec.Suite] = append(data.Entries[rec.Suite], entry)
+	}
+	payload, err := json.MarshalIndent(&data, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchhist: encode dashboard data: %w", err)
+	}
+	js := append([]byte("window.BENCHMARK_DATA = "), payload...)
+	js = append(js, '\n')
+	if err := os.WriteFile(filepath.Join(outDir, "data.js"), js, 0o644); err != nil {
+		return fmt.Errorf("benchhist: write data.js: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "index.html"), []byte(dashboardHTML), 0o644); err != nil {
+		return fmt.Errorf("benchhist: write index.html: %w", err)
+	}
+	return nil
+}
+
+// dashboardHTML is the static chart page. It renders every metric series of
+// window.BENCHMARK_DATA as an inline SVG line chart — no external assets,
+// so the page works from a file:// URL and its bytes never change unless
+// this constant does.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>stacksync benchmark history</title>
+<style>
+  body { font: 14px/1.4 -apple-system, "Segoe UI", Roboto, sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #1a1a2e; }
+  h1 { font-size: 1.4rem; }
+  h2 { font-size: 1.1rem; border-bottom: 1px solid #d8d8e4; padding-bottom: .3rem; margin-top: 2rem; }
+  .meta { color: #667; }
+  .charts { display: grid; grid-template-columns: repeat(auto-fill, minmax(21rem, 1fr)); gap: 1rem; }
+  .chart { border: 1px solid #d8d8e4; border-radius: 6px; padding: .6rem .8rem .2rem; }
+  .chart h3 { font-size: .85rem; margin: 0 0 .2rem; font-weight: 600; word-break: break-all; }
+  .chart .unit { color: #667; font-weight: 400; }
+  .chart .gated { color: #7a4ec7; font-weight: 400; }
+  svg { width: 100%; height: 9rem; }
+  .line { fill: none; stroke: #4a6fd4; stroke-width: 1.5; }
+  .dot { fill: #4a6fd4; }
+  .dot.dirty { fill: #c75e4e; }
+  .axis { stroke: #c8c8d8; stroke-width: 1; }
+  .lbl { font-size: 9px; fill: #667; }
+</style>
+</head>
+<body>
+<h1>stacksync benchmark history</h1>
+<p class="meta" id="meta"></p>
+<div id="root"></div>
+<script src="data.js"></script>
+<script>
+(function () {
+  var data = window.BENCHMARK_DATA;
+  if (!data) { document.getElementById('root').textContent = 'no data.js found'; return; }
+  document.getElementById('meta').textContent =
+    'last update ' + new Date(data.lastUpdate).toISOString() + ' · red points: dirty working tree';
+
+  function fmt(v) {
+    if (v === 0) return '0';
+    var a = Math.abs(v);
+    if (a >= 1e6) return (v / 1e6).toFixed(1) + 'M';
+    if (a >= 1e3) return (v / 1e3).toFixed(1) + 'k';
+    if (a < 0.01) return v.toExponential(1);
+    return +v.toFixed(3) + '';
+  }
+
+  function chart(series) {
+    var W = 360, H = 150, L = 46, R = 8, T = 10, B = 24;
+    var vals = series.points.map(function (p) { return p.value; });
+    var min = Math.min.apply(null, vals), max = Math.max.apply(null, vals);
+    if (min === max) { min -= 1; max += 1; }
+    var pad = (max - min) * 0.08; min -= pad; max += pad;
+    var x = function (i) {
+      return series.points.length < 2 ? (L + W - R) / 2
+        : L + (W - L - R) * i / (series.points.length - 1);
+    };
+    var y = function (v) { return T + (H - T - B) * (1 - (v - min) / (max - min)); };
+    var s = '<svg viewBox="0 0 ' + W + ' ' + H + '" preserveAspectRatio="none">';
+    s += '<line class="axis" x1="' + L + '" y1="' + (H - B) + '" x2="' + (W - R) + '" y2="' + (H - B) + '"/>';
+    s += '<line class="axis" x1="' + L + '" y1="' + T + '" x2="' + L + '" y2="' + (H - B) + '"/>';
+    s += '<text class="lbl" x="' + (L - 4) + '" y="' + (y(max - pad) + 3) + '" text-anchor="end">' + fmt(max - pad) + '</text>';
+    s += '<text class="lbl" x="' + (L - 4) + '" y="' + (y(min + pad) + 3) + '" text-anchor="end">' + fmt(min + pad) + '</text>';
+    var path = series.points.map(function (p, i) {
+      return (i ? 'L' : 'M') + x(i).toFixed(1) + ' ' + y(p.value).toFixed(1);
+    }).join(' ');
+    if (series.points.length > 1) s += '<path class="line" d="' + path + '"/>';
+    series.points.forEach(function (p, i) {
+      s += '<circle class="dot' + (p.dirty ? ' dirty' : '') + '" cx="' + x(i).toFixed(1) +
+        '" cy="' + y(p.value).toFixed(1) + '" r="2.5"><title>' +
+        p.commit.slice(0, 12) + ' · ' + new Date(p.date).toISOString() + ' · ' +
+        p.value + ' ' + series.unit + '</title></circle>';
+    });
+    var first = series.points[0], last = series.points[series.points.length - 1];
+    s += '<text class="lbl" x="' + L + '" y="' + (H - 8) + '">' + first.commit.slice(0, 8) + '</text>';
+    s += '<text class="lbl" x="' + (W - R) + '" y="' + (H - 8) + '" text-anchor="end">' + last.commit.slice(0, 8) + '</text>';
+    return s + '</svg>';
+  }
+
+  var root = document.getElementById('root');
+  Object.keys(data.entries).sort().forEach(function (suite) {
+    var entries = data.entries[suite];
+    var order = [], bySeries = {};
+    entries.forEach(function (e) {
+      (e.benches || []).forEach(function (b) {
+        var key = b.name + ' ' + b.unit;
+        if (!bySeries[key]) {
+          bySeries[key] = { name: b.name, unit: b.unit, dir: b.dir, points: [] };
+          order.push(key);
+        }
+        if (b.dir) bySeries[key].dir = b.dir;
+        bySeries[key].points.push({
+          value: b.value, date: e.date,
+          commit: e.commit.id, dirty: e.commit.dirty
+        });
+      });
+    });
+    var h2 = document.createElement('h2');
+    h2.textContent = suite + ' · ' + entries.length + ' run(s)';
+    root.appendChild(h2);
+    var grid = document.createElement('div');
+    grid.className = 'charts';
+    order.forEach(function (key) {
+      var series = bySeries[key];
+      var div = document.createElement('div');
+      div.className = 'chart';
+      var gated = series.dir ? ' <span class="gated">gated · ' + series.dir + ' is better</span>' : '';
+      div.innerHTML = '<h3>' + series.name + ' <span class="unit">' + series.unit + '</span>' + gated + '</h3>' + chart(series);
+      grid.appendChild(div);
+    });
+    root.appendChild(grid);
+  });
+})();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,80 @@
+package benchhist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func dashHistory() *History {
+	return &History{Records: []Record{
+		{
+			Schema: SchemaVersion, Suite: MicroSuite, Commit: "aaa111",
+			TakenAt: time.Date(2026, 8, 1, 10, 0, 0, 0, time.UTC), Host: "h1",
+			Metrics: []Metric{
+				{Name: "BenchmarkX", Unit: "ns/op", Value: 100},
+				{Name: "BenchmarkX", Unit: "MB/s", Value: 10, Dir: DirHigher},
+			},
+		},
+		{
+			Schema: SchemaVersion, Suite: MicroSuite, Commit: "bbb222", Dirty: true,
+			TakenAt: time.Date(2026, 8, 2, 10, 0, 0, 0, time.UTC), Host: "h1",
+			Metrics: []Metric{
+				{Name: "BenchmarkX", Unit: "ns/op", Value: 90},
+				{Name: "BenchmarkX", Unit: "MB/s", Value: 11, Dir: DirHigher},
+			},
+		},
+		{
+			Schema: SchemaVersion, Suite: "scenario/fanout", Commit: "bbb222",
+			TakenAt: time.Date(2026, 8, 2, 10, 5, 0, 0, time.UTC),
+			Metrics: []Metric{{Name: "fanout", Unit: "ops/s", Value: 42, Dir: DirHigher}},
+		},
+	}}
+}
+
+func TestWriteDashboard(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dev", "bench")
+	if err := WriteDashboard(dir, dashHistory()); err != nil {
+		t.Fatalf("WriteDashboard: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "data.js"))
+	if err != nil {
+		t.Fatalf("read data.js: %v", err)
+	}
+	js := string(data)
+	if !strings.HasPrefix(js, "window.BENCHMARK_DATA = {") {
+		t.Errorf("data.js missing BENCHMARK_DATA prefix:\n%.80s", js)
+	}
+	for _, want := range []string{`"micro"`, `"scenario/fanout"`, `"aaa111"`, `"MB/s"`, `"dir": "higher"`, `"dirty": true`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("data.js missing %s", want)
+		}
+	}
+	// lastUpdate derives from the newest record, not the wall clock.
+	wantUpdate := fmt.Sprintf(`"lastUpdate": %d`, time.Date(2026, 8, 2, 10, 5, 0, 0, time.UTC).UnixMilli())
+	if !strings.Contains(js, wantUpdate) {
+		t.Errorf("lastUpdate not derived from history (want %s):\n%.200s", wantUpdate, js)
+	}
+	html, err := os.ReadFile(filepath.Join(dir, "index.html"))
+	if err != nil {
+		t.Fatalf("read index.html: %v", err)
+	}
+	if !strings.Contains(string(html), "data.js") {
+		t.Error("index.html does not load data.js")
+	}
+
+	// Determinism: regenerating from the same history is byte-identical.
+	if err := WriteDashboard(dir, dashHistory()); err != nil {
+		t.Fatalf("WriteDashboard (again): %v", err)
+	}
+	again, err := os.ReadFile(filepath.Join(dir, "data.js"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != js {
+		t.Error("regenerated data.js differs — dashboard not deterministic")
+	}
+}

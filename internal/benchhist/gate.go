@@ -1,0 +1,208 @@
+package benchhist
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// GateConfig tunes the trend-aware regression gate.
+type GateConfig struct {
+	// Window is the rolling baseline size K: gated metrics of the newest
+	// record are compared against the median of their values over the last
+	// K clean (non-dirty) prior runs (default 5).
+	Window int
+	// Threshold is the relative regression bound (default 0.20): a
+	// lower-is-better metric fails above median*(1+Threshold), a
+	// higher-is-better one below median*(1-Threshold).
+	Threshold float64
+}
+
+func (c *GateConfig) applyDefaults() {
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.20
+	}
+}
+
+// Verdict statuses.
+const (
+	StatusOK = "ok"
+	// StatusRegression: the newest value is beyond the threshold vs the
+	// rolling median.
+	StatusRegression = "REGRESSION"
+	// StatusMissing: a gated metric present in the baseline window is
+	// absent from the newest record — silently dropping a benchmark from
+	// the snapshot pattern must not disable its gate.
+	StatusMissing = "MISSING"
+	// StatusNew: no clean baseline yet; recorded but not judged.
+	StatusNew = "new"
+)
+
+// Verdict is the gate's judgement of one gated metric.
+type Verdict struct {
+	Name     string  `json:"name"`
+	Unit     string  `json:"unit"`
+	Dir      string  `json:"dir"`
+	Value    float64 `json:"value"`    // newest value (0 when missing)
+	Baseline float64 `json:"baseline"` // rolling median of the window
+	// Samples is the number of clean prior runs the baseline median is
+	// drawn from.
+	Samples int    `json:"samples"`
+	Status  string `json:"status"`
+}
+
+// Report is the gate's result over one suite.
+type Report struct {
+	Suite     string    `json:"suite"`
+	Commit    string    `json:"commit"`
+	TakenAt   time.Time `json:"takenAt"`
+	Dirty     bool      `json:"dirty"`
+	Window    int       `json:"window"`
+	Threshold float64   `json:"threshold"`
+	Verdicts  []Verdict `json:"verdicts"`
+	// Vacuous is true when the suite has no prior records to gate against.
+	Vacuous bool `json:"vacuous"`
+	Failed  bool `json:"failed"`
+}
+
+// GateSuite judges the newest record of a suite against the rolling median
+// of the last cfg.Window clean prior runs. With fewer than two records of
+// the suite the gate passes vacuously. The newest record itself may be
+// dirty — it is judged all the same, it just won't serve as a baseline for
+// later runs.
+func GateSuite(h *History, suite string, cfg GateConfig) (*Report, error) {
+	cfg.applyDefaults()
+	recs := h.Suite(suite)
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("benchhist: no records for suite %q", suite)
+	}
+	newest := recs[len(recs)-1]
+	rep := &Report{
+		Suite:     suite,
+		Commit:    newest.Commit,
+		TakenAt:   newest.TakenAt,
+		Dirty:     newest.Dirty,
+		Window:    cfg.Window,
+		Threshold: cfg.Threshold,
+	}
+	prior := recs[:len(recs)-1]
+	if len(prior) == 0 {
+		rep.Vacuous = true
+		return rep, nil
+	}
+
+	// The baseline window: the last cfg.Window clean prior runs.
+	var window []Record
+	for i := len(prior) - 1; i >= 0 && len(window) < cfg.Window; i-- {
+		if prior[i].Dirty {
+			continue
+		}
+		window = append(window, prior[i])
+	}
+	if len(window) == 0 {
+		// Only dirty history behind us: nothing trustworthy to gate against.
+		rep.Vacuous = true
+		return rep, nil
+	}
+
+	// Judge every gated metric of the newest record.
+	judged := make(map[string]bool)
+	for _, m := range newest.Metrics {
+		if !m.Gated() {
+			continue
+		}
+		judged[m.Key()] = true
+		var base []float64
+		for _, r := range window {
+			if bm, ok := r.Metric(m.Name, m.Unit); ok {
+				base = append(base, bm.Value)
+			}
+		}
+		v := Verdict{Name: m.Name, Unit: m.Unit, Dir: m.Dir, Value: m.Value, Samples: len(base)}
+		if len(base) == 0 {
+			v.Status = StatusNew
+		} else {
+			v.Baseline = median(base)
+			v.Status = StatusOK
+			if v.Baseline != 0 {
+				switch m.Dir {
+				case DirLower:
+					if m.Value > v.Baseline*(1+cfg.Threshold) {
+						v.Status = StatusRegression
+					}
+				case DirHigher:
+					if m.Value < v.Baseline*(1-cfg.Threshold) {
+						v.Status = StatusRegression
+					}
+				}
+			}
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+	}
+
+	// A gated metric present anywhere in the baseline window but absent
+	// from the newest record fails the gate.
+	missingSeen := make(map[string]bool)
+	for _, r := range window {
+		for _, m := range r.Metrics {
+			if !m.Gated() || judged[m.Key()] || missingSeen[m.Key()] {
+				continue
+			}
+			missingSeen[m.Key()] = true
+			var base []float64
+			for _, wr := range window {
+				if bm, ok := wr.Metric(m.Name, m.Unit); ok {
+					base = append(base, bm.Value)
+				}
+			}
+			rep.Verdicts = append(rep.Verdicts, Verdict{
+				Name: m.Name, Unit: m.Unit, Dir: m.Dir,
+				Baseline: median(base), Samples: len(base),
+				Status: StatusMissing,
+			})
+		}
+	}
+
+	for _, v := range rep.Verdicts {
+		if v.Status == StatusRegression || v.Status == StatusMissing {
+			rep.Failed = true
+		}
+	}
+	return rep, nil
+}
+
+// Print writes the report in the benchcmp.sh style.
+func (rep *Report) Print(w io.Writer) {
+	dirty := ""
+	if rep.Dirty {
+		dirty = " (dirty tree)"
+	}
+	fmt.Fprintf(w, "gate %s @ %s%s — median of last %d clean runs, threshold %.0f%%\n",
+		rep.Suite, shortCommit(rep.Commit), dirty, rep.Window, rep.Threshold*100)
+	if rep.Vacuous {
+		fmt.Fprintf(w, "  no clean baseline yet — gate passes vacuously\n")
+		return
+	}
+	for _, v := range rep.Verdicts {
+		switch v.Status {
+		case StatusMissing:
+			fmt.Fprintf(w, "  %-10s %s %s: present in %d baseline run(s), absent now\n",
+				v.Status, v.Name, v.Unit, v.Samples)
+		case StatusNew:
+			fmt.Fprintf(w, "  %-10s %s %s: %g (no baseline yet)\n", v.Status, v.Name, v.Unit, v.Value)
+		default:
+			fmt.Fprintf(w, "  %-10s %s %s: %.6g vs median %.6g over %d run(s) (%s is better)\n",
+				v.Status, v.Name, v.Unit, v.Value, v.Baseline, v.Samples, v.Dir)
+		}
+	}
+}
+
+func shortCommit(c string) string {
+	if len(c) > 12 {
+		return c[:12]
+	}
+	return c
+}

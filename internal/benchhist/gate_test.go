@@ -1,0 +1,207 @@
+package benchhist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// series builds a suite history from metric values: one clean record per
+// value, all carrying a single gated metric, plus helpers to perturb it.
+func seriesRecords(t *testing.T, suite, dir string, values []float64) []Record {
+	t.Helper()
+	recs := make([]Record, len(values))
+	for i, v := range values {
+		recs[i] = Record{
+			Schema:  SchemaVersion,
+			Suite:   suite,
+			Commit:  "commit-" + string(rune('a'+i)),
+			TakenAt: time.Date(2026, 8, 1, 0, i, 0, 0, time.UTC),
+			Metrics: []Metric{{Name: "bench", Unit: "ops/s", Value: v, Dir: dir}},
+		}
+	}
+	return recs
+}
+
+func TestGateVerdicts(t *testing.T) {
+	cases := []struct {
+		name       string
+		dir        string
+		values     []float64 // append order; last = newest under judgement
+		dirty      []int     // indices flagged dirty
+		wantStatus string
+		wantFail   bool
+	}{
+		{
+			// Steady noise well inside the 20% band around the median.
+			name: "steady noise passes", dir: DirHigher,
+			values:     []float64{100, 104, 97, 101, 99, 102, 98},
+			wantStatus: StatusOK,
+		},
+		{
+			// A real step regression: throughput drops 40% and stays there.
+			name: "step regression fails", dir: DirHigher,
+			values:     []float64{100, 102, 99, 101, 100, 60},
+			wantStatus: StatusRegression, wantFail: true,
+		},
+		{
+			// Latency direction: newest is >20% above the rolling median.
+			name: "latency step regression fails", dir: DirLower,
+			values:     []float64{10, 10.4, 9.8, 10.1, 13},
+			wantStatus: StatusRegression, wantFail: true,
+		},
+		{
+			// A single outlier spike in the *baseline* must not fail the
+			// healthy newest run: the previous-snapshot diff would have
+			// compared 100 against the 55 outlier and (for lower-is-better
+			// metrics, or inverted for higher) misfired; the median absorbs
+			// it.
+			name: "single baseline outlier passes", dir: DirHigher,
+			values:     []float64{100, 103, 98, 101, 55, 100},
+			wantStatus: StatusOK,
+		},
+		{
+			// Symmetric trap: one anomalously *good* previous run must not
+			// mask that the newest matches the normal trend (newest-two diff
+			// on 180 -> 100 would flag a phantom 44% regression).
+			name: "single lucky outlier passes", dir: DirHigher,
+			values:     []float64{100, 103, 98, 101, 180, 100},
+			wantStatus: StatusOK,
+		},
+		{
+			// Improvements always pass, however large.
+			name: "improvement passes", dir: DirLower,
+			values:     []float64{10, 10.2, 9.9, 10.1, 4},
+			wantStatus: StatusOK,
+		},
+		{
+			// Dirty runs are excluded from the baseline: counting the three
+			// dirty 30s would drag the median to 30 and hide the newest
+			// regression against the clean ~100 regime.
+			name: "dirty runs excluded from baseline", dir: DirHigher,
+			values:     []float64{100, 30, 30, 30, 99, 70},
+			dirty:      []int{1, 2, 3},
+			wantStatus: StatusRegression, wantFail: true,
+		},
+		{
+			// Regression hidden from a newest-two diff: the previous run
+			// already slipped to 82 (within 20% of it, 70 would pass a
+			// pairwise gate) but the rolling median still sees 100.
+			name: "slow drift caught by median", dir: DirHigher,
+			values:     []float64{100, 101, 99, 100, 82, 70},
+			wantStatus: StatusRegression, wantFail: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recs := seriesRecords(t, "s", tc.dir, tc.values)
+			for _, i := range tc.dirty {
+				recs[i].Dirty = true
+			}
+			rep, err := GateSuite(&History{Records: recs}, "s", GateConfig{})
+			if err != nil {
+				t.Fatalf("GateSuite: %v", err)
+			}
+			if len(rep.Verdicts) != 1 {
+				t.Fatalf("got %d verdicts, want 1: %+v", len(rep.Verdicts), rep.Verdicts)
+			}
+			if got := rep.Verdicts[0].Status; got != tc.wantStatus {
+				t.Errorf("status = %s, want %s (verdict %+v)", got, tc.wantStatus, rep.Verdicts[0])
+			}
+			if rep.Failed != tc.wantFail {
+				t.Errorf("Failed = %v, want %v", rep.Failed, tc.wantFail)
+			}
+		})
+	}
+}
+
+func TestGateMissingMetricFails(t *testing.T) {
+	recs := seriesRecords(t, "s", DirHigher, []float64{100, 101, 99})
+	// The newest record dropped the gated metric entirely (e.g. the
+	// benchmark was silently removed from benchsnap's pattern).
+	recs = append(recs, Record{
+		Schema: SchemaVersion, Suite: "s", Commit: "commit-x",
+		TakenAt: time.Date(2026, 8, 1, 1, 0, 0, 0, time.UTC),
+		Metrics: []Metric{{Name: "other", Unit: "ops/s", Value: 5, Dir: DirHigher}},
+	})
+	rep, err := GateSuite(&History{Records: recs}, "s", GateConfig{})
+	if err != nil {
+		t.Fatalf("GateSuite: %v", err)
+	}
+	if !rep.Failed {
+		t.Fatalf("gate passed despite missing gated metric: %+v", rep.Verdicts)
+	}
+	var missing *Verdict
+	for i := range rep.Verdicts {
+		if rep.Verdicts[i].Status == StatusMissing {
+			missing = &rep.Verdicts[i]
+		}
+	}
+	if missing == nil {
+		t.Fatalf("no MISSING verdict: %+v", rep.Verdicts)
+	}
+	if missing.Name != "bench" {
+		t.Errorf("missing verdict names %q, want bench", missing.Name)
+	}
+	// The replacement metric had no baseline: recorded as new, not failed.
+	if rep.Verdicts[0].Status != StatusNew {
+		t.Errorf("new metric status = %s, want %s", rep.Verdicts[0].Status, StatusNew)
+	}
+}
+
+func TestGateVacuousAndWindow(t *testing.T) {
+	// A single record gates vacuously.
+	recs := seriesRecords(t, "s", DirHigher, []float64{100})
+	rep, err := GateSuite(&History{Records: recs}, "s", GateConfig{})
+	if err != nil {
+		t.Fatalf("GateSuite: %v", err)
+	}
+	if !rep.Vacuous || rep.Failed {
+		t.Fatalf("single record: vacuous=%v failed=%v, want true/false", rep.Vacuous, rep.Failed)
+	}
+
+	// The window bounds the baseline: with Window=3 the ancient fast runs
+	// must age out, so a newest value near the recent (slower) regime passes.
+	vals := []float64{200, 200, 200, 100, 101, 99, 98}
+	rep, err = GateSuite(&History{Records: seriesRecords(t, "s", DirHigher, vals)}, "s", GateConfig{Window: 3})
+	if err != nil {
+		t.Fatalf("GateSuite: %v", err)
+	}
+	if rep.Failed {
+		t.Fatalf("windowed gate failed against aged-out baseline: %+v", rep.Verdicts)
+	}
+	if got := rep.Verdicts[0].Samples; got != 3 {
+		t.Errorf("baseline samples = %d, want 3", got)
+	}
+
+	// All-dirty history gates vacuously.
+	recs = seriesRecords(t, "s", DirHigher, []float64{100, 101, 50})
+	recs[0].Dirty, recs[1].Dirty = true, true
+	rep, err = GateSuite(&History{Records: recs}, "s", GateConfig{})
+	if err != nil {
+		t.Fatalf("GateSuite: %v", err)
+	}
+	if !rep.Vacuous || rep.Failed {
+		t.Fatalf("all-dirty baseline: vacuous=%v failed=%v, want true/false", rep.Vacuous, rep.Failed)
+	}
+
+	// Unknown suite errors.
+	if _, err := GateSuite(&History{Records: recs}, "nope", GateConfig{}); err == nil {
+		t.Fatal("GateSuite on unknown suite succeeded")
+	}
+}
+
+func TestGateReportPrint(t *testing.T) {
+	recs := seriesRecords(t, "s", DirHigher, []float64{100, 101, 99, 60})
+	rep, err := GateSuite(&History{Records: recs}, "s", GateConfig{})
+	if err != nil {
+		t.Fatalf("GateSuite: %v", err)
+	}
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, StatusRegression) || !strings.Contains(out, "median") {
+		t.Errorf("report output missing expected fields:\n%s", out)
+	}
+}

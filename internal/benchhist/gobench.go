@@ -1,0 +1,141 @@
+package benchhist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// MicroSuite is the suite name of the Go microbenchmark series.
+const MicroSuite = "micro"
+
+// GateSpec marks one (benchmark, unit) pair as gated with a direction.
+type GateSpec struct {
+	Name string
+	Unit string
+	Dir  string
+}
+
+// MicroGates is the gated subset of the microbenchmark suite — the same
+// metrics benchcmp.sh guarded before the gate moved to Go, with ns/op left
+// ungated (the 1-iteration default is too noisy for wall-clock gating; the
+// derived throughput/latency metrics are what the evaluation reports).
+var MicroGates = []GateSpec{
+	{"BenchmarkFig7eSyncTime", "ADD-median-ms", DirLower},
+	{"BenchmarkFig7eSyncTime", "REMOVE-median-ms", DirLower},
+	{"BenchmarkMQPublishThroughput/batch", "msgs/s", DirHigher},
+	{"BenchmarkCommitParallelWorkspaces/shards=16", "commits/s", DirHigher},
+	{"BenchmarkTransferPipeline/pipelined", "MB/s", DirHigher},
+	{"BenchmarkMultiInstanceCommit/instances=4", "commits/min", DirHigher},
+}
+
+// gateDir returns the gate direction for a metric key, or "" if ungated.
+func gateDir(specs []GateSpec, name, unit string) string {
+	for _, s := range specs {
+		if s.Name == name && s.Unit == unit {
+			return s.Dir
+		}
+	}
+	return ""
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// ParseGoBench extracts metrics from `go test -bench` output: one "ns/op"
+// metric per benchmark plus every extra ReportMetric/custom pair, with the
+// -<GOMAXPROCS> name suffix stripped. Gate directions are applied from
+// specs. Non-benchmark lines (PASS, ok, logs) are ignored.
+func ParseGoBench(r io.Reader, specs []GateSpec) ([]Metric, error) {
+	var out []Metric
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		// Strip the trailing -<procs> suffix go test appends to the name.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		fields := strings.Fields(m[3])
+		// Fields come in (value, unit) pairs: "909109554 ns/op 15.33 ADD-median-ms".
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchhist: parse bench value %q for %s: %w", fields[i], name, err)
+			}
+			unit := fields[i+1]
+			out = append(out, Metric{Name: name, Unit: unit, Value: v, Dir: gateDir(specs, name, unit)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchhist: scan bench output: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchhist: no benchmark lines in input")
+	}
+	return out, nil
+}
+
+// Provenance identifies the run environment of a record.
+type Provenance struct {
+	Commit     string
+	Dirty      bool
+	GoVersion  string
+	GOMAXPROCS int
+	Host       string
+}
+
+// CollectProvenance gathers the provenance of a run from the git repository
+// at dir and the current process. Outside a repository the commit is
+// "unknown" and the tree is conservatively reported dirty, so such runs
+// never become gate baselines.
+func CollectProvenance(dir string) Provenance {
+	p := Provenance{
+		Commit:     "unknown",
+		Dirty:      true,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if host, err := os.Hostname(); err == nil {
+		p.Host = host
+	}
+	rev := exec.Command("git", "rev-parse", "HEAD")
+	rev.Dir = dir
+	if out, err := rev.Output(); err == nil {
+		p.Commit = strings.TrimSpace(string(out))
+		status := exec.Command("git", "status", "--porcelain")
+		status.Dir = dir
+		if sout, serr := status.Output(); serr == nil {
+			p.Dirty = len(strings.TrimSpace(string(sout))) > 0
+		}
+	}
+	return p
+}
+
+// NewMicroRecord assembles a micro-suite record from parsed metrics.
+func NewMicroRecord(prov Provenance, takenAt time.Time, benchtime string, metrics []Metric) Record {
+	return Record{
+		Schema:     SchemaVersion,
+		Suite:      MicroSuite,
+		Commit:     prov.Commit,
+		Dirty:      prov.Dirty,
+		TakenAt:    takenAt.UTC(),
+		GoVersion:  prov.GoVersion,
+		GOMAXPROCS: prov.GOMAXPROCS,
+		Host:       prov.Host,
+		Benchtime:  benchtime,
+		Metrics:    metrics,
+	}
+}

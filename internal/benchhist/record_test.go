@@ -1,0 +1,204 @@
+package benchhist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAppendReadHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench", "history.jsonl")
+	recs := []Record{
+		{
+			Suite: MicroSuite, Commit: "aaa", TakenAt: time.Date(2026, 8, 1, 10, 0, 0, 0, time.UTC),
+			GoVersion: "go1.24.0", GOMAXPROCS: 8, Host: "host-a", Benchtime: "1x",
+			Metrics: []Metric{{Name: "BenchmarkX", Unit: "ns/op", Value: 123}},
+		},
+		{
+			Suite: "scenario/fanout", Commit: "bbb", Dirty: true,
+			TakenAt: time.Date(2026, 8, 1, 11, 0, 0, 0, time.UTC),
+			Metrics: []Metric{{Name: "fanout", Unit: "ops/s", Value: 42, Dir: DirHigher}},
+		},
+	}
+	for _, r := range recs {
+		if err := Append(path, r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	h, err := ReadHistory(path)
+	if err != nil {
+		t.Fatalf("ReadHistory: %v", err)
+	}
+	if h.Skipped != 0 || len(h.Records) != 2 {
+		t.Fatalf("got %d records (%d skipped), want 2/0", len(h.Records), h.Skipped)
+	}
+	for i := range recs {
+		recs[i].Schema = SchemaVersion // Append stamps it
+		if !reflect.DeepEqual(h.Records[i], recs[i]) {
+			t.Errorf("record %d round-trip mismatch:\n got %+v\nwant %+v", i, h.Records[i], recs[i])
+		}
+	}
+	if got := h.Suites(); !reflect.DeepEqual(got, []string{MicroSuite, "scenario/fanout"}) {
+		t.Errorf("Suites() = %v", got)
+	}
+	if latest, ok := h.Latest(); !ok || latest.Commit != "bbb" {
+		t.Errorf("Latest() = %+v, %v", latest, ok)
+	}
+}
+
+func TestReadHistoryToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := Append(path, Record{Suite: "s", Commit: "aaa", Metrics: []Metric{{Name: "m", Unit: "u", Value: 1}}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Simulate a crash mid-append: a truncated JSON line at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":1,"suite":"s","comm`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	h, err := ReadHistory(path)
+	if err != nil {
+		t.Fatalf("ReadHistory: %v", err)
+	}
+	if len(h.Records) != 1 || h.Skipped != 1 {
+		t.Fatalf("got %d records, %d skipped; want 1 record, 1 skipped", len(h.Records), h.Skipped)
+	}
+}
+
+func TestReadHistoryMissingFile(t *testing.T) {
+	h, err := ReadHistory(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil {
+		t.Fatalf("ReadHistory on absent file: %v", err)
+	}
+	if len(h.Records) != 0 || h.Skipped != 0 {
+		t.Fatalf("absent file not empty: %+v", h)
+	}
+}
+
+func TestParseRecordRejectsForeignJSON(t *testing.T) {
+	for _, bad := range []string{
+		`{}`,                        // no schema, no suite
+		`{"schema":1}`,              // no suite
+		`{"suite":"s"}`,             // no schema
+		`[1,2,3]`,                   // wrong shape
+		`{"schema":-1,"suite":"s"}`, // bogus schema
+		`not json at all`,
+	} {
+		if _, err := ParseRecord([]byte(bad)); err == nil {
+			t.Errorf("ParseRecord(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+BenchmarkFig7eSyncTime-8   	       1	909109554 ns/op	        15.33 ADD-median-ms	         0.2352 REMOVE-median-ms
+BenchmarkMQPublishThroughput/batch-8  	       1	     82488 ns/op	    775870 msgs/s
+PASS
+ok  	stacksync	12.3s
+`
+	ms, err := ParseGoBench(strings.NewReader(input), MicroGates)
+	if err != nil {
+		t.Fatalf("ParseGoBench: %v", err)
+	}
+	want := []Metric{
+		{Name: "BenchmarkFig7eSyncTime", Unit: "ns/op", Value: 909109554},
+		{Name: "BenchmarkFig7eSyncTime", Unit: "ADD-median-ms", Value: 15.33, Dir: DirLower},
+		{Name: "BenchmarkFig7eSyncTime", Unit: "REMOVE-median-ms", Value: 0.2352, Dir: DirLower},
+		{Name: "BenchmarkMQPublishThroughput/batch", Unit: "ns/op", Value: 82488},
+		{Name: "BenchmarkMQPublishThroughput/batch", Unit: "msgs/s", Value: 775870, Dir: DirHigher},
+	}
+	if !reflect.DeepEqual(ms, want) {
+		t.Errorf("metrics mismatch:\n got %+v\nwant %+v", ms, want)
+	}
+
+	if _, err := ParseGoBench(strings.NewReader("PASS\n"), nil); err == nil {
+		t.Error("ParseGoBench on benchless input succeeded, want error")
+	}
+}
+
+func TestSnapshotRoundTripAndImport(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewMicroRecord(Provenance{
+		Commit: "deadbeef", Dirty: false, GoVersion: "go1.24.0", GOMAXPROCS: 4, Host: "h",
+	}, time.Date(2026, 8, 2, 9, 0, 0, 0, time.UTC), "1x", []Metric{
+		{Name: "BenchmarkTransferPipeline/pipelined", Unit: "ns/op", Value: 74717781},
+		{Name: "BenchmarkTransferPipeline/pipelined", Unit: "MB/s", Value: 14.72, Dir: DirHigher},
+	})
+	snapPath := filepath.Join(dir, "BENCH_1.json")
+	if err := WriteSnapshot(snapPath, rec); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	// A legacy snapshot without provenance alongside it.
+	legacy := `{"takenAt":"2026-08-01T00:00:00Z","benchtime":"1x","benchmarks":[
+	  {"name":"BenchmarkTransferPipeline/pipelined","iterations":1,"nsPerOp":90000000,"MB/s":12.5}]}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_2.json"), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	histPath := filepath.Join(dir, "history.jsonl")
+	n, err := ImportSnapshots(histPath, dir)
+	if err != nil {
+		t.Fatalf("ImportSnapshots: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("imported %d, want 2", n)
+	}
+	// Idempotent: a second import finds everything already present.
+	if n, err = ImportSnapshots(histPath, dir); err != nil || n != 0 {
+		t.Fatalf("re-import: n=%d err=%v, want 0/nil", n, err)
+	}
+	h, err := ReadHistory(histPath)
+	if err != nil {
+		t.Fatalf("ReadHistory: %v", err)
+	}
+	if len(h.Records) != 2 {
+		t.Fatalf("history holds %d records, want 2", len(h.Records))
+	}
+	got := h.Records[0]
+	if got.Commit != "deadbeef" || got.Dirty || got.Host != "h" {
+		t.Errorf("snapshot provenance lost on import: %+v", got)
+	}
+	if m, ok := got.Metric("BenchmarkTransferPipeline/pipelined", "MB/s"); !ok || m.Dir != DirHigher || m.Value != 14.72 {
+		t.Errorf("gated metric lost on import: %+v ok=%v", m, ok)
+	}
+	leg := h.Records[1]
+	if leg.Commit != "legacy-BENCH_2" || leg.Dirty {
+		t.Errorf("legacy snapshot provenance: %+v", leg)
+	}
+}
+
+func FuzzParseRecord(f *testing.F) {
+	f.Add([]byte(`{"schema":1,"suite":"micro","commit":"abc","metrics":[{"name":"b","unit":"ns/op","value":1.5,"dir":"lower"}]}`))
+	f.Add([]byte(`{"schema":1,"suite":"s"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"schema":9999999999999999999999,"suite":"s"}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return
+		}
+		// Every accepted record must survive a marshal/parse round trip.
+		out, merr := json.Marshal(rec)
+		if merr != nil {
+			t.Fatalf("accepted record does not re-marshal: %v (%+v)", merr, rec)
+		}
+		again, perr := ParseRecord(out)
+		if perr != nil {
+			t.Fatalf("re-marshalled record rejected: %v\nline: %q", perr, out)
+		}
+		if again.Suite != rec.Suite || again.Commit != rec.Commit || len(again.Metrics) != len(rec.Metrics) {
+			t.Fatalf("round trip drifted: %+v vs %+v", rec, again)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package benchhist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The BENCH_<n>.json snapshot format predates the history file and is kept
+// for humans: one pretty-printed file per benchsnap run at the repo root.
+// Snapshots written by this package carry the same provenance as the
+// history record; pre-history snapshots (takenAt/benchtime only) import
+// with Commit "legacy-BENCH_<n>" and are treated as clean — they were the
+// gate baselines before the history existed.
+
+// snapshot is the on-disk BENCH_<n>.json shape.
+type snapshot struct {
+	TakenAt    time.Time        `json:"takenAt"`
+	Benchtime  string           `json:"benchtime"`
+	Commit     string           `json:"commit,omitempty"`
+	Dirty      *bool            `json:"dirty,omitempty"`
+	GoVersion  string           `json:"goVersion,omitempty"`
+	GOMAXPROCS int              `json:"gomaxprocs,omitempty"`
+	Host       string           `json:"host,omitempty"`
+	Benchmarks []map[string]any `json:"benchmarks"`
+}
+
+// WriteSnapshot renders a micro record as a BENCH_<n>.json file: the legacy
+// benchmarks array (nsPerOp plus extra metric keys per benchmark) with the
+// record's provenance alongside.
+func WriteSnapshot(path string, rec Record) error {
+	snap := snapshot{
+		TakenAt:    rec.TakenAt,
+		Benchtime:  rec.Benchtime,
+		Commit:     rec.Commit,
+		Dirty:      &rec.Dirty,
+		GoVersion:  rec.GoVersion,
+		GOMAXPROCS: rec.GOMAXPROCS,
+		Host:       rec.Host,
+	}
+	order := []string{}
+	byName := make(map[string]map[string]any)
+	for _, m := range rec.Metrics {
+		b, ok := byName[m.Name]
+		if !ok {
+			b = map[string]any{"name": m.Name}
+			byName[m.Name] = b
+			order = append(order, m.Name)
+		}
+		key := m.Unit
+		if key == "ns/op" {
+			key = "nsPerOp"
+		}
+		b[key] = m.Value
+	}
+	for _, name := range order {
+		snap.Benchmarks = append(snap.Benchmarks, byName[name])
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchhist: encode snapshot: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// readSnapshot decodes one BENCH_<n>.json file into a micro record. n is
+// the snapshot index used for the legacy commit placeholder.
+func readSnapshot(path string, n int) (Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Record{}, err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return Record{}, fmt.Errorf("benchhist: parse snapshot %s: %w", path, err)
+	}
+	rec := Record{
+		Schema:     SchemaVersion,
+		Suite:      MicroSuite,
+		Commit:     snap.Commit,
+		TakenAt:    snap.TakenAt,
+		GoVersion:  snap.GoVersion,
+		GOMAXPROCS: snap.GOMAXPROCS,
+		Host:       snap.Host,
+		Benchtime:  snap.Benchtime,
+	}
+	if rec.Commit == "" {
+		rec.Commit = fmt.Sprintf("legacy-BENCH_%d", n)
+	}
+	if snap.Dirty != nil {
+		rec.Dirty = *snap.Dirty
+	}
+	for _, b := range snap.Benchmarks {
+		name, _ := b["name"].(string)
+		if name == "" {
+			continue
+		}
+		// Deterministic metric order: nsPerOp first, extras sorted.
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			if k == "name" || k == "iterations" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if (keys[i] == "nsPerOp") != (keys[j] == "nsPerOp") {
+				return keys[i] == "nsPerOp"
+			}
+			return keys[i] < keys[j]
+		})
+		for _, k := range keys {
+			v, ok := b[k].(float64)
+			if !ok {
+				continue
+			}
+			unit := k
+			if unit == "nsPerOp" {
+				unit = "ns/op"
+			}
+			rec.Metrics = append(rec.Metrics, Metric{
+				Name: name, Unit: unit, Value: v, Dir: gateDir(MicroGates, name, unit),
+			})
+		}
+	}
+	return rec, nil
+}
+
+// ImportSnapshots appends every BENCH_<n>.json at rootDir (in ascending n)
+// that is not already in the history — matched by suite + takenAt — so the
+// pre-history snapshot series seeds the gate baseline exactly once. It
+// returns the number of records imported.
+func ImportSnapshots(historyPath, rootDir string) (int, error) {
+	hist, err := ReadHistory(historyPath)
+	if err != nil {
+		return 0, err
+	}
+	have := make(map[time.Time]bool)
+	for _, r := range hist.Suite(MicroSuite) {
+		have[r.TakenAt.UTC()] = true
+	}
+	paths, err := filepath.Glob(filepath.Join(rootDir, "BENCH_*.json"))
+	if err != nil {
+		return 0, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var snaps []numbered
+	for _, p := range paths {
+		base := strings.TrimSuffix(filepath.Base(p), ".json")
+		n, err := strconv.Atoi(strings.TrimPrefix(base, "BENCH_"))
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, numbered{n: n, path: p})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].n < snaps[j].n })
+	imported := 0
+	for _, s := range snaps {
+		rec, err := readSnapshot(s.path, s.n)
+		if err != nil {
+			return imported, err
+		}
+		if have[rec.TakenAt.UTC()] {
+			continue
+		}
+		if err := Append(historyPath, rec); err != nil {
+			return imported, err
+		}
+		have[rec.TakenAt.UTC()] = true
+		imported++
+	}
+	return imported, nil
+}

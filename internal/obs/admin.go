@@ -40,7 +40,8 @@ type Health struct {
 
 // Admin is the introspection surface: /metrics, /healthz, /tracez, /queuesz,
 // /varz (scraped time series), /elasticz (provisioning decision history and
-// queue load), /eventz (flight-recorder tail) and /debug/pprof. Provider
+// queue load), /eventz (flight-recorder tail), /benchz (continuous benchmark
+// history) and /debug/pprof. Provider
 // fields are optional; missing ones degrade to empty responses so partial
 // wiring still serves.
 type Admin struct {
@@ -58,6 +59,8 @@ type Admin struct {
 	Events *EventLog
 	// Elastic assembles the /elasticz report.
 	Elastic func() ElasticStatus
+	// Bench assembles the /benchz report from the benchmark history.
+	Bench func() BenchStatus
 }
 
 // Handler returns the HTTP handler serving the admin endpoints, including
@@ -71,6 +74,7 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/varz", a.serveVarz)
 	mux.HandleFunc("/eventz", a.serveEventz)
 	mux.HandleFunc("/elasticz", a.serveElasticz)
+	mux.HandleFunc("/benchz", a.serveBenchz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

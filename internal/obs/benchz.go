@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// The /benchz handler: serves the continuous benchmark history summary and
+// the latest record, so a deployed binary exposes "what did this build
+// benchmark at" next to its live metrics.
+
+// BenchStatus is the transport-agnostic mirror of the benchmark history for
+// /benchz. internal/benchhist adapts its history file onto it in the
+// binaries, keeping obs at the bottom of the import graph.
+type BenchStatus struct {
+	// HistoryPath is the JSON-lines history file backing the report.
+	HistoryPath string `json:"historyPath"`
+	// Records and Skipped count decodable and undecodable history lines.
+	Records int `json:"records"`
+	Skipped int `json:"skipped,omitempty"`
+	// Suites lists the distinct suites present (micro, scenario/*).
+	Suites []string `json:"suites,omitempty"`
+	// Latest is the newest record verbatim, whatever its schema.
+	Latest json.RawMessage `json:"latest,omitempty"`
+	// Err reports a history read failure instead of hiding it.
+	Err string `json:"error,omitempty"`
+}
+
+// serveBenchz serves the benchmark-history summary; ?format=json returns the
+// raw BenchStatus.
+func (a *Admin) serveBenchz(w http.ResponseWriter, r *http.Request) {
+	var st BenchStatus
+	if a.Bench != nil {
+		st = a.Bench()
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if a.Bench == nil {
+		fmt.Fprintln(w, "benchz: no benchmark history configured")
+		return
+	}
+	if st.Err != "" {
+		fmt.Fprintf(w, "benchz: %s\n", st.Err)
+		return
+	}
+	fmt.Fprintf(w, "benchz: %d record(s) in %s", st.Records, st.HistoryPath)
+	if st.Skipped > 0 {
+		fmt.Fprintf(w, " (%d undecodable line(s) skipped)", st.Skipped)
+	}
+	fmt.Fprintln(w)
+	for _, s := range st.Suites {
+		fmt.Fprintf(w, "  suite %s\n", s)
+	}
+	if len(st.Latest) > 0 {
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, st.Latest, "", "  "); err == nil {
+			fmt.Fprintf(w, "\nlatest record:\n%s\n", buf.String())
+		}
+	}
+}

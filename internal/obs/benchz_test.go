@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestServeBenchz(t *testing.T) {
+	adm := &Admin{}
+
+	// Unconfigured: degrades to a note, not an error.
+	rec := httptest.NewRecorder()
+	adm.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/benchz", nil))
+	if !strings.Contains(rec.Body.String(), "no benchmark history") {
+		t.Errorf("unconfigured /benchz = %q", rec.Body.String())
+	}
+
+	adm.Bench = func() BenchStatus {
+		return BenchStatus{
+			HistoryPath: "dev/bench/history.jsonl",
+			Records:     3,
+			Skipped:     1,
+			Suites:      []string{"micro", "scenario/fanout"},
+			Latest:      json.RawMessage(`{"suite":"scenario/fanout","commit":"abc123"}`),
+		}
+	}
+	rec = httptest.NewRecorder()
+	adm.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/benchz", nil))
+	out := rec.Body.String()
+	for _, want := range []string{"3 record(s)", "dev/bench/history.jsonl", "1 undecodable", "suite micro", "scenario/fanout", "abc123"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/benchz missing %q:\n%s", want, out)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	adm.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/benchz?format=json", nil))
+	var st BenchStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/benchz?format=json not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if st.Records != 3 || len(st.Suites) != 2 || st.HistoryPath != "dev/bench/history.jsonl" {
+		t.Errorf("round-tripped status = %+v", st)
+	}
+
+	// A read failure is reported, not hidden.
+	adm.Bench = func() BenchStatus { return BenchStatus{HistoryPath: "x", Err: "boom"} }
+	rec = httptest.NewRecorder()
+	adm.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/benchz", nil))
+	if !strings.Contains(rec.Body.String(), "boom") {
+		t.Errorf("error not surfaced: %q", rec.Body.String())
+	}
+}

@@ -1,9 +1,10 @@
 #!/bin/sh
-# benchcmp.sh — regression gate over benchsnap snapshots. Compares the two
-# newest BENCH_<n>.json files at the repo root and fails when a gated metric
-# regressed by more than 20%: Fig. 7(e) sync time (lower is better) or MQ
-# publish / parallel-commit throughput (higher is better). With fewer than
-# two snapshots there is nothing to compare and the gate passes vacuously.
+# benchcmp.sh — trend-aware regression gate over the continuous benchmark
+# history (dev/bench/history.jsonl). The newest micro-suite record is judged
+# against the rolling median of the last 5 clean (non-dirty) runs; a gated
+# metric more than 20% worse than that median fails, and a gated metric that
+# vanished from the newest record fails as MISSING. Pre-history BENCH_<n>.json
+# snapshots are imported on first use so existing repos keep their baseline.
 #
 # Snapshots default to one benchmark iteration (benchsnap's BENCHTIME=1x),
 # which is noisy; a failure here means "re-run with BENCHTIME=20x and look",
@@ -12,54 +13,12 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-snaps=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n || true)
-count=$(printf '%s\n' "$snaps" | grep -c . || true)
-if [ "$count" -lt 2 ]; then
-    echo "benchcmp: found $count snapshot(s), need 2 — nothing to compare"
-    exit 0
+history="${BENCH_HISTORY:-dev/bench/history.jsonl}"
+
+if [ ! -e "$history" ]; then
+    echo "benchcmp: $history absent — importing BENCH_<n>.json snapshots"
+    go run ./cmd/benchhist -mode import -history "$history"
 fi
-old=$(printf '%s\n' "$snaps" | tail -2 | head -1)
-new=$(printf '%s\n' "$snaps" | tail -1)
-echo "benchcmp: $old -> $new (threshold 20%)"
 
-metric() { # metric <file> <benchmark-name> <metric-key>
-    jq -r --arg n "$2" --arg m "$3" \
-        '[.benchmarks[] | select(.name == $n) | .[$m] | select(. != null)][0] // empty' "$1"
-}
-
-fail=0
-
-# gate <benchmark> <metric> <direction: lower|higher>
-gate() {
-    bench=$1 key=$2 dir=$3
-    o=$(metric "$old" "$bench" "$key")
-    n=$(metric "$new" "$bench" "$key")
-    if [ -z "$o" ] || [ -z "$n" ]; then
-        echo "  skip  $bench $key (missing in one snapshot)"
-        return 0
-    fi
-    bad=$(awk -v o="$o" -v n="$n" -v d="$dir" 'BEGIN {
-        if (o == 0) { print 0; exit }
-        if (d == "lower")  print (n > o * 1.2) ? 1 : 0
-        else               print (n < o * 0.8) ? 1 : 0
-    }')
-    if [ "$bad" = 1 ]; then
-        echo "  FAIL  $bench $key: $o -> $n (${dir} is better)"
-        fail=1
-    else
-        echo "  ok    $bench $key: $o -> $n"
-    fi
-}
-
-gate BenchmarkFig7eSyncTime ADD-median-ms lower
-gate BenchmarkFig7eSyncTime REMOVE-median-ms lower
-gate BenchmarkMQPublishThroughput/batch msgs/s higher
-gate BenchmarkCommitParallelWorkspaces/shards=16 commits/s higher
-gate BenchmarkTransferPipeline/pipelined MB/s higher
-gate BenchmarkMultiInstanceCommit/instances=4 commits/min higher
-
-if [ "$fail" = 1 ]; then
-    echo "benchcmp: regression over 20% detected" >&2
-    exit 1
-fi
-echo "benchcmp: OK"
+exec go run ./cmd/benchhist -mode gate -history "$history" -suite micro \
+    -window "${BENCH_WINDOW:-5}" -threshold "${BENCH_THRESHOLD:-0.20}"

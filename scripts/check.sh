@@ -46,4 +46,35 @@ go test -run '^$' -fuzz '^FuzzFrameCodec$' -fuzztime 10s ./internal/wire/
 echo "==> fuzz smoke: FuzzWALReplay (10s)"
 go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 10s ./internal/metastore/
 
+# The benchmark-history parser eats whatever landed in history.jsonl —
+# including torn lines from crashed runs — so it gets its own fuzz smoke, and
+# the trend gate's verdict table is re-run explicitly: it is the arbiter that
+# decides whether a commit "regressed", so a bug here silently green-lights
+# slow code.
+echo "==> trend gate verdicts + history round-trip"
+go test -run '^(TestGateVerdicts|TestGateMissingMetricFails|TestGateVacuousAndWindow|TestAppendReadHistoryRoundTrip)$' -v ./internal/benchhist/ | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)' || exit 1
+
+echo "==> fuzz smoke: FuzzParseRecord (10s)"
+go test -run '^$' -fuzz '^FuzzParseRecord$' -fuzztime 10s ./internal/benchhist/
+
+# The scenario matrix at smoke size: every workload shape (fanout storm,
+# Zipf skew, churn, cold start) must converge with zero violations.
+echo "==> scenario matrix smoke"
+go run ./cmd/experiments -run matrix -smoke
+
+# The committed dashboard must match the committed history — `make dashboard`
+# is deterministic, so a mismatch means someone appended history without
+# regenerating (or edited the generated files by hand).
+echo "==> dashboard up to date"
+go run ./cmd/benchhist -mode dash -history dev/bench/history.jsonl -out "${TMPDIR:-/tmp}/bench-dash-check"
+cmp -s "${TMPDIR:-/tmp}/bench-dash-check/data.js" dev/bench/data.js || {
+    echo "dev/bench/data.js is stale — run 'make dashboard' and commit" >&2
+    exit 1
+}
+cmp -s "${TMPDIR:-/tmp}/bench-dash-check/index.html" dev/bench/index.html || {
+    echo "dev/bench/index.html is stale — run 'make dashboard' and commit" >&2
+    exit 1
+}
+rm -rf "${TMPDIR:-/tmp}/bench-dash-check"
+
 echo "OK"
