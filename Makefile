@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos chaos-multi ub1-multi experiments trace-demo elastic-demo benchsnap benchcmp matrix dashboard
+.PHONY: build test race vet check chaos chaos-multi fleet-trace ub1-multi experiments trace-demo elastic-demo benchsnap benchcmp matrix dashboard
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ chaos:
 ## with kills, partitions and storage faults over the routed fleet.
 chaos-multi:
 	$(GO) run ./cmd/experiments -run chaos-multi -quick
+
+## fleet-trace kills the ring owner of a chosen workspace mid-commit and
+## asserts the federated collector shows it: one stitched trace with
+## cause-annotated failover attempts and a cross-instance critical path.
+fleet-trace:
+	$(GO) run ./cmd/experiments -run fleet-trace
 
 ## ub1-multi replays the UB1 day-8 peak hour over 4 routed SyncService
 ## instances and checks durability of every ack plus 450 ms SLO attainment.

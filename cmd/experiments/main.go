@@ -7,7 +7,9 @@
 //
 // Experiment ids: fig7a fig7b fig7cd table2 fig7e fig7f fig8ab fig8cde fig8f
 // plus the non-figure runs: chaos (robustness soak), chaos-multi
-// (cross-instance failover soak over the routed fleet), ub1-multi (UB1 day-8
+// (cross-instance failover soak over the routed fleet), fleet-trace
+// (fleet-observability smoke: stitched cross-instance failover trace,
+// collector rollup, hot-workspace sketch), ub1-multi (UB1 day-8
 // peak replay over 4 routed instances with SLO attainment), matrix (the
 // scenario matrix: fanout storm, Zipf-skewed workspaces, mobile churn,
 // cold-start herd — recorded into the benchmark history and trend-gated
@@ -34,7 +36,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id (fig7a|fig7b|fig7cd|table2|fig7e|fig7f|fig8ab|fig8cde|fig8f|chaos|chaos-multi|ub1-multi|matrix|trace|elastic-demo|all)")
+	run := flag.String("run", "all", "experiment id (fig7a|fig7b|fig7cd|table2|fig7e|fig7f|fig8ab|fig8cde|fig8f|chaos|chaos-multi|fleet-trace|ub1-multi|matrix|trace|elastic-demo|all)")
 	seed := flag.Int64("seed", 1, "PRNG seed for trace generation")
 	quick := flag.Bool("quick", false, "smaller traces / shorter runs")
 	smoke := flag.Bool("smoke", false, "matrix: minimal sizes, correctness only — no history append, no gate")
@@ -223,6 +225,24 @@ func runExperiments(which string, seed int64, quick, smoke bool, historyPath, ad
 		fmt.Fprintln(out)
 		if len(res.Violations) > 0 {
 			return fmt.Errorf("multi-instance chaos soak failed with %d violations", len(res.Violations))
+		}
+	}
+	if which == "fleet-trace" { // not part of "all": fleet-observability smoke
+		ran = true
+		cfg := bench.FleetTraceConfig{Seed: seed}
+		if !quick {
+			cfg.Instances = 3
+			cfg.Workspaces = 6
+			cfg.WarmCommits = 5
+		}
+		res, err := bench.RunFleetTrace(cfg)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		fmt.Fprintln(out)
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("fleet-trace smoke failed with %d violations", len(res.Violations))
 		}
 	}
 	if which == "ub1-multi" { // not part of "all": routed-fleet peak replay

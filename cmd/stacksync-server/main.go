@@ -16,6 +16,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -139,6 +140,50 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		return err
 	}
 	defer notifBroker.Close()
+	// Fleet federation: with admin + affinity enabled, every spawned instance
+	// gets its own span sink, registry, event log and hot-workspace sketch,
+	// and a Collector scrapes them all so /fleetz and the fleet /tracez can
+	// answer cross-instance questions. The shared node registry above keeps
+	// covering node-wide components (broker, metastore); the per-instance
+	// exports are what the collector stamps with instance id + ring epoch.
+	var collector *obs.Collector
+	type instanceObs struct {
+		reg    *obs.Registry
+		sink   *obs.SpanSink
+		events *obs.EventLog
+		tracer *obs.Tracer
+		hot    *obs.HotStats
+	}
+	bundles := make(map[string]*instanceObs)
+	var bundleMu sync.Mutex
+	if admin != "" && affinity {
+		collector = obs.NewCollector()
+		rb.SetSpawnHooks(omq.SpawnHooks{
+			Options: func(oid, instanceID string) []omq.BrokerOption {
+				b := &instanceObs{
+					reg:    obs.NewRegistry(),
+					sink:   obs.NewSpanSink(0),
+					events: obs.NewEventLog(obs.DefaultEventLogCapacity),
+					hot:    obs.NewHotStats(8),
+				}
+				b.tracer = obs.NewTracer(obs.WithSink(b.sink), obs.WithInstance(instanceID))
+				bundleMu.Lock()
+				bundles[instanceID] = b
+				bundleMu.Unlock()
+				return []omq.BrokerOption{
+					omq.WithTracer(b.tracer),
+					omq.WithRegistry(b.reg),
+					omq.WithEventLog(b.events),
+				}
+			},
+			Stopped: func(oid, instanceID string, clean bool) {
+				collector.MarkDead(instanceID, clean)
+			},
+		})
+		stopPolling := collector.StartPolling(time.Second)
+		defer stopPolling()
+	}
+
 	if affinity {
 		// Affinity deployments give every instance its ring identity at spawn
 		// time, so it fences routed calls stamped under a stale ring; the
@@ -146,6 +191,23 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 		rb.RegisterInstanceFactory(core.ServiceOID, func(id string) (interface{}, error) {
 			svc := core.NewService(meta, notifBroker)
 			svc.SetInstance(id)
+			if collector != nil {
+				bundleMu.Lock()
+				b := bundles[id]
+				bundleMu.Unlock()
+				if b != nil {
+					svc.SetObs(b.tracer, b.hot)
+					collector.Register(obs.Source{
+						InstanceID: id,
+						Epoch:      svc.RingEpoch,
+						Ready:      svc.Ready,
+						Registry:   b.reg,
+						Sink:       b.sink,
+						Events:     b.events,
+						Hot:        b.hot,
+					})
+				}
+			}
 			return svc.API(), nil
 		})
 	} else {
@@ -214,6 +276,27 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 				}}
 				return h
 			},
+			Ready: func() obs.Health {
+				// Liveness counts processes; readiness counts instances that
+				// hold a ring slot. A fenced or draining instance is alive but
+				// not ready, so it drops out here before /healthz notices.
+				instances := rb.InstanceCount(core.ServiceOID)
+				ready := instances
+				if collector != nil {
+					collector.Collect()
+					ready = 0
+					for _, st := range collector.Rollup().Instances {
+						if st.Alive && st.Ready {
+							ready++
+						}
+					}
+				}
+				return obs.Health{OK: ready >= minInstances, Components: []obs.ComponentHealth{
+					{Name: "syncservice", OK: ready >= minInstances,
+						Detail: fmt.Sprintf("%d/%d ready (of %d alive)", ready, minInstances, instances)},
+				}}
+			},
+			Collector: collector,
 			Queues: func() []obs.QueueInfo {
 				names := broker.Queues()
 				out := make([]obs.QueueInfo, 0, len(names))
@@ -235,7 +318,7 @@ func run(listen, storageListen, storageToken, dataDir, workspace, users string, 
 			return err
 		}
 		defer adminSrv.Close()
-		log.Printf("admin endpoint on http://%s (/metrics /healthz /tracez /queuesz /varz /eventz /elasticz /benchz /debug/pprof)", adminSrv.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics /healthz /readyz /tracez /fleetz /queuesz /varz /eventz /elasticz /benchz /debug/pprof)", adminSrv.Addr())
 	}
 
 	fmt.Printf("stacksync-server up: workspace=%q users=%v service pool %d..%d affinity=%v\n",

@@ -1,5 +1,5 @@
 window.BENCHMARK_DATA = {
-  "lastUpdate": 1786149253000,
+  "lastUpdate": 1786155209589,
   "repoUrl": "stacksync",
   "entries": {
     "micro": [
@@ -545,6 +545,474 @@ window.BENCHMARK_DATA = {
           {
             "name": "BenchmarkMQPublishThroughput/batch",
             "value": 775870,
+            "unit": "msgs/s",
+            "dir": "higher"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "fdf00cb44c3c868dc30715b75dd880ec96a973e0",
+          "dirty": true,
+          "host": "vm",
+          "goVersion": "go1.24.0"
+        },
+        "date": 1786155126404,
+        "benches": [
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 1050817,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 0.9576,
+            "unit": "P(size\u003c=4MB)"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 2809095510,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 1.275,
+            "unit": "dropbox-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 0.9422,
+            "unit": "stacksync-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1440047924,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1566,
+            "unit": "dropbox-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 141.6,
+            "unit": "stacksync-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 1411016700,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.02598,
+            "unit": "dropbox-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.453,
+            "unit": "stacksync-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 1076354925,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 16.91,
+            "unit": "ADD-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 0.31,
+            "unit": "REMOVE-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 7510282854,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 21.82,
+            "unit": "128KB-ms"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 2486,
+            "unit": "8MB-ms"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 74456908,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 6876,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 15857722,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 32287,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 14080301,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 36363,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 12817635,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 39945,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 294248597,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 3.61,
+            "unit": "MB/s"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 73852940,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 15.17,
+            "unit": "MB/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1115586779,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 36011,
+            "unit": "commits/min"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1.83,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 1115311015,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 35991,
+            "unit": "commits/min",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 2.442,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 796050,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 1256,
+            "unit": "scrapes/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 386520,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 151,
+            "unit": "allocs/op",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 78018,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 820324,
+            "unit": "msgs/s"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 89650,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 713887,
+            "unit": "msgs/s",
+            "dir": "higher"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "fdf00cb44c3c868dc30715b75dd880ec96a973e0",
+          "dirty": true,
+          "host": "vm",
+          "goVersion": "go1.24.0"
+        },
+        "date": 1786155209589,
+        "benches": [
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 1060929,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 0.961,
+            "unit": "P(size\u003c=4MB)"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 2502106535,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 1.275,
+            "unit": "dropbox-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 0.9422,
+            "unit": "stacksync-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1260948620,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1566,
+            "unit": "dropbox-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 141.7,
+            "unit": "stacksync-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 1290589326,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.02598,
+            "unit": "dropbox-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.453,
+            "unit": "stacksync-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 692388972,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 9.788,
+            "unit": "ADD-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 0.1842,
+            "unit": "REMOVE-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 3877816259,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 17.05,
+            "unit": "128KB-ms"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 916.2,
+            "unit": "8MB-ms"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 77672957,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 6592,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 15426294,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 33190,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 11966492,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 42786,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 11650751,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 43946,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 295788148,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 3.57,
+            "unit": "MB/s"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 75585675,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 14.71,
+            "unit": "MB/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1114402660,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 36103,
+            "unit": "commits/min"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1.375,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 1114728274,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 36096,
+            "unit": "commits/min",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 1.282,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 575230,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 1738,
+            "unit": "scrapes/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 386520,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 151,
+            "unit": "allocs/op",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 56428,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 1134189,
+            "unit": "msgs/s"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 98391,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 650468,
             "unit": "msgs/s",
             "dir": "higher"
           }

@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFleetTraceSmoke runs the fleet-observability smoke end to end: a
+// routed fleet with per-instance obs, one kill, one failover commit, one
+// clean drain — and asserts the stitched trace and fleet rollup hold every
+// invariant the scenario promises. check.sh runs this under -race.
+func TestFleetTraceSmoke(t *testing.T) {
+	res, err := RunFleetTrace(FleetTraceConfig{Seed: 80})
+	if err != nil {
+		t.Fatalf("fleet-trace smoke: %v", err)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	t.Logf("\n%s", buf.String())
+	if len(res.Violations) > 0 {
+		t.Fatalf("fleet-trace smoke violations:\n%s", buf.String())
+	}
+	if res.TraceSpans == 0 || res.TraceID == "" {
+		t.Fatalf("no stitched failover trace captured: %+v", res)
+	}
+}

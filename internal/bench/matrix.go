@@ -297,6 +297,12 @@ func runZipfScenario(cfg MatrixConfig, sz matrixSizes) (*ScenarioResult, error) 
 	}
 	defer bind.Unbind()
 
+	// Hot-workspace attribution under skew: the space-saving sketch on the
+	// commit path must surface the Zipf head without tracking every
+	// workspace exactly.
+	hotStats := obs.NewHotStats(8)
+	svc.SetObs(nil, hotStats)
+
 	// Pre-draw the workspace sequence so the skew is deterministic and the
 	// committers share no RNG.
 	rnd := rand.New(rand.NewSource(cfg.Seed))
@@ -307,10 +313,10 @@ func runZipfScenario(cfg MatrixConfig, sz matrixSizes) (*ScenarioResult, error) 
 		wsOf[i] = int(zipf.Uint64())
 		hot[wsOf[i]]++
 	}
-	hotMax := 0
-	for _, n := range hot {
-		if n > hotMax {
-			hotMax = n
+	hotTopIdx, hotMax := 0, 0
+	for i, n := range hot {
+		if n > hotMax || (n == hotMax && i < hotTopIdx) {
+			hotTopIdx, hotMax = i, n
 		}
 	}
 
@@ -391,10 +397,28 @@ func runZipfScenario(cfg MatrixConfig, sz matrixSizes) (*ScenarioResult, error) 
 		s.Violations = append(s.Violations,
 			fmt.Sprintf("metadata store holds %d items, want %d", stored, sz.zipfCommits-failed))
 	}
+	// The sketch tracks at most 8 of the sz.zipfWorkspaces workspaces, yet
+	// under Zipf skew the true head must survive every eviction: missing it
+	// means the fleet's hot-workspace attribution cannot be trusted.
+	sketchShare := 0.0
+	sketchHit := false
+	for _, e := range hotStats.Commits.Snapshot() {
+		if e.Key == wsName(hotTopIdx) {
+			sketchHit = true
+			sketchShare = float64(e.Count) / float64(sz.zipfCommits)
+			break
+		}
+	}
+	if !sketchHit {
+		s.Converged = false
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("hot-workspace sketch missed the Zipf head %q (%d commits)", wsName(hotTopIdx), hotMax))
+	}
 	s.Retries = reg.CounterValue("omq_retry_attempts_total", "oid", core.ServiceOID)
 	s.Extra = []benchhist.Metric{
 		{Name: s.Name, Unit: "workspaces", Value: float64(sz.zipfWorkspaces)},
 		{Name: s.Name, Unit: "hot-ws-share", Value: float64(hotMax) / float64(sz.zipfCommits)},
+		{Name: s.Name, Unit: "sketch-top-share", Value: sketchShare},
 	}
 	scenarioStats(s, lats, slo)
 	return s, nil

@@ -144,6 +144,13 @@ type MultiChaosResult struct {
 	Failovers    uint64            `json:"failovers"`
 	Fenced       uint64            `json:"fenced"`
 	FaultCounts  map[string]uint64 `json:"faultCounts"`
+	// Fleet observability: stitched traces collected across instances, how
+	// many contain a cause-annotated router failover, and the fleet-merged
+	// hottest workspace by commits.
+	StitchedTraces int    `json:"stitchedTraces"`
+	FailoverTraces int    `json:"failoverTraces"`
+	HotTop         string `json:"hotTop"`
+	HotTopCommits  uint64 `json:"hotTopCommits"`
 	// Violations lists every broken invariant (empty on a clean run).
 	Violations []string `json:"violations,omitempty"`
 }
@@ -191,11 +198,23 @@ func RunMultiChaos(cfg MultiChaosConfig) (*MultiChaosResult, error) {
 		return nil, err
 	}
 	defer notifBroker.Close()
+	// Fleet observability (DESIGN §15): every spawned instance exports its
+	// own tracer/registry/events/sketch into one Collector, polled while the
+	// chaos runs so crashes only lose the spans buffered since the last
+	// scrape.
+	collector := obs.NewCollector()
+	obsOf := installFleetObs(rb, collector)
+	stopPolling := collector.StartPolling(50 * time.Millisecond)
+	defer stopPolling()
+
 	// Instance factory: each spawned instance learns its ring identity before
 	// it is bound, so fencing is armed from the first UpdateRing push.
 	rb.RegisterInstanceFactory(core.ServiceOID, func(id string) (interface{}, error) {
 		svc := core.NewService(meta, notifBroker)
 		svc.SetInstance(id)
+		if err := registerFleetInstance(collector, obsOf, svc, id); err != nil {
+			return nil, err
+		}
 		return svc.API(), nil
 	})
 	if err := m.DeclareQueue(core.ServiceOID); err != nil {
@@ -247,8 +266,16 @@ func RunMultiChaos(cfg MultiChaosConfig) (*MultiChaosResult, error) {
 	wsOf := func(i int) string { return multiChaosWorkspace(i % cfg.Workspaces) }
 	clients := make([]*client.Client, cfg.Clients)
 	for i := range clients {
+		// Each device traces into its own sink and joins the collector as a
+		// pseudo-source: the root/route/attempt spans of every routed commit
+		// live client-side, so a failover is traceable even when the owner
+		// that dropped it died unscraped.
+		clientID := fmt.Sprintf("30-client-%d", i)
+		clientSink := obs.NewSpanSink(0)
+		clientTracer := obs.NewTracer(obs.WithSink(clientSink), obs.WithInstance(clientID))
+		collector.Register(obs.Source{InstanceID: clientID, Sink: clientSink})
 		cb, err := omq.NewBroker(mq.NewFaulty(m, plan, "mq.client", nil),
-			omq.WithID(fmt.Sprintf("30-client-%d", i)), omq.WithRegistry(reg))
+			omq.WithID(clientID), omq.WithRegistry(reg), omq.WithTracer(clientTracer))
 		if err != nil {
 			return nil, err
 		}
@@ -268,6 +295,7 @@ func RunMultiChaos(cfg MultiChaosConfig) (*MultiChaosResult, error) {
 			Router:      router,
 			Storage:     faultyStore,
 			Registry:    reg,
+			Tracer:      clientTracer,
 			Chunker:     chunker.Fixed{ChunkSize: 4 * 1024},
 			CallTimeout: 500 * time.Millisecond, CallRetries: 10,
 			StoreBackoff: 5 * time.Millisecond, BreakerThreshold: 4,
@@ -434,6 +462,16 @@ func RunMultiChaos(cfg MultiChaosConfig) (*MultiChaosResult, error) {
 	}
 	crashMu.Unlock()
 
+	// Final scrape (live instances and client pseudo-sources), then read the
+	// fleet-wide trace and heavy-hitter state.
+	stopPolling()
+	collector.Collect()
+	res.StitchedTraces, res.FailoverTraces = countFailoverTraces(collector)
+	if hot := collector.Rollup().HotCommits; len(hot) > 0 {
+		res.HotTop = hot[0].Key
+		res.HotTopCommits = hot[0].Count
+	}
+
 	res.Violations = multiChaosViolations(clients, wsOf, expected, res)
 	return res, nil
 }
@@ -498,6 +536,15 @@ func multiChaosViolations(clients []*client.Client, wsOf func(int) string, expec
 	if res.Rebalances == 0 {
 		v = append(v, "no supervisor.rebalance events recorded despite scale phases")
 	}
+	if res.StitchedTraces == 0 {
+		v = append(v, "collector holds no stitched traces despite a traced workload")
+	}
+	if res.Failovers > 0 && res.FailoverTraces == 0 {
+		v = append(v, fmt.Sprintf("%d router failovers happened but no stitched trace shows a cause-annotated attempt", res.Failovers))
+	}
+	if res.HotTop == "" || !strings.HasPrefix(res.HotTop, "mchaos-ws-") {
+		v = append(v, fmt.Sprintf("fleet hot-workspace sketch surfaced %q, want an mchaos workspace", res.HotTop))
+	}
 	sort.Strings(v)
 	return v
 }
@@ -515,6 +562,8 @@ func (r *MultiChaosResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "%-22s %d instances, ring %d members @ epoch %d\n", "final fleet", r.FinalInstances, r.FinalRingSize, r.RingEpoch)
 	fmt.Fprintf(w, "%-22s %d rebalances, %d routed calls, %d failovers, %d stale rejects, %d fenced\n",
 		"routing", r.Rebalances, r.RoutedCalls, r.Failovers, r.StaleRejects, r.Fenced)
+	fmt.Fprintf(w, "%-22s %d stitched traces, %d with failover attempts; hottest workspace %s (%d commits)\n",
+		"fleet obs", r.StitchedTraces, r.FailoverTraces, r.HotTop, r.HotTopCommits)
 	fmt.Fprintf(w, "%-22s %v\n", "schedule stable", r.ScheduleStable)
 	keys := make([]string, 0, len(r.FaultCounts))
 	for k := range r.FaultCounts {

@@ -34,6 +34,8 @@ var MicroGates = []GateSpec{
 	{"BenchmarkCommitParallelWorkspaces/shards=16", "commits/s", DirHigher},
 	{"BenchmarkTransferPipeline/pipelined", "MB/s", DirHigher},
 	{"BenchmarkMultiInstanceCommit/instances=4", "commits/min", DirHigher},
+	{"BenchmarkFleetObs", "scrapes/s", DirHigher},
+	{"BenchmarkFleetObs", "allocs/op", DirLower},
 }
 
 // gateDir returns the gate direction for a metric key, or "" if ungated.

@@ -82,6 +82,16 @@ type Service struct {
 	ring       *omq.Ring
 	fenced     *obs.Counter
 
+	// Per-instance observability (DESIGN §15). tracer, when set, overrides the
+	// notification broker's tracer for spans this service opens — instances
+	// spawned through a RemoteBroker share that broker, so without the
+	// override every instance's spans would land in one undifferentiated
+	// sink. hot is the instance's hot-workspace sketch, fed by the commit
+	// path and scraped by the fleet Collector.
+	obsMu  sync.RWMutex
+	tracer *obs.Tracer
+	hot    *obs.HotStats
+
 	mu     sync.Mutex
 	groups map[string]bool // workspace IDs with a declared multicast group
 
@@ -144,6 +154,58 @@ func (s *Service) SetInstance(id string) {
 	s.ringMu.Unlock()
 }
 
+// SetObs installs this instance's own tracer and hot-workspace sketch. Both
+// are optional; nil leaves the broker's tracer (and no sketch) in place.
+func (s *Service) SetObs(tracer *obs.Tracer, hot *obs.HotStats) {
+	s.obsMu.Lock()
+	s.tracer = tracer
+	s.hot = hot
+	s.obsMu.Unlock()
+}
+
+// obsTracer returns the per-instance tracer when one is installed, falling
+// back to the notification broker's tracer.
+func (s *Service) obsTracer() *obs.Tracer {
+	s.obsMu.RLock()
+	t := s.tracer
+	s.obsMu.RUnlock()
+	if t != nil {
+		return t
+	}
+	return s.broker.Tracer()
+}
+
+// RingEpoch reports the epoch of this instance's ring view (0 before any
+// UpdateRing push lands).
+func (s *Service) RingEpoch() uint64 {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	if s.ring == nil {
+		return 0
+	}
+	return s.ring.Epoch()
+}
+
+// Ready reports whether this instance should receive routed traffic: an
+// instance that has been fenced out of the ring (scale-down drain, or a
+// Supervisor rebalance that dropped it) is alive but not ready. Legacy
+// shared-queue deployments (no instance identity) and the bootstrap window
+// (no ring received yet) always report ready — liveness and readiness only
+// diverge once the instance participates in affinity routing.
+func (s *Service) Ready() bool {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	if s.instanceID == "" || s.ring == nil {
+		return true
+	}
+	for _, m := range s.ring.Members() {
+		if m == s.instanceID {
+			return true
+		}
+	}
+	return false
+}
+
 // InstallRing adopts a ring state if it is newer than the current view.
 // Returns whether the view changed.
 func (s *Service) InstallRing(state omq.RingState) bool {
@@ -193,7 +255,8 @@ func (s *Service) workspaceGroup(workspaceID string) (string, error) {
 // notification is queued for the drainer and the next request's metadata
 // commit proceeds without waiting for the fanout publish.
 func (s *Service) commit(ctx context.Context, req CommitRequest) (CommitNotification, error) {
-	metaSpan := s.broker.Tracer().StartFromContext(ctx, "metastore.commitBatch")
+	metaSpan := s.obsTracer().StartFromContext(ctx, "metastore.commitBatch")
+	metaSpan.Annotate("workspace", req.Workspace)
 	var results []metastore.BatchResult
 	var err error
 	// ErrTxAborted is a transient rollback the store expects callers to
@@ -228,7 +291,27 @@ func (s *Service) commit(ctx context.Context, req CommitRequest) (CommitNotifica
 	if err := s.enqueueNotify(ctx, req.Workspace, n); err != nil {
 		return n, err
 	}
+	s.observeHot(req, len(n.Results))
 	return n, nil
+}
+
+// observeHot feeds the hot-workspace sketch: one commit, the notification
+// fan-out it caused (results pushed to the workspace group), and the bytes
+// of content the commit covered.
+func (s *Service) observeHot(req CommitRequest, fanout int) {
+	s.obsMu.RLock()
+	hot := s.hot
+	s.obsMu.RUnlock()
+	if hot == nil {
+		return
+	}
+	var bytes uint64
+	for i := range req.Items {
+		if sz := req.Items[i].Size; sz > 0 {
+			bytes += uint64(sz)
+		}
+	}
+	hot.ObserveCommit(req.Workspace, uint64(fanout), bytes)
 }
 
 // enqueueNotify hands one notification to the drainer. The multicast group

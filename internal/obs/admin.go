@@ -50,7 +50,14 @@ type Admin struct {
 	// Tracer backs /tracez (its sink is read at request time).
 	Tracer *Tracer
 	// Health assembles the /healthz report; nil reports a bare ok.
+	// /healthz is liveness: "is this process up and serving". Use Ready for
+	// request-readiness.
 	Health func() Health
+	// Ready assembles the /readyz report; nil falls back to Health. Readiness
+	// is distinct from liveness: a fenced/draining instance during scale-down
+	// is alive (keep scraping it, don't restart it) but must not be counted
+	// healthy by fleet rollups or load balancers.
+	Ready func() Health
 	// Queues lists per-queue stats for /queuesz.
 	Queues func() []QueueInfo
 	// Scraper backs /varz with windowed time series.
@@ -61,6 +68,9 @@ type Admin struct {
 	Elastic func() ElasticStatus
 	// Bench assembles the /benchz report from the benchmark history.
 	Bench func() BenchStatus
+	// Collector backs /fleetz and upgrades /tracez to the fleet-stitched
+	// view when set.
+	Collector *Collector
 }
 
 // Handler returns the HTTP handler serving the admin endpoints, including
@@ -69,7 +79,9 @@ func (a *Admin) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.serveMetrics)
 	mux.HandleFunc("/healthz", a.serveHealthz)
+	mux.HandleFunc("/readyz", a.serveReadyz)
 	mux.HandleFunc("/tracez", a.serveTracez)
+	mux.HandleFunc("/fleetz", a.serveFleetz)
 	mux.HandleFunc("/queuesz", a.serveQueuesz)
 	mux.HandleFunc("/varz", a.serveVarz)
 	mux.HandleFunc("/eventz", a.serveEventz)
@@ -95,6 +107,21 @@ func (a *Admin) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	if a.Health != nil {
 		h = a.Health()
 	}
+	writeHealth(w, h)
+}
+
+func (a *Admin) serveReadyz(w http.ResponseWriter, _ *http.Request) {
+	h := Health{OK: true}
+	switch {
+	case a.Ready != nil:
+		h = a.Ready()
+	case a.Health != nil:
+		h = a.Health()
+	}
+	writeHealth(w, h)
+}
+
+func writeHealth(w http.ResponseWriter, h Health) {
 	w.Header().Set("Content-Type", "application/json")
 	if !h.OK {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -102,8 +129,30 @@ func (a *Admin) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(h)
 }
 
+// serveFleetz serves the Collector rollup: per-instance status plus the
+// fleet-merged hot-workspace top-k lists. JSON with ?format=json, text
+// otherwise.
+func (a *Admin) serveFleetz(w http.ResponseWriter, r *http.Request) {
+	if a.Collector == nil {
+		http.Error(w, "fleet collection not enabled", http.StatusNotFound)
+		return
+	}
+	a.Collector.Collect()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(a.Collector.Rollup())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	a.Collector.WriteFleetz(w)
+}
+
 func (a *Admin) serveTracez(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if a.Collector != nil {
+		a.serveFleetTracez(w, r)
+		return
+	}
 	sink := a.Tracer.Sink()
 	if sink == nil {
 		fmt.Fprintln(w, "tracing disabled")
@@ -136,6 +185,42 @@ func (a *Admin) serveTracez(w http.ResponseWriter, r *http.Request) {
 	if len(sums) > 0 {
 		fmt.Fprintln(w)
 		WriteTraceReport(w, sums[0].TraceID, sink.Trace(sums[0].TraceID))
+	}
+}
+
+// serveFleetTracez is /tracez backed by the fleet collector: the same listing
+// shape, but each trace is the stitched cross-instance view.
+func (a *Admin) serveFleetTracez(w http.ResponseWriter, r *http.Request) {
+	a.Collector.Collect()
+	if id := r.URL.Query().Get("trace"); id != "" {
+		st, ok := a.Collector.Trace(id)
+		if !ok {
+			http.Error(w, "unknown trace "+id, http.StatusNotFound)
+			return
+		}
+		WriteStitched(w, st)
+		return
+	}
+	n := 10
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	sums := a.Collector.Summaries()
+	fmt.Fprintf(w, "tracez (fleet): %d stitched traces\n\n", len(sums))
+	if len(sums) > n {
+		sums = sums[:n]
+	}
+	for _, s := range sums {
+		fmt.Fprintf(w, "%s  %-32s %3d spans  %s\n",
+			s.TraceID, s.Root, s.Spans, s.Duration.Round(time.Microsecond))
+	}
+	if len(sums) > 0 {
+		fmt.Fprintln(w)
+		if st, ok := a.Collector.Trace(sums[0].TraceID); ok {
+			WriteStitched(w, st)
+		}
 	}
 }
 

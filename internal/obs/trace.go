@@ -82,6 +82,19 @@ func FromContext(ctx context.Context) TraceContext {
 	return tc
 }
 
+// Annot is one key/value annotation on a span — small facts about what the
+// span did (failover cause, retry attempt, backoff wait) that the timeline
+// and /tracez render inline.
+type Annot struct {
+	Key string `json:"k"`
+	Val string `json:"v"`
+}
+
+// MaxSpanAnnots bounds annotations per span. Annotate drops writes past the
+// cap instead of growing without bound; spans are buffered in fixed-size
+// rings and must stay cheap to copy.
+const MaxSpanAnnots = 8
+
 // Span is one recorded operation of a trace.
 type Span struct {
 	TraceID  string    `json:"traceId"`
@@ -90,6 +103,22 @@ type Span struct {
 	Name     string    `json:"name"`
 	Start    time.Time `json:"start"`
 	End      time.Time `json:"end"`
+	// Instance is the id of the process/instance that recorded the span
+	// (stamped by WithInstance; "" on unstamped tracers). The fleet
+	// stitcher keys clock-skew alignment on it.
+	Instance string `json:"instance,omitempty"`
+	// Annots are bounded key/value annotations (at most MaxSpanAnnots).
+	Annots []Annot `json:"annots,omitempty"`
+}
+
+// Annot returns the value of the annotation named key ("" when absent).
+func (s Span) Annot(key string) string {
+	for _, a := range s.Annots {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
 }
 
 // Duration is the span's elapsed time.
@@ -223,8 +252,14 @@ type TraceSummary struct {
 
 // Summaries groups all buffered spans by trace, slowest first.
 func (s *SpanSink) Summaries() []TraceSummary {
+	return SummarizeSpans(s.Spans())
+}
+
+// SummarizeSpans groups spans by trace into /tracez-style summaries, slowest
+// first — shared by the per-process sink and the fleet collector.
+func SummarizeSpans(spans []Span) []TraceSummary {
 	byTrace := make(map[string][]Span)
-	for _, sp := range s.Spans() {
+	for _, sp := range spans {
 		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
 	}
 	out := make([]TraceSummary, 0, len(byTrace))
@@ -266,8 +301,9 @@ func (s *SpanSink) Summaries() []TraceSummary {
 // every method is safe to call and does nothing, so instrumented code pays
 // only a nil check when tracing is off.
 type Tracer struct {
-	sink *SpanSink
-	now  func() time.Time
+	sink     *SpanSink
+	now      func() time.Time
+	instance string
 }
 
 // TracerOption configures a Tracer.
@@ -281,6 +317,12 @@ func WithSink(s *SpanSink) TracerOption {
 // WithNowFunc substitutes the time source (virtual-clock tests).
 func WithNowFunc(fn func() time.Time) TracerOption {
 	return func(t *Tracer) { t.now = fn }
+}
+
+// WithInstance stamps every span the tracer records with the given instance
+// id, so a fleet collector can tell which process each span came from.
+func WithInstance(id string) TracerOption {
+	return func(t *Tracer) { t.instance = id }
 }
 
 // NewTracer returns an enabled tracer (default: fresh 4096-span sink, wall
@@ -322,6 +364,7 @@ func (t *Tracer) StartRoot(name string) *SpanHandle {
 	tc := NewTraceContext()
 	return &SpanHandle{t: t, span: Span{
 		TraceID: tc.TraceID, SpanID: tc.SpanID, Name: name, Start: t.now(),
+		Instance: t.instance,
 	}}
 }
 
@@ -334,7 +377,7 @@ func (t *Tracer) StartChild(parent TraceContext, name string) *SpanHandle {
 	tc := parent.Child()
 	return &SpanHandle{t: t, span: Span{
 		TraceID: tc.TraceID, SpanID: tc.SpanID, ParentID: tc.ParentID,
-		Name: name, Start: t.now(),
+		Name: name, Start: t.now(), Instance: t.instance,
 	}}
 }
 
@@ -359,8 +402,17 @@ func (t *Tracer) RecordChild(parent TraceContext, name string, start, end time.T
 	}
 	t.sink.Record(Span{
 		TraceID: tc.TraceID, SpanID: tc.SpanID, ParentID: tc.ParentID,
-		Name: name, Start: start, End: end,
+		Name: name, Start: start, End: end, Instance: t.instance,
 	})
+}
+
+// Annotate attaches a key/value annotation to the open span. At most
+// MaxSpanAnnots stick; later writes are dropped. Safe on a nil handle.
+func (h *SpanHandle) Annotate(key, val string) {
+	if h == nil || len(h.span.Annots) >= MaxSpanAnnots {
+		return
+	}
+	h.span.Annots = append(h.span.Annots, Annot{Key: key, Val: val})
 }
 
 // End closes the span and records it.
@@ -384,6 +436,9 @@ func (h *SpanHandle) Context() TraceContext {
 type PathSegment struct {
 	Name string        `json:"name"`
 	Self time.Duration `json:"self"`
+	// Instance is the instance the hop ran on ("" when unstamped) — the
+	// fleet view uses it to attribute latency across process boundaries.
+	Instance string `json:"instance,omitempty"`
 }
 
 // CriticalPath walks the span tree from the root, at each step following the
@@ -466,9 +521,9 @@ func CriticalPath(spans []Span) []PathSegment {
 			if self < 0 {
 				self = 0
 			}
-			segs[i] = PathSegment{Name: sp.Name, Self: self}
+			segs[i] = PathSegment{Name: sp.Name, Self: self, Instance: sp.Instance}
 		} else {
-			segs[i] = PathSegment{Name: sp.Name, Self: sp.Duration()}
+			segs[i] = PathSegment{Name: sp.Name, Self: sp.Duration(), Instance: sp.Instance}
 		}
 	}
 	return segs
@@ -503,9 +558,10 @@ func WriteTimeline(w io.Writer, spans []Span) {
 	sortSpans(roots)
 	var dump func(sp Span, depth int)
 	dump = func(sp Span, depth int) {
-		fmt.Fprintf(w, "%10s %s%s %s\n",
+		fmt.Fprintf(w, "%10s %s%s %s%s%s\n",
 			fmtOffset(sp.Start.Sub(first)), strings.Repeat("  ", depth), sp.Name,
-			sp.Duration().Round(time.Microsecond))
+			sp.Duration().Round(time.Microsecond),
+			fmtInstance(sp.Instance), fmtAnnots(sp.Annots))
 		kids := children[sp.SpanID]
 		sortSpans(kids)
 		for _, k := range kids {
@@ -521,6 +577,31 @@ func fmtOffset(d time.Duration) string {
 	return fmt.Sprintf("+%.3fms", float64(d.Microseconds())/1000)
 }
 
+func fmtInstance(id string) string {
+	if id == "" {
+		return ""
+	}
+	return " @" + id
+}
+
+func fmtAnnots(annots []Annot) string {
+	if len(annots) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(" {")
+	for i, a := range annots {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(a.Key)
+		b.WriteString("=")
+		b.WriteString(a.Val)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
 // WriteTraceReport renders one trace as a timeline followed by its critical
 // path breakdown — the /tracez detail view and the trace-demo output.
 func WriteTraceReport(w io.Writer, id string, spans []Span) {
@@ -529,8 +610,9 @@ func WriteTraceReport(w io.Writer, id string, spans []Span) {
 	fmt.Fprintln(w, "critical path:")
 	var total time.Duration
 	for _, seg := range CriticalPath(spans) {
-		fmt.Fprintf(w, "  %-36s %s\n", seg.Name, seg.Self.Round(time.Microsecond))
+		fmt.Fprintf(w, "  %-36s %10s%s\n", seg.Name,
+			seg.Self.Round(time.Microsecond), fmtInstance(seg.Instance))
 		total += seg.Self
 	}
-	fmt.Fprintf(w, "  %-36s %s\n", "total", total.Round(time.Microsecond))
+	fmt.Fprintf(w, "  %-36s %10s\n", "total", total.Round(time.Microsecond))
 }

@@ -444,12 +444,11 @@ func (b *Broker) PublishMultiBatch(pubs []MultiPub) error {
 		if ctx == nil {
 			ctx = context.Background()
 		}
-		span, extra := b.startPublishSpan(ctx, "omq.multi."+p.Method)
+		// The trace-header map from startPublishSpan is used directly (nil
+		// when tracing is off): one fewer map allocation per message on the
+		// notification fan-out hot path.
+		span, headers := b.startPublishSpan(ctx, "omq.multi."+p.Method)
 		spans = append(spans, span)
-		headers := map[string]string{"codec": b.codec.Name()}
-		for k, v := range extra {
-			headers[k] = v
-		}
 		msgs = append(msgs, mq.Publication{
 			Exchange: multiExchange(p.OID),
 			Message:  mq.Message{Headers: headers, Body: body, Persistent: true},
@@ -471,14 +470,16 @@ func (b *Broker) publish(exchangeName, key string, body []byte, persistent bool)
 	return b.publishH(exchangeName, key, body, persistent, nil)
 }
 
-// publishH is publish with extra message headers (trace propagation).
+// publishH is publish with extra message headers (trace propagation,
+// routing stamps). The map is attached as-is, never copied: callers hand
+// over ownership (or a long-lived read-only map like the routed proxy's
+// pinned headers), and consumers only ever read Message.Headers. With
+// tracing disabled and no routing, extra is nil and the hot path publishes
+// with no per-message header-map allocation at all. The codec name is not
+// duplicated into headers — the request envelope already carries it.
 func (b *Broker) publishH(exchangeName, key string, body []byte, persistent bool, extra map[string]string) error {
-	headers := map[string]string{"codec": b.codec.Name()}
-	for k, v := range extra {
-		headers[k] = v
-	}
 	return b.mq.Publish(exchangeName, key, mq.Message{
-		Headers:    headers,
+		Headers:    extra,
 		Body:       body,
 		Persistent: persistent,
 	})

@@ -91,6 +91,12 @@ func (p *Proxy) startPublishSpan(ctx context.Context, name string) (*obs.SpanHan
 	if len(p.extraHeaders) == 0 {
 		return span, headers
 	}
+	if headers == nil {
+		// Tracer disabled: reuse the proxy's pinned headers as-is. The map
+		// flows into mq.Message.Headers, which every consumer treats as
+		// read-only, so sharing it skips the per-call merge allocation.
+		return nil, p.extraHeaders
+	}
 	merged := make(map[string]string, len(headers)+len(p.extraHeaders))
 	for k, v := range headers {
 		merged[k] = v

@@ -31,6 +31,24 @@ type spawnedInstance struct {
 	routed *BoundObject
 }
 
+// SpawnHooks let the embedding process observe instance lifecycle and
+// customize per-instance broker construction. Fleet observability hangs off
+// this seam: Options can give every spawned instance its own tracer, sink,
+// registry and event log (keyed by the instance id, which is decided before
+// the child broker is built), and Stopped tells the fleet collector whether
+// the instance drained cleanly (final scrape granted) or crashed (buffered
+// spans lost).
+type SpawnHooks struct {
+	// Options returns extra BrokerOptions for the child broker that will
+	// serve a new instance. They are applied after the inherited defaults,
+	// so a per-instance WithTracer/WithRegistry/WithEventLog overrides the
+	// node-wide one.
+	Options func(oid, instanceID string) []BrokerOption
+	// Stopped runs after an instance is gone; clean reports whether it was
+	// an orderly drain (true) or a kill (false).
+	Stopped func(oid, instanceID string, clean bool)
+}
+
 // RemoteBroker is the ObjectMQ server agent that launches and shuts down
 // server objects on its node at the Supervisor's request.
 type RemoteBroker struct {
@@ -39,6 +57,7 @@ type RemoteBroker struct {
 	mu        sync.Mutex
 	factories map[string]InstanceFactory
 	instances map[string][]*spawnedInstance
+	hooks     SpawnHooks
 	closed    bool
 
 	self *BoundObject
@@ -74,6 +93,13 @@ func (rb *RemoteBroker) RegisterInstanceFactory(oid string, f InstanceFactory) {
 	rb.factories[oid] = f
 }
 
+// SetSpawnHooks installs lifecycle hooks for subsequently spawned instances.
+func (rb *RemoteBroker) SetSpawnHooks(h SpawnHooks) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.hooks = h
+}
+
 // BrokerID returns the identity of the underlying ObjectMQ broker.
 func (rb *RemoteBroker) BrokerID() string { return rb.broker.id }
 
@@ -89,6 +115,7 @@ func (rb *RemoteBroker) InstanceCount(oid string) int {
 func (rb *RemoteBroker) SpawnLocal(oid string, n int) (int, error) {
 	rb.mu.Lock()
 	factory, ok := rb.factories[oid]
+	hooks := rb.hooks
 	closed := rb.closed
 	rb.mu.Unlock()
 	if closed {
@@ -106,8 +133,16 @@ func (rb *RemoteBroker) SpawnLocal(oid string, n int) (int, error) {
 		// that Bind refuses duplicate oids per broker. Spawn therefore binds
 		// through a lightweight child broker on the same MQ, whose id doubles
 		// as the instance identity on the consistent-hash ring.
-		child, err := NewBroker(rb.broker.mq, WithCodec(rb.broker.codec), WithBrokerClock(rb.broker.clk),
-			WithTracer(rb.broker.tracer), WithRegistry(rb.broker.reg), WithEventLog(rb.broker.events))
+		// The instance id is decided up front so SpawnHooks.Options can build
+		// per-instance observability keyed by it before the broker exists.
+		id := newID()
+		opts := []BrokerOption{WithCodec(rb.broker.codec), WithBrokerClock(rb.broker.clk),
+			WithTracer(rb.broker.tracer), WithRegistry(rb.broker.reg), WithEventLog(rb.broker.events)}
+		if hooks.Options != nil {
+			opts = append(opts, hooks.Options(oid, id)...)
+		}
+		opts = append(opts, WithID(id))
+		child, err := NewBroker(rb.broker.mq, opts...)
 		if err != nil {
 			return started, fmt.Errorf("omq: spawn child broker: %w", err)
 		}
@@ -196,6 +231,16 @@ func (rb *RemoteBroker) stopInstance(oid string, s *spawnedInstance) {
 	if s.main.ownedBroker != nil {
 		_ = s.main.ownedBroker.Close()
 	}
+	rb.notifyStopped(oid, s.id, true)
+}
+
+func (rb *RemoteBroker) notifyStopped(oid, instanceID string, clean bool) {
+	rb.mu.Lock()
+	stopped := rb.hooks.Stopped
+	rb.mu.Unlock()
+	if stopped != nil {
+		stopped(oid, instanceID, clean)
+	}
 }
 
 // KillLocal abruptly terminates one instance of oid without orderly
@@ -215,6 +260,38 @@ func (rb *RemoteBroker) KillLocal(oid string) string {
 	s := list[len(list)-1]
 	rb.instances[oid] = list[:len(list)-1]
 	rb.mu.Unlock()
+	rb.crashInstance(oid, s)
+	return s.id
+}
+
+// KillByID is KillLocal aimed at one specific instance — harnesses that must
+// crash the owner of a chosen ring key use it for a deterministic failover
+// scenario. Returns false when no such instance runs on this node.
+func (rb *RemoteBroker) KillByID(oid, id string) bool {
+	rb.mu.Lock()
+	list := rb.instances[oid]
+	idx := -1
+	for i, s := range list {
+		if s.id == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		rb.mu.Unlock()
+		return false
+	}
+	s := list[idx]
+	rb.instances[oid] = append(list[:idx:idx], list[idx+1:]...)
+	rb.mu.Unlock()
+	rb.crashInstance(oid, s)
+	return true
+}
+
+// crashInstance performs the abrupt-death tail shared by KillLocal and
+// KillByID: record the event, close the owned broker (the MQ requeues any
+// unacked call, §3.4's crash behaviour), and report an unclean stop.
+func (rb *RemoteBroker) crashInstance(oid string, s *spawnedInstance) {
 	rb.broker.events.Append(obs.Event{
 		At:      rb.broker.clk.Now(),
 		Kind:    obs.EventInstanceKill,
@@ -229,7 +306,7 @@ func (rb *RemoteBroker) KillLocal(oid string) string {
 	} else {
 		_ = s.main.Unbind()
 	}
-	return s.id
+	rb.notifyStopped(oid, s.id, false)
 }
 
 // Close shuts down every spawned instance and leaves the RemoteBroker group.

@@ -217,28 +217,65 @@ func (r *Router) Call(key, method string, reply interface{}, args ...interface{}
 // once the ring has moved on. The request id is stable across all attempts,
 // so an owner that executed the call but lost the reply re-acknowledges from
 // its dedup table instead of executing twice.
+// Failover-cause annotation values on router attempt spans.
+const (
+	CauseStaleRoute      = "stale-route"
+	CauseRoutedTimeout   = "routed-timeout"
+	CauseQueueNotFound   = "queue-not-found"
+	CauseFallbackTimeout = "fallback-timeout"
+)
+
 func (r *Router) CallCtx(ctx context.Context, key, method string, reply interface{}, args ...interface{}) error {
 	requestID := newID()
+	// The route span parents one child span per attempt, so a failed-over
+	// commit reads attempt-by-attempt in /tracez instead of as one opaque
+	// latency. All span work is nil-safe: with the tracer disabled (or an
+	// untraced caller) the handles are nil and every call below is a no-op.
+	// An untraced caller (resync loops, retransmitters) still gets a trace:
+	// the route span roots one, so a failover is never invisible just
+	// because nobody upstream was tracing.
+	var route *obs.SpanHandle
+	if ptc := obs.FromContext(ctx); ptc.Valid() {
+		route = r.broker.tracer.StartChild(ptc, "omq.route."+method)
+	} else {
+		route = r.broker.tracer.StartRoot("omq.route." + method)
+	}
+	route.Annotate("key", key)
+	ctx = obs.ContextWith(ctx, route.Context())
+	defer route.End()
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.Attempts; attempt++ {
+		var wait time.Duration
 		if attempt > 0 {
-			r.broker.clk.Sleep(retryJitter(r.broker.id+requestID, attempt-1, r.cfg.BackoffBase, r.cfg.BackoffMax))
+			wait = retryJitter(r.broker.id+requestID, attempt-1, r.cfg.BackoffBase, r.cfg.BackoffMax)
+			r.broker.clk.Sleep(wait)
 		}
 		ring := r.Ring()
 		if ring == nil || len(ring.Members()) == 0 {
 			r.Refresh()
 			ring = r.Ring()
 		}
-		p, routed := r.proxyFor(ring, key)
+		p, owner, routed := r.proxyFor(ring, key)
 		p.requestID = requestID
 		r.routedTotal.Inc()
-		err := p.CallCtx(ctx, method, reply, args...)
+		span := r.broker.tracer.StartFromContext(ctx, "omq.attempt."+method)
+		span.Annotate("attempt", strconv.Itoa(attempt+1))
+		if wait > 0 {
+			span.Annotate("backoff", wait.String())
+		}
+		if routed {
+			span.Annotate("owner", owner)
+			span.Annotate("epoch", strconv.FormatUint(ring.Epoch(), 10))
+		}
+		err := p.CallCtx(obs.ContextWith(ctx, span.Context()), method, reply, args...)
 		switch {
 		case err == nil:
+			span.End()
 			return nil
 		case IsStaleRoute(err):
 			// The owner fenced us: our ring (or the instance's) is behind.
 			// Refresh and re-route; the instance catches up via UpdateRing.
+			span.Annotate("cause", CauseStaleRoute)
 			r.staleTotal.Inc()
 			r.Refresh()
 			lastErr = err
@@ -246,6 +283,7 @@ func (r *Router) CallCtx(ctx context.Context, key, method string, reply interfac
 			// The owner's private queue is gone: the instance was drained and
 			// its queue deleted (scale-in) before our ring caught up. The
 			// cheapest failover signal there is — no timeout to wait out.
+			span.Annotate("cause", CauseQueueNotFound)
 			r.failoverTotal.Inc()
 			r.Refresh()
 			lastErr = err
@@ -253,17 +291,22 @@ func (r *Router) CallCtx(ctx context.Context, key, method string, reply interfac
 			// The owner did not answer — crashed, partitioned, or draining.
 			// Refresh so the retry follows the Supervisor's repaired ring to
 			// the successor instance.
+			span.Annotate("cause", CauseRoutedTimeout)
 			r.failoverTotal.Inc()
 			r.Refresh()
 			lastErr = err
 		case errors.Is(err, ErrTimeout):
 			// Unrouted fallback timed out; nothing to fail over to, but the
 			// fleet may simply not be up yet. Retry within the budget.
+			span.Annotate("cause", CauseFallbackTimeout)
 			r.Refresh()
 			lastErr = err
 		default:
+			span.Annotate("cause", "error")
+			span.End()
 			return err
 		}
+		span.End()
 	}
 	return fmt.Errorf("omq: routed %s on %q key %q after %d attempts: %w",
 		method, r.cfg.OID, key, r.cfg.Attempts, lastErr)
@@ -273,17 +316,17 @@ func (r *Router) CallCtx(ctx context.Context, key, method string, reply interfac
 // route headers when a ring is installed, the shared queue otherwise.
 // Proxies are cheap (stateless but for counters), so one per attempt keeps
 // the header stamping race-free.
-func (r *Router) proxyFor(ring *Ring, key string) (p *Proxy, routed bool) {
+func (r *Router) proxyFor(ring *Ring, key string) (p *Proxy, owner string, routed bool) {
 	opts := []CallOption{WithTimeout(r.cfg.Timeout), WithRetries(1), WithBackoff(0, 0)}
 	if ring == nil || len(ring.Members()) == 0 {
-		return r.broker.Lookup(r.cfg.OID, opts...), false
+		return r.broker.Lookup(r.cfg.OID, opts...), "", false
 	}
-	owner := ring.Owner(key)
+	owner = ring.Owner(key)
 	opts = append(opts, WithCallHeaders(map[string]string{
 		HeaderRouteEpoch: strconv.FormatUint(ring.Epoch(), 10),
 		HeaderRouteKey:   key,
 	}))
-	return r.broker.Lookup(RoutedInstanceOID(r.cfg.OID, owner), opts...), true
+	return r.broker.Lookup(RoutedInstanceOID(r.cfg.OID, owner), opts...), owner, true
 }
 
 // CheckRoute is the fencing predicate service instances call with the stamp of an

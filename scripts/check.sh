@@ -37,6 +37,13 @@ go test -race -count=3 -run '^TestTransferPipelineStress$' ./internal/client/
 echo "==> multi-instance failover soak + linearizability (race, 2x total)"
 go test -race -count=1 -run '^(TestMultiInstanceChaosQuick|TestCrossInstanceLinearizability)$' ./internal/bench/
 
+# The fleet-trace smoke drives a routed commit through a deliberate owner
+# crash and asserts one stitched trace spans both instances with a
+# cause-annotated failover attempt. The collector polls concurrently with
+# the kill, so this is also where a scrape/teardown race would surface.
+echo "==> fleet-trace stitching smoke (race)"
+go test -race -count=1 -run '^TestFleetTraceSmoke$' ./internal/bench/
+
 # Short coverage-guided fuzz legs over the two codecs that parse
 # attacker-controlled bytes: the wire frame reader and WAL replay. Ten
 # seconds each is a smoke pass — run `go test -fuzz` open-ended to dig.
