@@ -1,5 +1,5 @@
 window.BENCHMARK_DATA = {
-  "lastUpdate": 1786155209589,
+  "lastUpdate": 1786158000023,
   "repoUrl": "stacksync",
   "entries": {
     "micro": [
@@ -1015,6 +1015,1184 @@ window.BENCHMARK_DATA = {
             "value": 650468,
             "unit": "msgs/s",
             "dir": "higher"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "1c80b43b9a828e11d6f58e01939e77b724d5acfc",
+          "dirty": true,
+          "host": "vm",
+          "goVersion": "go1.24.0"
+        },
+        "date": 1786157861148,
+        "benches": [
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 1309623,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 0.9576,
+            "unit": "P(size\u003c=4MB)"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 2816265100,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 1.275,
+            "unit": "dropbox-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 0.9422,
+            "unit": "stacksync-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1391243441,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1566,
+            "unit": "dropbox-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 141.7,
+            "unit": "stacksync-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 1376023124,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.02598,
+            "unit": "dropbox-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.453,
+            "unit": "stacksync-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 990593335,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 14.43,
+            "unit": "ADD-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 0.2901,
+            "unit": "REMOVE-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 4890927439,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 19.71,
+            "unit": "128KB-ms"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 1342,
+            "unit": "8MB-ms"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 94118993,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 5440,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 14495104,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 35322,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 12304210,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 41612,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 13523025,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 37861,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 294799985,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 3.6,
+            "unit": "MB/s"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 74751058,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 14.73,
+            "unit": "MB/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1115422202,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 35972,
+            "unit": "commits/min"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1.344,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 1120161344,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 35979,
+            "unit": "commits/min",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 2.495,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 798193,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 1253,
+            "unit": "scrapes/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 386520,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 151,
+            "unit": "allocs/op",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 73842,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 866715,
+            "unit": "msgs/s"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 85483,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 748687,
+            "unit": "msgs/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 216082381,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 151646,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 0,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 202289894,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 161985,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 118.6,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 204150957,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 160509,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 509.4,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 288624331,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 113532,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 5602,
+            "unit": "reads/s"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "1c80b43b9a828e11d6f58e01939e77b724d5acfc",
+          "dirty": true,
+          "host": "vm",
+          "goVersion": "go1.24.0"
+        },
+        "date": 1786157953711,
+        "benches": [
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 1625749,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 0.961,
+            "unit": "P(size\u003c=4MB)"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 2536764394,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 1.275,
+            "unit": "dropbox-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 0.9422,
+            "unit": "stacksync-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1319019831,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1566,
+            "unit": "dropbox-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 141.6,
+            "unit": "stacksync-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 1310395379,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.02598,
+            "unit": "dropbox-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.453,
+            "unit": "stacksync-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 744209490,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 10.07,
+            "unit": "ADD-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 0.253,
+            "unit": "REMOVE-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 4100024423,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 18.62,
+            "unit": "128KB-ms"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 897.3,
+            "unit": "8MB-ms"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 72134405,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 7098,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 16187806,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 31629,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 28097195,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 18222,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 23590312,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 21704,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 297477435,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 3.56,
+            "unit": "MB/s"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 76886625,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 14.39,
+            "unit": "MB/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1131856872,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 36067,
+            "unit": "commits/min"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1.29,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 1118601701,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 36102,
+            "unit": "commits/min",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 5.139,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 718280,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 1392,
+            "unit": "scrapes/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 386520,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 151,
+            "unit": "allocs/op",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 116157,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 550978,
+            "unit": "msgs/s"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 110017,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 581728,
+            "unit": "msgs/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 212683832,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 154069,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 0,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 192907396,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 169864,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 110.6,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 207227112,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 158126,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 649.9,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 220396343,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 148678,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 5611,
+            "unit": "reads/s"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "1c80b43b9a828e11d6f58e01939e77b724d5acfc",
+          "dirty": true,
+          "host": "vm",
+          "goVersion": "go1.24.0"
+        },
+        "date": 1786157989525,
+        "benches": [
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 905839,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 0.9576,
+            "unit": "P(size\u003c=4MB)"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 2632871110,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 1.275,
+            "unit": "dropbox-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 0.9422,
+            "unit": "stacksync-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1315995915,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1566,
+            "unit": "dropbox-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 141.7,
+            "unit": "stacksync-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 1316155767,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.02598,
+            "unit": "dropbox-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.453,
+            "unit": "stacksync-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 1039752619,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 13.21,
+            "unit": "ADD-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 0.2016,
+            "unit": "REMOVE-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 3796939428,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 19.13,
+            "unit": "128KB-ms"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 937.2,
+            "unit": "8MB-ms"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 93824577,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 5457,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 14578493,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 35120,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 16920413,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 30259,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 14262455,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 35898,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 297346731,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 3.57,
+            "unit": "MB/s"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 74082328,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 14.84,
+            "unit": "MB/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1133694858,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 35975,
+            "unit": "commits/min"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 11,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 1109305847,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 35978,
+            "unit": "commits/min",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 179.2,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 887940,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 1126,
+            "unit": "scrapes/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 386520,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 151,
+            "unit": "allocs/op",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 72941,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 877421,
+            "unit": "msgs/s"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 70985,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 901599,
+            "unit": "msgs/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 216484851,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 151364,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 0,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 220533197,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 148585,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 108.8,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 223170870,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 146829,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 681.1,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 238411847,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 137443,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 4916,
+            "unit": "reads/s"
+          }
+        ]
+      }
+    ],
+    "scenario/churn": [
+      {
+        "commit": {
+          "id": "1c80b43b9a828e11d6f58e01939e77b724d5acfc",
+          "dirty": true,
+          "host": "vm",
+          "goVersion": "go1.24.0"
+        },
+        "date": 1786158000023,
+        "benches": [
+          {
+            "name": "churn",
+            "value": 505.99810149512325,
+            "unit": "ops/s",
+            "dir": "higher"
+          },
+          {
+            "name": "churn",
+            "value": 4.064499,
+            "unit": "p99-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "churn",
+            "value": 1,
+            "unit": "attainment",
+            "dir": "higher"
+          },
+          {
+            "name": "churn",
+            "value": 1.560994,
+            "unit": "p50-ms"
+          },
+          {
+            "name": "churn",
+            "value": 12,
+            "unit": "ops"
+          },
+          {
+            "name": "churn",
+            "value": 0,
+            "unit": "retries"
+          },
+          {
+            "name": "churn",
+            "value": 3,
+            "unit": "devices"
+          },
+          {
+            "name": "churn",
+            "value": 15,
+            "unit": "reconnects"
+          }
+        ]
+      }
+    ],
+    "scenario/coldstart": [
+      {
+        "commit": {
+          "id": "1c80b43b9a828e11d6f58e01939e77b724d5acfc",
+          "dirty": true,
+          "host": "vm",
+          "goVersion": "go1.24.0"
+        },
+        "date": 1786158000023,
+        "benches": [
+          {
+            "name": "coldstart",
+            "value": 11508.30424849191,
+            "unit": "ops/s",
+            "dir": "higher"
+          },
+          {
+            "name": "coldstart",
+            "value": 9.85247,
+            "unit": "p99-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "coldstart",
+            "value": 1,
+            "unit": "attainment",
+            "dir": "higher"
+          },
+          {
+            "name": "coldstart",
+            "value": 6.38025,
+            "unit": "p50-ms"
+          },
+          {
+            "name": "coldstart",
+            "value": 120,
+            "unit": "ops"
+          },
+          {
+            "name": "coldstart",
+            "value": 0,
+            "unit": "retries"
+          },
+          {
+            "name": "coldstart",
+            "value": 5,
+            "unit": "clients"
+          },
+          {
+            "name": "coldstart",
+            "value": 24,
+            "unit": "corpus-files"
+          }
+        ]
+      }
+    ],
+    "scenario/fanout": [
+      {
+        "commit": {
+          "id": "1c80b43b9a828e11d6f58e01939e77b724d5acfc",
+          "dirty": true,
+          "host": "vm",
+          "goVersion": "go1.24.0"
+        },
+        "date": 1786158000023,
+        "benches": [
+          {
+            "name": "fanout",
+            "value": 672.59669765783,
+            "unit": "ops/s",
+            "dir": "higher"
+          },
+          {
+            "name": "fanout",
+            "value": 2.727778,
+            "unit": "p99-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "fanout",
+            "value": 1,
+            "unit": "attainment",
+            "dir": "higher"
+          },
+          {
+            "name": "fanout",
+            "value": 1.46803,
+            "unit": "p50-ms"
+          },
+          {
+            "name": "fanout",
+            "value": 15,
+            "unit": "ops"
+          },
+          {
+            "name": "fanout",
+            "value": 0,
+            "unit": "retries"
+          },
+          {
+            "name": "fanout",
+            "value": 4,
+            "unit": "devices"
+          }
+        ]
+      }
+    ],
+    "scenario/reconnect": [
+      {
+        "commit": {
+          "id": "1c80b43b9a828e11d6f58e01939e77b724d5acfc",
+          "dirty": true,
+          "host": "vm",
+          "goVersion": "go1.24.0"
+        },
+        "date": 1786158000023,
+        "benches": [
+          {
+            "name": "reconnect",
+            "value": 2677.7297607277083,
+            "unit": "ops/s",
+            "dir": "higher"
+          },
+          {
+            "name": "reconnect",
+            "value": 24.710133,
+            "unit": "p99-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "reconnect",
+            "value": 1,
+            "unit": "attainment",
+            "dir": "higher"
+          },
+          {
+            "name": "reconnect",
+            "value": 0.039353,
+            "unit": "p50-ms"
+          },
+          {
+            "name": "reconnect",
+            "value": 300,
+            "unit": "ops"
+          },
+          {
+            "name": "reconnect",
+            "value": 0,
+            "unit": "retries"
+          },
+          {
+            "name": "reconnect",
+            "value": 0.129571,
+            "unit": "base-p99-ms"
+          },
+          {
+            "name": "reconnect",
+            "value": 20,
+            "unit": "cold-reads"
+          },
+          {
+            "name": "reconnect",
+            "value": 48,
+            "unit": "warm-reads"
+          },
+          {
+            "name": "reconnect",
+            "value": 0,
+            "unit": "fallback-fulls"
+          }
+        ]
+      }
+    ],
+    "scenario/zipf": [
+      {
+        "commit": {
+          "id": "1c80b43b9a828e11d6f58e01939e77b724d5acfc",
+          "dirty": true,
+          "host": "vm",
+          "goVersion": "go1.24.0"
+        },
+        "date": 1786158000023,
+        "benches": [
+          {
+            "name": "zipf",
+            "value": 32675.150515357916,
+            "unit": "ops/s",
+            "dir": "higher"
+          },
+          {
+            "name": "zipf",
+            "value": 0.162575,
+            "unit": "p99-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "zipf",
+            "value": 1,
+            "unit": "attainment",
+            "dir": "higher"
+          },
+          {
+            "name": "zipf",
+            "value": 0.023682,
+            "unit": "p50-ms"
+          },
+          {
+            "name": "zipf",
+            "value": 300,
+            "unit": "ops"
+          },
+          {
+            "name": "zipf",
+            "value": 0,
+            "unit": "retries"
+          },
+          {
+            "name": "zipf",
+            "value": 16,
+            "unit": "workspaces"
+          },
+          {
+            "name": "zipf",
+            "value": 0.3566666666666667,
+            "unit": "hot-ws-share"
+          },
+          {
+            "name": "zipf",
+            "value": 0.3566666666666667,
+            "unit": "sketch-top-share"
           }
         ]
       }

@@ -153,6 +153,11 @@ func (s *slowServiceAPI) GetChanges(ctx context.Context, workspace string) ([]me
 	return s.inner.GetChanges(ctx, workspace)
 }
 
+// GetChangesSince forwards.
+func (s *slowServiceAPI) GetChangesSince(ctx context.Context, workspace string, since uint64) (core.ChangesReply, error) {
+	return s.inner.GetChangesSince(ctx, workspace, since)
+}
+
 // GetWorkspaces forwards.
 func (s *slowServiceAPI) GetWorkspaces(user string) ([]metastore.Workspace, error) {
 	return s.inner.GetWorkspaces(user)

@@ -372,6 +372,12 @@ func RunFleetTrace(cfg FleetTraceConfig) (*FleetTraceResult, error) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	// The Stopped hook marks the drained instance dead asynchronously with
+	// respect to the instance-count drop, so wait for the rollup to reflect
+	// the clean exit; on timeout the DrainedClean violation below reports it.
+	for !rollupHasCleanDrain(collector, killed) && !time.Now().After(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
 	res.CollectedSpans = collector.Collect()
 
 	st, ok := collector.Trace(traceID)
@@ -413,6 +419,17 @@ func RunFleetTrace(cfg FleetTraceConfig) (*FleetTraceResult, error) {
 	res.Violations = append(res.Violations, fleetTraceViolations(res, ok)...)
 	sort.Strings(res.Violations)
 	return res, nil
+}
+
+// rollupHasCleanDrain reports whether any instance other than the killed one
+// shows up in the collector's rollup as a clean exit.
+func rollupHasCleanDrain(c *obs.Collector, killed string) bool {
+	for _, inst := range c.Rollup().Instances {
+		if !inst.Alive && inst.InstanceID != killed && inst.CleanExit {
+			return true
+		}
+	}
+	return false
 }
 
 // fleetTraceViolations enumerates broken invariants for the report.

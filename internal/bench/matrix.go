@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stacksync/internal/benchhist"
@@ -33,6 +34,10 @@ import (
 //     off, come back with a cold local DB, and must resync before writing.
 //   - coldstart: thundering herd — a fleet of brand-new devices bootstraps
 //     a populated workspace simultaneously.
+//   - reconnect: getChanges storm against a committing fleet — a burst of
+//     cold full-state readers plus warm changes-since-v readers hammers the
+//     MVCC read path while committers keep writing; gated on the commit p99
+//     not collapsing versus a no-reader baseline run (DESIGN §16).
 
 // MatrixConfig parameterizes the scenario matrix run.
 type MatrixConfig struct {
@@ -52,6 +57,10 @@ type matrixSizes struct {
 	zipfCommitters                  int
 	churnDevices, churnCycles       int
 	coldFiles, coldClients          int
+	reconnSeedItems, reconnCommits  int
+	reconnCommitters                int
+	reconnColdReaders               int
+	reconnWarmReaders               int
 	fileBytes                       int
 	waitBudget                      time.Duration
 	fanoutSLO, commitSLO, resyncSLO time.Duration
@@ -63,6 +72,8 @@ func (c MatrixConfig) sizes() matrixSizes {
 		zipfWorkspaces: 32, zipfCommits: 1000, zipfCommitters: 8,
 		churnDevices: 4, churnCycles: 6,
 		coldFiles: 48, coldClients: 8,
+		reconnSeedItems: 64, reconnCommits: 600, reconnCommitters: 6,
+		reconnColdReaders: 8, reconnWarmReaders: 8,
 		fileBytes:  8 * 1024,
 		waitBudget: 30 * time.Second,
 		fanoutSLO:  450 * time.Millisecond,
@@ -74,12 +85,16 @@ func (c MatrixConfig) sizes() matrixSizes {
 		s.zipfWorkspaces, s.zipfCommits = 16, 300
 		s.churnDevices, s.churnCycles = 3, 4
 		s.coldFiles, s.coldClients = 24, 5
+		s.reconnSeedItems, s.reconnCommits = 32, 300
+		s.reconnCommitters, s.reconnColdReaders, s.reconnWarmReaders = 4, 4, 4
 	}
 	if c.Smoke {
 		s.fanoutDevices, s.fanoutFiles = 3, 6
 		s.zipfWorkspaces, s.zipfCommits, s.zipfCommitters = 8, 80, 4
 		s.churnDevices, s.churnCycles = 2, 2
 		s.coldFiles, s.coldClients = 8, 3
+		s.reconnSeedItems, s.reconnCommits = 16, 80
+		s.reconnCommitters, s.reconnColdReaders, s.reconnWarmReaders = 4, 2, 2
 		s.fileBytes = 2 * 1024
 		s.waitBudget = 10 * time.Second
 	}
@@ -171,7 +186,7 @@ func (r *MatrixResult) Print(w io.Writer) {
 	}
 }
 
-// RunMatrix executes all four scenarios in sequence.
+// RunMatrix executes all five scenarios in sequence.
 func RunMatrix(cfg MatrixConfig) (*MatrixResult, error) {
 	sz := cfg.sizes()
 	res := &MatrixResult{Seed: cfg.Seed}
@@ -183,6 +198,7 @@ func RunMatrix(cfg MatrixConfig) (*MatrixResult, error) {
 		{"zipf", runZipfScenario},
 		{"churn", runChurnScenario},
 		{"coldstart", runColdStartScenario},
+		{"reconnect", runReconnectScenario},
 	} {
 		s, err := run.fn(cfg, sz)
 		if err != nil {
@@ -742,5 +758,286 @@ func runColdStartScenario(cfg MatrixConfig, sz matrixSizes) (*ScenarioResult, er
 	}
 	scenarioStats(s, lats, slo)
 	sort.Strings(s.Violations)
+	return s, nil
+}
+
+// --- reconnect: getChanges storm over the MVCC read path ------------------
+
+// runReconnectScenario measures the lock-free snapshot read path's promise
+// (DESIGN §16): commit latency must not collapse when a reconnect storm
+// hammers the same workspace. Phase one fires sz.reconnCommits commits from
+// sz.reconnCommitters workers with no readers at all and records the
+// baseline commit p99. Phase two repeats the identical commit load while
+// sz.reconnColdReaders loop full-state GetChanges and sz.reconnWarmReaders
+// loop GetChangesSince from tracked cursors (reply versions must never go
+// backwards, and full-state replies must never shrink below the seeded
+// corpus). The gated result is the storm phase; a violation fires when the
+// storm p99 exceeds both 8x the baseline and an absolute 100ms floor. The
+// ratio alone would trip on scheduler noise over a near-zero baseline, and
+// the floor alone would trip on race-enabled single-core CI where every
+// latency inflates ~15x; a true lock collapse (the pre-MVCC store served
+// about one commit per second under this storm) clears both by orders of
+// magnitude.
+func runReconnectScenario(cfg MatrixConfig, sz matrixSizes) (*ScenarioResult, error) {
+	const workspace = "matrix-reconn"
+	reg := obs.NewRegistry()
+	m := mq.NewBroker()
+	defer m.Close()
+	// Finite retention keeps compaction live during the storm, so some warm
+	// cursors genuinely fall below the watermark and exercise the full-state
+	// fallback rather than only the cheap tail branch.
+	meta := metastore.NewStore(metastore.WithRegistry(reg), metastore.WithLogRetention(256))
+	defer meta.Close()
+	if err := meta.CreateWorkspace(metastore.Workspace{ID: workspace, Owner: "user-0"}); err != nil {
+		return nil, err
+	}
+	// Seed a populated workspace so cold readers pay a real full-state cost.
+	seed := make([]metastore.ItemVersion, sz.reconnSeedItems)
+	for k := range seed {
+		path := fmt.Sprintf("seed/f%04d.txt", k)
+		seed[k] = metastore.ItemVersion{
+			Workspace: workspace, ItemID: workspace + ":" + path, Path: path,
+			Version: 1, Status: metastore.Added, Size: int64(sz.fileBytes),
+		}
+	}
+	if _, err := meta.CommitBatch(seed); err != nil {
+		return nil, err
+	}
+	// A SyncService fleet sharing the one store, one instance per concurrent
+	// caller. Each bound object drains its call queue with a single worker
+	// goroutine, so a lone instance would serialize reads ahead of commits at
+	// the dispatch layer and the gate would measure queue dwell, not the
+	// store. With a worker per caller the only cross-traffic coupling left is
+	// the metastore itself — exactly the contention DESIGN §16 claims away.
+	instances := sz.reconnCommitters + sz.reconnColdReaders + sz.reconnWarmReaders
+	for inst := 0; inst < instances; inst++ {
+		sb, err := omq.NewBroker(m, omq.WithID(fmt.Sprintf("svc-%d", inst)), omq.WithRegistry(reg))
+		if err != nil {
+			return nil, err
+		}
+		defer sb.Close()
+		svc := core.NewService(meta, sb)
+		bind, err := svc.Bind()
+		if err != nil {
+			return nil, err
+		}
+		defer bind.Unbind()
+	}
+
+	// commitPhase fires sz.reconnCommits single-item commits through the RPC
+	// surface (unique items per phase) and returns the per-commit latencies.
+	commitPhase := func(phase string) ([]time.Duration, int, error) {
+		jobCh := make(chan int, sz.reconnCommits)
+		for i := 0; i < sz.reconnCommits; i++ {
+			jobCh <- i
+		}
+		close(jobCh)
+		var (
+			mu     sync.Mutex
+			lats   []time.Duration
+			failed int
+		)
+		errCh := make(chan error, sz.reconnCommitters)
+		var wg sync.WaitGroup
+		for w := 0; w < sz.reconnCommitters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cb, err := omq.NewBroker(m, omq.WithID(fmt.Sprintf("reconn-%s-%d", phase, w)), omq.WithRegistry(reg))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				defer cb.Close()
+				proxy := cb.Lookup(core.ServiceOID)
+				dev := fmt.Sprintf("reconn-dev-%d", w)
+				for i := range jobCh {
+					path := fmt.Sprintf("%s/f%05d.txt", phase, i)
+					req := core.CommitRequest{
+						Workspace: workspace,
+						DeviceID:  dev,
+						Items: []metastore.ItemVersion{{
+							Workspace: workspace,
+							ItemID:    workspace + ":" + path,
+							Path:      path,
+							Version:   1,
+							Status:    metastore.Added,
+							Size:      int64(sz.fileBytes),
+							DeviceID:  dev,
+						}},
+					}
+					t0 := time.Now()
+					err := proxy.Call("CommitRequest", nil, req)
+					lat := time.Since(t0)
+					mu.Lock()
+					lats = append(lats, lat)
+					if err != nil {
+						failed++
+					}
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			return nil, 0, err
+		}
+		return lats, failed, nil
+	}
+
+	// Phase one: no readers — the baseline the storm is judged against.
+	baseLats, baseFailed, err := commitPhase("base")
+	if err != nil {
+		return nil, err
+	}
+	baseSecs := make([]float64, len(baseLats))
+	for i, l := range baseLats {
+		baseSecs[i] = l.Seconds()
+	}
+	baseP99 := time.Duration(metrics.Percentile(baseSecs, 0.99) * 1e9)
+
+	// Phase two: the storm. Readers poll for the whole commit phase, each kind
+	// checking its own invariant on every reply. The polls are paced: a real
+	// reconnecting client issues one getChanges and leaves, so the storm is
+	// many bounded-rate readers, not busy-loops — and on a single-core runner
+	// an unpaced reader loop would measure scheduler fairness against the
+	// committers rather than the read path's locking behaviour.
+	const (
+		coldPause = 5 * time.Millisecond
+		warmPause = time.Millisecond
+	)
+	var (
+		coldReads, warmReads atomic.Int64
+		readErrs, shortReads atomic.Int64
+		versionRegressions   atomic.Int64
+		stop                 = make(chan struct{})
+		readerWG             sync.WaitGroup
+	)
+	for r := 0; r < sz.reconnColdReaders; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			cb, err := omq.NewBroker(m, omq.WithID(fmt.Sprintf("reconn-cold-%d", r)), omq.WithRegistry(reg))
+			if err != nil {
+				readErrs.Add(1)
+				return
+			}
+			defer cb.Close()
+			proxy := cb.Lookup(core.ServiceOID)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var state []metastore.ItemVersion
+				if err := proxy.Call("GetChanges", &state, workspace); err != nil {
+					readErrs.Add(1)
+					return
+				}
+				if len(state) < sz.reconnSeedItems {
+					shortReads.Add(1)
+				}
+				coldReads.Add(1)
+				time.Sleep(coldPause)
+			}
+		}(r)
+	}
+	for r := 0; r < sz.reconnWarmReaders; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			cb, err := omq.NewBroker(m, omq.WithID(fmt.Sprintf("reconn-warm-%d", r)), omq.WithRegistry(reg))
+			if err != nil {
+				readErrs.Add(1)
+				return
+			}
+			defer cb.Close()
+			proxy := cb.Lookup(core.ServiceOID)
+			var cursor uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var reply core.ChangesReply
+				if err := proxy.Call("GetChangesSince", &reply, workspace, cursor); err != nil {
+					readErrs.Add(1)
+					return
+				}
+				if reply.Version < cursor {
+					versionRegressions.Add(1)
+				}
+				cursor = reply.Version
+				warmReads.Add(1)
+				time.Sleep(warmPause)
+			}
+		}(r)
+	}
+
+	slo := obs.NewSLOTracker(reg, obs.SLOConfig{Name: "matrix_reconn", Target: sz.commitSLO, Objective: 0.99})
+	s := &ScenarioResult{Name: "reconnect", SLOTarget: sz.commitSLO, Converged: true}
+	start := time.Now()
+	stormLats, stormFailed, perr := commitPhase("storm")
+	close(stop)
+	readerWG.Wait()
+	if perr != nil {
+		return nil, perr
+	}
+	s.Elapsed = time.Since(start)
+	s.Ops = sz.reconnCommits
+	for _, l := range stormLats {
+		slo.Observe(l)
+	}
+
+	if n := baseFailed + stormFailed; n > 0 {
+		s.Converged = false
+		s.Violations = append(s.Violations, fmt.Sprintf("%d of %d commits failed", n, 2*sz.reconnCommits))
+	}
+	// Every acked commit must be durable despite the read storm.
+	state, err := meta.State(workspace)
+	if err != nil {
+		return nil, err
+	}
+	if want := sz.reconnSeedItems + 2*sz.reconnCommits - baseFailed - stormFailed; len(state) != want {
+		s.Converged = false
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("metadata store holds %d items, want %d", len(state), want))
+	}
+	if coldReads.Load() == 0 || warmReads.Load() == 0 {
+		s.Converged = false
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("storm never materialized: %d cold / %d warm reads", coldReads.Load(), warmReads.Load()))
+	}
+	if n := readErrs.Load(); n > 0 {
+		s.Converged = false
+		s.Violations = append(s.Violations, fmt.Sprintf("%d reader calls failed", n))
+	}
+	if n := shortReads.Load(); n > 0 {
+		s.Converged = false
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("%d full-state reads returned fewer than the %d seeded items", n, sz.reconnSeedItems))
+	}
+	if n := versionRegressions.Load(); n > 0 {
+		s.Converged = false
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("%d changes-since replies regressed the workspace version", n))
+	}
+	scenarioStats(s, stormLats, slo)
+	// The headline gate: the storm must not collapse the commit path.
+	if s.P99 > 8*baseP99 && s.P99 > 100*time.Millisecond {
+		s.Converged = false
+		s.Violations = append(s.Violations,
+			fmt.Sprintf("storm commit p99 %v collapsed vs no-reader baseline %v", s.P99, baseP99))
+	}
+	s.Retries = reg.CounterValue("omq_retry_attempts_total", "oid", core.ServiceOID)
+	s.Extra = []benchhist.Metric{
+		{Name: s.Name, Unit: "base-p99-ms", Value: float64(baseP99) / 1e6},
+		{Name: s.Name, Unit: "cold-reads", Value: float64(coldReads.Load())},
+		{Name: s.Name, Unit: "warm-reads", Value: float64(warmReads.Load())},
+		{Name: s.Name, Unit: "fallback-fulls", Value: float64(reg.CounterValue("metastore_changes_compaction_fallback_total"))},
+	}
 	return s, nil
 }

@@ -9,7 +9,7 @@ import (
 	"stacksync/internal/benchhist"
 )
 
-// TestMatrixSmoke runs all four scenarios at smoke size: every scenario must
+// TestMatrixSmoke runs all five scenarios at smoke size: every scenario must
 // converge with zero violations and emit a well-formed, gateable history
 // record.
 func TestMatrixSmoke(t *testing.T) {
@@ -17,13 +17,13 @@ func TestMatrixSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunMatrix: %v", err)
 	}
-	if len(res.Scenarios) != 4 {
-		t.Fatalf("got %d scenarios, want 4", len(res.Scenarios))
+	if len(res.Scenarios) != 5 {
+		t.Fatalf("got %d scenarios, want 5", len(res.Scenarios))
 	}
 	if v := res.Violations(); len(v) != 0 {
 		t.Fatalf("matrix violations: %v", v)
 	}
-	wantNames := []string{"fanout", "zipf", "churn", "coldstart"}
+	wantNames := []string{"fanout", "zipf", "churn", "coldstart", "reconnect"}
 	prov := benchhist.Provenance{Commit: "test", GoVersion: "go", GOMAXPROCS: 1, Host: "h"}
 	for i, s := range res.Scenarios {
 		if s.Name != wantNames[i] {
@@ -74,7 +74,7 @@ func TestMatrixSmoke(t *testing.T) {
 
 	var buf bytes.Buffer
 	res.Print(&buf)
-	for _, want := range []string{"fanout", "zipf", "churn", "coldstart", "converged"} {
+	for _, want := range []string{"fanout", "zipf", "churn", "coldstart", "reconnect", "converged"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("matrix summary missing %q:\n%s", want, buf.String())
 		}

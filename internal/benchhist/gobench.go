@@ -32,6 +32,8 @@ var MicroGates = []GateSpec{
 	{"BenchmarkFig7eSyncTime", "REMOVE-median-ms", DirLower},
 	{"BenchmarkMQPublishThroughput/batch", "msgs/s", DirHigher},
 	{"BenchmarkCommitParallelWorkspaces/shards=16", "commits/s", DirHigher},
+	{"BenchmarkReadWriteMix/readers=0", "commits/s", DirHigher},
+	{"BenchmarkReadWriteMix/readers=256", "commits/s", DirHigher},
 	{"BenchmarkTransferPipeline/pipelined", "MB/s", DirHigher},
 	{"BenchmarkMultiInstanceCommit/instances=4", "commits/min", DirHigher},
 	{"BenchmarkFleetObs", "scrapes/s", DirHigher},

@@ -133,6 +133,14 @@ type Client struct {
 	pendingProposals map[pendingKey]pendingProposal
 	started          bool
 	closed           bool
+	// syncVersion is the workspace version the local database is known to
+	// reflect — the cursor sent with GetChangesSince so a resync ships only
+	// the change-log tail (incremental resync, DESIGN §16). Guarded by mu.
+	syncVersion uint64
+
+	// Resync metrics: tail (incremental) vs full (cold start, or the cursor
+	// fell behind the server's compaction watermark).
+	resyncTail, resyncFull *obs.Counter
 }
 
 // Errors returned by the client.
@@ -223,6 +231,8 @@ func NewClient(cfg Config) (*Client, error) {
 		}
 		return 0
 	}, "device", cfg.DeviceID)
+	c.resyncTail = c.reg.Counter("client_resync_total", "device", cfg.DeviceID, "result", "tail")
+	c.resyncFull = c.reg.Counter("client_resync_total", "device", cfg.DeviceID, "result", "full")
 	return c, nil
 }
 
@@ -260,16 +270,12 @@ func (c *Client) Start() error {
 	}
 	c.handler = handler
 
-	// Bootstrap: bring the local database up to the committed state.
-	var state []metastore.ItemVersion
-	if err := c.callService("GetChanges", &state, c.cfg.WorkspaceID); err != nil {
+	// Bootstrap: bring the local database up to the committed state. A cold
+	// start sends since=0, which the service answers with the full live state
+	// plus the workspace version — the cursor later resyncs continue from.
+	if err := c.pullChanges(); err != nil {
 		_ = handler.Unbind()
 		return fmt.Errorf("client: getChanges: %w", err)
-	}
-	for _, item := range state {
-		if err := c.applyRemote(context.Background(), item); err != nil {
-			return fmt.Errorf("client: apply startup state: %w", err)
-		}
 	}
 
 	// Background repair loops: drain deferred chunk uploads, retransmit
@@ -379,21 +385,56 @@ func (c *Client) retransmitPending() {
 	_ = c.propose(context.Background(), items)
 }
 
-// Resync pulls the full committed state and applies anything newer than the
-// local database — the pull-based safety net under the push notifications.
+// Resync pulls everything committed since the last synced workspace version
+// and applies anything newer than the local database — the pull-based safety
+// net under the push notifications. With a warm cursor this ships only the
+// change-log tail; the service falls back to the full state (Full set in the
+// reply) when the cursor predates the compaction watermark.
 func (c *Client) Resync() error {
 	if c.sync == nil {
 		return ErrNotStarted
 	}
-	var state []metastore.ItemVersion
-	if err := c.callService("GetChanges", &state, c.cfg.WorkspaceID); err != nil {
+	if err := c.pullChanges(); err != nil {
 		return fmt.Errorf("client: resync: %w", err)
 	}
-	for _, item := range state {
+	return nil
+}
+
+// SyncVersion reports the workspace version the last getChanges/resync pull
+// was consistent at.
+func (c *Client) SyncVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.syncVersion
+}
+
+// pullChanges performs one GetChangesSince round trip from the current
+// cursor and applies the reply: a log tail in commit order (tombstones
+// included), or the full live state on cold start / compaction fallback.
+// The cursor only advances, so a reply raced by a fresher pull is harmless.
+func (c *Client) pullChanges() error {
+	c.mu.Lock()
+	since := c.syncVersion
+	c.mu.Unlock()
+	var reply core.ChangesReply
+	if err := c.callService("GetChangesSince", &reply, c.cfg.WorkspaceID, since); err != nil {
+		return err
+	}
+	for _, item := range reply.Items {
 		if err := c.applyRemote(context.Background(), item); err != nil {
-			return fmt.Errorf("client: resync apply: %w", err)
+			return fmt.Errorf("apply %s v%d: %w", item.ItemID, item.Version, err)
 		}
 	}
+	if reply.Full {
+		c.resyncFull.Inc()
+	} else {
+		c.resyncTail.Inc()
+	}
+	c.mu.Lock()
+	if reply.Version > c.syncVersion {
+		c.syncVersion = reply.Version
+	}
+	c.mu.Unlock()
 	return nil
 }
 
@@ -657,6 +698,23 @@ func (c *Client) stashProposed(item metastore.ItemVersion, content []byte) {
 	}
 }
 
+// ProposalPending reports whether a locally proposed commit for path is
+// still awaiting its acknowledgement. Commit proposals are asynchronous, so
+// between propose and ack the item is in pendingProposals but not yet in the
+// database; callers reconciling "known locally but not in the database"
+// (the directory watcher's remote-delete detection) must treat that window
+// as in-flight, not as a remote deletion.
+func (c *Client) ProposalPending(filePath string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.pendingProposals {
+		if p.item.Path == filePath {
+			return true
+		}
+	}
+	return false
+}
+
 func (c *Client) takeProposed(item metastore.ItemVersion) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -754,6 +812,8 @@ func (c *Client) Close() error {
 	c.reg.Unregister("client_upload_queue_depth", "device", c.cfg.DeviceID)
 	c.reg.Unregister("client_storage_breaker_open", "device", c.cfg.DeviceID)
 	c.reg.Unregister("client_chunk_cache_bytes", "device", c.cfg.DeviceID)
+	c.reg.Unregister("client_resync_total", "device", c.cfg.DeviceID, "result", "tail")
+	c.reg.Unregister("client_resync_total", "device", c.cfg.DeviceID, "result", "full")
 	for _, name := range transferMetricNames {
 		c.reg.Unregister(name, "device", c.cfg.DeviceID)
 	}

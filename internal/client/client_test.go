@@ -114,6 +114,11 @@ func TestUpdatePropagatesAndDeduplicates(t *testing.T) {
 	if err := b.WaitForVersion("doc.bin", 1, syncWait); err != nil {
 		t.Fatal(err)
 	}
+	// Commits are asynchronous: wait for the writer's own ack so the update
+	// proposes v2 on top of an acknowledged v1.
+	if err := a.WaitForVersion("doc.bin", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
 	putsBefore := r.storage.Traffic().Puts
 
 	// Append-only modification: the shared prefix chunks must not re-upload.

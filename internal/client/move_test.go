@@ -18,6 +18,11 @@ func TestMoveFilePropagatesWithoutDataTransfer(t *testing.T) {
 	if err := b.WaitForVersion("old/name.bin", 1, syncWait); err != nil {
 		t.Fatal(err)
 	}
+	// Commits are asynchronous: wait for the mover's own ack before building
+	// the rename on top of it.
+	if err := a.WaitForVersion("old/name.bin", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
 
 	trafficBefore := r.storage.Traffic()
 	if err := a.MoveFile("old/name.bin", "new/name.bin"); err != nil {

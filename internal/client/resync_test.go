@@ -1,0 +1,82 @@
+package client
+
+import (
+	"testing"
+)
+
+// TestIncrementalResyncAdvancesCursor covers the client side of the
+// changes-since-v protocol (DESIGN §16): the startup pull is a full-state
+// reply that seeds the sync cursor, a later Resync ships only the change-log
+// tail, and a cursor that fell behind the server's compaction watermark
+// degrades to a flagged full-state pull that still converges.
+func TestIncrementalResyncAdvancesCursor(t *testing.T) {
+	r := newRig(t)
+	a := r.newDevice("alice", "dev-a")
+	if err := a.PutFile("seed.txt", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("seed.txt", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+
+	// Late joiner: the cold pull is a full reply at the committed version.
+	b := r.newDevice("bob", "dev-b")
+	if got := b.SyncVersion(); got != 1 {
+		t.Fatalf("cursor after cold start: %d, want 1", got)
+	}
+	if n := b.Registry().CounterValue("client_resync_total", "device", "dev-b", "result", "full"); n != 1 {
+		t.Fatalf("full pulls after start: %d, want 1", n)
+	}
+
+	// Two more commits move the workspace to version 3; b hears about them
+	// through push notifications, but its pull cursor stays at 1 until the
+	// next resync.
+	for _, p := range []string{"f1.txt", "f2.txt"} {
+		if err := a.PutFile(p, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []string{"f1.txt", "f2.txt"} {
+		if err := b.WaitForVersion(p, 1, syncWait); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.SyncVersion(); got != 1 {
+		t.Fatalf("cursor before resync: %d, want 1", got)
+	}
+
+	// Warm resync: a tail pull that advances the cursor to the head.
+	if err := b.Resync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.SyncVersion(); got != 3 {
+		t.Fatalf("cursor after tail resync: %d, want 3", got)
+	}
+	if n := b.Registry().CounterValue("client_resync_total", "device", "dev-b", "result", "tail"); n != 1 {
+		t.Fatalf("tail pulls after resync: %d, want 1", n)
+	}
+
+	// Compact everything away, then resync from the now-stale cursor: the
+	// reply degrades to full state and the client still converges.
+	if err := a.PutFile("f3.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitForVersion("f3.txt", 1, syncWait); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.meta.CompactLog("ws", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Resync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.SyncVersion(); got != 4 {
+		t.Fatalf("cursor after fallback resync: %d, want 4", got)
+	}
+	if n := b.Registry().CounterValue("client_resync_total", "device", "dev-b", "result", "full"); n != 2 {
+		t.Fatalf("full pulls after fallback: %d, want 2", n)
+	}
+	if _, ok := b.FileContent("f3.txt"); !ok {
+		t.Fatal("fallback resync lost f3.txt")
+	}
+}

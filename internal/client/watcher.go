@@ -154,6 +154,12 @@ func (w *DirWatcher) applyRemote() error {
 		if _, ok := w.c.Version(p); ok {
 			continue // still live after all
 		}
+		if w.c.ProposalPending(p) {
+			// Our own add/update is still awaiting its ack: the path is not
+			// in the database yet, but it was never remotely deleted. Leave
+			// the file alone and reconcile on a later tick.
+			continue
+		}
 		if err := os.Remove(w.diskPath(p)); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("client: remove %s: %w", p, err)
 		}
@@ -251,6 +257,9 @@ func (w *DirWatcher) scanLocal() error {
 			continue
 		}
 		if _, ok := w.c.Version(p); !ok {
+			if w.c.ProposalPending(p) {
+				continue // ack in flight; revisit once the database has it
+			}
 			w.forget(p)
 			continue // already deleted in sync state (remote delete)
 		}

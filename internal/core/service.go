@@ -391,7 +391,9 @@ func (a *API) CommitRequest(ctx context.Context, req CommitRequest) error {
 }
 
 // GetChanges returns the current state of a workspace (@SyncMethod); clients
-// call it only on startup because it is costly (§4.2.1).
+// call it only on startup because it is costly (§4.2.1). Kept wire-compatible
+// for old clients; new clients use GetChangesSince and pay only for the log
+// tail on reconnect.
 func (a *API) GetChanges(ctx context.Context, workspace string) ([]metastore.ItemVersion, error) {
 	if err := a.svc.checkRoute(ctx); err != nil {
 		return nil, err
@@ -401,6 +403,46 @@ func (a *API) GetChanges(ctx context.Context, workspace string) ([]metastore.Ite
 		return nil, err
 	}
 	return state, nil
+}
+
+// ChangesReply is the GetChangesSince payload: either a change-log tail in
+// commit order (tombstones included) or — when the requested version was
+// compacted away or the caller started cold — the full live state with Full
+// set. Version is the workspace version the reply is consistent at; the
+// client stores it as its next resync cursor.
+type ChangesReply struct {
+	Workspace string                  `json:"workspace"`
+	Since     uint64                  `json:"since"`
+	Version   uint64                  `json:"version"`
+	Full      bool                    `json:"full,omitempty"`
+	Items     []metastore.ItemVersion `json:"items,omitempty"`
+}
+
+// GetChangesSince is the incremental form of getChanges (@SyncMethod): a
+// reconnecting client sends the last workspace version it synced and receives
+// only the versions committed after it. The read is a lock-free MVCC snapshot
+// at the metastore, so a reconnect storm never stalls the commit hot path.
+// Routed deployments fence it like every other call: a stale-epoch or
+// wrong-owner request is rejected so the reply always reflects the owning
+// instance's view.
+func (a *API) GetChangesSince(ctx context.Context, workspace string, since uint64) (ChangesReply, error) {
+	if err := a.svc.checkRoute(ctx); err != nil {
+		return ChangesReply{}, err
+	}
+	span := a.svc.obsTracer().StartFromContext(ctx, "metastore.changesSince")
+	span.Annotate("workspace", workspace)
+	ch, err := a.svc.meta.ChangesSince(workspace, since)
+	span.End()
+	if err != nil {
+		return ChangesReply{}, err
+	}
+	return ChangesReply{
+		Workspace: ch.Workspace,
+		Since:     ch.Since,
+		Version:   ch.Version,
+		Full:      ch.Full,
+		Items:     ch.Items,
+	}, nil
 }
 
 // UpdateRing is the Supervisor's rebalance push (@MultiMethod +

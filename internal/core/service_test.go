@@ -166,3 +166,64 @@ func TestWorkspaceOIDStable(t *testing.T) {
 		t.Fatalf("WorkspaceOID changed: %q", WorkspaceOID("abc"))
 	}
 }
+
+func TestGetChangesSinceOverRPC(t *testing.T) {
+	r := newRig(t)
+	if err := r.meta.CreateWorkspace(metastore.Workspace{ID: "ws1", Owner: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range []metastore.ItemVersion{
+		item("ws1", "f1", 1, metastore.Added),
+		item("ws1", "f2", 1, metastore.Added),
+		item("ws1", "f1", 2, metastore.Modified),
+	} {
+		if _, err := r.meta.CommitVersion(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	call := func(since uint64) ChangesReply {
+		t.Helper()
+		var reply ChangesReply
+		if err := r.client.Lookup(ServiceOID).Call("GetChangesSince", &reply, "ws1", since); err != nil {
+			t.Fatal(err)
+		}
+		return reply
+	}
+
+	// Cold start: full live state at the current version.
+	cold := call(0)
+	if !cold.Full || cold.Version != 3 || len(cold.Items) != 2 {
+		t.Fatalf("cold reply: %+v", cold)
+	}
+
+	// Warm reconnect: only the log tail after the cursor, in commit order.
+	warm := call(1)
+	if warm.Full || warm.Version != 3 || len(warm.Items) != 2 {
+		t.Fatalf("warm reply: %+v", warm)
+	}
+	if warm.Items[0].ItemID != "f2" || warm.Items[1].ItemID != "f1" || warm.Items[1].Version != 2 {
+		t.Fatalf("warm tail order: %+v", warm.Items)
+	}
+
+	// Caught up: empty tail at the same version.
+	if up := call(3); up.Full || len(up.Items) != 0 || up.Version != 3 {
+		t.Fatalf("caught-up reply: %+v", up)
+	}
+
+	// Cursor behind the compaction watermark: full-state fallback, flagged.
+	if _, err := r.meta.CompactLog("ws1", 0); err != nil {
+		t.Fatal(err)
+	}
+	fb := call(1)
+	if !fb.Full || fb.Version != 3 || len(fb.Items) != 2 {
+		t.Fatalf("fallback reply: %+v", fb)
+	}
+
+	// Unknown workspace surfaces as a remote error, like GetChanges.
+	var reply ChangesReply
+	err := r.client.Lookup(ServiceOID).Call("GetChangesSince", &reply, "ghost", uint64(0))
+	var remote *omq.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+}

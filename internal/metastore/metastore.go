@@ -11,6 +11,11 @@
 // while commits to distinct workspaces proceed concurrently. An optional
 // write-ahead log makes committed state durable; concurrent committers share
 // its group-commit flush (see wal.go).
+//
+// Reads never take the shard lock: every workspace publishes an immutable
+// MVCC snapshot (copy-on-write item table + append-only change log) through
+// an atomic pointer, installed by the committer with one pointer swap — see
+// mvcc.go and DESIGN §16.
 package metastore
 
 import (
@@ -95,12 +100,13 @@ type itemChain struct {
 func (c *itemChain) current() ItemVersion { return c.versions[len(c.versions)-1] }
 
 // shard holds the workspaces that hash to it. Every invariant the store
-// enforces is workspace-local, so one shard lock covers precedence checks and
-// chain appends for its workspaces.
+// enforces is workspace-local, so one shard lock serializes workspace
+// creation and snapshot installs for its workspaces; the workspace table is
+// published through an atomic pointer (copied on create) so lookups — like
+// every other read — never touch the lock.
 type shard struct {
-	mu         sync.RWMutex
-	workspaces map[string]Workspace
-	items      map[string]map[string]*itemChain // workspace -> itemID -> chain
+	mu sync.RWMutex // writers only: creates, commits, compactions
+	ws atomic.Pointer[wsTable]
 }
 
 // DefaultShards is the shard count used when WithShards is not given.
@@ -114,7 +120,8 @@ type Store struct {
 	now    func() time.Time
 	closed atomic.Bool
 
-	nshards int // WithShards hint, resolved in NewStore
+	nshards      int // WithShards hint, resolved in NewStore
+	logRetention int // WithLogRetention hint, resolved in NewStore
 
 	// Fault injection (nil in production): transaction aborts, delays and
 	// torn WAL writes, rolled per commit.
@@ -122,8 +129,30 @@ type Store struct {
 	fsite string
 	fkeys faults.Keyer
 
+	// MVCC bookkeeping, maintained whether or not a registry is attached:
+	// installs/compactRuns count snapshot swaps and compactions, logEntries
+	// tracks the summed change-log length, lastInstall the newest snapshot's
+	// install time (unix nanos; 0 before the first commit).
+	installs    atomic.Uint64
+	compactRuns atomic.Uint64
+	logEntries  atomic.Int64
+	lastInstall atomic.Int64
+
 	reg        *obs.Registry
 	contention []*obs.Counter // per shard; nil without a registry
+	// Read-path and snapshot counters (nil without a registry): ChangesSince
+	// outcomes, snapshot installs, compaction runs and dropped entries.
+	chTail, chFull, chEmpty, chFallback *obs.Counter
+	snapInstalls, compactions           *obs.Counter
+	compactedEntries                    *obs.Counter
+}
+
+// inc bumps a read-path counter when a registry is attached. Counters are
+// plain atomics, so this keeps the lock-free read path lock-free.
+func (s *Store) inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
 }
 
 // Option configures a Store.
@@ -188,11 +217,15 @@ func (s *Store) injectTx() error {
 // NewStore returns an empty metadata store.
 func NewStore(opts ...Option) *Store {
 	s := &Store{
-		now:     time.Now,
-		nshards: DefaultShards,
+		now:          time.Now,
+		nshards:      DefaultShards,
+		logRetention: DefaultLogRetention,
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.logRetention < 2 {
+		s.logRetention = 2
 	}
 	n := 1
 	for n < s.nshards {
@@ -200,10 +233,10 @@ func NewStore(opts ...Option) *Store {
 	}
 	s.shards = make([]*shard, n)
 	for i := range s.shards {
-		s.shards[i] = &shard{
-			workspaces: make(map[string]Workspace),
-			items:      make(map[string]map[string]*itemChain),
-		}
+		sh := &shard{}
+		t := make(wsTable)
+		sh.ws.Store(&t)
+		s.shards[i] = sh
 	}
 	s.mask = uint32(n - 1)
 	if s.reg != nil {
@@ -212,11 +245,43 @@ func NewStore(opts ...Option) *Store {
 			s.contention[i] = s.reg.Counter("metastore_shard_contention_total", "shard", strconv.Itoa(i))
 		}
 		s.reg.GaugeFunc("metastore_shards", func() float64 { return float64(n) })
+		s.chTail = s.reg.Counter("metastore_changes_since_total", "result", "tail")
+		s.chFull = s.reg.Counter("metastore_changes_since_total", "result", "full")
+		s.chEmpty = s.reg.Counter("metastore_changes_since_total", "result", "empty")
+		s.chFallback = s.reg.Counter("metastore_changes_compaction_fallback_total")
+		s.snapInstalls = s.reg.Counter("metastore_snapshot_installs_total")
+		s.compactions = s.reg.Counter("metastore_log_compactions_total")
+		s.compactedEntries = s.reg.Counter("metastore_log_compacted_entries_total")
+		s.reg.GaugeFunc("metastore_log_entries", func() float64 {
+			return float64(s.logEntries.Load())
+		})
+		s.reg.GaugeFunc("metastore_snapshot_age_seconds", func() float64 {
+			last := s.lastInstall.Load()
+			if last == 0 {
+				return 0
+			}
+			return time.Duration(s.now().UnixNano() - last).Seconds()
+		})
 		if s.wal != nil {
 			s.wal.Instrument(s.reg)
 		}
 	}
 	return s
+}
+
+// SnapshotInstalls reports how many snapshot pointer swaps have been
+// performed since the store opened (one per committing CommitVersion /
+// per-workspace CommitBatch group).
+func (s *Store) SnapshotInstalls() uint64 { return s.installs.Load() }
+
+// Compactions reports how many change-log compactions have run.
+func (s *Store) Compactions() uint64 { return s.compactRuns.Load() }
+
+// lookupWS resolves a workspace without taking any lock.
+func (s *Store) lookupWS(workspace string) (*wsState, bool) {
+	sh := s.shards[s.shardIdx(workspace)]
+	w, ok := (*sh.ws.Load())[workspace]
+	return w, ok
 }
 
 // Shards reports the resolved shard count.
@@ -264,12 +329,20 @@ func (s *Store) CreateWorkspace(ws Workspace) error {
 		sh.mu.Unlock()
 		return ErrClosed
 	}
-	if _, ok := sh.workspaces[ws.ID]; ok {
+	old := sh.ws.Load()
+	if _, ok := (*old)[ws.ID]; ok {
 		sh.mu.Unlock()
 		return fmt.Errorf("metastore: create %q: %w", ws.ID, ErrWorkspaceExists)
 	}
-	sh.workspaces[ws.ID] = ws
-	sh.items[ws.ID] = make(map[string]*itemChain)
+	// Copy-on-create: the table is read lock-free, so publish a new one.
+	next := make(wsTable, len(*old)+1)
+	for id, w := range *old {
+		next[id] = w
+	}
+	st := &wsState{meta: ws}
+	st.snap.Store(emptySnapshot())
+	next[ws.ID] = st
+	sh.ws.Store(&next)
 	var g *walGroup
 	if s.wal != nil {
 		g = s.wal.enqueue([]walEntry{{Op: walWorkspace, Workspace: &ws}})
@@ -282,12 +355,13 @@ func (s *Store) CreateWorkspace(ws Workspace) error {
 }
 
 // WorkspacesFor lists the workspaces a user owns or is a member of —
-// the getWorkspaces operation's backing query.
+// the getWorkspaces operation's backing query. Lock-free: it walks each
+// shard's published workspace table.
 func (s *Store) WorkspacesFor(user string) []Workspace {
 	var out []Workspace
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		for _, ws := range sh.workspaces {
+		for _, w := range *sh.ws.Load() {
+			ws := w.meta
 			if ws.Owner == user {
 				out = append(out, ws)
 				continue
@@ -299,7 +373,6 @@ func (s *Store) WorkspacesFor(user string) []Workspace {
 				}
 			}
 		}
-		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -307,27 +380,22 @@ func (s *Store) WorkspacesFor(user string) []Workspace {
 
 // Workspace fetches a workspace by id.
 func (s *Store) Workspace(id string) (Workspace, error) {
-	sh := s.shards[s.shardIdx(id)]
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	ws, ok := sh.workspaces[id]
+	w, ok := s.lookupWS(id)
 	if !ok {
 		return Workspace{}, fmt.Errorf("metastore: %q: %w", id, ErrNoWorkspace)
 	}
-	return ws, nil
+	return w.meta, nil
 }
 
 // Current returns the latest version of an item, with ok=false when the
-// item has never been committed (Algorithm 1 line 4).
+// item has never been committed (Algorithm 1 line 4). Lock-free snapshot
+// read.
 func (s *Store) Current(workspace, itemID string) (ItemVersion, bool, error) {
-	sh := s.shards[s.shardIdx(workspace)]
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	chains, ok := sh.items[workspace]
+	w, ok := s.lookupWS(workspace)
 	if !ok {
 		return ItemVersion{}, false, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
 	}
-	chain, ok := chains[itemID]
+	chain, ok := w.snap.Load().items[itemID]
 	if !ok {
 		return ItemVersion{}, false, nil
 	}
@@ -358,7 +426,12 @@ func (s *Store) CommitVersion(v ItemVersion) (ItemVersion, error) {
 		sh.mu.Unlock()
 		return ItemVersion{}, ErrClosed
 	}
-	committed, err := sh.commit(v, s.now)
+	wr, err := sh.writeTo(s, v.Workspace)
+	if err != nil {
+		sh.mu.Unlock()
+		return ItemVersion{}, err
+	}
+	committed, err := wr.commit(v, s.now)
 	if err != nil {
 		sh.mu.Unlock()
 		return committed, err
@@ -367,6 +440,7 @@ func (s *Store) CommitVersion(v ItemVersion) (ItemVersion, error) {
 	if s.wal != nil {
 		g = s.wal.enqueue([]walEntry{{Op: walVersion, Version: &committed}})
 	}
+	wr.install()
 	sh.mu.Unlock()
 	if g != nil {
 		if err := g.wait(); err != nil {
@@ -374,46 +448,6 @@ func (s *Store) CommitVersion(v ItemVersion) (ItemVersion, error) {
 		}
 	}
 	return committed, nil
-}
-
-// commit applies the precedence check and append for one proposal. Caller
-// holds sh.mu.
-func (sh *shard) commit(v ItemVersion, now func() time.Time) (ItemVersion, error) {
-	chains, ok := sh.items[v.Workspace]
-	if !ok {
-		return ItemVersion{}, fmt.Errorf("metastore: commit to %q: %w", v.Workspace, ErrNoWorkspace)
-	}
-	if v.CommittedAt.IsZero() {
-		v.CommittedAt = now()
-	}
-	chain, exists := chains[v.ItemID]
-	if !exists {
-		if v.Version != 1 {
-			return ItemVersion{}, fmt.Errorf("metastore: %s v%d on unknown item: %w", v.ItemID, v.Version, ErrVersionConflict)
-		}
-		chains[v.ItemID] = &itemChain{versions: []ItemVersion{v}}
-		return v, nil
-	}
-	cur := chain.current()
-	if v.Version != cur.Version+1 {
-		// Replay detection: an at-least-once transport (MQ redelivery after
-		// an instance crash, proxy retry, client retransmission) can re-submit
-		// a proposal that already committed. Re-acknowledging it keeps the
-		// duplicate from surfacing as a spurious conflict. Only proposals
-		// carrying their writer's DeviceID can be identified as replays;
-		// anonymous proposals keep strict first-committer-wins conflicts.
-		if v.DeviceID != "" && v.Version >= 1 && v.Version <= cur.Version {
-			prior := chain.versions[v.Version-1]
-			if prior.DeviceID == v.DeviceID && prior.Checksum == v.Checksum &&
-				prior.Status == v.Status && prior.Path == v.Path &&
-				sameChunks(prior.Chunks, v.Chunks) {
-				return prior, nil
-			}
-		}
-		return cur, fmt.Errorf("metastore: %s proposed v%d over v%d: %w", v.ItemID, v.Version, cur.Version, ErrVersionConflict)
-	}
-	chain.versions = append(chain.versions, v)
-	return v, nil
 }
 
 // sameChunks reports elementwise equality of two chunk fingerprint lists.
@@ -476,10 +510,15 @@ func (s *Store) CommitBatch(proposals []ItemVersion) ([]BatchResult, error) {
 			sh.mu.Unlock()
 			return nil, ErrClosed
 		}
+		wr, werr := sh.writeTo(s, g.ws)
+		if werr != nil {
+			sh.mu.Unlock()
+			return nil, werr
+		}
 		var entries []walEntry
 		abort := error(nil)
 		for _, i := range g.idxs {
-			committed, err := sh.commit(proposals[i], s.now)
+			committed, err := wr.commit(proposals[i], s.now)
 			if err != nil {
 				if errors.Is(err, ErrVersionConflict) {
 					results[i] = BatchResult{Committed: false, Version: committed}
@@ -497,6 +536,10 @@ func (s *Store) CommitBatch(proposals []ItemVersion) ([]BatchResult, error) {
 		if len(entries) > 0 {
 			flushes = append(flushes, s.wal.enqueue(entries))
 		}
+		// One pointer swap publishes the whole group (even on a mid-group
+		// abort, what committed before the abort stays committed — matching
+		// the WAL records already enqueued above).
+		wr.install()
 		sh.mu.Unlock()
 		if abort != nil {
 			return nil, abort
@@ -511,15 +554,14 @@ func (s *Store) CommitBatch(proposals []ItemVersion) ([]BatchResult, error) {
 }
 
 // History returns the full version chain of an item, oldest first.
+// Lock-free snapshot read: the chain structs are immutable, so the copy is
+// taken from a stable view.
 func (s *Store) History(workspace, itemID string) ([]ItemVersion, error) {
-	sh := s.shards[s.shardIdx(workspace)]
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	chains, ok := sh.items[workspace]
+	w, ok := s.lookupWS(workspace)
 	if !ok {
 		return nil, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
 	}
-	chain, ok := chains[itemID]
+	chain, ok := w.snap.Load().items[itemID]
 	if !ok {
 		return nil, fmt.Errorf("metastore: %s/%s: %w", workspace, itemID, ErrNoItem)
 	}
@@ -530,23 +572,42 @@ func (s *Store) History(workspace, itemID string) ([]ItemVersion, error) {
 
 // State returns the latest version of every non-deleted item in a
 // workspace — the costly getChanges snapshot clients fetch at startup.
+// Lock-free: the whole reply is computed from one immutable snapshot, so a
+// concurrent CommitBatch is seen entirely or not at all.
 func (s *Store) State(workspace string) ([]ItemVersion, error) {
-	sh := s.shards[s.shardIdx(workspace)]
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	chains, ok := sh.items[workspace]
+	sn, err := s.snapshotOf(workspace)
+	if err != nil {
+		return nil, err
+	}
+	return sn.live(), nil
+}
+
+// StateAt returns the live state together with the workspace version it is
+// consistent at — what a client records as its resync cursor.
+func (s *Store) StateAt(workspace string) ([]ItemVersion, uint64, error) {
+	sn, err := s.snapshotOf(workspace)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sn.live(), sn.version, nil
+}
+
+// CommitVersionOf reports the workspace's current committed version counter.
+func (s *Store) CommitVersionOf(workspace string) (uint64, error) {
+	sn, err := s.snapshotOf(workspace)
+	if err != nil {
+		return 0, err
+	}
+	return sn.version, nil
+}
+
+// snapshotOf loads the workspace's current snapshot, lock-free.
+func (s *Store) snapshotOf(workspace string) (*snapshot, error) {
+	w, ok := s.lookupWS(workspace)
 	if !ok {
 		return nil, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
 	}
-	var out []ItemVersion
-	for _, chain := range chains {
-		cur := chain.current()
-		if cur.Status != Deleted {
-			out = append(out, cur)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ItemID < out[j].ItemID })
-	return out, nil
+	return w.snap.Load(), nil
 }
 
 // ItemCount reports the number of live (non-deleted) items in a workspace.

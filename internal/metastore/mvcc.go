@@ -1,0 +1,332 @@
+package metastore
+
+// MVCC read path (DESIGN §16). Every workspace keeps an immutable snapshot —
+// a copy-on-write item table plus an append-only change log — published
+// through one atomic pointer. Writers build the next snapshot under their
+// shard lock and install it with a single pointer swap, so a CommitBatch
+// becomes visible all-or-nothing; readers (State, Current, History,
+// ChangesSince) load the pointer and walk structures that will never mutate
+// beneath them, acquiring no lock at all. A reconnecting client replays the
+// log tail ("changes since v") instead of re-scanning the workspace; once
+// the requested version has been compacted away, the reply falls back to the
+// full live state and says so.
+//
+// Immutability fine print: successive snapshots share backing arrays. A
+// writer appends the next version at index len(slice) of the newest
+// snapshot's chain/log slice; every published snapshot's slice header bounds
+// readers to [0, len), so the append touches memory no reader of an older
+// snapshot can reach, and the atomic pointer store publishing the new
+// snapshot is the happens-before edge that makes the appended element
+// visible to its readers. Compaction copies the retained tail into a fresh
+// array, after which the old one is never extended again.
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLogRetention is the per-workspace change-log bound used when
+// WithLogRetention is not given: once the log exceeds it, the oldest half is
+// compacted away and the watermark advances.
+const DefaultLogRetention = 4096
+
+// WithLogRetention bounds the per-workspace change log to at most n entries
+// (minimum 2): exceeding the bound compacts the log down to n/2, advancing
+// the watermark. Clients whose resync version predates the watermark fall
+// back to a full-state reply.
+func WithLogRetention(n int) Option {
+	return func(s *Store) { s.logRetention = n }
+}
+
+// snapshot is one immutable read view of a workspace. version counts every
+// committed ItemVersion since workspace creation; log holds the entries
+// (logStart, version] in commit order, so entry i carries workspace version
+// logStart+1+i. Versions at or below logStart have been compacted away.
+type snapshot struct {
+	version  uint64
+	logStart uint64
+	items    map[string]*itemChain
+	log      []ItemVersion
+}
+
+// emptySnapshot is the version-0 view every workspace starts from.
+func emptySnapshot() *snapshot {
+	return &snapshot{items: make(map[string]*itemChain)}
+}
+
+// live returns the latest version of every non-deleted item, sorted by
+// ItemID — the full-state reply.
+func (sn *snapshot) live() []ItemVersion {
+	var out []ItemVersion
+	for _, chain := range sn.items {
+		cur := chain.current()
+		if cur.Status != Deleted {
+			out = append(out, cur)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ItemID < out[j].ItemID })
+	return out
+}
+
+// wsState is one workspace: its immutable registration record and the
+// atomically published snapshot pointer. meta never changes after creation,
+// so reads need no lock anywhere in this struct.
+type wsState struct {
+	meta Workspace
+	snap atomic.Pointer[snapshot]
+}
+
+// wsTable maps workspace ID to state. The table itself is published through
+// an atomic pointer per shard and copied on workspace creation, so lookups
+// are lock-free too.
+type wsTable map[string]*wsState
+
+// Changes is a ChangesSince reply: the committed entries after Since, or —
+// when Since predates the compaction watermark (or the workspace has no log
+// covering it) — the full live state with Full set.
+type Changes struct {
+	Workspace string `json:"workspace"`
+	// Since echoes the requested version.
+	Since uint64 `json:"since"`
+	// Version is the workspace version this reply is consistent at: a
+	// prefix-consistent committed snapshot, never a torn batch.
+	Version uint64 `json:"version"`
+	// Full reports that Items is the complete live state (sorted by ItemID)
+	// rather than a log tail: the requested version was compacted away, lies
+	// in the future of this replica, or the caller asked from zero.
+	Full bool `json:"full,omitempty"`
+	// Items is the log tail in commit order (including tombstones) when Full
+	// is false, or the live state when Full is true.
+	Items []ItemVersion `json:"items,omitempty"`
+}
+
+// ChangesSince returns everything committed to the workspace after version
+// since, lock-free at a consistent snapshot. since == 0 always yields a full
+// state reply (a cold client wants the live items, not the whole history);
+// a since below the compaction watermark falls back to full state with Full
+// set; a since at or above the snapshot version returns an empty tail at the
+// snapshot's version.
+func (s *Store) ChangesSince(workspace string, since uint64) (Changes, error) {
+	w, ok := s.lookupWS(workspace)
+	if !ok {
+		return Changes{}, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
+	}
+	sn := w.snap.Load()
+	c := Changes{Workspace: workspace, Since: since, Version: sn.version}
+	switch {
+	case since >= sn.version && since > 0:
+		// Nothing new. A since from the future (a replica that has seen a
+		// newer view than this one should be unreachable on a single store,
+		// but routed failover makes it cheap to be defensive) degrades to
+		// the full state so the caller can converge.
+		if since > sn.version {
+			c.Full = true
+			c.Items = sn.live()
+			s.inc(s.chFull)
+			return c, nil
+		}
+		s.inc(s.chEmpty)
+		return c, nil
+	case since >= sn.logStart && since > 0:
+		tail := sn.log[since-sn.logStart:]
+		c.Items = make([]ItemVersion, len(tail))
+		copy(c.Items, tail)
+		s.inc(s.chTail)
+		return c, nil
+	default:
+		// Cold start (since == 0) or compacted away: full live state.
+		c.Full = true
+		c.Items = sn.live()
+		if since > 0 {
+			s.inc(s.chFallback)
+		}
+		s.inc(s.chFull)
+		return c, nil
+	}
+}
+
+// CompactWatermark reports the workspace's compaction watermark: the highest
+// version no longer served from the change log (0 = the log reaches back to
+// workspace creation).
+func (s *Store) CompactWatermark(workspace string) (uint64, error) {
+	w, ok := s.lookupWS(workspace)
+	if !ok {
+		return 0, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
+	}
+	return w.snap.Load().logStart, nil
+}
+
+// CompactLog force-compacts the workspace's change log down to at most keep
+// entries (keep < 0 is treated as 0) and returns the new watermark. The
+// automatic retention policy does the same on the commit path; this exported
+// form exists for operational trimming and for the test/fuzz harnesses that
+// race compaction against readers.
+func (s *Store) CompactLog(workspace string, keep int) (uint64, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	sh := s.lockShard(s.shardIdx(workspace))
+	defer sh.mu.Unlock()
+	w, ok := (*sh.ws.Load())[workspace]
+	if !ok {
+		return 0, fmt.Errorf("metastore: %q: %w", workspace, ErrNoWorkspace)
+	}
+	sn := w.snap.Load()
+	if len(sn.log) <= keep {
+		return sn.logStart, nil
+	}
+	ns := &snapshot{
+		version:  sn.version,
+		logStart: sn.version - uint64(keep),
+		items:    sn.items,
+		log:      append([]ItemVersion(nil), sn.log[len(sn.log)-keep:]...),
+	}
+	s.noteCompaction(len(sn.log) - keep)
+	s.logEntries.Add(int64(keep) - int64(len(sn.log)))
+	w.snap.Store(ns)
+	return ns.logStart, nil
+}
+
+// wsWrite builds one workspace's next snapshot under the shard lock: the
+// write side of MVCC. commit applies Algorithm 1's precedence check against
+// the working state (so later proposals of a batch see earlier winners) and
+// install publishes everything committed with one pointer swap — or swaps
+// nothing when nothing committed.
+type wsWrite struct {
+	st   *Store
+	w    *wsState
+	base *snapshot
+	// items is nil until the first successful commit copies the base table;
+	// install is a no-op while it stays nil.
+	items    map[string]*itemChain
+	log      []ItemVersion
+	version  uint64
+	appended int
+}
+
+// writeTo opens the write side of a workspace. Caller holds the shard lock.
+func (sh *shard) writeTo(st *Store, workspace string) (*wsWrite, error) {
+	w, ok := (*sh.ws.Load())[workspace]
+	if !ok {
+		return nil, fmt.Errorf("metastore: commit to %q: %w", workspace, ErrNoWorkspace)
+	}
+	base := w.snap.Load()
+	return &wsWrite{st: st, w: w, base: base, log: base.log, version: base.version}, nil
+}
+
+// chain returns the working chain for an item.
+func (wr *wsWrite) chain(itemID string) (*itemChain, bool) {
+	if wr.items != nil {
+		c, ok := wr.items[itemID]
+		return c, ok
+	}
+	c, ok := wr.base.items[itemID]
+	return c, ok
+}
+
+// ensureCopied copies the base item table once, on the first write.
+func (wr *wsWrite) ensureCopied() {
+	if wr.items != nil {
+		return
+	}
+	wr.items = make(map[string]*itemChain, len(wr.base.items)+1)
+	for id, c := range wr.base.items {
+		wr.items[id] = c
+	}
+}
+
+// commit applies the precedence check and append for one proposal:
+//
+//   - item unknown  and proposed Version == 1  → committed (store_new_object)
+//   - current+1 == proposed Version            → committed (store_new_version)
+//   - anything else                            → ErrVersionConflict carrying
+//     the authoritative current version (or a replay re-ack, see below).
+func (wr *wsWrite) commit(v ItemVersion, now func() time.Time) (ItemVersion, error) {
+	if v.CommittedAt.IsZero() {
+		v.CommittedAt = now()
+	}
+	chain, exists := wr.chain(v.ItemID)
+	if !exists {
+		if v.Version != 1 {
+			return ItemVersion{}, fmt.Errorf("metastore: %s v%d on unknown item: %w", v.ItemID, v.Version, ErrVersionConflict)
+		}
+		wr.append(v, &itemChain{versions: []ItemVersion{v}})
+		return v, nil
+	}
+	cur := chain.current()
+	if v.Version != cur.Version+1 {
+		// Replay detection: an at-least-once transport (MQ redelivery after
+		// an instance crash, proxy retry, client retransmission) can re-submit
+		// a proposal that already committed. Re-acknowledging it keeps the
+		// duplicate from surfacing as a spurious conflict. Only proposals
+		// carrying their writer's DeviceID can be identified as replays;
+		// anonymous proposals keep strict first-committer-wins conflicts.
+		if v.DeviceID != "" && v.Version >= 1 && v.Version <= cur.Version {
+			prior := chain.versions[v.Version-1]
+			if prior.DeviceID == v.DeviceID && prior.Checksum == v.Checksum &&
+				prior.Status == v.Status && prior.Path == v.Path &&
+				sameChunks(prior.Chunks, v.Chunks) {
+				return prior, nil
+			}
+		}
+		return cur, fmt.Errorf("metastore: %s proposed v%d over v%d: %w", v.ItemID, v.Version, cur.Version, ErrVersionConflict)
+	}
+	wr.append(v, &itemChain{versions: append(chain.versions, v)})
+	return v, nil
+}
+
+// append records one committed version in the working state.
+func (wr *wsWrite) append(v ItemVersion, chain *itemChain) {
+	wr.ensureCopied()
+	wr.items[v.ItemID] = chain
+	wr.log = append(wr.log, v)
+	wr.version++
+	wr.appended++
+}
+
+// install publishes the working state as the workspace's next snapshot —
+// the one pointer swap of the commit path — applying the retention policy
+// first. Caller still holds the shard lock. A wsWrite that committed
+// nothing installs nothing.
+func (wr *wsWrite) install() {
+	if wr.items == nil {
+		return
+	}
+	ns := &snapshot{
+		version:  wr.version,
+		logStart: wr.base.logStart,
+		items:    wr.items,
+		log:      wr.log,
+	}
+	if max := wr.st.logRetention; len(ns.log) > max {
+		keep := max / 2
+		if keep < 1 {
+			keep = 1
+		}
+		dropped := len(ns.log) - keep
+		ns.log = append([]ItemVersion(nil), ns.log[dropped:]...)
+		ns.logStart = ns.version - uint64(keep)
+		wr.st.noteCompaction(dropped)
+	}
+	wr.st.logEntries.Add(int64(len(ns.log)) - int64(len(wr.base.log)))
+	wr.st.lastInstall.Store(wr.st.now().UnixNano())
+	wr.st.installs.Add(1)
+	if wr.st.snapInstalls != nil {
+		wr.st.snapInstalls.Inc()
+	}
+	wr.w.snap.Store(ns)
+}
+
+// noteCompaction records one compaction dropping n log entries.
+func (s *Store) noteCompaction(n int) {
+	s.compactRuns.Add(1)
+	if s.compactions != nil {
+		s.compactions.Inc()
+		s.compactedEntries.Add(uint64(n))
+	}
+}

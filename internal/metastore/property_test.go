@@ -407,3 +407,204 @@ func TestConcurrentSameWorkspaceInvariants(t *testing.T) {
 		}
 	}
 }
+
+// --- Snapshot-isolation harness for the MVCC read path (DESIGN §16) ---
+//
+// Writers commit batches that move EVERY item of their workspace to the same
+// version k (checksum "b<k>"), so the serial reference at any committed
+// version is trivial to state: all items at one version. A reader that ever
+// observes a mixed state saw a torn batch — exactly what the atomic snapshot
+// swap must make impossible. ChangesSince replies are checked against the
+// same model: a tail must be contiguous, grouped in whole batches, and end
+// at a batch boundary; a Full reply must be a clean batch-aligned state. The
+// log retention is kept tiny so compaction (automatic and forced) runs
+// concurrently with the readers, exercising the full-state fallback under
+// race as well.
+
+// siCheckState verifies one observed state against the all-items-at-one-
+// version model and returns the batch number it is consistent at.
+func siCheckState(t *testing.T, ws string, items int, state []ItemVersion) uint64 {
+	t.Helper()
+	if len(state) == 0 {
+		return 0
+	}
+	if len(state) != items {
+		t.Errorf("%s: state has %d items, want 0 or %d: torn batch", ws, len(state), items)
+		return 0
+	}
+	k := state[0].Version
+	for _, v := range state {
+		if v.Version != k || v.Checksum != fmt.Sprintf("b%d", k) {
+			t.Errorf("%s: mixed state: item %s at v%d (%s), first item at v%d — torn batch visible",
+				ws, v.ItemID, v.Version, v.Checksum, k)
+			return k
+		}
+	}
+	return k
+}
+
+func TestSnapshotIsolationUnderConcurrentCommits(t *testing.T) {
+	const (
+		workspaces = 4
+		items      = 8
+		batches    = 120
+		readers    = 6
+	)
+	// Retention far below items*batches, and not batch-aligned, so automatic
+	// compaction keeps trimming mid-run and its watermark can land mid-batch.
+	s := NewStore(WithShards(8), WithLogRetention(42))
+	wsID := func(w int) string { return fmt.Sprintf("ws-%d", w) }
+	for w := 0; w < workspaces; w++ {
+		if err := s.CreateWorkspace(Workspace{ID: wsID(w), Owner: "u"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var writers, aux sync.WaitGroup
+
+	// N writers: one per workspace, each committing whole-workspace batches.
+	for w := 0; w < workspaces; w++ {
+		w := w
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for k := uint64(1); k <= batches; k++ {
+				batch := make([]ItemVersion, items)
+				for i := range batch {
+					status := Modified
+					if k == 1 {
+						status = Added
+					}
+					batch[i] = ItemVersion{
+						Workspace: wsID(w), ItemID: fmt.Sprintf("it-%d", i),
+						Path: fmt.Sprintf("/it-%d", i), Version: k, Status: status,
+						Checksum: fmt.Sprintf("b%d", k),
+					}
+				}
+				res, err := s.CommitBatch(batch)
+				if err != nil {
+					t.Errorf("ws-%d batch %d: %v", w, k, err)
+					return
+				}
+				for _, r := range res {
+					if !r.Committed {
+						t.Errorf("ws-%d batch %d: unexpected conflict at v%d", w, k, r.Version.Version)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// A compactor forcing extra watermark movement while readers are mid-read.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for w := 0; w < workspaces; w++ {
+				if _, err := s.CompactLog(wsID(w), items/2); err != nil {
+					t.Errorf("compact %s: %v", wsID(w), err)
+					return
+				}
+			}
+		}
+	}()
+
+	// M readers: loop State and ChangesSince against every workspace,
+	// checking snapshot isolation and per-reader monotonicity.
+	for g := 0; g < readers; g++ {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			lastK := make([]uint64, workspaces)  // newest batch seen via State
+			cursor := make([]uint64, workspaces) // ChangesSince resync cursor
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for w := 0; w < workspaces; w++ {
+					state, err := s.State(wsID(w))
+					if err != nil {
+						t.Errorf("state %s: %v", wsID(w), err)
+						return
+					}
+					k := siCheckState(t, wsID(w), items, state)
+					if k < lastK[w] {
+						t.Errorf("%s: State went back in time: batch %d after %d", wsID(w), k, lastK[w])
+						return
+					}
+					lastK[w] = k
+
+					ch, err := s.ChangesSince(wsID(w), cursor[w])
+					if err != nil {
+						t.Errorf("changesSince %s: %v", wsID(w), err)
+						return
+					}
+					if ch.Version < cursor[w] {
+						t.Errorf("%s: ChangesSince regressed: version %d below cursor %d", wsID(w), ch.Version, cursor[w])
+						return
+					}
+					if ch.Version%items != 0 {
+						t.Errorf("%s: reply version %d not batch-aligned: torn batch visible", wsID(w), ch.Version)
+						return
+					}
+					if ch.Full {
+						siCheckState(t, wsID(w), items, ch.Items)
+					} else {
+						if uint64(len(ch.Items)) != ch.Version-cursor[w] {
+							t.Errorf("%s: tail of %d entries does not cover (%d, %d]",
+								wsID(w), len(ch.Items), cursor[w], ch.Version)
+							return
+						}
+						for j, e := range ch.Items {
+							v := cursor[w] + 1 + uint64(j) // workspace version of this entry
+							batch := (v-1)/items + 1
+							if e.Version != batch || e.Checksum != fmt.Sprintf("b%d", batch) {
+								t.Errorf("%s: tail entry %d (ws version %d) is item v%d (%s), want batch %d",
+									wsID(w), j, v, e.Version, e.Checksum, batch)
+								return
+							}
+						}
+					}
+					cursor[w] = ch.Version
+				}
+			}
+		}()
+	}
+
+	writers.Wait()
+	close(stop)
+	aux.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Final state: the serial reference at the last committed version.
+	for w := 0; w < workspaces; w++ {
+		state, version, err := s.StateAt(wsID(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if version != uint64(items*batches) {
+			t.Fatalf("%s: final version %d, want %d", wsID(w), version, items*batches)
+		}
+		if k := siCheckState(t, wsID(w), items, state); k != batches {
+			t.Fatalf("%s: final state at batch %d, want %d", wsID(w), k, batches)
+		}
+		ch, err := s.ChangesSince(wsID(w), version)
+		if err != nil || ch.Full || len(ch.Items) != 0 || ch.Version != version {
+			t.Fatalf("%s: caught-up reply: %+v err=%v", wsID(w), ch, err)
+		}
+	}
+	if s.Compactions() == 0 {
+		t.Fatal("retention never compacted: the fallback path was not exercised")
+	}
+}

@@ -376,7 +376,13 @@ func (s *Store) replayEntry(e walEntry) error {
 		if e.Version != nil {
 			sh := s.shards[s.shardIdx(e.Version.Workspace)]
 			sh.mu.Lock()
-			_, err := sh.commit(*e.Version, s.now)
+			wr, werr := sh.writeTo(s, e.Version.Workspace)
+			if werr != nil {
+				sh.mu.Unlock()
+				return werr
+			}
+			_, err := wr.commit(*e.Version, s.now)
+			wr.install()
 			sh.mu.Unlock()
 			if err != nil && !errors.Is(err, ErrVersionConflict) {
 				return err

@@ -352,6 +352,30 @@ func TestRecoverTornBatchMatrix(t *testing.T) {
 				t.Fatalf("recovered history diverges from reference model\n got:  %+v\n want: %+v", gotHist, wantHist)
 			}
 
+			// WAL replay must rebuild an identical MVCC snapshot, not just
+			// identical query answers: same workspace version, same change log
+			// reaching back to creation (compaction state is volatile, so the
+			// watermark resets to 0 on recovery), same ChangesSince replies at
+			// every cursor.
+			_, gotV, err := rec.StateAt("ws")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotV != tc.survive {
+				t.Fatalf("recovered workspace version %d, want %d", gotV, tc.survive)
+			}
+			if wm, _ := rec.CompactWatermark("ws"); wm != 0 {
+				t.Fatalf("recovered watermark %d, want 0 (compaction state is volatile)", wm)
+			}
+			for since := uint64(0); since <= tc.survive+1; since++ {
+				gotCh, gErr := rec.ChangesSince("ws", since)
+				wantCh, wErr := ref.ChangesSince("ws", since)
+				if (gErr == nil) != (wErr == nil) || !reflect.DeepEqual(gotCh, wantCh) {
+					t.Fatalf("ChangesSince(%d) diverges after recovery\n got:  %+v (%v)\n want: %+v (%v)",
+						since, gotCh, gErr, wantCh, wErr)
+				}
+			}
+
 			// The truncated log must stay appendable and re-recoverable.
 			if _, err := rec.CommitVersion(mk(tc.survive + 1)); err != nil {
 				t.Fatalf("commit after recovery: %v", err)

@@ -10,7 +10,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern='^(BenchmarkFig7|BenchmarkCommitParallelWorkspaces|BenchmarkMQPublishThroughput|BenchmarkTransferPipeline|BenchmarkMultiInstanceCommit|BenchmarkFleetObs)'
+pattern='^(BenchmarkFig7|BenchmarkCommitParallelWorkspaces|BenchmarkReadWriteMix|BenchmarkMQPublishThroughput|BenchmarkTransferPipeline|BenchmarkMultiInstanceCommit|BenchmarkFleetObs)'
 benchtime="${BENCHTIME:-1x}"
 history="${BENCH_HISTORY:-dev/bench/history.jsonl}"
 

@@ -53,6 +53,17 @@ go test -run '^$' -fuzz '^FuzzFrameCodec$' -fuzztime 10s ./internal/wire/
 echo "==> fuzz smoke: FuzzWALReplay (10s)"
 go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 10s ./internal/metastore/
 
+# The MVCC read path's reply correctness under random commit/compact/read
+# interleavings, checked against a serial reference log.
+echo "==> fuzz smoke: FuzzChangesSince (10s)"
+go test -run '^$' -fuzz '^FuzzChangesSince$' -fuzztime 10s ./internal/metastore/
+
+# The snapshot-isolation harness and the linearizability harness are the
+# proof obligations of the lock-free read path (DESIGN §16): re-run both
+# under the race detector, one extra count on top of the full-suite pass.
+echo "==> snapshot isolation + linearizability harnesses (race)"
+go test -race -count=1 -run '^(TestSnapshotIsolationUnderConcurrentCommits|TestShardedStoreMatchesSerialReference|TestConcurrentSameWorkspaceInvariants)$' ./internal/metastore/
+
 # The benchmark-history parser eats whatever landed in history.jsonl —
 # including torn lines from crashed runs — so it gets its own fuzz smoke, and
 # the trend gate's verdict table is re-run explicitly: it is the arbiter that
