@@ -9,6 +9,7 @@
 package stacksync_test
 
 import (
+	"bytes"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"stacksync/internal/mq"
 	"stacksync/internal/obs"
 	"stacksync/internal/trace"
+	"stacksync/internal/wire"
 )
 
 // benchTrace is a reduced §5.2.1 trace: same generator, same distributions,
@@ -444,6 +446,7 @@ func BenchmarkMQPublishThroughput(b *testing.B) {
 		for i := range pubs {
 			pubs[i] = mq.Publication{Exchange: "fan", Message: mq.Message{Body: payload}}
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if batched {
@@ -463,6 +466,44 @@ func BenchmarkMQPublishThroughput(b *testing.B) {
 	}
 	b.Run("single", func(b *testing.B) { run(b, false) })
 	b.Run("batch", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkWireFrameCodec measures frame encode+decode throughput for the
+// binary (v2) framing against the legacy JSON framing over an in-memory
+// stream — the broker→proxy wire hot path minus the TCP stack. The frame
+// shape is a typical delivery: routed headers plus a 256-byte body.
+// benchcmp gates on the binary leg's frames/s and allocs/op.
+func BenchmarkWireFrameCodec(b *testing.B) {
+	frame := &wire.Frame{
+		Op: wire.OpDeliver, Queue: "sync.requests", ConsumerID: "c1",
+		DeliveryID: 42, MessageID: "m-12345",
+		Headers:    map[string]string{"codec": "bin", "x-route-key": "ws-7"},
+		Body:       make([]byte, 256),
+		Persistent: true,
+	}
+	run := func(b *testing.B, format wire.Format) {
+		var buf bytes.Buffer
+		w := wire.NewWriterFormat(&buf, format)
+		r := wire.NewReader(&buf)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.Write(frame); err != nil {
+				b.Fatal(err)
+			}
+			f, err := r.Read()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if f.Op != wire.OpDeliver || len(f.Body) != 256 {
+				b.Fatalf("bad frame: %+v", f)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	}
+	b.Run("json", func(b *testing.B) { run(b, wire.FormatJSON) })
+	b.Run("binary", func(b *testing.B) { run(b, wire.FormatBinary) })
 }
 
 // readWriteMix drives 4 writers committing flat out against the MVCC store

@@ -1,5 +1,5 @@
 window.BENCHMARK_DATA = {
-  "lastUpdate": 1786158000023,
+  "lastUpdate": 1786162531266,
   "repoUrl": "stacksync",
   "entries": {
     "micro": [
@@ -1903,6 +1903,396 @@ window.BENCHMARK_DATA = {
             "name": "BenchmarkReadWriteMix/readers=256",
             "value": 4916,
             "unit": "reads/s"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "44f2eb20744e4a6aa83d99ad4763c32b7e7ad7fb",
+          "dirty": true,
+          "host": "vm",
+          "goVersion": "go1.24.0"
+        },
+        "date": 1786162531266,
+        "benches": [
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 972187,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7aTraceGeneration",
+            "value": 0.9576,
+            "unit": "P(size\u003c=4MB)"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 2405093482,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 1.275,
+            "unit": "dropbox-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7bProtocolOverhead",
+            "value": 0.9422,
+            "unit": "stacksync-overhead-x"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1233775425,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 1566,
+            "unit": "dropbox-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7cControlTraffic",
+            "value": 141.6,
+            "unit": "stacksync-ADD-ctl-KB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 1194230502,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.02598,
+            "unit": "dropbox-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7dStorageTraffic",
+            "value": 0.453,
+            "unit": "stacksync-UPD-stor-MB"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 856275775,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 15.04,
+            "unit": "ADD-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7eSyncTime",
+            "value": 0.1833,
+            "unit": "REMOVE-median-ms",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 3668685298,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 18.41,
+            "unit": "128KB-ms"
+          },
+          {
+            "name": "BenchmarkFig7fSizeSweep",
+            "value": 897.4,
+            "unit": "8MB-ms"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 63344938,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/serial",
+            "value": 8083,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 14917111,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=1",
+            "value": 34323,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 14581726,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=4",
+            "value": 35112,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 17462316,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkCommitParallelWorkspaces/shards=16",
+            "value": 29320,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 290300892,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/serial",
+            "value": 3.65,
+            "unit": "MB/s"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 73562124,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkTransferPipeline/pipelined",
+            "value": 15.18,
+            "unit": "MB/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1115052625,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 36007,
+            "unit": "commits/min"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=1",
+            "value": 1.449,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 1112795489,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 35990,
+            "unit": "commits/min",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMultiInstanceCommit/instances=4",
+            "value": 1.319,
+            "unit": "p99-ms"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 924233,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 1082,
+            "unit": "scrapes/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 386520,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkFleetObs",
+            "value": 151,
+            "unit": "allocs/op",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 45716,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 1399948,
+            "unit": "msgs/s"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 57672,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/single",
+            "value": 85,
+            "unit": "allocs/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 36574,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 1749877,
+            "unit": "msgs/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 57672,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkMQPublishThroughput/batch",
+            "value": 85,
+            "unit": "allocs/op",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkWireFrameCodec/json",
+            "value": 101027,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkWireFrameCodec/json",
+            "value": 9898,
+            "unit": "frames/s"
+          },
+          {
+            "name": "BenchmarkWireFrameCodec/json",
+            "value": 18040,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkWireFrameCodec/json",
+            "value": 177,
+            "unit": "allocs/op"
+          },
+          {
+            "name": "BenchmarkWireFrameCodec/binary",
+            "value": 22020,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkWireFrameCodec/binary",
+            "value": 45413,
+            "unit": "frames/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkWireFrameCodec/binary",
+            "value": 1232,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkWireFrameCodec/binary",
+            "value": 13,
+            "unit": "allocs/op",
+            "dir": "lower"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 196874194,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 166441,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=0",
+            "value": 0,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 189146676,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 173241,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=4",
+            "value": 116.3,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 185840789,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 176323,
+            "unit": "commits/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=32",
+            "value": 635,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 193126165,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 169671,
+            "unit": "commits/s",
+            "dir": "higher"
+          },
+          {
+            "name": "BenchmarkReadWriteMix/readers=256",
+            "value": 5623,
+            "unit": "reads/s"
+          },
+          {
+            "name": "BenchmarkPublishDisabledTracer/bare",
+            "value": 35411,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkPublishDisabledTracer/bare",
+            "value": 8736,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkPublishDisabledTracer/bare",
+            "value": 109,
+            "unit": "allocs/op"
+          },
+          {
+            "name": "BenchmarkPublishDisabledTracer/routed-headers",
+            "value": 15132,
+            "unit": "ns/op"
+          },
+          {
+            "name": "BenchmarkPublishDisabledTracer/routed-headers",
+            "value": 3520,
+            "unit": "B/op"
+          },
+          {
+            "name": "BenchmarkPublishDisabledTracer/routed-headers",
+            "value": 15,
+            "unit": "allocs/op",
+            "dir": "lower"
           }
         ]
       }

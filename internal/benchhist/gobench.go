@@ -31,6 +31,10 @@ var MicroGates = []GateSpec{
 	{"BenchmarkFig7eSyncTime", "ADD-median-ms", DirLower},
 	{"BenchmarkFig7eSyncTime", "REMOVE-median-ms", DirLower},
 	{"BenchmarkMQPublishThroughput/batch", "msgs/s", DirHigher},
+	{"BenchmarkMQPublishThroughput/batch", "allocs/op", DirLower},
+	{"BenchmarkWireFrameCodec/binary", "frames/s", DirHigher},
+	{"BenchmarkWireFrameCodec/binary", "allocs/op", DirLower},
+	{"BenchmarkPublishDisabledTracer/routed-headers", "allocs/op", DirLower},
 	{"BenchmarkCommitParallelWorkspaces/shards=16", "commits/s", DirHigher},
 	{"BenchmarkReadWriteMix/readers=0", "commits/s", DirHigher},
 	{"BenchmarkReadWriteMix/readers=256", "commits/s", DirHigher},

@@ -1,0 +1,332 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// conformanceValue is the kitchen-sink payload every codec must round-trip.
+type conformanceValue struct {
+	S       string
+	I       int
+	I8      int8
+	I64     int64
+	U       uint64
+	F       float64
+	B       bool
+	Bytes   []byte
+	List    []string
+	Ints    []int
+	Map     map[string]int
+	Nested  inner
+	PtrSet  *inner
+	PtrNil  *inner
+	When    time.Time
+	Arr     [3]int
+	ByteArr [4]byte
+}
+
+type inner struct {
+	Name  string
+	Count int
+}
+
+func sample() conformanceValue {
+	return conformanceValue{
+		S:       "héllo wörld",
+		I:       -42,
+		I8:      -8,
+		I64:     math.MaxInt64,
+		U:       math.MaxUint64,
+		F:       3.14159,
+		B:       true,
+		Bytes:   []byte{0, 1, 2, 0xB2, 0xFF},
+		List:    []string{"a", "", "c"},
+		Ints:    []int{-1, 0, 1 << 40},
+		Map:     map[string]int{"x": 1, "y": -2},
+		Nested:  inner{Name: "n", Count: 7},
+		PtrSet:  &inner{Name: "p", Count: 9},
+		When:    time.Date(2014, 12, 8, 9, 30, 0, 123456789, time.UTC),
+		Arr:     [3]int{5, 6, 7},
+		ByteArr: [4]byte{9, 8, 7, 6},
+	}
+}
+
+func allCodecs() []Codec { return []Codec{JSON{}, Gob{}, Binary{}} }
+
+// TestConformance is the cross-codec contract suite: every codec must
+// round-trip the same payloads under the same buffer-ownership rules.
+func TestConformance(t *testing.T) {
+	for _, c := range allCodecs() {
+		t.Run(c.Name(), func(t *testing.T) {
+			t.Run("round-trip", func(t *testing.T) {
+				in := sample()
+				data, err := c.MarshalAppend(nil, in)
+				if err != nil {
+					t.Fatalf("marshal: %v", err)
+				}
+				var out conformanceValue
+				if err := c.Unmarshal(data, &out); err != nil {
+					t.Fatalf("unmarshal: %v", err)
+				}
+				if !in.When.Equal(out.When) {
+					t.Fatalf("time drift: %v != %v", out.When, in.When)
+				}
+				in.When, out.When = time.Time{}, time.Time{}
+				if !reflect.DeepEqual(in, out) {
+					t.Fatalf("round-trip mismatch:\n in: %+v\nout: %+v", in, out)
+				}
+			})
+
+			t.Run("append-semantics", func(t *testing.T) {
+				// MarshalAppend must extend dst, not replace it.
+				prefix := []byte("prefix:")
+				data, err := c.MarshalAppend(prefix, inner{Name: "a", Count: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.HasPrefix(data, prefix) {
+					t.Fatalf("dst prefix lost: %q", data)
+				}
+				var out inner
+				if err := c.Unmarshal(data[len(prefix):], &out); err != nil {
+					t.Fatal(err)
+				}
+				if out.Name != "a" || out.Count != 1 {
+					t.Fatalf("got %+v", out)
+				}
+			})
+
+			t.Run("no-aliasing", func(t *testing.T) {
+				// Decoded values must not alias the input buffer: clobbering
+				// it after Unmarshal must not change the result.
+				in := inner{Name: "alias-check", Count: 3}
+				data, err := c.MarshalAppend(nil, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				type holder struct {
+					Name  string
+					Count int
+				}
+				var out holder
+				if err := c.Unmarshal(data, &out); err != nil {
+					t.Fatal(err)
+				}
+				for i := range data {
+					data[i] = 0xAA
+				}
+				if out.Name != "alias-check" || out.Count != 3 {
+					t.Fatalf("decoded value aliased input: %+v", out)
+				}
+			})
+
+			t.Run("buffer-reuse", func(t *testing.T) {
+				// The same backing buffer must be reusable across calls once
+				// the previous encoding is consumed (the journal's pattern).
+				var buf []byte
+				for i := 0; i < 3; i++ {
+					var err error
+					buf, err = c.MarshalAppend(buf[:0], inner{Name: "r", Count: i})
+					if err != nil {
+						t.Fatal(err)
+					}
+					var out inner
+					if err := c.Unmarshal(buf, &out); err != nil {
+						t.Fatal(err)
+					}
+					if out.Count != i {
+						t.Fatalf("iteration %d decoded %+v", i, out)
+					}
+				}
+			})
+
+			t.Run("empty-struct", func(t *testing.T) {
+				// struct{}{} is the placeholder argument of no-arg calls; it
+				// must travel under every codec (gob rejects it natively).
+				data, err := c.MarshalAppend(nil, struct{}{})
+				if err != nil {
+					t.Fatalf("marshal struct{}{}: %v", err)
+				}
+				var out struct{}
+				if err := c.Unmarshal(data, &out); err != nil {
+					t.Fatalf("unmarshal struct{}{}: %v", err)
+				}
+			})
+
+			t.Run("scalars", func(t *testing.T) {
+				data, err := c.MarshalAppend(nil, 12345)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var n int
+				if err := c.Unmarshal(data, &n); err != nil {
+					t.Fatal(err)
+				}
+				if n != 12345 {
+					t.Fatalf("got %d", n)
+				}
+			})
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{"": "json", "json": "json", "gob": "gob", "bin": "bin"} {
+		c, err := ByName(name)
+		if err != nil || c.Name() != want {
+			t.Fatalf("ByName(%q) = %v, %v", name, c, err)
+		}
+	}
+	if _, err := ByName("protobuf"); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+// TestBinarySchemaEvolution exercises the append-only evolution contract:
+// old readers skip unknown trailing fields, new readers zero missing ones.
+func TestBinarySchemaEvolution(t *testing.T) {
+	type v1 struct {
+		A string
+		B int
+	}
+	type v2 struct {
+		A string
+		B int
+		C []string
+		D *inner
+	}
+	c := Binary{}
+
+	newData, err := c.MarshalAppend(nil, v2{A: "x", B: 2, C: []string{"c"}, D: &inner{Name: "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old v1
+	if err := c.Unmarshal(newData, &old); err != nil {
+		t.Fatalf("old reader rejected new data: %v", err)
+	}
+	if old.A != "x" || old.B != 2 {
+		t.Fatalf("old reader decoded %+v", old)
+	}
+
+	oldData, err := c.MarshalAppend(nil, v1{A: "y", B: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newer := v2{C: []string{"stale"}, D: &inner{Name: "stale"}}
+	if err := c.Unmarshal(oldData, &newer); err != nil {
+		t.Fatalf("new reader rejected old data: %v", err)
+	}
+	if newer.A != "y" || newer.B != 3 || newer.C != nil || newer.D != nil {
+		t.Fatalf("missing fields not zeroed: %+v", newer)
+	}
+}
+
+// TestBinaryMalformed feeds truncated and corrupt input; every case must
+// fail cleanly, never panic or over-allocate.
+func TestBinaryMalformed(t *testing.T) {
+	c := Binary{}
+	good, err := c.MarshalAppend(nil, sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"unknown-tag":      {0xEE},
+		"truncated-varint": {bUint, 0x80, 0x80, 0x80},
+		"overlong-varint":  {bUint, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01},
+		"huge-string":      {bString, 0xFF, 0xFF, 0xFF, 0x7F, 'x'},
+		"huge-list":        {bList, 0xFF, 0xFF, 0xFF, 0x7F, bNil},
+		"short-float":      {bFloat, 1, 2, 3},
+		"trailing-bytes":   append(append([]byte(nil), good...), 0x00),
+	}
+	for i := 1; i < len(good); i += 97 {
+		cases["truncated-"+string(rune('a'+i%26))] = good[:i]
+	}
+	for name, data := range cases {
+		var out conformanceValue
+		if err := c.Unmarshal(data, &out); err == nil {
+			t.Errorf("%s: malformed input accepted", name)
+		}
+	}
+}
+
+// TestBinaryGenericDecode covers interface{} targets.
+func TestBinaryGenericDecode(t *testing.T) {
+	c := Binary{}
+	data, err := c.MarshalAppend(nil, []any{int64(-5), "s", true, nil, []byte{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out any
+	if err := c.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := []any{int64(-5), "s", true, nil, []byte{1, 2}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %#v want %#v", out, want)
+	}
+}
+
+// TestBinaryCycleFails ensures cyclic values error out instead of hanging.
+func TestBinaryCycleFails(t *testing.T) {
+	type node struct {
+		Next *node
+	}
+	n := &node{}
+	n.Next = n
+	if _, err := (Binary{}).MarshalAppend(nil, n); err == nil {
+		t.Fatal("cyclic value encoded")
+	}
+}
+
+// TestBinaryLongField exercises the >127-byte length-prefix patch path.
+func TestBinaryLongField(t *testing.T) {
+	type big struct {
+		Blob []byte
+		Tail string
+	}
+	in := big{Blob: bytes.Repeat([]byte{0x5A}, 1<<15), Tail: "end"}
+	data, err := Binary{}.MarshalAppend(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out big
+	if err := (Binary{}).Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Blob, in.Blob) || out.Tail != "end" {
+		t.Fatal("long-field round trip failed")
+	}
+}
+
+// TestBinaryCompact sanity-checks the size win over JSON on a typical
+// request payload — the codec exists to shrink and speed the hot path.
+func TestBinaryCompact(t *testing.T) {
+	v := sample()
+	jdata, _ := JSON{}.MarshalAppend(nil, v)
+	bdata, _ := Binary{}.MarshalAppend(nil, v)
+	if len(bdata) >= len(jdata) {
+		t.Fatalf("binary (%d bytes) not smaller than JSON (%d bytes)", len(bdata), len(jdata))
+	}
+}
+
+func TestDefaultFollowsEnv(t *testing.T) {
+	// Default is process-wide (sync.Once): assert it against whatever the
+	// environment says rather than mutating it. The CI codec matrix runs
+	// this test under each STACKSYNC_CODEC value, which is exactly what
+	// pins "the env var really selects the codec".
+	name := os.Getenv(EnvVar)
+	want := "json"
+	if name != "" {
+		want = name
+	}
+	if got := Default().Name(); got != want {
+		t.Fatalf("Default() = %q, %s = %q", got, EnvVar, name)
+	}
+}

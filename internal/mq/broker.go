@@ -1,7 +1,6 @@
 package mq
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"strconv"
@@ -24,15 +23,23 @@ type Broker struct {
 	nextTag   uint64
 	nextMsgID uint64
 	closed    bool
+
+	// Scratch space reused under b.mu to keep the hot publish path
+	// allocation-free: idBuf builds generated message IDs, routeScratch
+	// holds routing targets between routeLocked and its caller.
+	idBuf        []byte
+	routeScratch []*queue
 }
 
 var _ MQ = (*Broker)(nil)
 
 type exchange struct {
 	kind ExchangeKind
-	// bindings maps binding key -> set of queue names. Fanout exchanges use
-	// the empty key for all bindings.
-	bindings map[string]map[string]struct{}
+	// bindings maps binding key -> queue name -> queue. Fanout exchanges use
+	// the empty key for all bindings. Holding the *queue directly keeps the
+	// routing hot path to one map walk; DeleteQueue scrubs entries so the
+	// pointers never dangle.
+	bindings map[string]map[string]*queue
 }
 
 type queuedMsg struct {
@@ -41,13 +48,13 @@ type queuedMsg struct {
 }
 
 type inflightMsg struct {
-	qm       *queuedMsg
+	qm       queuedMsg
 	consumer *consumer
 }
 
 type queue struct {
 	name      string
-	pending   *list.List // of *queuedMsg
+	pending   msgRing // backlog deque, front = next to dispatch
 	consumers []*consumer
 	rr        int
 	unacked   map[uint64]inflightMsg
@@ -114,11 +121,72 @@ func (b *Broker) DeclareQueue(name string) error {
 func (b *Broker) addQueueLocked(name string) *queue {
 	q := &queue{
 		name:    name,
-		pending: list.New(),
 		unacked: make(map[uint64]inflightMsg),
 	}
 	b.queues[name] = q
 	return q
+}
+
+// msgRing is a growable ring deque of queuedMsg values. It replaces the
+// former container/list backlog: pushes reuse ring slots instead of
+// allocating a node (plus a boxed message) per publish, which was most of
+// the publish path's allocation budget.
+type msgRing struct {
+	buf  []queuedMsg
+	head int // index of the front element
+	n    int
+}
+
+func (r *msgRing) Len() int { return r.n }
+
+// grow doubles the ring. Only called when full, so the live elements are
+// exactly buf[head:] followed by buf[:head] — two memmoves, no per-element
+// index math.
+func (r *msgRing) grow() {
+	newCap := 32
+	if len(r.buf) > 0 {
+		newCap = len(r.buf) * 2
+	}
+	nb := make([]queuedMsg, newCap)
+	n := copy(nb, r.buf[r.head:])
+	copy(nb[n:], r.buf[:r.head])
+	r.buf = nb
+	r.head = 0
+}
+
+func (r *msgRing) PushBack(m queuedMsg) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = m
+	r.n++
+}
+
+func (r *msgRing) PushFront(m queuedMsg) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head--
+	if r.head < 0 {
+		r.head = len(r.buf) - 1
+	}
+	r.buf[r.head] = m
+	r.n++
+}
+
+func (r *msgRing) PopFront() queuedMsg {
+	m := r.buf[r.head]
+	r.buf[r.head] = queuedMsg{} // drop body/header references for GC
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return m
 }
 
 // DeleteQueue removes the queue, dropping pending messages and closing its
@@ -165,7 +233,7 @@ func (b *Broker) DeclareExchange(name string, kind ExchangeKind) error {
 		}
 		return nil
 	}
-	b.exchanges[name] = &exchange{kind: kind, bindings: make(map[string]map[string]struct{})}
+	b.exchanges[name] = &exchange{kind: kind, bindings: make(map[string]map[string]*queue)}
 	if b.journal != nil {
 		return b.journal.record(journalEntry{Op: jopDeclareExchange, Exchange: name, Kind: kind.String()})
 	}
@@ -184,7 +252,8 @@ func (b *Broker) BindQueue(queueName, exchangeName, key string) error {
 	if !ok {
 		return ErrNoExchange
 	}
-	if _, ok := b.queues[queueName]; !ok {
+	q, ok := b.queues[queueName]
+	if !ok {
 		return ErrQueueNotFound
 	}
 	if ex.kind == Fanout {
@@ -192,10 +261,10 @@ func (b *Broker) BindQueue(queueName, exchangeName, key string) error {
 	}
 	set, ok := ex.bindings[key]
 	if !ok {
-		set = make(map[string]struct{})
+		set = make(map[string]*queue)
 		ex.bindings[key] = set
 	}
-	set[queueName] = struct{}{}
+	set[queueName] = q
 	if b.journal != nil {
 		return b.journal.record(journalEntry{Op: jopBind, Queue: queueName, Exchange: exchangeName, Key: key})
 	}
@@ -233,7 +302,7 @@ func (b *Broker) Publish(exchangeName, key string, msg Message) error {
 	if b.closed {
 		return ErrClosed
 	}
-	return b.publishLocked(exchangeName, key, msg)
+	return b.publishLocked(exchangeName, key, msg, b.clk.Now())
 }
 
 // PublishBatch routes a whole batch under one lock acquisition — the
@@ -246,31 +315,35 @@ func (b *Broker) PublishBatch(pubs []Publication) error {
 		return ErrClosed
 	}
 	var errs []error
+	now := b.clk.Now() // one clock read for the whole batch
 	for _, p := range pubs {
-		if err := b.publishLocked(p.Exchange, p.Key, p.Message); err != nil {
+		if err := b.publishLocked(p.Exchange, p.Key, p.Message, now); err != nil {
 			errs = append(errs, err)
 		}
 	}
 	return errors.Join(errs...)
 }
 
-func (b *Broker) publishLocked(exchangeName, key string, msg Message) error {
+func (b *Broker) publishLocked(exchangeName, key string, msg Message, now time.Time) error {
 	if msg.ID == "" {
 		b.nextMsgID++
-		msg.ID = "m" + strconv.FormatUint(b.nextMsgID, 10)
+		b.idBuf = strconv.AppendUint(append(b.idBuf[:0], 'm'), b.nextMsgID, 10)
+		msg.ID = string(b.idBuf)
 	}
 	targets, err := b.routeLocked(exchangeName, key)
 	if err != nil {
 		return err
 	}
-	now := b.clk.Now()
 	for _, q := range targets {
 		if b.journal != nil && msg.Persistent {
-			if err := b.journal.record(journalEntry{Op: jopPublish, Queue: q.name, Msg: &msg}); err != nil {
+			// Copy before taking the address: &msg directly would make every
+			// publish heap-allocate the message, journalled or not.
+			jm := msg
+			if err := b.journal.record(journalEntry{Op: jopPublish, Queue: q.name, Msg: &jm}); err != nil {
 				return err
 			}
 		}
-		q.pending.PushBack(&queuedMsg{msg: msg})
+		q.pending.PushBack(queuedMsg{msg: msg})
 		q.enqueued++
 		q.arrivals.add(now)
 		b.dispatchLocked(q)
@@ -278,13 +351,19 @@ func (b *Broker) publishLocked(exchangeName, key string, msg Message) error {
 	return nil
 }
 
+// routeLocked resolves a publish to its target queues. The returned slice
+// is b.routeScratch: valid only until the next routeLocked call, which is
+// safe because b.mu serializes publishes and callers never retain it.
 func (b *Broker) routeLocked(exchangeName, key string) ([]*queue, error) {
+	targets := b.routeScratch[:0]
 	if exchangeName == "" {
 		q, ok := b.queues[key]
 		if !ok {
 			return nil, fmt.Errorf("mq: publish to %q: %w", key, ErrQueueNotFound)
 		}
-		return []*queue{q}, nil
+		targets = append(targets, q)
+		b.routeScratch = targets
+		return targets, nil
 	}
 	ex, ok := b.exchanges[exchangeName]
 	if !ok {
@@ -293,13 +372,10 @@ func (b *Broker) routeLocked(exchangeName, key string) ([]*queue, error) {
 	if ex.kind == Fanout {
 		key = ""
 	}
-	set := ex.bindings[key]
-	targets := make([]*queue, 0, len(set))
-	for name := range set {
-		if q, ok := b.queues[name]; ok {
-			targets = append(targets, q)
-		}
+	for _, q := range ex.bindings[key] {
+		targets = append(targets, q)
 	}
+	b.routeScratch = targets
 	return targets, nil
 }
 
@@ -337,9 +413,7 @@ func (b *Broker) dispatchLocked(q *queue) {
 		if c == nil {
 			return
 		}
-		front := q.pending.Front()
-		qm := front.Value.(*queuedMsg)
-		q.pending.Remove(front)
+		qm := q.pending.PopFront()
 		b.nextTag++
 		tag := b.nextTag
 		q.unacked[tag] = inflightMsg{qm: qm, consumer: c}

@@ -1,7 +1,6 @@
 package mq
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -9,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"stacksync/internal/codec"
 	"stacksync/internal/wire"
 )
 
@@ -82,11 +82,17 @@ func (c *Client) readLoop() {
 			// most `prefetch` deliveries unacked per consumer and the channel
 			// buffer is exactly `prefetch`. Sending under the mutex
 			// serializes against Cancel closing the channel.
+			// f.Body aliases the wire reader's buffer and is only valid
+			// until the next Read; the delivery outlives it, so copy here.
+			var body []byte
+			if len(f.Body) > 0 {
+				body = append(body, f.Body...)
+			}
 			sub.ch <- Delivery{
 				Message: Message{
 					ID:         f.MessageID,
 					Headers:    f.Headers,
-					Body:       f.Body,
+					Body:       body,
 					Persistent: f.Persistent,
 				},
 				Queue:       f.Queue,
@@ -103,7 +109,9 @@ func (c *Client) readLoop() {
 			}
 			c.mu.Unlock()
 			if ok {
-				ch <- f
+				// The waiter reads the frame after the loop has moved on to
+				// the next Read, so detach it from the reader's buffer.
+				ch <- f.Clone()
 			}
 		}
 	}
@@ -244,7 +252,7 @@ func (c *Client) QueueStats(name string) (QueueStats, error) {
 		return QueueStats{}, err
 	}
 	var stats QueueStats
-	if err := json.Unmarshal(resp.Stats, &stats); err != nil {
+	if err := (codec.JSON{}).Unmarshal(resp.Stats, &stats); err != nil {
 		return QueueStats{}, fmt.Errorf("mq: decode stats: %w", err)
 	}
 	return stats, nil

@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"stacksync/internal/codec"
 )
 
 // Journal is a write-ahead log of broker declarations and persistent
@@ -22,6 +24,7 @@ type Journal struct {
 	f    *os.File
 	w    *bufio.Writer
 	path string
+	buf  []byte // reusable encode buffer, guarded by mu
 }
 
 type journalOp string
@@ -61,11 +64,14 @@ func (j *Journal) record(e journalEntry) error {
 	if j.f == nil {
 		return errors.New("mq: journal closed")
 	}
-	line, err := json.Marshal(e)
+	// Append-style encode into the journal's reused buffer: one line per
+	// record, same JSON format as ever, no fresh slice per entry.
+	line, err := (codec.JSON{}).MarshalAppend(j.buf[:0], e)
 	if err != nil {
 		return fmt.Errorf("mq: marshal journal entry: %w", err)
 	}
-	if _, err := j.w.Write(append(line, '\n')); err != nil {
+	j.buf = append(line, '\n')
+	if _, err := j.w.Write(j.buf); err != nil {
 		return fmt.Errorf("mq: append journal: %w", err)
 	}
 	// Flush per record: the journal exists to survive crashes.

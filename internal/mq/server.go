@@ -1,13 +1,13 @@
 package mq
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"sync"
 
+	"stacksync/internal/codec"
 	"stacksync/internal/wire"
 )
 
@@ -184,7 +184,14 @@ func (c *serverConn) handle(f *wire.Frame) error {
 			return err
 		}
 	case wire.OpPublish:
-		msg := Message{ID: f.MessageID, Headers: f.Headers, Body: f.Body, Persistent: f.Persistent}
+		// f.Body aliases the wire reader's buffer and is only valid until
+		// the next Read; the broker retains messages, so this is the one
+		// copy on the server's ingest path.
+		var body []byte
+		if len(f.Body) > 0 {
+			body = append(body, f.Body...)
+		}
+		msg := Message{ID: f.MessageID, Headers: f.Headers, Body: body, Persistent: f.Persistent}
 		if err := b.Publish(f.Exchange, f.Key, msg); err != nil {
 			return err
 		}
@@ -201,7 +208,7 @@ func (c *serverConn) handle(f *wire.Frame) error {
 		if err != nil {
 			return err
 		}
-		raw, err := json.Marshal(stats)
+		raw, err := (codec.JSON{}).MarshalAppend(nil, stats)
 		if err != nil {
 			return fmt.Errorf("mq: marshal stats: %w", err)
 		}

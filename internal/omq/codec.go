@@ -9,72 +9,44 @@
 // delivery, and change notification all come from the underlying mq layer.
 package omq
 
-import (
-	"bytes"
-	"encoding/gob"
-	"encoding/json"
-	"fmt"
-)
+import "stacksync/internal/codec"
 
-// Codec serializes call arguments and results. The paper's implementation
-// supports Kryo, Java serialization and JSON; here JSON and gob are provided
-// and others can be plugged in.
-type Codec interface {
-	Name() string
-	Marshal(v interface{}) ([]byte, error)
-	Unmarshal(data []byte, v interface{}) error
-}
+// Codec is the v2 append-style serialization interface shared with the mq
+// layer; see package stacksync/internal/codec for the buffer-ownership
+// contract. The paper's implementation supports Kryo, Java serialization
+// and JSON; here JSON, gob and the compact binary codec (the Kryo
+// analogue) are provided, and others can be plugged in.
+type Codec = codec.Codec
 
-// JSONCodec encodes arguments as JSON. It is the default: readable on the
-// wire and tolerant of schema evolution.
-type JSONCodec struct{}
+// JSONCodec is the JSON codec: the default, readable on the wire and
+// tolerant of schema evolution.
+type JSONCodec = codec.JSON
 
-var _ Codec = JSONCodec{}
+// GobCodec is the encoding/gob codec, the Go-native reflection transport.
+type GobCodec = codec.Gob
 
-// Name returns "json".
-func (JSONCodec) Name() string { return "json" }
+// BinaryCodec is the compact length-prefixed binary codec — the paper's
+// Kryo analogue and the fast choice for the publish hot path.
+type BinaryCodec = codec.Binary
 
-// Marshal encodes v as JSON.
-func (JSONCodec) Marshal(v interface{}) ([]byte, error) { return json.Marshal(v) }
+// CodecByName resolves a codec from its wire name ("json", "gob", "bin";
+// empty means json).
+func CodecByName(name string) (Codec, error) { return codec.ByName(name) }
 
-// Unmarshal decodes JSON into v.
-func (JSONCodec) Unmarshal(data []byte, v interface{}) error { return json.Unmarshal(data, v) }
+// HeaderCodec is the message header naming the codec that encoded both the
+// request/response envelope and the argument payloads inside it. Absent
+// means JSON — the pre-negotiation wire format — so mixed fleets of old and
+// new brokers interoperate. It is only stamped for non-JSON codecs, keeping
+// the JSON hot path free of per-message header allocations.
+const HeaderCodec = "codec"
 
-// GobCodec encodes arguments with encoding/gob: the binary, Go-native
-// analogue of the paper's Kryo transport. Types with unexported fields or
-// interfaces must be registered by the caller via gob.Register.
-type GobCodec struct{}
-
-var _ Codec = GobCodec{}
-
-// Name returns "gob".
-func (GobCodec) Name() string { return "gob" }
-
-// Marshal encodes v with gob.
-func (GobCodec) Marshal(v interface{}) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("omq: gob encode: %w", err)
+// codecHeaders returns the pinned read-only header map publishes under this
+// codec share (nil for JSON: absence is the JSON signal). One map per
+// broker, never mutated after construction — the same contract as the
+// routed proxy's pinned headers.
+func codecHeaders(c Codec) map[string]string {
+	if c.Name() == "json" {
+		return nil
 	}
-	return buf.Bytes(), nil
-}
-
-// Unmarshal decodes gob data into v.
-func (GobCodec) Unmarshal(data []byte, v interface{}) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("omq: gob decode: %w", err)
-	}
-	return nil
-}
-
-// CodecByName resolves a codec from its wire name.
-func CodecByName(name string) (Codec, error) {
-	switch name {
-	case "json", "":
-		return JSONCodec{}, nil
-	case "gob":
-		return GobCodec{}, nil
-	default:
-		return nil, fmt.Errorf("omq: unknown codec %q", name)
-	}
+	return map[string]string{HeaderCodec: c.Name()}
 }

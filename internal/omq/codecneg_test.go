@@ -1,0 +1,149 @@
+package omq
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"stacksync/internal/mq"
+)
+
+// TestCrossCodecInterop pins the mixed-fleet contract: every client codec
+// talks to every server codec, because the request envelope announces its
+// codec in the message headers and the server replies the same way.
+func TestCrossCodecInterop(t *testing.T) {
+	codecs := []Codec{JSONCodec{}, GobCodec{}, BinaryCodec{}}
+	for _, serverCodec := range codecs {
+		for _, clientCodec := range codecs {
+			t.Run(clientCodec.Name()+"->"+serverCodec.Name(), func(t *testing.T) {
+				m := mq.NewBroker()
+				defer m.Close()
+				server, err := NewBroker(m, WithCodec(serverCodec))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer server.Close()
+				client, err := NewBroker(m, WithCodec(clientCodec))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer client.Close()
+				if _, err := server.Bind("calc", &calc{}); err != nil {
+					t.Fatal(err)
+				}
+				p := client.Lookup("calc", WithTimeout(5*time.Second))
+				var sum int
+				if err := p.Call("Add", &sum, addArgs{A: 20, B: 22}); err != nil {
+					t.Fatalf("cross-codec call: %v", err)
+				}
+				if sum != 42 {
+					t.Fatalf("sum = %d", sum)
+				}
+			})
+		}
+	}
+}
+
+// TestLegacyJSONEnvelope feeds a server a request exactly as a
+// pre-negotiation peer would publish it — a JSON envelope with no "codec"
+// header — and asserts both execution and a decodable reply. Deleting this
+// path would strand mixed fleets mid-rollout.
+func TestLegacyJSONEnvelope(t *testing.T) {
+	m := mq.NewBroker()
+	defer m.Close()
+	server, err := NewBroker(m, WithCodec(BinaryCodec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	if _, err := server.Bind("calc", &calc{}); err != nil {
+		t.Fatal(err)
+	}
+
+	replyQueue := "legacy.reply"
+	if err := m.DeclareQueue(replyQueue); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Subscribe(replyQueue, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args, _ := json.Marshal(addArgs{A: 1, B: 2})
+	body, err := json.Marshal(map[string]any{
+		"method":        "Add",
+		"args":          [][]byte{args},
+		"codec":         "json",
+		"correlationId": "legacy-1",
+		"replyTo":       replyQueue,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No headers at all: the old wire format.
+	if err := m.Publish("", "calc", mq.Message{Body: body, Persistent: true}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-sub.Deliveries():
+		var resp struct {
+			CorrelationID string `json:"correlationId"`
+			Result        []byte `json:"result"`
+			Err           string `json:"err"`
+		}
+		if err := json.Unmarshal(d.Body, &resp); err != nil {
+			t.Fatalf("legacy reply not JSON: %v", err)
+		}
+		if resp.Err != "" || resp.CorrelationID != "legacy-1" {
+			t.Fatalf("bad reply: %+v", resp)
+		}
+		var sum int
+		if err := json.Unmarshal(resp.Result, &sum); err != nil || sum != 3 {
+			t.Fatalf("result = %s (%v)", resp.Result, err)
+		}
+		_ = d.Ack()
+	case <-time.After(5 * time.Second):
+		t.Fatal("no legacy reply")
+	}
+}
+
+// TestCodecHeaderStamping verifies the header contract: JSON publishes
+// carry no codec header (nil map on the untraced path), non-JSON publishes
+// carry exactly their codec name, and routed proxies keep their routing
+// stamp merged in.
+func TestCodecHeaderStamping(t *testing.T) {
+	m := mq.NewBroker()
+	defer m.Close()
+	for _, c := range []Codec{JSONCodec{}, BinaryCodec{}} {
+		b, err := NewBroker(m, WithCodec(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qname := "sniff." + c.Name()
+		if err := m.DeclareQueue(qname); err != nil {
+			t.Fatal(err)
+		}
+		sub, err := m.Subscribe(qname, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := b.Lookup(qname, WithCallHeaders(map[string]string{HeaderRouteKey: "w1"}))
+		if err := p.Async("Fire", 1); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case d := <-sub.Deliveries():
+			if got := d.Headers[HeaderCodec]; c.Name() == "json" && got != "" {
+				t.Fatalf("json publish stamped codec header %q", got)
+			} else if c.Name() != "json" && got != c.Name() {
+				t.Fatalf("codec header = %q, want %q", got, c.Name())
+			}
+			if d.Headers[HeaderRouteKey] != "w1" {
+				t.Fatalf("routing header lost: %v", d.Headers)
+			}
+			_ = d.Ack()
+		case <-time.After(5 * time.Second):
+			t.Fatal("no publish observed")
+		}
+		_ = b.Close()
+	}
+}

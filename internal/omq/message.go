@@ -3,19 +3,24 @@ package omq
 import (
 	"crypto/rand"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 )
 
-// request is the envelope published to a remote object's queue. The envelope
-// itself is JSON (argument payloads are codec-encoded byte slices inside).
+// request is the envelope published to a remote object's queue. The
+// envelope is encoded with the sender's codec, announced in the "codec"
+// message header (HeaderCodec); argument payloads are codec-encoded byte
+// slices inside. Messages without the header are decoded as JSON — the
+// pre-negotiation wire format — so old and new brokers interoperate.
 type request struct {
-	Method        string   `json:"method"`
-	Args          [][]byte `json:"args,omitempty"`
-	Codec         string   `json:"codec,omitempty"`
-	CorrelationID string   `json:"correlationId,omitempty"`
-	ReplyTo       string   `json:"replyTo,omitempty"`
+	Method string   `json:"method"`
+	Args   [][]byte `json:"args,omitempty"`
+	// Codec names the codec that encoded Args (and, on the new wire format,
+	// the envelope itself). Kept inside the envelope as well as in the
+	// header so a legacy JSON envelope can still carry gob-encoded args.
+	Codec         string `json:"codec,omitempty"`
+	CorrelationID string `json:"correlationId,omitempty"`
+	ReplyTo       string `json:"replyTo,omitempty"`
 	// RequestID identifies the logical call: it is stable across the retry
 	// attempts of one Proxy.Call (each attempt gets a fresh CorrelationID).
 	// Servers use it to deduplicate a retried @SyncMethod instead of
@@ -27,7 +32,9 @@ type request struct {
 	OneWay bool `json:"oneWay,omitempty"`
 }
 
-// response is the envelope published to the caller's private reply queue.
+// response is the envelope published to the caller's private reply queue,
+// encoded with the codec the request envelope arrived in (announced back to
+// the caller via the same header).
 type response struct {
 	CorrelationID string `json:"correlationId"`
 	Result        []byte `json:"result,omitempty"`
@@ -37,33 +44,51 @@ type response struct {
 	From string `json:"from,omitempty"`
 }
 
-func encodeRequest(r *request) ([]byte, error) {
-	data, err := json.Marshal(r)
+// envelopeCodec resolves the codec a message's envelope was encoded with
+// from its headers; absence of the header means JSON.
+func envelopeCodec(headers map[string]string) (Codec, error) {
+	return CodecByName(headers[HeaderCodec])
+}
+
+func encodeRequest(c Codec, r *request) ([]byte, error) {
+	r.Codec = c.Name()
+	data, err := c.MarshalAppend(nil, r)
 	if err != nil {
 		return nil, fmt.Errorf("omq: encode request: %w", err)
 	}
 	return data, nil
 }
 
-func decodeRequest(data []byte) (*request, error) {
-	var r request
-	if err := json.Unmarshal(data, &r); err != nil {
-		return nil, fmt.Errorf("omq: decode request: %w", err)
+// decodeRequest decodes a request envelope using the codec named in the
+// message headers and also returns that codec so the response travels back
+// the same way.
+func decodeRequest(headers map[string]string, data []byte) (*request, Codec, error) {
+	env, err := envelopeCodec(headers)
+	if err != nil {
+		return nil, nil, fmt.Errorf("omq: decode request: %w", err)
 	}
-	return &r, nil
+	var r request
+	if err := env.Unmarshal(data, &r); err != nil {
+		return nil, nil, fmt.Errorf("omq: decode request: %w", err)
+	}
+	return &r, env, nil
 }
 
-func encodeResponse(r *response) ([]byte, error) {
-	data, err := json.Marshal(r)
+func encodeResponse(c Codec, r *response) ([]byte, error) {
+	data, err := c.MarshalAppend(nil, r)
 	if err != nil {
 		return nil, fmt.Errorf("omq: encode response: %w", err)
 	}
 	return data, nil
 }
 
-func decodeResponse(data []byte) (*response, error) {
+func decodeResponse(headers map[string]string, data []byte) (*response, error) {
+	env, err := envelopeCodec(headers)
+	if err != nil {
+		return nil, fmt.Errorf("omq: decode response: %w", err)
+	}
 	var r response
-	if err := json.Unmarshal(data, &r); err != nil {
+	if err := env.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("omq: decode response: %w", err)
 	}
 	return &r, nil

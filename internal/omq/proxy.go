@@ -34,6 +34,11 @@ type Proxy struct {
 	// extraHeaders are merged into every publish this proxy makes; the
 	// Router uses them to stamp routed calls with their ring epoch and key.
 	extraHeaders map[string]string
+	// pinned is the read-only header map untraced publishes share: the
+	// broker's codec stamp merged with extraHeaders, computed once at
+	// Lookup. It flows into mq.Message.Headers as-is (consumers only read
+	// headers), so the untraced hot path allocates no per-call map.
+	pinned map[string]string
 	// requestID, when non-empty, pins the request id of every Call through
 	// this proxy. The Router sets it so that dedup stays stable across its
 	// own failover attempts, which use a fresh proxy per attempt. Leave
@@ -87,24 +92,19 @@ func (p *Proxy) encodeArgs(args []interface{}) ([][]byte, error) {
 // headers that carry its context (merged with the proxy's fixed headers);
 // see Broker.startPublishSpan.
 func (p *Proxy) startPublishSpan(ctx context.Context, name string) (*obs.SpanHandle, map[string]string) {
+	if p.broker.tracer == nil {
+		// Tracer disabled: share the proxy's pinned map (codec stamp +
+		// routing headers, merged once at Lookup) as-is. Every consumer
+		// treats mq.Message.Headers as read-only, so sharing it skips the
+		// per-call merge allocation.
+		return nil, p.pinned
+	}
+	// Traced: the broker returns a fresh map owned by this call.
 	span, headers := p.broker.startPublishSpan(ctx, name)
-	if len(p.extraHeaders) == 0 {
-		return span, headers
-	}
-	if headers == nil {
-		// Tracer disabled: reuse the proxy's pinned headers as-is. The map
-		// flows into mq.Message.Headers, which every consumer treats as
-		// read-only, so sharing it skips the per-call merge allocation.
-		return nil, p.extraHeaders
-	}
-	merged := make(map[string]string, len(headers)+len(p.extraHeaders))
-	for k, v := range headers {
-		merged[k] = v
-	}
 	for k, v := range p.extraHeaders {
-		merged[k] = v
+		headers[k] = v
 	}
-	return span, merged
+	return span, headers
 }
 
 // Async performs a one-way @AsyncMethod invocation: the request is published
@@ -122,10 +122,9 @@ func (p *Proxy) AsyncCtx(ctx context.Context, method string, args ...interface{}
 	if err != nil {
 		return err
 	}
-	body, err := encodeRequest(&request{
+	body, err := encodeRequest(p.broker.codec, &request{
 		Method: method,
 		Args:   encoded,
-		Codec:  p.broker.codec.Name(),
 		OneWay: true,
 	})
 	if err != nil {
@@ -229,10 +228,9 @@ func retryJitter(seed string, n int, base, max time.Duration) time.Duration {
 
 func (p *Proxy) attempt(ctx context.Context, method string, encoded [][]byte, requestID string) (*response, error) {
 	correlationID := newID()
-	body, err := encodeRequest(&request{
+	body, err := encodeRequest(p.broker.codec, &request{
 		Method:        method,
 		Args:          encoded,
-		Codec:         p.broker.codec.Name(),
 		CorrelationID: correlationID,
 		ReplyTo:       p.broker.replyQueue,
 		RequestID:     requestID,
@@ -269,10 +267,9 @@ func (p *Proxy) MultiCtx(ctx context.Context, method string, args ...interface{}
 	if err != nil {
 		return err
 	}
-	body, err := encodeRequest(&request{
+	body, err := encodeRequest(p.broker.codec, &request{
 		Method: method,
 		Args:   encoded,
-		Codec:  p.broker.codec.Name(),
 		OneWay: true,
 	})
 	if err != nil {
@@ -324,10 +321,9 @@ func (p *Proxy) MultiCallCtx(ctx context.Context, method string, window time.Dur
 		return nil, err
 	}
 	correlationID := newID()
-	body, err := encodeRequest(&request{
+	body, err := encodeRequest(p.broker.codec, &request{
 		Method:        method,
 		Args:          encoded,
-		Codec:         p.broker.codec.Name(),
 		CorrelationID: correlationID,
 		ReplyTo:       p.broker.replyQueue,
 	})

@@ -254,7 +254,10 @@ func (bo *BoundObject) work() {
 }
 
 func (bo *BoundObject) handle(d mq.Delivery) {
-	req, err := decodeRequest(d.Body)
+	// The envelope codec (from the message headers) is remembered so the
+	// response travels back the same way — per-message negotiation is what
+	// lets mixed-codec fleets interoperate during a rollout.
+	req, env, err := decodeRequest(d.Headers, d.Body)
 	if err != nil {
 		// Malformed request: drop without requeue, it can never succeed.
 		_ = d.Nack(false)
@@ -269,7 +272,7 @@ func (bo *BoundObject) handle(d mq.Delivery) {
 	if !req.OneWay && req.RequestID != "" {
 		if e, ok := bo.dedup.get(req.RequestID); ok {
 			bo.dedupHits.Inc()
-			bo.reply(req, e.result, e.errMsg)
+			bo.reply(req, env, e.result, e.errMsg)
 			_ = d.Ack()
 			return
 		}
@@ -338,13 +341,15 @@ func (bo *BoundObject) handle(d mq.Delivery) {
 	if req.RequestID != "" && !IsStaleRoute(callErr) {
 		bo.dedup.put(req.RequestID, dedupEntry{result: result, errMsg: errMsg})
 	}
-	bo.reply(req, result, errMsg)
+	bo.reply(req, env, result, errMsg)
 	_ = d.Ack()
 }
 
-// reply publishes the response envelope for a sync request; failures are the
-// caller's timeout to notice.
-func (bo *BoundObject) reply(req *request, result []byte, errMsg string) {
+// reply publishes the response envelope for a sync request, encoded with
+// the codec the request envelope arrived in (and stamped into the reply's
+// headers for the caller's reply loop); failures are the caller's timeout
+// to notice.
+func (bo *BoundObject) reply(req *request, env Codec, result []byte, errMsg string) {
 	if req.ReplyTo == "" {
 		return
 	}
@@ -352,8 +357,8 @@ func (bo *BoundObject) reply(req *request, result []byte, errMsg string) {
 	if errMsg == "" {
 		resp.Result = result
 	}
-	if body, err := encodeResponse(resp); err == nil {
-		_ = bo.broker.publish("", req.ReplyTo, body, false)
+	if body, err := encodeResponse(env, resp); err == nil {
+		_ = bo.broker.publishH("", req.ReplyTo, body, false, bo.broker.headersFor(env))
 	}
 }
 
@@ -384,7 +389,11 @@ func (bo *BoundObject) invoke(ctx context.Context, req *request) (result []byte,
 	if len(req.Args) != len(bm.argTypes) {
 		return nil, fmt.Errorf("%w: %s takes %d, got %d", ErrBadArity, req.Method, len(bm.argTypes), len(req.Args)), true
 	}
-	codec, err := CodecByName(req.Codec)
+	// Args were encoded with the codec named inside the envelope (usually
+	// the same codec as the envelope itself; a legacy JSON envelope can
+	// still carry gob- or bin-encoded args). The result is encoded the same
+	// way, since the caller decodes it with its own broker codec.
+	argCodec, err := CodecByName(req.Codec)
 	if err != nil {
 		return nil, err, true
 	}
@@ -394,7 +403,7 @@ func (bo *BoundObject) invoke(ctx context.Context, req *request) (result []byte,
 	}
 	for i, at := range bm.argTypes {
 		pv := reflect.New(at)
-		if err := codec.Unmarshal(req.Args[i], pv.Interface()); err != nil {
+		if err := argCodec.Unmarshal(req.Args[i], pv.Interface()); err != nil {
 			return nil, fmt.Errorf("omq: decode arg %d of %s: %w", i, req.Method, err), true
 		}
 		in = append(in, pv.Elem())
@@ -408,7 +417,7 @@ func (bo *BoundObject) invoke(ctx context.Context, req *request) (result []byte,
 	if !bm.hasReply {
 		return nil, nil, false
 	}
-	result, merr := codec.Marshal(out[0].Interface())
+	result, merr := argCodec.MarshalAppend(nil, out[0].Interface())
 	if merr != nil {
 		return nil, fmt.Errorf("omq: encode result of %s: %w", req.Method, merr), true
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+	"unicode/utf8"
 )
 
 // normalizeFrame folds the empty/nil asymmetry JSON's omitempty introduces:
@@ -21,6 +22,22 @@ func normalizeFrame(f *Frame) {
 	}
 }
 
+// utf8Clean reports whether every string field of f is valid UTF-8, i.e.
+// whether the frame survives a JSON encode byte-for-byte.
+func utf8Clean(f *Frame) bool {
+	for _, s := range []string{f.Queue, f.Exchange, f.Kind, f.Key, f.ConsumerID, f.MessageID, f.Err} {
+		if !utf8.ValidString(s) {
+			return false
+		}
+	}
+	for k, v := range f.Headers {
+		if !utf8.ValidString(k) || !utf8.ValidString(v) {
+			return false
+		}
+	}
+	return true
+}
+
 // FuzzFrameCodec feeds arbitrary bytes to the frame reader. Whatever decodes
 // must survive a re-encode/re-decode round trip unchanged, and nothing may
 // panic — a corrupt or malicious peer gets an error, never a crash.
@@ -36,9 +53,26 @@ func FuzzFrameCodec(f *testing.F) {
 	var ping bytes.Buffer
 	_ = NewWriter(&ping).Write(&Frame{Op: OpPing, Seq: 1})
 	f.Add(ping.Bytes())
-	f.Add([]byte{0, 0, 0})                       // truncated header
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})   // over-limit length prefix
-	f.Add([]byte{0, 0, 0, 2, '{', '}', 0, 0, 0}) // empty frame + torn tail
+	var legacy bytes.Buffer
+	_ = NewWriterFormat(&legacy, FormatJSON).Write(&Frame{
+		Op: OpDeliver, Queue: "q", DeliveryID: 3, Body: []byte("legacy"),
+	})
+	f.Add(legacy.Bytes())
+	var mixed bytes.Buffer // legacy then binary on one stream
+	_ = NewWriterFormat(&mixed, FormatJSON).Write(&Frame{Op: OpPing, Seq: 1})
+	_ = NewWriter(&mixed).Write(&Frame{Op: OpPong, Seq: 1})
+	f.Add(mixed.Bytes())
+	f.Add([]byte{0, 0, 0})                                                                                    // truncated legacy header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})                                                                // over-limit legacy length prefix
+	f.Add([]byte{0, 0, 0, 2, '{', '}', 0, 0, 0})                                                              // empty frame + torn tail
+	f.Add([]byte{binaryMarker})                                                                               // marker with no length
+	f.Add([]byte{binaryMarker, 0x80})                                                                         // truncated length varint
+	f.Add([]byte{binaryMarker, 0x02, fSeq, 0x80})                                                             // truncated field varint
+	f.Add([]byte{binaryMarker, 0x01, 0x63})                                                                   // unknown field id
+	f.Add([]byte{binaryMarker, 0x04, fBody, 0x01, 'x', fSeq})                                                 // bytes after body
+	f.Add([]byte{binaryMarker, 0xff, 0xff, 0xff, 0xff, 0x7f})                                                 // over-limit binary length
+	f.Add([]byte{binaryMarker, 0x05, fHeaders, 0x01, 0x63, 0x01, 'v'})                                        // unknown interned key
+	f.Add([]byte{binaryMarker, 0x0c, fSeq, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}) // overlong varint
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
@@ -52,18 +86,34 @@ func FuzzFrameCodec(f *testing.F) {
 				}
 				return
 			}
-			var rt bytes.Buffer
-			if err := NewWriter(&rt).Write(fr); err != nil {
-				t.Fatalf("re-encode of decoded frame failed: %v (frame %+v)", err, fr)
+			// Clone first: fr aliases r's buffer, which the next Read (and
+			// the nested readers below) would otherwise clobber.
+			got := fr.Clone()
+			// Whatever decoded must survive re-encode/re-decode in BOTH
+			// formats, and the two must agree — the cross-check that keeps
+			// binary and legacy JSON framing semantically identical. The
+			// JSON leg only applies to UTF-8-clean frames: binary framing
+			// carries arbitrary bytes in string fields, but json.Marshal
+			// substitutes U+FFFD for invalid sequences.
+			formats := []Format{FormatBinary}
+			if utf8Clean(got) {
+				formats = append(formats, FormatJSON)
 			}
-			back, err := NewReader(&rt).Read()
-			if err != nil {
-				t.Fatalf("re-decode failed: %v (frame %+v)", err, fr)
-			}
-			normalizeFrame(fr)
-			normalizeFrame(back)
-			if !reflect.DeepEqual(fr, back) {
-				t.Fatalf("round trip diverged:\n decoded:   %+v\n re-decoded: %+v", fr, back)
+			for _, format := range formats {
+				var rt bytes.Buffer
+				if err := NewWriterFormat(&rt, format).Write(got); err != nil {
+					t.Fatalf("re-encode (format %d) failed: %v (frame %+v)", format, err, got)
+				}
+				back, err := NewReader(&rt).Read()
+				if err != nil {
+					t.Fatalf("re-decode (format %d) failed: %v (frame %+v)", format, err, got)
+				}
+				back = back.Clone()
+				normalizeFrame(got)
+				normalizeFrame(back)
+				if !reflect.DeepEqual(got, back) {
+					t.Fatalf("round trip (format %d) diverged:\n decoded:   %+v\n re-decoded: %+v", format, got, back)
+				}
 			}
 		}
 	})

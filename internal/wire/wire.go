@@ -1,10 +1,30 @@
-// Package wire implements the length-prefixed frame protocol spoken between
-// mq network clients and the mq TCP server. It plays the role AMQP framing
-// plays between RabbitMQ and its clients in the paper's deployment.
+// Package wire implements the framed protocol spoken between mq network
+// clients and the mq TCP server. It plays the role AMQP framing plays
+// between RabbitMQ and its clients in the paper's deployment.
 //
-// A frame is: 4-byte big-endian payload length, followed by that many bytes
-// of JSON-encoded Frame. Frames are small (bodies are base64 inside JSON),
-// and the hard size cap protects both ends from corrupt peers.
+// Two frame encodings share the stream and are distinguished by the first
+// byte of each frame:
+//
+//	binary (v2): 0xB2 marker, uvarint payload length, then a stream of
+//	  (field id, varint-framed value) pairs with hot header keys interned
+//	  to one byte. The frame header and the message body are written as two
+//	  scatter/gather vectors (net.Buffers), so a publish performs zero
+//	  payload copies after encode.
+//	legacy JSON: 4-byte big-endian payload length followed by a
+//	  JSON-encoded Frame. Since MaxFrameSize is 16 MiB, the first length
+//	  byte is always 0x00 or 0x01 — it can never collide with 0xB2.
+//
+// Readers auto-detect the encoding per frame, so mixed fleets (and the
+// fuzz cross-checks) interoperate; Writers emit binary unless constructed
+// with FormatJSON. The hard size cap protects both ends from corrupt peers.
+//
+// # Buffer ownership
+//
+// Reader.Read returns a frame that is only valid until the next Read on
+// the same Reader: Body and Stats alias an internal buffer that the next
+// frame overwrites (Headers and string fields are fresh copies). Callers
+// that retain a frame — or its Body — past the next Read must copy first;
+// Frame.Clone does a deep copy. Writer.Write never retains f or f.Body.
 package wire
 
 import (
@@ -14,11 +34,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"sync"
 )
 
 // MaxFrameSize is the largest frame either side will accept (16 MiB); large
 // enough for a compressed 512 KB chunk plus headers with ample margin.
 const MaxFrameSize = 16 << 20
+
+// binaryMarker is the first byte of every binary (v2) frame. Legacy JSON
+// frames start with the high byte of a 4-byte big-endian length, which the
+// MaxFrameSize cap keeps at 0x00 or 0x01.
+const binaryMarker = 0xB2
 
 // Frame operation codes. Values are part of the protocol; never renumber.
 type Op int
@@ -111,26 +138,170 @@ type Frame struct {
 	Stats []byte `json:"stats,omitempty"` // JSON-encoded mq.QueueStats
 }
 
+// Clone returns a deep copy of f, safe to retain past the next Read on the
+// Reader that produced it.
+func (f *Frame) Clone() *Frame {
+	nf := *f
+	if f.Body != nil {
+		nf.Body = append([]byte(nil), f.Body...)
+	}
+	if f.Stats != nil {
+		nf.Stats = append([]byte(nil), f.Stats...)
+	}
+	if f.Headers != nil {
+		nf.Headers = make(map[string]string, len(f.Headers))
+		for k, v := range f.Headers {
+			nf.Headers[k] = v
+		}
+	}
+	return &nf
+}
+
+// Binary field ids. Part of the protocol: append-only, never renumber.
+// fBody is always the last field of a frame so the body bytes can be
+// written (and read) as one contiguous tail.
+const (
+	fOp = iota + 1
+	fSeq
+	fQueue
+	fExchange
+	fKind
+	fKey
+	fConsumerID
+	fPrefetch
+	fDeliveryID
+	fRequeue
+	fMessageID
+	fHeaders
+	fPersistent
+	fRedelivery
+	fErr
+	fStats
+	fBody
+)
+
+// internedKeys interns the header keys hot on the publish path (codec
+// negotiation, trace context, routing stamps) to a single byte on the
+// wire. Ids are part of the protocol: append-only, never renumber. Id 0
+// escapes to a length-prefixed literal key, so unknown keys always travel.
+// The strings mirror omq/obs constants; wire stays dependency-free, and a
+// drifted name only costs bytes, never correctness.
+var internedKeys = []string{
+	1: "codec",
+	2: "x-obs-trace",
+	3: "x-obs-span",
+	4: "x-obs-pub",
+	5: "x-route-epoch",
+	6: "x-route-key",
+}
+
+var internedKeyID = func() map[string]byte {
+	m := make(map[string]byte, len(internedKeys))
+	for id, k := range internedKeys {
+		if k != "" {
+			m[k] = byte(id)
+		}
+	}
+	return m
+}()
+
 // Errors returned by the codec.
 var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 	ErrShortFrame    = errors.New("wire: truncated frame")
 )
 
+// Format selects the encoding a Writer emits.
+type Format int
+
+const (
+	// FormatBinary is the compact varint encoding (the default).
+	FormatBinary Format = iota
+	// FormatJSON is the legacy length-prefixed JSON encoding, kept for
+	// fallback and fuzz cross-checks.
+	FormatJSON
+)
+
+// maxPrefix is the space reserved at the front of an encode buffer for the
+// right-aligned marker byte + uvarint payload length.
+const maxPrefix = 1 + binary.MaxVarintLen32
+
+// encodeBufPool recycles frame-encode buffers across writers and frames;
+// the body is never copied into them, so they stay small.
+var encodeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// maxPooledBuf bounds the capacity of buffers returned to the pool so one
+// giant frame doesn't pin its memory forever.
+const maxPooledBuf = 1 << 16
+
+func putEncodeBuf(bp *[]byte, b []byte) {
+	if cap(b) <= maxPooledBuf {
+		*bp = b[:0]
+		encodeBufPool.Put(bp)
+	}
+}
+
 // Writer encodes frames onto an io.Writer. Not safe for concurrent use;
-// callers serialize writes.
+// callers serialize writes. Write never retains the frame or its body.
 type Writer struct {
-	w   *bufio.Writer
-	buf [4]byte
+	w      io.Writer
+	format Format
+	vecs   [2][]byte
 }
 
-// NewWriter returns a Writer emitting frames to w.
-func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriter(w)}
+// NewWriter returns a Writer emitting binary frames to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// NewWriterFormat returns a Writer emitting frames in the given format.
+func NewWriterFormat(w io.Writer, format Format) *Writer {
+	return &Writer{w: w, format: format}
 }
 
-// Write encodes and flushes a single frame.
+// Write encodes and sends a single frame. In binary format the encoded
+// header and the frame body go out as two scatter/gather vectors
+// (net.Buffers → writev on TCP): the body is never copied after encode.
 func (fw *Writer) Write(f *Frame) error {
+	if fw.format == FormatJSON {
+		return fw.writeJSON(f)
+	}
+	bp := encodeBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = buf[:maxPrefix] // reserve prefix space (pool buffers have cap >= maxPrefix)
+	buf = appendFields(buf, f)
+	total := (len(buf) - maxPrefix) + len(f.Body)
+	if total > MaxFrameSize {
+		putEncodeBuf(bp, buf)
+		return ErrFrameTooLarge
+	}
+	// Right-align marker + length against the fields.
+	var pre [maxPrefix]byte
+	pre[0] = binaryMarker
+	w := 1 + binary.PutUvarint(pre[1:], uint64(total))
+	start := maxPrefix - w
+	copy(buf[start:], pre[:w])
+
+	var err error
+	if len(f.Body) == 0 {
+		_, err = fw.w.Write(buf[start:])
+	} else {
+		fw.vecs[0], fw.vecs[1] = buf[start:], f.Body
+		nb := net.Buffers(fw.vecs[:])
+		_, err = nb.WriteTo(fw.w)
+		fw.vecs[0], fw.vecs[1] = nil, nil
+	}
+	putEncodeBuf(bp, buf)
+	if err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+func (fw *Writer) writeJSON(f *Frame) error {
 	payload, err := json.Marshal(f)
 	if err != nil {
 		return fmt.Errorf("wire: marshal frame: %w", err)
@@ -138,23 +309,101 @@ func (fw *Writer) Write(f *Frame) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	binary.BigEndian.PutUint32(fw.buf[:], uint32(len(payload)))
-	if _, err := fw.w.Write(fw.buf[:]); err != nil {
-		return fmt.Errorf("wire: write frame header: %w", err)
-	}
-	if _, err := fw.w.Write(payload); err != nil {
-		return fmt.Errorf("wire: write frame payload: %w", err)
-	}
-	if err := fw.w.Flush(); err != nil {
-		return fmt.Errorf("wire: flush frame: %w", err)
+	bp := encodeBufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, werr := fw.w.Write(buf)
+	putEncodeBuf(bp, buf)
+	if werr != nil {
+		return fmt.Errorf("wire: write frame: %w", werr)
 	}
 	return nil
 }
 
+// appendFields encodes every present field except the body bytes; for a
+// non-empty body it emits the field id and length so the raw bytes can
+// follow as a separate write vector.
+func appendFields(b []byte, f *Frame) []byte {
+	b = append(b, fOp)
+	b = binary.AppendVarint(b, int64(f.Op))
+	b = appendUintField(b, fSeq, f.Seq)
+	b = appendStrField(b, fQueue, f.Queue)
+	b = appendStrField(b, fExchange, f.Exchange)
+	b = appendStrField(b, fKind, f.Kind)
+	b = appendStrField(b, fKey, f.Key)
+	b = appendStrField(b, fConsumerID, f.ConsumerID)
+	if f.Prefetch != 0 {
+		b = append(b, fPrefetch)
+		b = binary.AppendVarint(b, int64(f.Prefetch))
+	}
+	b = appendUintField(b, fDeliveryID, f.DeliveryID)
+	if f.Requeue {
+		b = append(b, fRequeue)
+	}
+	b = appendStrField(b, fMessageID, f.MessageID)
+	if len(f.Headers) > 0 {
+		b = append(b, fHeaders)
+		b = binary.AppendUvarint(b, uint64(len(f.Headers)))
+		for k, v := range f.Headers {
+			if id, ok := internedKeyID[k]; ok {
+				b = append(b, id)
+			} else {
+				b = append(b, 0)
+				b = binary.AppendUvarint(b, uint64(len(k)))
+				b = append(b, k...)
+			}
+			b = binary.AppendUvarint(b, uint64(len(v)))
+			b = append(b, v...)
+		}
+	}
+	if f.Persistent {
+		b = append(b, fPersistent)
+	}
+	if f.Redelivery != 0 {
+		b = append(b, fRedelivery)
+		b = binary.AppendVarint(b, int64(f.Redelivery))
+	}
+	b = appendStrField(b, fErr, f.Err)
+	if len(f.Stats) > 0 {
+		b = append(b, fStats)
+		b = binary.AppendUvarint(b, uint64(len(f.Stats)))
+		b = append(b, f.Stats...)
+	}
+	if len(f.Body) > 0 {
+		b = append(b, fBody)
+		b = binary.AppendUvarint(b, uint64(len(f.Body)))
+	}
+	return b
+}
+
+func appendStrField(b []byte, id byte, s string) []byte {
+	if s == "" {
+		return b
+	}
+	b = append(b, id)
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendUintField(b []byte, id byte, v uint64) []byte {
+	if v == 0 {
+		return b
+	}
+	b = append(b, id)
+	return binary.AppendUvarint(b, v)
+}
+
 // Reader decodes frames from an io.Reader. Not safe for concurrent use.
+//
+// The returned *Frame, its Body and its Stats are only valid until the
+// next Read: they alias buffers the Reader reuses frame-to-frame (the
+// fixed per-message allocation the v2 protocol removes). Copy — or
+// Frame.Clone — before retaining.
 type Reader struct {
-	r   *bufio.Reader
-	buf [4]byte
+	r       *bufio.Reader
+	payload []byte
+	frame   Frame
 }
 
 // NewReader returns a Reader consuming frames from r.
@@ -162,32 +411,248 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
 }
 
-// Read decodes the next frame. It returns io.EOF when the stream ends
+// Read decodes the next frame, auto-detecting binary vs legacy JSON
+// encoding from its first byte. It returns io.EOF when the stream ends
 // cleanly on a frame boundary and ErrShortFrame when it ends mid-frame.
+// See the Reader doc for the returned frame's lifetime.
 func (fr *Reader) Read() (*Frame, error) {
-	if _, err := io.ReadFull(fr.r, fr.buf[:]); err != nil {
+	first, err := fr.r.ReadByte()
+	if err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		if errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	if first == binaryMarker {
+		return fr.readBinary()
+	}
+	return fr.readJSON(first)
+}
+
+// grow returns the payload buffer sized to n, reusing the previous
+// allocation when possible and letting one oversized frame's buffer go
+// once traffic shrinks again.
+func (fr *Reader) grow(n int) []byte {
+	if cap(fr.payload) < n || (cap(fr.payload) > 4<<20 && n < 1<<20) {
+		fr.payload = make([]byte, n)
+	}
+	fr.payload = fr.payload[:n]
+	return fr.payload
+}
+
+func (fr *Reader) readJSON(first byte) (*Frame, error) {
+	var lb [4]byte
+	lb[0] = first
+	if _, err := io.ReadFull(fr.r, lb[1:]); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, ErrShortFrame
 		}
 		return nil, fmt.Errorf("wire: read frame header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(fr.buf[:])
+	n := binary.BigEndian.Uint32(lb[:])
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	payload := fr.grow(int(n))
 	if _, err := io.ReadFull(fr.r, payload); err != nil {
 		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, ErrShortFrame
 		}
 		return nil, fmt.Errorf("wire: read frame payload: %w", err)
 	}
-	var f Frame
-	if err := json.Unmarshal(payload, &f); err != nil {
+	fr.frame = Frame{}
+	if err := json.Unmarshal(payload, &fr.frame); err != nil {
 		return nil, fmt.Errorf("wire: unmarshal frame: %w", err)
 	}
-	return &f, nil
+	return &fr.frame, nil
+}
+
+func (fr *Reader) readBinary() (*Frame, error) {
+	n, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrShortFrame
+		}
+		return nil, fmt.Errorf("wire: malformed frame length: %w", err)
+	}
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := fr.grow(int(n))
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrShortFrame
+		}
+		return nil, fmt.Errorf("wire: read frame payload: %w", err)
+	}
+	if err := parseBinary(payload, &fr.frame); err != nil {
+		return nil, err
+	}
+	return &fr.frame, nil
+}
+
+var errMalformed = errors.New("wire: malformed binary frame")
+
+// ruvarint decodes a uvarint from data, rejecting truncated or overlong
+// encodings.
+func ruvarint(data []byte) (uint64, []byte, error) {
+	x, w := binary.Uvarint(data)
+	if w <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", errMalformed)
+	}
+	return x, data[w:], nil
+}
+
+func rvarint(data []byte) (int64, []byte, error) {
+	x, w := binary.Varint(data)
+	if w <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", errMalformed)
+	}
+	return x, data[w:], nil
+}
+
+// rbytes decodes a length-prefixed byte run, bounds-checked against the
+// remaining payload.
+func rbytes(data []byte) ([]byte, []byte, error) {
+	n, rest, err := ruvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: length %d exceeds %d remaining", errMalformed, n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// parseBinary decodes a binary frame payload into f. Body and Stats alias
+// payload; everything else is copied out.
+func parseBinary(payload []byte, f *Frame) error {
+	*f = Frame{}
+	data := payload
+	for len(data) > 0 {
+		id := data[0]
+		data = data[1:]
+		var err error
+		switch id {
+		case fOp:
+			var v int64
+			if v, data, err = rvarint(data); err != nil {
+				return err
+			}
+			f.Op = Op(v)
+		case fSeq:
+			if f.Seq, data, err = ruvarint(data); err != nil {
+				return err
+			}
+		case fQueue:
+			if f.Queue, data, err = rstring(data); err != nil {
+				return err
+			}
+		case fExchange:
+			if f.Exchange, data, err = rstring(data); err != nil {
+				return err
+			}
+		case fKind:
+			if f.Kind, data, err = rstring(data); err != nil {
+				return err
+			}
+		case fKey:
+			if f.Key, data, err = rstring(data); err != nil {
+				return err
+			}
+		case fConsumerID:
+			if f.ConsumerID, data, err = rstring(data); err != nil {
+				return err
+			}
+		case fPrefetch:
+			var v int64
+			if v, data, err = rvarint(data); err != nil {
+				return err
+			}
+			f.Prefetch = int(v)
+		case fDeliveryID:
+			if f.DeliveryID, data, err = ruvarint(data); err != nil {
+				return err
+			}
+		case fRequeue:
+			f.Requeue = true
+		case fMessageID:
+			if f.MessageID, data, err = rstring(data); err != nil {
+				return err
+			}
+		case fHeaders:
+			if f.Headers, data, err = rheaders(data); err != nil {
+				return err
+			}
+		case fPersistent:
+			f.Persistent = true
+		case fRedelivery:
+			var v int64
+			if v, data, err = rvarint(data); err != nil {
+				return err
+			}
+			f.Redelivery = int(v)
+		case fErr:
+			if f.Err, data, err = rstring(data); err != nil {
+				return err
+			}
+		case fStats:
+			if f.Stats, data, err = rbytes(data); err != nil {
+				return err
+			}
+		case fBody:
+			if f.Body, data, err = rbytes(data); err != nil {
+				return err
+			}
+			if len(data) != 0 {
+				return fmt.Errorf("%w: %d bytes after body", errMalformed, len(data))
+			}
+		default:
+			return fmt.Errorf("%w: unknown field %d", errMalformed, id)
+		}
+	}
+	return nil
+}
+
+func rstring(data []byte) (string, []byte, error) {
+	raw, rest, err := rbytes(data)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(raw), rest, nil
+}
+
+func rheaders(data []byte) (map[string]string, []byte, error) {
+	count, data, err := ruvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Each entry is at least 2 bytes (key id + value length).
+	if count > uint64(len(data))/2+1 {
+		return nil, nil, fmt.Errorf("%w: header count %d exceeds payload", errMalformed, count)
+	}
+	m := make(map[string]string, count)
+	for i := uint64(0); i < count; i++ {
+		if len(data) == 0 {
+			return nil, nil, fmt.Errorf("%w: truncated headers", errMalformed)
+		}
+		id := data[0]
+		data = data[1:]
+		var k string
+		if id == 0 {
+			if k, data, err = rstring(data); err != nil {
+				return nil, nil, err
+			}
+		} else if int(id) < len(internedKeys) && internedKeys[id] != "" {
+			k = internedKeys[id]
+		} else {
+			return nil, nil, fmt.Errorf("%w: unknown interned header key %d", errMalformed, id)
+		}
+		var v string
+		if v, data, err = rstring(data); err != nil {
+			return nil, nil, err
+		}
+		m[k] = v
+	}
+	return m, data, nil
 }

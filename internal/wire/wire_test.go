@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -131,5 +132,179 @@ func TestOpString(t *testing.T) {
 	}
 	if got := Op(99).String(); got != "op(99)" {
 		t.Fatalf("unknown op string = %q", got)
+	}
+}
+
+// TestFormatInterop pins the mixed-fleet story: a JSON writer's frames and a
+// binary writer's frames decode identically from the same stream, because the
+// reader auto-detects per frame.
+func TestFormatInterop(t *testing.T) {
+	frame := Frame{
+		Op: OpPublish, Seq: 9, Exchange: "ex", Key: "route",
+		MessageID: "m-9", Body: []byte("mixed"), Persistent: true,
+		Headers: map[string]string{"codec": "bin", "x-custom": "v"},
+	}
+	var buf bytes.Buffer
+	if err := NewWriterFormat(&buf, FormatJSON).Write(&frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewWriter(&buf).Write(&frame); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i := 0; i < 2; i++ {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Op != frame.Op || got.Seq != frame.Seq || got.Exchange != frame.Exchange ||
+			got.Key != frame.Key || got.MessageID != frame.MessageID ||
+			!bytes.Equal(got.Body, frame.Body) || !got.Persistent ||
+			got.Headers["codec"] != "bin" || got.Headers["x-custom"] != "v" {
+			t.Fatalf("frame %d mismatch: %+v", i, got)
+		}
+	}
+}
+
+// TestReaderReusesBuffer pins the documented aliasing contract: the frame
+// returned by Read (and its Body) is only valid until the next Read, and
+// Clone detaches it.
+func TestReaderReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(&Frame{Op: OpDeliver, Body: []byte("first-payload")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&Frame{Op: OpDeliver, Body: []byte("second")}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	f1, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := f1.Body // aliases the reader's buffer
+	saved := f1.Clone()
+	f2, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f2.Body, []byte("second")) {
+		t.Fatalf("second frame body = %q", f2.Body)
+	}
+	if bytes.Equal(kept, []byte("first-payload")) {
+		t.Fatal("aliased body survived the next Read; buffer is not being reused")
+	}
+	if !bytes.Equal(saved.Body, []byte("first-payload")) {
+		t.Fatalf("Clone did not detach: %q", saved.Body)
+	}
+}
+
+// TestInternedHeaderKeys checks that hot header keys encode to a single byte
+// and unknown keys still round-trip via the literal escape.
+func TestInternedHeaderKeys(t *testing.T) {
+	interned := Frame{Op: OpPublish, Headers: map[string]string{"codec": "bin"}}
+	literal := Frame{Op: OpPublish, Headers: map[string]string{"x-totally-custom-key": "bin"}}
+	var bi, bl bytes.Buffer
+	if err := NewWriter(&bi).Write(&interned); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewWriter(&bl).Write(&literal); err != nil {
+		t.Fatal(err)
+	}
+	// The literal key spells out its 20 bytes; the interned key costs 1.
+	if bl.Len() <= bi.Len()+10 {
+		t.Fatalf("interned key not compact: interned=%d literal=%d", bi.Len(), bl.Len())
+	}
+	for _, buf := range []*bytes.Buffer{&bi, &bl} {
+		f, err := NewReader(buf).Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Headers["codec"] != "bin" && f.Headers["x-totally-custom-key"] != "bin" {
+			t.Fatalf("headers lost: %v", f.Headers)
+		}
+	}
+}
+
+// TestMalformedBinary feeds hand-corrupted binary frames and expects clean
+// errors, never panics or silent acceptance.
+func TestMalformedBinary(t *testing.T) {
+	frame := func(payload ...byte) []byte {
+		b := []byte{binaryMarker, byte(len(payload))}
+		return append(b, payload...)
+	}
+	cases := map[string][]byte{
+		"unknown field id":    frame(0x63),
+		"zero field id":       frame(0x00),
+		"truncated varint":    frame(fSeq, 0x80),
+		"overlong varint":     frame(fSeq, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80),
+		"string over payload": frame(fQueue, 0x20, 'q'),
+		"bytes after body":    frame(fBody, 0x01, 'x', fSeq, 0x01),
+		"header count lie":    frame(fHeaders, 0x7f),
+		"bad interned key":    frame(fHeaders, 0x01, 0x63, 0x01, 'v'),
+		"truncated headers":   frame(fHeaders, 0x02, 0x01, 0x01, 'v'),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := NewReader(bytes.NewReader(data)).Read(); err == nil {
+				t.Fatalf("malformed frame %x accepted", data)
+			}
+		})
+	}
+	// An over-limit binary length prefix is rejected before allocation.
+	huge := append([]byte{binaryMarker}, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, err := NewReader(bytes.NewReader(huge)).Read(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+}
+
+// TestWriterRejectsOversizedFrame checks the cap applies on the encode side
+// for both formats.
+func TestWriterRejectsOversizedFrame(t *testing.T) {
+	f := &Frame{Op: OpPublish, Body: make([]byte, MaxFrameSize+1)}
+	if err := NewWriter(io.Discard).Write(f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("binary: expected ErrFrameTooLarge, got %v", err)
+	}
+	if err := NewWriterFormat(io.Discard, FormatJSON).Write(f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("json: expected ErrFrameTooLarge, got %v", err)
+	}
+}
+
+// TestBinaryJSONCrossCheck round-trips the same frames through both formats
+// and requires identical decodes.
+func TestBinaryJSONCrossCheck(t *testing.T) {
+	frames := []Frame{
+		{Op: OpPublish, Seq: 1, Exchange: "e", Key: "k", Body: []byte("b"), Persistent: true},
+		{Op: OpDeliver, Queue: "q", ConsumerID: "c", DeliveryID: 5, Redelivery: 3, Body: []byte{0xB2, 0x00}},
+		{Op: OpNack, DeliveryID: 9, Requeue: true},
+		{Op: OpError, Seq: 2, Err: "boom"},
+		{Op: OpSubscribe, Queue: "q", Prefetch: 64},
+		{Op: OpStatsReply, Seq: 4, Stats: []byte(`{"depth":1}`)},
+		{Op: OpPublish, Headers: map[string]string{"codec": "gob", "x-route-key": "w7", "weird": "☃"}},
+	}
+	for i, in := range frames {
+		var jb, bb bytes.Buffer
+		if err := NewWriterFormat(&jb, FormatJSON).Write(&in); err != nil {
+			t.Fatal(err)
+		}
+		if err := NewWriter(&bb).Write(&in); err != nil {
+			t.Fatal(err)
+		}
+		fromJSON, err := NewReader(&jb).Read()
+		if err != nil {
+			t.Fatalf("frame %d json: %v", i, err)
+		}
+		j := fromJSON.Clone()
+		fromBin, err := NewReader(&bb).Read()
+		if err != nil {
+			t.Fatalf("frame %d bin: %v", i, err)
+		}
+		b := fromBin.Clone()
+		normalizeFrame(j)
+		normalizeFrame(b)
+		if !reflect.DeepEqual(j, b) {
+			t.Fatalf("frame %d diverged:\n json: %+v\n bin:  %+v", i, j, b)
+		}
 	}
 }

@@ -10,7 +10,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern='^(BenchmarkFig7|BenchmarkCommitParallelWorkspaces|BenchmarkReadWriteMix|BenchmarkMQPublishThroughput|BenchmarkTransferPipeline|BenchmarkMultiInstanceCommit|BenchmarkFleetObs)'
+pattern='^(BenchmarkFig7|BenchmarkCommitParallelWorkspaces|BenchmarkReadWriteMix|BenchmarkMQPublishThroughput|BenchmarkWireFrameCodec|BenchmarkPublishDisabledTracer|BenchmarkTransferPipeline|BenchmarkMultiInstanceCommit|BenchmarkFleetObs)'
 benchtime="${BENCHTIME:-1x}"
 history="${BENCH_HISTORY:-dev/bench/history.jsonl}"
 
@@ -23,7 +23,9 @@ out="BENCH_${n}.json"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$tmp"
+# The root package carries the paper-figure benchmarks; internal/omq adds
+# the publish-path allocation guards gated by benchcmp.
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . ./internal/omq/ | tee "$tmp"
 
 go run ./cmd/benchhist -mode append -history "$history" \
     -input "$tmp" -benchtime "$benchtime" -snapshot "$out"

@@ -24,6 +24,18 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Codec matrix: the messaging layers must pass under every negotiable codec,
+# since $STACKSYNC_CODEC swings the default the whole fleet publishes with.
+# The binary codec gets an extra race pass — it is the default-off path with
+# the most hand-rolled encoding.
+echo "==> codec matrix (json/gob/bin)"
+for c in json gob bin; do
+    echo "--- STACKSYNC_CODEC=$c"
+    STACKSYNC_CODEC=$c go test ./internal/codec/ ./internal/omq/ ./internal/mq/
+done
+echo "--- STACKSYNC_CODEC=bin (race)"
+STACKSYNC_CODEC=bin go test -race ./internal/codec/ ./internal/omq/ ./internal/wire/
+
 # Extra interleavings over the client's parallel transfer pipeline: many
 # writers, overlapping chunks, dedup probes and singleflight coalescing all
 # racing — the part of the codebase where a data race would hide best.
